@@ -1,0 +1,431 @@
+//! Baseline pipelines for fraud detection (§4.2–4.3).
+//!
+//! * **Flink-style auto**: the dataflow API cannot express the cyclic
+//!   model dependency, so the only compliant implementation is
+//!   *sequential* — every stream funnels into one operator instance.
+//! * **Flink-style manual ("FM")**: transaction shards rendezvous with a
+//!   rule processor through the external [`ForkJoinService`], emulating a
+//!   synchronization plan at the cost of PIP1–3.
+//! * **Timely-style auto**: the iterative (feedback) dataflow — shards
+//!   send per-window partials to an aggregator, which broadcasts the
+//!   retrained model back around the cycle. Timestamp batching applies.
+
+use std::collections::BTreeMap;
+
+use dgs_baseline::element::{BMsg, Record, Route};
+use dgs_baseline::service::{ForkJoinService, Group, GroupLogic};
+use dgs_baseline::shard::{Outbox, ShardActor, ShardLogic};
+use dgs_baseline::source::RecordSource;
+use dgs_sim::{ActorId, Engine, LinkSpec, NodeId, Topology};
+
+use super::MODULO;
+
+/// Parameters shared by all fraud baselines.
+#[derive(Clone, Copy, Debug)]
+pub struct FdBaselineParams {
+    /// Parallelism (transaction shards / streams).
+    pub parallelism: u32,
+    /// Transactions per stream per rule.
+    pub txns_per_rule: u64,
+    /// Number of rules.
+    pub rules: u64,
+    /// Inter-arrival time per transaction stream (virtual ns).
+    pub txn_period_ns: u64,
+    /// Source batch size (1 = Flink; >1 = Timely).
+    pub batch: usize,
+}
+
+impl FdBaselineParams {
+    /// Total events (transactions + rules).
+    pub fn total_events(&self) -> u64 {
+        self.parallelism as u64 * self.txns_per_rule * self.rules + self.rules
+    }
+}
+
+fn txn_val(i: u64) -> i64 {
+    ((i * 37) % 5_000) as i64
+}
+
+/// The fully sequential operator (Flink auto): all streams, one instance.
+struct SeqFraud {
+    sum: i64,
+    model: i64,
+}
+
+impl ShardLogic for SeqFraud {
+    fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox) {
+        match port {
+            0 => {
+                if rec.val.rem_euclid(MODULO) == self.model {
+                    out.output(rec);
+                }
+                self.sum += rec.val;
+            }
+            _ => {
+                out.output(Record::new(rec.ts, rec.key, self.sum));
+                self.model = (self.sum + rec.val).rem_euclid(MODULO);
+                self.sum = 0;
+            }
+        }
+    }
+}
+
+/// Flink-style sequential pipeline: every source routes to one shard on
+/// node 0 — throughput cannot scale with `parallelism` (only the offered
+/// load does).
+pub fn build_fraud_flink_sequential(p: FdBaselineParams) -> Engine<BMsg> {
+    let n = p.parallelism;
+    let topo = Topology::uniform(n + 1, LinkSpec::default());
+    let mut eng: Engine<BMsg> = Engine::new(topo);
+    eng.set_size_fn(|m| m.wire_size());
+    let shard = eng.add_actor(
+        NodeId(0),
+        Box::new(ShardActor::new(SeqFraud { sum: 0, model: 0 }).with_latency()),
+    );
+    for i in 0..n {
+        let src = RecordSource::new(Route::To(shard), 0, p.txn_period_ns, p.txns_per_rule * p.rules)
+            .batched(p.batch)
+            .vals(txn_val);
+        eng.add_actor(NodeId(i), Box::new(src));
+    }
+    let rule_src = RecordSource::new(
+        Route::To(shard),
+        1,
+        p.txns_per_rule * p.txn_period_ns,
+        p.rules,
+    )
+    .keys(|w| w as u32)
+    .vals(|w| w as i64);
+    eng.add_actor(NodeId(n), Box::new(rule_src));
+    eng
+}
+
+/// Manual-sync transaction shard: flags frauds locally; on a broadcast
+/// rule it offers its partial sum to the service and blocks (`joinChild`).
+struct ManualTxnShard {
+    child: u32,
+    svc: ActorId,
+    sum: i64,
+    model: i64,
+}
+
+impl ShardLogic for ManualTxnShard {
+    fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox) {
+        match port {
+            0 => {
+                if rec.val.rem_euclid(MODULO) == self.model {
+                    out.output(rec);
+                }
+                self.sum += rec.val;
+            }
+            _ => {
+                out.service(
+                    self.svc,
+                    BMsg::SvcJoinChild { child: self.child, key: 0, state: vec![self.sum] },
+                );
+                out.block_for_service();
+            }
+        }
+    }
+
+    fn on_service_release(&mut self, state: Vec<i64>, _out: &mut Outbox) {
+        self.model = state[0];
+        self.sum = 0;
+    }
+}
+
+/// Manual-sync rule processor (`joinParent` side).
+struct ManualRuleProc {
+    svc: ActorId,
+}
+
+impl ShardLogic for ManualRuleProc {
+    fn on_record(&mut self, _port: u8, rec: Record, out: &mut Outbox) {
+        out.service(self.svc, BMsg::SvcJoinParent { key: 0, state: vec![rec.val, rec.ts as i64] });
+        out.block_for_service();
+    }
+
+    fn on_service_release(&mut self, state: Vec<i64>, out: &mut Outbox) {
+        // state = [window_total, trigger_ts].
+        out.output(Record::new(state[1] as u64, 0, state[0]));
+    }
+}
+
+/// Flink-style manual synchronization (paper §4.3, Figure 7): emulates
+/// the synchronization plan with semaphore-style rendezvous through a
+/// central service. Violates PIP1–3 but scales.
+pub fn build_fraud_flink_manual(p: FdBaselineParams) -> Engine<BMsg> {
+    let n = p.parallelism;
+    let topo = Topology::uniform(n + 1, LinkSpec::default());
+    let mut eng: Engine<BMsg> = Engine::new(topo);
+    eng.set_size_fn(|m| m.wire_size());
+    // Actors: shards 0..n, rule proc n, service n+1, then sources.
+    let svc_id = ActorId(n as usize + 1);
+    for i in 0..n {
+        eng.add_actor(
+            NodeId(i),
+            Box::new(
+                ShardActor::new(ManualTxnShard { child: i, svc: svc_id, sum: 0, model: 0 })
+                    .with_latency(),
+            ),
+        );
+    }
+    let rule_proc = eng.add_actor(
+        NodeId(n),
+        Box::new(ShardActor::new(ManualRuleProc { svc: svc_id }).with_latency()),
+    );
+    let logic: GroupLogic = Box::new(|children, parent| {
+        let total: i64 = children.iter().map(|c| c[0]).sum();
+        let model = (total + parent[0]).rem_euclid(MODULO);
+        (children.iter().map(|_| vec![model]).collect(), vec![total, parent[1]])
+    });
+    let mut groups = BTreeMap::new();
+    groups.insert(
+        0,
+        Group::new((0..n as usize).map(ActorId).collect(), rule_proc, logic),
+    );
+    eng.add_actor(NodeId(n), Box::new(ForkJoinService::new(groups)));
+    // Sources.
+    for i in 0..n {
+        let src = RecordSource::new(
+            Route::To(ActorId(i as usize)),
+            0,
+            p.txn_period_ns,
+            p.txns_per_rule * p.rules,
+        )
+        .batched(p.batch)
+        .vals(txn_val);
+        eng.add_actor(NodeId(i), Box::new(src));
+    }
+    let mut dsts: Vec<ActorId> = (0..n as usize).map(ActorId).collect();
+    dsts.push(rule_proc);
+    let rule_src = RecordSource::new(
+        Route::Broadcast(dsts),
+        1,
+        p.txns_per_rule * p.txn_period_ns,
+        p.rules,
+    )
+    .keys(|w| w as u32)
+    .vals(|w| w as i64);
+    eng.add_actor(NodeId(n), Box::new(rule_src));
+    eng
+}
+
+/// Timely-style feedback shard: on a rule, ship the partial sum around
+/// the cycle; keep labelling with the current model until the retrained
+/// one arrives on port 2.
+struct FeedbackTxnShard {
+    agg: ActorId,
+    sum: i64,
+    model: i64,
+}
+
+impl ShardLogic for FeedbackTxnShard {
+    fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox) {
+        match port {
+            0 => {
+                if rec.val.rem_euclid(MODULO) == self.model {
+                    out.output(rec);
+                }
+                self.sum += rec.val;
+            }
+            1 => {
+                out.send(Route::To(self.agg), 0, vec![Record::new(rec.ts, rec.key, self.sum)]);
+                self.sum = 0;
+            }
+            _ => {
+                // Retrained model from the feedback edge.
+                self.model = rec.val;
+            }
+        }
+    }
+}
+
+/// Feedback aggregator: merges partials per window, outputs the global
+/// aggregate, and broadcasts the retrained model back to the shards.
+struct FeedbackAggregator {
+    n: u64,
+    shards: Vec<ActorId>,
+    pending: BTreeMap<u32, (u64, i64)>,
+    rule_vals: BTreeMap<u32, i64>,
+}
+
+impl ShardLogic for FeedbackAggregator {
+    fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox) {
+        if port == 1 {
+            // The rule value itself (needed for retraining).
+            self.rule_vals.insert(rec.key, rec.val);
+        } else {
+            let e = self.pending.entry(rec.key).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += rec.val;
+        }
+        // Complete any window with all partials + its rule value.
+        let ready: Vec<u32> = self
+            .pending
+            .iter()
+            .filter(|(k, (c, _))| *c == self.n && self.rule_vals.contains_key(k))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in ready {
+            let (_, total) = self.pending.remove(&k).expect("present");
+            let rule = self.rule_vals.remove(&k).expect("present");
+            let model = (total + rule).rem_euclid(MODULO);
+            out.output(Record::new(rec.ts, k, total));
+            out.send(Route::Broadcast(self.shards.clone()), 2, vec![Record::new(rec.ts, k, model)]);
+        }
+    }
+}
+
+/// Timely-style iterative pipeline (the paper's cyclic-loop fraud
+/// implementation that *does* scale automatically).
+pub fn build_fraud_timely_feedback(p: FdBaselineParams) -> Engine<BMsg> {
+    let n = p.parallelism;
+    let topo = Topology::uniform(n + 1, LinkSpec::default());
+    let mut eng: Engine<BMsg> = Engine::new(topo);
+    eng.set_size_fn(|m| m.wire_size());
+    let agg_id = ActorId(n as usize);
+    for i in 0..n {
+        eng.add_actor(
+            NodeId(i),
+            Box::new(ShardActor::new(FeedbackTxnShard { agg: agg_id, sum: 0, model: 0 }).with_latency()),
+        );
+    }
+    let shards: Vec<ActorId> = (0..n as usize).map(ActorId).collect();
+    eng.add_actor(
+        NodeId(n),
+        Box::new(
+            ShardActor::new(FeedbackAggregator {
+                n: n as u64,
+                shards: shards.clone(),
+                pending: BTreeMap::new(),
+                rule_vals: BTreeMap::new(),
+            })
+            .with_latency(),
+        ),
+    );
+    for i in 0..n {
+        let src = RecordSource::new(
+            Route::To(ActorId(i as usize)),
+            0,
+            p.txn_period_ns,
+            p.txns_per_rule * p.rules,
+        )
+        .batched(p.batch)
+        .vals(txn_val);
+        eng.add_actor(NodeId(i), Box::new(src));
+    }
+    // Rules: to every shard (port 1) and the rule value to the aggregator.
+    let rule_period = p.txns_per_rule * p.txn_period_ns;
+    let shard_rules = RecordSource::new(Route::Broadcast(shards), 1, rule_period, p.rules)
+        .keys(|w| w as u32)
+        .vals(|w| w as i64);
+    eng.add_actor(NodeId(n), Box::new(shard_rules));
+    let agg_rules = RecordSource::new(Route::To(agg_id), 1, rule_period, p.rules)
+        .keys(|w| w as u32)
+        .vals(|w| w as i64);
+    eng.add_actor(NodeId(n), Box::new(agg_rules));
+    eng
+}
+
+/// Run any fraud pipeline to quiescence: returns
+/// `(events/ms, p10/p50/p90 latency ns)`.
+pub fn run_fraud(
+    build: impl Fn(FdBaselineParams) -> Engine<BMsg>,
+    p: FdBaselineParams,
+) -> (f64, Option<(u64, u64, u64)>) {
+    let mut eng = build(p);
+    eng.run(None, u64::MAX);
+    let tput = dgs_sim::metrics::events_per_ms(p.total_events(), eng.now());
+    (tput, eng.metrics().latency_p10_p50_p90())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(n: u32, batch: usize) -> FdBaselineParams {
+        FdBaselineParams {
+            parallelism: n,
+            txns_per_rule: 300,
+            rules: 4,
+            txn_period_ns: 500,
+            batch,
+        }
+    }
+
+    #[test]
+    fn sequential_conserves_window_totals() {
+        let p = params(3, 1);
+        let mut eng = build_fraud_flink_sequential(p);
+        eng.run(None, u64::MAX);
+        // Outputs include 4 window aggregates (plus fraud flags).
+        assert!(eng.metrics().get("outputs") >= p.rules);
+        // All transactions processed by the single shard.
+        assert!(eng.metrics().get("records_processed") >= p.parallelism as u64 * 1200);
+    }
+
+    #[test]
+    fn sequential_does_not_scale() {
+        // Sequential: makespan is bound by the single shard, so doubling
+        // parallelism (offered load) does not double throughput per node.
+        let (t1, _) = run_fraud(build_fraud_flink_sequential, FdBaselineParams {
+            parallelism: 1,
+            txns_per_rule: 2_000,
+            rules: 3,
+            txn_period_ns: 1,
+            batch: 1,
+        });
+        let (t8, _) = run_fraud(build_fraud_flink_sequential, FdBaselineParams {
+            parallelism: 8,
+            txns_per_rule: 2_000,
+            rules: 3,
+            txn_period_ns: 1,
+            batch: 1,
+        });
+        // 8x offered load, but throughput stays within ~1.5x of 1-way.
+        assert!(t8 < 1.5 * t1, "sequential must not scale: {t8} vs {t1}");
+    }
+
+    #[test]
+    fn manual_sync_scales() {
+        let saturated = |n: u32| FdBaselineParams {
+            parallelism: n,
+            txns_per_rule: 2_000,
+            rules: 3,
+            txn_period_ns: 1,
+            batch: 1,
+        };
+        let (t1, _) = run_fraud(build_fraud_flink_manual, saturated(1));
+        let (t8, _) = run_fraud(build_fraud_flink_manual, saturated(8));
+        assert!(t8 > 4.0 * t1, "manual sync should scale: {t8} vs {t1}");
+    }
+
+    #[test]
+    fn manual_rendezvous_count_matches_rules() {
+        let p = params(4, 1);
+        let mut eng = build_fraud_flink_manual(p);
+        eng.run(None, u64::MAX);
+        assert_eq!(eng.metrics().get("rendezvous"), p.rules);
+        // Window aggregates: one output per rule from the rule processor.
+        assert!(eng.metrics().get("outputs") >= p.rules);
+    }
+
+    #[test]
+    fn feedback_loop_scales_and_outputs_windows() {
+        let p = params(4, 10);
+        let mut eng = build_fraud_timely_feedback(p);
+        eng.run(None, u64::MAX);
+        assert!(eng.metrics().get("outputs") >= p.rules);
+        let saturated = |n: u32| FdBaselineParams {
+            parallelism: n,
+            txns_per_rule: 2_000,
+            rules: 3,
+            txn_period_ns: 1,
+            batch: 100,
+        };
+        let (t1, _) = run_fraud(build_fraud_timely_feedback, saturated(1));
+        let (t8, _) = run_fraud(build_fraud_timely_feedback, saturated(8));
+        assert!(t8 > 4.0 * t1, "feedback should scale: {t8} vs {t1}");
+    }
+}

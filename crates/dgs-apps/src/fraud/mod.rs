@@ -1,0 +1,325 @@
+//! Fraud detection (§4.1 + Figure 13).
+//!
+//! Transaction and rule streams. At each rule the program outputs the
+//! aggregate of transactions since the previous rule and "retrains" a
+//! model: a transaction is flagged as fraudulent when its value is
+//! congruent modulo 1000 to the sum of the previous aggregate and the
+//! last rule value. Unlike event-based windowing, the state carried
+//! *across* windows (the model) means a plain broadcast pipeline cannot
+//! parallelize it — Flink's API only admits a sequential implementation,
+//! while Timely needs a cyclic dataflow (§4.2).
+
+pub mod baselines;
+
+use dgs_core::event::{Event, StreamId, Timestamp};
+use dgs_core::predicate::TagPredicate;
+use dgs_core::program::DgsProgram;
+use dgs_core::tag::ITag;
+use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer};
+use dgs_plan::plan::{Location, Plan};
+use dgs_runtime::source::{PacedSource, ScheduledStream};
+
+/// The model modulus (paper's `?MODULO`).
+pub const MODULO: i64 = 1000;
+
+/// Tags of the fraud-detection program.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum FdTag {
+    /// A transaction event (integer value).
+    Txn,
+    /// A rule event (triggers aggregation + model retraining).
+    Rule,
+}
+
+/// Program state: the running transaction aggregate of the current window
+/// and the current model (`(previous aggregate + last rule) mod 1000`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FdState {
+    /// Sum of transactions since the last rule.
+    pub sum: i64,
+    /// Fraud model from the previous window.
+    pub model: i64,
+}
+
+/// Outputs of the program.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum FdOut {
+    /// Window aggregate emitted at a rule.
+    WindowAggregate(i64),
+    /// A transaction flagged as fraudulent.
+    Fraud(i64),
+}
+
+/// The fraud-detection DGS program (Figure 13, with per-window sum reset).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FraudDetection;
+
+impl DgsProgram for FraudDetection {
+    type Tag = FdTag;
+    type Payload = i64;
+    type State = FdState;
+    type Out = FdOut;
+
+    fn init(&self) -> FdState {
+        FdState::default()
+    }
+
+    /// Rules synchronize with everything; transactions are mutually
+    /// independent (flagging uses only the shared, window-stable model).
+    fn depends(&self, a: &FdTag, b: &FdTag) -> bool {
+        matches!((a, b), (FdTag::Rule, _) | (_, FdTag::Rule))
+    }
+
+    fn update(&self, state: &mut FdState, event: &Event<FdTag, i64>, out: &mut Vec<FdOut>) {
+        match event.tag {
+            FdTag::Txn => {
+                if event.payload.rem_euclid(MODULO) == state.model {
+                    out.push(FdOut::Fraud(event.payload));
+                }
+                state.sum += event.payload;
+            }
+            FdTag::Rule => {
+                out.push(FdOut::WindowAggregate(state.sum));
+                state.model = (state.sum + event.payload).rem_euclid(MODULO);
+                state.sum = 0;
+            }
+        }
+    }
+
+    /// Both sides receive the model (it is read by every transaction);
+    /// the running sum goes to the rule-responsible side, like the
+    /// value-barrier fork.
+    fn fork(&self, state: FdState, left: &TagPredicate<FdTag>, right: &TagPredicate<FdTag>) -> (FdState, FdState) {
+        let (lsum, rsum) = if right.matches(&FdTag::Rule) && !left.matches(&FdTag::Rule) {
+            (0, state.sum)
+        } else {
+            (state.sum, 0)
+        };
+        (FdState { sum: lsum, model: state.model }, FdState { sum: rsum, model: state.model })
+    }
+
+    /// Sums add; the model is replicated identically on both sides (the
+    /// paper's join keeps the left's `PrevBModulo`).
+    fn join(&self, left: FdState, right: FdState) -> FdState {
+        FdState { sum: left.sum + right.sum, model: left.model }
+    }
+}
+
+/// Workload: `n` transaction streams and one rule stream.
+#[derive(Clone, Copy, Debug)]
+pub struct FdWorkload {
+    /// Number of parallel transaction streams.
+    pub txn_streams: u32,
+    /// Transactions per stream between rules (10 000 in the paper).
+    pub txns_per_rule: u64,
+    /// Number of rules.
+    pub rules: u64,
+}
+
+impl FdWorkload {
+    /// All implementation tags (txn streams 0..n, rules on stream n).
+    pub fn itags(&self) -> Vec<ITag<FdTag>> {
+        let mut t: Vec<ITag<FdTag>> =
+            (0..self.txn_streams).map(|i| ITag::new(FdTag::Txn, StreamId(i))).collect();
+        t.push(ITag::new(FdTag::Rule, StreamId(self.txn_streams)));
+        t
+    }
+
+    /// Total transaction events.
+    pub fn total_txns(&self) -> u64 {
+        self.txn_streams as u64 * self.txns_per_rule * self.rules
+    }
+
+    /// Appendix B plan: rules at the root, one leaf per transaction stream.
+    pub fn plan(&self) -> Plan<FdTag> {
+        let mut infos: Vec<ITagInfo<FdTag>> = (0..self.txn_streams)
+            .map(|i| {
+                ITagInfo::new(ITag::new(FdTag::Txn, StreamId(i)), self.txns_per_rule as f64, Location(i))
+            })
+            .collect();
+        infos.push(ITagInfo::new(
+            ITag::new(FdTag::Rule, StreamId(self.txn_streams)),
+            1.0,
+            Location(self.txn_streams),
+        ));
+        let dep =
+            dgs_core::depends::FnDependence::new(|a: &FdTag, b: &FdTag| FraudDetection.depends(a, b));
+        CommMinOptimizer.plan(&infos, &dep)
+    }
+
+    /// Deterministic transaction payload for event index `j` of stream `i`.
+    pub fn payload(i: u32, j: u64) -> i64 {
+        // A spread of values; a few per window hit the model by chance.
+        ((j * 37 + i as u64 * 11) % 5_000) as i64
+    }
+
+    /// Scheduled streams for the thread driver.
+    pub fn scheduled_streams(&self, hb_period: Timestamp) -> Vec<ScheduledStream<FdTag, i64>> {
+        let window = self.txns_per_rule;
+        let mut streams = Vec::new();
+        for i in 0..self.txn_streams {
+            streams.push(
+                ScheduledStream::periodic(
+                    ITag::new(FdTag::Txn, StreamId(i)),
+                    1,
+                    1,
+                    self.txns_per_rule * self.rules,
+                    move |j| Self::payload(i, j),
+                )
+                .with_heartbeats(hb_period)
+                .closed(Timestamp::MAX),
+            );
+        }
+        streams.push(
+            ScheduledStream::periodic(
+                ITag::new(FdTag::Rule, StreamId(self.txn_streams)),
+                window,
+                window,
+                self.rules,
+                |j| j as i64,
+            )
+            .with_heartbeats(hb_period)
+            .closed(Timestamp::MAX),
+        );
+        streams
+    }
+
+    /// Paced sources for the simulator.
+    pub fn paced_sources(&self, txn_period_ns: u64, hb_per_rule: u64) -> Vec<PacedSource<FdTag, i64>> {
+        let rule_period = self.txns_per_rule * txn_period_ns;
+        let mut sources = Vec::new();
+        for i in 0..self.txn_streams {
+            sources.push(
+                PacedSource::new(
+                    ITag::new(FdTag::Txn, StreamId(i)),
+                    Location(i),
+                    txn_period_ns,
+                    self.txns_per_rule * self.rules,
+                    move |j| Self::payload(i, j),
+                )
+                .heartbeat_every(rule_period),
+            );
+        }
+        sources.push(
+            PacedSource::new(
+                ITag::new(FdTag::Rule, StreamId(self.txn_streams)),
+                Location(self.txn_streams),
+                rule_period,
+                self.rules,
+                |j| j as i64,
+            )
+            .heartbeat_every((rule_period / hb_per_rule).max(1)),
+        );
+        sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::consistency::{check_c1, check_c2, check_c3};
+    use dgs_core::spec::{run_sequential, sort_o};
+    use dgs_runtime::source::item_lists;
+    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
+    use std::sync::Arc;
+
+    fn ev(tag: FdTag, stream: u32, ts: u64, v: i64) -> Event<FdTag, i64> {
+        Event::new(tag, StreamId(stream), ts, v)
+    }
+
+    #[test]
+    fn sequential_semantics_flags_fraud() {
+        let prog = FraudDetection;
+        // Window 1: txns 10, 20 → aggregate 30 at rule 5; model = 35.
+        // Window 2: txn 1035 ≡ 35 (mod 1000) → fraud.
+        let events = vec![
+            ev(FdTag::Txn, 0, 1, 10),
+            ev(FdTag::Txn, 1, 2, 20),
+            ev(FdTag::Rule, 2, 3, 5),
+            ev(FdTag::Txn, 0, 4, 1035),
+            ev(FdTag::Rule, 2, 5, 0),
+        ];
+        let (state, out) = run_sequential(&prog, &events);
+        assert_eq!(
+            out,
+            vec![FdOut::WindowAggregate(30), FdOut::Fraud(1035), FdOut::WindowAggregate(1035)]
+        );
+        assert_eq!(state.model, 1035 % MODULO);
+    }
+
+    #[test]
+    fn consistency_conditions_hold() {
+        let prog = FraudDetection;
+        let txns = TagPredicate::from_tags([FdTag::Txn]);
+        let all = TagPredicate::from_tags([FdTag::Txn, FdTag::Rule]);
+        let states = [
+            FdState::default(),
+            FdState { sum: 10, model: 35 },
+            FdState { sum: -3, model: 999 },
+        ];
+        for s in states {
+            check_c2(&prog, &s, &txns, &txns).unwrap();
+            check_c2(&prog, &s, &all, &txns).unwrap();
+            for s2 in states {
+                // C1 over transactions needs equal models on reachable
+                // siblings (fork replicates the model).
+                let sibling = FdState { sum: s2.sum, model: s.model };
+                check_c1(&prog, &s, &sibling, &ev(FdTag::Txn, 0, 1, 35)).unwrap();
+                check_c1(&prog, &s, &sibling, &ev(FdTag::Txn, 0, 1, 7)).unwrap();
+            }
+            // C1 for rules on reachable siblings (zero sum, same model).
+            check_c1(
+                &prog,
+                &s,
+                &FdState { sum: 0, model: s.model },
+                &ev(FdTag::Rule, 1, 1, 3),
+            )
+            .unwrap();
+            // C3: independent pairs are txn/txn.
+            check_c3(&prog, &s, &ev(FdTag::Txn, 0, 1, 35), &ev(FdTag::Txn, 1, 2, 1035)).unwrap();
+        }
+    }
+
+    #[test]
+    fn plan_puts_rules_at_root() {
+        let w = FdWorkload { txn_streams: 5, txns_per_rule: 100, rules: 2 };
+        let plan = w.plan();
+        assert_eq!(plan.leaf_count(), 5);
+        assert_eq!(
+            plan.responsible_for(&ITag::new(FdTag::Rule, StreamId(5))).unwrap(),
+            plan.root()
+        );
+        let universe: std::collections::BTreeSet<_> = w.itags().into_iter().collect();
+        dgs_plan::validity::check_valid_for_program(&plan, &FraudDetection, &universe).unwrap();
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_spec() {
+        let w = FdWorkload { txn_streams: 3, txns_per_rule: 40, rules: 4 };
+        let streams = w.scheduled_streams(8);
+        let expect = {
+            let merged = sort_o(&item_lists(&streams));
+            run_sequential(&FraudDetection, &merged).1
+        };
+        let result =
+            run_threads(Arc::new(FraudDetection), &w.plan(), streams, ThreadRunOptions::default());
+        let mut got: Vec<FdOut> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        // Sanity: total across window aggregates equals the raw sum of
+        // all transactions.
+        let total: i64 = got
+            .iter()
+            .filter_map(|o| match o {
+                FdOut::WindowAggregate(v) => Some(*v),
+                _ => None,
+            })
+            .sum();
+        let brute: i64 = (0..3u32)
+            .flat_map(|i| (0..160u64).map(move |j| FdWorkload::payload(i, j)))
+            .sum();
+        assert_eq!(total, brute);
+    }
+}

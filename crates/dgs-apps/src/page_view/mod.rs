@@ -1,0 +1,377 @@
+//! Page-view join (§4.1 + Figure 12).
+//!
+//! Page-view events join against the latest metadata of the page they
+//! visit; update-page-info events replace the metadata and output the old
+//! value. The workload is deliberately skewed: a small number of pages
+//! receive most views, so keyed sharding alone cannot scale — views *of
+//! the same page* must also be parallelized, with synchronization only at
+//! metadata updates.
+
+pub mod baselines;
+
+use std::collections::BTreeMap;
+
+use dgs_core::event::{Event, StreamId, Timestamp};
+use dgs_core::predicate::TagPredicate;
+use dgs_core::program::DgsProgram;
+use dgs_core::tag::ITag;
+use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer};
+use dgs_plan::plan::{Location, Plan};
+use dgs_runtime::source::{PacedSource, ScheduledStream};
+
+/// Tags of the page-view program, keyed by page id.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PvTag {
+    /// A visit to page `k` (joined with the page's metadata).
+    View(u32),
+    /// Update of page `k`'s metadata (outputs the old value).
+    Update(u32),
+    /// Read page `k`'s metadata.
+    Get(u32),
+}
+
+impl PvTag {
+    /// The page the event refers to.
+    pub fn page(&self) -> u32 {
+        match *self {
+            PvTag::View(k) | PvTag::Update(k) | PvTag::Get(k) => k,
+        }
+    }
+
+    /// Is this a metadata update?
+    pub fn is_update(&self) -> bool {
+        matches!(self, PvTag::Update(_))
+    }
+}
+
+/// Outputs: joined views and update acknowledgements.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum PvOut {
+    /// A view of page `k` joined with the current metadata.
+    JoinedView(u32, i64),
+    /// A processed update of page `k`, carrying the *old* metadata.
+    OldMetadata(u32, i64),
+}
+
+/// Default metadata for a page never updated (the paper's initial
+/// `zipCode = 10_000`).
+pub const DEFAULT_META: i64 = 10_000;
+
+/// The page-view-join DGS program (Figure 12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PageViewJoin;
+
+impl DgsProgram for PageViewJoin {
+    type Tag = PvTag;
+    type Payload = i64;
+    type State = BTreeMap<u32, i64>;
+    type Out = PvOut;
+
+    fn init(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    /// Views and gets of page `k` depend on updates of page `k` (and
+    /// updates on each other); views/gets of the same page are mutually
+    /// independent; different pages never interact.
+    fn depends(&self, a: &PvTag, b: &PvTag) -> bool {
+        a.page() == b.page() && (a.is_update() || b.is_update())
+    }
+
+    fn update(&self, state: &mut Self::State, event: &Event<PvTag, i64>, out: &mut Vec<PvOut>) {
+        match event.tag {
+            PvTag::View(k) | PvTag::Get(k) => {
+                let meta = state.get(&k).copied().unwrap_or(DEFAULT_META);
+                out.push(PvOut::JoinedView(k, meta));
+            }
+            PvTag::Update(k) => {
+                let old = state.insert(k, event.payload).unwrap_or(DEFAULT_META);
+                out.push(PvOut::OldMetadata(k, old));
+            }
+        }
+    }
+
+    /// Each side receives the metadata of every page it may read
+    /// (views/gets/updates all read it), mirroring the Erlang fork that
+    /// filters the map by the side's predicate.
+    fn fork(
+        &self,
+        state: Self::State,
+        left: &TagPredicate<PvTag>,
+        right: &TagPredicate<PvTag>,
+    ) -> (Self::State, Self::State) {
+        let side_reads = |pred: &TagPredicate<PvTag>, k: u32| {
+            pred.matches(&PvTag::View(k)) || pred.matches(&PvTag::Get(k)) || pred.matches(&PvTag::Update(k))
+        };
+        let mut l = BTreeMap::new();
+        let mut r = BTreeMap::new();
+        for (k, v) in state {
+            // A page read by neither side (its update is owned by the
+            // forking worker itself) parks on the left so the metadata
+            // survives the round trip (C2).
+            if side_reads(left, k) || !side_reads(right, k) {
+                l.insert(k, v);
+            }
+            if side_reads(right, k) {
+                r.insert(k, v);
+            }
+        }
+        (l, r)
+    }
+
+    /// Union; a key present on both sides has the same value (updates of
+    /// a page are never parallel with its other events), so left wins as
+    /// in the paper's `merge_with(fun(K,V1,V2) -> V1 end)`.
+    fn join(&self, mut left: Self::State, right: Self::State) -> Self::State {
+        for (k, v) in right {
+            left.entry(k).or_insert(v);
+        }
+        left
+    }
+}
+
+/// Workload: `pages` hot pages, `view_streams_per_page` parallel view
+/// streams for each, plus one update stream per page.
+#[derive(Clone, Copy, Debug)]
+pub struct PvWorkload {
+    /// Number of hot pages (2 in the paper).
+    pub pages: u32,
+    /// Parallel view streams per page.
+    pub view_streams_per_page: u32,
+    /// Views per stream between two updates of the page.
+    pub views_per_update: u64,
+    /// Updates per page.
+    pub updates: u64,
+}
+
+impl PvWorkload {
+    fn view_stream_id(&self, page: u32, slot: u32) -> StreamId {
+        StreamId(page * self.view_streams_per_page + slot)
+    }
+
+    fn update_stream_id(&self, page: u32) -> StreamId {
+        StreamId(self.pages * self.view_streams_per_page + page)
+    }
+
+    /// All implementation tags.
+    pub fn itags(&self) -> Vec<ITag<PvTag>> {
+        let mut t = Vec::new();
+        for page in 0..self.pages {
+            for slot in 0..self.view_streams_per_page {
+                t.push(ITag::new(PvTag::View(page), self.view_stream_id(page, slot)));
+            }
+            t.push(ITag::new(PvTag::Update(page), self.update_stream_id(page)));
+        }
+        t
+    }
+
+    /// Total events.
+    pub fn total_events(&self) -> u64 {
+        let views =
+            self.pages as u64 * self.view_streams_per_page as u64 * self.views_per_update * self.updates;
+        views + self.pages as u64 * self.updates
+    }
+
+    /// Appendix B plan: a subtree per page whose internal node owns the
+    /// page's updates, with one leaf per view stream (the "forest with a
+    /// tree per key" of §4.3).
+    pub fn plan(&self) -> Plan<PvTag> {
+        let mut infos = Vec::new();
+        for page in 0..self.pages {
+            for slot in 0..self.view_streams_per_page {
+                infos.push(ITagInfo::new(
+                    ITag::new(PvTag::View(page), self.view_stream_id(page, slot)),
+                    self.views_per_update as f64,
+                    Location(self.view_stream_id(page, slot).0),
+                ));
+            }
+            infos.push(ITagInfo::new(
+                ITag::new(PvTag::Update(page), self.update_stream_id(page)),
+                1.0,
+                Location(self.update_stream_id(page).0),
+            ));
+        }
+        let dep =
+            dgs_core::depends::FnDependence::new(|a: &PvTag, b: &PvTag| PageViewJoin.depends(a, b));
+        CommMinOptimizer.plan(&infos, &dep)
+    }
+
+    /// Scheduled streams for the thread driver.
+    pub fn scheduled_streams(&self, hb_period: Timestamp) -> Vec<ScheduledStream<PvTag, i64>> {
+        let window = self.views_per_update;
+        let mut streams = Vec::new();
+        for page in 0..self.pages {
+            for slot in 0..self.view_streams_per_page {
+                streams.push(
+                    ScheduledStream::periodic(
+                        ITag::new(PvTag::View(page), self.view_stream_id(page, slot)),
+                        1,
+                        1,
+                        self.views_per_update * self.updates,
+                        |_| 0,
+                    )
+                    .with_heartbeats(hb_period)
+                    .closed(Timestamp::MAX),
+                );
+            }
+            streams.push(
+                ScheduledStream::periodic(
+                    ITag::new(PvTag::Update(page), self.update_stream_id(page)),
+                    window,
+                    window,
+                    self.updates,
+                    move |j| (page as i64 + 1) * 100 + j as i64,
+                )
+                .with_heartbeats(hb_period)
+                .closed(Timestamp::MAX),
+            );
+        }
+        streams
+    }
+
+    /// Paced sources for the simulator.
+    pub fn paced_sources(&self, view_period_ns: u64, hb_per_update: u64) -> Vec<PacedSource<PvTag, i64>> {
+        let update_period = self.views_per_update * view_period_ns;
+        let mut sources = Vec::new();
+        for page in 0..self.pages {
+            for slot in 0..self.view_streams_per_page {
+                let sid = self.view_stream_id(page, slot);
+                sources.push(
+                    PacedSource::new(
+                        ITag::new(PvTag::View(page), sid),
+                        Location(sid.0),
+                        view_period_ns,
+                        self.views_per_update * self.updates,
+                        |_| 0,
+                    )
+                    .heartbeat_every(update_period),
+                );
+            }
+            let sid = self.update_stream_id(page);
+            sources.push(
+                PacedSource::new(
+                    ITag::new(PvTag::Update(page), sid),
+                    Location(sid.0),
+                    update_period,
+                    self.updates,
+                    move |j| (page as i64 + 1) * 100 + j as i64,
+                )
+                .heartbeat_every((update_period / hb_per_update).max(1)),
+            );
+        }
+        sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::consistency::{check_c1, check_c2, check_c3};
+    use dgs_core::spec::{run_sequential, sort_o};
+    use dgs_runtime::source::item_lists;
+    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
+    use std::sync::Arc;
+
+    fn ev(tag: PvTag, stream: u32, ts: u64, v: i64) -> Event<PvTag, i64> {
+        Event::new(tag, StreamId(stream), ts, v)
+    }
+
+    #[test]
+    fn sequential_semantics_joins_latest_metadata() {
+        let prog = PageViewJoin;
+        let events = vec![
+            ev(PvTag::View(1), 0, 1, 0),
+            ev(PvTag::Update(1), 2, 2, 777),
+            ev(PvTag::View(1), 0, 3, 0),
+            ev(PvTag::View(2), 1, 4, 0),
+        ];
+        let (_, out) = run_sequential(&prog, &events);
+        assert_eq!(
+            out,
+            vec![
+                PvOut::JoinedView(1, DEFAULT_META),
+                PvOut::OldMetadata(1, DEFAULT_META),
+                PvOut::JoinedView(1, 777),
+                PvOut::JoinedView(2, DEFAULT_META),
+            ]
+        );
+    }
+
+    #[test]
+    fn consistency_conditions_hold() {
+        let prog = PageViewJoin;
+        let page1 = TagPredicate::from_tags([PvTag::View(1), PvTag::Update(1), PvTag::Get(1)]);
+        let views1 = TagPredicate::from_tags([PvTag::View(1)]);
+        let page2 = TagPredicate::from_tags([PvTag::View(2), PvTag::Update(2), PvTag::Get(2)]);
+        let states: Vec<BTreeMap<u32, i64>> =
+            vec![BTreeMap::new(), [(1, 5)].into(), [(1, 5), (2, 9)].into()];
+        for s in &states {
+            check_c2(&prog, s, &page1, &page2).unwrap();
+            check_c2(&prog, s, &views1, &views1).unwrap();
+            check_c2(&prog, s, &views1, &page2).unwrap();
+            // C1 for views: the sibling share of a view-processing wire
+            // carries the same metadata for that page (fork replicates).
+            for s2 in &states {
+                let mut sib = s2.clone();
+                match s.get(&1) {
+                    Some(v) => {
+                        sib.insert(1, *v);
+                    }
+                    None => {
+                        sib.remove(&1);
+                    }
+                }
+                check_c1(&prog, s, &sib, &ev(PvTag::View(1), 0, 1, 0)).unwrap();
+            }
+            // C1 for updates: the sibling never holds page 1 at all.
+            let mut sib: BTreeMap<u32, i64> = [(2, 9)].into();
+            check_c1(&prog, s, &sib, &ev(PvTag::Update(1), 0, 1, 42)).unwrap();
+            sib.clear();
+            check_c1(&prog, s, &sib, &ev(PvTag::Update(1), 0, 1, 42)).unwrap();
+            // C3 on independent pairs.
+            check_c3(&prog, s, &ev(PvTag::View(1), 0, 1, 0), &ev(PvTag::View(1), 1, 2, 0)).unwrap();
+            check_c3(&prog, s, &ev(PvTag::View(1), 0, 1, 0), &ev(PvTag::Update(2), 1, 2, 3)).unwrap();
+        }
+    }
+
+    #[test]
+    fn plan_is_a_forest_of_per_page_trees() {
+        let w = PvWorkload { pages: 2, view_streams_per_page: 3, views_per_update: 100, updates: 2 };
+        let plan = w.plan();
+        // 6 view leaves; each page's updates on an internal node that is
+        // an ancestor of exactly that page's view leaves.
+        assert_eq!(plan.leaf_count(), 6);
+        for page in 0..2 {
+            let upd = plan
+                .responsible_for(&ITag::new(PvTag::Update(page), w.update_stream_id(page)))
+                .unwrap();
+            assert!(!plan.worker(upd).is_leaf());
+            for slot in 0..3 {
+                let leaf = plan
+                    .responsible_for(&ITag::new(PvTag::View(page), w.view_stream_id(page, slot)))
+                    .unwrap();
+                assert!(plan.is_ancestor_or_self(upd, leaf), "update node covers its page's views");
+            }
+        }
+        let universe: std::collections::BTreeSet<_> = w.itags().into_iter().collect();
+        dgs_plan::validity::check_valid_for_program(&plan, &PageViewJoin, &universe).unwrap();
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_spec() {
+        let w = PvWorkload { pages: 2, view_streams_per_page: 2, views_per_update: 30, updates: 3 };
+        let streams = w.scheduled_streams(6);
+        let expect = {
+            let merged = sort_o(&item_lists(&streams));
+            run_sequential(&PageViewJoin, &merged).1
+        };
+        let result =
+            run_threads(Arc::new(PageViewJoin), &w.plan(), streams, ThreadRunOptions::default());
+        let mut got: Vec<PvOut> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        assert_eq!(got.len() as u64, w.total_events());
+    }
+}

@@ -1,0 +1,163 @@
+//! Records, messages, and routing for the baseline dataflows.
+
+use dgs_sim::ActorId;
+
+/// A dataflow record: timestamp, key, value. All five evaluation
+/// applications fit this shape (barriers/rules are records on a control
+/// port; page ids and keys go in `key`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Record {
+    /// Event timestamp (virtual nanoseconds at the source).
+    pub ts: u64,
+    /// Partitioning key.
+    pub key: u32,
+    /// Payload value.
+    pub val: i64,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(ts: u64, key: u32, val: i64) -> Self {
+        Record { ts, key, val }
+    }
+}
+
+/// Messages exchanged by baseline actors.
+#[derive(Clone, Debug)]
+pub enum BMsg {
+    /// A batch of records arriving on an input port. Flink-style
+    /// pipelines use batch size 1 ("true streaming mode"); Timely-style
+    /// pipelines batch by logical timestamp.
+    Data {
+        /// Input port at the receiving operator.
+        port: u8,
+        /// The records.
+        batch: Vec<Record>,
+    },
+    /// Manual-sync service: a child shard offers its state and blocks
+    /// (`joinChild`).
+    SvcJoinChild {
+        /// Index of the child within its parent's shard group.
+        child: u32,
+        /// Synchronization group key.
+        key: u32,
+        /// The child's state.
+        state: Vec<i64>,
+    },
+    /// Manual-sync service: the parent asks to join its children
+    /// (`joinParent`).
+    SvcJoinParent {
+        /// Synchronization group key.
+        key: u32,
+        /// The parent's state.
+        state: Vec<i64>,
+    },
+    /// Manual-sync service: release a blocked participant with its new
+    /// (forked) state.
+    SvcRelease {
+        /// The state handed back.
+        state: Vec<i64>,
+    },
+    /// Source emission timer.
+    Tick,
+}
+
+impl BMsg {
+    /// Approximate wire size in bytes, for the simulator's bandwidth and
+    /// byte accounting.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            BMsg::Data { batch, .. } => 16 + 24 * batch.len() as u64,
+            BMsg::SvcJoinChild { state, .. } | BMsg::SvcJoinParent { state, .. } => {
+                32 + 8 * state.len() as u64
+            }
+            BMsg::SvcRelease { state } => 16 + 8 * state.len() as u64,
+            BMsg::Tick => 0,
+        }
+    }
+}
+
+/// Where an operator sends a batch.
+#[derive(Clone, Debug)]
+pub enum Route {
+    /// To a single downstream actor.
+    To(ActorId),
+    /// Replicate to every listed actor (the broadcast pattern).
+    Broadcast(Vec<ActorId>),
+    /// Hash-partition by record key across the listed actors (keyed
+    /// exchange / `keyBy`).
+    ByKey(Vec<ActorId>),
+}
+
+impl Route {
+    /// Expand a batch into per-destination batches.
+    pub fn partition(&self, batch: Vec<Record>) -> Vec<(ActorId, Vec<Record>)> {
+        match self {
+            Route::To(dst) => vec![(*dst, batch)],
+            Route::Broadcast(dsts) => {
+                dsts.iter().map(|d| (*d, batch.clone())).collect()
+            }
+            Route::ByKey(dsts) => {
+                assert!(!dsts.is_empty(), "ByKey route with no destinations");
+                let mut per: Vec<Vec<Record>> = vec![Vec::new(); dsts.len()];
+                for r in batch {
+                    per[(r.key as usize) % dsts.len()].push(r);
+                }
+                dsts.iter()
+                    .zip(per)
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(d, b)| (*d, b))
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_content() {
+        let small = BMsg::Data { port: 0, batch: vec![Record::new(1, 0, 0)] };
+        let big = BMsg::Data { port: 0, batch: vec![Record::new(1, 0, 0); 100] };
+        assert!(big.wire_size() > small.wire_size());
+        assert_eq!(BMsg::Tick.wire_size(), 0);
+        assert_eq!(BMsg::SvcRelease { state: vec![1, 2] }.wire_size(), 32);
+    }
+
+    #[test]
+    fn route_to_and_broadcast() {
+        let batch = vec![Record::new(1, 3, 10), Record::new(2, 4, 20)];
+        let to = Route::To(ActorId(7)).partition(batch.clone());
+        assert_eq!(to.len(), 1);
+        assert_eq!(to[0].0, ActorId(7));
+        assert_eq!(to[0].1.len(), 2);
+        let bc = Route::Broadcast(vec![ActorId(1), ActorId(2)]).partition(batch);
+        assert_eq!(bc.len(), 2);
+        assert_eq!(bc[0].1, bc[1].1);
+    }
+
+    #[test]
+    fn route_by_key_partitions_consistently() {
+        let batch: Vec<Record> = (0..10).map(|k| Record::new(1, k, 0)).collect();
+        let parts = Route::ByKey(vec![ActorId(0), ActorId(1), ActorId(2)]).partition(batch);
+        // Every record lands on key % 3.
+        for (dst, recs) in &parts {
+            for r in recs {
+                assert_eq!((r.key as usize) % 3, dst.0);
+            }
+        }
+        let total: usize = parts.iter().map(|(_, b)| b.len()).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn by_key_skips_empty_destinations() {
+        let batch = vec![Record::new(1, 0, 0), Record::new(2, 3, 0)];
+        let parts = Route::ByKey(vec![ActorId(0), ActorId(1), ActorId(2)]).partition(batch);
+        // Keys 0 and 3 both hash to actor 0.
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].1.len(), 2);
+    }
+}

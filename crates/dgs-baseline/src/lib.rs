@@ -1,0 +1,35 @@
+//! # dgs-baseline — mini sharded-dataflow baselines
+//!
+//! The paper's evaluation compares synchronization plans against the two
+//! dominant baseline architectures:
+//!
+//! * **Flink-style** sharded dataflow: event-by-event processing
+//!   (buffer-timeout 0), keyed exchange, and the broadcast-state pattern.
+//! * **Timely-style** dataflow: the same operators but with events
+//!   *batched by logical timestamp*, plus cyclic (feedback) edges that
+//!   enable the fraud-detection app to scale.
+//! * **Manual synchronization** (the paper's "FM"/"TDM" variants): shards
+//!   rendezvous through an external [`service::ForkJoinService`] that
+//!   mimics the Java-RMI + semaphore protocol of Figure 7 — violating
+//!   PIP1–3 but emulating a synchronization plan.
+//!
+//! Everything runs on the [`dgs_sim`] cluster simulator as actors, so
+//! throughput and latency shapes come from the same cost/network model as
+//! the Flumina runtime — an apples-to-apples comparison.
+//!
+//! The building blocks are deliberately concrete: records are
+//! `(ts, key, val)` triples ([`element::Record`]), which is enough for all
+//! five applications in the evaluation; the application logic lives in
+//! `dgs-apps` as implementations of [`shard::ShardLogic`].
+
+pub mod element;
+pub mod reclock;
+pub mod service;
+pub mod shard;
+pub mod source;
+
+pub use element::{BMsg, Record, Route};
+pub use reclock::Reclock;
+pub use service::ForkJoinService;
+pub use shard::{Outbox, ShardActor, ShardLogic};
+pub use source::RecordSource;

@@ -1,0 +1,200 @@
+//! The external fork/join synchronization service used by the "manual"
+//! baseline implementations (paper §4.3, Figure 7).
+//!
+//! The paper implements this with Java RMI and two semaphore arrays `J`
+//! and `F`: a child calls `joinChild(state)` — releasing its `J` semaphore
+//! and blocking on `F` — while the parent's `joinParent` acquires all `J`
+//! semaphores, processes, and releases every `F`. Here the same rendezvous
+//! runs as an actor: children send [`BMsg::SvcJoinChild`] and block; the
+//! parent sends [`BMsg::SvcJoinParent`]; when all parties of a key group
+//! have arrived, the group's logic computes the new states and everyone is
+//! released.
+//!
+//! Like the original, this sacrifices PIP1 (the group knows its
+//! parallelism), PIP2 (children are indexed by partition), and PIP3 (the
+//! rendezvous is a side effect outside the dataflow).
+
+use std::collections::BTreeMap;
+
+use dgs_sim::{Actor, ActorId, Ctx, SimTime};
+
+use crate::element::BMsg;
+
+/// A participant's state vector.
+pub type SvcState = Vec<i64>;
+
+/// Rendezvous logic: `(children_states, parent_state)` in, new
+/// `(children_states, parent_state)` out.
+pub type GroupLogic = Box<dyn FnMut(Vec<SvcState>, SvcState) -> (Vec<SvcState>, SvcState)>;
+
+/// One synchronization group (one per key in page-view join; a single
+/// global group for fraud detection / event windowing).
+pub struct Group {
+    /// Child shard actors, indexed by their `child` field.
+    pub children: Vec<ActorId>,
+    /// The parent actor.
+    pub parent: ActorId,
+    /// Rendezvous computation.
+    pub logic: GroupLogic,
+    pending_children: Vec<Option<SvcState>>,
+    pending_parent: Option<Vec<i64>>,
+}
+
+impl Group {
+    /// New group over the given participants.
+    pub fn new(children: Vec<ActorId>, parent: ActorId, logic: GroupLogic) -> Self {
+        let n = children.len();
+        Group { children, parent, logic, pending_children: vec![None; n], pending_parent: None }
+    }
+}
+
+/// The centralized service actor.
+pub struct ForkJoinService {
+    groups: BTreeMap<u32, Group>,
+    /// CPU cost per completed rendezvous.
+    pub rendezvous_cost: SimTime,
+}
+
+impl ForkJoinService {
+    /// Build a service over keyed groups.
+    pub fn new(groups: BTreeMap<u32, Group>) -> Self {
+        ForkJoinService { groups, rendezvous_cost: 2_000 }
+    }
+
+    fn try_complete(&mut self, key: u32, ctx: &mut Ctx<'_, BMsg>) {
+        let group = self.groups.get_mut(&key).expect("unknown group");
+        if group.pending_parent.is_none() || group.pending_children.iter().any(|c| c.is_none()) {
+            return;
+        }
+        let children_states: Vec<SvcState> =
+            group.pending_children.iter_mut().map(|c| c.take().expect("present")).collect();
+        let parent_state = group.pending_parent.take().expect("present");
+        let (new_children, new_parent) = (group.logic)(children_states, parent_state);
+        assert_eq!(new_children.len(), group.children.len(), "group logic must preserve arity");
+        ctx.charge(self.rendezvous_cost);
+        ctx.metrics().bump("rendezvous");
+        for (child, state) in group.children.iter().zip(new_children) {
+            ctx.send(*child, BMsg::SvcRelease { state });
+        }
+        ctx.send(group.parent, BMsg::SvcRelease { state: new_parent });
+    }
+}
+
+impl Actor<BMsg> for ForkJoinService {
+    fn on_message(&mut self, msg: BMsg, ctx: &mut Ctx<'_, BMsg>) {
+        match msg {
+            BMsg::SvcJoinChild { child, key, state } => {
+                let group = self.groups.get_mut(&key).expect("unknown group");
+                let slot = &mut group.pending_children[child as usize];
+                assert!(slot.is_none(), "child {child} joined twice for key {key}");
+                *slot = Some(state);
+                self.try_complete(key, ctx);
+            }
+            BMsg::SvcJoinParent { key, state } => {
+                let group = self.groups.get_mut(&key).expect("unknown group");
+                assert!(group.pending_parent.is_none(), "parent joined twice for key {key}");
+                group.pending_parent = Some(state);
+                self.try_complete(key, ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_sim::{Engine, NodeId, Topology};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type ReleaseLog = Rc<RefCell<Vec<(usize, Vec<i64>)>>>;
+
+    struct Probe {
+        log: ReleaseLog,
+        idx: usize,
+    }
+    impl Actor<BMsg> for Probe {
+        fn on_message(&mut self, msg: BMsg, _ctx: &mut Ctx<'_, BMsg>) {
+            if let BMsg::SvcRelease { state } = msg {
+                self.log.borrow_mut().push((self.idx, state));
+            }
+        }
+    }
+
+    fn setup(n_children: usize) -> (Engine<BMsg>, ActorId, ReleaseLog) {
+        let mut eng: Engine<BMsg> = Engine::new(Topology::single());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..=n_children {
+            eng.add_actor(NodeId(0), Box::new(Probe { log: log.clone(), idx: i }));
+        }
+        // children = actors 0..n, parent = actor n.
+        let children: Vec<ActorId> = (0..n_children).map(ActorId).collect();
+        let parent = ActorId(n_children);
+        // Sum-all logic: children are reset to 0, parent gets the sum.
+        let logic: GroupLogic = Box::new(|children, parent| {
+            let total: i64 = children.iter().flat_map(|c| c.iter()).sum::<i64>() + parent[0];
+            (children.iter().map(|_| vec![0]).collect(), vec![total])
+        });
+        let mut groups = BTreeMap::new();
+        groups.insert(0, Group::new(children, parent, logic));
+        let svc = eng.add_actor(NodeId(0), Box::new(ForkJoinService::new(groups)));
+        (eng, svc, log)
+    }
+
+    #[test]
+    fn rendezvous_waits_for_all_parties() {
+        let (mut eng, svc, log) = setup(2);
+        eng.inject(0, svc, BMsg::SvcJoinChild { child: 0, key: 0, state: vec![5] });
+        eng.inject(1, svc, BMsg::SvcJoinParent { key: 0, state: vec![100] });
+        eng.run_to_quiescence();
+        assert!(log.borrow().is_empty(), "child 1 has not joined yet");
+        eng.inject(eng.now() + 1, svc, BMsg::SvcJoinChild { child: 1, key: 0, state: vec![7] });
+        eng.run_to_quiescence();
+        let releases = log.borrow().clone();
+        assert_eq!(releases.len(), 3);
+        // Parent (idx 2) got the sum 112; children reset to 0.
+        let parent_state = releases.iter().find(|(i, _)| *i == 2).unwrap().1.clone();
+        assert_eq!(parent_state, vec![112]);
+        for (i, s) in &releases {
+            if *i != 2 {
+                assert_eq!(s, &vec![0]);
+            }
+        }
+        assert_eq!(eng.metrics().get("rendezvous"), 1);
+    }
+
+    #[test]
+    fn groups_are_independent() {
+        let mut eng: Engine<BMsg> = Engine::new(Topology::single());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..4 {
+            eng.add_actor(NodeId(0), Box::new(Probe { log: log.clone(), idx: i }));
+        }
+        let mk_logic = || -> GroupLogic {
+            Box::new(|c, p| (c, p))
+        };
+        let mut groups = BTreeMap::new();
+        groups.insert(1, Group::new(vec![ActorId(0)], ActorId(1), mk_logic()));
+        groups.insert(2, Group::new(vec![ActorId(2)], ActorId(3), mk_logic()));
+        let svc = eng.add_actor(NodeId(0), Box::new(ForkJoinService::new(groups)));
+        // Complete key 2's rendezvous only.
+        eng.inject(0, svc, BMsg::SvcJoinChild { child: 0, key: 2, state: vec![1] });
+        eng.inject(1, svc, BMsg::SvcJoinParent { key: 2, state: vec![2] });
+        eng.inject(2, svc, BMsg::SvcJoinChild { child: 0, key: 1, state: vec![3] });
+        eng.run_to_quiescence();
+        let releases = log.borrow().clone();
+        let idxs: Vec<usize> = releases.iter().map(|(i, _)| *i).collect();
+        assert!(idxs.contains(&2) && idxs.contains(&3), "key 2 released");
+        assert!(!idxs.contains(&0) && !idxs.contains(&1), "key 1 still waiting");
+    }
+
+    #[test]
+    #[should_panic(expected = "joined twice")]
+    fn double_join_panics() {
+        let (mut eng, svc, _log) = setup(1);
+        eng.inject(0, svc, BMsg::SvcJoinChild { child: 0, key: 0, state: vec![1] });
+        eng.inject(1, svc, BMsg::SvcJoinChild { child: 0, key: 0, state: vec![1] });
+        eng.run_to_quiescence();
+    }
+}

@@ -1,0 +1,279 @@
+//! Generic shard (parallel operator instance) actor.
+
+use dgs_sim::{Actor, ActorId, Ctx, SimTime};
+
+use crate::element::{BMsg, Record, Route};
+
+/// Side effects an operator's logic can produce.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    pub(crate) sends: Vec<(Route, u8, Vec<Record>)>,
+    pub(crate) svc: Vec<(ActorId, BMsg)>,
+    pub(crate) outputs: Vec<Record>,
+    pub(crate) block: bool,
+    pub(crate) extra_cost: SimTime,
+}
+
+impl Outbox {
+    /// Send records to `route`, arriving on `port` downstream. Batched per
+    /// destination at handler completion.
+    pub fn send(&mut self, route: Route, port: u8, records: Vec<Record>) {
+        if !records.is_empty() {
+            self.sends.push((route, port, records));
+        }
+    }
+
+    /// Emit a terminal output (counted + latency-sampled by the actor).
+    pub fn output(&mut self, rec: Record) {
+        self.outputs.push(rec);
+    }
+
+    /// Send a message to the manual-sync service.
+    pub fn service(&mut self, svc: ActorId, msg: BMsg) {
+        self.svc.push((svc, msg));
+    }
+
+    /// Block this shard until the service releases it (`joinChild`'s
+    /// semaphore acquire). Incoming data is buffered meanwhile.
+    pub fn block_for_service(&mut self) {
+        self.block = true;
+    }
+
+    /// Charge extra CPU cost beyond the per-record default (e.g. model
+    /// retraining).
+    pub fn charge(&mut self, ns: SimTime) {
+        self.extra_cost += ns;
+    }
+}
+
+/// Operator logic run by a [`ShardActor`].
+pub trait ShardLogic {
+    /// Handle one record arriving on `port`.
+    fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox);
+
+    /// Handle a release from the manual-sync service (new state after the
+    /// rendezvous). Default: ignore.
+    fn on_service_release(&mut self, _state: Vec<i64>, _out: &mut Outbox) {}
+}
+
+/// Shared sink collecting a terminal operator's outputs.
+pub type OutputSink = std::rc::Rc<std::cell::RefCell<Vec<Record>>>;
+
+/// An operator instance: applies [`ShardLogic`] to each record, charges
+/// per-record CPU cost, batches outgoing records per destination, and
+/// implements service blocking.
+pub struct ShardActor<L> {
+    logic: L,
+    /// CPU cost charged per record processed.
+    pub cost_per_record: SimTime,
+    /// Fixed CPU cost charged per message handled (framing/dispatch).
+    pub cost_per_message: SimTime,
+    /// Record output latency samples (terminal operators).
+    pub record_latency: bool,
+    sink: Option<OutputSink>,
+    blocked: bool,
+    backlog: std::collections::VecDeque<(u8, Vec<Record>)>,
+}
+
+impl<L: ShardLogic> ShardActor<L> {
+    /// Wrap `logic` with default costs (1 µs/record, 0.2 µs/message).
+    pub fn new(logic: L) -> Self {
+        ShardActor {
+            logic,
+            cost_per_record: 1_000,
+            cost_per_message: 200,
+            record_latency: false,
+            sink: None,
+            blocked: false,
+            backlog: std::collections::VecDeque::new(),
+        }
+    }
+
+    /// Collect this operator's outputs into `sink` (for correctness
+    /// checks against the sequential specification).
+    pub fn with_sink(mut self, sink: OutputSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// Enable latency sampling on outputs.
+    pub fn with_latency(mut self) -> Self {
+        self.record_latency = true;
+        self
+    }
+
+    /// Override per-record cost.
+    pub fn with_record_cost(mut self, ns: SimTime) -> Self {
+        self.cost_per_record = ns;
+        self
+    }
+
+    fn flush(&mut self, out: Outbox, ctx: &mut Ctx<'_, BMsg>) {
+        ctx.charge(out.extra_cost);
+        let now = ctx.now();
+        for rec in out.outputs {
+            ctx.metrics().bump("outputs");
+            if self.record_latency && now >= rec.ts {
+                ctx.metrics().record_latency(now - rec.ts);
+            }
+            if let Some(sink) = &self.sink {
+                sink.borrow_mut().push(rec);
+            }
+        }
+        for (route, port, batch) in out.sends {
+            for (dst, b) in route.partition(batch) {
+                ctx.send(dst, BMsg::Data { port, batch: b });
+            }
+        }
+        for (dst, msg) in out.svc {
+            ctx.send(dst, msg);
+        }
+        if out.block {
+            self.blocked = true;
+        }
+    }
+
+    fn process_batch(&mut self, port: u8, batch: Vec<Record>, ctx: &mut Ctx<'_, BMsg>) {
+        ctx.charge(self.cost_per_message + self.cost_per_record * batch.len() as SimTime);
+        ctx.metrics().add("records_processed", batch.len() as u64);
+        let mut out = Outbox::default();
+        for rec in batch {
+            self.logic.on_record(port, rec, &mut out);
+            if out.block {
+                break; // conservative: rest of batch waits too
+            }
+        }
+        self.flush(out, ctx);
+    }
+}
+
+impl<L: ShardLogic> Actor<BMsg> for ShardActor<L> {
+    fn on_message(&mut self, msg: BMsg, ctx: &mut Ctx<'_, BMsg>) {
+        match msg {
+            BMsg::Data { port, batch } => {
+                if self.blocked {
+                    self.backlog.push_back((port, batch));
+                } else {
+                    self.process_batch(port, batch, ctx);
+                }
+            }
+            BMsg::SvcRelease { state } => {
+                self.blocked = false;
+                let mut out = Outbox::default();
+                self.logic.on_service_release(state, &mut out);
+                self.flush(out, ctx);
+                // Work off the backlog accumulated while blocked.
+                while !self.blocked {
+                    let Some((port, batch)) = self.backlog.pop_front() else { break };
+                    self.process_batch(port, batch, ctx);
+                }
+            }
+            // Service traffic addressed to a service actor; ticks belong
+            // to sources.
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_sim::{Engine, NodeId, Topology};
+
+    /// Sums values; emits the sum downstream on a control record (port 1).
+    struct Summer {
+        sum: i64,
+        downstream: Option<ActorId>,
+    }
+
+    impl ShardLogic for Summer {
+        fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox) {
+            if port == 0 {
+                self.sum += rec.val;
+            } else {
+                let total = Record::new(rec.ts, rec.key, self.sum);
+                self.sum = 0;
+                match self.downstream {
+                    Some(d) => out.send(Route::To(d), 0, vec![total]),
+                    None => out.output(total),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_sums_and_flushes_on_control() {
+        let mut eng: Engine<BMsg> = Engine::new(Topology::single());
+        eng.set_size_fn(|m| m.wire_size());
+        let shard = eng.add_actor(
+            NodeId(0),
+            Box::new(ShardActor::new(Summer { sum: 0, downstream: None }).with_latency()),
+        );
+        eng.inject(0, shard, BMsg::Data { port: 0, batch: vec![Record::new(1, 0, 5), Record::new(2, 0, 7)] });
+        eng.inject(10, shard, BMsg::Data { port: 1, batch: vec![Record::new(10, 0, 0)] });
+        eng.run_to_quiescence();
+        assert_eq!(eng.metrics().get("outputs"), 1);
+        assert_eq!(eng.metrics().get("records_processed"), 3);
+        assert!(eng.metrics().latency_samples() > 0);
+    }
+
+    #[test]
+    fn blocked_shard_buffers_until_release() {
+        /// Blocks on the first control record, asks the service to echo.
+        struct Blocker {
+            svc: ActorId,
+            seen_after_release: i64,
+            released: bool,
+        }
+        impl ShardLogic for Blocker {
+            fn on_record(&mut self, port: u8, rec: Record, out: &mut Outbox) {
+                if port == 1 {
+                    out.service(self.svc, BMsg::SvcJoinChild { child: 0, key: 0, state: vec![rec.val] });
+                    out.block_for_service();
+                } else if self.released {
+                    self.seen_after_release += 1;
+                }
+            }
+            fn on_service_release(&mut self, _state: Vec<i64>, _out: &mut Outbox) {
+                self.released = true;
+            }
+        }
+        /// Minimal echo service.
+        struct Echo;
+        impl Actor<BMsg> for Echo {
+            fn on_message(&mut self, msg: BMsg, ctx: &mut Ctx<'_, BMsg>) {
+                if let BMsg::SvcJoinChild { state, .. } = msg {
+                    // Reply to the single known child (actor 0).
+                    ctx.send(ActorId(0), BMsg::SvcRelease { state });
+                }
+            }
+        }
+        let mut eng: Engine<BMsg> = Engine::new(Topology::single());
+        let shard = eng.add_actor(
+            NodeId(0),
+            Box::new(ShardActor::new(Blocker { svc: ActorId(1), seen_after_release: 0, released: false })),
+        );
+        let _svc = eng.add_actor(NodeId(0), Box::new(Echo));
+        eng.inject(0, shard, BMsg::Data { port: 1, batch: vec![Record::new(1, 0, 9)] });
+        // These two arrive while blocked; must be processed after release.
+        eng.inject(1, shard, BMsg::Data { port: 0, batch: vec![Record::new(2, 0, 1)] });
+        eng.inject(2, shard, BMsg::Data { port: 0, batch: vec![Record::new(3, 0, 1)] });
+        eng.run_to_quiescence();
+        assert_eq!(eng.metrics().get("records_processed"), 3);
+    }
+
+    #[test]
+    fn batch_cost_scales_with_size() {
+        struct Nop;
+        impl ShardLogic for Nop {
+            fn on_record(&mut self, _p: u8, _r: Record, _o: &mut Outbox) {}
+        }
+        let mut eng: Engine<BMsg> = Engine::new(Topology::single());
+        let shard = eng.add_actor(NodeId(0), Box::new(ShardActor::new(Nop).with_record_cost(100)));
+        let batch: Vec<Record> = (0..50).map(|i| Record::new(i, 0, 0)).collect();
+        eng.inject(0, shard, BMsg::Data { port: 0, batch });
+        eng.run_to_quiescence();
+        // 200 fixed + 50 * 100 per-record.
+        assert_eq!(eng.now(), 200 + 5_000);
+    }
+}

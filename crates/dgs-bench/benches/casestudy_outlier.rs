@@ -1,0 +1,18 @@
+//! Case study A.1: Reloaded outlier detection speedup points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case_a1_outlier");
+    g.sample_size(10);
+    for nodes in [1u32, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| measure::outlier_makespan(n, 8_000, 2))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Case study A.2: DEBS smart-home power prediction run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgs_bench::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("case_a2_smarthome");
+    g.sample_size(10);
+    g.bench_function("20_houses_4_slices", |b| b.iter(|| measure::smart_home_run(20, 4)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 10: Flumina synchronization latency configurations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::measure;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for workers in [5u32, 10, 20] {
+        g.bench_with_input(BenchmarkId::new("workers_vb1000", workers), &workers, |b, &w| {
+            b.iter(|| measure::flumina_vb_latency(w, 1_000, 100, 3))
+        });
+    }
+    for hb in [1u64, 10, 100] {
+        g.bench_with_input(BenchmarkId::new("hb_rate", hb), &hb, |b, &hb| {
+            b.iter(|| measure::flumina_vb_latency(5, 1_000, hb, 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 4 (top): Flink-style max throughput per parallelism point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::measure::{self, Scale};
+
+fn bench(c: &mut Criterion) {
+    let s = Scale::quick();
+    let mut g = c.benchmark_group("fig4_flink");
+    g.sample_size(10);
+    for n in [1u32, 4, 12] {
+        g.bench_with_input(BenchmarkId::new("event_windowing", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_vb(n, 1, s))
+        });
+        g.bench_with_input(BenchmarkId::new("page_view", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_pv_keyed(n, 1, s))
+        });
+        g.bench_with_input(BenchmarkId::new("fraud", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_fd_sequential(n, 1, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 4 (bottom): Timely-style (batched) max throughput points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::measure::{self, Scale};
+
+fn bench(c: &mut Criterion) {
+    let s = Scale::quick();
+    let batch = 64;
+    let mut g = c.benchmark_group("fig4_timely");
+    g.sample_size(10);
+    for n in [1u32, 4, 12] {
+        g.bench_with_input(BenchmarkId::new("event_windowing", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_vb(n, batch, s))
+        });
+        g.bench_with_input(BenchmarkId::new("page_view", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_pv_keyed(n, batch, s))
+        });
+        g.bench_with_input(BenchmarkId::new("page_view_manual", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_pv_timely_manual(n, batch, s))
+        });
+        g.bench_with_input(BenchmarkId::new("fraud_feedback", n), &n, |b, &n| {
+            b.iter(|| measure::baseline_fd_timely(n, batch, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Figure 6: auto vs manually synchronized (S-Plan) implementations at
+//! parallelism 12.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dgs_bench::measure::{self, Scale};
+
+fn bench(c: &mut Criterion) {
+    let s = Scale::quick();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("page_view_auto_12", |b| b.iter(|| measure::baseline_pv_keyed(12, 1, s)));
+    g.bench_function("page_view_splan_12", |b| {
+        b.iter(|| measure::baseline_pv_flink_manual(12, 1, s))
+    });
+    g.bench_function("fraud_auto_12", |b| b.iter(|| measure::baseline_fd_sequential(12, 1, s)));
+    g.bench_function("fraud_splan_12", |b| {
+        b.iter(|| measure::baseline_fd_flink_manual(12, 1, s))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

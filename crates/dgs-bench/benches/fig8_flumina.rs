@@ -1,0 +1,25 @@
+//! Figure 8: Flumina (DGS) throughput per parallelism point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dgs_bench::measure::{self, Scale};
+
+fn bench(c: &mut Criterion) {
+    let s = Scale::quick();
+    let mut g = c.benchmark_group("fig8_flumina");
+    g.sample_size(10);
+    for n in [1u32, 4, 12] {
+        g.bench_with_input(BenchmarkId::new("event_windowing", n), &n, |b, &n| {
+            b.iter(|| measure::flumina_vb(n, s, 100))
+        });
+        g.bench_with_input(BenchmarkId::new("page_view", n), &n, |b, &n| {
+            b.iter(|| measure::flumina_pv(n, s))
+        });
+        g.bench_with_input(BenchmarkId::new("fraud", n), &n, |b, &n| {
+            b.iter(|| measure::flumina_fd(n, s))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

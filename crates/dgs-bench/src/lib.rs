@@ -1,0 +1,13 @@
+//! # dgs-bench — regenerate every table and figure of the evaluation
+//!
+//! [`measure`] contains one function per experimental point: it builds
+//! the corresponding deployment (Flumina plan on the simulator, or a
+//! baseline pipeline), runs it to quiescence, and reports virtual-time
+//! throughput/latency/network metrics. [`figures`] assembles them into
+//! the series the paper plots; the `figures` binary prints them as text
+//! tables next to the paper's expectations (recorded in EXPERIMENTS.md).
+
+pub mod figures;
+pub mod measure;
+
+pub use measure::MeasuredPoint;

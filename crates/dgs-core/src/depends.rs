@@ -1,0 +1,290 @@
+//! Dependence relations on tags.
+//!
+//! The dependence relation (paper §2.1) declares which pairs of events
+//! *synchronize*: dependent events must be processed in order by a common
+//! worker (or an ancestor), while independent events may be processed in
+//! parallel. The relation is over *tags* (payloads are irrelevant to
+//! parallelization) and must be **symmetric**.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::tag::{ITag, Tag};
+
+/// A symmetric dependence relation on tags.
+pub trait Dependence<T: Tag> {
+    /// Do events with tags `a` and `b` depend on each other?
+    fn depends(&self, a: &T, b: &T) -> bool;
+
+    /// Negation of [`depends`](Dependence::depends).
+    fn indep(&self, a: &T, b: &T) -> bool {
+        !self.depends(a, b)
+    }
+
+    /// Lift the relation to implementation tags: itags depend iff their
+    /// tags depend (stream identity is irrelevant to dependence).
+    fn depends_itag(&self, a: &ITag<T>, b: &ITag<T>) -> bool {
+        self.depends(&a.tag, &b.tag)
+    }
+}
+
+/// Dependence relation given by a closure (the paper's
+/// `depends: (Event, Event) -> Bool` written symbolically).
+#[derive(Clone, Copy, Debug)]
+pub struct FnDependence<F> {
+    f: F,
+}
+
+impl<F> FnDependence<F> {
+    /// Wrap a symmetric closure as a dependence relation. Symmetry is the
+    /// caller's obligation; [`check_symmetric`] verifies it on a finite tag
+    /// universe.
+    pub fn new(f: F) -> Self {
+        FnDependence { f }
+    }
+}
+
+impl<T: Tag, F: Fn(&T, &T) -> bool> Dependence<T> for FnDependence<F> {
+    fn depends(&self, a: &T, b: &T) -> bool {
+        (self.f)(a, b)
+    }
+}
+
+/// Dependence relation given extensionally as a set of unordered pairs.
+/// Useful for randomly generated relations in tests.
+#[derive(Clone, Debug, Default)]
+pub struct TableDependence<T: Tag> {
+    pairs: BTreeSet<(T, T)>,
+}
+
+impl<T: Tag> TableDependence<T> {
+    /// Empty relation: everything is independent.
+    pub fn new() -> Self {
+        TableDependence { pairs: BTreeSet::new() }
+    }
+
+    /// Declare `a` and `b` dependent (in both directions).
+    pub fn add(&mut self, a: T, b: T) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.insert((lo, hi));
+    }
+
+    /// Build from an iterator of unordered pairs.
+    pub fn from_pairs<I: IntoIterator<Item = (T, T)>>(pairs: I) -> Self {
+        let mut t = TableDependence::new();
+        for (a, b) in pairs {
+            t.add(a, b);
+        }
+        t
+    }
+
+    /// Number of distinct unordered dependent pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+}
+
+impl<T: Tag> Dependence<T> for TableDependence<T> {
+    fn depends(&self, a: &T, b: &T) -> bool {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        self.pairs.contains(&(lo.clone(), hi.clone()))
+    }
+}
+
+/// Verify symmetry of a dependence relation over a finite tag universe.
+/// Returns the first asymmetric pair found, if any.
+pub fn check_symmetric<T: Tag, D: Dependence<T> + ?Sized>(
+    dep: &D,
+    universe: &[T],
+) -> Result<(), (T, T)> {
+    for a in universe {
+        for b in universe {
+            if dep.depends(a, b) != dep.depends(b, a) {
+                return Err((a.clone(), b.clone()));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Undirected dependence graph over a finite set of implementation tags.
+///
+/// Vertices are itags; edges connect dependent itags. The plan optimizer
+/// (Appendix B) repeatedly disconnects this graph to discover parallelism.
+#[derive(Clone, Debug)]
+pub struct DependenceGraph<T: Tag> {
+    adj: BTreeMap<ITag<T>, BTreeSet<ITag<T>>>,
+}
+
+impl<T: Tag> DependenceGraph<T> {
+    /// Build the graph for `itags` under `dep`. Self-loops (a tag dependent
+    /// on itself) are recorded — they matter for V2 checks — but do not
+    /// affect connectivity.
+    pub fn build<D: Dependence<T> + ?Sized>(itags: &[ITag<T>], dep: &D) -> Self {
+        let mut adj: BTreeMap<ITag<T>, BTreeSet<ITag<T>>> = BTreeMap::new();
+        for t in itags {
+            adj.entry(t.clone()).or_default();
+        }
+        for (i, a) in itags.iter().enumerate() {
+            for b in itags.iter().skip(i) {
+                if dep.depends_itag(a, b) {
+                    adj.get_mut(a).unwrap().insert(b.clone());
+                    adj.get_mut(b).unwrap().insert(a.clone());
+                }
+            }
+        }
+        DependenceGraph { adj }
+    }
+
+    /// All vertices, ascending.
+    pub fn vertices(&self) -> impl Iterator<Item = &ITag<T>> {
+        self.adj.keys()
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Neighbours of `v` (excluding `v` itself even if self-dependent).
+    pub fn neighbours<'a>(&'a self, v: &'a ITag<T>) -> impl Iterator<Item = &'a ITag<T>> {
+        self.adj.get(v).into_iter().flatten().filter(move |u| *u != v)
+    }
+
+    /// Does `v` have a self-loop (dependent on its own tag)?
+    pub fn self_dependent(&self, v: &ITag<T>) -> bool {
+        self.adj.get(v).is_some_and(|ns| ns.contains(v))
+    }
+
+    /// Remove a vertex and its incident edges.
+    pub fn remove(&mut self, v: &ITag<T>) {
+        if let Some(ns) = self.adj.remove(v) {
+            for n in ns {
+                if let Some(back) = self.adj.get_mut(&n) {
+                    back.remove(v);
+                }
+            }
+        }
+    }
+
+    /// Connected components (ignoring self-loops), each sorted ascending;
+    /// the list of components is sorted by first element, so the output is
+    /// deterministic.
+    pub fn components(&self) -> Vec<Vec<ITag<T>>> {
+        let mut seen: BTreeSet<&ITag<T>> = BTreeSet::new();
+        let mut comps = Vec::new();
+        for start in self.adj.keys() {
+            if seen.contains(start) {
+                continue;
+            }
+            let mut comp = Vec::new();
+            let mut stack = vec![start];
+            seen.insert(start);
+            while let Some(v) = stack.pop() {
+                comp.push(v.clone());
+                for n in self.neighbours(v) {
+                    if seen.insert(n) {
+                        stack.push(n);
+                    }
+                }
+            }
+            comp.sort();
+            comps.push(comp);
+        }
+        comps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StreamId;
+
+    fn it(tag: u32, s: u32) -> ITag<u32> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    #[test]
+    fn fn_dependence_and_lift() {
+        let dep = FnDependence::new(|a: &u32, b: &u32| a == b);
+        assert!(dep.depends(&3, &3));
+        assert!(dep.indep(&3, &4));
+        // Same tag on different streams is still dependent.
+        assert!(dep.depends_itag(&it(3, 0), &it(3, 1)));
+        assert!(!dep.depends_itag(&it(3, 0), &it(4, 0)));
+    }
+
+    #[test]
+    fn table_dependence_is_symmetric_by_construction() {
+        let mut t = TableDependence::new();
+        t.add(2u32, 1);
+        assert!(t.depends(&1, &2));
+        assert!(t.depends(&2, &1));
+        assert!(!t.depends(&1, &1));
+        assert_eq!(t.len(), 1);
+        assert!(check_symmetric(&t, &[1, 2, 3]).is_ok());
+    }
+
+    #[test]
+    fn symmetry_check_catches_asymmetry() {
+        let bad = FnDependence::new(|a: &u32, b: &u32| a < b);
+        let err = check_symmetric(&bad, &[1, 2]).unwrap_err();
+        assert!(err == (1, 2) || err == (2, 1));
+    }
+
+    #[test]
+    fn graph_components_split_by_key() {
+        // Key-counter dependence for 2 keys: r(k) depends on everything of
+        // key k; i(k) independent of i(k). Encode tags as (kind, key) with
+        // kind 0 = inc, 1 = read-reset.
+        let dep = FnDependence::new(|a: &(u8, u32), b: &(u8, u32)| {
+            a.1 == b.1 && (a.0 == 1 || b.0 == 1)
+        });
+        let itags = vec![
+            ITag::new((1u8, 1u32), StreamId(0)), // r(1)
+            ITag::new((0u8, 1u32), StreamId(1)), // i(1)
+            ITag::new((1u8, 2u32), StreamId(2)), // r(2)
+            ITag::new((0u8, 2u32), StreamId(3)), // i(2)a
+            ITag::new((0u8, 2u32), StreamId(4)), // i(2)b
+        ];
+        let g = DependenceGraph::build(&itags, &dep);
+        let comps = g.components();
+        assert_eq!(comps.len(), 2);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.len()).collect();
+        assert_eq!(sizes, vec![2, 3]);
+    }
+
+    #[test]
+    fn graph_remove_disconnects() {
+        let dep = FnDependence::new(|a: &u32, b: &u32| *a == 0 || *b == 0);
+        let itags: Vec<_> = (0..4u32).map(|t| it(t, t)).collect();
+        let mut g = DependenceGraph::build(&itags, &dep);
+        assert_eq!(g.components().len(), 1);
+        // Tag 0 is the hub; removing it fully disconnects.
+        g.remove(&it(0, 0));
+        assert_eq!(g.components().len(), 3);
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn self_loops_detected_but_do_not_connect() {
+        let dep = FnDependence::new(|a: &u32, b: &u32| a == b);
+        let itags = vec![it(1, 0), it(2, 0)];
+        let g = DependenceGraph::build(&itags, &dep);
+        assert!(g.self_dependent(&it(1, 0)));
+        assert_eq!(g.components().len(), 2);
+        // Same tag on two streams: dependent, one component.
+        let itags2 = vec![it(1, 0), it(1, 1)];
+        let g2 = DependenceGraph::build(&itags2, &dep);
+        assert_eq!(g2.components().len(), 1);
+    }
+}

@@ -1,0 +1,190 @@
+//! Events, heartbeats, and the total order on input items.
+//!
+//! Each input event is the quadruple ⟨tg, id, ts, v⟩ of paper §3.1: a tag
+//! used for parallelization, the identifier of the input stream, a
+//! timestamp, and a payload. The order relation `O` used by the
+//! implementation to sequence *dependent* events is the lexicographic order
+//! on `(ts, stream)` — a strict total order on the events of a valid input
+//! instance because timestamps are strictly increasing along each stream
+//! (Definition 3.3, monotonicity).
+
+use std::cmp::Ordering;
+
+use crate::tag::ITag;
+
+/// Logical timestamp. Timestamps need not correspond to real time (paper
+/// §3.1); they only induce the order `O` in which dependent events must be
+/// processed.
+pub type Timestamp = u64;
+
+/// Identifier of an input stream (the `id` component of ⟨tg, id, ts, v⟩).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct StreamId(pub u32);
+
+impl std::fmt::Display for StreamId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// An input event ⟨tg, id, ts, v⟩.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Event<T, P> {
+    /// Tag, visible to the dependence relation and predicates.
+    pub tag: T,
+    /// Input stream the event arrived on.
+    pub stream: StreamId,
+    /// Logical timestamp; strictly increasing along each stream.
+    pub ts: Timestamp,
+    /// Payload, used only by `update`.
+    pub payload: P,
+}
+
+impl<T, P> Event<T, P> {
+    /// Construct an event.
+    pub fn new(tag: T, stream: StreamId, ts: Timestamp, payload: P) -> Self {
+        Event { tag, stream, ts, payload }
+    }
+
+    /// The implementation tag ⟨tg, id⟩ of this event.
+    pub fn itag(&self) -> ITag<T>
+    where
+        T: Clone,
+    {
+        ITag::new(self.tag.clone(), self.stream)
+    }
+
+    /// Position of this event in the total order `O`.
+    pub fn order_key(&self) -> OrderKey {
+        OrderKey { ts: self.ts, stream: self.stream }
+    }
+}
+
+/// A heartbeat ⟨σ, ts⟩: a system event signalling the *absence* of events
+/// with implementation tag σ up to (and including) `ts` (paper §3.4,
+/// "Heartbeats"). Heartbeats advance mailbox timers but are never released
+/// to worker processes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Heartbeat<T> {
+    /// Tag whose absence is being signalled.
+    pub tag: T,
+    /// Stream the heartbeat belongs to.
+    pub stream: StreamId,
+    /// No event with this implementation tag and timestamp ≤ `ts` will
+    /// arrive after this heartbeat.
+    pub ts: Timestamp,
+}
+
+impl<T> Heartbeat<T> {
+    /// Construct a heartbeat.
+    pub fn new(tag: T, stream: StreamId, ts: Timestamp) -> Self {
+        Heartbeat { tag, stream, ts }
+    }
+
+    /// The implementation tag of this heartbeat.
+    pub fn itag(&self) -> ITag<T>
+    where
+        T: Clone,
+    {
+        ITag::new(self.tag.clone(), self.stream)
+    }
+}
+
+/// One element of an input stream: a proper event or a heartbeat
+/// (`List(Event | Heartbeat)` in Definition 3.3).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StreamItem<T, P> {
+    /// A proper input event.
+    Event(Event<T, P>),
+    /// A heartbeat.
+    Heartbeat(Heartbeat<T>),
+}
+
+impl<T, P> StreamItem<T, P> {
+    /// Timestamp of the item.
+    pub fn ts(&self) -> Timestamp {
+        match self {
+            StreamItem::Event(e) => e.ts,
+            StreamItem::Heartbeat(h) => h.ts,
+        }
+    }
+
+    /// Stream the item belongs to.
+    pub fn stream(&self) -> StreamId {
+        match self {
+            StreamItem::Event(e) => e.stream,
+            StreamItem::Heartbeat(h) => h.stream,
+        }
+    }
+
+    /// True if the item is a heartbeat.
+    pub fn is_heartbeat(&self) -> bool {
+        matches!(self, StreamItem::Heartbeat(_))
+    }
+
+    /// The event, if the item is one.
+    pub fn as_event(&self) -> Option<&Event<T, P>> {
+        match self {
+            StreamItem::Event(e) => Some(e),
+            StreamItem::Heartbeat(_) => None,
+        }
+    }
+}
+
+/// Key in the total order `O` on input items: lexicographic on
+/// `(ts, stream)`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct OrderKey {
+    /// Timestamp component (major).
+    pub ts: Timestamp,
+    /// Stream component (tie-breaker, making `O` total across streams).
+    pub stream: StreamId,
+}
+
+impl Ord for OrderKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.ts, self.stream).cmp(&(other.ts, other.stream))
+    }
+}
+
+impl PartialOrd for OrderKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_is_timestamp_major_stream_minor() {
+        let a = OrderKey { ts: 5, stream: StreamId(9) };
+        let b = OrderKey { ts: 6, stream: StreamId(0) };
+        let c = OrderKey { ts: 5, stream: StreamId(10) };
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let e = Event::new('a', StreamId(3), 42, 7i64);
+        assert_eq!(e.itag().tag, 'a');
+        assert_eq!(e.itag().stream, StreamId(3));
+        assert_eq!(e.order_key(), OrderKey { ts: 42, stream: StreamId(3) });
+    }
+
+    #[test]
+    fn stream_item_accessors() {
+        let e: StreamItem<char, ()> = StreamItem::Event(Event::new('a', StreamId(1), 10, ()));
+        let h: StreamItem<char, ()> = StreamItem::Heartbeat(Heartbeat::new('a', StreamId(1), 11));
+        assert_eq!(e.ts(), 10);
+        assert_eq!(h.ts(), 11);
+        assert!(!e.is_heartbeat());
+        assert!(h.is_heartbeat());
+        assert!(e.as_event().is_some());
+        assert!(h.as_event().is_none());
+        assert_eq!(e.stream(), StreamId(1));
+    }
+}

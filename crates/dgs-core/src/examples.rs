@@ -1,0 +1,178 @@
+//! The paper's running example: a map from keys to counters (Figure 1).
+//!
+//! Two event kinds: increments `i(k)` and read-resets `r(k)`. Increments on
+//! the same key are independent of each other (counting is commutative);
+//! read-resets synchronize with everything of the same key; different keys
+//! never synchronize.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::predicate::TagPredicate;
+use crate::program::DgsProgram;
+
+/// Tags of the key-counter program.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum KcTag {
+    /// `i(k)`: increment the counter of key `k`.
+    Inc(u32),
+    /// `r(k)`: output the counter of key `k`, then reset it to zero.
+    ReadReset(u32),
+}
+
+impl KcTag {
+    /// The key of the event.
+    pub fn key(&self) -> u32 {
+        match *self {
+            KcTag::Inc(k) | KcTag::ReadReset(k) => k,
+        }
+    }
+
+    /// Is this a read-reset tag?
+    pub fn is_read_reset(&self) -> bool {
+        matches!(self, KcTag::ReadReset(_))
+    }
+}
+
+/// The key-counter DGS program of Figure 1.
+///
+/// * State: map from key to count (missing key ⇒ 0).
+/// * `update` on `i(k)`: `s[k] += 1`; on `r(k)`: output `(k, s[k])`, reset.
+/// * `depends`: pairs with the same key where at least one side is a
+///   read-reset (the four cases of Figure 1 collapse to this).
+/// * `fork`: a key's count goes to whichever side is responsible for its
+///   read-resets; if neither side will read-reset the key, both sides get
+///   a zero share and counting proceeds in parallel.
+/// * `join`: pointwise sum.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KeyCounter;
+
+impl DgsProgram for KeyCounter {
+    type Tag = KcTag;
+    type Payload = ();
+    type State = BTreeMap<u32, i64>;
+    type Out = (u32, i64);
+
+    fn init(&self) -> Self::State {
+        BTreeMap::new()
+    }
+
+    fn depends(&self, a: &KcTag, b: &KcTag) -> bool {
+        a.key() == b.key() && (a.is_read_reset() || b.is_read_reset())
+    }
+
+    fn update(&self, state: &mut Self::State, event: &Event<KcTag, ()>, out: &mut Vec<(u32, i64)>) {
+        match event.tag {
+            KcTag::Inc(k) => {
+                *state.entry(k).or_insert(0) += 1;
+            }
+            KcTag::ReadReset(k) => {
+                let v = state.remove(&k).unwrap_or(0);
+                out.push((k, v));
+            }
+        }
+    }
+
+    fn fork(
+        &self,
+        state: Self::State,
+        left: &TagPredicate<KcTag>,
+        _right: &TagPredicate<KcTag>,
+    ) -> (Self::State, Self::State) {
+        let mut l = BTreeMap::new();
+        let mut r = BTreeMap::new();
+        for (k, v) in state {
+            // The side responsible for r(k) must hold the full count; a key
+            // nobody will read-reset defaults to the right side (Figure 1's
+            // fork sends it to s2), which is safe because a join must
+            // happen before any r(k) can be processed.
+            if left.matches(&KcTag::ReadReset(k)) {
+                l.insert(k, v);
+            } else {
+                r.insert(k, v);
+            }
+        }
+        (l, r)
+    }
+
+    fn join(&self, mut left: Self::State, right: Self::State) -> Self::State {
+        for (k, v) in right {
+            *left.entry(k).or_insert(0) += v;
+        }
+        left.retain(|_, v| *v != 0);
+        left
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StreamId;
+    use crate::spec::run_sequential;
+
+    fn ev(tag: KcTag, ts: u64) -> Event<KcTag, ()> {
+        Event::new(tag, StreamId(0), ts, ())
+    }
+
+    #[test]
+    fn paper_intro_trace() {
+        // i(1), i(2), r(1), i(2), r(1) -> outputs 1 then 0 for key 1.
+        let prog = KeyCounter;
+        let events = vec![
+            ev(KcTag::Inc(1), 1),
+            ev(KcTag::Inc(2), 2),
+            ev(KcTag::ReadReset(1), 3),
+            ev(KcTag::Inc(2), 4),
+            ev(KcTag::ReadReset(1), 5),
+        ];
+        let (state, out) = run_sequential(&prog, &events);
+        assert_eq!(out, vec![(1, 1), (1, 0)]);
+        assert_eq!(state.get(&2), Some(&2));
+    }
+
+    #[test]
+    fn dependence_matches_figure_1() {
+        let p = KeyCounter;
+        assert!(p.depends(&KcTag::ReadReset(1), &KcTag::ReadReset(1)));
+        assert!(p.depends(&KcTag::ReadReset(1), &KcTag::Inc(1)));
+        assert!(p.depends(&KcTag::Inc(1), &KcTag::ReadReset(1)));
+        assert!(!p.depends(&KcTag::Inc(1), &KcTag::Inc(1)));
+        assert!(!p.depends(&KcTag::ReadReset(1), &KcTag::ReadReset(2)));
+        assert!(!p.depends(&KcTag::Inc(1), &KcTag::Inc(2)));
+    }
+
+    #[test]
+    fn fork_partitions_by_read_reset_responsibility() {
+        let p = KeyCounter;
+        let state: BTreeMap<u32, i64> = [(1, 10), (2, 20), (3, 30)].into();
+        let left = TagPredicate::from_tags([KcTag::ReadReset(1), KcTag::Inc(1)]);
+        let right = TagPredicate::from_tags([KcTag::ReadReset(2), KcTag::Inc(2)]);
+        let (l, r) = p.fork(state, &left, &right);
+        assert_eq!(l.get(&1), Some(&10));
+        assert_eq!(r.get(&2), Some(&20));
+        // Key 3 is covered by neither: defaults right.
+        assert_eq!(r.get(&3), Some(&30));
+        assert!(!l.contains_key(&3));
+    }
+
+    #[test]
+    fn join_is_pointwise_sum() {
+        let p = KeyCounter;
+        let a: BTreeMap<u32, i64> = [(1, 1), (2, 5)].into();
+        let b: BTreeMap<u32, i64> = [(2, 7), (3, 2)].into();
+        let j = p.join(a, b);
+        assert_eq!(j.get(&1), Some(&1));
+        assert_eq!(j.get(&2), Some(&12));
+        assert_eq!(j.get(&3), Some(&2));
+    }
+
+    #[test]
+    fn fork_then_join_is_identity_c2_instance() {
+        let p = KeyCounter;
+        let state: BTreeMap<u32, i64> = [(1, 100), (2, 3)].into();
+        let left = TagPredicate::from_tags([KcTag::Inc(1), KcTag::Inc(2)]);
+        let right = TagPredicate::from_tags([KcTag::Inc(1)]);
+        let (l, r) = p.fork(state.clone(), &left, &right);
+        assert_eq!(p.join(l, r), state);
+    }
+}

@@ -1,0 +1,233 @@
+//! A program with *multiple state types* (Definition 2.1's full
+//! generality): forks that convert one state type into two different
+//! ones, with per-type event predicates (`pred_i`, Definition 2.1(5)).
+//!
+//! The paper's own example of this generality is "forking a pair into its
+//! two components". [`PairSplit`] does exactly that: the state is a pair
+//! of counters `(a, b)`; forking along the A/B tag split produces an
+//! `OnlyA` state (which can process only `A` events) and an `OnlyB` state
+//! (only `B` events); joining reassembles the pair. In Rust the state
+//! types become variants of one enum and the `pred_i` predicates become
+//! [`DgsProgram::can_handle`].
+
+use crate::event::Event;
+use crate::predicate::TagPredicate;
+use crate::program::DgsProgram;
+
+/// Tags of the pair-split program.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PsTag {
+    /// Increment the `a` component.
+    A,
+    /// Increment the `b` component.
+    B,
+    /// Query: output `a + b` (synchronizes with everything).
+    Query,
+}
+
+/// The three state types of the program, as one enum.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PsState {
+    /// `State_0`: the full pair; handles every event.
+    Both {
+        /// The `a` counter.
+        a: i64,
+        /// The `b` counter.
+        b: i64,
+    },
+    /// A-component state; can only process `A` events.
+    OnlyA(i64),
+    /// B-component state; can only process `B` events.
+    OnlyB(i64),
+}
+
+/// The pair-split DGS program.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PairSplit;
+
+impl DgsProgram for PairSplit {
+    type Tag = PsTag;
+    type Payload = i64;
+    type State = PsState;
+    type Out = i64;
+
+    fn init(&self) -> PsState {
+        PsState::Both { a: 0, b: 0 }
+    }
+
+    /// Queries synchronize with everything; `A` and `B` are independent
+    /// of themselves and of each other.
+    fn depends(&self, x: &PsTag, y: &PsTag) -> bool {
+        matches!((x, y), (PsTag::Query, _) | (_, PsTag::Query))
+    }
+
+    fn update(&self, state: &mut PsState, event: &Event<PsTag, i64>, out: &mut Vec<i64>) {
+        match (&mut *state, event.tag) {
+            (PsState::Both { a, .. }, PsTag::A) | (PsState::OnlyA(a), PsTag::A) => {
+                *a += event.payload;
+            }
+            (PsState::Both { b, .. }, PsTag::B) | (PsState::OnlyB(b), PsTag::B) => {
+                *b += event.payload;
+            }
+            (PsState::Both { a, b }, PsTag::Query) => out.push(*a + *b),
+            (s, t) => panic!("state {s:?} cannot process tag {t:?} (pred_i violation)"),
+        }
+    }
+
+    /// The type-converting fork: a `Both` splits into its components when
+    /// the predicates separate A from B; component states split additively
+    /// within their own type (parallel counting).
+    fn fork(&self, state: PsState, left: &TagPredicate<PsTag>, right: &TagPredicate<PsTag>) -> (PsState, PsState) {
+        match state {
+            PsState::Both { a, b } => {
+                let left_is_a = left.matches(&PsTag::A);
+                let right_is_b = right.matches(&PsTag::B);
+                match (left_is_a, right_is_b) {
+                    (true, true) => (PsState::OnlyA(a), PsState::OnlyB(b)),
+                    (false, true) => (PsState::OnlyB(b), PsState::OnlyA(a)),
+                    // Degenerate splits keep the pair on the left with an
+                    // empty share on the right in the matching type.
+                    _ => (PsState::Both { a, b }, PsState::OnlyA(0)),
+                }
+            }
+            PsState::OnlyA(a) => (PsState::OnlyA(a), PsState::OnlyA(0)),
+            PsState::OnlyB(b) => (PsState::OnlyB(b), PsState::OnlyB(0)),
+        }
+    }
+
+    /// The type-converting join: two components reassemble the pair; two
+    /// states of the same component type merge additively.
+    fn join(&self, left: PsState, right: PsState) -> PsState {
+        match (left, right) {
+            (PsState::OnlyA(a), PsState::OnlyB(b)) | (PsState::OnlyB(b), PsState::OnlyA(a)) => {
+                PsState::Both { a, b }
+            }
+            (PsState::OnlyA(x), PsState::OnlyA(y)) => PsState::OnlyA(x + y),
+            (PsState::OnlyB(x), PsState::OnlyB(y)) => PsState::OnlyB(x + y),
+            (PsState::Both { a, b }, PsState::OnlyA(x)) | (PsState::OnlyA(x), PsState::Both { a, b }) => {
+                PsState::Both { a: a + x, b }
+            }
+            (PsState::Both { a, b }, PsState::OnlyB(x)) | (PsState::OnlyB(x), PsState::Both { a, b }) => {
+                PsState::Both { a, b: b + x }
+            }
+            (PsState::Both { a, b }, PsState::Both { a: a2, b: b2 }) => {
+                PsState::Both { a: a + a2, b: b + b2 }
+            }
+        }
+    }
+
+    /// `pred_i` of Definition 2.1(5): which tags each state type accepts.
+    fn can_handle(&self, state: &PsState, tag: &PsTag) -> bool {
+        match state {
+            PsState::Both { .. } => true,
+            PsState::OnlyA(_) => matches!(tag, PsTag::A),
+            PsState::OnlyB(_) => matches!(tag, PsTag::B),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StreamId;
+    use crate::semantics::{eval_program, Segment, SemanticsError, Wire};
+    use crate::spec::run_sequential;
+
+    fn ev(tag: PsTag, ts: u64, v: i64) -> Event<PsTag, i64> {
+        Event::new(tag, StreamId(0), ts, v)
+    }
+
+    fn universe() -> TagPredicate<PsTag> {
+        TagPredicate::from_tags([PsTag::A, PsTag::B, PsTag::Query])
+    }
+
+    #[test]
+    fn sequential_pair_accumulates() {
+        let events = vec![ev(PsTag::A, 1, 5), ev(PsTag::B, 2, 7), ev(PsTag::Query, 3, 0)];
+        let (state, out) = run_sequential(&PairSplit, &events);
+        assert_eq!(out, vec![12]);
+        assert_eq!(state, PsState::Both { a: 5, b: 7 });
+    }
+
+    #[test]
+    fn type_converting_fork_join_roundtrip() {
+        let p = PairSplit;
+        let a_pred = TagPredicate::single(PsTag::A);
+        let b_pred = TagPredicate::single(PsTag::B);
+        let (l, r) = p.fork(PsState::Both { a: 3, b: 4 }, &a_pred, &b_pred);
+        assert_eq!(l, PsState::OnlyA(3));
+        assert_eq!(r, PsState::OnlyB(4));
+        assert_eq!(p.join(l, r), PsState::Both { a: 3, b: 4 });
+        // C2 in the reversed orientation too.
+        let (l, r) = p.fork(PsState::Both { a: 3, b: 4 }, &b_pred, &a_pred);
+        assert_eq!(p.join(l, r), PsState::Both { a: 3, b: 4 });
+    }
+
+    #[test]
+    fn component_states_enforce_pred_i() {
+        let p = PairSplit;
+        assert!(p.can_handle(&PsState::OnlyA(0), &PsTag::A));
+        assert!(!p.can_handle(&PsState::OnlyA(0), &PsTag::B));
+        assert!(!p.can_handle(&PsState::OnlyA(0), &PsTag::Query));
+        assert!(p.can_handle(&PsState::Both { a: 0, b: 0 }, &PsTag::Query));
+    }
+
+    #[test]
+    fn wire_semantics_run_components_in_parallel() {
+        // fork(A | B): each side processes its component, join, query.
+        let a_pred = TagPredicate::single(PsTag::A);
+        let b_pred = TagPredicate::single(PsTag::B);
+        let wire = Wire::updates(vec![ev(PsTag::A, 1, 1)])
+            .then(Segment::Fork {
+                left_pred: a_pred,
+                right_pred: b_pred,
+                left: Box::new(Wire::updates(vec![ev(PsTag::A, 2, 10), ev(PsTag::A, 4, 100)])),
+                right: Box::new(Wire::updates(vec![ev(PsTag::B, 3, 1000)])),
+            })
+            .then(Segment::Updates(vec![ev(PsTag::Query, 9, 0)]));
+        let (state, out) = eval_program(&PairSplit, &universe(), &wire).unwrap();
+        assert_eq!(out, vec![1111]);
+        assert_eq!(state, PsState::Both { a: 111, b: 1000 });
+    }
+
+    #[test]
+    fn semantics_reject_pred_i_violations() {
+        // A wire whose predicate admits B events but whose state (after an
+        // A-only fork) cannot handle them: StateCannotHandle.
+        let a_pred = TagPredicate::single(PsTag::A);
+        let ab_pred = TagPredicate::from_tags([PsTag::A, PsTag::B]);
+        let wire = Wire::default().then(Segment::Fork {
+            left_pred: a_pred,
+            right_pred: ab_pred,
+            left: Box::new(Wire::default()),
+            // Right side received OnlyB(b) from the fork, so an A event is
+            // a typing violation even though the predicate admits it.
+            right: Box::new(Wire::updates(vec![ev(PsTag::A, 1, 1)])),
+        });
+        let err = eval_program(&PairSplit, &universe(), &wire).unwrap_err();
+        assert_eq!(err, SemanticsError::StateCannotHandle);
+    }
+
+    #[test]
+    fn consistency_on_component_states() {
+        use crate::consistency::{check_c1, check_c2, check_c3};
+        let p = PairSplit;
+        // C1: merging component states commutes with component updates.
+        check_c1(&p, &PsState::OnlyA(5), &PsState::OnlyA(9), &ev(PsTag::A, 1, 3)).unwrap();
+        check_c1(&p, &PsState::OnlyB(5), &PsState::OnlyB(9), &ev(PsTag::B, 1, 3)).unwrap();
+        // C1 across types: updating one component then pairing equals
+        // pairing then updating.
+        check_c1(&p, &PsState::OnlyA(5), &PsState::OnlyB(9), &ev(PsTag::A, 1, 3)).unwrap();
+        // C2 for the type-converting fork.
+        check_c2(
+            &p,
+            &PsState::Both { a: 1, b: 2 },
+            &TagPredicate::single(PsTag::A),
+            &TagPredicate::single(PsTag::B),
+        )
+        .unwrap();
+        // C3: A and B commute on the pair.
+        check_c3(&p, &PsState::Both { a: 0, b: 0 }, &ev(PsTag::A, 1, 2), &ev(PsTag::B, 2, 3))
+            .unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! # dgs-core — the Dependency-Guided Synchronization programming model
+//!
+//! This crate implements the programming model of *Stream Processing with
+//! Dependency-Guided Synchronization* (Kallas, Niksic, Stanford, Alur —
+//! PPoPP 2022): a DGS program is
+//!
+//! 1. a **sequential implementation** (`init` + `update`),
+//! 2. a symmetric **dependence relation** on input events declaring which
+//!    events may be processed in parallel, and
+//! 3. **parallelization primitives** `fork` and `join` that split and merge
+//!    state.
+//!
+//! The crate contains no runtime: it defines the model ([`DgsProgram`]),
+//! the executable denotational semantics of the paper's Definition 2.2
+//! ([`semantics`]), the sequential specification ([`spec`]), and executable
+//! checkers for the consistency conditions C1–C3 of Definition 2.3
+//! ([`consistency`]). The execution machinery lives in `dgs-plan`
+//! (synchronization plans) and `dgs-runtime` (mailboxes + workers).
+//!
+//! ## Quick example
+//!
+//! The paper's running example — a map from keys to counters with
+//! increment `i(k)` and read-reset `r(k)` events — ships as
+//! [`examples::KeyCounter`]:
+//!
+//! ```
+//! use dgs_core::examples::{KeyCounter, KcTag};
+//! use dgs_core::spec::run_sequential;
+//! use dgs_core::event::{Event, StreamId};
+//!
+//! let prog = KeyCounter;
+//! let events = vec![
+//!     Event::new(KcTag::Inc(1), StreamId(0), 1, ()),
+//!     Event::new(KcTag::Inc(2), StreamId(0), 2, ()),
+//!     Event::new(KcTag::ReadReset(1), StreamId(0), 3, ()),
+//! ];
+//! let (_state, out) = run_sequential(&prog, &events);
+//! assert_eq!(out, vec![(1, 1)]); // key 1 had count 1
+//! ```
+
+pub mod consistency;
+pub mod depends;
+pub mod event;
+pub mod examples;
+pub mod examples_multi;
+pub mod predicate;
+pub mod program;
+pub mod semantics;
+pub mod spec;
+pub mod tag;
+pub mod testing;
+
+pub use depends::Dependence;
+pub use event::{Event, Heartbeat, StreamId, StreamItem, Timestamp};
+pub use predicate::TagPredicate;
+pub use program::DgsProgram;
+pub use tag::{ITag, Tag};

@@ -1,0 +1,166 @@
+//! Predicates over tags, represented as finite tag sets.
+//!
+//! The paper's programming model allows arbitrary predicate representations;
+//! its implementation (and ours) represents a predicate as a *set of tags*
+//! (§2.2, "Representing predicates"), which keeps the `fork` contract simple:
+//! the predicates passed to `fork` are plain sets the state can be
+//! partitioned against.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::depends::Dependence;
+use crate::tag::Tag;
+
+/// A finite-set predicate over tags.
+///
+/// `matches(t)` holds iff `t` is in the set. Predicates form a lattice
+/// under [`union`](TagPredicate::union) /
+/// [`intersection`](TagPredicate::intersection), and `fork` receives two
+/// predicates whose tag sets are pairwise *independent* (not necessarily
+/// disjoint — e.g. both sides may process increments of the same key).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TagPredicate<T: Tag> {
+    tags: BTreeSet<T>,
+}
+
+impl<T: Tag> TagPredicate<T> {
+    /// The empty predicate (matches nothing).
+    pub fn empty() -> Self {
+        TagPredicate { tags: BTreeSet::new() }
+    }
+
+    /// Predicate matching exactly the given tags.
+    pub fn from_tags<I: IntoIterator<Item = T>>(tags: I) -> Self {
+        TagPredicate { tags: tags.into_iter().collect() }
+    }
+
+    /// Predicate matching a single tag.
+    pub fn single(tag: T) -> Self {
+        TagPredicate { tags: std::iter::once(tag).collect() }
+    }
+
+    /// Does the predicate match `tag`?
+    pub fn matches(&self, tag: &T) -> bool {
+        self.tags.contains(tag)
+    }
+
+    /// Number of tags matched.
+    pub fn len(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// True if the predicate matches nothing.
+    pub fn is_empty(&self) -> bool {
+        self.tags.is_empty()
+    }
+
+    /// Iterate over matched tags in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.tags.iter()
+    }
+
+    /// Set union (predicate disjunction).
+    pub fn union(&self, other: &Self) -> Self {
+        TagPredicate { tags: self.tags.union(&other.tags).cloned().collect() }
+    }
+
+    /// Set intersection (predicate conjunction).
+    pub fn intersection(&self, other: &Self) -> Self {
+        TagPredicate { tags: self.tags.intersection(&other.tags).cloned().collect() }
+    }
+
+    /// Set difference.
+    pub fn difference(&self, other: &Self) -> Self {
+        TagPredicate { tags: self.tags.difference(&other.tags).cloned().collect() }
+    }
+
+    /// True if no tag is matched by both predicates.
+    pub fn is_disjoint(&self, other: &Self) -> bool {
+        self.tags.is_disjoint(&other.tags)
+    }
+
+    /// Does `self` imply `other` (`self ⊆ other`)?
+    ///
+    /// Definition 2.2 requires the predicate on each wire to imply the
+    /// predicate of its parent wire.
+    pub fn implies(&self, other: &Self) -> bool {
+        self.tags.is_subset(&other.tags)
+    }
+
+    /// Insert a tag.
+    pub fn insert(&mut self, tag: T) -> bool {
+        self.tags.insert(tag)
+    }
+
+    /// Are every tag of `self` and every tag of `other` independent under
+    /// `dep`? This is the side condition of the parallel rule (4) in
+    /// Definition 2.2: `pred1(e1) ∧ pred2(e2) ⇒ indep(e1, e2)`.
+    pub fn independent_of<D: Dependence<T> + ?Sized>(&self, other: &Self, dep: &D) -> bool {
+        self.tags.iter().all(|a| other.tags.iter().all(|b| !dep.depends(a, b)))
+    }
+}
+
+impl<T: Tag> FromIterator<T> for TagPredicate<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        TagPredicate::from_tags(iter)
+    }
+}
+
+impl<T: Tag> fmt::Debug for TagPredicate<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.tags.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::depends::FnDependence;
+
+    #[test]
+    fn membership_and_lattice_ops() {
+        let p = TagPredicate::from_tags([1u32, 2, 3]);
+        let q = TagPredicate::from_tags([3u32, 4]);
+        assert!(p.matches(&1));
+        assert!(!p.matches(&4));
+        assert_eq!(p.union(&q).len(), 4);
+        assert_eq!(p.intersection(&q).len(), 1);
+        assert_eq!(p.difference(&q).len(), 2);
+        assert!(!p.is_disjoint(&q));
+        assert!(p.intersection(&q).implies(&p));
+        assert!(p.intersection(&q).implies(&q));
+    }
+
+    #[test]
+    fn empty_predicate() {
+        let p: TagPredicate<u32> = TagPredicate::empty();
+        assert!(p.is_empty());
+        assert!(p.implies(&TagPredicate::single(9)));
+        assert!(p.is_disjoint(&p));
+    }
+
+    #[test]
+    fn independence_under_relation() {
+        // Tags depend iff equal (each key only synchronizes with itself).
+        let dep = FnDependence::new(|a: &u32, b: &u32| a == b);
+        let p = TagPredicate::from_tags([1u32, 2]);
+        let q = TagPredicate::from_tags([3u32, 4]);
+        let r = TagPredicate::from_tags([2u32, 5]);
+        assert!(p.independent_of(&q, &dep));
+        assert!(!p.independent_of(&r, &dep));
+        // Non-disjoint predicates can still be independent if the shared
+        // tag is independent of itself (e.g. increments).
+        let dep_none = FnDependence::new(|_: &u32, _: &u32| false);
+        assert!(p.independent_of(&p, &dep_none));
+    }
+
+    #[test]
+    fn from_iterator_and_insert() {
+        let mut p: TagPredicate<u32> = (0..4).collect();
+        assert_eq!(p.len(), 4);
+        assert!(p.insert(10));
+        assert!(!p.insert(10));
+        assert_eq!(p.iter().copied().collect::<Vec<_>>(), vec![0, 1, 2, 3, 10]);
+    }
+}

@@ -1,0 +1,189 @@
+//! The [`DgsProgram`] trait — Definition 2.1 of the paper.
+//!
+//! A program supplies a sequential implementation (`init`, `update`), a
+//! symmetric dependence relation on tags, and the `fork`/`join`
+//! parallelization primitives. The runtime — not the programmer — decides
+//! *when* forks and joins happen, by instantiating a synchronization plan.
+//!
+//! ## Multiple state types
+//!
+//! Definition 2.1 allows finitely many state types `State_0, State_1, …`
+//! with forks and joins converting between them. Rust's type system would
+//! force that generality through trait objects or large type-level
+//! machinery; instead — exactly like the paper's own Erlang implementation,
+//! where states are untyped terms — we use a single `State` type and
+//! programs that need several logical state types represent them as an
+//! `enum`. The per-state-type event predicates `pred_i` of Definition
+//! 2.1(5) become the [`can_handle`](DgsProgram::can_handle) method.
+
+use crate::event::Event;
+use crate::predicate::TagPredicate;
+use crate::tag::Tag;
+
+/// A dependency-guided-synchronization program (Definition 2.1).
+pub trait DgsProgram {
+    /// Input-event tag type (finite in any given deployment).
+    type Tag: Tag;
+    /// Input-event payload type, opaque to parallelization.
+    type Payload: Clone + std::fmt::Debug + Send + Sync + 'static;
+    /// Processing state. Cloneable so plans can be (re)instantiated and
+    /// checkpointed.
+    type State: Clone + std::fmt::Debug + Send + 'static;
+    /// Output type.
+    type Out: Clone + std::fmt::Debug + Send + 'static;
+
+    /// The initial state (`init: () -> State_0`).
+    fn init(&self) -> Self::State;
+
+    /// The symmetric dependence relation on tags.
+    fn depends(&self, a: &Self::Tag, b: &Self::Tag) -> bool;
+
+    /// Sequential processing logic: mutate `state` by `event`, appending
+    /// any outputs to `out`. This is `update_i` fused with `out_i` of
+    /// Definition 2.1(6).
+    fn update(&self, state: &mut Self::State, event: &Event<Self::Tag, Self::Payload>, out: &mut Vec<Self::Out>);
+
+    /// Split a state in two. After the split, the left state will only be
+    /// updated with events matching `left`, and the right state only with
+    /// events matching `right`; the two predicates are guaranteed
+    /// independent (every left event is independent of every right event)
+    /// but not necessarily disjoint.
+    fn fork(
+        &self,
+        state: Self::State,
+        left: &TagPredicate<Self::Tag>,
+        right: &TagPredicate<Self::Tag>,
+    ) -> (Self::State, Self::State);
+
+    /// Merge two forked states back into one.
+    fn join(&self, left: Self::State, right: Self::State) -> Self::State;
+
+    /// Which events may a given state process (`pred_i` of Definition
+    /// 2.1(5))? The default — every state handles every event — is correct
+    /// for single-state-type programs. Programs with enum states override
+    /// this so plan validity (V1) can be checked.
+    fn can_handle(&self, _state: &Self::State, _tag: &Self::Tag) -> bool {
+        true
+    }
+}
+
+/// Convenience: check pairwise independence of two predicates under a
+/// program's dependence relation.
+pub fn preds_independent<P: DgsProgram>(
+    prog: &P,
+    left: &TagPredicate<P::Tag>,
+    right: &TagPredicate<P::Tag>,
+) -> bool {
+    left.iter().all(|a| right.iter().all(|b| !prog.depends(a, b)))
+}
+
+/// A program adapter that wraps another program and counts `fork`, `join`,
+/// and `update` invocations. Useful in tests and benches to assert *when*
+/// the runtime synchronizes.
+#[derive(Debug)]
+pub struct CountingProgram<P> {
+    inner: P,
+    counters: std::sync::Arc<CallCounters>,
+}
+
+/// Shared counters for [`CountingProgram`].
+#[derive(Debug, Default)]
+pub struct CallCounters {
+    /// Number of `update` calls.
+    pub updates: std::sync::atomic::AtomicU64,
+    /// Number of `fork` calls.
+    pub forks: std::sync::atomic::AtomicU64,
+    /// Number of `join` calls.
+    pub joins: std::sync::atomic::AtomicU64,
+}
+
+impl CallCounters {
+    fn bump(counter: &std::sync::atomic::AtomicU64) {
+        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Snapshot (updates, forks, joins).
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        (self.updates.load(Relaxed), self.forks.load(Relaxed), self.joins.load(Relaxed))
+    }
+}
+
+impl<P> CountingProgram<P> {
+    /// Wrap `inner`, returning the wrapper and a handle to its counters.
+    pub fn new(inner: P) -> (Self, std::sync::Arc<CallCounters>) {
+        let counters = std::sync::Arc::new(CallCounters::default());
+        (CountingProgram { inner, counters: counters.clone() }, counters)
+    }
+}
+
+impl<P: DgsProgram> DgsProgram for CountingProgram<P> {
+    type Tag = P::Tag;
+    type Payload = P::Payload;
+    type State = P::State;
+    type Out = P::Out;
+
+    fn init(&self) -> Self::State {
+        self.inner.init()
+    }
+
+    fn depends(&self, a: &Self::Tag, b: &Self::Tag) -> bool {
+        self.inner.depends(a, b)
+    }
+
+    fn update(&self, state: &mut Self::State, event: &Event<Self::Tag, Self::Payload>, out: &mut Vec<Self::Out>) {
+        CallCounters::bump(&self.counters.updates);
+        self.inner.update(state, event, out);
+    }
+
+    fn fork(
+        &self,
+        state: Self::State,
+        left: &TagPredicate<Self::Tag>,
+        right: &TagPredicate<Self::Tag>,
+    ) -> (Self::State, Self::State) {
+        CallCounters::bump(&self.counters.forks);
+        self.inner.fork(state, left, right)
+    }
+
+    fn join(&self, left: Self::State, right: Self::State) -> Self::State {
+        CallCounters::bump(&self.counters.joins);
+        self.inner.join(left, right)
+    }
+
+    fn can_handle(&self, state: &Self::State, tag: &Self::Tag) -> bool {
+        self.inner.can_handle(state, tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples::{KcTag, KeyCounter};
+    use crate::event::StreamId;
+
+    #[test]
+    fn preds_independent_respects_relation() {
+        let prog = KeyCounter;
+        let incs = TagPredicate::from_tags([KcTag::Inc(1), KcTag::Inc(2)]);
+        let more_incs = TagPredicate::from_tags([KcTag::Inc(1)]);
+        let reads = TagPredicate::from_tags([KcTag::ReadReset(1)]);
+        assert!(preds_independent(&prog, &incs, &more_incs));
+        assert!(!preds_independent(&prog, &incs, &reads));
+    }
+
+    #[test]
+    fn counting_program_counts() {
+        let (prog, counters) = CountingProgram::new(KeyCounter);
+        let mut s = prog.init();
+        let mut out = Vec::new();
+        prog.update(&mut s, &Event::new(KcTag::Inc(1), StreamId(0), 1, ()), &mut out);
+        let (l, r) = prog.fork(
+            s,
+            &TagPredicate::single(KcTag::ReadReset(1)),
+            &TagPredicate::empty(),
+        );
+        let _ = prog.join(l, r);
+        assert_eq!(counters.snapshot(), (1, 1, 1));
+    }
+}

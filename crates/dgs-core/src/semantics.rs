@@ -1,0 +1,278 @@
+//! Executable wire-diagram semantics (Definition 2.2).
+//!
+//! A *wire* carries a state and a predicate restricting the events it may
+//! process. Updates consume events on a wire; a fork splits a wire in two
+//! (with independent sub-predicates that imply the parent predicate); a
+//! join merges the two wires back. Forks and joins come in matched pairs,
+//! like parentheses (Figure 2).
+//!
+//! This module makes the denotational semantics executable so that
+//! Theorem 2.4 — *consistency implies determinism up to output
+//! reordering* — can be tested: evaluate random well-formed diagrams and
+//! compare the output multiset against the sequential specification.
+
+use crate::event::Event;
+use crate::predicate::TagPredicate;
+use crate::program::DgsProgram;
+
+/// One step along a wire.
+#[derive(Clone, Debug)]
+pub enum Segment<T: crate::tag::Tag, P> {
+    /// A run of sequential updates on this wire.
+    Updates(Vec<Event<T, P>>),
+    /// A fork into two parallel wires that are later joined. The two
+    /// interleaved sub-diagrams execute "in parallel"; evaluation order
+    /// does not matter for the output multiset when the program is
+    /// consistent (Theorem 2.4).
+    Fork {
+        /// Predicate of the left wire.
+        left_pred: TagPredicate<T>,
+        /// Predicate of the right wire.
+        right_pred: TagPredicate<T>,
+        /// Left sub-diagram.
+        left: Box<Wire<T, P>>,
+        /// Right sub-diagram.
+        right: Box<Wire<T, P>>,
+    },
+}
+
+/// A wire diagram: a sequence of segments executed left to right.
+#[derive(Clone, Debug)]
+pub struct Wire<T: crate::tag::Tag, P> {
+    /// Segments in execution order.
+    pub segments: Vec<Segment<T, P>>,
+}
+
+impl<T: crate::tag::Tag, P> Default for Wire<T, P> {
+    fn default() -> Self {
+        Wire { segments: Vec::new() }
+    }
+}
+
+impl<T: crate::tag::Tag, P> Wire<T, P> {
+    /// A wire that processes the given events sequentially.
+    pub fn updates(events: Vec<Event<T, P>>) -> Self {
+        Wire { segments: vec![Segment::Updates(events)] }
+    }
+
+    /// Append a segment.
+    pub fn then(mut self, seg: Segment<T, P>) -> Self {
+        self.segments.push(seg);
+        self
+    }
+
+    /// The events of the diagram in evaluation (left-to-right, depth-first
+    /// left-before-right) order.
+    pub fn events_in_eval_order(&self) -> Vec<&Event<T, P>> {
+        let mut acc = Vec::new();
+        self.collect_events(&mut acc);
+        acc
+    }
+
+    fn collect_events<'a>(&'a self, acc: &mut Vec<&'a Event<T, P>>) {
+        for seg in &self.segments {
+            match seg {
+                Segment::Updates(evs) => acc.extend(evs.iter()),
+                Segment::Fork { left, right, .. } => {
+                    left.collect_events(acc);
+                    right.collect_events(acc);
+                }
+            }
+        }
+    }
+}
+
+/// Ways a diagram can violate the side conditions of Definition 2.2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SemanticsError {
+    /// An update's event does not satisfy the wire predicate.
+    EventOutsidePredicate,
+    /// A fork's sub-predicate does not imply the wire predicate.
+    PredicateNotRefined,
+    /// The two fork predicates are not pairwise independent.
+    PredicatesNotIndependent,
+    /// A state was asked to process an event its type cannot handle
+    /// (`pred_i` violation, Definition 2.1(5)).
+    StateCannotHandle,
+}
+
+/// Evaluate a diagram from Definition 2.2's initial wire
+/// ⟨State_0, true, init⟩: the top-level predicate is "all tags", supplied
+/// as `universe` (finite-set predicates cannot express `true` without a
+/// universe).
+pub fn eval_program<Prog: DgsProgram>(
+    prog: &Prog,
+    universe: &TagPredicate<Prog::Tag>,
+    wire: &Wire<Prog::Tag, Prog::Payload>,
+) -> Result<(Prog::State, Vec<Prog::Out>), SemanticsError> {
+    let mut out = Vec::new();
+    let state = eval_wire(prog, universe, wire, prog.init(), &mut out)?;
+    Ok((state, out))
+}
+
+/// Evaluate `wire` starting from `state` under predicate `pred`,
+/// appending outputs to `out` and returning the final state.
+pub fn eval_wire<Prog: DgsProgram>(
+    prog: &Prog,
+    pred: &TagPredicate<Prog::Tag>,
+    wire: &Wire<Prog::Tag, Prog::Payload>,
+    mut state: Prog::State,
+    out: &mut Vec<Prog::Out>,
+) -> Result<Prog::State, SemanticsError> {
+    for seg in &wire.segments {
+        match seg {
+            Segment::Updates(events) => {
+                for e in events {
+                    if !pred.matches(&e.tag) {
+                        return Err(SemanticsError::EventOutsidePredicate);
+                    }
+                    if !prog.can_handle(&state, &e.tag) {
+                        return Err(SemanticsError::StateCannotHandle);
+                    }
+                    prog.update(&mut state, e, out);
+                }
+            }
+            Segment::Fork { left_pred, right_pred, left, right } => {
+                if !left_pred.implies(pred) || !right_pred.implies(pred) {
+                    return Err(SemanticsError::PredicateNotRefined);
+                }
+                let dep = |a: &Prog::Tag, b: &Prog::Tag| prog.depends(a, b);
+                let dep = crate::depends::FnDependence::new(dep);
+                if !left_pred.independent_of(right_pred, &dep) {
+                    return Err(SemanticsError::PredicatesNotIndependent);
+                }
+                let (ls, rs) = prog.fork(state, left_pred, right_pred);
+                let ls = eval_wire(prog, left_pred, left, ls, out)?;
+                let rs = eval_wire(prog, right_pred, right, rs, out)?;
+                state = prog.join(ls, rs);
+            }
+        }
+    }
+    Ok(state)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::StreamId;
+    use crate::examples::{KcTag, KeyCounter};
+    use crate::spec::run_sequential;
+
+    fn ev(tag: KcTag, ts: u64) -> Event<KcTag, ()> {
+        Event::new(tag, StreamId(0), ts, ())
+    }
+
+    fn universe() -> TagPredicate<KcTag> {
+        TagPredicate::from_tags([
+            KcTag::Inc(1),
+            KcTag::Inc(2),
+            KcTag::ReadReset(1),
+            KcTag::ReadReset(2),
+        ])
+    }
+
+    /// The Figure 2 diagram: r(1), then fork processing i(1) three times
+    /// across two parallel wires, then join and r(1).
+    fn figure_2_wire() -> Wire<KcTag, ()> {
+        let inc = TagPredicate::single(KcTag::Inc(1));
+        let inner = Wire::updates(vec![ev(KcTag::Inc(1), 3)]).then(Segment::Fork {
+            left_pred: inc.clone(),
+            right_pred: inc.clone(),
+            left: Box::new(Wire::updates(vec![ev(KcTag::Inc(1), 4)])),
+            right: Box::new(Wire::updates(vec![ev(KcTag::Inc(1), 5)])),
+        });
+        Wire::updates(vec![ev(KcTag::ReadReset(1), 1)])
+            .then(Segment::Fork {
+                left_pred: inc.clone(),
+                right_pred: inc,
+                left: Box::new(inner),
+                right: Box::new(Wire::default()),
+            })
+            .then(Segment::Updates(vec![ev(KcTag::ReadReset(1), 9)]))
+    }
+
+    #[test]
+    fn figure_2_parallel_equals_sequential() {
+        let prog = KeyCounter;
+        let wire = figure_2_wire();
+        let (_, par_out) = eval_program(&prog, &universe(), &wire).unwrap();
+        let seq_events: Vec<_> = wire.events_in_eval_order().into_iter().cloned().collect();
+        let (_, seq_out) = run_sequential(&prog, &seq_events);
+        // Outputs: r(1) sees 0, later r(1) sees 3.
+        assert_eq!(seq_out, vec![(1, 0), (1, 3)]);
+        let mut p = par_out.clone();
+        let mut s = seq_out.clone();
+        p.sort();
+        s.sort();
+        assert_eq!(p, s);
+    }
+
+    #[test]
+    fn update_outside_predicate_rejected() {
+        let prog = KeyCounter;
+        let wire = Wire::updates(vec![ev(KcTag::Inc(3), 1)]);
+        let narrow = TagPredicate::single(KcTag::Inc(1));
+        let err = eval_wire(&prog, &narrow, &wire, prog.init(), &mut Vec::new()).unwrap_err();
+        assert_eq!(err, SemanticsError::EventOutsidePredicate);
+    }
+
+    #[test]
+    fn fork_predicates_must_refine_parent() {
+        let prog = KeyCounter;
+        let narrow = TagPredicate::single(KcTag::Inc(1));
+        let wide = TagPredicate::from_tags([KcTag::Inc(1), KcTag::Inc(2)]);
+        let wire = Wire::default().then(Segment::Fork {
+            left_pred: wide,
+            right_pred: narrow.clone(),
+            left: Box::new(Wire::default()),
+            right: Box::new(Wire::default()),
+        });
+        let err = eval_wire(&prog, &narrow, &wire, prog.init(), &mut Vec::new()).unwrap_err();
+        assert_eq!(err, SemanticsError::PredicateNotRefined);
+    }
+
+    #[test]
+    fn fork_predicates_must_be_independent() {
+        let prog = KeyCounter;
+        let u = universe();
+        let left = TagPredicate::from_tags([KcTag::Inc(1)]);
+        let right = TagPredicate::from_tags([KcTag::ReadReset(1)]);
+        let wire = Wire::default().then(Segment::Fork {
+            left_pred: left,
+            right_pred: right,
+            left: Box::new(Wire::default()),
+            right: Box::new(Wire::default()),
+        });
+        let err = eval_wire(&prog, &u, &wire, prog.init(), &mut Vec::new()).unwrap_err();
+        assert_eq!(err, SemanticsError::PredicatesNotIndependent);
+    }
+
+    #[test]
+    fn nested_forks_preserve_counts() {
+        // Three-level nesting, 8 parallel increment wires.
+        let prog = KeyCounter;
+        let inc = TagPredicate::single(KcTag::Inc(1));
+        let mut ts = 0u64;
+        let mut leaf = || {
+            ts += 1;
+            Wire::updates(vec![ev(KcTag::Inc(1), ts)])
+        };
+        let mut level: Vec<Wire<KcTag, ()>> = (0..8).map(|_| leaf()).collect();
+        while level.len() > 1 {
+            level = level
+                .chunks(2)
+                .map(|pair| {
+                    Wire::default().then(Segment::Fork {
+                        left_pred: inc.clone(),
+                        right_pred: inc.clone(),
+                        left: Box::new(pair[0].clone()),
+                        right: Box::new(pair[1].clone()),
+                    })
+                })
+                .collect();
+        }
+        let wire = level.pop().unwrap().then(Segment::Updates(vec![ev(KcTag::ReadReset(1), 100)]));
+        let (_, out) = eval_program(&prog, &universe(), &wire).unwrap();
+        assert_eq!(out, vec![(1, 8)]);
+    }
+}

@@ -1,0 +1,238 @@
+//! The sequential specification and valid input instances.
+//!
+//! `spec: List(Event) -> List(Out)` (paper §3.5) is derived from the
+//! sequential implementation by applying only `update` — no forks or joins.
+//! Correctness of any parallel implementation (Definition 3.4) is judged
+//! against `spec(sortO(u_1, …, u_k))`, where `sortO` merges the per-stream
+//! inputs into a single stream according to the total order `O` and drops
+//! heartbeats.
+
+use crate::event::{Event, StreamItem, Timestamp};
+use crate::program::DgsProgram;
+use crate::tag::Tag;
+
+/// Run the sequential specification on an already-ordered event list.
+/// Returns the final state and the output stream.
+pub fn run_sequential<P: DgsProgram>(
+    prog: &P,
+    events: &[Event<P::Tag, P::Payload>],
+) -> (P::State, Vec<P::Out>) {
+    let mut state = prog.init();
+    let mut out = Vec::new();
+    for e in events {
+        prog.update(&mut state, e, &mut out);
+    }
+    (state, out)
+}
+
+/// Merge `k` per-stream inputs into one sequential stream according to the
+/// total order `O` (timestamp-major, stream-id-minor) and drop heartbeats
+/// — the paper's `sortO`.
+pub fn sort_o<T: Tag, P: Clone>(streams: &[Vec<StreamItem<T, P>>]) -> Vec<Event<T, P>> {
+    let mut events: Vec<Event<T, P>> = streams
+        .iter()
+        .flatten()
+        .filter_map(|item| item.as_event().cloned())
+        .collect();
+    events.sort_by_key(|e| e.order_key());
+    events
+}
+
+/// Reasons an input instance fails Definition 3.3.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InputInstanceError {
+    /// Items on one stream are not strictly increasing in timestamp.
+    NotMonotonic {
+        /// Index of the offending stream in the input slice.
+        stream_index: usize,
+        /// Position of the item violating strict monotonicity.
+        position: usize,
+    },
+    /// An event has no later item on some other stream, so its position in
+    /// `O` can never be certified (progress violation).
+    NoProgress {
+        /// Stream holding the stuck event.
+        stream_index: usize,
+        /// Timestamp of the stuck event.
+        ts: Timestamp,
+        /// Stream that never overtakes it.
+        lagging_stream: usize,
+    },
+}
+
+/// Check Definition 3.3 on `streams`: (1) per-stream strict monotonicity
+/// in `O`; (2) progress — every *event* is eventually overtaken (in `O`)
+/// by an event or heartbeat on every other stream.
+pub fn check_valid_input<T: Tag, P>(
+    streams: &[Vec<StreamItem<T, P>>],
+) -> Result<(), InputInstanceError> {
+    for (si, stream) in streams.iter().enumerate() {
+        for (pos, win) in stream.windows(2).enumerate() {
+            if win[1].ts() <= win[0].ts() {
+                return Err(InputInstanceError::NotMonotonic { stream_index: si, position: pos + 1 });
+            }
+        }
+    }
+    // Progress: compare against every other stream's maximal item.
+    let max_ts: Vec<Option<Timestamp>> = streams.iter().map(|s| s.last().map(|i| i.ts())).collect();
+    for (si, stream) in streams.iter().enumerate() {
+        for item in stream {
+            let StreamItem::Event(e) = item else { continue };
+            for (sj, &max) in max_ts.iter().enumerate() {
+                if sj == si {
+                    continue;
+                }
+                // y with x <_O y must exist on stream sj. Since O is
+                // (ts, stream)-lexicographic, the last item of sj works iff
+                // its key exceeds e's key.
+                let ok = match max {
+                    Some(mts) => {
+                        (mts, streams[sj].last().unwrap().stream()) > (e.ts, e.stream)
+                    }
+                    None => false,
+                };
+                if !ok {
+                    return Err(InputInstanceError::NoProgress {
+                        stream_index: si,
+                        ts: e.ts,
+                        lagging_stream: sj,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Append one final heartbeat per (tag, stream) at `ts` to every stream —
+/// the standard way to make a finite input instance satisfy progress (the
+/// producers say "nothing further is coming"). `ids` gives each stream's
+/// identifier explicitly so that *empty* streams are closed too (progress
+/// requires every stream to overtake every event).
+pub fn close_streams<T: Tag, P>(
+    streams: &mut [Vec<StreamItem<T, P>>],
+    tags_per_stream: &[Vec<T>],
+    ids: &[crate::event::StreamId],
+    ts: Timestamp,
+) {
+    assert_eq!(streams.len(), ids.len(), "one id per stream");
+    for ((stream, tags), &sid) in streams.iter_mut().zip(tags_per_stream).zip(ids) {
+        debug_assert!(stream.iter().all(|i| i.stream() == sid), "id mismatch");
+        for tag in tags {
+            stream.push(StreamItem::Heartbeat(crate::event::Heartbeat::new(
+                tag.clone(),
+                sid,
+                ts,
+            )));
+        }
+    }
+}
+
+/// The full sequential specification of Definition 3.4:
+/// `spec(sortO(u_1, …, u_k))`.
+pub fn spec_of_streams<P: DgsProgram>(
+    prog: &P,
+    streams: &[Vec<StreamItem<P::Tag, P::Payload>>],
+) -> Vec<P::Out> {
+    let merged = sort_o(streams);
+    run_sequential(prog, &merged).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Heartbeat, StreamId};
+    use crate::examples::{KcTag, KeyCounter};
+
+    fn ev(tag: KcTag, stream: u32, ts: u64) -> StreamItem<KcTag, ()> {
+        StreamItem::Event(Event::new(tag, StreamId(stream), ts, ()))
+    }
+
+    fn hb(tag: KcTag, stream: u32, ts: u64) -> StreamItem<KcTag, ()> {
+        StreamItem::Heartbeat(Heartbeat::new(tag, StreamId(stream), ts))
+    }
+
+    #[test]
+    fn sort_o_merges_and_drops_heartbeats() {
+        let streams = vec![
+            vec![ev(KcTag::Inc(1), 0, 2), hb(KcTag::Inc(1), 0, 10)],
+            vec![ev(KcTag::ReadReset(1), 1, 1), ev(KcTag::ReadReset(1), 1, 3)],
+        ];
+        let merged = sort_o(&streams);
+        let ts: Vec<u64> = merged.iter().map(|e| e.ts).collect();
+        assert_eq!(ts, vec![1, 2, 3]);
+        assert_eq!(merged.len(), 3);
+    }
+
+    #[test]
+    fn sort_o_tie_breaks_by_stream() {
+        let streams = vec![
+            vec![ev(KcTag::Inc(1), 7, 5)],
+            vec![ev(KcTag::Inc(2), 3, 5)],
+        ];
+        let merged = sort_o(&streams);
+        assert_eq!(merged[0].stream, StreamId(3));
+        assert_eq!(merged[1].stream, StreamId(7));
+    }
+
+    #[test]
+    fn monotonicity_violation_detected() {
+        let streams = vec![vec![ev(KcTag::Inc(1), 0, 5), ev(KcTag::Inc(1), 0, 5)]];
+        assert_eq!(
+            check_valid_input(&streams),
+            Err(InputInstanceError::NotMonotonic { stream_index: 0, position: 1 })
+        );
+    }
+
+    #[test]
+    fn progress_violation_detected_and_fixed_by_heartbeat() {
+        let mut streams = vec![
+            vec![ev(KcTag::Inc(1), 0, 5)],
+            vec![ev(KcTag::ReadReset(1), 1, 1)],
+        ];
+        // Stream 1 never overtakes ts=5 on stream 0.
+        assert!(matches!(
+            check_valid_input(&streams),
+            Err(InputInstanceError::NoProgress { stream_index: 0, ts: 5, lagging_stream: 1 })
+        ));
+        streams[1].push(hb(KcTag::ReadReset(1), 1, 9));
+        assert_eq!(check_valid_input(&streams), Ok(()));
+    }
+
+    #[test]
+    fn heartbeat_only_streams_satisfy_progress_trivially() {
+        let streams: Vec<Vec<StreamItem<KcTag, ()>>> =
+            vec![vec![hb(KcTag::Inc(1), 0, 1)], vec![hb(KcTag::ReadReset(1), 1, 1)]];
+        // Heartbeats need no progress guarantee of their own.
+        assert_eq!(check_valid_input(&streams), Ok(()));
+    }
+
+    #[test]
+    fn spec_of_streams_equals_manual_merge() {
+        let prog = KeyCounter;
+        let streams = vec![
+            vec![ev(KcTag::Inc(1), 0, 1), ev(KcTag::Inc(1), 0, 4)],
+            vec![ev(KcTag::ReadReset(1), 1, 2), ev(KcTag::ReadReset(1), 1, 6)],
+        ];
+        let out = spec_of_streams(&prog, &streams);
+        assert_eq!(out, vec![(1, 1), (1, 1)]);
+    }
+
+    #[test]
+    fn close_streams_appends_heartbeats() {
+        let mut streams = vec![vec![ev(KcTag::Inc(1), 0, 5)], vec![]];
+        close_streams(
+            &mut streams,
+            &[vec![KcTag::Inc(1)], vec![KcTag::ReadReset(1)]],
+            &[StreamId(0), StreamId(1)],
+            100,
+        );
+        assert_eq!(streams[0].len(), 2);
+        assert!(streams[0][1].is_heartbeat());
+        assert_eq!(streams[0][1].ts(), 100);
+        // The empty stream was closed too.
+        assert_eq!(streams[1].len(), 1);
+        assert!(streams[1][0].is_heartbeat());
+        assert_eq!(check_valid_input(&streams), Ok(()));
+    }
+}

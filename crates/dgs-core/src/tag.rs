@@ -1,0 +1,70 @@
+//! Tags and implementation tags.
+//!
+//! An event carries a *tag* relevant for parallelization and a *payload*
+//! used only for processing (paper §2.2, "Representing predicates"). At the
+//! implementation level (§3.1) an event additionally carries the identifier
+//! of the input stream it arrived on; the pair `(tag, stream)` is the
+//! *implementation tag*, the unit of work assignment in synchronization
+//! plans (e.g. `i(2)ₐ` and `i(2)ᵦ` in the paper's Figure 3 are the same tag
+//! arriving on two different streams).
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::event::StreamId;
+
+/// Marker trait for event tags.
+///
+/// Tags must be cheap to clone, totally ordered (for deterministic
+/// iteration), and hashable. The implementation requires the set of tags
+/// occurring in a deployment to be finite (paper §3.1), which is a property
+/// of the *workload*, not of the type: `u64` is a perfectly good tag type
+/// as long as only finitely many values occur.
+pub trait Tag: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static {}
+
+impl<T: Clone + Eq + Ord + Hash + Debug + Send + Sync + 'static> Tag for T {}
+
+/// An implementation tag: a tag together with the input stream it arrives
+/// on (the pair σ = ⟨tg, id⟩ of paper §3.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ITag<T> {
+    /// The application-level tag, used by the dependence relation.
+    pub tag: T,
+    /// The input stream this implementation tag belongs to.
+    pub stream: StreamId,
+}
+
+impl<T> ITag<T> {
+    /// Pair a tag with the stream it arrives on.
+    pub fn new(tag: T, stream: StreamId) -> Self {
+        ITag { tag, stream }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn itag_ordering_is_tag_major() {
+        let a = ITag::new(1u32, StreamId(5));
+        let b = ITag::new(2u32, StreamId(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn itag_same_tag_distinct_streams_differ() {
+        let a = ITag::new(7u32, StreamId(0));
+        let b = ITag::new(7u32, StreamId(1));
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn common_types_are_tags() {
+        fn assert_tag<T: Tag>() {}
+        assert_tag::<u32>();
+        assert_tag::<(u8, u64)>();
+        assert_tag::<String>();
+    }
+}

@@ -1,0 +1,103 @@
+//! Test-support utilities for checking implementation correctness
+//! (Definition 3.4) — usable by downstream crates' test suites.
+//!
+//! The theorem guarantees equality *up to output reordering*, so the
+//! canonical check compares output multisets against
+//! `spec(sortO(u_1, …, u_k))`. For programs whose synchronizing outputs
+//! are totally ordered (e.g. one output per barrier), sorting by trigger
+//! timestamp recovers the exact sequential order.
+
+use std::collections::BTreeMap;
+
+use crate::event::{StreamItem, Timestamp};
+use crate::program::DgsProgram;
+use crate::spec::{sort_o, run_sequential};
+
+/// Are `a` and `b` equal as multisets?
+pub fn multiset_eq<T: Ord>(mut a: Vec<T>, mut b: Vec<T>) -> bool {
+    a.sort();
+    b.sort();
+    a == b
+}
+
+/// The difference between two multisets: `(only_in_a, only_in_b)`.
+pub fn multiset_diff<T: Ord + Clone>(a: &[T], b: &[T]) -> (Vec<T>, Vec<T>) {
+    let mut counts: BTreeMap<&T, i64> = BTreeMap::new();
+    for x in a {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    for y in b {
+        *counts.entry(y).or_insert(0) -= 1;
+    }
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    for (x, c) in counts {
+        for _ in 0..c.max(0) {
+            only_a.push(x.clone());
+        }
+        for _ in 0..(-c).max(0) {
+            only_b.push(x.clone());
+        }
+    }
+    (only_a, only_b)
+}
+
+/// Sort timestamped outputs by their trigger timestamp, recovering the
+/// sequential order for totally ordered (synchronizing) outputs.
+pub fn in_trigger_order<Out: Clone>(outputs: &[(Out, Timestamp)]) -> Vec<Out> {
+    let mut v: Vec<(Out, Timestamp)> = outputs.to_vec();
+    v.sort_by_key(|(_, ts)| *ts);
+    v.into_iter().map(|(o, _)| o).collect()
+}
+
+/// Definition 3.4: check an implementation's outputs against
+/// `spec(sortO(streams))` as multisets. Returns the diff on mismatch.
+pub fn check_against_spec<P: DgsProgram>(
+    prog: &P,
+    streams: &[Vec<StreamItem<P::Tag, P::Payload>>],
+    outputs: &[P::Out],
+) -> Result<(), (Vec<P::Out>, Vec<P::Out>)>
+where
+    P::Out: Ord,
+{
+    let expect = run_sequential(prog, &sort_o(streams)).1;
+    let (extra, missing) = multiset_diff(outputs, &expect);
+    if extra.is_empty() && missing.is_empty() {
+        Ok(())
+    } else {
+        Err((extra, missing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, StreamId};
+    use crate::examples::{KcTag, KeyCounter};
+
+    #[test]
+    fn multiset_helpers() {
+        assert!(multiset_eq(vec![1, 2, 2], vec![2, 1, 2]));
+        assert!(!multiset_eq(vec![1, 2], vec![1, 1]));
+        let (a, b) = multiset_diff(&[1, 2, 2, 3], &[2, 3, 3, 4]);
+        assert_eq!(a, vec![1, 2]);
+        assert_eq!(b, vec![3, 4]);
+    }
+
+    #[test]
+    fn trigger_order_sorts_by_timestamp() {
+        let outs = vec![("b", 5u64), ("a", 1), ("c", 9)];
+        assert_eq!(in_trigger_order(&outs), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn spec_check_accepts_and_rejects() {
+        let streams = vec![vec![
+            StreamItem::Event(Event::new(KcTag::Inc(1), StreamId(0), 1, ())),
+            StreamItem::Event(Event::new(KcTag::ReadReset(1), StreamId(0), 2, ())),
+        ]];
+        assert!(check_against_spec(&KeyCounter, &streams, &[(1, 1)]).is_ok());
+        let err = check_against_spec(&KeyCounter, &streams, &[(1, 7)]).unwrap_err();
+        assert_eq!(err, (vec![(1, 7)], vec![(1, 1)]));
+    }
+}

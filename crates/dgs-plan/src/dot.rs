@@ -1,0 +1,112 @@
+//! Graphviz DOT rendering for synchronization plans.
+//!
+//! Produces a digraph in the visual style of the paper's Figure 3: one
+//! box per worker listing its implementation tags and role, edges from
+//! parents to children, and (optionally) dashed source edges labelled
+//! with rates, as in Figure 9.
+
+use std::fmt::Write;
+
+use dgs_core::tag::Tag;
+
+use crate::optimizer::ITagInfo;
+use crate::plan::Plan;
+
+/// Render the plan as a Graphviz digraph.
+pub fn to_dot<T: Tag>(plan: &Plan<T>) -> String {
+    to_dot_with_sources::<T>(plan, &[])
+}
+
+/// Render the plan with dashed input-stream edges (Figure 9 style): one
+/// edge per [`ITagInfo`], labelled `tag@stream (rate)`, pointing at the
+/// responsible worker.
+pub fn to_dot_with_sources<T: Tag>(plan: &Plan<T>, sources: &[ITagInfo<T>]) -> String {
+    let mut out = String::from("digraph plan {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for (id, w) in plan.iter() {
+        let tags: Vec<String> = w.itags.iter().map(|t| format!("{:?}@{}", t.tag, t.stream)).collect();
+        let role = if w.is_leaf() { "update" } else { "update – ⟨fork, join⟩" };
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{} {{ {} }}\\n{}\\nnode {}\"];",
+            id.0,
+            id,
+            tags.join(", "),
+            role,
+            w.location.0,
+        );
+    }
+    for (id, w) in plan.iter() {
+        for &c in &w.children {
+            let _ = writeln!(out, "  {} -> {};", id.0, c.0);
+        }
+    }
+    for (i, info) in sources.iter().enumerate() {
+        if let Some(owner) = plan.responsible_for(&info.itag) {
+            let _ = writeln!(
+                out,
+                "  src{} [shape=plaintext, label=\"{:?}@{} ({})\"];\n  src{} -> {} [style=dashed];",
+                i, info.itag.tag, info.itag.stream, info.rate, i, owner.0,
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a worker's ancestry path (for diagnostics): `w0 → w2 → w5`.
+pub fn ancestry_path<T: Tag>(plan: &Plan<T>, leaf: crate::plan::WorkerId) -> String {
+    let mut path = vec![leaf];
+    let mut cur = plan.worker(leaf).parent;
+    while let Some(p) = cur {
+        path.push(p);
+        cur = plan.worker(p).parent;
+    }
+    path.reverse();
+    path.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(" → ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Location, PlanBuilder, WorkerId};
+    use dgs_core::event::StreamId;
+    use dgs_core::examples::KcTag;
+    use dgs_core::tag::ITag;
+
+    fn plan() -> Plan<KcTag> {
+        let mut b = PlanBuilder::new();
+        let root = b.add([], Location(0));
+        let l = b.add([ITag::new(KcTag::Inc(1), StreamId(0))], Location(1));
+        let r = b.add([ITag::new(KcTag::ReadReset(1), StreamId(1))], Location(2));
+        b.attach(root, l);
+        b.attach(root, r);
+        b.build(root)
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&plan());
+        assert!(dot.starts_with("digraph plan {"));
+        assert!(dot.contains("0 -> 1;"));
+        assert!(dot.contains("0 -> 2;"));
+        assert!(dot.contains("Inc(1)@s0"));
+        assert!(dot.contains("fork, join"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_with_sources_adds_dashed_edges() {
+        let p = plan();
+        let sources = vec![ITagInfo::new(ITag::new(KcTag::Inc(1), StreamId(0)), 100.0, Location(1))];
+        let dot = to_dot_with_sources(&p, &sources);
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("(100)"));
+    }
+
+    #[test]
+    fn ancestry_path_renders_root_to_leaf() {
+        let p = plan();
+        assert_eq!(ancestry_path(&p, WorkerId(2)), "w0 → w2");
+        assert_eq!(ancestry_path(&p, WorkerId(0)), "w0");
+    }
+}

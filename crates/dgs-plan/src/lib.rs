@@ -1,0 +1,24 @@
+//! # dgs-plan — synchronization plans and plan optimizers
+//!
+//! A *synchronization plan* (paper §3.2, Definition 3.1) is a binary tree
+//! of stateful workers. Each worker is responsible for a set of
+//! implementation tags; leaves process their events independently, while a
+//! parent must join its children's states before processing one of its own
+//! events, and forks the state back afterwards. Validity with respect to a
+//! program ([`validity`], Definition 3.2) guarantees that any two workers
+//! without an ancestor–descendant relationship handle pairwise independent
+//! and disjoint implementation tags — the structural property that makes
+//! the runtime correct independent of which valid plan is chosen.
+//!
+//! Choosing a good plan is an orthogonal optimization problem (§3.3);
+//! [`optimizer`] implements the communication-minimizing greedy heuristic
+//! of Appendix B plus simpler comparison strategies.
+
+pub mod dot;
+pub mod optimizer;
+pub mod plan;
+pub mod validity;
+
+pub use optimizer::{CommMinOptimizer, ITagInfo, SequentialOptimizer};
+pub use plan::{Location, Plan, Worker, WorkerId};
+pub use validity::{check_valid, ValidityError};

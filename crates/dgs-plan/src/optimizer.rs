@@ -1,0 +1,397 @@
+//! Plan optimizers (paper §3.3 and Appendix B).
+//!
+//! An optimizer receives a description of the workload — the set of
+//! implementation tags, an estimated input rate for each, and the physical
+//! node each arrives at — and returns a valid synchronization plan. The
+//! main implementation is the communication-minimizing greedy of
+//! Appendix B: build the dependence graph over implementation tags,
+//! repeatedly remove the lowest-rate tags until the graph disconnects,
+//! assign the removed (synchronizing) tags to an internal worker, and
+//! recurse on the disconnected components. Leaves process events without
+//! blocking, so the heuristic maximizes the event rate handled at leaves
+//! and places each worker next to its highest-rate input.
+
+use dgs_core::depends::{Dependence, DependenceGraph};
+use dgs_core::tag::{ITag, Tag};
+
+use crate::plan::{Location, Plan, PlanBuilder, WorkerId};
+
+/// Workload description of one implementation tag.
+#[derive(Clone, Debug)]
+pub struct ITagInfo<T> {
+    /// The implementation tag.
+    pub itag: ITag<T>,
+    /// Estimated input rate (events per unit time); any consistent unit.
+    pub rate: f64,
+    /// Physical node the tag's input stream arrives at.
+    pub location: Location,
+}
+
+impl<T> ITagInfo<T> {
+    /// Convenience constructor.
+    pub fn new(itag: ITag<T>, rate: f64, location: Location) -> Self {
+        ITagInfo { itag, rate, location }
+    }
+}
+
+/// Strategy interface for plan generation.
+pub trait Optimizer<T: Tag> {
+    /// Produce a plan covering exactly the given implementation tags.
+    fn plan(&self, infos: &[ITagInfo<T>], dep: &dyn Dependence<T>) -> Plan<T>;
+}
+
+/// Degenerate optimizer: one sequential worker owning every tag. The
+/// baseline every other plan is compared against.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SequentialOptimizer;
+
+impl<T: Tag> Optimizer<T> for SequentialOptimizer {
+    fn plan(&self, infos: &[ITagInfo<T>], _dep: &dyn Dependence<T>) -> Plan<T> {
+        let location = infos
+            .iter()
+            .max_by(|a, b| a.rate.total_cmp(&b.rate))
+            .map(|i| i.location)
+            .unwrap_or_default();
+        crate::plan::sequential_plan(infos.iter().map(|i| i.itag.clone()), location)
+    }
+}
+
+/// The Appendix B communication-minimizing greedy optimizer.
+///
+/// ```
+/// use dgs_core::depends::FnDependence;
+/// use dgs_core::event::StreamId;
+/// use dgs_core::tag::ITag;
+/// use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer};
+/// use dgs_plan::plan::Location;
+///
+/// // One low-rate barrier tag ('b') dependent on two high-rate value
+/// // streams ('v'): the optimizer puts the barrier on the root and the
+/// // values on independent leaves.
+/// let infos = vec![
+///     ITagInfo::new(ITag::new('v', StreamId(0)), 1000.0, Location(0)),
+///     ITagInfo::new(ITag::new('v', StreamId(1)), 1000.0, Location(1)),
+///     ITagInfo::new(ITag::new('b', StreamId(2)), 1.0, Location(2)),
+/// ];
+/// let dep = FnDependence::new(|a: &char, b: &char| *a == 'b' || *b == 'b');
+/// let plan = CommMinOptimizer.plan(&infos, &dep);
+/// assert_eq!(plan.leaf_count(), 2);
+/// assert_eq!(plan.responsible_for(&ITag::new('b', StreamId(2))), Some(plan.root()));
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CommMinOptimizer;
+
+impl<T: Tag> Optimizer<T> for CommMinOptimizer {
+    fn plan(&self, infos: &[ITagInfo<T>], dep: &dyn Dependence<T>) -> Plan<T> {
+        assert!(!infos.is_empty(), "cannot plan for an empty workload");
+        let mut b = PlanBuilder::new();
+        let root = build_subtree(&mut b, infos.to_vec(), dep, SplitStyle::Balanced);
+        b.build(root)
+    }
+}
+
+/// Ablation optimizer: same tag assignment as [`CommMinOptimizer`] but
+/// combines independent groups into a maximally *unbalanced* (chain)
+/// tree, so synchronizing events traverse a deep spine. Used to measure
+/// how much the balanced shape matters (DESIGN.md ablations).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ChainOptimizer;
+
+impl<T: Tag> Optimizer<T> for ChainOptimizer {
+    fn plan(&self, infos: &[ITagInfo<T>], dep: &dyn Dependence<T>) -> Plan<T> {
+        assert!(!infos.is_empty(), "cannot plan for an empty workload");
+        let mut b = PlanBuilder::new();
+        let root = build_subtree(&mut b, infos.to_vec(), dep, SplitStyle::Chain);
+        b.build(root)
+    }
+}
+
+/// How independent component groups are combined into a binary tree.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SplitStyle {
+    /// Rate-balanced halves (shallow tree).
+    Balanced,
+    /// One component vs all the rest (deep spine).
+    Chain,
+}
+
+fn total_rate<T>(infos: &[ITagInfo<T>]) -> f64 {
+    infos.iter().map(|i| i.rate).sum()
+}
+
+fn dominant_location<T>(infos: &[ITagInfo<T>]) -> Location {
+    infos
+        .iter()
+        .max_by(|a, b| a.rate.total_cmp(&b.rate))
+        .map(|i| i.location)
+        .unwrap_or_default()
+}
+
+fn build_subtree<T: Tag>(
+    b: &mut PlanBuilder<T>,
+    infos: Vec<ITagInfo<T>>,
+    dep: &dyn Dependence<T>,
+    style: SplitStyle,
+) -> WorkerId {
+    debug_assert!(!infos.is_empty());
+    if infos.len() == 1 {
+        let loc = infos[0].location;
+        return b.add([infos[0].itag.clone()], loc);
+    }
+    let itags: Vec<ITag<T>> = infos.iter().map(|i| i.itag.clone()).collect();
+    let graph = DependenceGraph::build(&itags, dep);
+    let comps = graph.components();
+    if comps.len() >= 2 {
+        // Already independent groups: no coordinator tags needed, combine
+        // with an empty internal worker placed next to the heavier side.
+        let (left, right) = split_components(&comps, &infos, style);
+        let left_id = build_subtree(b, left.clone(), dep, style);
+        let right_id = build_subtree(b, right.clone(), dep, style);
+        let loc = if total_rate(&left) >= total_rate(&right) {
+            dominant_location(&left)
+        } else {
+            dominant_location(&right)
+        };
+        let node = b.add([], loc);
+        b.attach(node, left_id);
+        b.attach(node, right_id);
+        return node;
+    }
+    // One connected component: peel off the lowest-rate tags until the
+    // graph disconnects; those tags become the internal coordinator's
+    // responsibility.
+    let mut g = graph;
+    let mut removed: Vec<ITagInfo<T>> = Vec::new();
+    let mut remaining = infos.clone();
+    while !g.is_empty() && g.components().len() < 2 {
+        // Lowest-rate remaining vertex.
+        let (idx, _) = remaining
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.rate.total_cmp(&b.rate))
+            .expect("non-empty remaining");
+        let info = remaining.swap_remove(idx);
+        g.remove(&info.itag);
+        removed.push(info);
+    }
+    if remaining.is_empty() {
+        // Never disconnected: the component is inherently sequential; one
+        // leaf owns everything (its mailbox orders the dependent events).
+        let loc = dominant_location(&removed);
+        return b.add(removed.into_iter().map(|i| i.itag), loc);
+    }
+    let comps = g.components();
+    debug_assert!(comps.len() >= 2);
+    let (left, right) = split_components(&comps, &remaining, style);
+    let left_id = build_subtree(b, left, dep, style);
+    let right_id = build_subtree(b, right, dep, style);
+    let loc = dominant_location(&removed);
+    let node = b.add(removed.into_iter().map(|i| i.itag), loc);
+    b.attach(node, left_id);
+    b.attach(node, right_id);
+    node
+}
+
+/// Partition components into two groups. `Balanced`: roughly equal total
+/// rate (longest-processing-time-first greedy); `Chain`: first component
+/// alone vs everything else. Both groups are non-empty when there are at
+/// least two components.
+fn split_components<T: Tag>(
+    comps: &[Vec<ITag<T>>],
+    infos: &[ITagInfo<T>],
+    style: SplitStyle,
+) -> (Vec<ITagInfo<T>>, Vec<ITagInfo<T>>) {
+    if style == SplitStyle::Chain {
+        let first: Vec<ITagInfo<T>> =
+            infos.iter().filter(|i| comps[0].contains(&i.itag)).cloned().collect();
+        let rest: Vec<ITagInfo<T>> =
+            infos.iter().filter(|i| !comps[0].contains(&i.itag)).cloned().collect();
+        return (first, rest);
+    }
+    let rate_of = |itag: &ITag<T>| {
+        infos.iter().find(|i| &i.itag == itag).map(|i| i.rate).unwrap_or(0.0)
+    };
+    let mut sized: Vec<(f64, &Vec<ITag<T>>)> =
+        comps.iter().map(|c| (c.iter().map(&rate_of).sum::<f64>(), c)).collect();
+    sized.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let mut left: Vec<ITagInfo<T>> = Vec::new();
+    let mut right: Vec<ITagInfo<T>> = Vec::new();
+    let (mut lr, mut rr) = (0.0f64, 0.0f64);
+    for (i, (rate, comp)) in sized.into_iter().enumerate() {
+        let members = infos.iter().filter(|info| comp.contains(&info.itag)).cloned();
+        // Guarantee non-emptiness of both sides for the first two
+        // components, then balance by rate.
+        let to_left = if i == 0 {
+            true
+        } else if i == 1 {
+            false
+        } else {
+            lr <= rr
+        };
+        if to_left {
+            left.extend(members);
+            lr += rate;
+        } else {
+            right.extend(members);
+            rr += rate;
+        }
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::check_valid;
+    use dgs_core::depends::FnDependence;
+    use dgs_core::event::StreamId;
+    use dgs_core::examples::KcTag;
+    use std::collections::BTreeSet;
+
+    fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    fn kc_dep() -> FnDependence<fn(&KcTag, &KcTag) -> bool> {
+        FnDependence::new(|a: &KcTag, b: &KcTag| {
+            a.key() == b.key() && (a.is_read_reset() || b.is_read_reset())
+        })
+    }
+
+    /// Example B.1 workload: r(2)=10@E0, r(1)=15@E1, i(1)=100@E1,
+    /// i(2)a=200@E2, i(2)b=300@E3.
+    fn example_b1() -> Vec<ITagInfo<KcTag>> {
+        vec![
+            ITagInfo::new(it(KcTag::ReadReset(2), 0), 10.0, Location(0)),
+            ITagInfo::new(it(KcTag::ReadReset(1), 1), 15.0, Location(1)),
+            ITagInfo::new(it(KcTag::Inc(1), 1), 100.0, Location(1)),
+            ITagInfo::new(it(KcTag::Inc(2), 2), 200.0, Location(2)),
+            ITagInfo::new(it(KcTag::Inc(2), 3), 300.0, Location(3)),
+        ]
+    }
+
+    #[test]
+    fn example_b1_reproduces_figure_3() {
+        let dep = kc_dep();
+        let plan = CommMinOptimizer.plan(&example_b1(), &dep);
+        // Expected: empty root; one child a leaf {r(1), i(1)}; other child
+        // {r(2)} with leaves {i(2)a} and {i(2)b}.
+        assert_eq!(plan.len(), 5);
+        assert_eq!(plan.leaf_count(), 3);
+        let root = plan.worker(plan.root());
+        assert!(root.itags.is_empty());
+        // Find the key-1 leaf.
+        let key1_leaf = plan
+            .iter()
+            .find(|(_, w)| w.itags.contains(&it(KcTag::ReadReset(1), 1)))
+            .map(|(id, _)| id)
+            .unwrap();
+        assert!(plan.worker(key1_leaf).is_leaf());
+        assert!(plan.worker(key1_leaf).itags.contains(&it(KcTag::Inc(1), 1)));
+        // r(2) is on an internal node whose children own the two i(2) streams.
+        let r2 = plan
+            .iter()
+            .find(|(_, w)| w.itags.contains(&it(KcTag::ReadReset(2), 0)))
+            .map(|(id, _)| id)
+            .unwrap();
+        let w = plan.worker(r2);
+        assert_eq!(w.children.len(), 2);
+        let kids: BTreeSet<_> = w
+            .children
+            .iter()
+            .flat_map(|c| plan.worker(*c).itags.iter().cloned())
+            .collect();
+        assert_eq!(kids, [it(KcTag::Inc(2), 2), it(KcTag::Inc(2), 3)].into());
+        // Validity against the universe.
+        let universe: BTreeSet<_> = example_b1().into_iter().map(|i| i.itag).collect();
+        assert_eq!(check_valid(&plan, &dep, |_, _| true, &universe), Ok(()));
+    }
+
+    #[test]
+    fn placement_follows_dominant_rates() {
+        let dep = kc_dep();
+        let plan = CommMinOptimizer.plan(&example_b1(), &dep);
+        let r2 = plan
+            .iter()
+            .find(|(_, w)| w.itags.contains(&it(KcTag::ReadReset(2), 0)))
+            .map(|(id, _)| id)
+            .unwrap();
+        // r(2)'s worker sits where r(2) arrives.
+        assert_eq!(plan.worker(r2).location, Location(0));
+        // The i(2)b leaf sits at E3.
+        let i2b = plan.responsible_for(&it(KcTag::Inc(2), 3)).unwrap();
+        assert_eq!(plan.worker(i2b).location, Location(3));
+    }
+
+    #[test]
+    fn fully_dependent_workload_collapses_to_sequential() {
+        let dep = FnDependence::new(|_: &KcTag, _: &KcTag| true);
+        let infos = example_b1();
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.worker(plan.root()).itags.len(), 5);
+    }
+
+    #[test]
+    fn fully_independent_workload_is_all_leaves() {
+        let dep = FnDependence::new(|_: &KcTag, _: &KcTag| false);
+        let infos = example_b1();
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        assert_eq!(plan.leaf_count(), 5);
+        // Internal coordinators own nothing.
+        for (_, w) in plan.iter() {
+            if !w.is_leaf() {
+                assert!(w.itags.is_empty());
+            }
+        }
+        let universe: BTreeSet<_> = example_b1().into_iter().map(|i| i.itag).collect();
+        assert_eq!(check_valid(&plan, &dep, |_, _| true, &universe), Ok(()));
+    }
+
+    #[test]
+    fn value_barrier_star_topology() {
+        // One barrier tag dependent on everything; N value streams
+        // independent of each other: root owns the barrier, N leaves.
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        enum Vb {
+            Value,
+            Barrier,
+        }
+        let dep = FnDependence::new(|a: &Vb, b: &Vb| {
+            matches!((a, b), (Vb::Barrier, _) | (_, Vb::Barrier))
+        });
+        let n = 8;
+        let mut infos: Vec<ITagInfo<Vb>> = (0..n)
+            .map(|i| {
+                ITagInfo::new(ITag::new(Vb::Value, StreamId(i)), 1000.0, Location(i))
+            })
+            .collect();
+        infos.push(ITagInfo::new(ITag::new(Vb::Barrier, StreamId(n)), 1.0, Location(0)));
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        assert_eq!(plan.leaf_count(), n as usize);
+        // The barrier tag is owned by the root.
+        let owner = plan.responsible_for(&ITag::new(Vb::Barrier, StreamId(n))).unwrap();
+        assert_eq!(owner, plan.root());
+        let universe: BTreeSet<_> = infos.iter().map(|i| i.itag).collect();
+        assert_eq!(check_valid(&plan, &dep, |_, _| true, &universe), Ok(()));
+        // Nearly all of the input rate is handled at non-blocking leaves.
+        let f = plan.leaf_rate_fraction(|_| 1.0);
+        assert!(f > 0.8, "leaf fraction {f}");
+    }
+
+    #[test]
+    fn sequential_optimizer_single_worker() {
+        let dep = kc_dep();
+        let plan = SequentialOptimizer.plan(&example_b1(), &dep);
+        assert_eq!(plan.len(), 1);
+        // Placed at the highest-rate input (i(2)b at E3).
+        assert_eq!(plan.worker(plan.root()).location, Location(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty workload")]
+    fn commmin_rejects_empty() {
+        let dep = kc_dep();
+        let _ = CommMinOptimizer.plan(&[], &dep);
+    }
+}

@@ -1,0 +1,461 @@
+//! Synchronization plan trees (Definition 3.1).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use dgs_core::depends::Dependence;
+use dgs_core::predicate::TagPredicate;
+use dgs_core::tag::{ITag, Tag};
+
+/// Index of a worker within a [`Plan`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WorkerId(pub usize);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Placement of a worker on a physical node. The plan crate is agnostic to
+/// what a "node" is; the simulator and thread driver interpret locations.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Location(pub u32);
+
+/// One worker of a synchronization plan: a sequential thread of
+/// computation responsible for a set of implementation tags.
+#[derive(Clone, Debug)]
+pub struct Worker<T: Tag> {
+    /// Implementation tags this worker is responsible for. May be empty
+    /// (pure coordinator nodes, like `w1` in the paper's Figure 3).
+    pub itags: BTreeSet<ITag<T>>,
+    /// Parent worker, `None` for the root.
+    pub parent: Option<WorkerId>,
+    /// Children (empty for leaves, exactly two for internal nodes — forks
+    /// are binary).
+    pub children: Vec<WorkerId>,
+    /// Physical placement.
+    pub location: Location,
+}
+
+impl<T: Tag> Worker<T> {
+    /// Is this worker a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// A synchronization plan: a rooted binary tree of workers.
+#[derive(Clone, Debug)]
+pub struct Plan<T: Tag> {
+    workers: Vec<Worker<T>>,
+    root: WorkerId,
+}
+
+impl<T: Tag> Plan<T> {
+    /// Build a plan from a worker arena and a root index. Panics if the
+    /// arena's parent/children links are not a tree rooted at `root`; use
+    /// [`PlanBuilder`] to construct plans safely.
+    pub fn from_arena(workers: Vec<Worker<T>>, root: WorkerId) -> Self {
+        let plan = Plan { workers, root };
+        plan.assert_tree();
+        plan
+    }
+
+    fn assert_tree(&self) {
+        assert!(self.root.0 < self.workers.len(), "root out of bounds");
+        assert!(self.workers[self.root.0].parent.is_none(), "root has a parent");
+        let mut seen = vec![false; self.workers.len()];
+        let mut stack = vec![self.root];
+        while let Some(w) = stack.pop() {
+            assert!(!seen[w.0], "cycle or shared child at {w}");
+            seen[w.0] = true;
+            for &c in &self.workers[w.0].children {
+                assert_eq!(self.workers[c.0].parent, Some(w), "bad parent link at {c}");
+                stack.push(c);
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "disconnected workers in arena");
+    }
+
+    /// The root worker.
+    pub fn root(&self) -> WorkerId {
+        self.root
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// True if the plan has no workers (never constructible — a plan has
+    /// at least a root — kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+
+    /// Access a worker.
+    pub fn worker(&self, id: WorkerId) -> &Worker<T> {
+        &self.workers[id.0]
+    }
+
+    /// Mutable access to a worker (placement tweaks etc.).
+    pub fn worker_mut(&mut self, id: WorkerId) -> &mut Worker<T> {
+        &mut self.workers[id.0]
+    }
+
+    /// Iterate over `(id, worker)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (WorkerId, &Worker<T>)> {
+        self.workers.iter().enumerate().map(|(i, w)| (WorkerId(i), w))
+    }
+
+    /// All worker ids in preorder (root first).
+    pub fn preorder(&self) -> Vec<WorkerId> {
+        let mut order = Vec::with_capacity(self.workers.len());
+        let mut stack = vec![self.root];
+        while let Some(w) = stack.pop() {
+            order.push(w);
+            for &c in self.workers[w.0].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        order
+    }
+
+    /// Is `a` a (strict or reflexive) ancestor of `b`?
+    pub fn is_ancestor_or_self(&self, a: WorkerId, b: WorkerId) -> bool {
+        let mut cur = Some(b);
+        while let Some(w) = cur {
+            if w == a {
+                return true;
+            }
+            cur = self.workers[w.0].parent;
+        }
+        false
+    }
+
+    /// Do `a` and `b` stand in an ancestor–descendant relationship
+    /// (including `a == b`)?
+    pub fn related(&self, a: WorkerId, b: WorkerId) -> bool {
+        self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
+    }
+
+    /// The implementation tags of the whole subtree rooted at `w` — the
+    /// tags `w` can *handle* (its own plus all descendants', `atags` dual
+    /// of the paper's Definition C.1).
+    pub fn subtree_itags(&self, w: WorkerId) -> BTreeSet<ITag<T>> {
+        let mut acc = BTreeSet::new();
+        let mut stack = vec![w];
+        while let Some(v) = stack.pop() {
+            acc.extend(self.workers[v.0].itags.iter().cloned());
+            stack.extend(self.workers[v.0].children.iter().copied());
+        }
+        acc
+    }
+
+    /// The *tag* predicate of the subtree rooted at `w`: the set of tags
+    /// (stream identity erased) its workers are responsible for. This is
+    /// the predicate passed to `fork` for that side.
+    pub fn subtree_predicate(&self, w: WorkerId) -> TagPredicate<T> {
+        self.subtree_itags(w).into_iter().map(|it| it.tag).collect()
+    }
+
+    /// The worker responsible for an implementation tag, if any.
+    pub fn responsible_for(&self, itag: &ITag<T>) -> Option<WorkerId> {
+        self.iter().find(|(_, w)| w.itags.contains(itag)).map(|(id, _)| id)
+    }
+
+    /// All implementation tags covered by the plan.
+    pub fn all_itags(&self) -> BTreeSet<ITag<T>> {
+        self.subtree_itags(self.root)
+    }
+
+    /// Ids of the workers in the subtree rooted at `w` (preorder).
+    pub fn subtree(&self, w: WorkerId) -> Vec<WorkerId> {
+        let mut acc = Vec::new();
+        let mut stack = vec![w];
+        while let Some(v) = stack.pop() {
+            acc.push(v);
+            for &c in self.workers[v.0].children.iter().rev() {
+                stack.push(c);
+            }
+        }
+        acc
+    }
+
+    /// Depth of worker `w` (root = 0).
+    pub fn depth(&self, w: WorkerId) -> usize {
+        let mut d = 0;
+        let mut cur = self.workers[w.0].parent;
+        while let Some(p) = cur {
+            d += 1;
+            cur = self.workers[p.0].parent;
+        }
+        d
+    }
+
+    /// Height of the tree (a single root has height 0).
+    pub fn height(&self) -> usize {
+        self.iter().map(|(id, _)| self.depth(id)).max().unwrap_or(0)
+    }
+
+    /// Number of leaf workers.
+    pub fn leaf_count(&self) -> usize {
+        self.iter().filter(|(_, w)| w.is_leaf()).count()
+    }
+
+    /// Fraction of the total input rate processed at leaves — the
+    /// objective the Appendix B optimizer maximizes (leaves process
+    /// events without blocking).
+    pub fn leaf_rate_fraction(&self, rate_of: impl Fn(&ITag<T>) -> f64) -> f64 {
+        let mut total = 0.0;
+        let mut at_leaves = 0.0;
+        for (_, w) in self.iter() {
+            for t in &w.itags {
+                let r = rate_of(t);
+                total += r;
+                if w.is_leaf() {
+                    at_leaves += r;
+                }
+            }
+        }
+        if total == 0.0 {
+            1.0
+        } else {
+            at_leaves / total
+        }
+    }
+
+    /// Render the plan as an ASCII tree (the format of the paper's
+    /// Figure 3).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_node(self.root, 0, &mut out);
+        out
+    }
+
+    fn render_node(&self, w: WorkerId, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let worker = &self.workers[w.0];
+        let tags: Vec<String> = worker.itags.iter().map(|t| format!("{:?}@{}", t.tag, t.stream)).collect();
+        let role = if worker.is_leaf() { "update" } else { "update – ⟨fork, join⟩" };
+        let _ = writeln!(
+            out,
+            "{}{} {{ {} }} {} [{:?}]",
+            "  ".repeat(depth),
+            w,
+            tags.join(", "),
+            role,
+            worker.location,
+        );
+        for &c in &worker.children {
+            self.render_node(c, depth + 1, out);
+        }
+    }
+}
+
+/// Incremental, panic-free plan construction.
+#[derive(Debug, Default)]
+pub struct PlanBuilder<T: Tag> {
+    workers: Vec<Worker<T>>,
+}
+
+impl<T: Tag> PlanBuilder<T> {
+    /// New empty builder.
+    pub fn new() -> Self {
+        PlanBuilder { workers: Vec::new() }
+    }
+
+    /// Add a root/detached worker; link it later with [`attach`](Self::attach).
+    pub fn add(&mut self, itags: impl IntoIterator<Item = ITag<T>>, location: Location) -> WorkerId {
+        let id = WorkerId(self.workers.len());
+        self.workers.push(Worker {
+            itags: itags.into_iter().collect(),
+            parent: None,
+            children: Vec::new(),
+            location,
+        });
+        id
+    }
+
+    /// Make `child` a child of `parent`.
+    pub fn attach(&mut self, parent: WorkerId, child: WorkerId) {
+        self.workers[child.0].parent = Some(parent);
+        self.workers[parent.0].children.push(child);
+    }
+
+    /// Finish, rooting the tree at `root`.
+    pub fn build(self, root: WorkerId) -> Plan<T> {
+        Plan::from_arena(self.workers, root)
+    }
+}
+
+/// Convenience constructor: a single-worker (fully sequential) plan
+/// responsible for every implementation tag.
+pub fn sequential_plan<T: Tag>(itags: impl IntoIterator<Item = ITag<T>>, location: Location) -> Plan<T> {
+    let mut b = PlanBuilder::new();
+    let root = b.add(itags, location);
+    b.build(root)
+}
+
+/// Check that the itag sets of non-related workers are pairwise
+/// independent under `dep` — helper shared with `validity`.
+pub fn unrelated_pairs_independent<T: Tag, D: Dependence<T> + ?Sized>(
+    plan: &Plan<T>,
+    dep: &D,
+) -> bool {
+    let ids: Vec<WorkerId> = plan.iter().map(|(id, _)| id).collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if plan.related(a, b) {
+                continue;
+            }
+            let wa = plan.worker(a);
+            let wb = plan.worker(b);
+            for ta in &wa.itags {
+                for tb in &wb.itags {
+                    if dep.depends_itag(ta, tb) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::event::StreamId;
+    use dgs_core::examples::KcTag;
+
+    fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    /// Build the paper's Figure 3 plan:
+    /// w1 {} — w2 {r(1),i(1)}, w3 {r(2)} — w4 {i(2)a}, w5 {i(2)b}.
+    pub(crate) fn figure_3_plan() -> Plan<KcTag> {
+        let mut b = PlanBuilder::new();
+        let w1 = b.add([], Location(0));
+        let w2 = b.add([it(KcTag::ReadReset(1), 1), it(KcTag::Inc(1), 1)], Location(1));
+        let w3 = b.add([it(KcTag::ReadReset(2), 0)], Location(0));
+        let w4 = b.add([it(KcTag::Inc(2), 2)], Location(2));
+        let w5 = b.add([it(KcTag::Inc(2), 3)], Location(3));
+        b.attach(w1, w2);
+        b.attach(w1, w3);
+        b.attach(w3, w4);
+        b.attach(w3, w5);
+        b.build(w1)
+    }
+
+    #[test]
+    fn figure_3_structure() {
+        let p = figure_3_plan();
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.leaf_count(), 3);
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.root(), WorkerId(0));
+        assert_eq!(p.preorder(), vec![WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3), WorkerId(4)]);
+    }
+
+    #[test]
+    fn ancestry_queries() {
+        let p = figure_3_plan();
+        assert!(p.is_ancestor_or_self(WorkerId(0), WorkerId(4)));
+        assert!(p.is_ancestor_or_self(WorkerId(2), WorkerId(4)));
+        assert!(!p.is_ancestor_or_self(WorkerId(1), WorkerId(4)));
+        assert!(p.related(WorkerId(2), WorkerId(3)));
+        assert!(!p.related(WorkerId(1), WorkerId(3)));
+        assert!(p.related(WorkerId(1), WorkerId(1)));
+    }
+
+    #[test]
+    fn subtree_tags_and_predicates() {
+        let p = figure_3_plan();
+        let sub = p.subtree_itags(WorkerId(2));
+        assert_eq!(sub.len(), 3); // r(2), i(2)a, i(2)b
+        let pred = p.subtree_predicate(WorkerId(2));
+        assert!(pred.matches(&KcTag::ReadReset(2)));
+        assert!(pred.matches(&KcTag::Inc(2)));
+        assert!(!pred.matches(&KcTag::Inc(1)));
+        assert_eq!(p.all_itags().len(), 5);
+    }
+
+    #[test]
+    fn responsibility_lookup() {
+        let p = figure_3_plan();
+        assert_eq!(p.responsible_for(&it(KcTag::Inc(2), 2)), Some(WorkerId(3)));
+        assert_eq!(p.responsible_for(&it(KcTag::Inc(2), 3)), Some(WorkerId(4)));
+        assert_eq!(p.responsible_for(&it(KcTag::ReadReset(2), 0)), Some(WorkerId(2)));
+        assert_eq!(p.responsible_for(&it(KcTag::Inc(9), 0)), None);
+    }
+
+    #[test]
+    fn leaf_rate_fraction_counts_only_leaves() {
+        let p = figure_3_plan();
+        // Rates from Example B.1: r(2)=10, r(1)=15, i(1)=100, i(2)a=200, i(2)b=300.
+        let rate = |t: &ITag<KcTag>| match (t.tag, t.stream.0) {
+            (KcTag::ReadReset(2), _) => 10.0,
+            (KcTag::ReadReset(1), _) => 15.0,
+            (KcTag::Inc(1), _) => 100.0,
+            (KcTag::Inc(2), 2) => 200.0,
+            (KcTag::Inc(2), 3) => 300.0,
+            _ => 0.0,
+        };
+        let f = p.leaf_rate_fraction(rate);
+        let expected = (15.0 + 100.0 + 200.0 + 300.0) / 625.0;
+        assert!((f - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn render_contains_all_workers() {
+        let p = figure_3_plan();
+        let s = p.render();
+        for i in 0..5 {
+            assert!(s.contains(&format!("w{i}")), "missing w{i} in rendering:\n{s}");
+        }
+    }
+
+    #[test]
+    fn sequential_plan_is_single_root() {
+        let p = sequential_plan([it(KcTag::Inc(1), 0)], Location(7));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.leaf_count(), 1);
+        assert_eq!(p.worker(p.root()).location, Location(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad parent link")]
+    fn from_arena_rejects_bad_links() {
+        let workers = vec![
+            Worker::<KcTag> {
+                itags: BTreeSet::new(),
+                parent: None,
+                children: vec![WorkerId(1)],
+                location: Location(0),
+            },
+            Worker::<KcTag> {
+                itags: BTreeSet::new(),
+                parent: None, // missing back-link
+                children: vec![],
+                location: Location(0),
+            },
+        ];
+        let _ = Plan::from_arena(workers, WorkerId(0));
+    }
+
+    #[test]
+    fn unrelated_independence_helper() {
+        use dgs_core::depends::FnDependence;
+        let p = figure_3_plan();
+        let dep = FnDependence::new(|a: &KcTag, b: &KcTag| {
+            a.key() == b.key() && (a.is_read_reset() || b.is_read_reset())
+        });
+        assert!(unrelated_pairs_independent(&p, &dep));
+        // A relation where everything depends on everything fails.
+        let all = FnDependence::new(|_: &KcTag, _: &KcTag| true);
+        assert!(!unrelated_pairs_independent(&p, &all));
+    }
+}

@@ -1,0 +1,258 @@
+//! P-validity of synchronization plans (Definition 3.2).
+//!
+//! A plan is valid for a program when:
+//!
+//! * **V1** — each worker's state can handle the tags it is responsible
+//!   for (well-typedness; with a single state type this is the program's
+//!   [`can_handle`](dgs_core::DgsProgram::can_handle) check on the initial
+//!   state).
+//! * **V2** — workers without an ancestor–descendant relationship handle
+//!   pairwise *independent* and *disjoint* implementation tag sets.
+//!
+//! We additionally enforce two implementation-level routing requirements
+//! that the paper's prose assumes: every implementation tag is owned by
+//! exactly one worker (unique routing), and internal workers have exactly
+//! two children (forks are binary).
+
+use std::collections::BTreeSet;
+
+use dgs_core::depends::Dependence;
+use dgs_core::tag::{ITag, Tag};
+
+use crate::plan::{Plan, WorkerId};
+
+/// Reasons a plan fails validity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidityError<T: Tag> {
+    /// V1: a worker is responsible for a tag its state cannot process.
+    CannotHandle {
+        /// Offending worker.
+        worker: WorkerId,
+        /// Tag the worker's state type cannot process.
+        itag: ITag<T>,
+    },
+    /// V2: two unrelated workers own dependent tags.
+    UnrelatedDependent {
+        /// First worker.
+        a: WorkerId,
+        /// Second worker.
+        b: WorkerId,
+        /// Dependent tag owned by `a`.
+        tag_a: ITag<T>,
+        /// Dependent tag owned by `b`.
+        tag_b: ITag<T>,
+    },
+    /// An implementation tag is owned by more than one worker.
+    DuplicateOwnership {
+        /// The multiply-owned tag.
+        itag: ITag<T>,
+        /// First owner.
+        a: WorkerId,
+        /// Second owner.
+        b: WorkerId,
+    },
+    /// An implementation tag from the declared universe has no owner.
+    Unrouted {
+        /// The orphaned tag.
+        itag: ITag<T>,
+    },
+    /// An internal worker does not have exactly two children.
+    NonBinaryInternal {
+        /// Offending worker.
+        worker: WorkerId,
+        /// Its child count.
+        children: usize,
+    },
+}
+
+/// Check P-validity of `plan` against a dependence relation, a
+/// `can_handle` typing oracle (V1), and the universe of implementation
+/// tags that must be routed.
+pub fn check_valid<T: Tag, D: Dependence<T> + ?Sized>(
+    plan: &Plan<T>,
+    dep: &D,
+    can_handle: impl Fn(WorkerId, &ITag<T>) -> bool,
+    universe: &BTreeSet<ITag<T>>,
+) -> Result<(), ValidityError<T>> {
+    // Binary internal nodes.
+    for (id, w) in plan.iter() {
+        if !w.is_leaf() && w.children.len() != 2 {
+            return Err(ValidityError::NonBinaryInternal { worker: id, children: w.children.len() });
+        }
+    }
+    // V1 typing.
+    for (id, w) in plan.iter() {
+        for t in &w.itags {
+            if !can_handle(id, t) {
+                return Err(ValidityError::CannotHandle { worker: id, itag: t.clone() });
+            }
+        }
+    }
+    // Unique ownership + coverage.
+    let mut owner: std::collections::BTreeMap<&ITag<T>, WorkerId> = Default::default();
+    for (id, w) in plan.iter() {
+        for t in &w.itags {
+            if let Some(prev) = owner.insert(t, id) {
+                return Err(ValidityError::DuplicateOwnership { itag: t.clone(), a: prev, b: id });
+            }
+        }
+    }
+    for t in universe {
+        if !owner.contains_key(t) {
+            return Err(ValidityError::Unrouted { itag: t.clone() });
+        }
+    }
+    // V2 independence for unrelated pairs (disjointness is implied by
+    // unique ownership).
+    let ids: Vec<WorkerId> = plan.iter().map(|(id, _)| id).collect();
+    for (i, &a) in ids.iter().enumerate() {
+        for &b in &ids[i + 1..] {
+            if plan.related(a, b) {
+                continue;
+            }
+            for ta in &plan.worker(a).itags {
+                for tb in &plan.worker(b).itags {
+                    if dep.depends_itag(ta, tb) {
+                        return Err(ValidityError::UnrelatedDependent {
+                            a,
+                            b,
+                            tag_a: ta.clone(),
+                            tag_b: tb.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check validity directly against a [`DgsProgram`](dgs_core::DgsProgram):
+/// uses the program's dependence relation and `can_handle` on the initial
+/// state (single-state-type V1).
+pub fn check_valid_for_program<P: dgs_core::DgsProgram>(
+    plan: &Plan<P::Tag>,
+    prog: &P,
+    universe: &BTreeSet<ITag<P::Tag>>,
+) -> Result<(), ValidityError<P::Tag>> {
+    let dep = dgs_core::depends::FnDependence::new(|a: &P::Tag, b: &P::Tag| prog.depends(a, b));
+    let init = prog.init();
+    check_valid(plan, &dep, |_w, t| prog.can_handle(&init, &t.tag), universe)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{Location, PlanBuilder};
+    use dgs_core::depends::FnDependence;
+    use dgs_core::event::StreamId;
+    use dgs_core::examples::{KcTag, KeyCounter};
+
+    fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    fn kc_dep() -> impl Dependence<KcTag> {
+        FnDependence::new(|a: &KcTag, b: &KcTag| {
+            a.key() == b.key() && (a.is_read_reset() || b.is_read_reset())
+        })
+    }
+
+    fn figure_3_plan() -> Plan<KcTag> {
+        let mut b = PlanBuilder::new();
+        let w1 = b.add([], Location(0));
+        let w2 = b.add([it(KcTag::ReadReset(1), 1), it(KcTag::Inc(1), 1)], Location(1));
+        let w3 = b.add([it(KcTag::ReadReset(2), 0)], Location(0));
+        let w4 = b.add([it(KcTag::Inc(2), 2)], Location(2));
+        let w5 = b.add([it(KcTag::Inc(2), 3)], Location(3));
+        b.attach(w1, w2);
+        b.attach(w1, w3);
+        b.attach(w3, w4);
+        b.attach(w3, w5);
+        b.build(w1)
+    }
+
+    fn figure_3_universe() -> BTreeSet<ITag<KcTag>> {
+        [
+            it(KcTag::ReadReset(1), 1),
+            it(KcTag::Inc(1), 1),
+            it(KcTag::ReadReset(2), 0),
+            it(KcTag::Inc(2), 2),
+            it(KcTag::Inc(2), 3),
+        ]
+        .into()
+    }
+
+    #[test]
+    fn figure_3_is_valid() {
+        let plan = figure_3_plan();
+        assert_eq!(
+            check_valid(&plan, &kc_dep(), |_, _| true, &figure_3_universe()),
+            Ok(())
+        );
+        assert_eq!(check_valid_for_program(&plan, &KeyCounter, &figure_3_universe()), Ok(()));
+    }
+
+    #[test]
+    fn v2_violation_detected() {
+        // Put r(2) on a leaf unrelated to the i(2) leaves.
+        let mut b = PlanBuilder::new();
+        let root = b.add([], Location(0));
+        let l = b.add([it(KcTag::ReadReset(2), 0)], Location(0));
+        let r = b.add([it(KcTag::Inc(2), 1)], Location(1));
+        b.attach(root, l);
+        b.attach(root, r);
+        let plan = b.build(root);
+        let universe = [it(KcTag::ReadReset(2), 0), it(KcTag::Inc(2), 1)].into();
+        let err = check_valid(&plan, &kc_dep(), |_, _| true, &universe).unwrap_err();
+        assert!(matches!(err, ValidityError::UnrelatedDependent { .. }));
+    }
+
+    #[test]
+    fn duplicate_ownership_detected() {
+        let mut b = PlanBuilder::new();
+        let root = b.add([it(KcTag::Inc(1), 0)], Location(0));
+        let l = b.add([it(KcTag::Inc(1), 0)], Location(0));
+        let r = b.add([it(KcTag::Inc(2), 1)], Location(0));
+        b.attach(root, l);
+        b.attach(root, r);
+        let plan = b.build(root);
+        let universe = [it(KcTag::Inc(1), 0), it(KcTag::Inc(2), 1)].into();
+        let err = check_valid(&plan, &kc_dep(), |_, _| true, &universe).unwrap_err();
+        assert!(matches!(err, ValidityError::DuplicateOwnership { .. }));
+    }
+
+    #[test]
+    fn unrouted_tag_detected() {
+        let plan = figure_3_plan();
+        let mut universe = figure_3_universe();
+        universe.insert(it(KcTag::Inc(7), 9));
+        let err = check_valid(&plan, &kc_dep(), |_, _| true, &universe).unwrap_err();
+        assert_eq!(err, ValidityError::Unrouted { itag: it(KcTag::Inc(7), 9) });
+    }
+
+    #[test]
+    fn v1_violation_detected() {
+        let plan = figure_3_plan();
+        let err = check_valid(
+            &plan,
+            &kc_dep(),
+            |_, t| !matches!(t.tag, KcTag::ReadReset(2)),
+            &figure_3_universe(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ValidityError::CannotHandle { worker: WorkerId(2), .. }));
+    }
+
+    #[test]
+    fn non_binary_internal_detected() {
+        let mut b = PlanBuilder::new();
+        let root = b.add([], Location(0));
+        let only = b.add([it(KcTag::Inc(1), 0)], Location(0));
+        b.attach(root, only);
+        let plan = b.build(root);
+        let universe = [it(KcTag::Inc(1), 0)].into();
+        let err = check_valid(&plan, &kc_dep(), |_, _| true, &universe).unwrap_err();
+        assert_eq!(err, ValidityError::NonBinaryInternal { worker: WorkerId(0), children: 1 });
+    }
+}

@@ -1,0 +1,110 @@
+//! Property tests of the plan layer: the communication-minimizing
+//! optimizer always produces P-valid plans, covers every tag exactly
+//! once, and never does worse than the sequential plan on the
+//! leaf-rate-fraction objective.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use dgs_core::depends::TableDependence;
+use dgs_core::event::StreamId;
+use dgs_core::tag::ITag;
+use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer, SequentialOptimizer};
+use dgs_plan::plan::Location;
+use dgs_plan::validity::check_valid;
+
+#[derive(Debug, Clone)]
+struct Input {
+    deps: Vec<(u8, u8)>,
+    rates: Vec<u16>, // one itag per entry; tag = index % 5
+}
+
+fn arb_input() -> impl Strategy<Value = Input> {
+    (
+        prop::collection::vec((0u8..5, 0u8..5), 0..8),
+        prop::collection::vec(1u16..1_000, 1..10),
+    )
+        .prop_map(|(deps, rates)| Input { deps, rates })
+}
+
+fn build(input: &Input) -> (Vec<ITagInfo<u8>>, TableDependence<u8>) {
+    let dep = TableDependence::from_pairs(input.deps.iter().copied());
+    let infos: Vec<ITagInfo<u8>> = input
+        .rates
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| {
+            ITagInfo::new(
+                ITag::new((i % 5) as u8, StreamId(i as u32)),
+                r as f64,
+                Location(i as u32),
+            )
+        })
+        .collect();
+    (infos, dep)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn commmin_plans_are_always_valid(input in arb_input()) {
+        let (infos, dep) = build(&input);
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        let universe: BTreeSet<_> = infos.iter().map(|i| i.itag).collect();
+        prop_assert!(check_valid(&plan, &dep, |_, _| true, &universe).is_ok(), "plan:\n{}", plan.render());
+    }
+
+    #[test]
+    fn every_tag_owned_exactly_once(input in arb_input()) {
+        let (infos, dep) = build(&input);
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        let mut seen = BTreeSet::new();
+        for (_, w) in plan.iter() {
+            for t in &w.itags {
+                prop_assert!(seen.insert(*t), "duplicate owner for {t:?}");
+            }
+        }
+        prop_assert_eq!(seen.len(), infos.len());
+    }
+
+    #[test]
+    fn fully_independent_inputs_become_all_leaves(rates in prop::collection::vec(1u16..100, 1..8)) {
+        let infos: Vec<ITagInfo<u8>> = rates
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| ITagInfo::new(ITag::new(i as u8, StreamId(i as u32)), r as f64, Location(i as u32)))
+            .collect();
+        let dep = TableDependence::from_pairs(std::iter::empty::<(u8, u8)>());
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        prop_assert_eq!(plan.leaf_count(), infos.len());
+        let rate_of = |t: &ITag<u8>| {
+            infos.iter().find(|i| &i.itag == t).map(|i| i.rate).unwrap_or(0.0)
+        };
+        prop_assert!((plan.leaf_rate_fraction(rate_of) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_plan_is_always_valid_too(input in arb_input()) {
+        let (infos, dep) = build(&input);
+        let plan = SequentialOptimizer.plan(&infos, &dep);
+        let universe: BTreeSet<_> = infos.iter().map(|i| i.itag).collect();
+        prop_assert!(check_valid(&plan, &dep, |_, _| true, &universe).is_ok());
+    }
+
+    #[test]
+    fn subtree_tags_are_consistent_with_ownership(input in arb_input()) {
+        let (infos, dep) = build(&input);
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        // The root subtree covers everything.
+        prop_assert_eq!(plan.subtree_itags(plan.root()).len(), infos.len());
+        // Each worker's subtree tags = own + children's subtrees.
+        for (id, w) in plan.iter() {
+            let mut expect: BTreeSet<_> = w.itags.clone();
+            for &c in &w.children {
+                expect.extend(plan.subtree_itags(c));
+            }
+            prop_assert_eq!(plan.subtree_itags(id), expect);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! State checkpointing and recovery (Appendix D.2).
+//!
+//! When the root has just joined its descendants' states, the joined
+//! value *is* a consistent snapshot of the distributed state — no Chandy-
+//! Lamport-style coordination needed. The runtime exposes this through
+//! `checkpoint_on_join`; this module keeps the snapshots and rebuilds the
+//! input suffix needed to resume after a crash.
+
+use dgs_core::event::{OrderKey, StreamId, Timestamp};
+use dgs_core::tag::Tag;
+
+use crate::source::ScheduledStream;
+
+/// An in-memory checkpoint store (latest-wins recovery).
+#[derive(Clone, Debug, Default)]
+pub struct CheckpointStore<S> {
+    snaps: Vec<(S, Timestamp)>,
+}
+
+impl<S> CheckpointStore<S> {
+    /// Empty store.
+    pub fn new() -> Self {
+        CheckpointStore { snaps: Vec::new() }
+    }
+
+    /// Record a snapshot taken at the given trigger timestamp.
+    pub fn record(&mut self, state: S, ts: Timestamp) {
+        debug_assert!(self.snaps.last().is_none_or(|(_, t)| *t <= ts));
+        self.snaps.push((state, ts));
+    }
+
+    /// Absorb the checkpoints of a finished run.
+    pub fn extend(&mut self, cps: impl IntoIterator<Item = (S, Timestamp)>) {
+        for (s, t) in cps {
+            self.record(s, t);
+        }
+    }
+
+    /// Latest snapshot, if any.
+    pub fn latest(&self) -> Option<&(S, Timestamp)> {
+        self.snaps.last()
+    }
+
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True if no snapshot was taken.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+}
+
+/// The input suffix strictly after a snapshot cut: a snapshot triggered by
+/// the root's event at `(ts, stream)` covers every *dependent* event up to
+/// that point in the order `O`, so recovery replays items with a larger
+/// `O` key.
+pub fn suffix_after<T: Tag, P: Clone>(
+    streams: &[ScheduledStream<T, P>],
+    cut_ts: Timestamp,
+    cut_stream: StreamId,
+) -> Vec<ScheduledStream<T, P>> {
+    let cut = OrderKey { ts: cut_ts, stream: cut_stream };
+    streams
+        .iter()
+        .map(|s| ScheduledStream {
+            itag: s.itag.clone(),
+            items: s
+                .items
+                .iter()
+                .filter(|item| OrderKey { ts: item.ts(), stream: item.stream() } > cut)
+                .cloned()
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::event::StreamId;
+    use dgs_core::tag::ITag;
+
+    #[test]
+    fn store_orders_and_returns_latest() {
+        let mut store = CheckpointStore::new();
+        assert!(store.is_empty());
+        store.record(10i64, 5);
+        store.record(20i64, 9);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.latest(), Some(&(20, 9)));
+    }
+
+    #[test]
+    fn extend_appends_in_order() {
+        let mut store = CheckpointStore::new();
+        store.extend([(1i64, 1u64), (2, 2)]);
+        assert_eq!(store.latest(), Some(&(2, 2)));
+    }
+
+    #[test]
+    fn suffix_cut_respects_order_keys() {
+        let itag = ITag::new('v', StreamId(1));
+        let s = ScheduledStream::periodic(itag, 1, 1, 10, |i| i);
+        // Cut at ts 5 on stream 0: stream 1's item at ts 5 has a larger
+        // key (5, s1) > (5, s0), so it survives.
+        let suffix = suffix_after(&[s], 5, StreamId(0));
+        let ts: Vec<u64> = suffix[0].items.iter().map(|i| i.ts()).collect();
+        assert_eq!(ts, vec![5, 6, 7, 8, 9, 10]);
+        // Cut on the same stream drops ts 5 as well.
+        let s2 = ScheduledStream::periodic(ITag::new('v', StreamId(1)), 1, 1, 10, |i| i);
+        let suffix2 = suffix_after(&[s2], 5, StreamId(1));
+        let ts2: Vec<u64> = suffix2[0].items.iter().map(|i| i.ts()).collect();
+        assert_eq!(ts2, vec![6, 7, 8, 9, 10]);
+    }
+}

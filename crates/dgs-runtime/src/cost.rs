@@ -1,0 +1,75 @@
+//! CPU cost model for the simulated driver.
+//!
+//! The paper's applications deliberately do little CPU work per event so
+//! that communication and system costs dominate (§4.1); the defaults here
+//! mirror that regime (an `update` costs ~1 µs, protocol operations a few
+//! µs, message handling fractions of a µs).
+
+use dgs_sim::SimTime;
+
+/// Per-operation CPU costs in nanoseconds of virtual time.
+#[derive(Clone, Copy, Debug)]
+pub struct CostModel {
+    /// One `update` call.
+    pub update_ns: SimTime,
+    /// One `fork` call.
+    pub fork_ns: SimTime,
+    /// One `join` call.
+    pub join_ns: SimTime,
+    /// Mailbox insertion + release bookkeeping per received entry.
+    pub mailbox_ns: SimTime,
+    /// Handling one heartbeat.
+    pub heartbeat_ns: SimTime,
+    /// Source-side cost of emitting one event.
+    pub source_emit_ns: SimTime,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            update_ns: 1_000,
+            fork_ns: 3_000,
+            join_ns: 3_000,
+            mailbox_ns: 150,
+            heartbeat_ns: 80,
+            source_emit_ns: 120,
+        }
+    }
+}
+
+impl CostModel {
+    /// Cost of a handler that performed the given operation counts.
+    pub fn handler_cost(&self, updates: u64, joins: u64, forks: u64, inserts: u64, heartbeats: u64) -> SimTime {
+        updates * self.update_ns
+            + joins * self.join_ns
+            + forks * self.fork_ns
+            + inserts * self.mailbox_ns
+            + heartbeats * self.heartbeat_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handler_cost_sums_components() {
+        let c = CostModel {
+            update_ns: 10,
+            fork_ns: 100,
+            join_ns: 1_000,
+            mailbox_ns: 1,
+            heartbeat_ns: 2,
+            source_emit_ns: 0,
+        };
+        assert_eq!(c.handler_cost(2, 1, 1, 3, 4), 20 + 1_000 + 100 + 3 + 8);
+        assert_eq!(c.handler_cost(0, 0, 0, 0, 0), 0);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = CostModel::default();
+        assert!(c.update_ns > 0 && c.fork_ns >= c.update_ns && c.join_ns >= c.update_ns);
+        assert!(c.mailbox_ns < c.update_ns);
+    }
+}

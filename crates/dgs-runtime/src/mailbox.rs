@@ -1,0 +1,413 @@
+//! Selective reordering mailboxes (paper §3.4).
+//!
+//! A worker's mailbox enforces that *dependent* events are handed to the
+//! worker in the total order `O`, while independent events flow through
+//! unimpeded. It tracks, per implementation tag it can receive:
+//!
+//! * a **buffer** of pending entries (events or join requests), kept in
+//!   arrival order — which is `O` order per tag, because timestamps are
+//!   strictly increasing along each stream and links are FIFO; and
+//! * a **timer**: the latest `O`-position observed for the tag (advanced
+//!   by events, join requests, and heartbeats).
+//!
+//! An entry `e` with tag σ at the head of its buffer is *released* when
+//! for every tag σ′ (of this mailbox) dependent on σ:
+//!
+//! 1. `timer[σ′] ≥ key(e)` — no future σ′ item can precede `e`; and
+//! 2. the earliest buffered σ′ entry (if any) comes after `e` in `O` —
+//!    dependent entries are handed over in order.
+//!
+//! Releasing an event adds its dependents to a workset and the check
+//! cascades until the workset drains.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use dgs_core::event::{Event, Heartbeat, OrderKey, StreamId, Timestamp};
+use dgs_core::tag::{ITag, Tag};
+
+/// An entry a mailbox can buffer and release to its worker.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Entry<T, P> {
+    /// A proper input event, to be processed with `update`.
+    Event(Event<T, P>),
+    /// A join request from an ancestor processing its event with the given
+    /// implementation tag and timestamp. Ordered exactly like an event.
+    JoinRequest {
+        /// Tag of the ancestor's synchronizing event.
+        tag: T,
+        /// Stream of the ancestor's synchronizing event.
+        stream: StreamId,
+        /// Timestamp of the ancestor's synchronizing event.
+        ts: Timestamp,
+    },
+}
+
+impl<T: Tag, P> Entry<T, P> {
+    /// Implementation tag of the entry.
+    pub fn itag(&self) -> ITag<T> {
+        match self {
+            Entry::Event(e) => e.itag(),
+            Entry::JoinRequest { tag, stream, .. } => ITag::new(tag.clone(), *stream),
+        }
+    }
+
+    /// Position of the entry in the total order `O`.
+    pub fn order_key(&self) -> OrderKey {
+        match self {
+            Entry::Event(e) => e.order_key(),
+            Entry::JoinRequest { stream, ts, .. } => OrderKey { ts: *ts, stream: *stream },
+        }
+    }
+}
+
+/// A selective-reordering mailbox over a fixed set of implementation tags.
+///
+/// ```
+/// use dgs_core::event::{Event, Heartbeat, StreamId};
+/// use dgs_core::tag::ITag;
+/// use dgs_runtime::mailbox::{Entry, Mailbox};
+///
+/// // Values ('v') synchronize with barriers ('b'); a value can only be
+/// // released once the barrier timer has passed it.
+/// let tags = [ITag::new('v', StreamId(0)), ITag::new('b', StreamId(1))];
+/// let mut mb: Mailbox<char, i64> = Mailbox::new(tags.clone(), tags, |a, b| {
+///     matches!((a, b), ('v', 'b') | ('b', 'v') | ('b', 'b'))
+/// });
+/// assert!(mb.insert(Entry::Event(Event::new('v', StreamId(0), 5, 42))).is_empty());
+/// let released = mb.heartbeat(&Heartbeat::new('b', StreamId(1), 10));
+/// assert_eq!(released.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Mailbox<T: Tag, P> {
+    /// Pending entries per tag, in `O` order (arrival order per tag).
+    buffers: BTreeMap<ITag<T>, VecDeque<Entry<T, P>>>,
+    /// Latest observed `O` position per tag.
+    timers: BTreeMap<ITag<T>, OrderKey>,
+    /// Dependence adjacency *within this mailbox's tag set*, including
+    /// self-loops for self-dependent tags.
+    deps: BTreeMap<ITag<T>, Vec<ITag<T>>>,
+    /// Tags whose proper events arrive at this mailbox directly (the
+    /// worker's own responsibility). The other tags belong to ancestors:
+    /// only join requests and heartbeats carry them, pre-ordered by the
+    /// parent edge.
+    own: std::collections::BTreeSet<ITag<T>>,
+}
+
+impl<T: Tag, P: Clone> Mailbox<T, P> {
+    /// Build a mailbox for the given tags, with dependence given on tags.
+    ///
+    /// `relevant` must contain every implementation tag this mailbox will
+    /// ever receive (the worker's own tags plus its ancestors'), and
+    /// `own` the subset the worker is responsible for; receiving an
+    /// unknown tag panics, as it indicates a routing bug.
+    pub fn new(
+        relevant: impl IntoIterator<Item = ITag<T>>,
+        own: impl IntoIterator<Item = ITag<T>>,
+        depends: impl Fn(&T, &T) -> bool,
+    ) -> Self {
+        let tags: Vec<ITag<T>> = relevant.into_iter().collect();
+        let own: std::collections::BTreeSet<ITag<T>> = own.into_iter().collect();
+        let mut deps: BTreeMap<ITag<T>, Vec<ITag<T>>> = BTreeMap::new();
+        for a in &tags {
+            let mut row = Vec::new();
+            for b in &tags {
+                if depends(&a.tag, &b.tag) {
+                    row.push(b.clone());
+                }
+            }
+            deps.insert(a.clone(), row);
+        }
+        let zero = OrderKey { ts: 0, stream: StreamId(0) };
+        Mailbox {
+            buffers: tags.iter().map(|t| (t.clone(), VecDeque::new())).collect(),
+            timers: tags.iter().map(|t| (t.clone(), zero)).collect(),
+            deps,
+            own,
+        }
+    }
+
+    /// Tags this mailbox accepts.
+    pub fn tags(&self) -> impl Iterator<Item = &ITag<T>> {
+        self.buffers.keys()
+    }
+
+    /// Number of buffered entries across all tags.
+    pub fn buffered(&self) -> usize {
+        self.buffers.values().map(|b| b.len()).sum()
+    }
+
+    /// Insert an entry; returns every entry that becomes releasable, in
+    /// release order.
+    pub fn insert(&mut self, entry: Entry<T, P>) -> Vec<Entry<T, P>> {
+        let itag = entry.itag();
+        let key = entry.order_key();
+        self.advance_timer(&itag, key);
+        let buf = self
+            .buffers
+            .get_mut(&itag)
+            .unwrap_or_else(|| panic!("mailbox received unrouted tag {itag:?}"));
+        debug_assert!(
+            buf.back().is_none_or(|last| last.order_key() < key),
+            "per-tag arrival order violated for {itag:?}"
+        );
+        buf.push_back(entry);
+        self.cascade(itag)
+    }
+
+    /// Observe a heartbeat: advance the tag's timer (no buffering) and
+    /// release anything that unblocks.
+    pub fn heartbeat(&mut self, hb: &Heartbeat<T>) -> Vec<Entry<T, P>> {
+        let itag = hb.itag();
+        if !self.buffers.contains_key(&itag) {
+            // Heartbeats are broadcast down the worker tree; a descendant
+            // may legitimately receive one for a tag it does not track
+            // (e.g. after plans with empty coordinators). Ignore.
+            return Vec::new();
+        }
+        self.advance_timer(&itag, OrderKey { ts: hb.ts, stream: hb.stream });
+        self.cascade(itag)
+    }
+
+    fn advance_timer(&mut self, itag: &ITag<T>, key: OrderKey) {
+        if let Some(t) = self.timers.get_mut(itag) {
+            if key > *t {
+                *t = key;
+            }
+        }
+    }
+
+    /// The §3.4 cascading release: start from the tags dependent on the
+    /// tag that changed, releasing head entries whose conditions hold;
+    /// each release re-awakens its dependents.
+    fn cascade(&mut self, origin: ITag<T>) -> Vec<Entry<T, P>> {
+        let mut released = Vec::new();
+        let mut workset: Vec<ITag<T>> = vec![origin.clone()];
+        if let Some(ds) = self.deps.get(&origin) {
+            workset.extend(ds.iter().cloned());
+        }
+        while let Some(tag) = workset.pop() {
+            while let Some(entry) = self.try_release_head(&tag) {
+                // Entries released: their dependents may unblock next.
+                if let Some(ds) = self.deps.get(&tag) {
+                    for d in ds {
+                        if !workset.contains(d) {
+                            workset.push(d.clone());
+                        }
+                    }
+                }
+                if !workset.contains(&tag) {
+                    workset.push(tag.clone());
+                }
+                released.push(entry);
+            }
+        }
+        released
+    }
+
+    /// Release the head entry of `tag`'s buffer if both §3.4 conditions
+    /// hold.
+    fn try_release_head(&mut self, tag: &ITag<T>) -> Option<Entry<T, P>> {
+        let head = self.buffers.get(tag)?.front()?;
+        let head_key = head.order_key();
+        let head_is_join = matches!(head, Entry::JoinRequest { .. });
+        for dep in self.deps.get(tag).into_iter().flatten() {
+            if dep == tag {
+                // Same tag: the head is by definition the earliest; its
+                // in-order release is guaranteed by the per-tag buffer.
+                continue;
+            }
+            // Condition 1: the dependent tag's timer has passed the
+            // entry — except when releasing a *join request* against an
+            // *ancestor-owned* dependent tag: ancestor traffic reaches
+            // this worker through the single parent edge, already in
+            // dependence order, so waiting on that timer (fed only by
+            // heartbeats the ancestor is still holding back) would
+            // deadlock.
+            let skip_timer = head_is_join && !self.own.contains(dep);
+            if !skip_timer && self.timers[dep] < head_key {
+                return None;
+            }
+            // Condition 2: no earlier dependent entry is still buffered.
+            if let Some(other) = self.buffers[dep].front() {
+                if other.order_key() < head_key {
+                    return None;
+                }
+            }
+        }
+        self.buffers.get_mut(tag).unwrap().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tags: 'v' (value) depends on 'b' (barrier) and vice versa; values
+    /// independent among themselves; barrier self-dependent.
+    fn vb_depends(a: &char, b: &char) -> bool {
+        matches!((a, b), ('v', 'b') | ('b', 'v') | ('b', 'b'))
+    }
+
+    fn v(stream: u32, ts: u64) -> Entry<char, u64> {
+        Entry::Event(Event::new('v', StreamId(stream), ts, ts))
+    }
+
+    fn b(stream: u32, ts: u64) -> Entry<char, u64> {
+        Entry::Event(Event::new('b', StreamId(stream), ts, ts))
+    }
+
+    fn hb(tag: char, stream: u32, ts: u64) -> Heartbeat<char> {
+        Heartbeat::new(tag, StreamId(stream), ts)
+    }
+
+    fn vb_mailbox() -> Mailbox<char, u64> {
+        let tags = [ITag::new('v', StreamId(0)), ITag::new('b', StreamId(1))];
+        Mailbox::new(tags, tags, vb_depends)
+    }
+
+    #[test]
+    fn independent_tag_releases_immediately() {
+        // 'v' depends only on 'b'; with b's timer ahead, v flows through.
+        let mut mb = vb_mailbox();
+        assert!(mb.insert(v(0, 5)).is_empty(), "blocked until b catches up");
+        let rel = mb.heartbeat(&hb('b', 1, 10));
+        assert_eq!(rel, vec![v(0, 5)]);
+        // Now v at ts 7 < timer[b]=10 releases instantly.
+        assert_eq!(mb.insert(v(0, 7)), vec![v(0, 7)]);
+        assert_eq!(mb.buffered(), 0);
+    }
+
+    #[test]
+    fn dependent_events_release_in_order() {
+        let mut mb = vb_mailbox();
+        assert!(mb.insert(v(0, 5)).is_empty());
+        // Barrier at ts 3 must come out before the value at ts 5, and the
+        // value needs the barrier timer ≥ its key.
+        let rel = mb.insert(b(1, 3));
+        assert_eq!(rel, vec![b(1, 3)]); // value still blocked (timer b = 3 < 5)
+        let rel = mb.heartbeat(&hb('b', 1, 6));
+        assert_eq!(rel, vec![v(0, 5)]);
+    }
+
+    #[test]
+    fn barrier_waits_for_earlier_value() {
+        let mut mb = vb_mailbox();
+        assert!(mb.insert(v(0, 2)).is_empty());
+        // Barrier at 4 arrives: timer[v] = 2 < 4 so barrier not releasable;
+        // but the value (key 2 < timer[b]=4) becomes releasable, after
+        // which the barrier still needs timer[v] ≥ 4.
+        let rel = mb.insert(b(1, 4));
+        assert_eq!(rel, vec![v(0, 2)]);
+        // Value heartbeat at 9 releases the barrier.
+        let rel = mb.heartbeat(&hb('v', 0, 9));
+        assert_eq!(rel, vec![b(1, 4)]);
+    }
+
+    #[test]
+    fn cascade_releases_interleaving() {
+        let mut mb = vb_mailbox();
+        assert!(mb.insert(v(0, 1)).is_empty());
+        // b@2 advances timer[b], unblocking v@1; b itself still needs
+        // timer[v] ≥ 2 (another v@1.5 could exist).
+        assert_eq!(mb.insert(b(1, 2)), vec![v(0, 1)]);
+        // timer[v] = (2, s0) < b's key (2, s1): a heartbeat strictly past
+        // ts 2 is needed.
+        assert!(mb.heartbeat(&hb('v', 0, 2)).is_empty());
+        assert_eq!(mb.heartbeat(&hb('v', 0, 3)), vec![b(1, 2)]);
+        // v(3), b(4), v(5): a v-heartbeat far ahead releases b(4) once
+        // v(3) is out, and a b-heartbeat releases v(3) and v(5).
+        assert!(mb.insert(v(0, 3)).is_empty());
+        let rel = mb.insert(b(1, 4));
+        assert_eq!(rel, vec![v(0, 3)]);
+        // v@5 advances the v timer past b@4, releasing the barrier; v@5
+        // itself then waits for the b timer.
+        let rel = mb.insert(v(0, 5));
+        assert_eq!(rel, vec![b(1, 4)]);
+        let rel = mb.heartbeat(&hb('b', 1, 9));
+        assert_eq!(rel, vec![v(0, 5)]);
+        assert_eq!(mb.buffered(), 0);
+    }
+
+    #[test]
+    fn join_requests_order_like_events() {
+        let mut mb = vb_mailbox();
+        assert!(mb.insert(v(0, 5)).is_empty());
+        let jr = Entry::JoinRequest { tag: 'b', stream: StreamId(1), ts: 8 };
+        // The join request releases the value (timer[b]=8 ≥ 5) but itself
+        // waits for timer[v] ≥ 8.
+        let rel = mb.insert(jr.clone());
+        assert_eq!(rel, vec![v(0, 5)]);
+        let rel = mb.heartbeat(&hb('v', 0, 20));
+        assert_eq!(rel, vec![jr]);
+    }
+
+    #[test]
+    fn equal_timestamps_tie_break_by_stream() {
+        // v on stream 0, b on stream 1, same ts: O orders v (stream 0)
+        // first.
+        let mut mb = vb_mailbox();
+        assert!(mb.insert(v(0, 5)).is_empty());
+        let rel = mb.insert(b(1, 5));
+        // b's timer is (5, s1) ≥ v's key (5, s0) → v releases; then b
+        // needs timer[v] ≥ (5,s1): timer[v] = (5,s0) < (5,s1) → blocked.
+        assert_eq!(rel, vec![v(0, 5)]);
+        let rel = mb.heartbeat(&hb('v', 0, 6));
+        assert_eq!(rel, vec![b(1, 5)]);
+    }
+
+    #[test]
+    fn self_dependent_tag_releases_fifo() {
+        let tags = [ITag::new('b', StreamId(0))];
+        let mut mb = Mailbox::<char, u64>::new(tags, tags, |a, b| *a == 'b' && *b == 'b');
+        let rel = mb.insert(b(0, 1));
+        assert_eq!(rel.len(), 1);
+        let rel = mb.insert(b(0, 2));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn heartbeat_for_untracked_tag_is_ignored() {
+        let mut mb = vb_mailbox();
+        let rel = mb.heartbeat(&hb('z', 9, 100));
+        assert!(rel.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unrouted tag")]
+    fn event_for_untracked_tag_panics() {
+        let mut mb = vb_mailbox();
+        let _ = mb.insert(Entry::Event(Event::new('z', StreamId(9), 1, 0)));
+    }
+
+    #[test]
+    fn multiple_value_streams_interleave_freely() {
+        // Two independent value streams plus a barrier: values from
+        // different streams never block each other.
+        let tags = [
+            ITag::new('v', StreamId(0)),
+            ITag::new('v', StreamId(1)),
+            ITag::new('b', StreamId(2)),
+        ];
+        let mut mb = Mailbox::<char, u64>::new(tags, tags, vb_depends);
+        let _ = mb.heartbeat(&hb('b', 2, 100));
+        // Both streams' values release immediately, any arrival order.
+        assert_eq!(mb.insert(v(1, 7)).len(), 1);
+        assert_eq!(mb.insert(v(0, 3)).len(), 1);
+        assert_eq!(mb.insert(v(1, 9)).len(), 1);
+    }
+
+    #[test]
+    fn barrier_needs_all_value_streams() {
+        let tags = [
+            ITag::new('v', StreamId(0)),
+            ITag::new('v', StreamId(1)),
+            ITag::new('b', StreamId(2)),
+        ];
+        let mut mb = Mailbox::<char, u64>::new(tags, tags, vb_depends);
+        assert!(mb.insert(b(2, 10)).is_empty());
+        let rel = mb.heartbeat(&hb('v', 0, 50));
+        assert!(rel.is_empty(), "stream 1 has not caught up yet");
+        let rel = mb.heartbeat(&hb('v', 1, 50));
+        assert_eq!(rel, vec![b(2, 10)]);
+    }
+}

@@ -1,0 +1,228 @@
+//! Workload descriptions: scheduled streams (explicit timestamps, used by
+//! the thread driver and correctness tests) and paced sources (virtual-
+//! time emission, used by the simulation driver).
+
+use dgs_core::event::{Event, Heartbeat, StreamItem, Timestamp};
+use dgs_core::tag::{ITag, Tag};
+use dgs_plan::plan::Location;
+use dgs_sim::SimTime;
+
+/// A fully materialized input stream: one implementation tag, items in
+/// strictly increasing timestamp order.
+#[derive(Clone, Debug)]
+pub struct ScheduledStream<T: Tag, P> {
+    /// The stream's implementation tag (tag + stream id).
+    pub itag: ITag<T>,
+    /// Items in timestamp order.
+    pub items: Vec<StreamItem<T, P>>,
+}
+
+impl<T: Tag, P: Clone> ScheduledStream<T, P> {
+    /// Events at `start, start+period, …` (`count` of them), payloads from
+    /// `payload(i)`.
+    pub fn periodic(
+        itag: ITag<T>,
+        start: Timestamp,
+        period: Timestamp,
+        count: u64,
+        mut payload: impl FnMut(u64) -> P,
+    ) -> Self {
+        assert!(period > 0, "period must be positive for strict monotonicity");
+        let items = (0..count)
+            .map(|i| {
+                StreamItem::Event(Event::new(
+                    itag.tag.clone(),
+                    itag.stream,
+                    start + i * period,
+                    payload(i),
+                ))
+            })
+            .collect();
+        ScheduledStream { itag, items }
+    }
+
+    /// Interleave heartbeats every `period` timestamps, up to the last
+    /// event (exclusive gaps only — a heartbeat never duplicates an event
+    /// timestamp).
+    pub fn with_heartbeats(mut self, period: Timestamp) -> Self {
+        assert!(period > 0);
+        let Some(last) = self.items.last().map(|i| i.ts()) else { return self };
+        let mut merged: Vec<StreamItem<T, P>> = Vec::with_capacity(self.items.len() * 2);
+        let mut next_hb = period;
+        for item in self.items.drain(..) {
+            while next_hb < item.ts() {
+                merged.push(StreamItem::Heartbeat(Heartbeat::new(
+                    self.itag.tag.clone(),
+                    self.itag.stream,
+                    next_hb,
+                )));
+                next_hb += period;
+            }
+            if next_hb == item.ts() {
+                next_hb += period;
+            }
+            merged.push(item);
+        }
+        let _ = last;
+        self.items = merged;
+        self
+    }
+
+    /// Append a closing heartbeat at `ts` (usually `Timestamp::MAX`) so
+    /// every dependent mailbox can flush (Definition 3.3 progress).
+    pub fn closed(mut self, ts: Timestamp) -> Self {
+        debug_assert!(self.items.last().is_none_or(|i| i.ts() < ts));
+        self.items.push(StreamItem::Heartbeat(Heartbeat::new(
+            self.itag.tag.clone(),
+            self.itag.stream,
+            ts,
+        )));
+        self
+    }
+
+    /// The events only (no heartbeats) — what the sequential specification
+    /// consumes.
+    pub fn events(&self) -> impl Iterator<Item = &Event<T, P>> {
+        self.items.iter().filter_map(|i| i.as_event())
+    }
+}
+
+/// Collect per-stream item lists (for `dgs_core::spec::sort_o` and the
+/// thread driver).
+pub fn item_lists<T: Tag, P: Clone>(streams: &[ScheduledStream<T, P>]) -> Vec<Vec<StreamItem<T, P>>> {
+    streams.iter().map(|s| s.items.clone()).collect()
+}
+
+/// A virtual-time paced source for the simulation driver: emits `count`
+/// events with inter-arrival `period_ns`, timestamping each with the
+/// virtual emission time, plus heartbeats every `hb_period_ns`.
+pub struct PacedSource<T: Tag, P> {
+    /// Implementation tag emitted.
+    pub itag: ITag<T>,
+    /// Node the source runs on.
+    pub location: Location,
+    /// Virtual nanoseconds between events.
+    pub period_ns: SimTime,
+    /// Total events to emit.
+    pub count: u64,
+    /// Payload generator (by event index).
+    pub payload: Box<dyn Fn(u64) -> P>,
+    /// Heartbeat period in virtual nanoseconds (None = only the closing
+    /// heartbeat).
+    pub hb_period_ns: Option<SimTime>,
+    /// Virtual time of the first event.
+    pub start_ns: SimTime,
+    /// Events per message (1 = event-by-event; >1 enables the §6 batching
+    /// optimization).
+    pub batch: usize,
+}
+
+impl<T: Tag, P> PacedSource<T, P> {
+    /// Convenience constructor with `start_ns = period_ns`.
+    pub fn new(
+        itag: ITag<T>,
+        location: Location,
+        period_ns: SimTime,
+        count: u64,
+        payload: impl Fn(u64) -> P + 'static,
+    ) -> Self {
+        assert!(period_ns > 0);
+        PacedSource {
+            itag,
+            location,
+            period_ns,
+            count,
+            payload: Box::new(payload),
+            hb_period_ns: None,
+            start_ns: period_ns,
+            batch: 1,
+        }
+    }
+
+    /// Enable batched emission (`batch` events per message).
+    pub fn batched(mut self, batch: usize) -> Self {
+        assert!(batch > 0);
+        self.batch = batch;
+        self
+    }
+
+    /// Set the heartbeat period.
+    pub fn heartbeat_every(mut self, hb_period_ns: SimTime) -> Self {
+        assert!(hb_period_ns > 0);
+        self.hb_period_ns = Some(hb_period_ns);
+        self
+    }
+
+    /// Set the first-event time.
+    pub fn starting_at(mut self, start_ns: SimTime) -> Self {
+        self.start_ns = start_ns;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::event::StreamId;
+
+    fn itag() -> ITag<char> {
+        ITag::new('v', StreamId(3))
+    }
+
+    #[test]
+    fn periodic_generates_monotone_events() {
+        let s = ScheduledStream::periodic(itag(), 10, 5, 4, |i| i);
+        let ts: Vec<u64> = s.items.iter().map(|i| i.ts()).collect();
+        assert_eq!(ts, vec![10, 15, 20, 25]);
+        assert_eq!(s.events().count(), 4);
+        assert_eq!(s.events().last().unwrap().payload, 3);
+    }
+
+    #[test]
+    fn heartbeats_fill_gaps_without_colliding() {
+        let s = ScheduledStream::periodic(itag(), 10, 10, 3, |_| ()).with_heartbeats(4);
+        // Events at 10,20,30; heartbeats at 4,8,(12),16,(24),28 — none at
+        // event timestamps, all strictly increasing.
+        let ts: Vec<u64> = s.items.iter().map(|i| i.ts()).collect();
+        let mut sorted = ts.clone();
+        sorted.dedup();
+        assert_eq!(ts, sorted, "strictly increasing, no duplicates");
+        assert_eq!(s.events().count(), 3);
+        assert!(s.items.iter().any(|i| i.is_heartbeat()));
+    }
+
+    #[test]
+    fn heartbeat_on_event_timestamp_is_skipped() {
+        let s = ScheduledStream::periodic(itag(), 5, 5, 2, |_| ()).with_heartbeats(5);
+        // hb would fall exactly on 5 and 10; both skipped.
+        assert!(s.items.iter().all(|i| !i.is_heartbeat()));
+    }
+
+    #[test]
+    fn closed_appends_final_heartbeat() {
+        let s = ScheduledStream::periodic(itag(), 1, 1, 2, |_| ()).closed(u64::MAX);
+        assert!(s.items.last().unwrap().is_heartbeat());
+        assert_eq!(s.items.last().unwrap().ts(), u64::MAX);
+    }
+
+    #[test]
+    fn item_lists_preserves_shape() {
+        let a = ScheduledStream::periodic(itag(), 1, 1, 3, |_| ());
+        let b = ScheduledStream::periodic(ITag::new('b', StreamId(9)), 2, 2, 2, |_| ());
+        let lists = item_lists(&[a, b]);
+        assert_eq!(lists.len(), 2);
+        assert_eq!(lists[0].len(), 3);
+        assert_eq!(lists[1].len(), 2);
+    }
+
+    #[test]
+    fn paced_source_builders() {
+        let p = PacedSource::new(itag(), Location(2), 100, 10, |i| i)
+            .heartbeat_every(50)
+            .starting_at(7);
+        assert_eq!(p.period_ns, 100);
+        assert_eq!(p.hb_period_ns, Some(50));
+        assert_eq!(p.start_ns, 7);
+        assert_eq!((p.payload)(4), 4);
+    }
+}

@@ -1,0 +1,297 @@
+//! Run a synchronization plan on real OS threads.
+//!
+//! One thread per worker, connected by unbounded crossbeam channels
+//! (lossless, FIFO per edge — the delivery assumptions of Theorem 3.5).
+//! One thread per input stream feeds events and heartbeats at full speed,
+//! so arrival interleavings across workers are genuinely nondeterministic;
+//! the output multiset must nevertheless equal the sequential
+//! specification, which is exactly what the integration tests assert.
+//!
+//! Termination uses an in-flight message counter: every send increments
+//! it before the message enters a channel and every handled message
+//! decrements it afterwards, so the counter reads zero only at global
+//! quiescence once all sources have finished.
+
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use dgs_core::event::{StreamItem, Timestamp};
+use dgs_core::program::DgsProgram;
+use dgs_plan::plan::Plan;
+
+use crate::source::ScheduledStream;
+use crate::worker::{WorkerCore, WorkerMsg};
+
+enum ThreadMsg<T, P, S> {
+    Protocol(WorkerMsg<T, P, S>),
+    Shutdown,
+}
+
+type MsgSender<T, P, S> = Sender<ThreadMsg<T, P, S>>;
+type MsgReceiver<T, P, S> = Receiver<ThreadMsg<T, P, S>>;
+
+/// Result of a threaded run.
+#[derive(Debug)]
+pub struct ThreadRunResult<S, Out> {
+    /// All outputs with their triggering event timestamps (arbitrary
+    /// interleaving across workers).
+    pub outputs: Vec<(Out, Timestamp)>,
+    /// Root checkpoints, in order (empty unless enabled).
+    pub checkpoints: Vec<(S, Timestamp)>,
+}
+
+/// Options for [`run_threads`].
+pub struct ThreadRunOptions<S> {
+    /// Seed the root with this state instead of `prog.init()` (used by
+    /// checkpoint recovery).
+    pub initial_state: Option<S>,
+    /// Snapshot the root state at every root join.
+    pub checkpoint_root: bool,
+}
+
+impl<S> Default for ThreadRunOptions<S> {
+    fn default() -> Self {
+        ThreadRunOptions { initial_state: None, checkpoint_root: false }
+    }
+}
+
+/// Execute `plan` over the given input streams and return every output
+/// once the system is quiescent.
+pub fn run_threads<Prog>(
+    prog: Arc<Prog>,
+    plan: &Plan<Prog::Tag>,
+    streams: Vec<ScheduledStream<Prog::Tag, Prog::Payload>>,
+    options: ThreadRunOptions<Prog::State>,
+) -> ThreadRunResult<Prog::State, Prog::Out>
+where
+    Prog: DgsProgram + Send + Sync + 'static,
+    Prog::State: Send,
+    Prog::Out: Send,
+{
+    let n = plan.len();
+    let mut senders: Vec<MsgSender<Prog::Tag, Prog::Payload, Prog::State>> = Vec::with_capacity(n);
+    let mut receivers: Vec<MsgReceiver<Prog::Tag, Prog::Payload, Prog::State>> =
+        Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    let in_flight = Arc::new(AtomicI64::new(0));
+    let (out_tx, out_rx) = unbounded::<(Prog::Out, Timestamp)>();
+    let (cp_tx, cp_rx) = unbounded::<(Prog::State, Timestamp)>();
+
+    let send = |senders: &[Sender<_>], in_flight: &AtomicI64, dst: usize, msg| {
+        in_flight.fetch_add(1, Ordering::SeqCst);
+        senders[dst]
+            .send(ThreadMsg::Protocol(msg))
+            .expect("worker channel closed prematurely");
+    };
+
+    // Seed the root.
+    let initial = options.initial_state.unwrap_or_else(|| prog.init());
+    send(&senders, &in_flight, plan.root().0, WorkerMsg::StateDown { state: initial });
+
+    std::thread::scope(|scope| {
+        // Workers.
+        for (id, _) in plan.iter() {
+            let mut core = WorkerCore::from_plan(prog.clone(), plan, id);
+            if options.checkpoint_root && id == plan.root() {
+                core.checkpoint_on_join = true;
+            }
+            let rx = receivers[id.0].clone();
+            let senders = senders.clone();
+            let in_flight = in_flight.clone();
+            let out_tx = out_tx.clone();
+            let cp_tx = cp_tx.clone();
+            scope.spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        ThreadMsg::Shutdown => break,
+                        ThreadMsg::Protocol(wm) => {
+                            let fx = core.handle(wm);
+                            for (dst, m) in fx.msgs {
+                                in_flight.fetch_add(1, Ordering::SeqCst);
+                                senders[dst.0]
+                                    .send(ThreadMsg::Protocol(m))
+                                    .expect("worker channel closed prematurely");
+                            }
+                            for o in fx.outputs {
+                                out_tx.send(o).expect("output channel closed");
+                            }
+                            for cp in fx.checkpoints {
+                                cp_tx.send(cp).expect("checkpoint channel closed");
+                            }
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                        }
+                    }
+                }
+            });
+        }
+
+        // Sources: one feeder thread per stream, full speed.
+        let feeders: Vec<_> = streams
+            .into_iter()
+            .map(|stream| {
+                let dst = plan
+                    .responsible_for(&stream.itag)
+                    .unwrap_or_else(|| panic!("no worker responsible for {:?}", stream.itag));
+                let senders = senders.clone();
+                let in_flight = in_flight.clone();
+                scope.spawn(move || {
+                    for item in stream.items {
+                        let msg = match item {
+                            StreamItem::Event(e) => WorkerMsg::Event(e),
+                            StreamItem::Heartbeat(h) => WorkerMsg::Heartbeat(h),
+                        };
+                        in_flight.fetch_add(1, Ordering::SeqCst);
+                        senders[dst.0]
+                            .send(ThreadMsg::Protocol(msg))
+                            .expect("worker channel closed prematurely");
+                    }
+                })
+            })
+            .collect();
+        for f in feeders {
+            f.join().expect("feeder panicked");
+        }
+
+        // Quiescence: all sources done and nothing in flight.
+        while in_flight.load(Ordering::SeqCst) != 0 {
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        }
+        for tx in &senders {
+            tx.send(ThreadMsg::Shutdown).expect("worker channel closed prematurely");
+        }
+    });
+
+    drop(out_tx);
+    drop(cp_tx);
+    ThreadRunResult { outputs: out_rx.iter().collect(), checkpoints: cp_rx.iter().collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::event::StreamId;
+    use dgs_core::examples::{KcTag, KeyCounter};
+    use dgs_core::spec::{run_sequential, sort_o};
+    use dgs_core::tag::ITag;
+    use dgs_plan::plan::{Location, PlanBuilder};
+    use crate::source::item_lists;
+
+    fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    fn counter_plan() -> Plan<KcTag> {
+        let mut b = PlanBuilder::new();
+        let root = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let l = b.add([it(KcTag::Inc(1), 1)], Location(0));
+        let r = b.add([it(KcTag::Inc(1), 2)], Location(0));
+        b.attach(root, l);
+        b.attach(root, r);
+        b.build(root)
+    }
+
+    fn workload() -> Vec<ScheduledStream<KcTag, ()>> {
+        vec![
+            ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 50, 50, 8, |_| ())
+                .with_heartbeats(5)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 3, 100, |_| ())
+                .with_heartbeats(7)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 2), 2, 3, 100, |_| ())
+                .with_heartbeats(7)
+                .closed(u64::MAX),
+        ]
+    }
+
+    #[test]
+    fn threaded_run_matches_sequential_spec() {
+        let plan = counter_plan();
+        let streams = workload();
+        let expect = {
+            let merged = sort_o(&item_lists(&streams));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            streams,
+            ThreadRunOptions::default(),
+        );
+        let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+        // 8 read-resets -> 8 outputs, 200 increments counted in total.
+        assert_eq!(got.len(), 8);
+        let total: i64 = got.iter().map(|(_, v)| *v).sum();
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn repeated_runs_agree_up_to_reordering() {
+        let plan = counter_plan();
+        let mut baseline: Option<Vec<(u32, i64)>> = None;
+        for _ in 0..5 {
+            let result = run_threads(
+                Arc::new(KeyCounter),
+                &plan,
+                workload(),
+                ThreadRunOptions::default(),
+            );
+            let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+            got.sort();
+            match &baseline {
+                None => baseline = Some(got),
+                Some(b) => assert_eq!(&got, b),
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoints_collected_when_enabled() {
+        let plan = counter_plan();
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            workload(),
+            ThreadRunOptions { initial_state: None, checkpoint_root: true },
+        );
+        // One checkpoint per root join (8 read-resets).
+        assert_eq!(result.checkpoints.len(), 8);
+        // Checkpoints are ordered by trigger timestamp.
+        let ts: Vec<_> = result.checkpoints.iter().map(|(_, t)| *t).collect();
+        let mut sorted = ts.clone();
+        sorted.sort();
+        assert_eq!(ts, sorted);
+    }
+
+    #[test]
+    fn initial_state_override_is_respected() {
+        // Seed with a pre-existing count and read it out.
+        let plan = counter_plan();
+        let streams = vec![
+            ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 10, 10, 1, |_| ())
+                .closed(u64::MAX),
+            ScheduledStream { itag: it(KcTag::Inc(1), 1), items: vec![] }.closed(u64::MAX),
+            ScheduledStream { itag: it(KcTag::Inc(1), 2), items: vec![] }.closed(u64::MAX),
+        ];
+        let mut seed = std::collections::BTreeMap::new();
+        seed.insert(1u32, 42i64);
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            streams,
+            ThreadRunOptions { initial_state: Some(seed), checkpoint_root: false },
+        );
+        assert_eq!(result.outputs.len(), 1);
+        assert_eq!(result.outputs[0].0, (1, 42));
+    }
+}

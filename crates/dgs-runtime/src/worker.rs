@@ -1,0 +1,605 @@
+//! The worker fork/join protocol (paper §3.4, "Event processing").
+//!
+//! A [`WorkerCore`] is the driver-independent state machine of one
+//! synchronization-plan worker. It owns the worker's mailbox and mode:
+//!
+//! * A **leaf** holds a state and applies `update` to each released event.
+//! * An **internal** worker normally holds *no* state (its children do).
+//!   When its mailbox releases one of its own events, it sends join
+//!   requests to its children **through their mailboxes** — so the request
+//!   is ordered against every dependent event — collects their states,
+//!   `join`s them, `update`s with the event, `fork`s the result along its
+//!   children's subtree predicates, and sends the halves back.
+//! * A worker receiving an *ancestor's* join request forwards it down
+//!   (gathering and joining its own children first, if any) and passes the
+//!   joined state up, then waits for the forked share to come back.
+//!
+//! Drivers deliver [`WorkerMsg`]s and route the produced
+//! [`StepEffects::msgs`]; delivery must be FIFO per worker pair and
+//! lossless (assumption 4 of the paper's Theorem 3.5).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use dgs_core::event::{Event, Heartbeat, StreamId, Timestamp};
+use dgs_core::predicate::TagPredicate;
+use dgs_core::program::DgsProgram;
+use dgs_core::tag::ITag;
+use dgs_plan::plan::{Plan, WorkerId};
+
+use crate::mailbox::{Entry, Mailbox};
+
+/// Message delivered to a worker.
+#[derive(Clone, Debug)]
+pub enum WorkerMsg<T, P, S> {
+    /// An input event routed to the worker responsible for its tag.
+    Event(Event<T, P>),
+    /// A batch of input events of one implementation tag, in timestamp
+    /// order (the paper's §6 batching optimization: one message, one
+    /// mailbox pass, amortized framing).
+    EventBatch(Vec<Event<T, P>>),
+    /// A heartbeat (forwarded down the subtree of the responsible worker).
+    Heartbeat(Heartbeat<T>),
+    /// A join request from the parent, keyed by the synchronizing event's
+    /// implementation tag and timestamp.
+    JoinRequest {
+        /// Tag of the synchronizing event.
+        tag: T,
+        /// Stream of the synchronizing event.
+        stream: StreamId,
+        /// Timestamp of the synchronizing event.
+        ts: Timestamp,
+    },
+    /// A child's state travelling up for a join.
+    StateUp {
+        /// The child that sent its state.
+        from: WorkerId,
+        /// The child's (already internally joined) state.
+        state: S,
+    },
+    /// A forked state share travelling down after a join completes. Also
+    /// used by drivers to seed the root with the initial state.
+    StateDown {
+        /// The share this worker (and its subtree) now owns.
+        state: S,
+    },
+}
+
+/// What a join in progress will do once both children's states arrive.
+#[derive(Clone, Debug)]
+enum JoinPurpose<T, P> {
+    /// Process this worker's own synchronizing event.
+    OwnEvent(Event<T, P>),
+    /// Relay the joined state to the parent (an ancestor is processing).
+    Forward,
+}
+
+/// Execution mode of a worker.
+#[derive(Clone, Debug)]
+enum Mode<T, P, S> {
+    /// Waiting for the initial `StateDown`.
+    Startup,
+    /// Leaf holding its state share.
+    LeafHolding(S),
+    /// Internal worker whose children hold the state.
+    Forked,
+    /// Join in progress: waiting for children's `StateUp`s.
+    Joining {
+        purpose: JoinPurpose<T, P>,
+        left: Option<S>,
+        right: Option<S>,
+    },
+    /// State sent to the parent; waiting for the forked share.
+    AwaitingFork,
+}
+
+/// Side effects of handling one message.
+#[derive(Debug)]
+pub struct StepEffects<T, P, S, Out> {
+    /// Messages to route to other workers (in order; FIFO per dst).
+    pub msgs: Vec<(WorkerId, WorkerMsg<T, P, S>)>,
+    /// Outputs produced, each with the timestamp of the event that
+    /// produced it (for latency accounting).
+    pub outputs: Vec<(Out, Timestamp)>,
+    /// Number of `update` calls performed.
+    pub updates: u64,
+    /// Number of `join` calls performed.
+    pub joins: u64,
+    /// Number of `fork` calls performed.
+    pub forks: u64,
+    /// Checkpoints taken (root only; Appendix D.2).
+    pub checkpoints: Vec<(S, Timestamp)>,
+}
+
+impl<T, P, S, Out> Default for StepEffects<T, P, S, Out> {
+    fn default() -> Self {
+        StepEffects {
+            msgs: Vec::new(),
+            outputs: Vec::new(),
+            updates: 0,
+            joins: 0,
+            forks: 0,
+            checkpoints: Vec::new(),
+        }
+    }
+}
+
+/// A unit of deferred work for a worker: a released mailbox entry, or a
+/// heartbeat waiting to be forwarded down the tree. Heartbeat forwarding
+/// is serialized through this queue so a child's timer can never advance
+/// past a synchronizing event its ancestor has not finished joining.
+#[derive(Clone, Debug)]
+enum PendingItem<T, P> {
+    Entry(Entry<T, P>),
+    ForwardHeartbeat(Heartbeat<T>),
+}
+
+/// Driver-independent worker state machine.
+pub struct WorkerCore<Prog: DgsProgram> {
+    id: WorkerId,
+    parent: Option<WorkerId>,
+    children: Vec<WorkerId>,
+    mailbox: Mailbox<Prog::Tag, Prog::Payload>,
+    pending: VecDeque<PendingItem<Prog::Tag, Prog::Payload>>,
+    mode: Mode<Prog::Tag, Prog::Payload, Prog::State>,
+    left_pred: TagPredicate<Prog::Tag>,
+    right_pred: TagPredicate<Prog::Tag>,
+    prog: Arc<Prog>,
+    /// Take a checkpoint every time this worker (the root) completes a
+    /// join for one of its own events.
+    pub checkpoint_on_join: bool,
+}
+
+impl<Prog: DgsProgram> WorkerCore<Prog> {
+    /// Build the core for worker `id` of `plan`.
+    ///
+    /// The mailbox accepts the worker's own implementation tags plus all
+    /// of its ancestors' (join requests and forwarded heartbeats arrive
+    /// tagged with ancestor tags).
+    pub fn from_plan(prog: Arc<Prog>, plan: &Plan<Prog::Tag>, id: WorkerId) -> Self {
+        let worker = plan.worker(id);
+        let mut relevant: Vec<ITag<Prog::Tag>> = worker.itags.iter().cloned().collect();
+        let mut anc = worker.parent;
+        while let Some(a) = anc {
+            relevant.extend(plan.worker(a).itags.iter().cloned());
+            anc = plan.worker(a).parent;
+        }
+        let (left_pred, right_pred) = if worker.children.len() == 2 {
+            (
+                plan.subtree_predicate(worker.children[0]),
+                plan.subtree_predicate(worker.children[1]),
+            )
+        } else {
+            (TagPredicate::empty(), TagPredicate::empty())
+        };
+        let p = prog.clone();
+        WorkerCore {
+            id,
+            parent: worker.parent,
+            children: worker.children.clone(),
+            mailbox: Mailbox::new(relevant, worker.itags.iter().cloned(), move |a, b| {
+                p.depends(a, b)
+            }),
+            pending: VecDeque::new(),
+            mode: Mode::Startup,
+            left_pred,
+            right_pred,
+            prog,
+            checkpoint_on_join: false,
+        }
+    }
+
+    /// This worker's id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// True if the worker has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Entries released by the mailbox but not yet processed (the worker
+    /// is blocked on a join/fork round-trip).
+    pub fn backlog(&self) -> usize {
+        self.pending.len() + self.mailbox.buffered()
+    }
+
+    /// Handle one message, producing routing/output effects.
+    pub fn handle(
+        &mut self,
+        msg: WorkerMsg<Prog::Tag, Prog::Payload, Prog::State>,
+    ) -> StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out> {
+        let mut fx = StepEffects::default();
+        match msg {
+            WorkerMsg::Event(e) => {
+                let released = self.mailbox.insert(Entry::Event(e));
+                self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                self.drain(&mut fx);
+            }
+            WorkerMsg::EventBatch(events) => {
+                for e in events {
+                    let released = self.mailbox.insert(Entry::Event(e));
+                    self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                }
+                self.drain(&mut fx);
+            }
+            WorkerMsg::Heartbeat(hb) => {
+                let released = self.mailbox.heartbeat(&hb);
+                self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                // Forward down the subtree *behind* everything this worker
+                // has yet to process: a child may only learn that tag σ
+                // advanced past t once every σ event with ts ≤ t has been
+                // fully joined here. Serializing the forward through the
+                // pending queue guarantees it follows the corresponding
+                // join requests on the same FIFO edges.
+                if !self.children.is_empty() {
+                    self.pending.push_back(PendingItem::ForwardHeartbeat(hb));
+                }
+                self.drain(&mut fx);
+            }
+            WorkerMsg::JoinRequest { tag, stream, ts } => {
+                let released = self.mailbox.insert(Entry::JoinRequest { tag, stream, ts });
+                self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                self.drain(&mut fx);
+            }
+            WorkerMsg::StateUp { from, state } => {
+                self.on_state_up(from, state, &mut fx);
+            }
+            WorkerMsg::StateDown { state } => {
+                self.adopt_state(state, &mut fx);
+                self.drain(&mut fx);
+            }
+        }
+        fx
+    }
+
+    /// Receive a state share: leaves hold it, internal workers fork it
+    /// down immediately.
+    fn adopt_state(
+        &mut self,
+        state: Prog::State,
+        fx: &mut StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>,
+    ) {
+        if self.is_leaf() {
+            self.mode = Mode::LeafHolding(state);
+        } else {
+            let (l, r) = self.prog.fork(state, &self.left_pred, &self.right_pred);
+            fx.forks += 1;
+            fx.msgs.push((self.children[0], WorkerMsg::StateDown { state: l }));
+            fx.msgs.push((self.children[1], WorkerMsg::StateDown { state: r }));
+            self.mode = Mode::Forked;
+        }
+    }
+
+    fn on_state_up(
+        &mut self,
+        from: WorkerId,
+        state: Prog::State,
+        fx: &mut StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>,
+    ) {
+        let Mode::Joining { purpose, left, right } = &mut self.mode else {
+            panic!("{}: StateUp outside a join", self.id);
+        };
+        if from == self.children[0] {
+            debug_assert!(left.is_none(), "duplicate left StateUp");
+            *left = Some(state);
+        } else if from == self.children[1] {
+            debug_assert!(right.is_none(), "duplicate right StateUp");
+            *right = Some(state);
+        } else {
+            panic!("{}: StateUp from non-child {from}", self.id);
+        }
+        if left.is_some() && right.is_some() {
+            let purpose = purpose.clone();
+            let l = left.take().expect("left present");
+            let r = right.take().expect("right present");
+            let mut joined = self.prog.join(l, r);
+            fx.joins += 1;
+            match purpose {
+                JoinPurpose::OwnEvent(e) => {
+                    let mut outs = Vec::new();
+                    self.prog.update(&mut joined, &e, &mut outs);
+                    fx.updates += 1;
+                    fx.outputs.extend(outs.into_iter().map(|o| (o, e.ts)));
+                    if self.checkpoint_on_join {
+                        fx.checkpoints.push((joined.clone(), e.ts));
+                    }
+                    self.adopt_state(joined, fx);
+                    self.drain(fx);
+                }
+                JoinPurpose::Forward => {
+                    let parent = self.parent.expect("forward join needs a parent");
+                    fx.msgs.push((parent, WorkerMsg::StateUp { from: self.id, state: joined }));
+                    self.mode = Mode::AwaitingFork;
+                }
+            }
+        }
+    }
+
+    /// Process released entries in order until blocked or drained.
+    fn drain(&mut self, fx: &mut StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>) {
+        loop {
+            match self.mode {
+                Mode::LeafHolding(_) | Mode::Forked => {}
+                _ => return,
+            }
+            let Some(item) = self.pending.pop_front() else { return };
+            let entry = match item {
+                PendingItem::ForwardHeartbeat(hb) => {
+                    for &c in &self.children {
+                        fx.msgs.push((c, WorkerMsg::Heartbeat(hb.clone())));
+                    }
+                    continue;
+                }
+                PendingItem::Entry(entry) => entry,
+            };
+            match entry {
+                Entry::Event(e) => {
+                    if let Mode::LeafHolding(state) = &mut self.mode {
+                        let mut outs = Vec::new();
+                        self.prog.update(state, &e, &mut outs);
+                        fx.updates += 1;
+                        fx.outputs.extend(outs.into_iter().map(|o| (o, e.ts)));
+                    } else {
+                        // Internal worker's own event: gather the children.
+                        self.begin_join(JoinPurpose::OwnEvent(e.clone()), e.itag(), e.ts, fx);
+                    }
+                }
+                Entry::JoinRequest { tag, stream, ts } => {
+                    if self.is_leaf() {
+                        let Mode::LeafHolding(_) = &self.mode else { unreachable!() };
+                        let Mode::LeafHolding(state) =
+                            std::mem::replace(&mut self.mode, Mode::AwaitingFork)
+                        else {
+                            unreachable!()
+                        };
+                        let parent = self.parent.expect("join request implies a parent");
+                        fx.msgs.push((parent, WorkerMsg::StateUp { from: self.id, state }));
+                    } else {
+                        self.begin_join(
+                            JoinPurpose::Forward,
+                            ITag::new(tag.clone(), stream),
+                            ts,
+                            fx,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    fn begin_join(
+        &mut self,
+        purpose: JoinPurpose<Prog::Tag, Prog::Payload>,
+        itag: ITag<Prog::Tag>,
+        ts: Timestamp,
+        fx: &mut StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>,
+    ) {
+        debug_assert!(!self.children.is_empty());
+        for &c in &self.children {
+            fx.msgs.push((
+                c,
+                WorkerMsg::JoinRequest { tag: itag.tag.clone(), stream: itag.stream, ts },
+            ));
+        }
+        self.mode = Mode::Joining { purpose, left: None, right: None };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::examples::{KcTag, KeyCounter};
+    use dgs_core::spec::{run_sequential, sort_o};
+    use dgs_core::event::StreamItem;
+    use dgs_plan::plan::{Location, PlanBuilder};
+    use std::collections::BTreeMap;
+
+    type Msg = WorkerMsg<KcTag, (), BTreeMap<u32, i64>>;
+
+    /// In-process FIFO dispatcher: delivers messages in send order (global
+    /// queue ⇒ FIFO per pair), collecting outputs.
+    struct Harness {
+        workers: Vec<WorkerCore<KeyCounter>>,
+        queue: VecDeque<(WorkerId, Msg)>,
+        outputs: Vec<((u32, i64), Timestamp)>,
+        checkpoints: Vec<(BTreeMap<u32, i64>, Timestamp)>,
+    }
+
+    impl Harness {
+        fn new(plan: &Plan<KcTag>) -> Self {
+            let prog = Arc::new(KeyCounter);
+            let workers = plan
+                .iter()
+                .map(|(id, _)| WorkerCore::from_plan(prog.clone(), plan, id))
+                .collect();
+            let mut h = Harness {
+                workers,
+                queue: VecDeque::new(),
+                outputs: Vec::new(),
+                checkpoints: Vec::new(),
+            };
+            // Seed the root with the initial state.
+            h.queue.push_back((plan.root(), WorkerMsg::StateDown { state: BTreeMap::new() }));
+            h.pump();
+            h
+        }
+
+        fn send(&mut self, dst: WorkerId, msg: Msg) {
+            self.queue.push_back((dst, msg));
+            self.pump();
+        }
+
+        fn pump(&mut self) {
+            while let Some((dst, msg)) = self.queue.pop_front() {
+                let fx = self.workers[dst.0].handle(msg);
+                self.outputs.extend(fx.outputs);
+                self.checkpoints.extend(fx.checkpoints);
+                self.queue.extend(fx.msgs);
+            }
+        }
+    }
+
+    fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    /// Figure 3 plan: w1{} — w2{r(1),i(1)}, w3{r(2)} — w4{i(2)a}, w5{i(2)b}.
+    fn figure_3_plan() -> Plan<KcTag> {
+        let mut b = PlanBuilder::new();
+        let w1 = b.add([], Location(0));
+        let w2 = b.add([it(KcTag::ReadReset(1), 1), it(KcTag::Inc(1), 1)], Location(1));
+        let w3 = b.add([it(KcTag::ReadReset(2), 0)], Location(0));
+        let w4 = b.add([it(KcTag::Inc(2), 2)], Location(2));
+        let w5 = b.add([it(KcTag::Inc(2), 3)], Location(3));
+        b.attach(w1, w2);
+        b.attach(w1, w3);
+        b.attach(w3, w4);
+        b.attach(w3, w5);
+        b.build(w1)
+    }
+
+    fn route(plan: &Plan<KcTag>, h: &mut Harness, e: Event<KcTag, ()>) {
+        let dst = plan.responsible_for(&e.itag()).expect("routed tag");
+        h.send(dst, WorkerMsg::Event(e));
+    }
+
+    fn hb(plan: &Plan<KcTag>, h: &mut Harness, tag: KcTag, stream: u32, ts: u64) {
+        let dst = plan.responsible_for(&it(tag, stream)).expect("routed tag");
+        h.send(dst, WorkerMsg::Heartbeat(Heartbeat::new(tag, StreamId(stream), ts)));
+    }
+
+    #[test]
+    fn leaf_processes_events_directly() {
+        let plan = figure_3_plan();
+        let mut h = Harness::new(&plan);
+        // i(1) events + r(1) on leaf w2 (its own mailbox orders them).
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(1), 1, ()));
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(1), 2, ()));
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(1), 3, ()));
+        // Both tags share stream 1 here, so the r(1)@3 also advances the
+        // i(1) ordering... but the i(1) *timer* must still pass ts 3
+        // before r(1) can release (another i(1)@2.5 could be in flight).
+        assert!(h.outputs.is_empty());
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 4);
+        assert_eq!(h.outputs, vec![((1, 2), 3)]);
+    }
+
+    #[test]
+    fn internal_join_aggregates_children() {
+        let plan = figure_3_plan();
+        let mut h = Harness::new(&plan);
+        // Counts of key 2 accumulate on both leaves, then r(2) at w3 joins.
+        route(&plan, &mut h, Event::new(KcTag::Inc(2), StreamId(2), 1, ()));
+        route(&plan, &mut h, Event::new(KcTag::Inc(2), StreamId(3), 2, ()));
+        route(&plan, &mut h, Event::new(KcTag::Inc(2), StreamId(2), 3, ()));
+        // r(2) at ts 5: blocked at w3's mailbox until i(2) timers pass 5 —
+        // i(2) is NOT in w3's mailbox (children order the join request),
+        // so it releases right away and the join request waits in the
+        // children's mailboxes for their heartbeats.
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(2), StreamId(0), 5, ()));
+        assert!(h.outputs.is_empty(), "children have not released the join request yet");
+        hb(&plan, &mut h, KcTag::Inc(2), 2, 10);
+        assert!(h.outputs.is_empty(), "stream i(2)b has not caught up");
+        hb(&plan, &mut h, KcTag::Inc(2), 3, 10);
+        assert_eq!(h.outputs, vec![((2, 3), 5)]);
+    }
+
+    #[test]
+    fn increments_after_read_reset_partition_correctly() {
+        let plan = figure_3_plan();
+        let mut h = Harness::new(&plan);
+        route(&plan, &mut h, Event::new(KcTag::Inc(2), StreamId(2), 1, ()));
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(2), StreamId(0), 2, ()));
+        hb(&plan, &mut h, KcTag::Inc(2), 2, 5);
+        hb(&plan, &mut h, KcTag::Inc(2), 3, 5);
+        assert_eq!(h.outputs, vec![((2, 1), 2)]);
+        // After the fork, leaves count again from their shares.
+        route(&plan, &mut h, Event::new(KcTag::Inc(2), StreamId(3), 6, ()));
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(2), StreamId(0), 7, ()));
+        hb(&plan, &mut h, KcTag::Inc(2), 2, 9);
+        hb(&plan, &mut h, KcTag::Inc(2), 3, 9);
+        assert_eq!(h.outputs, vec![((2, 1), 2), ((2, 1), 7)]);
+    }
+
+    #[test]
+    fn matches_sequential_spec_on_interleaved_workload() {
+        let plan = figure_3_plan();
+        let mut h = Harness::new(&plan);
+        // Build a 4-stream workload (streams 0..=3 as in the plan).
+        let mut streams: Vec<Vec<StreamItem<KcTag, ()>>> = vec![Vec::new(); 4];
+        let mut push = |s: u32, tag: KcTag, ts: u64| {
+            streams[s as usize].push(StreamItem::Event(Event::new(tag, StreamId(s), ts, ())));
+        };
+        push(1, KcTag::Inc(1), 1);
+        push(2, KcTag::Inc(2), 1);
+        push(3, KcTag::Inc(2), 2);
+        push(1, KcTag::ReadReset(1), 3);
+        push(0, KcTag::ReadReset(2), 4);
+        push(2, KcTag::Inc(2), 5);
+        push(3, KcTag::Inc(2), 6);
+        push(0, KcTag::ReadReset(2), 7);
+        push(1, KcTag::Inc(1), 8);
+        push(1, KcTag::ReadReset(1), 9);
+        // Feed in a deliberately skewed order (per-stream order kept).
+        let order: Vec<(usize, usize)> = vec![
+            (2, 0), (3, 0), (0, 0), (1, 0), (2, 1), (1, 1), (3, 1), (0, 1), (1, 2), (1, 3),
+        ];
+        for (s, idx) in order {
+            if let StreamItem::Event(e) = &streams[s][idx] {
+                route(&plan, &mut h, e.clone());
+            }
+        }
+        // Close every stream with heartbeats.
+        hb(&plan, &mut h, KcTag::ReadReset(2), 0, 100);
+        hb(&plan, &mut h, KcTag::ReadReset(1), 1, 100);
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 100);
+        hb(&plan, &mut h, KcTag::Inc(2), 2, 100);
+        hb(&plan, &mut h, KcTag::Inc(2), 3, 100);
+        // Expected: the sequential spec over the O-merged stream.
+        let merged = sort_o(&streams);
+        let (_, expect) = run_sequential(&KeyCounter, &merged);
+        let mut got: Vec<(u32, i64)> = h.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn checkpoints_taken_on_root_join() {
+        // Two-worker-deep plan where the root owns r(1): root{r(1)} with
+        // children {i(1)a} and {i(1)b}.
+        let mut b = PlanBuilder::new();
+        let root = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let l = b.add([it(KcTag::Inc(1), 1)], Location(1));
+        let r = b.add([it(KcTag::Inc(1), 2)], Location(2));
+        b.attach(root, l);
+        b.attach(root, r);
+        let plan = b.build(root);
+        let mut h = Harness::new(&plan);
+        h.workers[root.0].checkpoint_on_join = true;
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(1), 1, ()));
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(2), 2, ()));
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(0), 3, ()));
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 10);
+        hb(&plan, &mut h, KcTag::Inc(1), 2, 10);
+        assert_eq!(h.outputs, vec![((1, 2), 3)]);
+        assert_eq!(h.checkpoints.len(), 1);
+        let (snap, ts) = &h.checkpoints[0];
+        assert_eq!(*ts, 3);
+        // Snapshot is the post-update state: key 1 was reset.
+        assert!(snap.get(&1).is_none());
+    }
+
+    #[test]
+    fn backlog_reflects_blocked_entries() {
+        let plan = figure_3_plan();
+        let h = Harness::new(&plan);
+        let w3 = WorkerId(2);
+        assert_eq!(h.workers[w3.0].backlog(), 0);
+        assert!(!h.workers[w3.0].is_leaf());
+        assert!(h.workers[WorkerId(1).0].is_leaf());
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests of the selective-reordering mailbox: for arbitrary
+//! dependence relations and arbitrary arrival interleavings,
+//!
+//! 1. no entry is lost or duplicated once closing heartbeats arrive;
+//! 2. dependent entries are released in `O` order;
+//! 3. releases never happen "too early": when an entry is released, every
+//!    dependent entry with a smaller key has already been released.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+use dgs_core::depends::{Dependence, TableDependence};
+use dgs_core::event::{Event, Heartbeat, StreamId};
+use dgs_core::tag::ITag;
+use dgs_runtime::mailbox::{Entry, Mailbox};
+
+/// A generated workload: up to 4 tags (0..4) on distinct streams, a
+/// random symmetric dependence, random per-tag event counts, and a
+/// random interleaving for arrival order.
+#[derive(Debug, Clone)]
+struct Workload {
+    deps: Vec<(u8, u8)>,
+    counts: Vec<u8>,
+    /// Arrival order: sequence of tag indices (consumed per-tag FIFO).
+    arrival: Vec<u8>,
+}
+
+fn arb_workload() -> impl Strategy<Value = Workload> {
+    (
+        prop::collection::vec((0u8..4, 0u8..4), 0..6),
+        prop::collection::vec(1u8..8, 2..5),
+    )
+        .prop_flat_map(|(deps, counts)| {
+            let order: Vec<u8> = counts
+                .iter()
+                .enumerate()
+                .flat_map(|(t, &c)| std::iter::repeat_n(t as u8, c as usize))
+                .collect();
+            Just(order)
+                .prop_shuffle()
+                .prop_map(move |arrival| Workload {
+                    deps: deps.clone(),
+                    counts: counts.clone(),
+                    arrival,
+                })
+                .prop_filter("non-empty", |w| !w.arrival.is_empty())
+        })
+}
+
+fn run_workload(w: &Workload) -> (Vec<Entry<u8, u64>>, TableDependence<u8>) {
+    let ntags = w.counts.len() as u8;
+    let dep = TableDependence::from_pairs(
+        w.deps.iter().map(|&(a, b)| (a % ntags, b % ntags)),
+    );
+    let itags: Vec<ITag<u8>> = (0..ntags).map(|t| ITag::new(t, StreamId(t as u32))).collect();
+    let d2 = dep.clone();
+    let mut mb: Mailbox<u8, u64> =
+        Mailbox::new(itags.clone(), itags, move |a, b| d2.depends(a, b));
+    let mut next_ts = vec![0u64; ntags as usize];
+    let mut released = Vec::new();
+    let mut global = 0u64;
+    for &t in &w.arrival {
+        let t = t % ntags;
+        // Strictly increasing per stream, globally unique-ish timestamps.
+        global += 1;
+        next_ts[t as usize] = global;
+        released.extend(mb.insert(Entry::Event(Event::new(t, StreamId(t as u32), global, global))));
+    }
+    // Close every stream.
+    for t in 0..ntags {
+        released.extend(mb.heartbeat(&Heartbeat::new(t, StreamId(t as u32), u64::MAX)));
+    }
+    (released, dep)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn nothing_lost_nothing_duplicated(w in arb_workload()) {
+        let total = w.arrival.len();
+        let (released, _) = run_workload(&w);
+        prop_assert_eq!(released.len(), total, "all entries released after closing heartbeats");
+        let keys: BTreeSet<_> = released.iter().map(|e| e.order_key()).collect();
+        prop_assert_eq!(keys.len(), total, "no duplicates");
+    }
+
+    #[test]
+    fn dependent_releases_respect_order(w in arb_workload()) {
+        let (released, dep) = run_workload(&w);
+        for (i, a) in released.iter().enumerate() {
+            for b in &released[i + 1..] {
+                let (ta, tb) = (a.itag(), b.itag());
+                if dep.depends(&ta.tag, &tb.tag) {
+                    prop_assert!(
+                        a.order_key() < b.order_key(),
+                        "dependent entries out of order: {:?} before {:?}",
+                        a,
+                        b
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_tag_releases_are_fifo(w in arb_workload()) {
+        let (released, _) = run_workload(&w);
+        for t in 0..w.counts.len() as u8 {
+            let keys: Vec<_> = released
+                .iter()
+                .filter(|e| e.itag().tag == t)
+                .map(|e| e.order_key())
+                .collect();
+            for pair in keys.windows(2) {
+                prop_assert!(pair[0] < pair[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Actors and the context handed to their handlers.
+
+use crate::metrics::Metrics;
+use crate::SimTime;
+
+/// Identifier of an actor within an [`Engine`](crate::Engine).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActorId(pub usize);
+
+impl std::fmt::Display for ActorId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A message-driven state machine placed on a simulated node.
+///
+/// The message type `M` is shared by all actors of a simulation (typically
+/// an enum). Handlers perform no real blocking; they mutate local state,
+/// send messages, and charge CPU cost through the [`Ctx`].
+pub trait Actor<M> {
+    /// Called once when the simulation starts (time 0).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Handle one delivered message.
+    fn on_message(&mut self, msg: M, ctx: &mut Ctx<'_, M>);
+}
+
+/// Side effects an actor may produce while handling a message.
+pub struct Ctx<'a, M> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ActorId,
+    pub(crate) cost: SimTime,
+    pub(crate) outbox: Vec<(ActorId, M)>,
+    pub(crate) timers: Vec<(SimTime, M)>,
+    pub(crate) halt: bool,
+    pub(crate) metrics: &'a mut Metrics,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time (the moment this handler started running).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the actor running this handler.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Send `msg` to `dst`. The message departs when the current handler
+    /// finishes (after charged CPU cost) and arrives after the link delay.
+    pub fn send(&mut self, dst: ActorId, msg: M) {
+        self.outbox.push((dst, msg));
+    }
+
+    /// Deliver `msg` back to this actor after `delay` (a timer; no network
+    /// involved, no CPU charged for the hop).
+    pub fn send_self_after(&mut self, delay: SimTime, msg: M) {
+        self.timers.push((self.now.saturating_add(delay), msg));
+    }
+
+    /// Charge `ns` of CPU time on this actor's node for the current
+    /// handler. Multiple charges accumulate.
+    pub fn charge(&mut self, ns: SimTime) {
+        self.cost = self.cost.saturating_add(ns);
+    }
+
+    /// Stop the simulation after this handler completes.
+    pub fn halt(&mut self) {
+        self.halt = true;
+    }
+
+    /// Simulation-wide metrics (counters, latency samples).
+    pub fn metrics(&mut self) -> &mut Metrics {
+        self.metrics
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_accumulates_effects() {
+        let mut metrics = Metrics::default();
+        let mut ctx: Ctx<'_, u32> = Ctx {
+            now: 42,
+            self_id: ActorId(7),
+            cost: 0,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+            halt: false,
+            metrics: &mut metrics,
+        };
+        assert_eq!(ctx.now(), 42);
+        assert_eq!(ctx.self_id(), ActorId(7));
+        ctx.send(ActorId(1), 10);
+        ctx.send(ActorId(2), 20);
+        ctx.send_self_after(8, 30);
+        ctx.charge(5);
+        ctx.charge(5);
+        assert_eq!(ctx.outbox.len(), 2);
+        assert_eq!(ctx.timers, vec![(50, 30)]);
+        assert_eq!(ctx.cost, 10);
+        assert!(!ctx.halt);
+        ctx.halt();
+        assert!(ctx.halt);
+    }
+}

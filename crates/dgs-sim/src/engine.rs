@@ -1,0 +1,533 @@
+//! The discrete-event loop.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use crate::actor::{Actor, ActorId, Ctx};
+use crate::metrics::Metrics;
+use crate::topology::{NodeId, Topology};
+use crate::SimTime;
+
+struct Scheduled<M> {
+    at: SimTime,
+    seq: u64,
+    dst: ActorId,
+    msg: M,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+struct Slot<M> {
+    actor: Box<dyn Actor<M>>,
+    node: NodeId,
+}
+
+/// Outcome of a [`Engine::run`] call.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The message queue drained.
+    QueueEmpty,
+    /// An actor called [`Ctx::halt`].
+    Halted,
+    /// The virtual-time deadline was reached.
+    DeadlineReached,
+    /// The message budget was exhausted (runaway guard).
+    MessageBudgetExhausted,
+}
+
+/// The simulation engine: actor arena, topology, and event queue.
+///
+/// ```
+/// use dgs_sim::{Actor, ActorId, Ctx, Engine, NodeId, Topology};
+///
+/// struct Echo;
+/// impl Actor<u32> for Echo {
+///     fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+///         ctx.charge(1_000); // 1 µs of CPU
+///         if msg > 0 {
+///             ctx.send(ctx.self_id(), msg - 1);
+///         }
+///     }
+/// }
+///
+/// let mut eng: Engine<u32> = Engine::new(Topology::single());
+/// let a = eng.add_actor(NodeId(0), Box::new(Echo));
+/// eng.inject(0, a, 3);
+/// eng.run_to_quiescence();
+/// // 4 handler invocations, 1 µs each, plus 3 local hops of 1 µs.
+/// assert_eq!(eng.now(), 7_000);
+/// ```
+pub struct Engine<M> {
+    slots: Vec<Slot<M>>,
+    topology: Topology,
+    queue: BinaryHeap<Scheduled<M>>,
+    node_free: Vec<SimTime>,
+    fifo: BTreeMap<(ActorId, ActorId), SimTime>,
+    seq: u64,
+    now: SimTime,
+    metrics: Metrics,
+    size_fn: Box<dyn Fn(&M) -> u64>,
+    started: bool,
+}
+
+impl<M> Engine<M> {
+    /// New engine over `topology`; messages default to 64 wire bytes.
+    pub fn new(topology: Topology) -> Self {
+        let nodes = topology.len() as usize;
+        Engine {
+            slots: Vec::new(),
+            topology,
+            queue: BinaryHeap::new(),
+            node_free: vec![0; nodes],
+            fifo: BTreeMap::new(),
+            seq: 0,
+            now: 0,
+            metrics: Metrics::default(),
+            size_fn: Box::new(|_| 64),
+            started: false,
+        }
+    }
+
+    /// Set the wire-size estimator used for bandwidth and byte accounting.
+    pub fn set_size_fn(&mut self, f: impl Fn(&M) -> u64 + 'static) {
+        self.size_fn = Box::new(f);
+    }
+
+    /// Place an actor on a node.
+    pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor<M>>) -> ActorId {
+        assert!(self.topology.contains(node), "placement on unknown node {node}");
+        let id = ActorId(self.slots.len());
+        self.slots.push(Slot { actor, node });
+        id
+    }
+
+    /// The node an actor is placed on.
+    pub fn node_of(&self, a: ActorId) -> NodeId {
+        self.slots[a.0].node
+    }
+
+    /// Number of actors.
+    pub fn actor_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Inject an external message at absolute virtual time `at` (no
+    /// network cost; used by tests and drivers).
+    pub fn inject(&mut self, at: SimTime, dst: ActorId, msg: M) {
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq: self.seq, dst, msg });
+    }
+
+    /// Current virtual time (completion time of the last handler).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Metrics collected so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Consume the engine, returning its metrics.
+    pub fn into_metrics(self) -> Metrics {
+        self.metrics
+    }
+
+    /// Run until the queue drains, an actor halts, `deadline` (if any) is
+    /// reached, or `message_budget` messages have been delivered.
+    pub fn run(&mut self, deadline: Option<SimTime>, message_budget: u64) -> RunOutcome {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.slots.len() {
+                let halted = self.dispatch_start(ActorId(i));
+                if halted {
+                    return RunOutcome::Halted;
+                }
+            }
+        }
+        let mut budget = message_budget;
+        while let Some(head) = self.queue.peek() {
+            if let Some(dl) = deadline {
+                if head.at > dl {
+                    self.now = self.now.max(dl);
+                    return RunOutcome::DeadlineReached;
+                }
+            }
+            if budget == 0 {
+                return RunOutcome::MessageBudgetExhausted;
+            }
+            budget -= 1;
+            let Scheduled { at, dst, msg, .. } = self.queue.pop().expect("peeked");
+            self.metrics.messages_delivered += 1;
+            let halted = self.dispatch(dst, at, msg);
+            if halted {
+                return RunOutcome::Halted;
+            }
+        }
+        RunOutcome::QueueEmpty
+    }
+
+    /// Run to quiescence with a large default budget.
+    pub fn run_to_quiescence(&mut self) -> RunOutcome {
+        self.run(None, u64::MAX)
+    }
+
+    fn dispatch_start(&mut self, id: ActorId) -> bool {
+        let node = self.slots[id.0].node;
+        let start = self.node_free[node.0 as usize];
+        // Temporarily move the actor out to satisfy the borrow checker.
+        let mut actor = std::mem::replace(&mut self.slots[id.0].actor, Box::new(Inert));
+        let (cost, outbox, timers, halt) = {
+            let mut ctx = Ctx {
+                now: start,
+                self_id: id,
+                cost: 0,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                halt: false,
+                metrics: &mut self.metrics,
+            };
+            actor.on_start(&mut ctx);
+            (ctx.cost, ctx.outbox, ctx.timers, ctx.halt)
+        };
+        self.slots[id.0].actor = actor;
+        self.finish_handler(id, node, start, cost, outbox, timers, halt)
+    }
+
+    fn dispatch(&mut self, id: ActorId, arrival: SimTime, msg: M) -> bool {
+        let node = self.slots[id.0].node;
+        let start = arrival.max(self.node_free[node.0 as usize]);
+        let mut actor = std::mem::replace(&mut self.slots[id.0].actor, Box::new(Inert));
+        let (cost, outbox, timers, halt) = {
+            let mut ctx = Ctx {
+                now: start,
+                self_id: id,
+                cost: 0,
+                outbox: Vec::new(),
+                timers: Vec::new(),
+                halt: false,
+                metrics: &mut self.metrics,
+            };
+            actor.on_message(msg, &mut ctx);
+            (ctx.cost, ctx.outbox, ctx.timers, ctx.halt)
+        };
+        self.slots[id.0].actor = actor;
+        self.finish_handler(id, node, start, cost, outbox, timers, halt)
+    }
+
+    /// Account CPU cost, release sends/timers, and apply halt.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_handler(
+        &mut self,
+        id: ActorId,
+        node: NodeId,
+        start: SimTime,
+        cost: SimTime,
+        outbox: Vec<(ActorId, M)>,
+        timers: Vec<(SimTime, M)>,
+        halt: bool,
+    ) -> bool {
+        // Heterogeneous nodes: a straggler pays its slowdown factor on
+        // every handler.
+        let scaled = (cost as f64 * self.topology.slowdown(node)).round() as SimTime;
+        let end = start.saturating_add(scaled);
+        self.node_free[node.0 as usize] = end;
+        self.now = self.now.max(end);
+        for (dst, msg) in outbox {
+            self.route(id, dst, msg, end);
+        }
+        for (fire_at, msg) in timers {
+            // A timer cannot fire before the handler that armed it ends.
+            self.seq += 1;
+            self.queue.push(Scheduled { at: fire_at.max(end), seq: self.seq, dst: id, msg });
+        }
+        halt
+    }
+
+    fn route(&mut self, src: ActorId, dst: ActorId, msg: M, depart: SimTime) {
+        let bytes = (self.size_fn)(&msg);
+        let (delay, crossed) = self.topology.delay(self.slots[src.0].node, self.slots[dst.0].node, bytes);
+        if crossed {
+            self.metrics.net_bytes += bytes;
+            self.metrics.net_messages += 1;
+        }
+        let mut arrival = depart.saturating_add(delay);
+        // FIFO per actor pair: never deliver before an earlier message on
+        // the same edge (reliability assumption of the correctness proof).
+        let last = self.fifo.entry((src, dst)).or_insert(0);
+        arrival = arrival.max(*last);
+        *last = arrival;
+        self.seq += 1;
+        self.queue.push(Scheduled { at: arrival, seq: self.seq, dst, msg });
+    }
+}
+
+/// Placeholder actor swapped in while a real actor's handler runs.
+struct Inert;
+impl<M> Actor<M> for Inert {
+    fn on_message(&mut self, _msg: M, _ctx: &mut Ctx<'_, M>) {
+        unreachable!("message delivered to an actor while its handler is running");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    /// Echoes each received number back to a peer, down-counting.
+    struct Pinger {
+        peer: Option<ActorId>,
+        log: Rc<RefCell<Vec<(SimTime, u32)>>>,
+        cost: SimTime,
+        kickoff: bool,
+    }
+
+    impl Actor<u32> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+            if self.kickoff {
+                ctx.send(self.peer.unwrap(), 4);
+            }
+        }
+        fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.log.borrow_mut().push((ctx.now(), msg));
+            ctx.charge(self.cost);
+            if msg > 0 {
+                ctx.send(self.peer.unwrap(), msg - 1);
+            } else {
+                ctx.halt();
+            }
+        }
+    }
+
+    fn ping_pong(nodes: u32) -> (Vec<(SimTime, u32)>, Metrics) {
+        let topo = Topology::uniform(nodes, LinkSpec { latency: 1_000, bytes_per_ns: f64::INFINITY });
+        let mut eng = Engine::new(topo);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        // Actor ids are assigned sequentially, so a's peer (b) is known
+        // before b is added.
+        let a = eng.add_actor(
+            NodeId(0),
+            Box::new(Pinger { peer: Some(ActorId(1)), log: log.clone(), cost: 100, kickoff: true }),
+        );
+        let _b = eng.add_actor(
+            NodeId(nodes.min(2) - 1),
+            Box::new(Pinger { peer: Some(a), log: log.clone(), cost: 100, kickoff: false }),
+        );
+        let outcome = eng.run(None, 1_000);
+        assert_eq!(outcome, RunOutcome::Halted);
+        let m = eng.into_metrics();
+        (Rc::try_unwrap(log).unwrap().into_inner(), m)
+    }
+
+    struct EchoOnce {
+        peer: ActorId,
+    }
+    impl Actor<u32> for EchoOnce {
+        fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            if msg > 0 {
+                ctx.send(self.peer, msg - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_halts_and_logs() {
+        let (log, metrics) = ping_pong(2);
+        // Messages 4,3,2,1,0 delivered alternately; 5 on_message calls at b/a.
+        assert_eq!(log.len(), 5);
+        assert_eq!(log.last().unwrap().1, 0);
+        // Times strictly increase by ≥ latency + cost.
+        for w in log.windows(2) {
+            assert!(w[1].0 >= w[0].0 + 1_000);
+        }
+        assert!(metrics.messages_delivered >= 5);
+        assert!(metrics.net_messages > 0);
+    }
+
+    #[test]
+    fn determinism_two_runs_identical() {
+        let (log1, m1) = ping_pong(2);
+        let (log2, m2) = ping_pong(2);
+        assert_eq!(log1, log2);
+        assert_eq!(m1.net_bytes, m2.net_bytes);
+        assert_eq!(m1.messages_delivered, m2.messages_delivered);
+    }
+
+    #[test]
+    fn same_node_messages_do_not_cross_network() {
+        let topo = Topology::uniform(1, LinkSpec::default());
+        let mut eng = Engine::new(topo);
+        let sink = eng.add_actor(NodeId(0), Box::new(EchoOnce { peer: ActorId(0) }));
+        eng.inject(0, sink, 3);
+        eng.run(None, 100);
+        assert_eq!(eng.metrics().net_messages, 0);
+        assert_eq!(eng.metrics().net_bytes, 0);
+        // 3 -> 2 -> 1 -> 0: injected + 3 self-echoes delivered.
+        assert_eq!(eng.metrics().messages_delivered, 4);
+    }
+
+    /// Actor that records handler start times.
+    struct Recorder {
+        cost: SimTime,
+        log: Rc<RefCell<Vec<(ActorId, SimTime)>>>,
+    }
+    impl Actor<u32> for Recorder {
+        fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.log.borrow_mut().push((ctx.self_id(), ctx.now()));
+            ctx.charge(self.cost);
+        }
+    }
+
+    #[test]
+    fn co_located_actors_serialize_on_cpu() {
+        let topo = Topology::uniform(2, LinkSpec::default());
+        let mut eng = Engine::new(topo);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let a = eng.add_actor(NodeId(0), Box::new(Recorder { cost: 1_000, log: log.clone() }));
+        let b = eng.add_actor(NodeId(0), Box::new(Recorder { cost: 1_000, log: log.clone() }));
+        let c = eng.add_actor(NodeId(1), Box::new(Recorder { cost: 1_000, log: log.clone() }));
+        eng.inject(0, a, 0);
+        eng.inject(0, b, 0);
+        eng.inject(0, c, 0);
+        eng.run_to_quiescence();
+        let log = log.borrow();
+        let t = |id: ActorId| log.iter().find(|(a, _)| *a == id).unwrap().1;
+        // a and b share node 0: second starts after first's cost.
+        assert_eq!(t(a), 0);
+        assert_eq!(t(b), 1_000);
+        // c on its own node runs immediately.
+        assert_eq!(t(c), 0);
+    }
+
+    #[test]
+    fn fifo_preserved_despite_size_inversion() {
+        // A big message followed by a small one on the same edge must not
+        // be overtaken.
+        struct Burst {
+            peer: ActorId,
+        }
+        impl Actor<u64> for Burst {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+                ctx.send(self.peer, 1_000_000); // size = value: huge
+                ctx.send(self.peer, 1); // tiny
+            }
+            fn on_message(&mut self, _msg: u64, _ctx: &mut Ctx<'_, u64>) {}
+        }
+        struct SinkOrder {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Actor<u64> for SinkOrder {
+            fn on_message(&mut self, msg: u64, ctx: &mut Ctx<'_, u64>) {
+                let _ = ctx;
+                self.log.borrow_mut().push(msg);
+            }
+        }
+        let topo = Topology::uniform(2, LinkSpec { latency: 100, bytes_per_ns: 0.001 });
+        let mut eng = Engine::new(topo);
+        eng.set_size_fn(|m| *m);
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let sink = eng.add_actor(NodeId(1), Box::new(SinkOrder { log: log.clone() }));
+        let _src = eng.add_actor(NodeId(0), Box::new(Burst { peer: sink }));
+        eng.run_to_quiescence();
+        assert_eq!(*log.borrow(), vec![1_000_000, 1]);
+        // Byte accounting saw both messages.
+        assert_eq!(eng.metrics().net_bytes, 1_000_001);
+    }
+
+    #[test]
+    fn deadline_and_budget_outcomes() {
+        struct Ticker;
+        impl Actor<u32> for Ticker {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.send_self_after(1_000, 0);
+            }
+            fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+                ctx.send_self_after(1_000, 0);
+            }
+        }
+        let mut eng = Engine::new(Topology::single());
+        let _ = eng.add_actor(NodeId(0), Box::new(Ticker));
+        assert_eq!(eng.run(Some(10_000), u64::MAX), RunOutcome::DeadlineReached);
+        assert!(eng.now() >= 10_000);
+        let mut eng2 = Engine::new(Topology::single());
+        let _ = eng2.add_actor(NodeId(0), Box::new(Ticker));
+        assert_eq!(eng2.run(None, 5), RunOutcome::MessageBudgetExhausted);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct Timed {
+            log: Rc<RefCell<Vec<(SimTime, u32)>>>,
+        }
+        impl Actor<u32> for Timed {
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u32>) {
+                ctx.send_self_after(3_000, 3);
+                ctx.send_self_after(1_000, 1);
+                ctx.send_self_after(2_000, 2);
+            }
+            fn on_message(&mut self, msg: u32, ctx: &mut Ctx<'_, u32>) {
+                self.log.borrow_mut().push((ctx.now(), msg));
+            }
+        }
+        let mut eng = Engine::new(Topology::single());
+        let log = Rc::new(RefCell::new(Vec::new()));
+        eng.add_actor(NodeId(0), Box::new(Timed { log: log.clone() }));
+        eng.run_to_quiescence();
+        assert_eq!(*log.borrow(), vec![(1_000, 1), (2_000, 2), (3_000, 3)]);
+    }
+}
+
+#[cfg(test)]
+mod straggler_tests {
+    use super::*;
+    use crate::topology::LinkSpec;
+
+    struct Worker {
+        cost: SimTime,
+    }
+    impl Actor<u32> for Worker {
+        fn on_message(&mut self, _msg: u32, ctx: &mut Ctx<'_, u32>) {
+            ctx.charge(self.cost);
+        }
+    }
+
+    #[test]
+    fn slow_node_stretches_its_handlers_only() {
+        let mut topo = Topology::uniform(2, LinkSpec::default());
+        topo.set_slowdown(NodeId(1), 4.0);
+        let mut eng: Engine<u32> = Engine::new(topo);
+        let fast = eng.add_actor(NodeId(0), Box::new(Worker { cost: 1_000 }));
+        let slow = eng.add_actor(NodeId(1), Box::new(Worker { cost: 1_000 }));
+        eng.inject(0, fast, 0);
+        eng.inject(0, slow, 0);
+        eng.run_to_quiescence();
+        // Makespan is bound by the straggler: 4 µs, not 1 µs.
+        assert_eq!(eng.now(), 4_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn speedups_are_rejected() {
+        let mut topo = Topology::uniform(1, LinkSpec::default());
+        topo.set_slowdown(NodeId(0), 0.5);
+    }
+}

@@ -1,0 +1,44 @@
+//! # dgs-sim — deterministic discrete-event cluster simulator
+//!
+//! The paper evaluates on an AWS EC2 cluster (one core per node) with NS3
+//! for network-load measurements. This crate is the substitute substrate:
+//! a discrete-event simulation (DES) of a cluster of single-core nodes
+//! connected by links with latency and bandwidth.
+//!
+//! * **Actors** ([`actor::Actor`]) are message-driven state machines
+//!   placed on nodes. All runtime and baseline components (mailboxes,
+//!   workers, dataflow operators, sources) run as actors.
+//! * **Nodes** execute one message handler at a time; handlers charge
+//!   explicit CPU cost, so contention and serialization emerge exactly as
+//!   they would on single-core machines.
+//! * **Links** add latency plus size/bandwidth transfer time and count
+//!   bytes on the wire (the NS3 substitution). Delivery between any actor
+//!   pair is FIFO and lossless — the reliability assumption (4) of the
+//!   paper's correctness proof, provided by Erlang there and by
+//!   construction here.
+//! * The event loop is fully deterministic: ties break on a global
+//!   sequence number, so every simulation is exactly reproducible.
+//!
+//! Throughput is measured as events processed per unit of *virtual* time,
+//! and latency as virtual output time minus virtual source timestamp;
+//! scaling *shapes* therefore do not depend on the host machine.
+
+pub mod actor;
+pub mod engine;
+pub mod metrics;
+pub mod topology;
+
+pub use actor::{Actor, ActorId, Ctx};
+pub use engine::Engine;
+pub use metrics::Metrics;
+pub use topology::{LinkSpec, NodeId, Topology};
+
+/// Virtual time in nanoseconds.
+pub type SimTime = u64;
+
+/// One microsecond of virtual time.
+pub const MICROS: SimTime = 1_000;
+/// One millisecond of virtual time.
+pub const MILLIS: SimTime = 1_000_000;
+/// One second of virtual time.
+pub const SECONDS: SimTime = 1_000_000_000;

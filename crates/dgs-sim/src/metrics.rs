@@ -1,0 +1,151 @@
+//! Simulation metrics: counters, network accounting, latency percentiles.
+
+use std::collections::BTreeMap;
+
+use crate::SimTime;
+
+/// Metrics collected during a simulation run.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total messages delivered to actors (including local ones).
+    pub messages_delivered: u64,
+    /// Messages that crossed the network (distinct nodes).
+    pub net_messages: u64,
+    /// Bytes that crossed the network (the NS3-substitute measurement).
+    pub net_bytes: u64,
+    /// Named counters bumped by actors (e.g. `"outputs"`, `"events"`).
+    counters: BTreeMap<&'static str, u64>,
+    /// Latency samples in nanoseconds.
+    latencies: Vec<SimTime>,
+}
+
+impl Metrics {
+    /// Increment a named counter.
+    pub fn bump(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Add `n` to a named counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Read a named counter (0 if never bumped).
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Keep the maximum ever observed for a named gauge (e.g. the largest
+    /// mailbox backlog — the Appendix D "mailboxes get filled up" effect).
+    pub fn record_max(&mut self, name: &'static str, value: u64) {
+        let e = self.counters.entry(name).or_insert(0);
+        if value > *e {
+            *e = value;
+        }
+    }
+
+    /// Record one end-to-end latency sample.
+    pub fn record_latency(&mut self, ns: SimTime) {
+        self.latencies.push(ns);
+    }
+
+    /// Number of latency samples.
+    pub fn latency_samples(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Latency percentile in nanoseconds (nearest-rank). `p` in [0, 100].
+    /// Returns `None` with no samples.
+    pub fn latency_percentile(&self, p: f64) -> Option<SimTime> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        Some(sorted[rank.min(sorted.len() - 1)])
+    }
+
+    /// Mean latency in nanoseconds.
+    pub fn latency_mean(&self) -> Option<f64> {
+        if self.latencies.is_empty() {
+            return None;
+        }
+        Some(self.latencies.iter().map(|&l| l as f64).sum::<f64>() / self.latencies.len() as f64)
+    }
+
+    /// The standard 10th/50th/90th percentile triple the paper reports.
+    pub fn latency_p10_p50_p90(&self) -> Option<(SimTime, SimTime, SimTime)> {
+        Some((
+            self.latency_percentile(10.0)?,
+            self.latency_percentile(50.0)?,
+            self.latency_percentile(90.0)?,
+        ))
+    }
+}
+
+/// Throughput in events per millisecond of virtual time.
+pub fn events_per_ms(events: u64, makespan: SimTime) -> f64 {
+    if makespan == 0 {
+        return 0.0;
+    }
+    events as f64 / (makespan as f64 / crate::MILLIS as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters() {
+        let mut m = Metrics::default();
+        m.bump("outputs");
+        m.add("outputs", 4);
+        assert_eq!(m.get("outputs"), 5);
+        assert_eq!(m.get("missing"), 0);
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let mut m = Metrics::default();
+        for v in [10, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            m.record_latency(v);
+        }
+        assert_eq!(m.latency_percentile(0.0), Some(10));
+        assert_eq!(m.latency_percentile(50.0), Some(60));
+        assert_eq!(m.latency_percentile(100.0), Some(100));
+        let (p10, p50, p90) = m.latency_p10_p50_p90().unwrap();
+        assert_eq!((p10, p50, p90), (20, 60, 90));
+        assert_eq!(m.latency_mean(), Some(55.0));
+        assert_eq!(m.latency_samples(), 10);
+    }
+
+    #[test]
+    fn empty_latency_is_none() {
+        let m = Metrics::default();
+        assert_eq!(m.latency_percentile(50.0), None);
+        assert_eq!(m.latency_mean(), None);
+        assert_eq!(m.latency_p10_p50_p90(), None);
+    }
+
+    #[test]
+    fn throughput_conversion() {
+        // 1000 events over 1 ms of virtual time = 1000 events/ms.
+        assert_eq!(events_per_ms(1000, crate::MILLIS), 1000.0);
+        assert_eq!(events_per_ms(10, 0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod gauge_tests {
+    use super::*;
+
+    #[test]
+    fn record_max_keeps_peak() {
+        let mut m = Metrics::default();
+        m.record_max("backlog", 5);
+        m.record_max("backlog", 2);
+        m.record_max("backlog", 9);
+        assert_eq!(m.get("backlog"), 9);
+    }
+}

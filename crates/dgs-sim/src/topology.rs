@@ -1,0 +1,140 @@
+//! Cluster topology: nodes and links.
+
+use crate::SimTime;
+
+/// Identifier of a physical (simulated) node.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Latency/bandwidth of a link.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// One-way propagation latency in nanoseconds.
+    pub latency: SimTime,
+    /// Bandwidth in bytes per nanosecond (1.0 = 8 Gb/s).
+    pub bytes_per_ns: f64,
+}
+
+impl LinkSpec {
+    /// Time for `bytes` to traverse the link.
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        self.latency + (bytes as f64 / self.bytes_per_ns).ceil() as SimTime
+    }
+}
+
+impl Default for LinkSpec {
+    /// Roughly an in-region cloud network: 100 µs latency, 8 Gb/s.
+    fn default() -> Self {
+        LinkSpec { latency: 100_000, bytes_per_ns: 1.0 }
+    }
+}
+
+/// A cluster: `n` single-core nodes, a uniform inter-node link, and a
+/// cheap intra-node path for co-located actors. Nodes may have
+/// heterogeneous speeds (a slowdown factor multiplies every handler's
+/// CPU cost), enabling straggler experiments.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    nodes: u32,
+    /// Link used between distinct nodes.
+    pub remote: LinkSpec,
+    /// Latency for messages between actors on the same node (queue hop).
+    pub local_latency: SimTime,
+    /// Per-node CPU slowdown factor (1.0 = nominal; 2.0 = half speed).
+    slowdown: Vec<f64>,
+}
+
+impl Topology {
+    /// Uniform cluster of `nodes` nodes.
+    pub fn uniform(nodes: u32, remote: LinkSpec) -> Self {
+        assert!(nodes > 0, "topology needs at least one node");
+        Topology { nodes, remote, local_latency: 1_000, slowdown: vec![1.0; nodes as usize] }
+    }
+
+    /// Make node `n` slower by `factor` (≥ 1.0): its handlers cost
+    /// `factor ×` the nominal CPU time.
+    pub fn set_slowdown(&mut self, n: NodeId, factor: f64) {
+        assert!(self.contains(n), "unknown node {n}");
+        assert!(factor >= 1.0, "slowdown factor must be ≥ 1.0");
+        self.slowdown[n.0 as usize] = factor;
+    }
+
+    /// The CPU slowdown factor of node `n`.
+    pub fn slowdown(&self, n: NodeId) -> f64 {
+        self.slowdown[n.0 as usize]
+    }
+
+    /// Single-node "cluster" (everything local).
+    pub fn single() -> Self {
+        Topology::uniform(1, LinkSpec::default())
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> u32 {
+        self.nodes
+    }
+
+    /// True when the cluster has no nodes (never — kept for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.nodes == 0
+    }
+
+    /// Is `n` a valid node?
+    pub fn contains(&self, n: NodeId) -> bool {
+        n.0 < self.nodes
+    }
+
+    /// Delivery delay from `src` to `dst` for a message of `bytes` bytes,
+    /// plus whether the message crossed the network (for byte accounting).
+    pub fn delay(&self, src: NodeId, dst: NodeId, bytes: u64) -> (SimTime, bool) {
+        if src == dst {
+            (self.local_latency, false)
+        } else {
+            (self.remote.transfer_time(bytes), true)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let l = LinkSpec { latency: 1_000, bytes_per_ns: 2.0 };
+        assert_eq!(l.transfer_time(0), 1_000);
+        assert_eq!(l.transfer_time(4_000), 3_000);
+    }
+
+    #[test]
+    fn local_vs_remote_delay() {
+        let t = Topology::uniform(3, LinkSpec { latency: 500, bytes_per_ns: 1.0 });
+        let (d_local, remote_local) = t.delay(NodeId(1), NodeId(1), 1_000_000);
+        assert_eq!(d_local, t.local_latency);
+        assert!(!remote_local);
+        let (d_remote, remote_remote) = t.delay(NodeId(0), NodeId(2), 1_000);
+        assert_eq!(d_remote, 1_500);
+        assert!(remote_remote);
+    }
+
+    #[test]
+    fn contains_checks_bounds() {
+        let t = Topology::uniform(2, LinkSpec::default());
+        assert!(t.contains(NodeId(0)));
+        assert!(t.contains(NodeId(1)));
+        assert!(!t.contains(NodeId(2)));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_topology_rejected() {
+        let _ = Topology::uniform(0, LinkSpec::default());
+    }
+}

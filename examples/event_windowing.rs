@@ -1,0 +1,63 @@
+//! Event-based windowing end to end, with the two system-level knobs the
+//! paper studies in Appendix D: heartbeat rate and worker count.
+//!
+//! ```sh
+//! cargo run --release --example event_windowing
+//! ```
+
+use std::sync::Arc;
+
+use flumina::apps::value_barrier::{ValueBarrier, VbWorkload};
+use flumina::runtime::sim_driver::{build_sim, SimConfig};
+use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
+use flumina::sim::{LinkSpec, Topology};
+
+fn main() {
+    // Correctness on threads: per-window sums equal the closed form.
+    let w = VbWorkload { value_streams: 4, values_per_barrier: 500, barriers: 5 };
+    println!("plan for 4 value streams:\n{}", w.plan().render());
+    let result = run_threads(
+        Arc::new(ValueBarrier),
+        &w.plan(),
+        w.scheduled_streams(50),
+        ThreadRunOptions::default(),
+    );
+    let mut by_ts = result.outputs.clone();
+    by_ts.sort_by_key(|(_, ts)| *ts);
+    let got: Vec<i64> = by_ts.iter().map(|(o, _)| *o).collect();
+    assert_eq!(got, w.expected_outputs());
+    println!("threads: {} window sums, all exact ✓\n", got.len());
+
+    // The heartbeat knob (paper Figure 10b): starved heartbeats leave
+    // values buffered in mailboxes until the next barrier.
+    println!("heartbeats/barrier → window-output p50 latency (5 workers, simulator):");
+    for hb in [1u64, 10, 100, 1_000] {
+        let w = VbWorkload { value_streams: 5, values_per_barrier: 2_000, barriers: 4 };
+        let cfg = SimConfig::new(Topology::uniform(6, LinkSpec::default()));
+        let (mut eng, _h) =
+            build_sim(Arc::new(ValueBarrier), &w.plan(), w.paced_sources(5_000, hb), cfg);
+        eng.run(None, u64::MAX);
+        let p50 = eng
+            .metrics()
+            .latency_percentile(50.0)
+            .map(|v| v as f64 / 1e6)
+            .unwrap_or(f64::NAN);
+        println!("  {hb:>5} → {p50:>8.3} ms");
+    }
+
+    // The straggler knob: one slow node gates every window.
+    println!("\nstraggler slowdown → max throughput (8 workers, simulator):");
+    for slow in [1.0f64, 2.0, 4.0] {
+        let w = VbWorkload { value_streams: 8, values_per_barrier: 2_000, barriers: 4 };
+        let mut cfg = SimConfig::new(Topology::uniform(9, LinkSpec::default()));
+        if slow > 1.0 {
+            cfg.topology.set_slowdown(flumina::sim::NodeId(0), slow);
+        }
+        let (mut eng, _h) =
+            build_sim(Arc::new(ValueBarrier), &w.plan(), w.paced_sources(200, 100), cfg);
+        eng.run(None, u64::MAX);
+        let tput =
+            flumina::sim::metrics::events_per_ms(w.total_values() + w.barriers, eng.now());
+        println!("  {slow:>4.1}x → {tput:>8.1} events/ms");
+    }
+}

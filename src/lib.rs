@@ -1,0 +1,21 @@
+//! # flumina — facade crate for the DGS / synchronization-plans workspace
+//!
+//! Re-exports the full public API of the reproduction of *Stream
+//! Processing with Dependency-Guided Synchronization* (PPoPP 2022):
+//!
+//! * [`core`] — the DGS programming model (programs, dependence relations,
+//!   fork/join, semantics, consistency conditions).
+//! * [`plan`] — synchronization plans, validity, and optimizers.
+//! * [`sim`] — the discrete-event cluster simulator substrate.
+//! * [`runtime`] — the Flumina runtime (mailboxes, workers, drivers).
+//! * [`baseline`] — mini Flink-style / Timely-style dataflow baselines.
+//! * [`apps`] — evaluation applications and case studies.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub use dgs_apps as apps;
+pub use dgs_baseline as baseline;
+pub use dgs_core as core;
+pub use dgs_plan as plan;
+pub use dgs_runtime as runtime;
+pub use dgs_sim as sim;

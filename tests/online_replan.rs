@@ -1,0 +1,69 @@
+//! Online reconfiguration (the paper's §6 "dynamic optimization" future
+//! work): because a root-join checkpoint is a consistent snapshot, the
+//! system can stop at any synchronization point, switch to a *different*
+//! P-valid plan, seed its root with the snapshot, and continue on the
+//! input suffix — outputs remain exactly the sequential specification.
+
+mod common;
+
+use std::sync::Arc;
+
+use flumina::apps::value_barrier::{ValueBarrier, VbWorkload};
+use flumina::core::depends::FnDependence;
+use flumina::core::event::StreamId;
+use flumina::core::spec::{run_sequential, sort_o};
+use flumina::core::DgsProgram;
+use flumina::plan::plan::{sequential_plan, Location};
+use flumina::runtime::checkpoint::suffix_after;
+use flumina::runtime::source::item_lists;
+use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
+
+#[test]
+fn switching_plans_mid_stream_preserves_semantics() {
+    let w = VbWorkload { value_streams: 4, values_per_barrier: 50, barriers: 6 };
+    let streams = w.scheduled_streams(10);
+    let barrier_stream = StreamId(w.value_streams);
+    let spec = {
+        let merged = sort_o(&item_lists(&streams));
+        run_sequential(&ValueBarrier, &merged).1
+    };
+    let dep = FnDependence::new(
+        |a: &flumina::apps::value_barrier::VbTag, b: &flumina::apps::value_barrier::VbTag| {
+            ValueBarrier.depends(a, b)
+        },
+    );
+
+    // Phase 1: optimizer's plan with checkpointing.
+    let phase1 = run_threads(
+        Arc::new(ValueBarrier),
+        &w.plan(),
+        streams.clone(),
+        ThreadRunOptions { initial_state: None, checkpoint_root: true },
+    );
+    // Reconfigure at the third barrier.
+    let (snapshot, cut_ts) = phase1.checkpoints[2];
+
+    // Phase 2 candidates: a random plan, and even a sequential plan.
+    let plans = [common::random_valid_plan(&w.itags(), &dep, 42),
+        sequential_plan(w.itags(), Location(0)),
+        w.plan()];
+    for (i, plan2) in plans.iter().enumerate() {
+        let suffix = suffix_after(&streams, cut_ts, barrier_stream);
+        let phase2 = run_threads(
+            Arc::new(ValueBarrier),
+            plan2,
+            suffix,
+            ThreadRunOptions { initial_state: Some(snapshot), checkpoint_root: false },
+        );
+        let mut combined: Vec<(i64, u64)> = phase1
+            .outputs
+            .iter()
+            .filter(|(_, ts)| *ts <= cut_ts)
+            .cloned()
+            .collect();
+        combined.extend(phase2.outputs.iter().cloned());
+        combined.sort_by_key(|(_, ts)| *ts);
+        let got: Vec<i64> = combined.iter().map(|(o, _)| *o).collect();
+        assert_eq!(got, spec, "replan onto candidate #{i}:\n{}", plan2.render());
+    }
+}

@@ -1,0 +1,80 @@
+//! The simulation driver is not just a performance model — its outputs
+//! are the program's real outputs. These tests reconstruct the exact
+//! event schedule that the paced sources emit and check the simulated
+//! deployment's outputs against the sequential specification.
+
+use std::sync::Arc;
+
+use flumina::apps::fraud::{FdOut, FdTag, FdWorkload, FraudDetection};
+use flumina::core::event::{Event, StreamId};
+use flumina::core::spec::{run_sequential, sort_o};
+use flumina::core::event::StreamItem;
+use flumina::runtime::sim_driver::{build_sim, SimConfig};
+use flumina::sim::{LinkSpec, Topology};
+
+/// Reconstruct the events a `PacedSource` emits: timestamps start at the
+/// period and step by it.
+fn paced_schedule(
+    tag: FdTag,
+    stream: u32,
+    period: u64,
+    count: u64,
+    payload: impl Fn(u64) -> i64,
+) -> Vec<StreamItem<FdTag, i64>> {
+    (0..count)
+        .map(|j| {
+            StreamItem::Event(Event::new(tag, StreamId(stream), (j + 1) * period, payload(j)))
+        })
+        .collect()
+}
+
+#[test]
+fn simulated_fraud_outputs_equal_the_spec() {
+    let w = FdWorkload { txn_streams: 3, txns_per_rule: 80, rules: 4 };
+    let txn_period = 1_000u64;
+    let rule_period = w.txns_per_rule * txn_period;
+
+    // What the sources will emit, reconstructed independently.
+    let mut schedule: Vec<Vec<StreamItem<FdTag, i64>>> = (0..w.txn_streams)
+        .map(|i| {
+            paced_schedule(FdTag::Txn, i, txn_period, w.txns_per_rule * w.rules, move |j| {
+                FdWorkload::payload(i, j)
+            })
+        })
+        .collect();
+    schedule.push(paced_schedule(FdTag::Rule, w.txn_streams, rule_period, w.rules, |j| j as i64));
+    let expect = run_sequential(&FraudDetection, &sort_o(&schedule)).1;
+
+    // The simulated deployment.
+    let mut cfg = SimConfig::new(Topology::uniform(w.txn_streams + 1, LinkSpec::default()));
+    cfg.keep_outputs = true;
+    let (mut eng, handles) =
+        build_sim(Arc::new(FraudDetection), &w.plan(), w.paced_sources(txn_period, 50), cfg);
+    eng.run(None, u64::MAX);
+
+    let mut got: Vec<FdOut> = handles.outputs.borrow().iter().map(|(o, _)| *o).collect();
+    let mut want = expect;
+    got.sort();
+    want.sort();
+    assert_eq!(got, want, "simulator outputs must equal the sequential spec");
+}
+
+#[test]
+fn simulated_fraud_is_deterministic_across_topologies_in_output() {
+    // Different link latencies change timing but never the output set.
+    let run = |latency: u64| {
+        let w = FdWorkload { txn_streams: 2, txns_per_rule: 50, rules: 3 };
+        let mut cfg = SimConfig::new(Topology::uniform(
+            w.txn_streams + 1,
+            LinkSpec { latency, bytes_per_ns: 1.0 },
+        ));
+        cfg.keep_outputs = true;
+        let (mut eng, handles) =
+            build_sim(Arc::new(FraudDetection), &w.plan(), w.paced_sources(1_000, 50), cfg);
+        eng.run(None, u64::MAX);
+        let mut out: Vec<FdOut> = handles.outputs.borrow().iter().map(|(o, _)| *o).collect();
+        out.sort();
+        out
+    };
+    assert_eq!(run(1_000), run(500_000), "output set is latency-independent");
+}
