@@ -50,13 +50,18 @@ pub fn in_trigger_order<Out: Clone>(outputs: &[(Out, Timestamp)]) -> Vec<Out> {
     v.into_iter().map(|(o, _)| o).collect()
 }
 
+/// Multiset difference reported by [`check_against_spec`]: outputs the
+/// implementation produced but the spec did not (`extra`), and outputs the
+/// spec produced but the implementation did not (`missing`).
+pub type OutputDiff<Out> = (Vec<Out>, Vec<Out>);
+
 /// Definition 3.4: check an implementation's outputs against
 /// `spec(sortO(streams))` as multisets. Returns the diff on mismatch.
 pub fn check_against_spec<P: DgsProgram>(
     prog: &P,
     streams: &[Vec<StreamItem<P::Tag, P::Payload>>],
     outputs: &[P::Out],
-) -> Result<(), (Vec<P::Out>, Vec<P::Out>)>
+) -> Result<(), OutputDiff<P::Out>>
 where
     P::Out: Ord,
 {

@@ -483,7 +483,9 @@ mod batching_tests {
     use dgs_plan::plan::{Location, PlanBuilder};
     use dgs_sim::LinkSpec;
 
-    fn run(batch: usize) -> (u64, Vec<((u32, i64), Timestamp)>, u64) {
+    type BatchRun = (u64, Vec<((u32, i64), Timestamp)>, u64);
+
+    fn run(batch: usize) -> BatchRun {
         let mut b = PlanBuilder::new();
         let root = b.add([ITag::new(KcTag::ReadReset(1), StreamId(0))], Location(0));
         let l = b.add([ITag::new(KcTag::Inc(1), StreamId(1))], Location(1));

@@ -1,0 +1,453 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! property-testing framework.
+//!
+//! The build environment has no network access, so the real proptest
+//! cannot be fetched. This crate keeps the workspace's property tests
+//! compiling and meaningfully running with the same source: the
+//! [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_shuffle`, integer
+//! range and tuple strategies, [`collection`] strategies
+//! (`vec` / `btree_map` / `btree_set`), [`bool::ANY`],
+//! [`Just`](strategy::Just), and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` assertion macros.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports its generated inputs
+//!   (`Debug` where available via the assertion message) but is not
+//!   minimized.
+//! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   the test name xor `PROPTEST_RNG_SEED` (default 0), so failures
+//!   reproduce across runs and machines.
+//! * Rejection via `prop_assume!`/`prop_filter` is bounded: a test panics
+//!   if it rejects far more cases than it accepts.
+
+pub mod strategy;
+
+/// Deterministic RNG used to drive all strategies.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The RNG handed to strategies. Re-exported so generated code can name
+    /// it; user code never constructs one directly.
+    pub type TestRng = StdRng;
+
+    /// Subset of `proptest::test_runner::Config` used by the workspace.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Config running `cases` successful cases per test.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` / `prop_filter`; it does
+        /// not count toward the required number of cases.
+        Reject(String),
+        /// A `prop_assert!`-family assertion failed: the property is false.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Build a [`TestCaseError::Fail`].
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Build a [`TestCaseError::Reject`].
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Drive one property: generate-and-check until `config.cases` cases
+    /// pass. Called by the expansion of [`crate::proptest!`].
+    pub fn run_cases<F>(name: &str, config: Config, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        let base = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        let mut rng = TestRng::seed_from_u64(base ^ fnv1a(name.as_bytes()));
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let reject_budget = config.cases as u64 * 64 + 1_024;
+        while passed < config.cases {
+            match case(&mut rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_budget,
+                        "property `{name}`: too many rejected cases \
+                         ({rejected} rejects for {passed} passes); \
+                         loosen the assumption or the generator"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("property `{name}` failed after {passed} passing cases: {msg}")
+                }
+            }
+        }
+    }
+}
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans, mirroring `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` strategy: each element from `elem`, length uniform in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty size range");
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `BTreeMap` strategy. Key collisions may make the map smaller than
+    /// the drawn size, matching real proptest's behavior for tiny key
+    /// domains.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with sizes drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `BTreeSet` strategy. Element collisions may make the set smaller
+    /// than the drawn size.
+    pub fn btree_set<S>(elem: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(size.start < size.end, "empty size range");
+        BTreeSetStrategy { elem, size }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Module namespace for strategy constructors, mirroring the `prop`
+    /// re-export in proptest's prelude.
+    pub mod prop {
+        pub use crate::{bool, collection};
+    }
+}
+
+/// Reject the current case unless `cond` holds; mirrors
+/// `proptest::prop_assume!`.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds; mirrors
+/// `proptest::prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`; mirrors
+/// `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = ($left, $right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            format!($($fmt)*),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`; mirrors
+/// `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = ($left, $right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Define property tests, mirroring `proptest::proptest!`.
+///
+/// Supports the form used throughout this workspace: an optional
+/// `#![proptest_config(expr)]` header followed by `#[test]` functions whose
+/// arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #[allow(unused_imports)]
+                use $crate::strategy::Strategy as _;
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    $config,
+                    |prop_rng| {
+                        $(let $pat = ($strat).generate(prop_rng);)+
+                        (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })()
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($pat in $strat),+) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::SeedableRng;
+
+    fn rng() -> TestRng {
+        TestRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_tuples_and_map_compose() {
+        let strat = (0u32..3, crate::bool::ANY).prop_map(|(k, b)| if b { k + 10 } else { k });
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = strat.generate(&mut r);
+            assert!(v < 3 || (10..13).contains(&v));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_ranges() {
+        let mut r = rng();
+        for _ in 0..50 {
+            let v = crate::collection::vec(0u8..5, 1..4).generate(&mut r);
+            assert!((1..4).contains(&v.len()));
+            let m = crate::collection::btree_map(0u8..3, 0i64..10, 0..3).generate(&mut r);
+            assert!(m.len() < 3);
+            let s = crate::collection::btree_set(0u8..200, 2..5).generate(&mut r);
+            assert!(s.len() < 5);
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let mut r = rng();
+        let strat = Just(vec![1u8, 2, 3, 4, 5]).prop_shuffle();
+        for _ in 0..20 {
+            let mut v = strat.generate(&mut r);
+            v.sort();
+            assert_eq!(v, vec![1, 2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn filter_retries_until_accepted() {
+        let mut r = rng();
+        let strat = (0u32..100).prop_filter("even only", |v| v % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strat.generate(&mut r) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn flat_map_threads_dependent_values() {
+        let mut r = rng();
+        let strat = (1usize..5).prop_flat_map(|n| crate::collection::vec(0u8..10, n..n + 1));
+        for _ in 0..50 {
+            let v = strat.generate(&mut r);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn the_macro_itself_works(a in 0u32..50, mut b in 0u32..50) {
+            b += 1;
+            prop_assume!(a != 13);
+            prop_assert!(a < 50 && b <= 50);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert_ne!(b, 0);
+        }
+    }
+}
