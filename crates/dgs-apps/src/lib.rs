@@ -18,9 +18,14 @@
 //! | [`fraud`] | §4.1 fraud detection | global model rebuilt at each rule |
 //! | [`outlier`] | App. A.1 Reloaded outlier detection | local models merged on demand |
 //! | [`smart_home`] | App. A.2 DEBS-2014 power prediction | per-house parallelism, hourly global slice |
+//!
+//! [`sweep`] gives the three §4.1 applications one parameterized shape
+//! (`workers × window geometry`) so the wall-clock harness in `dgs-bench`
+//! can drive rate sweeps over all of them generically.
 
 pub mod fraud;
 pub mod outlier;
 pub mod page_view;
 pub mod smart_home;
+pub mod sweep;
 pub mod value_barrier;

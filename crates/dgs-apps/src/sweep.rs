@@ -1,0 +1,216 @@
+//! Uniform workload parameterization for wall-clock rate sweeps.
+//!
+//! The wall-clock benchmark harness (`dgs-bench::wallclock`) drives the
+//! real-thread driver over the paper's three evaluation applications
+//! across `(worker count, input rate)` grids. Each application already
+//! knows how to build its plan and scheduled streams; this module gives
+//! them one shared shape — construct from `(workers, per_window,
+//! windows)`, expose program/plan/streams/event-count — so the harness
+//! can sweep them generically, and so any future app joins the sweep by
+//! implementing one small trait.
+//!
+//! Input *rate* is deliberately not part of the workload: scheduled
+//! streams carry virtual timestamps (one value event per stream per
+//! tick), and the thread driver's `pace_ns_per_tick` option maps ticks to
+//! wall time. The same stream set therefore serves every rate point of a
+//! sweep, keeping the event volume — and the sequential specification —
+//! fixed while only the pacing changes.
+
+use dgs_core::event::Timestamp;
+use dgs_core::program::DgsProgram;
+use dgs_plan::plan::Plan;
+use dgs_runtime::source::ScheduledStream;
+
+use crate::fraud::{FdWorkload, FraudDetection};
+use crate::page_view::{PageViewJoin, PvWorkload};
+use crate::value_barrier::{ValueBarrier, VbWorkload};
+
+/// The scheduled input streams of a program's workload.
+pub type ProgStreams<Pr> =
+    Vec<ScheduledStream<<Pr as DgsProgram>::Tag, <Pr as DgsProgram>::Payload>>;
+
+/// A workload the wall-clock harness can sweep: parameterized by worker
+/// count and window geometry, able to produce everything `run_threads`
+/// needs plus the exact event volume for throughput accounting.
+pub trait SweepWorkload: Sized {
+    /// The DGS program this workload drives. `Out: Ord` so harness smoke
+    /// checks can compare output multisets against the sequential spec.
+    type Prog: DgsProgram<Out: Ord> + Send + Sync + 'static;
+
+    /// Stable name used in reports ("value-barrier", "page-view", …).
+    const NAME: &'static str;
+
+    /// Build the workload for `workers` parallel event streams,
+    /// `per_window` events per stream per synchronization window, and
+    /// `windows` windows.
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self;
+
+    /// The program instance.
+    fn program(&self) -> Self::Prog;
+
+    /// The synchronization plan (Appendix B optimizer).
+    fn plan(&self) -> Plan<<Self::Prog as DgsProgram>::Tag>;
+
+    /// Scheduled input streams, with heartbeats every `hb_period` ticks.
+    fn streams(&self, hb_period: Timestamp) -> ProgStreams<Self::Prog>;
+
+    /// Total input events (heartbeats excluded) — the numerator of
+    /// events-per-second throughput.
+    fn event_count(&self) -> u64;
+
+    /// Last virtual timestamp carried by any event, i.e. the tick count a
+    /// paced run must play out (used to convert a rate into an expected
+    /// minimum duration).
+    fn last_tick(&self) -> Timestamp;
+}
+
+impl SweepWorkload for VbWorkload {
+    type Prog = ValueBarrier;
+
+    const NAME: &'static str = "value-barrier";
+
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        VbWorkload { value_streams: workers, values_per_barrier: per_window, barriers: windows }
+    }
+
+    fn program(&self) -> ValueBarrier {
+        ValueBarrier
+    }
+
+    fn plan(&self) -> Plan<crate::value_barrier::VbTag> {
+        VbWorkload::plan(self)
+    }
+
+    fn streams(
+        &self,
+        hb_period: Timestamp,
+    ) -> Vec<ScheduledStream<crate::value_barrier::VbTag, i64>> {
+        self.scheduled_streams(hb_period)
+    }
+
+    fn event_count(&self) -> u64 {
+        self.total_values() + self.barriers
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.values_per_barrier * self.barriers
+    }
+}
+
+impl SweepWorkload for PvWorkload {
+    type Prog = PageViewJoin;
+
+    const NAME: &'static str = "page-view";
+
+    /// `workers` view streams spread over the (up to two) hot pages of
+    /// the paper's skewed workload: `workers = 1` runs a single page so
+    /// every point of a sweep is a genuinely distinct configuration; odd
+    /// counts round the per-page streams up, so the point runs *at
+    /// least* `workers` view streams.
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        let pages = workers.clamp(1, 2);
+        PvWorkload {
+            pages,
+            view_streams_per_page: workers.div_ceil(pages).max(1),
+            views_per_update: per_window,
+            updates: windows,
+        }
+    }
+
+    fn program(&self) -> PageViewJoin {
+        PageViewJoin
+    }
+
+    fn plan(&self) -> Plan<crate::page_view::PvTag> {
+        PvWorkload::plan(self)
+    }
+
+    fn streams(&self, hb_period: Timestamp) -> Vec<ScheduledStream<crate::page_view::PvTag, i64>> {
+        self.scheduled_streams(hb_period)
+    }
+
+    fn event_count(&self) -> u64 {
+        self.total_events()
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.views_per_update * self.updates
+    }
+}
+
+impl SweepWorkload for FdWorkload {
+    type Prog = FraudDetection;
+
+    const NAME: &'static str = "fraud-detection";
+
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        FdWorkload { txn_streams: workers, txns_per_rule: per_window, rules: windows }
+    }
+
+    fn program(&self) -> FraudDetection {
+        FraudDetection
+    }
+
+    fn plan(&self) -> Plan<crate::fraud::FdTag> {
+        FdWorkload::plan(self)
+    }
+
+    fn streams(&self, hb_period: Timestamp) -> Vec<ScheduledStream<crate::fraud::FdTag, i64>> {
+        self.scheduled_streams(hb_period)
+    }
+
+    fn event_count(&self) -> u64 {
+        self.total_txns() + self.rules
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.txns_per_rule * self.rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check<W: SweepWorkload>(workers: u32) {
+        let w = W::for_scale(workers, 20, 3);
+        let streams = w.streams(5);
+        let events: u64 = streams.iter().map(|s| s.events().count() as u64).sum();
+        assert_eq!(events, w.event_count(), "{}: event_count must match streams", W::NAME);
+        let max_ts = streams
+            .iter()
+            .flat_map(|s| s.events().map(|e| e.ts))
+            .max()
+            .unwrap_or(0);
+        assert_eq!(max_ts, w.last_tick(), "{}: last_tick must match streams", W::NAME);
+        // Every stream must have a responsible worker in the plan.
+        let plan = w.plan();
+        for s in &streams {
+            assert!(plan.responsible_for(&s.itag).is_some(), "{}: orphan stream", W::NAME);
+        }
+    }
+
+    #[test]
+    fn all_sweep_workloads_are_consistent() {
+        for workers in [1u32, 2, 4] {
+            check::<VbWorkload>(workers);
+            check::<PvWorkload>(workers);
+            check::<FdWorkload>(workers);
+        }
+    }
+
+    /// Every worker count on the sweep axis must be a distinct deployment
+    /// — a sweep that silently reruns the same plan under two labels
+    /// corrupts the recorded trajectory.
+    #[test]
+    fn sweep_axis_points_are_distinct_configurations() {
+        fn leaves<W: SweepWorkload>(workers: u32) -> usize {
+            W::for_scale(workers, 20, 2).plan().leaf_count()
+        }
+        for workers in [1u32, 2, 4, 8] {
+            assert_eq!(leaves::<VbWorkload>(workers), workers as usize);
+            assert_eq!(leaves::<FdWorkload>(workers), workers as usize);
+            assert_eq!(leaves::<PvWorkload>(workers), workers as usize, "pv at {workers}");
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Wall-clock benchmark driver for the real-thread runtime.
+//!
+//! ```text
+//! wallclock [--smoke] [--workers 1,2,4,8] [--rates 0,200000]
+//!           [--per-window 500] [--windows 20] [--check-spec]
+//!           [--with-sim] [--date YYYY-MM-DD] [--out PATH]
+//! wallclock --validate PATH
+//! ```
+//!
+//! Runs the three paper workloads (value-barrier, page-view, fraud
+//! detection) on `run_threads` across the worker × rate grid, prints a
+//! human-readable table, and — with `--out` — writes the machine-readable
+//! trajectory JSON (schema in `dgs_bench::report`). Rate `0` means
+//! unpaced max-throughput; nonzero rates pace sources on the wall clock
+//! and yield p50/p95/p99 latency. `--with-sim` appends the virtual-time
+//! figure entries so one file carries both measurement axes.
+//! `--validate` parses and schema-checks an existing file (used by CI on
+//! the smoke artifact) and exits nonzero on any violation.
+
+use dgs_bench::figures;
+use dgs_bench::measure::Scale;
+use dgs_bench::report::{self, Json};
+use dgs_bench::wallclock::{self, SweepSpec};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("wallclock: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_list(value: &str, flag: &str) -> Vec<u64> {
+    value
+        .split(',')
+        .map(|p| {
+            p.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| fail(&format!("bad {flag} entry `{p}` (comma-separated integers)")))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // `--smoke` selects the base tier; it is resolved before the other
+    // flags so explicit axis overrides win regardless of argument order
+    // (`--workers 4 --smoke` == `--smoke --workers 4`).
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut spec = if smoke { SweepSpec::smoke() } else { SweepSpec::full() };
+    let mut with_sim = false;
+    let mut out: Option<String> = None;
+    let mut validate: Option<String> = None;
+    let mut date: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| fail(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--smoke" => {}
+            "--workers" => {
+                spec.workers = parse_list(&value("--workers"), "--workers")
+                    .into_iter()
+                    .map(|w| w as u32)
+                    .collect();
+            }
+            "--rates" => spec.rates = parse_list(&value("--rates"), "--rates"),
+            "--per-window" => {
+                spec.per_window = value("--per-window").parse().unwrap_or_else(|_| fail("bad --per-window"));
+            }
+            "--windows" => {
+                spec.windows = value("--windows").parse().unwrap_or_else(|_| fail("bad --windows"));
+            }
+            "--check-spec" => spec.check_spec = true,
+            "--with-sim" => with_sim = true,
+            "--out" => out = Some(value("--out")),
+            "--validate" => validate = Some(value("--validate")),
+            "--date" => date = Some(value("--date")),
+            other => fail(&format!("unknown argument `{other}` (see module docs)")),
+        }
+    }
+
+    if let Some(path) = validate {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+        let doc = Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+        match report::validate_trajectory(&doc) {
+            Ok(n) => {
+                println!("{path}: valid trajectory, {n} results");
+                return;
+            }
+            Err(e) => fail(&format!("{path}: schema violation: {e}")),
+        }
+    }
+
+    if spec.workers.is_empty() || spec.rates.is_empty() {
+        fail("empty --workers or --rates");
+    }
+
+    eprintln!(
+        "wallclock sweep: {} workloads × workers {:?} × rates {:?} ({} events/stream/window × {} windows){}",
+        3,
+        spec.workers,
+        spec.rates,
+        spec.per_window,
+        spec.windows,
+        if smoke { " [smoke]" } else { "" },
+    );
+    let points = wallclock::sweep(&spec);
+    // With no --out the JSON document owns stdout (so `wallclock > x.json`
+    // stays parseable); the human table moves to stderr.
+    if out.is_some() {
+        print!("{}", wallclock::render_table(&points));
+    } else {
+        eprint!("{}", wallclock::render_table(&points));
+    }
+
+    if let Some(p) = points.iter().find(|p| p.spec_ok == Some(false)) {
+        fail(&format!(
+            "output multiset diverged from the sequential spec: {} workers={} rate={}",
+            p.workload, p.workers, p.rate_eps
+        ));
+    }
+
+    let sim = if with_sim {
+        eprintln!("capturing simulator figure entries (virtual time)...");
+        let (axis, scale): (&[u32], Scale) = if smoke {
+            (&[1, 4], Scale::quick())
+        } else {
+            (&[1, 4, 8, 12], Scale::saturating())
+        };
+        figures::sim_entries(axis, scale)
+    } else {
+        Vec::new()
+    };
+
+    let captured_at = date.unwrap_or_else(report::utc_date_string);
+    let doc = report::trajectory(&captured_at, &points, &sim);
+    // Self-check: never write (or print) a document the validator rejects.
+    if let Err(e) = report::validate_trajectory(&doc) {
+        fail(&format!("internal error: emitted JSON violates own schema: {e}"));
+    }
+    if let Some(path) = out {
+        std::fs::write(&path, doc.render() + "\n")
+            .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
+        eprintln!(
+            "wrote {path}: {} wallclock points{}",
+            points.len(),
+            if sim.is_empty() { String::new() } else { format!(" + {} simulator entries", sim.len()) },
+        );
+    } else {
+        println!("{}", doc.render());
+    }
+}

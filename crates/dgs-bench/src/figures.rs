@@ -1,6 +1,7 @@
 //! Assemble measurement points into the paper's tables and figures.
 
 use crate::measure::{self, MeasuredPoint, Scale};
+use crate::report::SimEntry;
 
 /// The parallelism axis used throughout §4 (Figures 4 and 8).
 pub const PARALLELISM_AXIS: [u32; 6] = [1, 4, 8, 12, 16, 20];
@@ -270,6 +271,35 @@ pub fn table1(s: Scale) -> Vec<Table1Row> {
     ]
 }
 
+/// Flatten one figure's series into trajectory entries (virtual-time
+/// throughput in events/ms is rescaled to events per virtual second so
+/// the shared schema has one throughput unit).
+pub fn series_entries(figure: &str, system: &str, series: &[Series]) -> Vec<SimEntry> {
+    series
+        .iter()
+        .flat_map(|s| {
+            s.points.iter().map(|p| SimEntry {
+                figure: figure.to_string(),
+                workload: s.name.to_string(),
+                system: system.to_string(),
+                workers: p.parallelism,
+                throughput_eps: p.throughput * 1_000.0,
+                latency_p10_p50_p90: p.latency,
+                net_bytes: p.net_bytes,
+            })
+        })
+        .collect()
+}
+
+/// The simulator side of a trajectory capture: the three headline
+/// throughput figures (4 top/bottom and 8) over `axis` at scale `s`.
+pub fn sim_entries(axis: &[u32], s: Scale) -> Vec<SimEntry> {
+    let mut entries = series_entries("fig4_flink", "flink", &fig4_flink(axis, s));
+    entries.extend(series_entries("fig4_timely", "timely", &fig4_timely(axis, s, 64)));
+    entries.extend(series_entries("fig8_flumina", "flumina", &fig8_flumina(axis, s)));
+    entries
+}
+
 /// Render a throughput series table.
 pub fn render_series(title: &str, axis: &[u32], series: &[Series]) -> String {
     use std::fmt::Write;
@@ -333,6 +363,23 @@ mod tests {
         assert_eq!(s.scaling(), 8.0);
         assert_eq!(s.scaling_at(12), 8.0);
         assert_eq!(s.scaling_at(99), 0.0);
+    }
+
+    #[test]
+    fn series_entries_flatten_into_a_valid_trajectory() {
+        let mk = |n: u32, t: f64| MeasuredPoint {
+            parallelism: n,
+            throughput: t,
+            latency: Some((1, 2, 3)),
+            net_bytes: 7,
+        };
+        let series = vec![Series { name: "Event Win.", points: vec![mk(1, 100.0), mk(12, 800.0)] }];
+        let entries = series_entries("fig8_flumina", "flumina", &series);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[1].workers, 12);
+        assert_eq!(entries[1].throughput_eps, 800_000.0);
+        let doc = crate::report::trajectory("2026-01-01", &[], &entries);
+        assert_eq!(crate::report::validate_trajectory(&doc), Ok(2));
     }
 
     #[test]

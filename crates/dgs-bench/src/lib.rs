@@ -6,8 +6,18 @@
 //! throughput/latency/network metrics. [`figures`] assembles them into
 //! the series the paper plots; the `figures` binary prints them as text
 //! tables next to the paper's expectations (recorded in EXPERIMENTS.md).
+//!
+//! [`wallclock`] is the other axis: it drives the *real-thread* runtime
+//! (`dgs_runtime::thread_driver`) on the paper workloads across worker ×
+//! input-rate grids and measures wall-clock throughput and latency
+//! percentiles; the `wallclock` binary runs the sweeps. [`report`] is
+//! the shared machine-readable trajectory format (`BENCH_<date>.json`)
+//! both paths emit, with its parser and schema validator.
 
 pub mod figures;
 pub mod measure;
+pub mod report;
+pub mod wallclock;
 
 pub use measure::MeasuredPoint;
+pub use wallclock::{LatencyHistogram, SweepSpec, WallclockPoint};

@@ -60,7 +60,7 @@ where
         prog.clone(),
         plan,
         streams.clone(),
-        ThreadRunOptions { initial_state: None, checkpoint_root: true },
+        ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
     let mut store = CheckpointStore::new();
     let CrashPoint::AfterCheckpoint(k) = crash else {
@@ -84,7 +84,7 @@ where
         prog,
         plan,
         suffix,
-        ThreadRunOptions { initial_state: Some(snapshot), checkpoint_root: true },
+        ThreadRunOptions { initial_state: Some(snapshot), checkpoint_root: true, ..Default::default() },
     );
     outputs.extend(resumed.outputs);
     store.extend(resumed.checkpoints);

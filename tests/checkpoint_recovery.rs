@@ -28,7 +28,7 @@ fn recovery_from_any_checkpoint_reproduces_the_spec() {
         Arc::new(ValueBarrier),
         &w.plan(),
         streams.clone(),
-        ThreadRunOptions { initial_state: None, checkpoint_root: true },
+        ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
     let mut store = CheckpointStore::new();
     store.extend(full.checkpoints.clone());
@@ -42,7 +42,7 @@ fn recovery_from_any_checkpoint_reproduces_the_spec() {
             Arc::new(ValueBarrier),
             &w.plan(),
             suffix,
-            ThreadRunOptions { initial_state: Some(*snapshot), checkpoint_root: false },
+            ThreadRunOptions { initial_state: Some(*snapshot), checkpoint_root: false, ..Default::default() },
         );
         // Outputs before the cut (from the original run) + resumed ones.
         let mut combined: Vec<(i64, u64)> = full
@@ -69,7 +69,7 @@ fn snapshot_state_is_consistent_cut() {
         Arc::new(ValueBarrier),
         &w.plan(),
         streams,
-        ThreadRunOptions { initial_state: None, checkpoint_root: true },
+        ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
     for (snapshot, cut_ts) in &full.checkpoints {
         let prefix: Vec<_> = merged

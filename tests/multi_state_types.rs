@@ -76,7 +76,7 @@ fn pair_split_checkpoint_state_is_the_reassembled_pair() {
         Arc::new(PairSplit),
         &plan,
         streams,
-        ThreadRunOptions { initial_state: None, checkpoint_root: true },
+        ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
     assert_eq!(result.checkpoints.len(), 1);
     // The snapshot is the joined pair: 20 A's of 1 and 20 B's of 2.

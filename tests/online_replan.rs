@@ -38,7 +38,7 @@ fn switching_plans_mid_stream_preserves_semantics() {
         Arc::new(ValueBarrier),
         &w.plan(),
         streams.clone(),
-        ThreadRunOptions { initial_state: None, checkpoint_root: true },
+        ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
     // Reconfigure at the third barrier.
     let (snapshot, cut_ts) = phase1.checkpoints[2];
@@ -53,7 +53,7 @@ fn switching_plans_mid_stream_preserves_semantics() {
             Arc::new(ValueBarrier),
             plan2,
             suffix,
-            ThreadRunOptions { initial_state: Some(snapshot), checkpoint_root: false },
+            ThreadRunOptions { initial_state: Some(snapshot), checkpoint_root: false, ..Default::default() },
         );
         let mut combined: Vec<(i64, u64)> = phase1
             .outputs

@@ -1,0 +1,56 @@
+//! Facade-level smoke test of the wall-clock benchmarking subsystem.
+//!
+//! Runs a miniature wall-clock sweep — the three paper workloads, two
+//! worker counts, one unpaced and one paced rate — end to end through
+//! `dgs_bench::wallclock`, with spec checking on: every run's output
+//! multiset must equal the sequential specification (Theorem 3.5 must
+//! keep holding under the sharded channel stand-in and the condvar
+//! termination protocol this subsystem leans on). Also checks that the
+//! sweep's JSON serialization round-trips through the trajectory parser
+//! and validator, i.e. what CI captures is what the schema promises.
+
+use dgs_bench::report::{self, Json};
+use dgs_bench::wallclock::{self, SweepSpec};
+
+#[test]
+fn miniature_wallclock_sweep_matches_sequential_spec() {
+    let spec = SweepSpec {
+        workers: vec![1, 3],
+        rates: vec![0, 500_000],
+        per_window: 25,
+        windows: 4,
+        check_spec: true,
+    };
+    let points = wallclock::sweep(&spec);
+    assert_eq!(points.len(), 3 * 2 * 2, "workloads × workers × rates");
+
+    for p in &points {
+        // Theorem 3.5: output multiset == sequential spec, every run.
+        assert_eq!(
+            p.spec_ok,
+            Some(true),
+            "{} at workers={} rate={} diverged from the sequential spec",
+            p.workload,
+            p.workers,
+            p.rate_eps
+        );
+        assert!(p.events > 0 && p.elapsed_ns > 0 && p.throughput_eps > 0.0);
+        assert!(
+            p.worker_msgs.iter().sum::<u64>() as f64 >= p.events as f64,
+            "every input event must be handled at least once"
+        );
+        // Paced runs carry the percentile summary; unpaced runs don't.
+        if p.rate_eps > 0 {
+            let lat = p.latency.expect("paced run must report latency");
+            assert!(lat.samples == p.outputs && lat.p50 <= lat.p99);
+        } else {
+            assert!(p.latency.is_none());
+        }
+    }
+
+    // The sweep serializes into a valid, round-trippable trajectory.
+    let doc = report::trajectory("2026-07-26", &points, &[]);
+    assert_eq!(report::validate_trajectory(&doc), Ok(points.len()));
+    let reparsed = Json::parse(&doc.render()).expect("emitted JSON must parse");
+    assert_eq!(report::validate_trajectory(&reparsed), Ok(points.len()));
+}

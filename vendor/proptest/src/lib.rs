@@ -21,6 +21,13 @@
 //!   reproduce across runs and machines.
 //! * Rejection via `prop_assume!`/`prop_filter` is bounded: a test panics
 //!   if it rejects far more cases than it accepts.
+//! * **Case-count tiers.** The `PROPTEST_CASES` environment variable,
+//!   when set to a positive integer, overrides the case count of *every*
+//!   property (including those with an explicit
+//!   `ProptestConfig::with_cases`) — unlike the real crate, where it only
+//!   replaces the default. This gives the repo cheap tiers: CI smoke runs
+//!   `PROPTEST_CASES=32`, the default is 256, and a deep soak is just
+//!   `PROPTEST_CASES=4096 cargo test`.
 
 pub mod strategy;
 
@@ -84,12 +91,21 @@ pub mod test_runner {
         h
     }
 
+    /// The tier override: `PROPTEST_CASES`, if set to a positive integer,
+    /// replaces every property's case count (CI-fast tier 32, soak tiers
+    /// upward). Returns `None` when unset or unparsable.
+    pub fn case_count_override() -> Option<u32> {
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse::<u32>().ok()).filter(|&c| c > 0)
+    }
+
     /// Drive one property: generate-and-check until `config.cases` cases
-    /// pass. Called by the expansion of [`crate::proptest!`].
+    /// pass (or the `PROPTEST_CASES` tier override of it). Called by the
+    /// expansion of [`crate::proptest!`].
     pub fn run_cases<F>(name: &str, config: Config, mut case: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
     {
+        let cases = case_count_override().unwrap_or(config.cases);
         let base = std::env::var("PROPTEST_RNG_SEED")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
@@ -97,8 +113,8 @@ pub mod test_runner {
         let mut rng = TestRng::seed_from_u64(base ^ fnv1a(name.as_bytes()));
         let mut passed = 0u32;
         let mut rejected = 0u64;
-        let reject_budget = config.cases as u64 * 64 + 1_024;
-        while passed < config.cases {
+        let reject_budget = cases as u64 * 64 + 1_024;
+        while passed < cases {
             match case(&mut rng) {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject(_)) => {
@@ -436,6 +452,23 @@ mod tests {
             let v = strat.generate(&mut r);
             assert!((1..5).contains(&v.len()));
         }
+    }
+
+    /// The `PROPTEST_CASES` tier must govern how many cases actually run
+    /// (whatever its value in this environment — CI pins 32).
+    #[test]
+    fn case_count_tier_is_respected() {
+        let expected = crate::test_runner::case_count_override().unwrap_or(17);
+        let mut ran = 0u32;
+        crate::test_runner::run_cases(
+            "case_count_tier_is_respected",
+            ProptestConfig::with_cases(17),
+            |_rng| {
+                ran += 1;
+                Ok(())
+            },
+        );
+        assert_eq!(ran, expected);
     }
 
     proptest! {
