@@ -1,0 +1,68 @@
+//! Compare two `BENCH_*.json` trajectory files and gate on regressions.
+//!
+//! ```text
+//! bench-diff OLD.json NEW.json [--max-tput-drop PCT] [--max-p95-rise PCT]
+//! ```
+//!
+//! Matches result cells by identity — `(kind, workload, system, workers,
+//! rate, events | figure, channel_mode)`, with a missing `channel_mode`
+//! read as
+//! `ticketed` (pre-A/B captures) — and exits nonzero when any matched
+//! cell's throughput drops more than `--max-tput-drop` percent (default
+//! 15) or its p95 latency rises more than `--max-p95-rise` percent
+//! (default 25). Cells present in only one file are listed but never
+//! fatal, so a CI smoke sweep can gate against the committed full
+//! baseline through their intersection. Both files' `hw_threads` are
+//! printed (with a warning on mismatch): single-core captures are
+//! self-describing, not silently misleading.
+
+use dgs_bench::diff::{diff, DiffThresholds};
+use dgs_bench::report::{self, Json};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("bench-diff: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let doc =
+        Json::parse(&text).unwrap_or_else(|e| fail(&format!("{path}: invalid JSON: {e}")));
+    if let Err(e) = report::validate_trajectory(&doc) {
+        fail(&format!("{path}: schema violation: {e}"));
+    }
+    doc
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut thresholds = DiffThresholds::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| -> f64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| fail(&format!("{flag} needs a numeric value")))
+        };
+        match arg.as_str() {
+            "--max-tput-drop" => thresholds.max_tput_drop_pct = value("--max-tput-drop"),
+            "--max-p95-rise" => thresholds.max_p95_rise_pct = value("--max-p95-rise"),
+            other if other.starts_with("--") => fail(&format!("unknown flag `{other}`")),
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else {
+        fail("usage: bench-diff OLD.json NEW.json [--max-tput-drop PCT] [--max-p95-rise PCT]");
+    };
+
+    let old = load(old_path);
+    let new = load(new_path);
+    let report = diff(&old, &new, thresholds);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        eprintln!("bench-diff: {new_path} regressed against {old_path}");
+        std::process::exit(1);
+    }
+}

@@ -2,25 +2,30 @@
 //!
 //! ```text
 //! wallclock [--smoke] [--workers 1,2,4,8] [--rates 0,200000]
-//!           [--per-window 500] [--windows 20] [--check-spec]
-//!           [--with-sim] [--date YYYY-MM-DD] [--out PATH]
+//!           [--modes per-edge,ticketed] [--per-window 500]
+//!           [--windows 20] [--check-spec] [--with-sim]
+//!           [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
 //! ```
 //!
 //! Runs the three paper workloads (value-barrier, page-view, fraud
-//! detection) on `run_threads` across the worker × rate grid, prints a
-//! human-readable table, and — with `--out` — writes the machine-readable
-//! trajectory JSON (schema in `dgs_bench::report`). Rate `0` means
-//! unpaced max-throughput; nonzero rates pace sources on the wall clock
-//! and yield p50/p95/p99 latency. `--with-sim` appends the virtual-time
-//! figure entries so one file carries both measurement axes.
-//! `--validate` parses and schema-checks an existing file (used by CI on
-//! the smoke artifact) and exits nonzero on any violation.
+//! detection) on `run_threads` across the channel-mode × worker × rate
+//! grid, prints a human-readable table, and — with `--out` — writes the
+//! machine-readable trajectory JSON (schema in `dgs_bench::report`).
+//! `--modes` selects the delivery planes to A/B: `per-edge` (independent
+//! per-edge FIFO queues, the runtime default) and/or `ticketed` (global
+//! send-order MPMC). Rate `0` means unpaced max-throughput; nonzero
+//! rates pace sources on the wall clock and yield p50/p95/p99 latency.
+//! `--with-sim` appends the virtual-time figure entries so one file
+//! carries both measurement axes. `--validate` parses and schema-checks
+//! an existing file (used by CI on the smoke artifact) and exits nonzero
+//! on any violation.
 
 use dgs_bench::figures;
 use dgs_bench::measure::Scale;
 use dgs_bench::report::{self, Json};
 use dgs_bench::wallclock::{self, SweepSpec};
+use dgs_runtime::thread_driver::ChannelMode;
 
 fn fail(msg: &str) -> ! {
     eprintln!("wallclock: {msg}");
@@ -64,6 +69,18 @@ fn main() {
                     .collect();
             }
             "--rates" => spec.rates = parse_list(&value("--rates"), "--rates"),
+            "--modes" => {
+                spec.modes = value("--modes")
+                    .split(',')
+                    .map(|m| match m.trim() {
+                        "per-edge" => ChannelMode::PerEdge,
+                        "ticketed" => ChannelMode::Ticketed,
+                        other => fail(&format!(
+                            "bad --modes entry `{other}` (per-edge | ticketed)"
+                        )),
+                    })
+                    .collect();
+            }
             "--per-window" => {
                 spec.per_window = value("--per-window").parse().unwrap_or_else(|_| fail("bad --per-window"));
             }
@@ -92,12 +109,20 @@ fn main() {
         }
     }
 
-    if spec.workers.is_empty() || spec.rates.is_empty() {
-        fail("empty --workers or --rates");
+    if spec.workers.is_empty() || spec.rates.is_empty() || spec.modes.is_empty() {
+        fail("empty --workers, --rates, or --modes");
     }
 
+    // hw_threads up front: a single-core capture measures queueing, not
+    // scaling, and the artifact should say so before anyone reads the
+    // numbers (it is also recorded in the JSON's `host` block).
+    let hw_threads =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     eprintln!(
-        "wallclock sweep: {} workloads × workers {:?} × rates {:?} ({} events/stream/window × {} windows){}",
+        "wallclock sweep on {} hw thread(s){}: modes {:?} × {} workloads × workers {:?} × rates {:?} ({} events/stream/window × {} windows){}",
+        hw_threads,
+        if hw_threads <= 1 { " (single-core: paced points measure queueing, not scaling)" } else { "" },
+        spec.modes.iter().map(|m| m.name()).collect::<Vec<_>>(),
         3,
         spec.workers,
         spec.rates,
@@ -116,8 +141,8 @@ fn main() {
 
     if let Some(p) = points.iter().find(|p| p.spec_ok == Some(false)) {
         fail(&format!(
-            "output multiset diverged from the sequential spec: {} workers={} rate={}",
-            p.workload, p.workers, p.rate_eps
+            "output multiset diverged from the sequential spec: {} mode={} workers={} rate={}",
+            p.workload, p.channel_mode, p.workers, p.rate_eps
         ));
     }
 

@@ -1,0 +1,341 @@
+//! Trajectory comparison: diff two `BENCH_*.json` files and flag
+//! performance regressions.
+//!
+//! Result entries are matched by identity key — `(kind, workload,
+//! system, workers, rate_eps, events | figure, channel_mode)` — and
+//! compared on
+//! throughput (events/sec, higher is better) and, where both sides carry
+//! latency percentiles, p95 (lower is better). A cell regresses when
+//! throughput drops by more than the threshold (default 15%) or p95
+//! rises by more than its threshold (default 25%). Cells present in only
+//! one file are reported but never fatal: sweep grids legitimately grow
+//! and shrink between captures (a CI smoke sweep gates against the
+//! committed full baseline through their intersection).
+//!
+//! Wallclock entries without a `channel_mode` (pre-A/B captures) default
+//! to `"ticketed"` — that is the plane those numbers were measured on.
+//!
+//! Hardware context travels with the verdict: both files' `hw_threads`
+//! are surfaced (and a mismatch warned about) so a single-core capture
+//! compared against a multi-core one is self-describing instead of
+//! silently misleading.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::report::Json;
+
+/// Regression thresholds, in percent.
+#[derive(Debug, Clone, Copy)]
+pub struct DiffThresholds {
+    /// Maximum tolerated throughput drop (new vs old), percent.
+    pub max_tput_drop_pct: f64,
+    /// Maximum tolerated p95 latency rise (new vs old), percent.
+    pub max_p95_rise_pct: f64,
+}
+
+impl Default for DiffThresholds {
+    fn default() -> Self {
+        DiffThresholds { max_tput_drop_pct: 15.0, max_p95_rise_pct: 25.0 }
+    }
+}
+
+/// One matched cell's comparison.
+#[derive(Debug, Clone)]
+pub struct CellDiff {
+    /// Human-readable identity of the cell.
+    pub key: String,
+    /// Old and new throughput (events/sec).
+    pub tput: (f64, f64),
+    /// Signed throughput change in percent (negative = slower).
+    pub tput_delta_pct: f64,
+    /// Old and new p95 latency in ns, when both sides have one.
+    pub p95: Option<(f64, f64)>,
+    /// Signed p95 change in percent (positive = worse), when comparable.
+    pub p95_delta_pct: Option<f64>,
+    /// Whether this cell trips a threshold.
+    pub regressed: bool,
+}
+
+/// Outcome of comparing two trajectory documents.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// All matched cells, in key order.
+    pub cells: Vec<CellDiff>,
+    /// Keys only present in the old file.
+    pub only_old: Vec<String>,
+    /// Keys only present in the new file.
+    pub only_new: Vec<String>,
+    /// `host.hw_threads` of (old, new), 0 when absent.
+    pub hw_threads: (i64, i64),
+    /// Thresholds the verdict used.
+    pub thresholds: DiffThresholds,
+}
+
+impl DiffReport {
+    /// True when any matched cell regressed.
+    pub fn has_regressions(&self) -> bool {
+        self.cells.iter().any(|c| c.regressed)
+    }
+
+    /// Render the human-readable comparison.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "hw_threads: old={} new={}{}",
+            self.hw_threads.0,
+            self.hw_threads.1,
+            if self.hw_threads.0 != self.hw_threads.1 {
+                "  (WARNING: different hardware — absolute numbers are not comparable)"
+            } else {
+                ""
+            }
+        );
+        let _ = writeln!(
+            out,
+            "thresholds: throughput drop > {:.0}% or p95 rise > {:.0}% fails",
+            self.thresholds.max_tput_drop_pct, self.thresholds.max_p95_rise_pct
+        );
+        for c in &self.cells {
+            let p95 = match (c.p95, c.p95_delta_pct) {
+                (Some((o, n)), Some(d)) => {
+                    format!(" | p95 {:.1}µs -> {:.1}µs ({:+.1}%)", o / 1e3, n / 1e3, d)
+                }
+                _ => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{} {} | tput {:.0} -> {:.0} e/s ({:+.1}%){}",
+                if c.regressed { "FAIL" } else { "  ok" },
+                c.key,
+                c.tput.0,
+                c.tput.1,
+                c.tput_delta_pct,
+                p95,
+            );
+        }
+        if !self.only_old.is_empty() {
+            let _ = writeln!(out, "{} cell(s) only in the old file (not compared)", self.only_old.len());
+        }
+        if !self.only_new.is_empty() {
+            let _ = writeln!(out, "{} cell(s) only in the new file (not compared)", self.only_new.len());
+        }
+        let matched = self.cells.len();
+        let failed = self.cells.iter().filter(|c| c.regressed).count();
+        let _ = writeln!(out, "{matched} cell(s) compared, {failed} regression(s)");
+        out
+    }
+}
+
+fn cell_key(entry: &Json) -> Option<String> {
+    let kind = entry.get("kind")?.as_str()?;
+    let workload = entry.get("workload")?.as_str()?;
+    let system = entry.get("system")?.as_str()?;
+    let workers = entry.get("workers")?.as_f64()?;
+    match kind {
+        "wallclock" => {
+            let rate = entry.get("rate_eps")?.as_f64()?;
+            // Workload size is part of the identity: a 400-event smoke
+            // run and a 10k-event full run at the same (workers, rate)
+            // have wildly different setup-cost amortization and must
+            // never be compared as "the same cell".
+            let events = entry.get("events")?.as_f64()?;
+            let mode = entry
+                .get("channel_mode")
+                .and_then(Json::as_str)
+                // Pre-A/B captures were measured on the ticketed plane.
+                .unwrap_or("ticketed");
+            Some(format!("wallclock/{workload}/{system}/{mode}/w{workers}/r{rate}/n{events}"))
+        }
+        "simulator" => {
+            let figure = entry.get("figure")?.as_str()?;
+            Some(format!("simulator/{figure}/{workload}/{system}/w{workers}"))
+        }
+        _ => None,
+    }
+}
+
+fn p95_of(entry: &Json) -> Option<f64> {
+    entry.get("latency_ns")?.get("p95")?.as_f64()
+}
+
+fn index(doc: &Json) -> BTreeMap<String, &Json> {
+    let mut map = BTreeMap::new();
+    if let Some(results) = doc.get("results").and_then(Json::as_arr) {
+        for entry in results {
+            if let Some(key) = cell_key(entry) {
+                map.insert(key, entry);
+            }
+        }
+    }
+    map
+}
+
+fn hw_threads(doc: &Json) -> i64 {
+    doc.get("host")
+        .and_then(|h| h.get("hw_threads"))
+        .and_then(Json::as_f64)
+        .map(|v| v as i64)
+        .unwrap_or(0)
+}
+
+/// Compare two parsed trajectory documents.
+pub fn diff(old: &Json, new: &Json, thresholds: DiffThresholds) -> DiffReport {
+    let old_idx = index(old);
+    let new_idx = index(new);
+    let mut cells = Vec::new();
+    let mut only_old = Vec::new();
+    for (key, o) in &old_idx {
+        let Some(n) = new_idx.get(key) else {
+            only_old.push(key.clone());
+            continue;
+        };
+        let old_tput = o.get("throughput_eps").and_then(Json::as_f64).unwrap_or(0.0);
+        let new_tput = n.get("throughput_eps").and_then(Json::as_f64).unwrap_or(0.0);
+        let tput_delta_pct =
+            if old_tput > 0.0 { (new_tput - old_tput) / old_tput * 100.0 } else { 0.0 };
+        let p95 = match (p95_of(o), p95_of(n)) {
+            (Some(a), Some(b)) => Some((a, b)),
+            _ => None,
+        };
+        let p95_delta_pct = p95.and_then(|(a, b)| (a > 0.0).then(|| (b - a) / a * 100.0));
+        let regressed = tput_delta_pct < -thresholds.max_tput_drop_pct
+            || p95_delta_pct.is_some_and(|d| d > thresholds.max_p95_rise_pct);
+        cells.push(CellDiff {
+            key: key.clone(),
+            tput: (old_tput, new_tput),
+            tput_delta_pct,
+            p95,
+            p95_delta_pct,
+            regressed,
+        });
+    }
+    let only_new =
+        new_idx.keys().filter(|k| !old_idx.contains_key(*k)).cloned().collect();
+    DiffReport {
+        cells,
+        only_old,
+        only_new,
+        hw_threads: (hw_threads(old), hw_threads(new)),
+        thresholds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wallclock_entry(mode: Option<&str>, workers: i64, rate: i64, tput: f64, p95: Option<i64>) -> Json {
+        let mut fields = vec![
+            ("kind".into(), Json::Str("wallclock".into())),
+            ("time_base".into(), Json::Str("wall".into())),
+            ("workload".into(), Json::Str("value-barrier".into())),
+            ("system".into(), Json::Str("dgs-threads".into())),
+            ("workers".into(), Json::Int(workers)),
+            ("rate_eps".into(), Json::Int(rate)),
+            ("events".into(), Json::Int(1_000)),
+            ("outputs".into(), Json::Int(10)),
+            ("elapsed_ns".into(), Json::Int(1_000_000)),
+            ("throughput_eps".into(), Json::Num(tput)),
+            (
+                "latency_ns".into(),
+                match p95 {
+                    None => Json::Null,
+                    Some(v) => Json::Obj(vec![
+                        ("p50".into(), Json::Int(v / 2)),
+                        ("p95".into(), Json::Int(v)),
+                        ("p99".into(), Json::Int(v * 2)),
+                    ]),
+                },
+            ),
+            ("worker_msgs".into(), Json::Arr(vec![Json::Int(5)])),
+        ];
+        if let Some(m) = mode {
+            fields.insert(4, ("channel_mode".into(), Json::Str(m.into())));
+        }
+        Json::Obj(fields)
+    }
+
+    fn doc(entries: Vec<Json>, hw: i64) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Int(1)),
+            ("captured_at".into(), Json::Str("2026-07-26".into())),
+            (
+                "host".into(),
+                Json::Obj(vec![
+                    ("os".into(), Json::Str("linux".into())),
+                    ("arch".into(), Json::Str("x86_64".into())),
+                    ("hw_threads".into(), Json::Int(hw)),
+                ]),
+            ),
+            ("results".into(), Json::Arr(entries)),
+        ])
+    }
+
+    #[test]
+    fn equal_files_have_no_regressions() {
+        let d = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 1e6, None)], 8);
+        let r = diff(&d, &d, DiffThresholds::default());
+        assert_eq!(r.cells.len(), 1);
+        assert!(!r.has_regressions());
+        assert_eq!(r.hw_threads, (8, 8));
+    }
+
+    #[test]
+    fn throughput_drop_beyond_threshold_fails() {
+        let old = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 1e6, None)], 8);
+        let ok = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 0.86e6, None)], 8);
+        let bad = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 0.84e6, None)], 8);
+        assert!(!diff(&old, &ok, DiffThresholds::default()).has_regressions());
+        let r = diff(&old, &bad, DiffThresholds::default());
+        assert!(r.has_regressions());
+        assert!(r.render().contains("FAIL"));
+    }
+
+    #[test]
+    fn p95_rise_beyond_threshold_fails() {
+        let old = doc(vec![wallclock_entry(Some("per-edge"), 4, 200_000, 2e5, Some(100_000))], 8);
+        let ok = doc(vec![wallclock_entry(Some("per-edge"), 4, 200_000, 2e5, Some(124_000))], 8);
+        let bad = doc(vec![wallclock_entry(Some("per-edge"), 4, 200_000, 2e5, Some(126_000))], 8);
+        assert!(!diff(&old, &ok, DiffThresholds::default()).has_regressions());
+        assert!(diff(&old, &bad, DiffThresholds::default()).has_regressions());
+    }
+
+    #[test]
+    fn missing_channel_mode_matches_ticketed() {
+        // Pre-A/B baseline (no channel_mode) must compare against the
+        // new ticketed capture, not the per-edge one.
+        let old = doc(vec![wallclock_entry(None, 2, 0, 1e6, None)], 1);
+        let new = doc(
+            vec![
+                wallclock_entry(Some("ticketed"), 2, 0, 0.99e6, None),
+                wallclock_entry(Some("per-edge"), 2, 0, 0.2e6, None),
+            ],
+            1,
+        );
+        let r = diff(&old, &new, DiffThresholds::default());
+        assert_eq!(r.cells.len(), 1, "exactly the ticketed cell matches");
+        assert!(!r.has_regressions());
+        assert_eq!(r.only_new.len(), 1);
+    }
+
+    #[test]
+    fn unmatched_cells_are_reported_not_fatal() {
+        let old = doc(vec![wallclock_entry(Some("per-edge"), 8, 0, 1e6, None)], 1);
+        let new = doc(vec![wallclock_entry(Some("per-edge"), 2, 0, 1.0, None)], 1);
+        let r = diff(&old, &new, DiffThresholds::default());
+        assert!(r.cells.is_empty());
+        assert!(!r.has_regressions());
+        assert_eq!((r.only_old.len(), r.only_new.len()), (1, 1));
+    }
+
+    #[test]
+    fn custom_thresholds_are_respected() {
+        let old = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 1e6, None)], 8);
+        let new = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 0.9e6, None)], 8);
+        let strict = DiffThresholds { max_tput_drop_pct: 5.0, max_p95_rise_pct: 25.0 };
+        assert!(diff(&old, &new, strict).has_regressions());
+        assert!(!diff(&old, &new, DiffThresholds::default()).has_regressions());
+    }
+}

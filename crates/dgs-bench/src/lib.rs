@@ -8,12 +8,16 @@
 //! tables next to the paper's expectations (recorded in EXPERIMENTS.md).
 //!
 //! [`wallclock`] is the other axis: it drives the *real-thread* runtime
-//! (`dgs_runtime::thread_driver`) on the paper workloads across worker ×
-//! input-rate grids and measures wall-clock throughput and latency
-//! percentiles; the `wallclock` binary runs the sweeps. [`report`] is
-//! the shared machine-readable trajectory format (`BENCH_<date>.json`)
-//! both paths emit, with its parser and schema validator.
+//! (`dgs_runtime::thread_driver`) on the paper workloads across
+//! channel-mode (per-edge vs ticketed delivery) × worker × input-rate
+//! grids and measures wall-clock throughput and latency percentiles; the
+//! `wallclock` binary runs the sweeps. [`report`] is the shared
+//! machine-readable trajectory format (`BENCH_<date>.json`) both paths
+//! emit, with its parser and schema validator. [`diff`] compares two
+//! trajectory files and flags throughput/p95 regressions; the
+//! `bench-diff` binary is the CI gate built on it.
 
+pub mod diff;
 pub mod figures;
 pub mod measure;
 pub mod report;

@@ -21,6 +21,7 @@
 //!     {
 //!       "kind": "wallclock", "time_base": "wall",
 //!       "workload": "value-barrier", "system": "dgs-threads",
+//!       "channel_mode": "per-edge",
 //!       "workers": 4, "rate_eps": 200000,
 //!       "events": 10100, "outputs": 20, "elapsed_ns": 51000000,
 //!       "throughput_eps": 198039.2,
@@ -44,6 +45,12 @@
 //! unpaced max-throughput run, which has no per-event reference time).
 //! Percentile keys are free-form `pNN`; wall-clock entries always carry
 //! `p50`/`p95`/`p99`.
+//!
+//! `channel_mode` (wallclock entries) names the delivery plane the run
+//! used — `"per-edge"` or `"ticketed"`. It is *optional* so trajectory
+//! files captured before the message-plane A/B existed keep validating;
+//! absence means the pre-refactor ticketed plane (comparison tools like
+//! `bench-diff` default it accordingly).
 
 use std::fmt::Write as _;
 
@@ -502,6 +509,19 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
                 require_number(entry, "rate_eps", i)?;
                 require_number(entry, "events", i)?;
                 require_number(entry, "elapsed_ns", i)?;
+                // Optional (absent in pre-A/B captures); when present it
+                // must be a known delivery-plane name.
+                match entry.get("channel_mode") {
+                    None => {}
+                    Some(Json::Str(m)) if m == "per-edge" || m == "ticketed" => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "results[{i}]: channel_mode must be \"per-edge\" or \"ticketed\", \
+                             got {}",
+                            other.render()
+                        ))
+                    }
+                }
                 let msgs = entry
                     .get("worker_msgs")
                     .and_then(Json::as_arr)

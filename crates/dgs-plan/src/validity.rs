@@ -9,10 +9,12 @@
 //! * **V2** — workers without an ancestor–descendant relationship handle
 //!   pairwise *independent* and *disjoint* implementation tag sets.
 //!
-//! We additionally enforce two implementation-level routing requirements
-//! that the paper's prose assumes: every implementation tag is owned by
-//! exactly one worker (unique routing), and internal workers have exactly
-//! two children (forks are binary).
+//! We additionally enforce three implementation-level requirements that
+//! the paper's prose assumes: every implementation tag is owned by
+//! exactly one worker (unique routing), internal workers have exactly two
+//! children (forks are binary), and no internal synchronizer is starved
+//! by multiple dependent streams above it
+//! ([`check_protocol_executable`]).
 
 use std::collections::BTreeSet;
 
@@ -62,6 +64,17 @@ pub enum ValidityError<T: Tag> {
         worker: WorkerId,
         /// Its child count.
         children: usize,
+    },
+    /// Protocol executability: more than one stream dependent on an
+    /// internal worker's tag lives strictly above that worker (see
+    /// [`check_protocol_executable`]).
+    StarvedSynchronizer {
+        /// The internal worker owning the synchronizing tag.
+        worker: WorkerId,
+        /// The synchronizing tag.
+        itag: ITag<T>,
+        /// The ancestor-owned dependent streams (more than one).
+        ancestor_streams: Vec<ITag<T>>,
     },
 }
 
@@ -121,6 +134,58 @@ pub fn check_valid<T: Tag, D: Dependence<T> + ?Sized>(
                         });
                     }
                 }
+            }
+        }
+    }
+    check_protocol_executable(plan, dep)
+}
+
+/// Protocol executability (implementation-level, beyond Definition 3.2):
+/// for every tag σ owned by an *internal* worker `B`, at most one stream
+/// dependent on σ may be owned by a strict ancestor of `B`.
+///
+/// Why: `B` releases a σ event only once its timer for every dependent
+/// tag has passed the event (mailbox condition 1). A dependent stream τ
+/// owned strictly above `B` advances that timer through exactly two
+/// kinds of traffic on the parent edge — join requests for τ's events
+/// (whose *insert* moves the timer to the event's own position) and
+/// forwarded heartbeats (capped at the forwarder's processing frontier).
+/// With a single ancestor stream this is live: the first τ join request
+/// positioned past the σ event unblocks it by insertion. With two
+/// ancestor streams τ₁, τ₂, a τ₁ join request queued *behind* the σ event
+/// (mailbox condition 2) parks every worker between its sender and `B` in
+/// `Joining` mode, which freezes τ₂'s processing frontier — and with it
+/// the capped heartbeat watermark — strictly below the σ event: a cycle,
+/// and the deployment deadlocks regardless of channel ordering. Plans
+/// produced by the Appendix-B-style optimizers satisfy this by
+/// construction (a dependence hub is peeled at the same node as any of
+/// its dependents that sit above the rest), but hand-built plans can
+/// violate it, so drivers and generators should check.
+pub fn check_protocol_executable<T: Tag, D: Dependence<T> + ?Sized>(
+    plan: &Plan<T>,
+    dep: &D,
+) -> Result<(), ValidityError<T>> {
+    for (id, w) in plan.iter() {
+        if w.is_leaf() {
+            continue;
+        }
+        for itag in &w.itags {
+            let mut above: Vec<ITag<T>> = Vec::new();
+            let mut anc = w.parent;
+            while let Some(a) = anc {
+                for t in &plan.worker(a).itags {
+                    if dep.depends_itag(itag, t) || dep.depends_itag(t, itag) {
+                        above.push(t.clone());
+                    }
+                }
+                anc = plan.worker(a).parent;
+            }
+            if above.len() > 1 {
+                return Err(ValidityError::StarvedSynchronizer {
+                    worker: id,
+                    itag: itag.clone(),
+                    ancestor_streams: above,
+                });
             }
         }
     }
@@ -242,6 +307,40 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, ValidityError::CannotHandle { worker: WorkerId(2), .. }));
+    }
+
+    /// Chain with two Inc(1) streams above the internal ReadReset(1)
+    /// owner: the starvation cycle described on
+    /// [`check_protocol_executable`]. One ancestor stream is fine.
+    #[test]
+    fn starved_synchronizer_detected() {
+        let chain = |ancestors: usize| {
+            let mut b = PlanBuilder::new();
+            let rr = b.add([it(KcTag::ReadReset(1), 10)], Location(0));
+            let l = b.add([it(KcTag::Inc(1), 11)], Location(0));
+            let r = b.add([it(KcTag::Inc(1), 12)], Location(0));
+            b.attach(rr, l);
+            b.attach(rr, r);
+            let mut top = rr;
+            for s in 0..ancestors {
+                let n = b.add([it(KcTag::Inc(1), s as u32)], Location(0));
+                let sib = b.add([it(KcTag::Inc(2), 20 + s as u32)], Location(0));
+                b.attach(n, top);
+                b.attach(n, sib);
+                top = n;
+            }
+            b.build(top)
+        };
+        assert_eq!(check_protocol_executable(&chain(0), &kc_dep()), Ok(()));
+        assert_eq!(check_protocol_executable(&chain(1), &kc_dep()), Ok(()));
+        let err = check_protocol_executable(&chain(2), &kc_dep()).unwrap_err();
+        match err {
+            ValidityError::StarvedSynchronizer { itag, ancestor_streams, .. } => {
+                assert_eq!(itag, it(KcTag::ReadReset(1), 10));
+                assert_eq!(ancestor_streams.len(), 2);
+            }
+            other => panic!("expected StarvedSynchronizer, got {other:?}"),
+        }
     }
 
     #[test]

@@ -136,6 +136,16 @@ impl<T: Tag, P: Clone> Mailbox<T, P> {
         self.buffers.values().map(|b| b.len()).sum()
     }
 
+    /// `O`-position of the earliest *still-buffered* entry of `itag`
+    /// (`None` when the tag is unknown or its buffer is empty). Buffers
+    /// are FIFO in `O` order per tag, so this is the front entry's key.
+    /// Heartbeat forwarding uses it as the per-tag ceiling: a worker must
+    /// never promise its subtree a tag position it still holds unreleased
+    /// entries below.
+    pub fn earliest_buffered(&self, itag: &ITag<T>) -> Option<OrderKey> {
+        self.buffers.get(itag)?.front().map(Entry::order_key)
+    }
+
     /// Insert an entry; returns every entry that becomes releasable, in
     /// release order.
     pub fn insert(&mut self, entry: Entry<T, P>) -> Vec<Entry<T, P>> {

@@ -57,6 +57,13 @@ pub struct SimConfig {
     pub keep_outputs: bool,
     /// Take a checkpoint at each root join (Appendix D.2).
     pub checkpoint_root: bool,
+    /// Seeded adversarial cross-edge delivery scheduler (see
+    /// [`dgs_sim::Engine::set_delivery_adversary`]): `Some((seed,
+    /// max_jitter_ns))` permutes delivery order across edges while
+    /// preserving per-edge FIFO — the only delivery assumption Theorem
+    /// 3.5 makes. Sweeping seeds turns the simulator into a search tool
+    /// for ordering bugs the default (near send-order) schedule hides.
+    pub adversary: Option<(u64, u64)>,
 }
 
 impl SimConfig {
@@ -70,7 +77,15 @@ impl SimConfig {
             state_bytes: 256,
             keep_outputs: true,
             checkpoint_root: false,
+            adversary: None,
         }
+    }
+
+    /// Enable the adversarial delivery scheduler with this seed and
+    /// jitter bound (builder style, for seed sweeps).
+    pub fn with_adversary(mut self, seed: u64, max_jitter_ns: u64) -> Self {
+        self.adversary = Some((seed, max_jitter_ns));
+        self
     }
 }
 
@@ -230,6 +245,9 @@ pub fn build_sim<Prog: DgsProgram + 'static>(
     let outputs = Rc::new(RefCell::new(Vec::new()));
     let checkpoints = Rc::new(RefCell::new(Vec::new()));
     let mut engine: Engine<Msg<Prog>> = Engine::new(cfg.topology.clone());
+    if let Some((seed, max_jitter_ns)) = cfg.adversary {
+        engine.set_delivery_adversary(seed, max_jitter_ns);
+    }
     let event_bytes = cfg.event_bytes;
     let state_bytes = cfg.state_bytes;
     engine.set_size_fn(move |m| match m {

@@ -1,26 +1,55 @@
 //! Run a synchronization plan on real OS threads.
 //!
-//! One thread per worker, connected by unbounded crossbeam channels
-//! (lossless, FIFO per edge — the delivery assumptions of Theorem 3.5).
-//! One thread per input stream feeds events and heartbeats — at full
-//! speed by default, or paced against the wall clock when
-//! [`ThreadRunOptions::pace_ns_per_tick`] is set — so arrival
+//! One thread per worker; one thread per input stream feeds events and
+//! heartbeats — at full speed by default, or paced against the wall
+//! clock when [`ThreadRunOptions::pace_ns_per_tick`] is set — so arrival
 //! interleavings across workers are genuinely nondeterministic; the
 //! output multiset must nevertheless equal the sequential specification,
 //! which is exactly what the integration tests assert.
+//!
+//! # Delivery plane
+//!
+//! Two interchangeable [`ChannelMode`]s connect the threads:
+//!
+//! * [`ChannelMode::PerEdge`] (default) — every `(sender, receiver)`
+//!   pair (plan edges, feeder→worker, driver→worker) gets its own SPSC
+//!   FIFO queue into the receiving worker's single-consumer inbox
+//!   (`crossbeam::edge`). Delivery is lossless FIFO **per edge and
+//!   nothing more** — exactly assumption 4 of Theorem 3.5. Worker
+//!   outputs are batched per destination run (`send_many`), and ingress
+//!   (feeder) edges are bounded with blocking backpressure, so a slow
+//!   plan pushes back on its sources instead of buffering unboundedly.
+//!   Worker↔worker edges stay unbounded: the fork/join protocol keeps at
+//!   most one join in flight per worker, so those queues are structurally
+//!   small, and blocking a worker's send could deadlock a cycle of full
+//!   edges.
+//! * [`ChannelMode::Ticketed`] — one ticket-ordered MPMC queue per
+//!   worker restoring *global send order* across all senders (the
+//!   pre-refactor architecture, kept for A/B benchmarking).
+//!
+//! The protocol itself is correct under per-edge FIFO alone (see
+//! `vendor/crossbeam`'s module docs and `tests/adversarial_delivery.rs`);
+//! the ticketed mode's stronger ordering is a measurable artifact, not a
+//! requirement.
 //!
 //! Termination uses an in-flight message counter: every send increments
 //! it before the message enters a channel and every handled message
 //! decrements it afterwards, so the counter reads zero only at global
 //! quiescence once all sources have finished. The driver thread blocks
 //! on a condvar that the worker performing the final decrement signals —
-//! there is no polling loop anywhere on the termination path.
+//! there is no polling loop anywhere on the termination path. Sends to a
+//! worker whose thread has already died (it panicked, or teardown is in
+//! progress) are *surrendered* rather than `expect`ed: the counter is
+//! re-credited for every undeliverable message so quiescence is still
+//! reached, and the worker's panic (if any) propagates when the thread
+//! scope joins.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::edge;
 
 use dgs_core::event::{StreamItem, Timestamp};
 use dgs_core::program::DgsProgram;
@@ -36,6 +65,74 @@ enum ThreadMsg<T, P, S> {
 
 type MsgSender<T, P, S> = Sender<ThreadMsg<T, P, S>>;
 type MsgReceiver<T, P, S> = Receiver<ThreadMsg<T, P, S>>;
+type EdgeSender<T, P, S> = edge::EdgeSender<ThreadMsg<T, P, S>>;
+type MsgReceivers<T, P, S> = Vec<Option<MsgReceiver<T, P, S>>>;
+type EdgeRoutes<T, P, S> = Vec<Option<EdgeSender<T, P, S>>>;
+
+/// Delivery discipline connecting worker threads.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ChannelMode {
+    /// One SPSC FIFO queue per `(sender, receiver)` edge; per-edge FIFO
+    /// is the *only* ordering guarantee (Theorem 3.5's assumption 4).
+    /// Batched sends, bounded backpressured ingress.
+    #[default]
+    PerEdge,
+    /// One ticket-ordered MPMC queue per worker: global send-order
+    /// delivery (the pre-refactor message plane, kept for A/B runs).
+    Ticketed,
+}
+
+impl ChannelMode {
+    /// Stable lower-case name used by benchmark artifacts and CLIs.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelMode::PerEdge => "per-edge",
+            ChannelMode::Ticketed => "ticketed",
+        }
+    }
+}
+
+/// A worker's outgoing routes: one slot per destination worker.
+enum Outbound<T, P, S> {
+    /// Ticketed mode: cloned MPMC senders (slot = worker id).
+    Ticketed(Vec<MsgSender<T, P, S>>),
+    /// Per-edge mode: this sender's private edges; `None` for workers it
+    /// never talks to (non-adjacent in the plan).
+    PerEdge(Vec<Option<EdgeSender<T, P, S>>>),
+}
+
+impl<T, P, S> Outbound<T, P, S> {
+    /// Send an ordered run of messages to one destination. Returns the
+    /// number of messages that could *not* be delivered (destination
+    /// inbox gone — teardown or a dead worker); the caller re-credits
+    /// them against the in-flight counter instead of panicking.
+    fn send_run(
+        &self,
+        dst: usize,
+        run: impl IntoIterator<Item = ThreadMsg<T, P, S>>,
+    ) -> usize {
+        match self {
+            Outbound::Ticketed(senders) => {
+                let mut lost = 0;
+                for msg in run {
+                    if senders[dst].send(msg).is_err() {
+                        lost += 1;
+                    }
+                }
+                lost
+            }
+            Outbound::PerEdge(edges) => {
+                let Some(tx) = edges[dst].as_ref() else {
+                    panic!("no edge to worker {dst}: plan routing bug");
+                };
+                match tx.send_many(run) {
+                    Ok(()) => 0,
+                    Err(edge::SendError(rest)) => rest.len(),
+                }
+            }
+        }
+    }
+}
 
 /// In-flight message counter with a condvar signalled at zero.
 ///
@@ -49,21 +146,47 @@ type MsgReceiver<T, P, S> = Receiver<ThreadMsg<T, P, S>>;
 /// minus the polling.
 struct InFlight {
     count: AtomicI64,
+    /// A worker thread died mid-panic: credits it accepted will never be
+    /// retired, so quiescence must stop waiting on the counter and let
+    /// teardown run (the panic itself propagates at scope join).
+    failed: std::sync::atomic::AtomicBool,
     gate: Mutex<()>,
     zero: Condvar,
 }
 
 impl InFlight {
     fn new() -> Self {
-        InFlight { count: AtomicI64::new(0), gate: Mutex::new(()), zero: Condvar::new() }
+        InFlight {
+            count: AtomicI64::new(0),
+            failed: std::sync::atomic::AtomicBool::new(false),
+            gate: Mutex::new(()),
+            zero: Condvar::new(),
+        }
+    }
+
+    /// Mark the run as failed (a worker panicked) and wake the waiter.
+    fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+        drop(self.gate.lock().expect("quiescence gate poisoned"));
+        self.zero.notify_all();
     }
 
     fn inc(&self) {
         self.count.fetch_add(1, Ordering::SeqCst);
     }
 
+    fn add(&self, n: u64) {
+        self.count.fetch_add(n as i64, Ordering::SeqCst);
+    }
+
     fn dec(&self) {
-        if self.count.fetch_sub(1, Ordering::SeqCst) == 1 {
+        self.sub(1);
+    }
+
+    /// Retire `n` messages (handled, or surrendered because the
+    /// destination is gone). Signals the condvar on the transition to 0.
+    fn sub(&self, n: u64) {
+        if n > 0 && self.count.fetch_sub(n as i64, Ordering::SeqCst) == n as i64 {
             // Taking the gate before notifying closes the race with a
             // waiter that has checked the counter but not yet parked.
             drop(self.gate.lock().expect("quiescence gate poisoned"));
@@ -73,7 +196,9 @@ impl InFlight {
 
     fn wait_zero(&self) {
         let mut guard = self.gate.lock().expect("quiescence gate poisoned");
-        while self.count.load(Ordering::SeqCst) != 0 {
+        while self.count.load(Ordering::SeqCst) != 0
+            && !self.failed.load(Ordering::SeqCst)
+        {
             guard = self.zero.wait(guard).expect("quiescence gate poisoned");
         }
     }
@@ -125,6 +250,13 @@ pub struct ThreadRunOptions<S> {
     pub pace_ns_per_tick: Option<u64>,
     /// Collect [`RunTiming`] into the result.
     pub record_timing: bool,
+    /// Delivery discipline (see [`ChannelMode`]).
+    pub channel_mode: ChannelMode,
+    /// Capacity of each feeder→worker ingress edge in
+    /// [`ChannelMode::PerEdge`] mode: a full edge blocks the feeder
+    /// (backpressure) instead of growing an unbounded queue. Ignored in
+    /// ticketed mode.
+    pub ingress_capacity: usize,
 }
 
 impl<S> Default for ThreadRunOptions<S> {
@@ -134,6 +266,8 @@ impl<S> Default for ThreadRunOptions<S> {
             checkpoint_root: false,
             pace_ns_per_tick: None,
             record_timing: false,
+            channel_mode: ChannelMode::default(),
+            ingress_capacity: 1024,
         }
     }
 }
@@ -162,27 +296,95 @@ where
     Prog::State: Send,
     Prog::Out: Send,
 {
+    type Msg<Prog> = ThreadMsg<
+        <Prog as DgsProgram>::Tag,
+        <Prog as DgsProgram>::Payload,
+        <Prog as DgsProgram>::State,
+    >;
+
     let n = plan.len();
-    let mut senders: Vec<MsgSender<Prog::Tag, Prog::Payload, Prog::State>> = Vec::with_capacity(n);
-    let mut receivers: Vec<MsgReceiver<Prog::Tag, Prog::Payload, Prog::State>> =
-        Vec::with_capacity(n);
-    for _ in 0..n {
-        let (tx, rx) = unbounded();
-        senders.push(tx);
-        receivers.push(rx);
-    }
     let in_flight = Arc::new(InFlight::new());
     let (out_tx, out_rx) = unbounded::<(Prog::Out, Timestamp, Instant)>();
     let (cp_tx, cp_rx) = unbounded::<(Prog::State, Timestamp)>();
     let msg_counts: Arc<Vec<AtomicU64>> =
         Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
 
+    // Wire the message plane. Per worker: an inbound port, an outgoing
+    // route table, plus driver-held routes (seed + shutdown) and one
+    // ingress route per feeder.
+    let mut inbounds: MsgReceivers<Prog::Tag, Prog::Payload, Prog::State> = Vec::new();
+    let mut edge_inboxes: Vec<Option<edge::Inbox<Msg<Prog>>>> = Vec::new();
+    let mut worker_routes: Vec<Outbound<Prog::Tag, Prog::Payload, Prog::State>> = Vec::new();
+    let driver_routes: Outbound<Prog::Tag, Prog::Payload, Prog::State>;
+    let mut feeder_routes: Vec<Outbound<Prog::Tag, Prog::Payload, Prog::State>>;
+    let feeder_dsts: Vec<usize> = streams
+        .iter()
+        .map(|s| {
+            plan.responsible_for(&s.itag)
+                .unwrap_or_else(|| panic!("no worker responsible for {:?}", s.itag))
+                .0
+        })
+        .collect();
+    match options.channel_mode {
+        ChannelMode::Ticketed => {
+            let mut senders = Vec::with_capacity(n);
+            for _ in 0..n {
+                let (tx, rx) = unbounded();
+                senders.push(tx);
+                inbounds.push(Some(rx));
+                edge_inboxes.push(None);
+            }
+            for _ in 0..n {
+                worker_routes.push(Outbound::Ticketed(senders.clone()));
+            }
+            feeder_routes =
+                (0..streams.len()).map(|_| Outbound::Ticketed(senders.clone())).collect();
+            driver_routes = Outbound::Ticketed(senders);
+        }
+        ChannelMode::PerEdge => {
+            let handles: Vec<edge::InboxHandle<Msg<Prog>>> = (0..n)
+                .map(|_| {
+                    let inbox = edge::inbox();
+                    let h = inbox.handle();
+                    edge_inboxes.push(Some(inbox));
+                    inbounds.push(None);
+                    h
+                })
+                .collect();
+            // Worker→worker edges exist only where the protocol sends:
+            // parent and children (unbounded — structurally small).
+            for (_, w) in plan.iter() {
+                let mut routes: EdgeRoutes<Prog::Tag, Prog::Payload, Prog::State> =
+                    (0..n).map(|_| None).collect();
+                for peer in w.children.iter().copied().chain(w.parent) {
+                    routes[peer.0] = Some(handles[peer.0].edge(None));
+                }
+                worker_routes.push(Outbound::PerEdge(routes));
+            }
+            // Feeder ingress edges: bounded, blocking — backpressure.
+            feeder_routes = feeder_dsts
+                .iter()
+                .map(|&dst| {
+                    let mut routes: Vec<Option<_>> = (0..n).map(|_| None).collect();
+                    routes[dst] = Some(handles[dst].edge(Some(options.ingress_capacity)));
+                    Outbound::PerEdge(routes)
+                })
+                .collect();
+            // Driver edges: seed StateDown + Shutdown, unbounded.
+            driver_routes = Outbound::PerEdge(
+                handles.iter().map(|h| Some(h.edge(None))).collect(),
+            );
+        }
+    }
+
     // Seed the root.
     let initial = options.initial_state.unwrap_or_else(|| prog.init());
     in_flight.inc();
-    senders[plan.root().0]
-        .send(ThreadMsg::Protocol(WorkerMsg::StateDown { state: initial }))
-        .expect("worker channel closed prematurely");
+    let lost = driver_routes.send_run(
+        plan.root().0,
+        std::iter::once(ThreadMsg::Protocol(WorkerMsg::StateDown { state: initial })),
+    );
+    in_flight.sub(lost as u64);
 
     let pace = options.pace_ns_per_tick;
     let start = Instant::now();
@@ -193,24 +395,67 @@ where
             if options.checkpoint_root && id == plan.root() {
                 core.checkpoint_on_join = true;
             }
-            let rx = receivers[id.0].clone();
-            let senders = senders.clone();
+            let ticketed_rx = inbounds[id.0].take();
+            let mut edge_rx = edge_inboxes[id.0].take();
+            let routes = std::mem::replace(
+                &mut worker_routes[id.0],
+                Outbound::Ticketed(Vec::new()),
+            );
             let in_flight = in_flight.clone();
             let out_tx = out_tx.clone();
             let cp_tx = cp_tx.clone();
             let msg_counts = msg_counts.clone();
             scope.spawn(move || {
-                while let Ok(msg) = rx.recv() {
+                // If this thread unwinds (a panicking program handler),
+                // credits it accepted would never be retired and the
+                // driver would hang in `wait_zero` instead of reaching
+                // the scope join that re-raises the panic. The guard
+                // flips the run to failed on the way out.
+                struct PanicGuard(Arc<InFlight>);
+                impl Drop for PanicGuard {
+                    fn drop(&mut self) {
+                        if std::thread::panicking() {
+                            self.0.fail();
+                        }
+                    }
+                }
+                let _guard = PanicGuard(in_flight.clone());
+                let mut recv = move || -> Option<Msg<Prog>> {
+                    match (&ticketed_rx, &mut edge_rx) {
+                        (Some(rx), _) => rx.recv().ok(),
+                        (None, Some(inbox)) => inbox.recv().ok(),
+                        (None, None) => unreachable!("worker without an inbound port"),
+                    }
+                };
+                while let Some(msg) = recv() {
                     match msg {
                         ThreadMsg::Shutdown => break,
                         ThreadMsg::Protocol(wm) => {
                             msg_counts[id.0].fetch_add(1, Ordering::Relaxed);
-                            let fx = core.handle(wm);
-                            for (dst, m) in fx.msgs {
-                                in_flight.inc();
-                                senders[dst.0]
-                                    .send(ThreadMsg::Protocol(m))
-                                    .expect("worker channel closed prematurely");
+                            let mut fx = core.handle(wm);
+                            // Route in destination runs: consecutive
+                            // messages to one worker travel as one
+                            // batched enqueue (one lock, one wakeup) in
+                            // per-edge mode. Order per edge is preserved;
+                            // that is the only order the protocol needs.
+                            let msgs = std::mem::take(&mut fx.msgs);
+                            let mut iter = msgs.into_iter().peekable();
+                            while let Some((dst, m)) = iter.next() {
+                                let mut run = vec![ThreadMsg::Protocol(m)];
+                                while let Some((d2, _)) = iter.peek() {
+                                    if *d2 != dst {
+                                        break;
+                                    }
+                                    let (_, m2) = iter.next().expect("peeked");
+                                    run.push(ThreadMsg::Protocol(m2));
+                                }
+                                in_flight.add(run.len() as u64);
+                                // A dead destination surrenders the run:
+                                // re-credit so quiescence is still
+                                // reached; the panic (if any) surfaces at
+                                // scope join.
+                                let lost = routes.send_run(dst.0, run);
+                                in_flight.sub(lost as u64);
                             }
                             for (o, ts) in fx.outputs {
                                 out_tx
@@ -227,16 +472,18 @@ where
             });
         }
 
-        // Sources: one feeder thread per stream, full speed unless paced.
+        // Sources: one feeder thread per stream, full speed unless
+        // paced. Unpaced feeders batch their sends; paced feeders send
+        // item by item (each item has its own release time).
         let feeders: Vec<_> = streams
             .into_iter()
-            .map(|stream| {
-                let dst = plan
-                    .responsible_for(&stream.itag)
-                    .unwrap_or_else(|| panic!("no worker responsible for {:?}", stream.itag));
-                let senders = senders.clone();
+            .zip(feeder_routes.drain(..))
+            .zip(feeder_dsts.iter().copied())
+            .map(|((stream, route), dst)| {
                 let in_flight = in_flight.clone();
                 scope.spawn(move || {
+                    const FEED_BATCH: usize = 64;
+                    let mut batch: Vec<Msg<Prog>> = Vec::with_capacity(FEED_BATCH);
                     for item in stream.items {
                         if let Some(ns) = pace {
                             pace_until(start, item.ts(), ns);
@@ -245,11 +492,22 @@ where
                             StreamItem::Event(e) => WorkerMsg::Event(e),
                             StreamItem::Heartbeat(h) => WorkerMsg::Heartbeat(h),
                         };
-                        in_flight.inc();
-                        senders[dst.0]
-                            .send(ThreadMsg::Protocol(msg))
-                            .expect("worker channel closed prematurely");
+                        batch.push(ThreadMsg::Protocol(msg));
+                        if pace.is_some() || batch.len() >= FEED_BATCH {
+                            in_flight.add(batch.len() as u64);
+                            let lost = route.send_run(dst, batch.drain(..));
+                            in_flight.sub(lost as u64);
+                            if lost > 0 {
+                                // The worker is gone; the stream cannot
+                                // be delivered. Surrender quietly — the
+                                // run's failure shows up at scope join.
+                                return;
+                            }
+                        }
                     }
+                    in_flight.add(batch.len() as u64);
+                    let lost = route.send_run(dst, batch.drain(..));
+                    in_flight.sub(lost as u64);
                 })
             })
             .collect();
@@ -260,8 +518,10 @@ where
         // Quiescence: all sources done and nothing in flight. The final
         // decrement signals the condvar; no polling.
         in_flight.wait_zero();
-        for tx in &senders {
-            tx.send(ThreadMsg::Shutdown).expect("worker channel closed prematurely");
+        // Teardown: a worker that already exited just leaves its shutdown
+        // message undelivered — nothing to panic about.
+        for w in 0..n {
+            let _ = driver_routes.send_run(w, std::iter::once(ThreadMsg::Shutdown));
         }
     });
     let wall = start.elapsed();
@@ -377,6 +637,114 @@ mod tests {
         }
     }
 
+    /// Both delivery planes implement the same contract: identical output
+    /// multisets, matching the sequential spec.
+    #[test]
+    fn both_channel_modes_match_sequential_spec() {
+        let plan = counter_plan();
+        let expect = {
+            let merged = sort_o(&item_lists(&workload()));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        for mode in [ChannelMode::PerEdge, ChannelMode::Ticketed] {
+            let result = run_threads(
+                Arc::new(KeyCounter),
+                &plan,
+                workload(),
+                ThreadRunOptions { channel_mode: mode, ..Default::default() },
+            );
+            let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+            let mut want = expect.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "mode {mode:?} diverged from the spec");
+        }
+    }
+
+    /// A panicking program handler must propagate as a panic out of
+    /// `run_threads` (via the scope join), not hang the driver in
+    /// `wait_zero` with credits the dead worker will never retire.
+    #[test]
+    fn worker_panic_propagates_instead_of_hanging() {
+        use dgs_core::predicate::TagPredicate;
+
+        #[derive(Clone, Copy, Debug, Default)]
+        struct Exploding;
+        impl DgsProgram for Exploding {
+            type Tag = char;
+            type Payload = ();
+            type State = i64;
+            type Out = i64;
+            fn init(&self) -> i64 {
+                0
+            }
+            fn depends(&self, _a: &char, _b: &char) -> bool {
+                true
+            }
+            fn update(&self, s: &mut i64, e: &dgs_core::event::Event<char, ()>, _o: &mut Vec<i64>) {
+                *s += 1;
+                if e.ts >= 3 {
+                    panic!("boom at ts {}", e.ts);
+                }
+            }
+            fn fork(&self, s: i64, _l: &TagPredicate<char>, _r: &TagPredicate<char>) -> (i64, i64) {
+                (s, 0)
+            }
+            fn join(&self, l: i64, r: i64) -> i64 {
+                l + r
+            }
+        }
+
+        for mode in [ChannelMode::PerEdge, ChannelMode::Ticketed] {
+            let mut b = PlanBuilder::new();
+            let root = b.add([ITag::new('v', StreamId(0))], Location(0));
+            let plan = b.build(root);
+            let streams = vec![ScheduledStream::periodic(
+                ITag::new('v', StreamId(0)),
+                1,
+                1,
+                50,
+                |_| (),
+            )
+            .closed(u64::MAX)];
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_threads(
+                    Arc::new(Exploding),
+                    &plan,
+                    streams,
+                    ThreadRunOptions { channel_mode: mode, ..Default::default() },
+                )
+            }));
+            assert!(outcome.is_err(), "mode {mode:?}: worker panic must propagate");
+        }
+    }
+
+    /// A tiny ingress capacity forces feeders through the backpressure
+    /// path; the run must still complete with the full output set.
+    #[test]
+    fn per_edge_backpressure_preserves_outputs() {
+        let plan = counter_plan();
+        let expect = {
+            let merged = sort_o(&item_lists(&workload()));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            workload(),
+            ThreadRunOptions {
+                channel_mode: ChannelMode::PerEdge,
+                ingress_capacity: 2,
+                ..Default::default()
+            },
+        );
+        let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want);
+    }
+
     #[test]
     fn checkpoints_collected_when_enabled() {
         let plan = counter_plan();
@@ -457,6 +825,7 @@ mod tests {
                 checkpoint_root: false,
                 pace_ns_per_tick: Some(20_000), // 400 ticks -> ≥ 8 ms wall
                 record_timing: true,
+                ..Default::default()
             },
         );
         let timing = result.timing.expect("timing requested");
@@ -485,6 +854,7 @@ mod tests {
                 checkpoint_root: false,
                 pace_ns_per_tick: None,
                 record_timing: true,
+                ..Default::default()
             },
         );
         let timing = result.timing.expect("timing requested");

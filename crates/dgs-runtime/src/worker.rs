@@ -124,24 +124,35 @@ impl<T, P, S, Out> Default for StepEffects<T, P, S, Out> {
     }
 }
 
-/// A unit of deferred work for a worker: a released mailbox entry, or a
-/// heartbeat waiting to be forwarded down the tree. Heartbeat forwarding
-/// is serialized through this queue so a child's timer can never advance
-/// past a synchronizing event its ancestor has not finished joining.
-#[derive(Clone, Debug)]
-enum PendingItem<T, P> {
-    Entry(Entry<T, P>),
-    ForwardHeartbeat(Heartbeat<T>),
-}
-
 /// Driver-independent worker state machine.
 pub struct WorkerCore<Prog: DgsProgram> {
     id: WorkerId,
     parent: Option<WorkerId>,
     children: Vec<WorkerId>,
     mailbox: Mailbox<Prog::Tag, Prog::Payload>,
-    pending: VecDeque<PendingItem<Prog::Tag, Prog::Payload>>,
+    pending: VecDeque<Entry<Prog::Tag, Prog::Payload>>,
     mode: Mode<Prog::Tag, Prog::Payload, Prog::State>,
+    /// Per-tag heartbeat watermarks for downward forwarding (internal
+    /// workers only): `hb_pending` is the highest heartbeat position
+    /// received but not yet fully forwarded, `hb_forwarded` the highest
+    /// position already promised to the children. Forwarding is capped at
+    /// the tag's *processing frontier* — strictly below the earliest
+    /// same-tag entry this worker has not yet processed — so a child's
+    /// timer can never overtake a join request that is still upstream.
+    /// This is what makes the protocol correct under per-edge FIFO alone
+    /// (Theorem 3.5's actual assumption): the old implementation enqueued
+    /// the forward behind already-*released* entries only, silently
+    /// relying on cross-edge arrival order to keep blocked same-tag
+    /// entries ahead of the heartbeat.
+    hb_pending: std::collections::BTreeMap<ITag<Prog::Tag>, Timestamp>,
+    hb_forwarded: std::collections::BTreeMap<ITag<Prog::Tag>, Timestamp>,
+    /// Per-tag mirror of the timestamps in `pending`, in queue order
+    /// (per-tag keys are increasing, because the mailbox releases each
+    /// tag in `O` order). Gives `flush_heartbeats` its per-tag frontier
+    /// in O(1) instead of scanning `pending` — which is quadratic under
+    /// backlog. Maintained only on internal workers (leaves never
+    /// forward).
+    pending_ts: std::collections::BTreeMap<ITag<Prog::Tag>, VecDeque<Timestamp>>,
     left_pred: TagPredicate<Prog::Tag>,
     right_pred: TagPredicate<Prog::Tag>,
     prog: Arc<Prog>,
@@ -182,6 +193,9 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
             }),
             pending: VecDeque::new(),
             mode: Mode::Startup,
+            hb_pending: std::collections::BTreeMap::new(),
+            hb_forwarded: std::collections::BTreeMap::new(),
+            pending_ts: std::collections::BTreeMap::new(),
             left_pred,
             right_pred,
             prog,
@@ -214,33 +228,31 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
         match msg {
             WorkerMsg::Event(e) => {
                 let released = self.mailbox.insert(Entry::Event(e));
-                self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                self.enqueue_pending(released);
                 self.drain(&mut fx);
             }
             WorkerMsg::EventBatch(events) => {
                 for e in events {
                     let released = self.mailbox.insert(Entry::Event(e));
-                    self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                    self.enqueue_pending(released);
                 }
                 self.drain(&mut fx);
             }
             WorkerMsg::Heartbeat(hb) => {
                 let released = self.mailbox.heartbeat(&hb);
-                self.pending.extend(released.into_iter().map(PendingItem::Entry));
-                // Forward down the subtree *behind* everything this worker
-                // has yet to process: a child may only learn that tag σ
-                // advanced past t once every σ event with ts ≤ t has been
-                // fully joined here. Serializing the forward through the
-                // pending queue guarantees it follows the corresponding
-                // join requests on the same FIFO edges.
+                self.enqueue_pending(released);
                 if !self.children.is_empty() {
-                    self.pending.push_back(PendingItem::ForwardHeartbeat(hb));
+                    // Remember the position for downward forwarding; the
+                    // post-drain flush sends as much of it as the tag's
+                    // processing frontier allows (see `flush_heartbeats`).
+                    let slot = self.hb_pending.entry(hb.itag()).or_insert(0);
+                    *slot = (*slot).max(hb.ts);
                 }
                 self.drain(&mut fx);
             }
             WorkerMsg::JoinRequest { tag, stream, ts } => {
                 let released = self.mailbox.insert(Entry::JoinRequest { tag, stream, ts });
-                self.pending.extend(released.into_iter().map(PendingItem::Entry));
+                self.enqueue_pending(released);
                 self.drain(&mut fx);
             }
             WorkerMsg::StateUp { from, state } => {
@@ -251,7 +263,70 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
                 self.drain(&mut fx);
             }
         }
+        // Every handled message can move a processing frontier (drain
+        // processed entries, timers advanced, a join finished), so flush
+        // heartbeat watermarks after *every* message, not only heartbeats.
+        self.flush_heartbeats(&mut fx);
         fx
+    }
+
+    /// Forward buffered heartbeat positions down the tree, capped at each
+    /// tag's processing frontier.
+    ///
+    /// A heartbeat `(σ, t)` promises the receiver that no σ entry at or
+    /// before `t` will ever arrive on that edge again. This worker may
+    /// therefore only forward positions strictly below its earliest
+    /// *unprocessed* σ entry — whether that entry is still blocked in the
+    /// mailbox or already released into `pending`: its join request has
+    /// not been sent down yet, so from the children's point of view it is
+    /// still in the future. Entries this worker has fully processed are
+    /// safe: their join requests were emitted earlier (FIFO per edge
+    /// orders them before this heartbeat), and a buffered join request at
+    /// the child blocks dependent releases via the mailbox's condition 2
+    /// until the join completes.
+    ///
+    /// The residual (capped-off) position stays in `hb_pending` and is
+    /// re-flushed after the blocking entry is processed — each handled
+    /// message ends with a flush, so the watermark advances exactly when
+    /// the frontier does.
+    fn flush_heartbeats(
+        &mut self,
+        fx: &mut StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>,
+    ) {
+        if self.children.is_empty() || self.hb_pending.is_empty() {
+            return;
+        }
+        let mut done: Vec<ITag<Prog::Tag>> = Vec::new();
+        for (itag, &ts) in &self.hb_pending {
+            // Earliest unprocessed entry of this tag: mailbox buffer
+            // front (per-tag FIFO) or anything waiting in `pending`.
+            let buffered = self.mailbox.earliest_buffered(itag).map(|k| k.ts);
+            let queued = self.pending_ts.get(itag).and_then(|q| q.front().copied());
+            let frontier = match (buffered, queued) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            let safe = match frontier {
+                Some(f) => ts.min(f.saturating_sub(1)),
+                None => ts,
+            };
+            let forwarded = self.hb_forwarded.get(itag).copied().unwrap_or(0);
+            if safe > forwarded {
+                for &c in &self.children {
+                    fx.msgs.push((
+                        c,
+                        WorkerMsg::Heartbeat(Heartbeat::new(itag.tag.clone(), itag.stream, safe)),
+                    ));
+                }
+                self.hb_forwarded.insert(itag.clone(), safe);
+            }
+            if safe >= ts {
+                done.push(itag.clone());
+            }
+        }
+        for itag in done {
+            self.hb_pending.remove(&itag);
+        }
     }
 
     /// Receive a state share: leaves hold it, internal workers fork it
@@ -317,6 +392,17 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
         }
     }
 
+    /// Append mailbox releases to the pending queue, mirroring their
+    /// timestamps per tag on internal workers (see `pending_ts`).
+    fn enqueue_pending(&mut self, released: Vec<Entry<Prog::Tag, Prog::Payload>>) {
+        if !self.children.is_empty() {
+            for e in &released {
+                self.pending_ts.entry(e.itag()).or_default().push_back(e.order_key().ts);
+            }
+        }
+        self.pending.extend(released);
+    }
+
     /// Process released entries in order until blocked or drained.
     fn drain(&mut self, fx: &mut StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>) {
         loop {
@@ -324,16 +410,16 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
                 Mode::LeafHolding(_) | Mode::Forked => {}
                 _ => return,
             }
-            let Some(item) = self.pending.pop_front() else { return };
-            let entry = match item {
-                PendingItem::ForwardHeartbeat(hb) => {
-                    for &c in &self.children {
-                        fx.msgs.push((c, WorkerMsg::Heartbeat(hb.clone())));
-                    }
-                    continue;
-                }
-                PendingItem::Entry(entry) => entry,
-            };
+            let Some(entry) = self.pending.pop_front() else { return };
+            if !self.children.is_empty() {
+                // Keep the per-tag frontier mirror in step (see
+                // `pending_ts`).
+                let popped = self
+                    .pending_ts
+                    .get_mut(&entry.itag())
+                    .and_then(VecDeque::pop_front);
+                debug_assert_eq!(popped, Some(entry.order_key().ts), "pending mirror desync");
+            }
             match entry {
                 Entry::Event(e) => {
                     if let Mode::LeafHolding(state) = &mut self.mode {

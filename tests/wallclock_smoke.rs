@@ -11,26 +11,29 @@
 
 use dgs_bench::report::{self, Json};
 use dgs_bench::wallclock::{self, SweepSpec};
+use flumina::runtime::thread_driver::ChannelMode;
 
 #[test]
 fn miniature_wallclock_sweep_matches_sequential_spec() {
     let spec = SweepSpec {
         workers: vec![1, 3],
         rates: vec![0, 500_000],
+        modes: vec![ChannelMode::PerEdge, ChannelMode::Ticketed],
         per_window: 25,
         windows: 4,
         check_spec: true,
     };
     let points = wallclock::sweep(&spec);
-    assert_eq!(points.len(), 3 * 2 * 2, "workloads × workers × rates");
+    assert_eq!(points.len(), 3 * 2 * 2 * 2, "modes × workloads × workers × rates");
 
     for p in &points {
         // Theorem 3.5: output multiset == sequential spec, every run.
         assert_eq!(
             p.spec_ok,
             Some(true),
-            "{} at workers={} rate={} diverged from the sequential spec",
+            "{} at mode={} workers={} rate={} diverged from the sequential spec",
             p.workload,
+            p.channel_mode,
             p.workers,
             p.rate_eps
         );

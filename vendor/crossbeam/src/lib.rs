@@ -1,49 +1,49 @@
 //! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
-//! crate.
+//! crate, grown into the workspace's message plane.
 //!
 //! The build environment has no network access, so the real crossbeam
-//! cannot be fetched. The workspace only uses
-//! `crossbeam::channel::{unbounded, Sender, Receiver}`, so this crate
-//! provides exactly that — but as a **contention-sharded segmented
-//! queue** rather than the original `Mutex<VecDeque>` + `Condvar`
-//! single-queue design, whose one global lock serialized every
-//! inter-worker message of `dgs-runtime::thread_driver`.
+//! cannot be fetched. This crate provides the two delivery disciplines
+//! `dgs-runtime::thread_driver` can run on:
 //!
-//! # Design
+//! * [`channel`] — the drop-in `crossbeam::channel::{unbounded, Sender,
+//!   Receiver}` subset, implemented as a contention-sharded segmented
+//!   queue that restores **global send order** via tickets (one shard per
+//!   sender clone, atomic message credits, ticket-sorted delivery). This
+//!   is the *ticketed* mode: a single receiver observes messages in
+//!   exactly the order they were sent across all senders, matching real
+//!   crossbeam's one totally ordered queue. It is kept for A/B
+//!   comparison and as the general-purpose MPMC channel (output and
+//!   checkpoint collection).
+//! * [`edge`] — the **per-edge FIFO plane**: every `(sender, receiver)`
+//!   pair gets its own private SPSC queue feeding a single-consumer
+//!   [`edge::Inbox`], with optional bounded capacity, blocking
+//!   backpressure, and batched (`send_many`) enqueues. The only ordering
+//!   guarantee is lossless FIFO *per edge* — exactly assumption 4 of the
+//!   paper's Theorem 3.5, and nothing more. Cross-edge delivery order is
+//!   whatever the receiver's scan happens to find.
 //!
-//! * **One shard per `Sender` clone.** Each sender handle owns a private
-//!   segment (`Mutex<VecDeque>`) that only it pushes to, so the producer
-//!   side is uncontended: the shard mutex is shared only with a consumer
-//!   draining that shard. The thread driver clones one sender per worker
-//!   thread and per feeder thread, which maps edges of the plan onto
-//!   disjoint shards.
-//! * **Atomic message credits.** A shared `AtomicI64` counts enqueued,
-//!   unclaimed messages. `send` publishes a credit with a single
-//!   `fetch_add`; `recv` claims one with a CAS loop and only then scans
-//!   the shards for the message. The empty-channel slow path parks on a
-//!   `Condvar`, but a busy channel never touches it: `send` only takes
-//!   the park lock when a receiver is actually waiting.
-//! * **Global send-order delivery via tickets.** Every send claims a
-//!   ticket from a shared counter inside its shard's critical section;
-//!   receivers deliver the message with the lowest front ticket across
-//!   shards (mirrored in a per-shard atomic, so the scan takes no
-//!   locks). A single receiver therefore observes messages in exactly
-//!   the global send order, matching real crossbeam's one totally
-//!   ordered queue. This is deliberate and load-bearing: Theorem 3.5
-//!   only *assumes* lossless FIFO per plan edge, but the worker
-//!   protocol's mailbox timers were built and tested against the
-//!   original channel's total order, and a per-sender-FIFO-only
-//!   prototype of this queue made the deep-plan end-to-end tests
-//!   diverge from the sequential spec. Do not weaken this to per-shard
-//!   FIFO without first making `dgs-runtime`'s protocol robust to
-//!   cross-edge reordering.
+//! # The delivery contract (read this before touching either mode)
+//!
+//! `dgs-runtime`'s worker protocol is correct under **lossless per-edge
+//! FIFO alone**. That was not always true: heartbeat forwarding used to
+//! lean on cross-edge arrival order (a forwarded heartbeat could overtake
+//! a same-tag entry still blocked in the forwarder's mailbox), which this
+//! channel papered over by restoring total order with tickets. The
+//! protocol now caps forwarded heartbeats at each tag's processing
+//! frontier (`WorkerCore::flush_heartbeats`), the regression is pinned by
+//! `tests/adversarial_delivery.rs` (seeded adversarial cross-edge
+//! interleavings on deep plans), and the per-edge plane is the thread
+//! driver's default. The ticketed mode's stronger ordering is therefore a
+//! *performance artifact*, not a correctness requirement — benchmarks
+//! A/B the two via `dgs-bench`'s `--modes` flag.
 //!
 //! # Divergences from real crossbeam
 //!
-//! * No `select!`, bounded channels, or timeouts — only the unbounded
-//!   MPMC subset the workspace uses.
-//! * With *multiple* receivers, claiming races can deliver two
-//!   concurrently popped messages in either order (each still exactly
+//! * No `select!` or timeouts — only the subsets the workspace uses; the
+//!   bounded/backpressure discipline lives on [`edge`] rather than on a
+//!   `bounded()` constructor.
+//! * With *multiple* receivers on [`channel`], claiming races can deliver
+//!   two concurrently popped messages in either order (each still exactly
 //!   once); real crossbeam has the same property.
 //! * `recv` on a contended channel may scan shards more than once while
 //!   a racing producer's push becomes visible; the scan yields between
@@ -352,6 +352,473 @@ pub mod channel {
         fn into_iter(self) -> Iter<'a, T> {
             self.iter()
         }
+    }
+}
+
+pub mod edge {
+    //! Per-edge FIFO message plane: one private SPSC queue per
+    //! `(sender, receiver)` edge, drained by a single-consumer [`Inbox`].
+    //!
+    //! Guarantees:
+    //!
+    //! * **Lossless FIFO per edge** — a sender's messages arrive in send
+    //!   order. Nothing is promised about ordering *across* edges; the
+    //!   receiver scans edges round-robin from a rotating cursor, so
+    //!   cross-edge interleavings are deliberately arbitrary (and fair:
+    //!   no edge can be starved while it holds messages).
+    //! * **Bounded capacity with blocking backpressure** (opt-in,
+    //!   per edge): `send` on a full bounded edge parks the producer until
+    //!   the consumer drains — ingress edges get real flow control instead
+    //!   of unbounded queue growth. Protocol edges between workers should
+    //!   stay unbounded: the fork/join protocol keeps at most one join in
+    //!   flight per worker, so their queues are structurally bounded, and
+    //!   blocking a worker's send could deadlock a cycle of full edges.
+    //! * **Batched enqueue**: [`EdgeSender::send_many`] appends a run of
+    //!   messages under one lock acquisition and one wakeup, amortizing
+    //!   synchronization for bursty producers (a worker emitting several
+    //!   messages from one `handle` call, an unpaced feeder).
+    //!
+    //! The receiving half is strictly single-consumer (`recv` takes
+    //! `&mut self`), which is what lets every edge be a plain
+    //! mutex-protected `VecDeque` with no claiming protocol: the only
+    //! contention on an edge is one producer against one consumer.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    pub use super::channel::{RecvError, SendError};
+
+    struct EdgeQueue<T> {
+        queue: Mutex<VecDeque<T>>,
+        /// Producers park here when the edge is full (bounded edges only).
+        not_full: Condvar,
+        /// `usize::MAX` encodes an unbounded edge.
+        capacity: usize,
+        /// The sender half was dropped (the edge can still be drained).
+        sender_gone: AtomicBool,
+    }
+
+    struct Shared<T> {
+        /// All edges ever attached; never shrinks, so the inbox can cache
+        /// a snapshot keyed by `version`.
+        edges: Mutex<Vec<Arc<EdgeQueue<T>>>>,
+        version: AtomicUsize,
+        /// Enqueued, undelivered messages across all edges.
+        msgs: AtomicI64,
+        /// Live [`EdgeSender`]s; 0 = disconnected for the inbox.
+        senders: AtomicUsize,
+        /// The inbox is still alive; false fails senders fast.
+        receiver_alive: AtomicBool,
+        /// Inbox parked (or about to park) on `ready`.
+        waiters: AtomicUsize,
+        gate: Mutex<()>,
+        ready: Condvar,
+    }
+
+    impl<T> Shared<T> {
+        /// Wake the parked inbox; takes `gate` first to close the race
+        /// with a receiver between "decided to park" and "parked".
+        fn wake(&self) {
+            if self.waiters.load(Ordering::SeqCst) > 0 {
+                drop(self.gate.lock().expect("inbox poisoned"));
+                self.ready.notify_all();
+            }
+        }
+    }
+
+    /// The producing half of one edge. Not cloneable: an edge belongs to
+    /// exactly one logical sender (clone-per-sender is the point of the
+    /// plane — create more edges instead).
+    pub struct EdgeSender<T> {
+        shared: Arc<Shared<T>>,
+        edge: Arc<EdgeQueue<T>>,
+    }
+
+    impl<T> fmt::Debug for EdgeSender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "EdgeSender(cap {})", self.edge.capacity)
+        }
+    }
+
+    /// Handle for attaching new edges to an [`Inbox`] (e.g. from a thread
+    /// that only holds the inbox's address, not the inbox itself). Does
+    /// not keep the inbox "connected": only live [`EdgeSender`]s do.
+    pub struct InboxHandle<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Clone for InboxHandle<T> {
+        fn clone(&self) -> Self {
+            InboxHandle { shared: self.shared.clone() }
+        }
+    }
+
+    impl<T> InboxHandle<T> {
+        /// Attach a new edge; `capacity: None` = unbounded, `Some(n)` =
+        /// bounded at `n` messages with blocking backpressure.
+        pub fn edge(&self, capacity: Option<usize>) -> EdgeSender<T> {
+            let cap = match capacity {
+                Some(n) => {
+                    assert!(n > 0, "bounded edge needs capacity >= 1");
+                    n
+                }
+                None => usize::MAX,
+            };
+            let edge = Arc::new(EdgeQueue {
+                queue: Mutex::new(VecDeque::new()),
+                not_full: Condvar::new(),
+                capacity: cap,
+                sender_gone: AtomicBool::new(false),
+            });
+            self.shared.edges.lock().expect("inbox poisoned").push(edge.clone());
+            self.shared.version.fetch_add(1, Ordering::SeqCst);
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            EdgeSender { shared: self.shared.clone(), edge }
+        }
+    }
+
+    /// The single-consumer receiving half: drains all attached edges,
+    /// FIFO within each edge, round-robin across them.
+    pub struct Inbox<T> {
+        shared: Arc<Shared<T>>,
+        /// Cached edge snapshot + the `version` it reflects.
+        cache: Vec<Arc<EdgeQueue<T>>>,
+        cache_version: usize,
+        /// Round-robin scan start, rotated on every delivery for fairness.
+        cursor: usize,
+    }
+
+    /// Create an empty inbox; attach producing edges via
+    /// [`Inbox::handle`] + [`InboxHandle::edge`].
+    pub fn inbox<T>() -> Inbox<T> {
+        Inbox {
+            shared: Arc::new(Shared {
+                edges: Mutex::new(Vec::new()),
+                version: AtomicUsize::new(0),
+                msgs: AtomicI64::new(0),
+                senders: AtomicUsize::new(0),
+                receiver_alive: AtomicBool::new(true),
+                waiters: AtomicUsize::new(0),
+                gate: Mutex::new(()),
+                ready: Condvar::new(),
+            }),
+            cache: Vec::new(),
+            cache_version: 0,
+            cursor: 0,
+        }
+    }
+
+    impl<T> EdgeSender<T> {
+        /// Enqueue one message; blocks while a bounded edge is full.
+        /// Errors (returning the message) once the inbox is dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.send_many(std::iter::once(msg)).map_err(|mut e| SendError(e.0.pop().expect("one")))
+        }
+
+        /// Enqueue a run of messages in order under one lock acquisition
+        /// and one wakeup, blocking for space as needed on a bounded
+        /// edge. On disconnection mid-batch the unsent suffix is
+        /// returned.
+        pub fn send_many(
+            &self,
+            msgs: impl IntoIterator<Item = T>,
+        ) -> Result<(), SendError<Vec<T>>> {
+            let mut it = msgs.into_iter();
+            // Pushed-but-unpublished credits; flushed before parking so
+            // the consumer can drain a batch wider than the capacity.
+            let mut pending = 0i64;
+            let publish = |pending: &mut i64| {
+                if *pending > 0 {
+                    self.shared.msgs.fetch_add(*pending, Ordering::SeqCst);
+                    *pending = 0;
+                    self.shared.wake();
+                }
+            };
+            let mut queue = self.edge.queue.lock().expect("edge poisoned");
+            let outcome = loop {
+                let Some(msg) = it.next() else { break Ok(()) };
+                // Backpressure: wait for space (bounded edges only). The
+                // consumer notifies `not_full` after draining from a
+                // bounded edge; a dropped inbox notifies to fail us fast.
+                while queue.len() >= self.edge.capacity {
+                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    publish(&mut pending);
+                    queue = self.edge.not_full.wait(queue).expect("edge poisoned");
+                }
+                if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                    let mut rest = vec![msg];
+                    rest.extend(it);
+                    break Err(SendError(rest));
+                }
+                queue.push_back(msg);
+                pending += 1;
+            };
+            drop(queue);
+            publish(&mut pending);
+            outcome
+        }
+    }
+
+    impl<T> Drop for EdgeSender<T> {
+        fn drop(&mut self) {
+            self.edge.sender_gone.store(true, Ordering::SeqCst);
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake a parked inbox so it observes the
+                // disconnect.
+                self.shared.wake();
+            }
+        }
+    }
+
+    impl<T> Inbox<T> {
+        /// A handle for attaching edges.
+        pub fn handle(&self) -> InboxHandle<T> {
+            InboxHandle { shared: self.shared.clone() }
+        }
+
+        /// Messages currently queued across all edges.
+        pub fn len(&self) -> usize {
+            self.shared.msgs.load(Ordering::SeqCst).max(0) as usize
+        }
+
+        /// True when no message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        fn refresh_cache(&mut self) {
+            let version = self.shared.version.load(Ordering::SeqCst);
+            if self.cache_version != version {
+                self.cache = self.shared.edges.lock().expect("inbox poisoned").clone();
+                self.cache_version = version;
+            }
+        }
+
+        /// Pop one message, scanning edges round-robin from the rotating
+        /// cursor. Caller has already claimed a message via `msgs`.
+        fn pop_claimed(&mut self) -> T {
+            loop {
+                self.refresh_cache();
+                let n = self.cache.len();
+                for off in 0..n {
+                    let idx = (self.cursor + off) % n;
+                    let edge = &self.cache[idx];
+                    let mut queue = edge.queue.lock().expect("edge poisoned");
+                    if let Some(msg) = queue.pop_front() {
+                        let was_full = queue.len() + 1 >= edge.capacity;
+                        drop(queue);
+                        if was_full {
+                            edge.not_full.notify_one();
+                        }
+                        // Rotate past this edge so a chatty producer
+                        // cannot starve the others.
+                        self.cursor = (idx + 1) % n;
+                        return msg;
+                    }
+                }
+                // Claimed credit but no visible message yet: a producer
+                // is between push and publish — yield and rescan.
+                std::thread::yield_now();
+            }
+        }
+
+        /// Block until a message arrives on any edge; `Err(RecvError)`
+        /// once every sender is dropped and all edges are drained.
+        pub fn recv(&mut self) -> Result<T, RecvError> {
+            loop {
+                // Single consumer: a positive count is ours to claim.
+                if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                    self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
+                    return Ok(self.pop_claimed());
+                }
+                let mut guard = self.shared.gate.lock().expect("inbox poisoned");
+                self.shared.waiters.fetch_add(1, Ordering::SeqCst);
+                let outcome = loop {
+                    if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                        break Ok(());
+                    }
+                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                        break Err(RecvError);
+                    }
+                    guard = self.shared.ready.wait(guard).expect("inbox poisoned");
+                };
+                self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
+                drop(guard);
+                outcome?;
+            }
+        }
+
+        /// Blocking iterator until disconnection.
+        pub fn iter(&mut self) -> InboxIter<'_, T> {
+            InboxIter { inbox: self }
+        }
+    }
+
+    impl<T> Drop for Inbox<T> {
+        fn drop(&mut self) {
+            self.shared.receiver_alive.store(false, Ordering::SeqCst);
+            // Fail fast any producer parked on a full bounded edge.
+            for edge in self.shared.edges.lock().expect("inbox poisoned").iter() {
+                drop(edge.queue.lock().expect("edge poisoned"));
+                edge.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Iterator returned by [`Inbox::iter`].
+    pub struct InboxIter<'a, T> {
+        inbox: &'a mut Inbox<T>,
+    }
+
+    impl<T> Iterator for InboxIter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.inbox.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::edge::{inbox, RecvError};
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn per_edge_fifo_exact_once_across_edges() {
+        const EDGES: u64 = 6;
+        const PER_EDGE: u64 = 4_000;
+        let mut rx = inbox::<(u64, u64)>();
+        let handle = rx.handle();
+        let producers: Vec<_> = (0..EDGES)
+            .map(|e| {
+                let tx = handle.edge(None);
+                std::thread::spawn(move || {
+                    for i in 0..PER_EDGE {
+                        tx.send((e, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut last: BTreeMap<u64, u64> = BTreeMap::new();
+        let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+        for (e, i) in rx.iter() {
+            if let Some(prev) = last.insert(e, i) {
+                assert!(prev < i, "edge {e} reordered: {prev} then {i}");
+            }
+            *counts.entry(e).or_insert(0) += 1;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        for e in 0..EDGES {
+            assert_eq!(counts.get(&e), Some(&PER_EDGE), "edge {e} lost messages");
+        }
+    }
+
+    #[test]
+    fn send_many_is_one_ordered_run() {
+        let mut rx = inbox::<u32>();
+        let tx = rx.handle().edge(None);
+        tx.send_many(0..1_000).unwrap();
+        drop(tx);
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..1_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bounded_edge_backpressures_producer() {
+        let mut rx = inbox::<u32>();
+        let tx = rx.handle().edge(Some(4));
+        let sent = Arc::new(AtomicUsize::new(0));
+        let sent2 = sent.clone();
+        let producer = std::thread::spawn(move || {
+            for i in 0..64 {
+                tx.send(i).unwrap();
+                sent2.fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        // Producer must stall at the capacity, not run ahead.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(sent.load(Ordering::SeqCst) <= 5, "no backpressure applied");
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..64).collect::<Vec<_>>());
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn send_many_blocks_through_capacity() {
+        // A batch far larger than the capacity drains through in order.
+        let mut rx = inbox::<u32>();
+        let tx = rx.handle().edge(Some(3));
+        let producer = std::thread::spawn(move || tx.send_many(0..500).unwrap());
+        let got: Vec<u32> = rx.iter().collect();
+        assert_eq!(got, (0..500).collect::<Vec<_>>());
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn recv_errors_after_all_senders_drop() {
+        let mut rx = inbox::<u8>();
+        let tx1 = rx.handle().edge(None);
+        let tx2 = rx.handle().edge(None);
+        tx1.send(1).unwrap();
+        drop(tx1);
+        tx2.send(2).unwrap();
+        drop(tx2);
+        let mut got = vec![rx.recv().unwrap(), rx.recv().unwrap()];
+        got.sort();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn parked_inbox_wakes_on_send_and_disconnect() {
+        let mut rx = inbox::<u8>();
+        let tx = rx.handle().edge(None);
+        let waiter = std::thread::spawn(move || {
+            let first = rx.recv();
+            let second = rx.recv();
+            (first, second)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(9).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), (Ok(9), Err(RecvError)));
+    }
+
+    #[test]
+    fn dropped_inbox_fails_blocked_sender() {
+        let rx = inbox::<u32>();
+        let tx = rx.handle().edge(Some(2));
+        let blocked = std::thread::spawn(move || tx.send_many(0..100));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        let err = blocked.join().unwrap().unwrap_err();
+        // 2 entered the queue; the rest come back.
+        assert_eq!(err.0.len(), 98);
+    }
+
+    #[test]
+    fn round_robin_scan_is_fair_under_load() {
+        // One chatty edge and one quiet edge: the quiet edge's messages
+        // must not wait for the chatty edge to drain.
+        let mut rx = inbox::<(u8, u32)>();
+        let chatty = rx.handle().edge(None);
+        let quiet = rx.handle().edge(None);
+        chatty.send_many((0..10_000).map(|i| (0u8, i))).unwrap();
+        quiet.send((1, 0)).unwrap();
+        drop((chatty, quiet));
+        let pos = rx.iter().position(|(e, _)| e == 1).unwrap();
+        assert!(pos < 10, "quiet edge starved: delivered at position {pos}");
     }
 }
 

@@ -13,9 +13,16 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **No shrinking.** A failing case reports its generated inputs
-//!   (`Debug` where available via the assertion message) but is not
-//!   minimized.
+//! * **Minimal shrinking.** A failing case is minimized by greedy
+//!   halving/decrement descent ([`strategy::Strategy::shrink`]): integer
+//!   ranges bisect toward their start, `Vec`s drop halves and trailing
+//!   elements then simplify elements, booleans prefer `false`, tuples
+//!   shrink component-wise, and `prop_filter` shrinks through its
+//!   predicate. Strategies whose outputs cannot be mapped back to
+//!   inputs (`prop_map`, `prop_flat_map`, `prop_shuffle`) report their
+//!   counterexample unshrunk — the real crate's `ValueTree` machinery
+//!   (which remembers pre-map inputs) is out of scope for a stand-in.
+//!   The minimal failing input is appended to the panic message.
 //! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
 //!   the test name xor `PROPTEST_RNG_SEED` (default 0), so failures
 //!   reproduce across runs and machines.
@@ -99,18 +106,16 @@ pub mod test_runner {
     }
 
     /// Drive one property: generate-and-check until `config.cases` cases
-    /// pass (or the `PROPTEST_CASES` tier override of it). Called by the
-    /// expansion of [`crate::proptest!`].
+    /// pass (or the `PROPTEST_CASES` tier override of it). Kept for
+    /// callers that drive their own generation; the [`crate::proptest!`]
+    /// macro expands to [`run_cases_shrink`], which also minimizes
+    /// failures.
     pub fn run_cases<F>(name: &str, config: Config, mut case: F)
     where
         F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
     {
         let cases = case_count_override().unwrap_or(config.cases);
-        let base = std::env::var("PROPTEST_RNG_SEED")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok())
-            .unwrap_or(0);
-        let mut rng = TestRng::seed_from_u64(base ^ fnv1a(name.as_bytes()));
+        let mut rng = rng_for(name);
         let mut passed = 0u32;
         let mut rejected = 0u64;
         let reject_budget = cases as u64 * 64 + 1_024;
@@ -132,6 +137,102 @@ pub mod test_runner {
             }
         }
     }
+
+    /// The test's deterministic RNG: seeded from a hash of the test name
+    /// xor `PROPTEST_RNG_SEED` (default 0).
+    fn rng_for(name: &str) -> TestRng {
+        let base = std::env::var("PROPTEST_RNG_SEED")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(0);
+        TestRng::seed_from_u64(base ^ fnv1a(name.as_bytes()))
+    }
+
+    /// Total property re-executions allowed during one shrink search.
+    /// Generous: shrink candidates descend by halves, so even megabyte
+    /// inputs converge in far fewer runs; the budget only bounds
+    /// pathological non-monotone predicates.
+    const SHRINK_BUDGET: usize = 10_000;
+
+    /// Like [`run_cases`], but the runner owns generation through a
+    /// [`Strategy`](crate::strategy::Strategy), so a failing case is
+    /// *shrunk* before being reported: candidates from
+    /// `Strategy::shrink` that still fail replace the counterexample,
+    /// repeatedly, until none does (greedy descent, budget-bounded). The
+    /// panic message then carries the minimal failing input. This closes
+    /// the stand-in's historical "no shrinking" divergence for the
+    /// integer, boolean, `Vec`, tuple, and filter strategies; mapped
+    /// strategies still report their first counterexample unshrunk (see
+    /// `Strategy::shrink`).
+    pub fn run_cases_shrink<S, F>(name: &str, config: Config, strat: S, mut case: F)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let cases = case_count_override().unwrap_or(config.cases);
+        let mut rng = rng_for(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u64;
+        let reject_budget = cases as u64 * 64 + 1_024;
+        while passed < cases {
+            let value = strat.generate(&mut rng);
+            match case(&value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected <= reject_budget,
+                        "property `{name}`: too many rejected cases \
+                         ({rejected} rejects for {passed} passes); \
+                         loosen the assumption or the generator"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    let (min, min_msg, steps) = shrink_failure(&strat, value, msg, &mut case);
+                    panic!(
+                        "property `{name}` failed after {passed} passing cases: {min_msg}\n\
+                         minimal failing input (after {steps} shrink steps): {min:?}"
+                    )
+                }
+            }
+        }
+    }
+
+    /// Greedy shrink descent: take the first candidate that still fails,
+    /// restart from it, stop when no candidate fails (or the budget is
+    /// spent). Rejected candidates (`prop_assume!`) count as passing —
+    /// they are not valid counterexamples.
+    fn shrink_failure<S, F>(
+        strat: &S,
+        mut current: S::Value,
+        mut message: String,
+        case: &mut F,
+    ) -> (S::Value, String, usize)
+    where
+        S: crate::strategy::Strategy,
+        S::Value: Clone,
+        F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+    {
+        let mut steps = 0usize;
+        let mut budget = SHRINK_BUDGET;
+        'descend: loop {
+            for candidate in strat.shrink(&current) {
+                if budget == 0 {
+                    break 'descend;
+                }
+                budget -= 1;
+                if let Err(TestCaseError::Fail(msg)) = case(&candidate) {
+                    current = candidate;
+                    message = msg;
+                    steps += 1;
+                    continue 'descend;
+                }
+            }
+            break;
+        }
+        (current, message, steps)
+    }
 }
 
 /// Boolean strategies, mirroring `proptest::bool`.
@@ -152,6 +253,11 @@ pub mod bool {
 
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.gen_bool(0.5)
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            // `false` is the canonical simplest boolean.
+            if *value { vec![false] } else { Vec::new() }
         }
     }
 }
@@ -178,12 +284,41 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S> Strategy for VecStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
             let len = rng.gen_range(self.size.clone());
             (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        /// Length halving/decrement passes (keep either half, drop the
+        /// last element — never below the size range's minimum), then an
+        /// element-wise pass substituting each element's own shrink
+        /// candidates one at a time.
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let len = value.len();
+            let min = self.size.start;
+            if len / 2 >= min && len / 2 < len {
+                out.push(value[..len / 2].to_vec());
+                out.push(value[len - len / 2..].to_vec());
+            }
+            if len > min {
+                out.push(value[..len - 1].to_vec());
+            }
+            for (i, elem) in value.iter().enumerate() {
+                for simpler in self.elem.shrink(elem) {
+                    let mut next = value.clone();
+                    next[i] = simpler;
+                    out.push(next);
+                }
+            }
+            out
         }
     }
 
@@ -360,11 +495,12 @@ macro_rules! proptest {
             fn $name() {
                 #[allow(unused_imports)]
                 use $crate::strategy::Strategy as _;
-                $crate::test_runner::run_cases(
+                $crate::test_runner::run_cases_shrink(
                     stringify!($name),
                     $config,
-                    |prop_rng| {
-                        $(let $pat = ($strat).generate(prop_rng);)+
+                    ($(($strat),)+),
+                    |prop_values| {
+                        let ($($pat,)+) = ::std::clone::Clone::clone(prop_values);
                         (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
                             $body
                             ::std::result::Result::Ok(())
@@ -481,6 +617,133 @@ mod tests {
             prop_assert!(a < 50 && b <= 50);
             prop_assert_eq!(a + b, b + a);
             prop_assert_ne!(b, 0);
+        }
+    }
+
+    mod shrinking {
+        use super::*;
+        use crate::test_runner::{run_cases_shrink, TestCaseError};
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+
+        /// Run a deliberately failing property and return the panic
+        /// message (which carries the minimized input).
+        fn failing_run<S, F>(strat: S, case: F) -> String
+        where
+            S: Strategy,
+            S::Value: Clone + std::fmt::Debug,
+            F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+        {
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                run_cases_shrink("shrink_test", ProptestConfig::with_cases(64), strat, case);
+            }))
+            .expect_err("property must fail");
+            err.downcast_ref::<String>().cloned().unwrap_or_else(|| {
+                err.downcast_ref::<&str>().map(|s| s.to_string()).expect("string panic")
+            })
+        }
+
+        #[test]
+        fn integers_shrink_to_the_exact_boundary() {
+            // Fails iff v >= 700: the minimal counterexample is exactly 700.
+            let msg = failing_run(0u32..10_000, |v| {
+                if *v >= 700 {
+                    Err(TestCaseError::fail(format!("{v} too big")))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(
+                msg.contains("minimal failing input") && msg.ends_with(": 700"),
+                "expected the boundary counterexample, got: {msg}"
+            );
+        }
+
+        #[test]
+        fn vecs_shrink_length_and_elements() {
+            // Fails iff the vec contains any element >= 5: minimal
+            // counterexample is a single-element vec [5].
+            let msg = failing_run(crate::collection::vec(0u8..50, 0..20), |v| {
+                if v.iter().any(|&x| x >= 5) {
+                    Err(TestCaseError::fail("big element"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(
+                msg.ends_with(": [5]"),
+                "expected the one-element boundary vec, got: {msg}"
+            );
+        }
+
+        #[test]
+        fn tuples_shrink_componentwise() {
+            // Fails iff a >= 10 (b irrelevant): minimal is a=10, b=0.
+            let msg = failing_run((0u32..100, 0u32..100), |(a, _b)| {
+                if *a >= 10 {
+                    Err(TestCaseError::fail("a too big"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(msg.ends_with(": (10, 0)"), "expected (10, 0), got: {msg}");
+        }
+
+        #[test]
+        fn shrinking_respects_filters() {
+            // Only even numbers are valid draws; failing iff v >= 100.
+            // The minimum *even* counterexample is 100.
+            let strat = (0u32..10_000).prop_filter("even", |v| v % 2 == 0);
+            let msg = failing_run(strat, |v| {
+                assert_eq!(v % 2, 0, "shrink escaped the filter");
+                if *v >= 100 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(msg.ends_with(": 100"), "expected 100, got: {msg}");
+        }
+
+        /// Signed ranges wider than half the type's domain must shrink
+        /// without the `v - start` subtraction overflowing.
+        #[test]
+        fn wide_signed_ranges_shrink_without_overflow() {
+            let msg = failing_run(-100i8..100, |v| {
+                if *v >= 50 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(msg.ends_with(": 50"), "expected the boundary 50, got: {msg}");
+        }
+
+        #[test]
+        fn shrink_candidates_have_no_duplicates() {
+            for v in 1u32..50 {
+                let cands = (0u32..50).shrink(&v);
+                let mut sorted = cands.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), cands.len(), "duplicate candidates for {v}: {cands:?}");
+            }
+        }
+
+        #[test]
+        fn rejected_candidates_do_not_count_as_failures() {
+            // Everything >= 500 fails, but shrink candidates below 600
+            // are rejected by the property: the descent must stop at the
+            // smallest *non-rejected* failing value it can reach.
+            let msg = failing_run(0u32..10_000, |v| {
+                if *v >= 600 {
+                    Err(TestCaseError::fail("fail zone"))
+                } else if *v >= 400 {
+                    Err(TestCaseError::reject("murky zone"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(msg.ends_with(": 600"), "expected 600, got: {msg}");
         }
     }
 }

@@ -1,5 +1,7 @@
 //! The [`Strategy`] trait and combinators: the generation core of the
-//! offline proptest stand-in. No shrinking — see the crate docs.
+//! offline proptest stand-in, with minimal shrinking ([`Strategy::shrink`]
+//! — halving/decrement passes on integers and `Vec`s; see the crate
+//! docs for what does and does not shrink).
 
 use std::ops::Range;
 
@@ -20,6 +22,21 @@ pub trait Strategy {
 
     /// Draw one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Candidate simplifications of a failing `value`, most aggressive
+    /// first. The runner keeps any candidate that still fails and
+    /// repeats until none does, so candidates must be *strictly simpler*
+    /// (smaller integer distance to the range start, shorter or
+    /// element-wise simpler `Vec`) or shrinking may not terminate within
+    /// its budget. The default is no candidates: strategies whose
+    /// outputs cannot be mapped back to inputs (`prop_map`,
+    /// `prop_flat_map`, `prop_shuffle`) do not shrink — a deliberate
+    /// divergence from real proptest's `ValueTree` machinery, which
+    /// remembers the pre-map inputs.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Transform generated values with `f`.
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
@@ -149,6 +166,12 @@ where
             self.reason
         );
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        // Shrink through the filter: inner candidates that still satisfy
+        // the predicate remain valid draws of this strategy.
+        self.inner.shrink(value).into_iter().filter(|v| (self.pred)(v)).collect()
+    }
 }
 
 /// Collections that [`Strategy::prop_shuffle`] can permute.
@@ -193,11 +216,16 @@ pub struct BoxedStrategy<T> {
 
 trait DynStrategy<T> {
     fn dyn_generate(&self, rng: &mut TestRng) -> T;
+    fn dyn_shrink(&self, value: &T) -> Vec<T>;
 }
 
 impl<S: Strategy> DynStrategy<S::Value> for S {
     fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
         self.generate(rng)
+    }
+
+    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        self.shrink(value)
     }
 }
 
@@ -206,6 +234,10 @@ impl<T> Strategy for BoxedStrategy<T> {
 
     fn generate(&self, rng: &mut TestRng) -> T {
         self.inner.dyn_generate(rng)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        self.inner.dyn_shrink(value)
     }
 }
 
@@ -217,6 +249,10 @@ impl<S: Strategy + ?Sized> Strategy for &S {
     fn generate(&self, rng: &mut TestRng) -> S::Value {
         (**self).generate(rng)
     }
+
+    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+        (**self).shrink(value)
+    }
 }
 
 macro_rules! impl_range_strategy {
@@ -227,6 +263,39 @@ macro_rules! impl_range_strategy {
             fn generate(&self, rng: &mut TestRng) -> $t {
                 rng.gen_range(self.clone())
             }
+
+            /// Halving/decrement toward the range start: the start
+            /// itself, the midpoint between start and value (and its
+            /// successor, so parity-constrained filters still have an
+            /// eligible bisection), and the one- and two-step
+            /// decrements.
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let v = *value;
+                if v <= self.start {
+                    return Vec::new();
+                }
+                // Overflow-free floor midpoint (`v - self.start` can
+                // exceed the type's range when a signed range spans more
+                // than half the domain, e.g. -100i8..100).
+                let mid = (self.start & v) + ((self.start ^ v) >> 1);
+                let mut out = vec![self.start, mid, mid + 1, v - 1];
+                if v - 1 > self.start {
+                    out.push(v - 2);
+                }
+                out.retain(|&c| c >= self.start && c < v);
+                // Order carries meaning (most aggressive first), so drop
+                // duplicates in place rather than sorting.
+                let mut seen: Vec<$t> = Vec::with_capacity(out.len());
+                out.retain(|&c| {
+                    if seen.contains(&c) {
+                        false
+                    } else {
+                        seen.push(c);
+                        true
+                    }
+                });
+                out
+            }
         }
     )*};
 }
@@ -235,11 +304,28 @@ impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Value: Clone,)+
+        {
             type Value = ($($s::Value,)+);
 
             fn generate(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.generate(rng),)+)
+            }
+
+            /// Component-wise: each candidate simplifies exactly one
+            /// position, holding the others fixed.
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut next = value.clone();
+                        next.$idx = cand;
+                        out.push(next);
+                    }
+                )+
+                out
             }
         }
     )*};
