@@ -284,6 +284,9 @@ mod tests {
     fn plan_puts_rules_at_root() {
         let w = FdWorkload { txn_streams: 5, txns_per_rule: 100, rules: 2 };
         let plan = w.plan();
+        // Rules depend on every transaction: one component, one root —
+        // the forest refactor leaves connected workloads untouched.
+        assert_eq!(plan.roots().len(), 1);
         assert_eq!(plan.leaf_count(), 5);
         assert_eq!(
             plan.responsible_for(&ITag::new(FdTag::Rule, StreamId(5))).unwrap(),

@@ -338,19 +338,37 @@ mod tests {
     fn plan_is_a_forest_of_per_page_trees() {
         let w = PvWorkload { pages: 2, view_streams_per_page: 3, views_per_update: 100, updates: 2 };
         let plan = w.plan();
-        // 6 view leaves; each page's updates on an internal node that is
-        // an ancestor of exactly that page's view leaves.
+        // Pages never interact, so the plan is a true forest (§4.3's
+        // "forest with a tree per key"): one partition root per page, no
+        // synthetic coordinator welded on top, and every worker owns
+        // tags.
+        assert_eq!(plan.roots().len(), 2, "one tree per page:\n{}", plan.render());
+        // No *welding* coordinator: any tagless worker (a binary-fork
+        // node inside a page's tree) has a tag-owning ancestor.
+        for (id, worker) in plan.iter() {
+            if worker.itags.is_empty() {
+                assert!(
+                    !plan.roots().contains(&id),
+                    "tagless worker {id} welds partitions:\n{}",
+                    plan.render()
+                );
+            }
+        }
+        // 6 view leaves; each page's updates root that page's partition
+        // and cover exactly that page's view leaves.
         assert_eq!(plan.leaf_count(), 6);
         for page in 0..2 {
             let upd = plan
                 .responsible_for(&ITag::new(PvTag::Update(page), w.update_stream_id(page)))
                 .unwrap();
             assert!(!plan.worker(upd).is_leaf());
+            assert!(plan.roots().contains(&upd), "page {page}'s update node roots its tree");
             for slot in 0..3 {
                 let leaf = plan
                     .responsible_for(&ITag::new(PvTag::View(page), w.view_stream_id(page, slot)))
                     .unwrap();
                 assert!(plan.is_ancestor_or_self(upd, leaf), "update node covers its page's views");
+                assert_eq!(plan.root_of(leaf), upd);
             }
         }
         let universe: std::collections::BTreeSet<_> = w.itags().into_iter().collect();

@@ -138,6 +138,53 @@ impl SweepWorkload for PvWorkload {
     }
 }
 
+/// The §4.3 "forest with a tree per key" cell: `workers` hot pages, each
+/// with two parallel view streams, so the plan is a true forest of
+/// `workers` independent three-worker trees (update root + two view
+/// leaves) — no synchronization, seeding, or checkpoint traffic crosses
+/// pages. This is the workload the forest-native plan refactor exists
+/// for; sweeping it alongside `page-view` (≤ 2 pages, views scaled
+/// within a page) records the multi-root win in the perf trajectory.
+#[derive(Clone, Copy, Debug)]
+pub struct PvForestWorkload(pub PvWorkload);
+
+impl SweepWorkload for PvForestWorkload {
+    type Prog = PageViewJoin;
+
+    const NAME: &'static str = "page-view-forest";
+
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        PvForestWorkload(PvWorkload {
+            pages: workers.max(1),
+            view_streams_per_page: 2,
+            views_per_update: per_window,
+            updates: windows,
+        })
+    }
+
+    fn program(&self) -> PageViewJoin {
+        PageViewJoin
+    }
+
+    fn plan(&self) -> Plan<crate::page_view::PvTag> {
+        let plan = PvWorkload::plan(&self.0);
+        debug_assert_eq!(plan.roots().len() as u32, self.0.pages, "one tree per page");
+        plan
+    }
+
+    fn streams(&self, hb_period: Timestamp) -> Vec<ScheduledStream<crate::page_view::PvTag, i64>> {
+        self.0.scheduled_streams(hb_period)
+    }
+
+    fn event_count(&self) -> u64 {
+        self.0.total_events()
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.0.views_per_update * self.0.updates
+    }
+}
+
 impl SweepWorkload for FdWorkload {
     type Prog = FraudDetection;
 
@@ -196,6 +243,7 @@ mod tests {
             check::<VbWorkload>(workers);
             check::<PvWorkload>(workers);
             check::<FdWorkload>(workers);
+            check::<PvForestWorkload>(workers);
         }
     }
 
@@ -211,6 +259,19 @@ mod tests {
             assert_eq!(leaves::<VbWorkload>(workers), workers as usize);
             assert_eq!(leaves::<FdWorkload>(workers), workers as usize);
             assert_eq!(leaves::<PvWorkload>(workers), workers as usize, "pv at {workers}");
+            // Forest cell: two view leaves per page, one page per worker.
+            assert_eq!(leaves::<PvForestWorkload>(workers), 2 * workers as usize);
+        }
+    }
+
+    /// The forest cell's defining property: its plan really is a forest,
+    /// one partition per worker slot.
+    #[test]
+    fn forest_cell_scales_partitions_with_workers() {
+        for workers in [1u32, 2, 4, 8] {
+            let plan = PvForestWorkload::for_scale(workers, 20, 2).plan();
+            assert_eq!(plan.roots().len(), workers as usize);
+            assert!(plan.iter().all(|(_, w)| !w.itags.is_empty()), "no coordinator");
         }
     }
 }

@@ -262,6 +262,10 @@ mod tests {
     fn optimizer_plan_shape() {
         let w = VbWorkload { value_streams: 6, values_per_barrier: 100, barriers: 3 };
         let plan = w.plan();
+        // The barrier depends on everything, so the workload is one
+        // dependence component: the forest-capable optimizer still emits
+        // a single rooted tree (backward compatibility).
+        assert_eq!(plan.roots().len(), 1);
         assert_eq!(plan.leaf_count(), 6);
         // Barrier owned by the root.
         let owner = plan

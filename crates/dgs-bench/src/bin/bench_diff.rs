@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! bench-diff OLD.json NEW.json [--max-tput-drop PCT] [--max-p95-rise PCT]
+//!            [--p95-floor-us US]
 //! ```
 //!
 //! Matches result cells by identity — `(kind, workload, system, workers,
@@ -10,7 +11,14 @@
 //! `ticketed` (pre-A/B captures) — and exits nonzero when any matched
 //! cell's throughput drops more than `--max-tput-drop` percent (default
 //! 15) or its p95 latency rises more than `--max-p95-rise` percent
-//! (default 25). Cells present in only one file are listed but never
+//! (default 25) **and** more than `--p95-floor-us` microseconds (default
+//! 150 — sub-floor shifts on µs-scale percentiles are scheduler jitter).
+//! *Saturated* paced cells — p95 beyond
+//! [`SATURATION_INTERVALS`](dgs_bench::diff::SATURATION_INTERVALS)
+//! pacing intervals on either side, i.e. the run never kept up and its
+//! statistics measure queueing depth — are reported but never gated
+//! (their capacity is gated by the unpaced cell of the same
+//! configuration). Cells present in only one file are listed but never
 //! fatal, so a CI smoke sweep can gate against the committed full
 //! baseline through their intersection. Both files' `hw_threads` are
 //! printed (with a warning on mismatch): single-core captures are
@@ -49,12 +57,16 @@ fn main() {
         match arg.as_str() {
             "--max-tput-drop" => thresholds.max_tput_drop_pct = value("--max-tput-drop"),
             "--max-p95-rise" => thresholds.max_p95_rise_pct = value("--max-p95-rise"),
+            "--p95-floor-us" => thresholds.p95_floor_ns = value("--p95-floor-us") * 1e3,
             other if other.starts_with("--") => fail(&format!("unknown flag `{other}`")),
             path => paths.push(path.to_string()),
         }
     }
     let [old_path, new_path] = paths.as_slice() else {
-        fail("usage: bench-diff OLD.json NEW.json [--max-tput-drop PCT] [--max-p95-rise PCT]");
+        fail(
+            "usage: bench-diff OLD.json NEW.json [--max-tput-drop PCT] [--max-p95-rise PCT] \
+             [--p95-floor-us US]",
+        );
     };
 
     let old = load(old_path);

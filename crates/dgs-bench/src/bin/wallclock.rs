@@ -2,20 +2,24 @@
 //!
 //! ```text
 //! wallclock [--smoke] [--workers 1,2,4,8] [--rates 0,200000]
-//!           [--modes per-edge,ticketed] [--per-window 500]
+//!           [--modes per-edge-ring,per-edge,ticketed] [--per-window 500]
 //!           [--windows 20] [--check-spec] [--with-sim]
 //!           [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
 //! ```
 //!
 //! Runs the three paper workloads (value-barrier, page-view, fraud
-//! detection) on `run_threads` across the channel-mode × worker × rate
-//! grid, prints a human-readable table, and — with `--out` — writes the
+//! detection) plus the §4.3 `page-view-forest` multi-root cell on
+//! `run_threads` across the channel-mode × worker × rate grid, prints a
+//! human-readable table, and — with `--out` — writes the
 //! machine-readable trajectory JSON (schema in `dgs_bench::report`).
-//! `--modes` selects the delivery planes to A/B: `per-edge` (independent
-//! per-edge FIFO queues, the runtime default) and/or `ticketed` (global
-//! send-order MPMC). Rate `0` means unpaced max-throughput; nonzero
-//! rates pace sources on the wall clock and yield p50/p95/p99 latency.
+//! `--modes` selects the delivery planes to A/B: `per-edge-ring`
+//! (lock-free SPSC rings per edge, the runtime default),
+//! `per-edge` (the same topology on mutex-protected deques — the
+//! pre-ring storage, which keeps this artifact name so its cells stay
+//! comparable across captures), and/or `ticketed` (global send-order
+//! MPMC). Rate `0` means unpaced max-throughput; nonzero rates pace
+//! sources on the wall clock and yield p50/p95/p99 latency.
 //! `--with-sim` appends the virtual-time figure entries so one file
 //! carries both measurement axes. `--validate` parses and schema-checks
 //! an existing file (used by CI on the smoke artifact) and exits nonzero
@@ -73,10 +77,15 @@ fn main() {
                 spec.modes = value("--modes")
                     .split(',')
                     .map(|m| match m.trim() {
-                        "per-edge" => ChannelMode::PerEdge,
+                        // Artifact names (see `ChannelMode::name`):
+                        // "per-edge" is the mutex plane (the storage all
+                        // pre-ring captures measured under this name),
+                        // "per-edge-ring" the lock-free default.
+                        "per-edge-ring" => ChannelMode::PerEdge,
+                        "per-edge" => ChannelMode::PerEdgeMutex,
                         "ticketed" => ChannelMode::Ticketed,
                         other => fail(&format!(
-                            "bad --modes entry `{other}` (per-edge | ticketed)"
+                            "bad --modes entry `{other}` (per-edge-ring | per-edge | ticketed)"
                         )),
                     })
                     .collect();
@@ -123,7 +132,7 @@ fn main() {
         hw_threads,
         if hw_threads <= 1 { " (single-core: paced points measure queueing, not scaling)" } else { "" },
         spec.modes.iter().map(|m| m.name()).collect::<Vec<_>>(),
-        3,
+        dgs_bench::wallclock::SWEEP_WORKLOADS,
         spec.workers,
         spec.rates,
         spec.per_window,

@@ -47,10 +47,14 @@
 //! `p50`/`p95`/`p99`.
 //!
 //! `channel_mode` (wallclock entries) names the delivery plane the run
-//! used — `"per-edge"` or `"ticketed"`. It is *optional* so trajectory
-//! files captured before the message-plane A/B existed keep validating;
-//! absence means the pre-refactor ticketed plane (comparison tools like
-//! `bench-diff` default it accordingly).
+//! used — `"per-edge"` (per-edge topology on mutex-protected deques:
+//! the storage every pre-ring capture measured under this name, kept so
+//! its cells stay comparable), `"per-edge-ring"` (the same topology on
+//! lock-free SPSC rings — the runtime default since the ring refactor;
+//! a fresh cell series), or `"ticketed"`. It is *optional* so
+//! trajectory files captured before the message-plane A/B existed keep
+//! validating; absence means the original ticketed plane (comparison
+//! tools like `bench-diff` default it accordingly).
 
 use std::fmt::Write as _;
 
@@ -513,11 +517,12 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
                 // must be a known delivery-plane name.
                 match entry.get("channel_mode") {
                     None => {}
-                    Some(Json::Str(m)) if m == "per-edge" || m == "ticketed" => {}
+                    Some(Json::Str(m))
+                        if m == "per-edge" || m == "per-edge-ring" || m == "ticketed" => {}
                     Some(other) => {
                         return Err(format!(
-                            "results[{i}]: channel_mode must be \"per-edge\" or \"ticketed\", \
-                             got {}",
+                            "results[{i}]: channel_mode must be \"per-edge\", \
+                             \"per-edge-ring\", or \"ticketed\", got {}",
                             other.render()
                         ))
                     }

@@ -4,7 +4,10 @@
 //! deterministic simulator; this module opens the paper's other axis
 //! (Figures 8–11 run on real hardware): it drives
 //! `dgs_runtime::thread_driver::run_threads` on the three §4.1 workloads
-//! across a grid of worker counts and offered input rates, and reports
+//! plus the §4.3 `page-view-forest` multi-root cell (one independent
+//! page-tree per worker slot — the forest-native plan refactor's
+//! flagship shape) across a grid of worker counts and offered input
+//! rates, and reports
 //!
 //! * end-to-end **throughput** (input events per wall second),
 //! * **per-event latency percentiles** (p50/p95/p99) from a fixed-bucket
@@ -25,7 +28,7 @@ use std::sync::Arc;
 
 use dgs_apps::fraud::FdWorkload;
 use dgs_apps::page_view::PvWorkload;
-use dgs_apps::sweep::SweepWorkload;
+use dgs_apps::sweep::{PvForestWorkload, SweepWorkload};
 use dgs_apps::value_barrier::VbWorkload;
 use dgs_core::program::DgsProgram;
 use dgs_core::spec::{run_sequential, sort_o};
@@ -164,9 +167,11 @@ pub struct LatencySummary {
 pub struct WallclockPoint {
     /// Workload name ([`SweepWorkload::NAME`]).
     pub workload: &'static str,
-    /// Delivery plane the run used ([`ChannelMode::name`]): `"per-edge"`
-    /// (independent per-edge FIFO queues) or `"ticketed"` (global
-    /// send-order MPMC). The A/B axis of the message-plane refactor.
+    /// Delivery plane the run used ([`ChannelMode::name`]):
+    /// `"per-edge-ring"` (lock-free SPSC rings, the runtime default),
+    /// `"per-edge"` (the mutex storage all pre-ring captures measured
+    /// under this name), or `"ticketed"` (global send-order MPMC). The
+    /// A/B axes of the message-plane refactors.
     pub channel_mode: &'static str,
     /// Parallel event streams (the sweep's worker axis).
     pub workers: u32,
@@ -252,25 +257,26 @@ pub struct SweepSpec {
 impl SweepSpec {
     /// The default full sweep behind the committed trajectory files:
     /// 1–8 workers, one unpaced max-throughput run and one paced run
-    /// (which carries the latency percentiles) per cell, in both
-    /// channel modes (the ticketed-vs-per-edge A/B).
+    /// (which carries the latency percentiles) per cell, in all three
+    /// channel modes (ticketed vs per-edge-ring vs per-edge mutex —
+    /// the two A/B axes of the message-plane refactors).
     pub fn full() -> Self {
         SweepSpec {
             workers: vec![1, 2, 4, 8],
             rates: vec![0, 200_000],
-            modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge],
+            modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge, ChannelMode::PerEdgeMutex],
             per_window: 500,
             windows: 20,
             check_spec: false,
         }
     }
 
-    /// Tiny CI tier: seconds of runtime, spec-checked, both modes.
+    /// Tiny CI tier: seconds of runtime, spec-checked, all modes.
     pub fn smoke() -> Self {
         SweepSpec {
             workers: vec![2],
             rates: vec![0, 100_000],
-            modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge],
+            modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge, ChannelMode::PerEdgeMutex],
             per_window: 40,
             windows: 5,
             check_spec: true,
@@ -288,13 +294,23 @@ fn pace_of(rate_eps: u64) -> Option<u64> {
 /// hostage to single OS scheduling hiccups (observed swings of 10× on
 /// the same cell back to back on a single-core host); the median run is
 /// the standard way to report a stable tail without hiding a systematic
-/// shift. Unpaced (throughput-only) points are stable and run once.
+/// shift.
 pub const PACED_REPEATS: usize = 3;
 
+/// Independent repetitions of each *unpaced* point; the run with the
+/// highest throughput is reported. An unpaced run races feeders against
+/// workers at full speed, so its throughput is "max sustainable" — and
+/// on a contended host a single draw routinely lands 30–50% below the
+/// machine's actual capacity (observed back to back on identical code).
+/// The maximum over several draws is the standard way to measure capacity:
+/// lower draws show scheduler interference, not the system under test.
+pub const UNPACED_REPEATS: usize = 5;
+
 /// Run one workload at one `(mode, workers, rate)` point. Paced points
-/// are repeated [`PACED_REPEATS`] times and the median-p95 run reported
-/// (`spec_ok` is the conjunction over all repeats — a divergence in any
-/// run fails the point).
+/// are repeated [`PACED_REPEATS`] times and the median-p95 run reported;
+/// unpaced points are repeated [`UNPACED_REPEATS`] times and the
+/// best-throughput run reported (`spec_ok` is the conjunction over all
+/// repeats — a divergence in any run fails the point).
 pub fn run_one<W: SweepWorkload>(
     mode: ChannelMode,
     workers: u32,
@@ -303,13 +319,19 @@ pub fn run_one<W: SweepWorkload>(
     rate_eps: u64,
     check_spec: bool,
 ) -> WallclockPoint {
-    let repeats = if rate_eps > 0 { PACED_REPEATS } else { 1 };
+    let paced = rate_eps > 0;
+    let repeats = if paced { PACED_REPEATS } else { UNPACED_REPEATS };
     let mut runs: Vec<WallclockPoint> = (0..repeats)
         .map(|_| run_single::<W>(mode, workers, per_window, windows, rate_eps, check_spec))
         .collect();
     let all_ok = runs.iter().all(|p| p.spec_ok != Some(false));
-    runs.sort_by_key(|p| p.latency.map(|l| l.p95).unwrap_or(0));
-    let mut point = runs.swap_remove(runs.len() / 2);
+    let mut point = if paced {
+        runs.sort_by_key(|p| p.latency.map(|l| l.p95).unwrap_or(0));
+        runs.swap_remove(runs.len() / 2)
+    } else {
+        runs.sort_by(|a, b| a.throughput_eps.total_cmp(&b.throughput_eps));
+        runs.pop().expect("at least one run")
+    };
     if point.spec_ok.is_some() {
         point.spec_ok = Some(all_ok);
     }
@@ -372,12 +394,16 @@ fn run_single<W: SweepWorkload>(
             0.0
         },
         latency: hist.summary(),
-        worker_msgs: timing.worker_msgs,
+        worker_msgs: result.effects.msgs.clone(),
         spec_ok,
     }
 }
 
-/// Run the full grid: `spec.modes` × the three paper workloads ×
+/// Number of workloads [`sweep`] measures per grid cell: the three paper
+/// workloads plus the §4.3 `page-view-forest` multi-root cell.
+pub const SWEEP_WORKLOADS: usize = 4;
+
+/// Run the full grid: `spec.modes` × [`SWEEP_WORKLOADS`] workloads ×
 /// `spec.workers` × `spec.rates`, in a deterministic order (mode-major,
 /// then workers, then rate, then workload). A small discarded warm-up
 /// run precedes the grid: the first measured cells of a fresh process
@@ -409,6 +435,14 @@ pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
                     spec.check_spec,
                 ));
                 points.push(run_one::<FdWorkload>(
+                    mode,
+                    workers,
+                    spec.per_window,
+                    spec.windows,
+                    rate,
+                    spec.check_spec,
+                ));
+                points.push(run_one::<PvForestWorkload>(
                     mode,
                     workers,
                     spec.per_window,
@@ -515,7 +549,7 @@ mod tests {
         assert!(p.latency.is_none());
         assert_eq!(p.events, 2 * 30 * 3 + 3);
         assert!(p.worker_msgs.iter().sum::<u64>() > 0);
-        assert_eq!(p.channel_mode, "per-edge");
+        assert_eq!(p.channel_mode, "per-edge-ring");
     }
 
     #[test]
@@ -534,18 +568,27 @@ mod tests {
         let spec = SweepSpec {
             workers: vec![1, 2],
             rates: vec![0],
-            modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge],
+            modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge, ChannelMode::PerEdgeMutex],
             per_window: 20,
             windows: 2,
             check_spec: true,
         };
         let points = sweep(&spec);
-        assert_eq!(points.len(), 12, "2 modes × 2 worker counts × 1 rate × 3 workloads");
+        assert_eq!(
+            points.len(),
+            3 * 2 * SWEEP_WORKLOADS,
+            "3 modes × 2 worker counts × 1 rate × {SWEEP_WORKLOADS} workloads"
+        );
         assert!(points.iter().all(|p| p.spec_ok == Some(true)));
         let table = render_table(&points);
         assert!(table.contains("value-barrier"));
         assert!(table.contains("page-view"));
         assert!(table.contains("fraud-detection"));
-        assert!(table.contains("per-edge") && table.contains("ticketed"));
+        assert!(table.contains("page-view-forest"));
+        assert!(
+            table.contains("per-edge-ring")
+                && table.contains(" per-edge |")
+                && table.contains("ticketed")
+        );
     }
 }

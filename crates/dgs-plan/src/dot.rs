@@ -19,21 +19,38 @@ pub fn to_dot<T: Tag>(plan: &Plan<T>) -> String {
 
 /// Render the plan with dashed input-stream edges (Figure 9 style): one
 /// edge per [`ITagInfo`], labelled `tag@stream (rate)`, pointing at the
-/// responsible worker.
+/// responsible worker. Forest plans render each partition inside its own
+/// `cluster` subgraph, so the independence structure is visible at a
+/// glance.
 pub fn to_dot_with_sources<T: Tag>(plan: &Plan<T>, sources: &[ITagInfo<T>]) -> String {
     let mut out = String::from("digraph plan {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
-    for (id, w) in plan.iter() {
+    let node_line = |out: &mut String, id: crate::plan::WorkerId, indent: &str| {
+        let w = plan.worker(id);
         let tags: Vec<String> = w.itags.iter().map(|t| format!("{:?}@{}", t.tag, t.stream)).collect();
         let role = if w.is_leaf() { "update" } else { "update – ⟨fork, join⟩" };
         let _ = writeln!(
             out,
-            "  {} [label=\"{} {{ {} }}\\n{}\\nnode {}\"];",
+            "{}{} [label=\"{} {{ {} }}\\n{}\\nnode {}\"];",
+            indent,
             id.0,
             id,
             tags.join(", "),
             role,
             w.location.0,
         );
+    };
+    if plan.is_forest() {
+        for (p, part) in plan.partitions().enumerate() {
+            let _ = writeln!(out, "  subgraph cluster_{p} {{\n    label=\"partition {p}\";");
+            for id in part.workers() {
+                node_line(&mut out, id, "    ");
+            }
+            out.push_str("  }\n");
+        }
+    } else {
+        for (id, _) in plan.iter() {
+            node_line(&mut out, id, "  ");
+        }
     }
     for (id, w) in plan.iter() {
         for &c in &w.children {
@@ -108,5 +125,25 @@ mod tests {
         let p = plan();
         assert_eq!(ancestry_path(&p, WorkerId(2)), "w0 → w2");
         assert_eq!(ancestry_path(&p, WorkerId(0)), "w0");
+    }
+
+    #[test]
+    fn forest_renders_partition_clusters() {
+        let mut b = PlanBuilder::new();
+        let _a = b.add([ITag::new(KcTag::Inc(1), StreamId(0))], Location(0));
+        let t = b.add([ITag::new(KcTag::ReadReset(2), StreamId(1))], Location(1));
+        let l = b.add([ITag::new(KcTag::Inc(2), StreamId(2))], Location(2));
+        let r = b.add([ITag::new(KcTag::Inc(2), StreamId(3))], Location(3));
+        b.attach(t, l);
+        b.attach(t, r);
+        let p = b.build_forest();
+        let dot = to_dot(&p);
+        assert!(dot.contains("subgraph cluster_0"));
+        assert!(dot.contains("subgraph cluster_1"));
+        assert!(dot.contains("1 -> 2;") && dot.contains("1 -> 3;"));
+        // Every worker appears exactly once.
+        for i in 0..4 {
+            assert_eq!(dot.matches(&format!("\n    {i} [label=")).count(), 1, "node {i}:\n{dot}");
+        }
     }
 }

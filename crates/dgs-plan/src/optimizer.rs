@@ -58,6 +58,15 @@ impl<T: Tag> Optimizer<T> for SequentialOptimizer {
 
 /// The Appendix B communication-minimizing greedy optimizer.
 ///
+/// When the dependence graph over the workload is already disconnected,
+/// the optimizer emits a **forest** — one root per dependence component —
+/// instead of welding the components under a synthetic tagless
+/// coordinator. A coordinator between independent components carries no
+/// synchronizing events, yet it used to funnel seeding, checkpointing,
+/// and teardown through one worker; the paper's §4.3 "forest with a tree
+/// per key" workloads are exactly this shape. Connected workloads still
+/// produce the classic single rooted tree.
+///
 /// ```
 /// use dgs_core::depends::FnDependence;
 /// use dgs_core::event::StreamId;
@@ -77,6 +86,21 @@ impl<T: Tag> Optimizer<T> for SequentialOptimizer {
 /// let plan = CommMinOptimizer.plan(&infos, &dep);
 /// assert_eq!(plan.leaf_count(), 2);
 /// assert_eq!(plan.responsible_for(&ITag::new('b', StreamId(2))), Some(plan.root()));
+///
+/// // Two such keys never interact: one tree per key, no coordinator.
+/// let two_keys = vec![
+///     ITagInfo::new(ITag::new('v', StreamId(0)), 1000.0, Location(0)),
+///     ITagInfo::new(ITag::new('b', StreamId(1)), 1.0, Location(0)),
+///     ITagInfo::new(ITag::new('V', StreamId(2)), 1000.0, Location(1)),
+///     ITagInfo::new(ITag::new('B', StreamId(3)), 1.0, Location(1)),
+/// ];
+/// let dep2 = FnDependence::new(|a: &char, b: &char| {
+///     // Same-case tags form a key; a key's barrier synchronizes it.
+///     a.is_ascii_uppercase() == b.is_ascii_uppercase()
+///         && (a.to_ascii_lowercase() == 'b' || b.to_ascii_lowercase() == 'b')
+/// });
+/// let forest = CommMinOptimizer.plan(&two_keys, &dep2);
+/// assert_eq!(forest.roots().len(), 2);
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct CommMinOptimizer;
@@ -84,7 +108,22 @@ pub struct CommMinOptimizer;
 impl<T: Tag> Optimizer<T> for CommMinOptimizer {
     fn plan(&self, infos: &[ITagInfo<T>], dep: &dyn Dependence<T>) -> Plan<T> {
         assert!(!infos.is_empty(), "cannot plan for an empty workload");
+        let itags: Vec<ITag<T>> = infos.iter().map(|i| i.itag.clone()).collect();
+        let comps = DependenceGraph::build(&itags, dep).components();
         let mut b = PlanBuilder::new();
+        if comps.len() >= 2 {
+            // Disconnected workload: one partition per dependence
+            // component, heaviest first (seeding order), no coordinator.
+            let mut groups: Vec<Vec<ITagInfo<T>>> = comps
+                .iter()
+                .map(|c| infos.iter().filter(|i| c.contains(&i.itag)).cloned().collect())
+                .collect();
+            groups.sort_by(|a, b| total_rate(b).total_cmp(&total_rate(a)));
+            for group in groups {
+                let _ = build_subtree(&mut b, group, dep, SplitStyle::Balanced);
+            }
+            return b.build_forest();
+        }
         let root = build_subtree(&mut b, infos.to_vec(), dep, SplitStyle::Balanced);
         b.build(root)
     }
@@ -94,6 +133,11 @@ impl<T: Tag> Optimizer<T> for CommMinOptimizer {
 /// combines independent groups into a maximally *unbalanced* (chain)
 /// tree, so synchronizing events traverse a deep spine. Used to measure
 /// how much the balanced shape matters (DESIGN.md ablations).
+///
+/// Deliberately still emits a *single* rooted tree even for disconnected
+/// workloads — the chain of tagless coordinators welding independent
+/// components is part of the ablation (it is the pre-forest behavior the
+/// tentpole refactor removed from [`CommMinOptimizer`], kept measurable).
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ChainOptimizer;
 
@@ -271,29 +315,32 @@ mod tests {
     }
 
     #[test]
-    fn example_b1_reproduces_figure_3() {
+    fn example_b1_reproduces_figure_3_minus_the_synthetic_root() {
         let dep = kc_dep();
         let plan = CommMinOptimizer.plan(&example_b1(), &dep);
-        // Expected: empty root; one child a leaf {r(1), i(1)}; other child
-        // {r(2)} with leaves {i(2)a} and {i(2)b}.
-        assert_eq!(plan.len(), 5);
+        // Keys 1 and 2 never interact, so the plan is a two-tree forest:
+        // a leaf {r(1), i(1)} and a tree {r(2)} — {i(2)a}, {i(2)b}. The
+        // empty coordinator `w1` of the paper's Figure 3 is gone.
+        assert_eq!(plan.len(), 4);
         assert_eq!(plan.leaf_count(), 3);
-        let root = plan.worker(plan.root());
-        assert!(root.itags.is_empty());
-        // Find the key-1 leaf.
+        assert_eq!(plan.roots().len(), 2);
+        assert!(plan.iter().all(|(_, w)| !w.itags.is_empty()), "no tagless coordinator");
+        // The key-1 partition is a single leaf owning both key-1 tags.
         let key1_leaf = plan
             .iter()
             .find(|(_, w)| w.itags.contains(&it(KcTag::ReadReset(1), 1)))
             .map(|(id, _)| id)
             .unwrap();
         assert!(plan.worker(key1_leaf).is_leaf());
+        assert!(plan.roots().contains(&key1_leaf));
         assert!(plan.worker(key1_leaf).itags.contains(&it(KcTag::Inc(1), 1)));
-        // r(2) is on an internal node whose children own the two i(2) streams.
+        // r(2) roots the other partition; its children own the i(2) streams.
         let r2 = plan
             .iter()
             .find(|(_, w)| w.itags.contains(&it(KcTag::ReadReset(2), 0)))
             .map(|(id, _)| id)
             .unwrap();
+        assert!(plan.roots().contains(&r2));
         let w = plan.worker(r2);
         assert_eq!(w.children.len(), 2);
         let kids: BTreeSet<_> = w
@@ -302,6 +349,8 @@ mod tests {
             .flat_map(|c| plan.worker(*c).itags.iter().cloned())
             .collect();
         assert_eq!(kids, [it(KcTag::Inc(2), 2), it(KcTag::Inc(2), 3)].into());
+        // The heavier (key 2: 510) partition is seeded before key 1 (115).
+        assert_eq!(plan.roots()[0], r2);
         // Validity against the universe.
         let universe: BTreeSet<_> = example_b1().into_iter().map(|i| i.itag).collect();
         assert_eq!(check_valid(&plan, &dep, |_, _| true, &universe), Ok(()));
@@ -333,18 +382,62 @@ mod tests {
     }
 
     #[test]
-    fn fully_independent_workload_is_all_leaves() {
+    fn fully_independent_workload_is_a_forest_of_bare_leaves() {
         let dep = FnDependence::new(|_: &KcTag, _: &KcTag| false);
         let infos = example_b1();
         let plan = CommMinOptimizer.plan(&infos, &dep);
+        // Five independent tags: five single-leaf partitions, zero
+        // coordinators welded on top.
+        assert_eq!(plan.len(), 5);
         assert_eq!(plan.leaf_count(), 5);
-        // Internal coordinators own nothing.
-        for (_, w) in plan.iter() {
-            if !w.is_leaf() {
-                assert!(w.itags.is_empty());
+        assert_eq!(plan.roots().len(), 5);
+        let universe: BTreeSet<_> = example_b1().into_iter().map(|i| i.itag).collect();
+        assert_eq!(check_valid(&plan, &dep, |_, _| true, &universe), Ok(()));
+    }
+
+    /// The forest contract of the tentpole refactor: disconnected
+    /// workloads get one root per dependence component, and every tagless
+    /// coordinator that remains sits strictly *inside* a dependent
+    /// component (it has a tag-owning ancestor — it exists to make a fork
+    /// binary, not to weld independent partitions).
+    #[test]
+    fn forest_has_one_root_per_component_and_no_welding_coordinator() {
+        // Two value-barrier keys plus one isolated key: 3 components.
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        struct K(u32, bool); // (key, is_barrier)
+        let dep = FnDependence::new(|a: &K, b: &K| a.0 == b.0 && (a.1 || b.1));
+        let mut infos = Vec::new();
+        let mut sid = 0u32;
+        for key in 0..2u32 {
+            for _ in 0..4 {
+                infos.push(ITagInfo::new(ITag::new(K(key, false), StreamId(sid)), 100.0, Location(sid)));
+                sid += 1;
+            }
+            infos.push(ITagInfo::new(ITag::new(K(key, true), StreamId(sid)), 1.0, Location(sid)));
+            sid += 1;
+        }
+        infos.push(ITagInfo::new(ITag::new(K(9, false), StreamId(sid)), 50.0, Location(sid)));
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        assert_eq!(plan.roots().len(), 3, "one root per dependence component:\n{}", plan.render());
+        for (id, w) in plan.iter() {
+            if w.itags.is_empty() {
+                let mut anc = w.parent;
+                let mut owned_ancestor = false;
+                while let Some(a) = anc {
+                    if !plan.worker(a).itags.is_empty() {
+                        owned_ancestor = true;
+                        break;
+                    }
+                    anc = plan.worker(a).parent;
+                }
+                assert!(
+                    owned_ancestor,
+                    "tagless worker {id} welds independent partitions:\n{}",
+                    plan.render()
+                );
             }
         }
-        let universe: BTreeSet<_> = example_b1().into_iter().map(|i| i.itag).collect();
+        let universe: BTreeSet<_> = infos.iter().map(|i| i.itag).collect();
         assert_eq!(check_valid(&plan, &dep, |_, _| true, &universe), Ok(()));
     }
 

@@ -1,4 +1,13 @@
-//! Synchronization plan trees (Definition 3.1).
+//! Synchronization plan forests (Definition 3.1, generalized).
+//!
+//! The paper defines a synchronization plan as a rooted binary tree; its
+//! §4.3 workloads ("a forest with a tree per key") are nevertheless
+//! inherently multi-rooted. A [`Plan`] is therefore a rooted *forest*:
+//! one or more rooted binary trees over a shared worker arena. Each tree
+//! is an independent **partition** — no dependence crosses trees (that is
+//! what P-validity's V2 enforces for unrelated workers), so partitions
+//! can be seeded, drained, checkpointed, and recovered independently.
+//! A single-root plan is the paper's original tree, unchanged.
 
 use std::collections::BTreeSet;
 use std::fmt;
@@ -29,7 +38,7 @@ pub struct Worker<T: Tag> {
     /// Implementation tags this worker is responsible for. May be empty
     /// (pure coordinator nodes, like `w1` in the paper's Figure 3).
     pub itags: BTreeSet<ITag<T>>,
-    /// Parent worker, `None` for the root.
+    /// Parent worker, `None` for a partition root.
     pub parent: Option<WorkerId>,
     /// Children (empty for leaves, exactly two for internal nodes — forks
     /// are binary).
@@ -45,42 +54,130 @@ impl<T: Tag> Worker<T> {
     }
 }
 
-/// A synchronization plan: a rooted binary tree of workers.
+/// A synchronization plan: a rooted forest of binary worker trees.
 #[derive(Clone, Debug)]
 pub struct Plan<T: Tag> {
     workers: Vec<Worker<T>>,
-    root: WorkerId,
+    roots: Vec<WorkerId>,
 }
 
 impl<T: Tag> Plan<T> {
-    /// Build a plan from a worker arena and a root index. Panics if the
-    /// arena's parent/children links are not a tree rooted at `root`; use
-    /// [`PlanBuilder`] to construct plans safely.
+    /// Build a single-tree plan from a worker arena and a root index.
+    /// Panics if the arena's parent/children links are not a tree rooted
+    /// at `root`; use [`PlanBuilder`] to construct plans safely.
     pub fn from_arena(workers: Vec<Worker<T>>, root: WorkerId) -> Self {
-        let plan = Plan { workers, root };
-        plan.assert_tree();
+        Self::from_forest_arena(workers, vec![root])
+    }
+
+    /// Build a forest plan from a worker arena and its root indices (one
+    /// per partition, in the order they should be seeded). Panics unless
+    /// the arena is exactly the disjoint union of the trees rooted at
+    /// `roots`.
+    pub fn from_forest_arena(workers: Vec<Worker<T>>, roots: Vec<WorkerId>) -> Self {
+        let plan = Plan { workers, roots };
+        plan.assert_forest();
         plan
     }
 
-    fn assert_tree(&self) {
-        assert!(self.root.0 < self.workers.len(), "root out of bounds");
-        assert!(self.workers[self.root.0].parent.is_none(), "root has a parent");
+    fn assert_forest(&self) {
+        assert!(!self.roots.is_empty(), "a plan needs at least one root");
         let mut seen = vec![false; self.workers.len()];
-        let mut stack = vec![self.root];
-        while let Some(w) = stack.pop() {
-            assert!(!seen[w.0], "cycle or shared child at {w}");
-            seen[w.0] = true;
-            for &c in &self.workers[w.0].children {
-                assert_eq!(self.workers[c.0].parent, Some(w), "bad parent link at {c}");
-                stack.push(c);
+        for &root in &self.roots {
+            assert!(root.0 < self.workers.len(), "root {root} out of bounds");
+            assert!(self.workers[root.0].parent.is_none(), "root {root} has a parent");
+            let mut stack = vec![root];
+            while let Some(w) = stack.pop() {
+                assert!(!seen[w.0], "cycle, shared child, or duplicate root at {w}");
+                seen[w.0] = true;
+                for &c in &self.workers[w.0].children {
+                    assert_eq!(self.workers[c.0].parent, Some(w), "bad parent link at {c}");
+                    stack.push(c);
+                }
             }
         }
         assert!(seen.iter().all(|&s| s), "disconnected workers in arena");
     }
 
-    /// The root worker.
+    /// The partition roots, in seeding order. A single-root plan (the
+    /// paper's rooted tree) has exactly one.
+    pub fn roots(&self) -> &[WorkerId] {
+        &self.roots
+    }
+
+    /// The root of a single-tree plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan is a forest with more than one root — callers
+    /// that can handle forests must iterate [`roots`](Self::roots) (or
+    /// [`partitions`](Self::partitions)) instead. The panic is deliberate:
+    /// silently returning the first root would funnel a forest's traffic
+    /// through one partition, which is exactly the bug this API retires.
     pub fn root(&self) -> WorkerId {
-        self.root
+        assert!(
+            self.roots.len() == 1,
+            "plan is a forest with {} roots; use roots()/partitions()",
+            self.roots.len()
+        );
+        self.roots[0]
+    }
+
+    /// Number of independent partitions (trees).
+    pub fn partition_count(&self) -> usize {
+        self.roots.len()
+    }
+
+    /// True when the plan has more than one tree.
+    pub fn is_forest(&self) -> bool {
+        self.roots.len() > 1
+    }
+
+    /// Iterate over the plan's partitions, one per root, in root order.
+    pub fn partitions(&self) -> impl Iterator<Item = Partition<'_, T>> {
+        self.roots.iter().map(move |&root| Partition { plan: self, root })
+    }
+
+    /// The root of the partition containing `w` (walks parent links).
+    pub fn root_of(&self, w: WorkerId) -> WorkerId {
+        let mut cur = w;
+        while let Some(p) = self.workers[cur.0].parent {
+            cur = p;
+        }
+        cur
+    }
+
+    /// Index (into [`roots`](Self::roots)) of the partition containing `w`.
+    pub fn partition_index(&self, w: WorkerId) -> usize {
+        let root = self.root_of(w);
+        self.roots
+            .iter()
+            .position(|&r| r == root)
+            .expect("every worker's root chain ends at a plan root")
+    }
+
+    /// Extract the partition rooted at `root` as a standalone single-tree
+    /// plan. Workers are re-indexed in preorder; the returned mapping
+    /// gives, for each new worker id, the original id in `self`
+    /// (`mapping[new.0] == old`).
+    pub fn partition_plan(&self, root: WorkerId) -> (Plan<T>, Vec<WorkerId>) {
+        assert!(self.roots.contains(&root), "{root} is not a partition root");
+        let mapping: Vec<WorkerId> = self.subtree_iter(root).collect();
+        let back = |old: WorkerId| {
+            WorkerId(mapping.iter().position(|&m| m == old).expect("subtree-closed link"))
+        };
+        let workers = mapping
+            .iter()
+            .map(|&old| {
+                let w = &self.workers[old.0];
+                Worker {
+                    itags: w.itags.clone(),
+                    parent: if old == root { None } else { w.parent.map(back) },
+                    children: w.children.iter().map(|&c| back(c)).collect(),
+                    location: w.location,
+                }
+            })
+            .collect();
+        (Plan::from_arena(workers, WorkerId(0)), mapping)
     }
 
     /// Number of workers.
@@ -89,7 +186,7 @@ impl<T: Tag> Plan<T> {
     }
 
     /// True if the plan has no workers (never constructible — a plan has
-    /// at least a root — kept for API completeness).
+    /// at least one root — kept for API completeness).
     pub fn is_empty(&self) -> bool {
         self.workers.is_empty()
     }
@@ -104,22 +201,31 @@ impl<T: Tag> Plan<T> {
         &mut self.workers[id.0]
     }
 
-    /// Iterate over `(id, worker)` pairs.
+    /// Iterate over `(id, worker)` pairs in arena order.
     pub fn iter(&self) -> impl Iterator<Item = (WorkerId, &Worker<T>)> {
         self.workers.iter().enumerate().map(|(i, w)| (WorkerId(i), w))
     }
 
-    /// All worker ids in preorder (root first).
+    /// Allocation-free preorder traversal over the whole forest (each
+    /// root's tree in root order). The iterator is stackless: it walks
+    /// the existing parent/child links, using O(1) state — traversals on
+    /// the drivers' per-run paths no longer allocate a `Vec` per call.
+    pub fn preorder_iter(&self) -> Preorder<'_, T> {
+        let first = self.roots[0];
+        Preorder { plan: self, roots: &self.roots, next_root: 1, origin: first, next: Some(first) }
+    }
+
+    /// Allocation-free preorder traversal of the subtree rooted at `w`
+    /// (which need not be a partition root).
+    pub fn subtree_iter(&self, w: WorkerId) -> Preorder<'_, T> {
+        Preorder { plan: self, roots: EMPTY_ROOTS, next_root: 0, origin: w, next: Some(w) }
+    }
+
+    /// All worker ids in preorder (each root's tree in root order).
+    /// Allocates; prefer [`preorder_iter`](Self::preorder_iter) on hot
+    /// paths.
     pub fn preorder(&self) -> Vec<WorkerId> {
-        let mut order = Vec::with_capacity(self.workers.len());
-        let mut stack = vec![self.root];
-        while let Some(w) = stack.pop() {
-            order.push(w);
-            for &c in self.workers[w.0].children.iter().rev() {
-                stack.push(c);
-            }
-        }
-        order
+        self.preorder_iter().collect()
     }
 
     /// Is `a` a (strict or reflexive) ancestor of `b`?
@@ -135,7 +241,8 @@ impl<T: Tag> Plan<T> {
     }
 
     /// Do `a` and `b` stand in an ancestor–descendant relationship
-    /// (including `a == b`)?
+    /// (including `a == b`)? Workers in different partitions are never
+    /// related.
     pub fn related(&self, a: WorkerId, b: WorkerId) -> bool {
         self.is_ancestor_or_self(a, b) || self.is_ancestor_or_self(b, a)
     }
@@ -145,10 +252,8 @@ impl<T: Tag> Plan<T> {
     /// of the paper's Definition C.1).
     pub fn subtree_itags(&self, w: WorkerId) -> BTreeSet<ITag<T>> {
         let mut acc = BTreeSet::new();
-        let mut stack = vec![w];
-        while let Some(v) = stack.pop() {
+        for v in self.subtree_iter(w) {
             acc.extend(self.workers[v.0].itags.iter().cloned());
-            stack.extend(self.workers[v.0].children.iter().copied());
         }
         acc
     }
@@ -167,23 +272,21 @@ impl<T: Tag> Plan<T> {
 
     /// All implementation tags covered by the plan.
     pub fn all_itags(&self) -> BTreeSet<ITag<T>> {
-        self.subtree_itags(self.root)
-    }
-
-    /// Ids of the workers in the subtree rooted at `w` (preorder).
-    pub fn subtree(&self, w: WorkerId) -> Vec<WorkerId> {
-        let mut acc = Vec::new();
-        let mut stack = vec![w];
-        while let Some(v) = stack.pop() {
-            acc.push(v);
-            for &c in self.workers[v.0].children.iter().rev() {
-                stack.push(c);
-            }
+        let mut acc = BTreeSet::new();
+        for (_, w) in self.iter() {
+            acc.extend(w.itags.iter().cloned());
         }
         acc
     }
 
-    /// Depth of worker `w` (root = 0).
+    /// Ids of the workers in the subtree rooted at `w` (preorder).
+    /// Allocates; prefer [`subtree_iter`](Self::subtree_iter) on hot
+    /// paths.
+    pub fn subtree(&self, w: WorkerId) -> Vec<WorkerId> {
+        self.subtree_iter(w).collect()
+    }
+
+    /// Depth of worker `w` (partition roots have depth 0).
     pub fn depth(&self, w: WorkerId) -> usize {
         let mut d = 0;
         let mut cur = self.workers[w.0].parent;
@@ -194,7 +297,8 @@ impl<T: Tag> Plan<T> {
         d
     }
 
-    /// Height of the tree (a single root has height 0).
+    /// Height of the forest: the maximum depth of any worker (a plan of
+    /// bare roots has height 0).
     pub fn height(&self) -> usize {
         self.iter().map(|(id, _)| self.depth(id)).max().unwrap_or(0)
     }
@@ -226,11 +330,17 @@ impl<T: Tag> Plan<T> {
         }
     }
 
-    /// Render the plan as an ASCII tree (the format of the paper's
-    /// Figure 3).
+    /// Render the plan as an ASCII forest (the format of the paper's
+    /// Figure 3; multi-root plans render one tree per partition).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.render_node(self.root, 0, &mut out);
+        for (i, &root) in self.roots.iter().enumerate() {
+            if self.roots.len() > 1 {
+                use std::fmt::Write;
+                let _ = writeln!(out, "partition {i}:");
+            }
+            self.render_node(root, 0, &mut out);
+        }
         out
     }
 
@@ -251,6 +361,112 @@ impl<T: Tag> Plan<T> {
         for &c in &worker.children {
             self.render_node(c, depth + 1, out);
         }
+    }
+}
+
+const EMPTY_ROOTS: &[WorkerId] = &[];
+
+/// One tree of a forest [`Plan`]: a view over the workers reachable from
+/// a single root. Partitions are the plan's independent failure and
+/// scheduling domains.
+#[derive(Clone, Copy)]
+pub struct Partition<'a, T: Tag> {
+    plan: &'a Plan<T>,
+    root: WorkerId,
+}
+
+impl<'a, T: Tag> Partition<'a, T> {
+    /// The partition's root worker.
+    pub fn root(&self) -> WorkerId {
+        self.root
+    }
+
+    /// Allocation-free preorder traversal of the partition's workers.
+    pub fn workers(&self) -> Preorder<'a, T> {
+        self.plan.subtree_iter(self.root)
+    }
+
+    /// Number of workers in the partition.
+    pub fn len(&self) -> usize {
+        self.workers().count()
+    }
+
+    /// True when the partition is a bare root (always false in practice —
+    /// a root is a worker — kept for clippy's `len`/`is_empty` pairing).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The implementation tags owned inside the partition.
+    pub fn itags(&self) -> BTreeSet<ITag<T>> {
+        self.plan.subtree_itags(self.root)
+    }
+
+    /// The tag predicate of the partition (the `fork` predicate of its
+    /// root's subtree).
+    pub fn predicate(&self) -> TagPredicate<T> {
+        self.plan.subtree_predicate(self.root)
+    }
+
+    /// Does this partition own `itag`?
+    pub fn owns(&self, itag: &ITag<T>) -> bool {
+        self.workers().any(|w| self.plan.worker(w).itags.contains(itag))
+    }
+}
+
+/// Stackless, allocation-free preorder iterator over a subtree or forest
+/// (see [`Plan::preorder_iter`] / [`Plan::subtree_iter`]). Uses the
+/// arena's parent/child links to find the next node in O(height) worst
+/// case per step and O(1) state.
+pub struct Preorder<'a, T: Tag> {
+    plan: &'a Plan<T>,
+    /// Forest roots still to be visited after the current tree (empty for
+    /// subtree iteration).
+    roots: &'a [WorkerId],
+    /// Index into `roots` of the next root to start once the current tree
+    /// is exhausted.
+    next_root: usize,
+    /// Root of the tree currently being walked; the climb in `advance`
+    /// never passes it, which is what confines a subtree iteration to its
+    /// subtree.
+    origin: WorkerId,
+    /// The node the next `next()` call yields.
+    next: Option<WorkerId>,
+}
+
+impl<T: Tag> Preorder<'_, T> {
+    fn advance(&self, from: WorkerId) -> Option<WorkerId> {
+        // Descend first.
+        if let Some(&c) = self.plan.workers[from.0].children.first() {
+            return Some(c);
+        }
+        // Climb until a next sibling exists or the origin is reached.
+        let mut cur = from;
+        while cur != self.origin {
+            let p = self.plan.workers[cur.0].parent.expect("non-origin worker has a parent");
+            let siblings = &self.plan.workers[p.0].children;
+            let idx = siblings.iter().position(|&s| s == cur).expect("child link");
+            if let Some(&next) = siblings.get(idx + 1) {
+                return Some(next);
+            }
+            cur = p;
+        }
+        None
+    }
+}
+
+impl<T: Tag> Iterator for Preorder<'_, T> {
+    type Item = WorkerId;
+
+    fn next(&mut self) -> Option<WorkerId> {
+        let current = self.next?;
+        self.next = self.advance(current);
+        if self.next.is_none() && self.next_root < self.roots.len() {
+            self.origin = self.roots[self.next_root];
+            self.next = Some(self.origin);
+            self.next_root += 1;
+        }
+        Some(current)
     }
 }
 
@@ -284,9 +500,24 @@ impl<T: Tag> PlanBuilder<T> {
         self.workers[parent.0].children.push(child);
     }
 
-    /// Finish, rooting the tree at `root`.
+    /// Finish as a single tree rooted at `root`. Panics if any worker is
+    /// unreachable from `root` (use [`build_forest`](Self::build_forest)
+    /// for multi-rooted plans).
     pub fn build(self, root: WorkerId) -> Plan<T> {
         Plan::from_arena(self.workers, root)
+    }
+
+    /// Finish as a forest: every parentless worker becomes a partition
+    /// root, in id order.
+    pub fn build_forest(self) -> Plan<T> {
+        let roots: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.parent.is_none())
+            .map(|(i, _)| WorkerId(i))
+            .collect();
+        Plan::from_forest_arena(self.workers, roots)
     }
 }
 
@@ -299,7 +530,9 @@ pub fn sequential_plan<T: Tag>(itags: impl IntoIterator<Item = ITag<T>>, locatio
 }
 
 /// Check that the itag sets of non-related workers are pairwise
-/// independent under `dep` — helper shared with `validity`.
+/// independent under `dep` — helper shared with `validity`. In a forest,
+/// workers of different partitions are never related, so this also checks
+/// cross-partition independence.
 pub fn unrelated_pairs_independent<T: Tag, D: Dependence<T> + ?Sized>(
     plan: &Plan<T>,
     dep: &D,
@@ -350,6 +583,20 @@ mod tests {
         b.build(w1)
     }
 
+    /// A two-partition forest: the Figure 3 key-1 and key-2 subtrees as
+    /// independent trees (no welding coordinator).
+    fn forest_plan() -> Plan<KcTag> {
+        let mut b = PlanBuilder::new();
+        let t1 = b.add([it(KcTag::ReadReset(1), 1), it(KcTag::Inc(1), 1)], Location(1));
+        let t2 = b.add([it(KcTag::ReadReset(2), 0)], Location(0));
+        let l = b.add([it(KcTag::Inc(2), 2)], Location(2));
+        let r = b.add([it(KcTag::Inc(2), 3)], Location(3));
+        b.attach(t2, l);
+        b.attach(t2, r);
+        let _ = t1;
+        b.build_forest()
+    }
+
     #[test]
     fn figure_3_structure() {
         let p = figure_3_plan();
@@ -357,7 +604,66 @@ mod tests {
         assert_eq!(p.leaf_count(), 3);
         assert_eq!(p.height(), 2);
         assert_eq!(p.root(), WorkerId(0));
+        assert_eq!(p.roots(), &[WorkerId(0)]);
+        assert!(!p.is_forest());
         assert_eq!(p.preorder(), vec![WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3), WorkerId(4)]);
+    }
+
+    #[test]
+    fn forest_structure_and_partitions() {
+        let p = forest_plan();
+        assert_eq!(p.len(), 4);
+        assert!(p.is_forest());
+        assert_eq!(p.partition_count(), 2);
+        assert_eq!(p.roots(), &[WorkerId(0), WorkerId(1)]);
+        // Preorder walks tree 0 then tree 1.
+        assert_eq!(p.preorder(), vec![WorkerId(0), WorkerId(1), WorkerId(2), WorkerId(3)]);
+        let parts: Vec<_> = p.partitions().collect();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].root(), WorkerId(0));
+        assert_eq!(parts[0].len(), 1);
+        assert_eq!(parts[1].len(), 3);
+        assert!(parts[1].owns(&it(KcTag::Inc(2), 3)));
+        assert!(!parts[0].owns(&it(KcTag::Inc(2), 3)));
+        // Partition membership queries.
+        assert_eq!(p.root_of(WorkerId(3)), WorkerId(1));
+        assert_eq!(p.partition_index(WorkerId(3)), 1);
+        assert_eq!(p.partition_index(WorkerId(0)), 0);
+        // Cross-partition workers are never related.
+        assert!(!p.related(WorkerId(0), WorkerId(2)));
+        assert!(p.related(WorkerId(1), WorkerId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "forest with 2 roots")]
+    fn root_panics_on_forests() {
+        let _ = forest_plan().root();
+    }
+
+    #[test]
+    fn partition_plan_extracts_standalone_trees() {
+        let p = forest_plan();
+        let (sub, mapping) = p.partition_plan(WorkerId(1));
+        assert_eq!(sub.len(), 3);
+        assert_eq!(sub.root(), WorkerId(0));
+        assert_eq!(mapping, vec![WorkerId(1), WorkerId(2), WorkerId(3)]);
+        // Tags and locations survive the re-indexing.
+        assert_eq!(sub.worker(WorkerId(0)).itags, p.worker(WorkerId(1)).itags);
+        assert_eq!(sub.worker(WorkerId(1)).location, Location(2));
+        assert_eq!(sub.all_itags(), p.subtree_itags(WorkerId(1)));
+    }
+
+    #[test]
+    fn iterators_agree_with_collected_traversals() {
+        for p in [figure_3_plan(), forest_plan()] {
+            let via_iter: Vec<_> = p.preorder_iter().collect();
+            assert_eq!(via_iter, p.preorder());
+            for (id, _) in p.iter() {
+                let sub: Vec<_> = p.subtree_iter(id).collect();
+                assert_eq!(sub, p.subtree(id), "subtree of {id}");
+                assert_eq!(sub[0], id, "subtree starts at its origin");
+            }
+        }
     }
 
     #[test]
@@ -410,12 +716,15 @@ mod tests {
     }
 
     #[test]
-    fn render_contains_all_workers() {
+    fn render_contains_all_workers_and_partitions() {
         let p = figure_3_plan();
         let s = p.render();
         for i in 0..5 {
             assert!(s.contains(&format!("w{i}")), "missing w{i} in rendering:\n{s}");
         }
+        assert!(!s.contains("partition"), "single tree renders without partition headers");
+        let f = forest_plan().render();
+        assert!(f.contains("partition 0:") && f.contains("partition 1:"), "forest headers:\n{f}");
     }
 
     #[test]
@@ -447,6 +756,15 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "disconnected workers")]
+    fn single_root_build_rejects_detached_workers() {
+        let mut b = PlanBuilder::new();
+        let root = b.add([it(KcTag::Inc(1), 0)], Location(0));
+        let _detached = b.add([it(KcTag::Inc(2), 1)], Location(0));
+        let _ = b.build(root);
+    }
+
+    #[test]
     fn unrelated_independence_helper() {
         use dgs_core::depends::FnDependence;
         let p = figure_3_plan();
@@ -457,5 +775,11 @@ mod tests {
         // A relation where everything depends on everything fails.
         let all = FnDependence::new(|_: &KcTag, _: &KcTag| true);
         assert!(!unrelated_pairs_independent(&p, &all));
+        // The forest's partitions are independent under the key-counter
+        // relation but not under the total relation (cross-tree pairs are
+        // unrelated workers).
+        let f = forest_plan();
+        assert!(unrelated_pairs_independent(&f, &dep));
+        assert!(!unrelated_pairs_independent(&f, &all));
     }
 }

@@ -96,8 +96,14 @@ proptest! {
     fn subtree_tags_are_consistent_with_ownership(input in arb_input()) {
         let (infos, dep) = build(&input);
         let plan = CommMinOptimizer.plan(&infos, &dep);
-        // The root subtree covers everything.
-        prop_assert_eq!(plan.subtree_itags(plan.root()).len(), infos.len());
+        // The partitions' subtrees jointly cover everything, disjointly.
+        let mut covered = BTreeSet::new();
+        for part in plan.partitions() {
+            for t in part.itags() {
+                prop_assert!(covered.insert(t), "partitions overlap");
+            }
+        }
+        prop_assert_eq!(covered.len(), infos.len());
         // Each worker's subtree tags = own + children's subtrees.
         for (id, w) in plan.iter() {
             let mut expect: BTreeSet<_> = w.itags.clone();
@@ -105,6 +111,48 @@ proptest! {
                 expect.extend(plan.subtree_itags(c));
             }
             prop_assert_eq!(plan.subtree_itags(id), expect);
+        }
+    }
+
+    /// Forest contract (tentpole of the multi-root refactor): the
+    /// optimizer emits exactly one root per dependence component of the
+    /// workload, and never a *welding* coordinator — every tagless worker
+    /// sits below some tag-owning ancestor (it exists to keep a fork
+    /// binary inside one dependent component, not to glue independent
+    /// partitions together).
+    #[test]
+    fn disconnected_workloads_get_one_root_per_component(input in arb_input()) {
+        let (infos, dep) = build(&input);
+        let plan = CommMinOptimizer.plan(&infos, &dep);
+        let itags: Vec<_> = infos.iter().map(|i| i.itag).collect();
+        let comps = dgs_core::depends::DependenceGraph::build(&itags, &dep).components();
+        prop_assert_eq!(
+            plan.roots().len(),
+            comps.len(),
+            "one root per component\n{}",
+            plan.render()
+        );
+        // Each partition's tag set is exactly one component's.
+        for part in plan.partitions() {
+            let tags: BTreeSet<_> = part.itags();
+            let matched = comps
+                .iter()
+                .filter(|c| c.iter().cloned().collect::<BTreeSet<_>>() == tags)
+                .count();
+            prop_assert_eq!(matched, 1, "partition != component\n{}", plan.render());
+        }
+        // No tagless coordinator without a tag-owning ancestor.
+        for (id, w) in plan.iter() {
+            if !w.itags.is_empty() {
+                continue;
+            }
+            let mut anc = w.parent;
+            let mut owned = false;
+            while let Some(a) = anc {
+                owned |= !plan.worker(a).itags.is_empty();
+                anc = plan.worker(a).parent;
+            }
+            prop_assert!(owned, "tagless welding coordinator {}:\n{}", id, plan.render());
         }
     }
 }

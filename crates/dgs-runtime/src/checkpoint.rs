@@ -1,61 +1,92 @@
-//! State checkpointing and recovery (Appendix D.2).
+//! State checkpointing and recovery (Appendix D.2), per partition root.
 //!
-//! When the root has just joined its descendants' states, the joined
-//! value *is* a consistent snapshot of the distributed state — no Chandy-
-//! Lamport-style coordination needed. The runtime exposes this through
-//! `checkpoint_on_join`; this module keeps the snapshots and rebuilds the
-//! input suffix needed to resume after a crash.
+//! When a partition's root has just joined its descendants' states, the
+//! joined value *is* a consistent snapshot of that partition's
+//! distributed state — no Chandy-Lamport-style coordination needed. On a
+//! forest plan every tree checkpoints independently (partitions share no
+//! dependence, so any combination of per-root snapshots is a consistent
+//! global cut). The runtime exposes this through `checkpoint_on_join`;
+//! this module keys the snapshots by partition root and rebuilds the
+//! input suffix needed to resume a partition after a crash.
+
+use std::collections::BTreeMap;
 
 use dgs_core::event::{OrderKey, StreamId, Timestamp};
 use dgs_core::tag::Tag;
+use dgs_plan::plan::WorkerId;
 
 use crate::source::ScheduledStream;
 
-/// An in-memory checkpoint store (latest-wins recovery).
-#[derive(Clone, Debug, Default)]
+/// An in-memory checkpoint store, keyed by the partition root that took
+/// each snapshot (latest-wins recovery per partition).
+#[derive(Clone, Debug)]
 pub struct CheckpointStore<S> {
-    snaps: Vec<(S, Timestamp)>,
+    snaps: BTreeMap<WorkerId, Vec<(S, Timestamp)>>,
+}
+
+impl<S> Default for CheckpointStore<S> {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl<S> CheckpointStore<S> {
     /// Empty store.
     pub fn new() -> Self {
-        CheckpointStore { snaps: Vec::new() }
+        CheckpointStore { snaps: BTreeMap::new() }
     }
 
-    /// Record a snapshot taken at the given trigger timestamp.
-    pub fn record(&mut self, state: S, ts: Timestamp) {
-        debug_assert!(self.snaps.last().is_none_or(|(_, t)| *t <= ts));
-        self.snaps.push((state, ts));
+    /// Record a snapshot taken by partition root `root` at the given
+    /// trigger timestamp. Per-root trigger timestamps are monotone;
+    /// cross-root interleaving is arbitrary (partitions are independent).
+    pub fn record(&mut self, root: WorkerId, state: S, ts: Timestamp) {
+        let snaps = self.snaps.entry(root).or_default();
+        debug_assert!(snaps.last().is_none_or(|(_, t)| *t <= ts));
+        snaps.push((state, ts));
     }
 
-    /// Absorb the checkpoints of a finished run.
-    pub fn extend(&mut self, cps: impl IntoIterator<Item = (S, Timestamp)>) {
-        for (s, t) in cps {
-            self.record(s, t);
+    /// Absorb the (root-tagged) checkpoints of a finished run.
+    pub fn extend(&mut self, cps: impl IntoIterator<Item = (WorkerId, S, Timestamp)>) {
+        for (root, s, t) in cps {
+            self.record(root, s, t);
         }
     }
 
-    /// Latest snapshot, if any.
-    pub fn latest(&self) -> Option<&(S, Timestamp)> {
-        self.snaps.last()
+    /// Latest snapshot of partition `root`, if any.
+    pub fn latest(&self, root: WorkerId) -> Option<&(S, Timestamp)> {
+        self.snaps.get(&root).and_then(|v| v.last())
     }
 
-    /// Number of snapshots.
+    /// The k-th (0-based) snapshot of partition `root`, if taken.
+    pub fn nth(&self, root: WorkerId, k: usize) -> Option<&(S, Timestamp)> {
+        self.snaps.get(&root).and_then(|v| v.get(k))
+    }
+
+    /// Partition roots with at least one snapshot.
+    pub fn roots(&self) -> impl Iterator<Item = WorkerId> + '_ {
+        self.snaps.keys().copied()
+    }
+
+    /// Snapshots of one partition, in trigger order.
+    pub fn of_root(&self, root: WorkerId) -> &[(S, Timestamp)] {
+        self.snaps.get(&root).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of snapshots across all partitions.
     pub fn len(&self) -> usize {
-        self.snaps.len()
+        self.snaps.values().map(Vec::len).sum()
     }
 
-    /// True if no snapshot was taken.
+    /// True if no snapshot was taken anywhere.
     pub fn is_empty(&self) -> bool {
-        self.snaps.is_empty()
+        self.len() == 0
     }
 }
 
 /// The input suffix strictly after a snapshot cut: a snapshot triggered by
-/// the root's event at `(ts, stream)` covers every *dependent* event up to
-/// that point in the order `O`, so recovery replays items with a larger
-/// `O` key.
+/// a partition root's event at `(ts, stream)` covers every *dependent*
+/// event up to that point in the order `O`, so recovery replays items with
+/// a larger `O` key.
 pub fn suffix_after<T: Tag, P: Clone>(
     streams: &[ScheduledStream<T, P>],
     cut_ts: Timestamp,
@@ -82,21 +113,35 @@ mod tests {
     use dgs_core::event::StreamId;
     use dgs_core::tag::ITag;
 
+    const R0: WorkerId = WorkerId(0);
+    const R3: WorkerId = WorkerId(3);
+
     #[test]
-    fn store_orders_and_returns_latest() {
+    fn store_orders_and_returns_latest_per_root() {
         let mut store = CheckpointStore::new();
         assert!(store.is_empty());
-        store.record(10i64, 5);
-        store.record(20i64, 9);
-        assert_eq!(store.len(), 2);
-        assert_eq!(store.latest(), Some(&(20, 9)));
+        store.record(R0, 10i64, 5);
+        store.record(R0, 20i64, 9);
+        // An independent partition's snapshots interleave with earlier
+        // timestamps — legal, they are separate sequences.
+        store.record(R3, 7i64, 2);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.latest(R0), Some(&(20, 9)));
+        assert_eq!(store.latest(R3), Some(&(7, 2)));
+        assert_eq!(store.nth(R0, 0), Some(&(10, 5)));
+        assert_eq!(store.nth(R0, 5), None);
+        assert_eq!(store.latest(WorkerId(9)), None);
+        assert_eq!(store.roots().collect::<Vec<_>>(), vec![R0, R3]);
+        assert_eq!(store.of_root(R0).len(), 2);
+        assert!(store.of_root(WorkerId(9)).is_empty());
     }
 
     #[test]
     fn extend_appends_in_order() {
         let mut store = CheckpointStore::new();
-        store.extend([(1i64, 1u64), (2, 2)]);
-        assert_eq!(store.latest(), Some(&(2, 2)));
+        store.extend([(R0, 1i64, 1u64), (R0, 2, 2), (R3, 5, 1)]);
+        assert_eq!(store.latest(R0), Some(&(2, 2)));
+        assert_eq!(store.latest(R3), Some(&(5, 1)));
     }
 
     #[test]

@@ -1,11 +1,19 @@
-//! Fault recovery orchestration (Appendix D.2 put to work).
+//! Fault recovery orchestration (Appendix D.2 put to work), per
+//! partition.
 //!
-//! [`run_with_recovery`] executes a workload on the thread driver with
-//! root-join checkpointing enabled and — if a crash is injected — drops
-//! everything after the crash point, restores the latest snapshot, and
-//! replays the remaining input suffix. Because a root-join snapshot is a
-//! consistent cut in dependence order, the spliced output equals the
-//! no-failure run exactly.
+//! A forest plan's trees share no dependence, so each tree is an
+//! independent **failure domain**: a crash in one partition is recovered
+//! from that partition's latest snapshot by replaying that partition's
+//! input suffix, while every other partition is untouched.
+//! [`run_with_recovery`] therefore drives each partition as its own
+//! checkpointed deployment (via [`Plan::partition_plan`]) and — if a
+//! crash is injected — drops everything after the crash point *in the
+//! partition owning the synchronizing stream*, restores its latest
+//! snapshot, and replays its remaining input. Because a root-join
+//! snapshot is a consistent cut in dependence order (and partitions are
+//! pairwise independent), the spliced output union equals the no-failure
+//! run exactly. A single-root plan degenerates to the paper's original
+//! whole-deployment recovery.
 
 use std::sync::Arc;
 
@@ -15,35 +23,40 @@ use dgs_plan::plan::Plan;
 
 use crate::checkpoint::{suffix_after, CheckpointStore};
 use crate::source::ScheduledStream;
-use crate::thread_driver::{run_threads, ThreadRunOptions, ThreadRunResult};
+use crate::thread_driver::{run_threads, ThreadRunOptions};
 
 /// Where to inject a crash.
 #[derive(Clone, Copy, Debug)]
 pub enum CrashPoint {
     /// No failure: a plain checkpointed run.
     None,
-    /// Crash immediately after the k-th checkpoint (0-based) was taken;
-    /// outputs after that checkpoint's trigger are lost and recovered by
-    /// replay.
+    /// Crash the partition owning the synchronizing stream immediately
+    /// after its k-th checkpoint (0-based) was taken; that partition's
+    /// outputs after the checkpoint's trigger are lost and recovered by
+    /// replay. Other partitions are independent and unaffected.
     AfterCheckpoint(usize),
 }
 
 /// Result of a (possibly recovered) run.
 #[derive(Debug)]
 pub struct RecoveredRun<S, Out> {
-    /// The spliced output stream (pre-crash prefix + replayed suffix).
+    /// The spliced output stream (crashed partition: pre-crash prefix +
+    /// replayed suffix; other partitions: their full runs).
     pub outputs: Vec<(Out, Timestamp)>,
-    /// Checkpoints taken across both phases.
+    /// Checkpoints taken across all partitions and phases, keyed by
+    /// partition root (original plan ids).
     pub store: CheckpointStore<S>,
     /// Whether a recovery actually happened.
     pub recovered: bool,
 }
 
-/// Run `plan` over `streams`, optionally injecting a crash and
-/// recovering from the latest snapshot.
+/// Run `plan` over `streams`, optionally injecting a crash into the
+/// partition owning `sync_stream` and recovering it from its latest
+/// snapshot.
 ///
-/// `sync_stream` is the stream carrying the root's synchronizing events
-/// (checkpoint triggers); it defines the order-`O` cut for replay.
+/// `sync_stream` is the stream carrying the crash partition root's
+/// synchronizing events (checkpoint triggers); it defines the order-`O`
+/// cut for replay.
 pub fn run_with_recovery<Prog>(
     prog: Arc<Prog>,
     plan: &Plan<Prog::Tag>,
@@ -56,39 +69,85 @@ where
     Prog::State: Send,
     Prog::Out: Send,
 {
-    let full: ThreadRunResult<Prog::State, Prog::Out> = run_threads(
-        prog.clone(),
-        plan,
-        streams.clone(),
-        ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
-    );
+    let mut outputs: Vec<(Prog::Out, Timestamp)> = Vec::new();
     let mut store = CheckpointStore::new();
-    let CrashPoint::AfterCheckpoint(k) = crash else {
-        store.extend(full.checkpoints);
-        return RecoveredRun { outputs: full.outputs, store, recovered: false };
-    };
-    let Some((snapshot, cut_ts)) = full.checkpoints.get(k).cloned() else {
-        // Crash point never reached: the run completed first.
-        store.extend(full.checkpoints);
-        return RecoveredRun { outputs: full.outputs, store, recovered: false };
-    };
-    // Keep only what survived the crash.
-    for (s, ts) in full.checkpoints.into_iter().take(k + 1) {
-        store.record(s, ts);
+    let mut recovered = false;
+    // Every stream must belong to some partition — fail loudly up front
+    // (as `run_threads`' feeder mapping would) instead of silently
+    // filtering an orphaned stream out of every sub-run.
+    for s in &streams {
+        assert!(
+            plan.responsible_for(&s.itag).is_some(),
+            "no worker responsible for {:?}",
+            s.itag
+        );
     }
-    let mut outputs: Vec<(Prog::Out, Timestamp)> =
-        full.outputs.into_iter().filter(|(_, ts)| *ts <= cut_ts).collect();
-    // Restart from the snapshot on the remaining input.
-    let suffix = suffix_after(&streams, cut_ts, sync_stream);
-    let resumed = run_threads(
-        prog,
-        plan,
-        suffix,
-        ThreadRunOptions { initial_state: Some(snapshot), checkpoint_root: true, ..Default::default() },
-    );
-    outputs.extend(resumed.outputs);
-    store.extend(resumed.checkpoints);
-    RecoveredRun { outputs, store, recovered: true }
+    // Each partition's sub-run must start from its chain-forked *share*
+    // of the initial state, exactly as a whole-forest `run_threads`
+    // would seed it — handing every partition the full `init()` would
+    // duplicate any non-neutral initial state across trees.
+    let seeds = crate::worker::partition_seeds(prog.as_ref(), plan, prog.init());
+    for (&root, seed) in plan.roots().iter().zip(seeds) {
+        let (sub_plan, _mapping) = plan.partition_plan(root);
+        let part_streams: Vec<ScheduledStream<Prog::Tag, Prog::Payload>> = streams
+            .iter()
+            .filter(|s| {
+                plan.responsible_for(&s.itag)
+                    .is_some_and(|w| plan.root_of(w) == root)
+            })
+            .cloned()
+            .collect();
+        let full = run_threads(
+            prog.clone(),
+            &sub_plan,
+            part_streams.clone(),
+            ThreadRunOptions {
+                initial_state: Some(seed),
+                checkpoint_root: true,
+                ..Default::default()
+            },
+        );
+        // Sub-run checkpoints carry the sub-plan's root id; re-key them to
+        // the original plan's root.
+        let rekey = |cps: Vec<(dgs_plan::plan::WorkerId, Prog::State, Timestamp)>| {
+            cps.into_iter().map(move |(_, s, t)| (root, s, t))
+        };
+        let owns_sync = part_streams.iter().any(|s| s.itag.stream == sync_stream);
+        let crash_k = match crash {
+            CrashPoint::AfterCheckpoint(k) if owns_sync => Some(k),
+            _ => None,
+        };
+        let Some((snapshot, cut_ts)) =
+            crash_k.and_then(|k| full.checkpoints.get(k).map(|(_, s, t)| (s.clone(), *t)))
+        else {
+            // No crash here (or the crash point was never reached — the
+            // partition completed first): a plain checkpointed run.
+            store.extend(rekey(full.checkpoints));
+            outputs.extend(full.outputs);
+            continue;
+        };
+        recovered = true;
+        // Keep only what survived the crash.
+        let k = crash_k.expect("crash point resolved");
+        let survived: Vec<_> = full.checkpoints.into_iter().take(k + 1).collect();
+        store.extend(rekey(survived));
+        outputs.extend(full.outputs.into_iter().filter(|(_, ts)| *ts <= cut_ts));
+        // Restart this partition from the snapshot on its remaining input.
+        let suffix = suffix_after(&part_streams, cut_ts, sync_stream);
+        let resumed = run_threads(
+            prog.clone(),
+            &sub_plan,
+            suffix,
+            ThreadRunOptions {
+                initial_state: Some(snapshot),
+                checkpoint_root: true,
+                ..Default::default()
+            },
+        );
+        outputs.extend(resumed.outputs);
+        store.extend(rekey(resumed.checkpoints));
+    }
+    RecoveredRun { outputs, store, recovered }
 }
 
 #[cfg(test)]
@@ -97,7 +156,7 @@ mod tests {
     use dgs_core::examples::{KcTag, KeyCounter};
     use dgs_core::spec::{run_sequential, sort_o};
     use dgs_core::tag::ITag;
-    use dgs_plan::plan::{Location, PlanBuilder};
+    use dgs_plan::plan::{Location, Plan, PlanBuilder};
     use crate::source::item_lists;
 
     fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
@@ -181,5 +240,175 @@ mod tests {
             CrashPoint::AfterCheckpoint(99),
         );
         assert!(!r.recovered);
+    }
+
+    /// A non-neutral initial state must be chain-forked across the
+    /// partitions, not duplicated into each. Outputs alone cannot tell
+    /// (a P-valid partition never *reads* another partition's keys), but
+    /// checkpoints can: a partition's snapshots must never contain state
+    /// belonging to another tree. (Regression: per-partition sub-runs
+    /// used to seed every tree with the full `init()`, so partition 2's
+    /// snapshots carried key 1's seed forever.)
+    #[test]
+    fn forest_partitions_share_a_non_neutral_initial_state() {
+        use dgs_core::event::Event;
+        use dgs_core::predicate::TagPredicate;
+        use std::collections::BTreeMap;
+
+        #[derive(Clone, Copy, Debug)]
+        struct SeededCounter;
+        impl dgs_core::program::DgsProgram for SeededCounter {
+            type Tag = KcTag;
+            type Payload = ();
+            type State = BTreeMap<u32, i64>;
+            type Out = (u32, i64);
+            fn init(&self) -> Self::State {
+                [(1, 100), (2, 200)].into()
+            }
+            fn depends(&self, a: &KcTag, b: &KcTag) -> bool {
+                KeyCounter.depends(a, b)
+            }
+            fn update(
+                &self,
+                state: &mut Self::State,
+                event: &Event<KcTag, ()>,
+                out: &mut Vec<(u32, i64)>,
+            ) {
+                KeyCounter.update(state, event, out)
+            }
+            fn fork(
+                &self,
+                state: Self::State,
+                l: &TagPredicate<KcTag>,
+                r: &TagPredicate<KcTag>,
+            ) -> (Self::State, Self::State) {
+                KeyCounter.fork(state, l, r)
+            }
+            fn join(&self, l: Self::State, r: Self::State) -> Self::State {
+                KeyCounter.join(l, r)
+            }
+        }
+
+        // Two three-worker trees, one per key (roots join, so they
+        // checkpoint).
+        let mut b = PlanBuilder::new();
+        let k1 = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let a1 = b.add([it(KcTag::Inc(1), 1)], Location(0));
+        let a2 = b.add([it(KcTag::Inc(1), 2)], Location(0));
+        b.attach(k1, a1);
+        b.attach(k1, a2);
+        let k2 = b.add([it(KcTag::ReadReset(2), 3)], Location(0));
+        let b1 = b.add([it(KcTag::Inc(2), 4)], Location(0));
+        let b2 = b.add([it(KcTag::Inc(2), 5)], Location(0));
+        b.attach(k2, b1);
+        b.attach(k2, b2);
+        let plan = b.build_forest();
+        let streams = vec![
+            ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 10, 10, 2, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 1, 5, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 2), 1, 1, 5, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::ReadReset(2), 3), 10, 10, 2, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(2), 4), 1, 1, 5, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(2), 5), 1, 1, 5, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+        ];
+        let want = {
+            let merged = sort_o(&item_lists(&streams));
+            let mut w = run_sequential(&SeededCounter, &merged).1;
+            w.sort();
+            w
+        };
+        let r = run_with_recovery(
+            Arc::new(SeededCounter),
+            &plan,
+            streams,
+            StreamId(0),
+            CrashPoint::None,
+        );
+        // Each seed is read exactly once (first read-reset reports
+        // 100/200 + the increments so far).
+        let mut got: Vec<_> = r.outputs.iter().map(|(o, _)| *o).collect();
+        got.sort();
+        assert_eq!(got, want);
+        // And the snapshots are partition-pure: no tree's checkpoints
+        // ever hold the other tree's key.
+        assert!(!r.store.of_root(k1).is_empty() && !r.store.of_root(k2).is_empty());
+        for (snap, _) in r.store.of_root(k1) {
+            assert!(!snap.contains_key(&2), "partition 1 leaked key 2: {snap:?}");
+        }
+        for (snap, _) in r.store.of_root(k2) {
+            assert!(!snap.contains_key(&1), "partition 2 holds key 1's seed: {snap:?}");
+        }
+    }
+
+    /// Forest recovery: crash the key-1 partition; the key-2 partition is
+    /// an independent failure domain and keeps its outputs untouched. The
+    /// spliced union still equals the no-failure sequential spec.
+    #[test]
+    fn forest_crash_recovers_only_the_owning_partition() {
+        let mut b = PlanBuilder::new();
+        let r1 = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let l1 = b.add([it(KcTag::Inc(1), 1)], Location(0));
+        let l2 = b.add([it(KcTag::Inc(1), 2)], Location(0));
+        b.attach(r1, l1);
+        b.attach(r1, l2);
+        let r2 = b.add([it(KcTag::ReadReset(2), 3)], Location(0));
+        let l3 = b.add([it(KcTag::Inc(2), 4)], Location(0));
+        b.attach(r2, l3);
+        let sib = b.add([it(KcTag::Inc(2), 5)], Location(0));
+        b.attach(r2, sib);
+        let plan = b.build_forest();
+        let streams = || {
+            let mut s = workload();
+            s.push(
+                ScheduledStream::periodic(it(KcTag::ReadReset(2), 3), 40, 40, 4, |_| ())
+                    .with_heartbeats(5)
+                    .closed(u64::MAX),
+            );
+            s.push(
+                ScheduledStream::periodic(it(KcTag::Inc(2), 4), 1, 3, 50, |_| ())
+                    .with_heartbeats(9)
+                    .closed(u64::MAX),
+            );
+            s.push(
+                ScheduledStream::periodic(it(KcTag::Inc(2), 5), 2, 3, 50, |_| ())
+                    .with_heartbeats(9)
+                    .closed(u64::MAX),
+            );
+            s
+        };
+        let want = {
+            let merged = sort_o(&item_lists(&streams()));
+            let mut w = run_sequential(&KeyCounter, &merged).1;
+            w.sort();
+            w
+        };
+        for k in 0..6 {
+            let r = run_with_recovery(
+                Arc::new(KeyCounter),
+                &plan,
+                streams(),
+                StreamId(0), // key-1 partition's synchronizing stream
+                CrashPoint::AfterCheckpoint(k),
+            );
+            assert!(r.recovered, "crash at {k}");
+            // 6 key-1 checkpoints re-established + 4 untouched key-2 ones.
+            assert_eq!(r.store.of_root(r1).len(), 6, "crash at {k}");
+            assert_eq!(r.store.of_root(r2).len(), 4, "crash at {k}");
+            let mut got: Vec<_> = r.outputs.iter().map(|(o, _)| *o).collect();
+            got.sort();
+            assert_eq!(got, want, "crash at checkpoint {k}");
+        }
     }
 }

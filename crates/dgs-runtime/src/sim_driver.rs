@@ -13,12 +13,12 @@ use std::sync::Arc;
 
 use dgs_core::event::{Event, Heartbeat, Timestamp};
 use dgs_core::program::DgsProgram;
-use dgs_plan::plan::Plan;
+use dgs_plan::plan::{Plan, WorkerId};
 use dgs_sim::{Actor, ActorId, Ctx, Engine, NodeId, SimTime, Topology};
 
 use crate::cost::CostModel;
 use crate::source::PacedSource;
-use crate::worker::{WorkerCore, WorkerMsg};
+use crate::worker::{partition_seeds, WorkerCore, WorkerMsg};
 
 /// Message type of a simulated Flumina deployment.
 pub enum SimMsg<T, P, S> {
@@ -33,12 +33,17 @@ pub enum SimMsg<T, P, S> {
 /// Shared, timestamped record sink.
 pub type SharedLog<T> = Rc<RefCell<Vec<(T, Timestamp)>>>;
 
+/// Shared, timestamped record sink tagged with the partition root that
+/// produced each entry (checkpoints of a forest plan).
+pub type SharedRootLog<T> = Rc<RefCell<Vec<(WorkerId, T, Timestamp)>>>;
+
 /// Shared handles into a running simulation.
 pub struct SimHandles<S, Out> {
     /// Outputs with the timestamp of the event that produced them.
     pub outputs: SharedLog<Out>,
-    /// Checkpoints taken at the root (empty unless enabled).
-    pub checkpoints: SharedLog<S>,
+    /// Checkpoints taken at the partition roots (empty unless enabled),
+    /// tagged with the root that took each snapshot.
+    pub checkpoints: SharedRootLog<S>,
 }
 
 /// Configuration of a simulated deployment.
@@ -95,7 +100,7 @@ struct WorkerActor<Prog: DgsProgram> {
     record_latency: bool,
     keep_outputs: bool,
     outputs: SharedLog<Prog::Out>,
-    checkpoints: SharedLog<Prog::State>,
+    checkpoints: SharedRootLog<Prog::State>,
 }
 
 type Msg<Prog> =
@@ -127,8 +132,8 @@ impl<Prog: DgsProgram> Actor<Msg<Prog>> for WorkerActor<Prog> {
                 self.outputs.borrow_mut().push((out, ts));
             }
         }
-        for cp in fx.checkpoints {
-            self.checkpoints.borrow_mut().push(cp);
+        for (state, ts) in fx.checkpoints {
+            self.checkpoints.borrow_mut().push((self.core.id(), state, ts));
         }
         for (dst, m) in fx.msgs {
             // Workers are actors 0..plan.len() in id order.
@@ -235,7 +240,9 @@ pub type BuiltSim<Prog> = (
 
 /// Build a simulated deployment: workers 0..plan.len() become actors (in
 /// worker-id order) and each source an additional actor. Returns the
-/// engine (seeded with the root's initial state) and output handles.
+/// engine and output handles. Forest plans are seeded per partition root
+/// (the initial state is chain-forked along the partition predicates);
+/// single-root plans receive `prog.init()` whole, as before.
 pub fn build_sim<Prog: DgsProgram + 'static>(
     prog: Arc<Prog>,
     plan: &Plan<Prog::Tag>,
@@ -267,7 +274,7 @@ pub fn build_sim<Prog: DgsProgram + 'static>(
             "plan places {id} on node {node} outside the topology"
         );
         let mut core = WorkerCore::from_plan(prog.clone(), plan, id);
-        if cfg.checkpoint_root && id == plan.root() {
+        if cfg.checkpoint_root && plan.roots().contains(&id) {
             core.checkpoint_on_join = true;
         }
         let actor = WorkerActor::<Prog> {
@@ -299,8 +306,12 @@ pub fn build_sim<Prog: DgsProgram + 'static>(
         };
         engine.add_actor(node, Box::new(actor));
     }
-    // Seed the root with the initial state.
-    engine.inject(0, ActorId(plan.root().0), SimMsg::Worker(WorkerMsg::StateDown { state: prog.init() }));
+    // Seed each partition root with its chain-forked share of the
+    // initial state (the whole state for single-root plans).
+    let seeds = partition_seeds(prog.as_ref(), plan, prog.init());
+    for (&root, seed) in plan.roots().iter().zip(seeds) {
+        engine.inject(0, ActorId(root.0), SimMsg::Worker(WorkerMsg::StateDown { state: seed }));
+    }
     (engine, SimHandles { outputs, checkpoints })
 }
 
@@ -401,6 +412,56 @@ mod tests {
         let (mut engine, handles) = build_sim(Arc::new(KeyCounter), &plan, sources, cfg);
         engine.run(None, 10_000_000);
         assert_eq!(handles.checkpoints.borrow().len(), 2);
+        assert!(handles.checkpoints.borrow().iter().all(|(r, _, _)| *r == plan.root()));
+    }
+
+    /// A two-partition forest on the simulator: both trees run to
+    /// quiescence independently, outputs cover both keys, and each
+    /// partition root checkpoints its own joins.
+    #[test]
+    fn forest_plan_runs_each_partition() {
+        let mut b = PlanBuilder::new();
+        let r1 = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let a1 = b.add([it(KcTag::Inc(1), 1)], Location(1));
+        let a2 = b.add([it(KcTag::Inc(1), 2)], Location(2));
+        b.attach(r1, a1);
+        b.attach(r1, a2);
+        let r2 = b.add([it(KcTag::ReadReset(2), 3)], Location(3));
+        let b1 = b.add([it(KcTag::Inc(2), 4)], Location(4));
+        let b2 = b.add([it(KcTag::Inc(2), 5)], Location(5));
+        b.attach(r2, b1);
+        b.attach(r2, b2);
+        let plan = b.build_forest();
+        let topo = Topology::uniform(6, LinkSpec::default());
+        let mut cfg = SimConfig::new(topo);
+        cfg.checkpoint_root = true;
+        let sources = vec![
+            PacedSource::new(it(KcTag::Inc(1), 1), Location(1), 500_000, 10, |_| ())
+                .heartbeat_every(200_000),
+            PacedSource::new(it(KcTag::Inc(1), 2), Location(2), 500_000, 10, |_| ())
+                .heartbeat_every(200_000),
+            PacedSource::new(it(KcTag::ReadReset(1), 0), Location(0), 3_000_000, 2, |_| ())
+                .heartbeat_every(200_000),
+            PacedSource::new(it(KcTag::Inc(2), 4), Location(4), 400_000, 12, |_| ())
+                .heartbeat_every(200_000),
+            PacedSource::new(it(KcTag::Inc(2), 5), Location(5), 400_000, 12, |_| ())
+                .heartbeat_every(200_000),
+            PacedSource::new(it(KcTag::ReadReset(2), 3), Location(3), 2_500_000, 3, |_| ())
+                .heartbeat_every(200_000),
+        ];
+        let (mut engine, handles) = build_sim(Arc::new(KeyCounter), &plan, sources, cfg);
+        let outcome = engine.run(None, u64::MAX);
+        assert_eq!(outcome, dgs_sim::engine::RunOutcome::QueueEmpty);
+        let outputs = handles.outputs.borrow();
+        // 2 + 3 read-resets; totals conserved per key.
+        assert_eq!(outputs.len(), 5);
+        let total_k1: i64 = outputs.iter().filter(|((k, _), _)| *k == 1).map(|((_, v), _)| *v).sum();
+        let total_k2: i64 = outputs.iter().filter(|((k, _), _)| *k == 2).map(|((_, v), _)| *v).sum();
+        assert_eq!((total_k1, total_k2), (20, 24));
+        // Per-root checkpoint attribution.
+        let cps = handles.checkpoints.borrow();
+        assert_eq!(cps.iter().filter(|(r, _, _)| *r == r1).count(), 2);
+        assert_eq!(cps.iter().filter(|(r, _, _)| *r == r2).count(), 3);
     }
 }
 

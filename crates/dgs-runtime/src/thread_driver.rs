@@ -32,17 +32,28 @@
 //! the ticketed mode's stronger ordering is a measurable artifact, not a
 //! requirement.
 //!
-//! Termination uses an in-flight message counter: every send increments
-//! it before the message enters a channel and every handled message
-//! decrements it afterwards, so the counter reads zero only at global
-//! quiescence once all sources have finished. The driver thread blocks
-//! on a condvar that the worker performing the final decrement signals —
-//! there is no polling loop anywhere on the termination path. Sends to a
-//! worker whose thread has already died (it panicked, or teardown is in
-//! progress) are *surrendered* rather than `expect`ed: the counter is
-//! re-credited for every undeliverable message so quiescence is still
-//! reached, and the worker's panic (if any) propagates when the thread
-//! scope joins.
+//! Termination uses **one in-flight message counter per plan partition**
+//! (forest plans run one independent tree per root; the fork/join
+//! protocol never crosses trees): every send increments the destination
+//! partition's counter before the message enters a channel and every
+//! handled message decrements it afterwards, so a counter reads zero only
+//! at that partition's quiescence once its sources have finished. The
+//! driver thread blocks on each partition's condvar in turn — partitions
+//! drain independently, there is no polling loop anywhere on the
+//! termination path, and a surrendered message (see below) re-credits
+//! only its own partition. Sends to a worker whose thread has already
+//! died (it panicked, or teardown is in progress) are *surrendered*
+//! rather than `expect`ed: the partition counter is re-credited for every
+//! undeliverable message so quiescence is still reached, and the worker's
+//! panic (if any) propagates when the thread scope joins.
+//!
+//! Forest plans are seeded per root: the initial (or recovered) state is
+//! chain-forked along the partition predicates
+//! ([`partition_seeds`]) and each root
+//! receives its share directly — no synthetic coordinator worker exists
+//! to fork it at runtime. Checkpointing (`checkpoint_root`) snapshots at
+//! *every* partition root's joins; each checkpoint is tagged with the
+//! root that took it.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -53,10 +64,10 @@ use crossbeam::edge;
 
 use dgs_core::event::{StreamItem, Timestamp};
 use dgs_core::program::DgsProgram;
-use dgs_plan::plan::Plan;
+use dgs_plan::plan::{Plan, WorkerId};
 
 use crate::source::ScheduledStream;
-use crate::worker::{WorkerCore, WorkerMsg};
+use crate::worker::{partition_seeds, WorkerCore, WorkerMsg};
 
 enum ThreadMsg<T, P, S> {
     Protocol(WorkerMsg<T, P, S>),
@@ -72,21 +83,33 @@ type EdgeRoutes<T, P, S> = Vec<Option<EdgeSender<T, P, S>>>;
 /// Delivery discipline connecting worker threads.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ChannelMode {
-    /// One SPSC FIFO queue per `(sender, receiver)` edge; per-edge FIFO
-    /// is the *only* ordering guarantee (Theorem 3.5's assumption 4).
-    /// Batched sends, bounded backpressured ingress.
+    /// One lock-free SPSC ring per `(sender, receiver)` edge
+    /// (cache-padded head/tail indices; bounded rings with blocking
+    /// backpressure on ingress, segmented unbounded rings on protocol
+    /// edges); per-edge FIFO is the *only* ordering guarantee (Theorem
+    /// 3.5's assumption 4). Batched sends.
     #[default]
     PerEdge,
+    /// The same per-edge topology on mutex-protected `VecDeque`s (the
+    /// pre-ring plane, kept selectable for wallclock A/B via `--modes`).
+    PerEdgeMutex,
     /// One ticket-ordered MPMC queue per worker: global send-order
-    /// delivery (the pre-refactor message plane, kept for A/B runs).
+    /// delivery (the original message plane, kept for A/B runs).
     Ticketed,
 }
 
 impl ChannelMode {
     /// Stable lower-case name used by benchmark artifacts and CLIs.
+    ///
+    /// Artifact names follow the *measured implementation*, not the
+    /// enum: `PerEdgeMutex` is the storage every pre-ring trajectory
+    /// captured under the name `"per-edge"`, so it keeps that name and
+    /// its cells stay comparable across captures; the ring plane gets
+    /// the new name `"per-edge-ring"` (its cells start a fresh series).
     pub fn name(self) -> &'static str {
         match self {
-            ChannelMode::PerEdge => "per-edge",
+            ChannelMode::PerEdge => "per-edge-ring",
+            ChannelMode::PerEdgeMutex => "per-edge",
             ChannelMode::Ticketed => "ticketed",
         }
     }
@@ -211,14 +234,39 @@ pub struct ThreadRunResult<S, Out> {
     /// All outputs with their triggering event timestamps (arbitrary
     /// interleaving across workers).
     pub outputs: Vec<(Out, Timestamp)>,
-    /// Root checkpoints, in order (empty unless enabled).
-    pub checkpoints: Vec<(S, Timestamp)>,
+    /// Root checkpoints (empty unless enabled), each tagged with the
+    /// partition root that took it. A forest plan checkpoints each
+    /// partition independently; per-root order is by trigger timestamp,
+    /// cross-root interleaving is arbitrary.
+    pub checkpoints: Vec<(WorkerId, S, Timestamp)>,
+    /// Per-worker protocol effect counters (always collected — tallied
+    /// thread-locally in each worker loop and flushed once at thread
+    /// exit, so collection costs nothing on the per-message hot path).
+    pub effects: RunEffects,
     /// Wall-clock measurements (populated when
     /// [`ThreadRunOptions::record_timing`] is set).
     pub timing: Option<RunTiming>,
 }
 
-/// Wall-clock measurements of one threaded run.
+/// Per-worker protocol work performed during one run, indexed by plan
+/// worker id. The acceptance instrument for plan-shape refactors: e.g. a
+/// forest plan must show *zero* joins anywhere outside its partitions'
+/// own synchronizers, where the old synthetic coordinator showed seeding
+/// forks and shutdown traffic.
+#[derive(Debug, Clone, Default)]
+pub struct RunEffects {
+    /// Messages handled per worker.
+    pub msgs: Vec<u64>,
+    /// `update` calls per worker.
+    pub updates: Vec<u64>,
+    /// `join` calls per worker.
+    pub joins: Vec<u64>,
+    /// `fork` calls per worker.
+    pub forks: Vec<u64>,
+}
+
+/// Wall-clock measurements of one threaded run. Per-worker message
+/// counts live in [`RunEffects::msgs`] (always collected), not here.
 #[derive(Debug, Clone)]
 pub struct RunTiming {
     /// Sources started → global quiescence.
@@ -231,8 +279,6 @@ pub struct RunTiming {
     /// benchmark. Empty when the run is unpaced (full-speed feeding has
     /// no meaningful per-event reference time).
     pub output_latency_ns: Vec<u64>,
-    /// Protocol messages handled per worker, indexed by worker id.
-    pub worker_msgs: Vec<u64>,
 }
 
 /// Options for [`run_threads`].
@@ -303,11 +349,25 @@ where
     >;
 
     let n = plan.len();
-    let in_flight = Arc::new(InFlight::new());
+    // One quiescence counter per plan partition: the protocol never sends
+    // across trees, so each tree seeds, runs, and drains independently.
+    let part_of: Vec<usize> = (0..n).map(|i| plan.partition_index(WorkerId(i))).collect();
+    let in_flights: Vec<Arc<InFlight>> =
+        (0..plan.partition_count()).map(|_| Arc::new(InFlight::new())).collect();
     let (out_tx, out_rx) = unbounded::<(Prog::Out, Timestamp, Instant)>();
-    let (cp_tx, cp_rx) = unbounded::<(Prog::State, Timestamp)>();
-    let msg_counts: Arc<Vec<AtomicU64>> =
-        Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+    let (cp_tx, cp_rx) = unbounded::<(WorkerId, Prog::State, Timestamp)>();
+    // Effect counters are accumulated *thread-locally* in each worker
+    // loop and stored here once at thread exit — per-message atomic RMWs
+    // on adjacent slots would put false sharing on the exact hot path
+    // the wallclock benchmarks measure. The driver reads them only after
+    // the scope joins.
+    let counters = |n: usize| -> Arc<Vec<AtomicU64>> {
+        Arc::new((0..n).map(|_| AtomicU64::new(0)).collect())
+    };
+    let msg_counts = counters(n);
+    let update_counts = counters(n);
+    let join_counts = counters(n);
+    let fork_counts = counters(n);
 
     // Wire the message plane. Per worker: an inbound port, an outgoing
     // route table, plus driver-held routes (seed + shutdown) and one
@@ -341,7 +401,17 @@ where
                 (0..streams.len()).map(|_| Outbound::Ticketed(senders.clone())).collect();
             driver_routes = Outbound::Ticketed(senders);
         }
-        ChannelMode::PerEdge => {
+        ChannelMode::PerEdge | ChannelMode::PerEdgeMutex => {
+            let ring = options.channel_mode == ChannelMode::PerEdge;
+            // `None` capacity = unbounded (mutex deque, or segmented
+            // ring); `Some(n)` = bounded with blocking backpressure.
+            let new_edge = |h: &edge::InboxHandle<Msg<Prog>>, cap: Option<usize>| {
+                if ring {
+                    h.ring_edge(cap)
+                } else {
+                    h.edge(cap)
+                }
+            };
             let handles: Vec<edge::InboxHandle<Msg<Prog>>> = (0..n)
                 .map(|_| {
                     let inbox = edge::inbox();
@@ -357,7 +427,7 @@ where
                 let mut routes: EdgeRoutes<Prog::Tag, Prog::Payload, Prog::State> =
                     (0..n).map(|_| None).collect();
                 for peer in w.children.iter().copied().chain(w.parent) {
-                    routes[peer.0] = Some(handles[peer.0].edge(None));
+                    routes[peer.0] = Some(new_edge(&handles[peer.0], None));
                 }
                 worker_routes.push(Outbound::PerEdge(routes));
             }
@@ -366,25 +436,31 @@ where
                 .iter()
                 .map(|&dst| {
                     let mut routes: Vec<Option<_>> = (0..n).map(|_| None).collect();
-                    routes[dst] = Some(handles[dst].edge(Some(options.ingress_capacity)));
+                    routes[dst] = Some(new_edge(&handles[dst], Some(options.ingress_capacity)));
                     Outbound::PerEdge(routes)
                 })
                 .collect();
             // Driver edges: seed StateDown + Shutdown, unbounded.
             driver_routes = Outbound::PerEdge(
-                handles.iter().map(|h| Some(h.edge(None))).collect(),
+                handles.iter().map(|h| Some(new_edge(h, None))).collect(),
             );
         }
     }
 
-    // Seed the root.
+    // Seed each partition root with its share of the initial state
+    // (chain-forked along the partition predicates; a single-root plan
+    // receives the state whole).
     let initial = options.initial_state.unwrap_or_else(|| prog.init());
-    in_flight.inc();
-    let lost = driver_routes.send_run(
-        plan.root().0,
-        std::iter::once(ThreadMsg::Protocol(WorkerMsg::StateDown { state: initial })),
-    );
-    in_flight.sub(lost as u64);
+    let seeds = partition_seeds(prog.as_ref(), plan, initial);
+    for (&root, seed) in plan.roots().iter().zip(seeds) {
+        let in_flight = &in_flights[part_of[root.0]];
+        in_flight.inc();
+        let lost = driver_routes.send_run(
+            root.0,
+            std::iter::once(ThreadMsg::Protocol(WorkerMsg::StateDown { state: seed })),
+        );
+        in_flight.sub(lost as u64);
+    }
 
     let pace = options.pace_ns_per_tick;
     let start = Instant::now();
@@ -392,7 +468,7 @@ where
         // Workers.
         for (id, _) in plan.iter() {
             let mut core = WorkerCore::from_plan(prog.clone(), plan, id);
-            if options.checkpoint_root && id == plan.root() {
+            if options.checkpoint_root && plan.roots().contains(&id) {
                 core.checkpoint_on_join = true;
             }
             let ticketed_rx = inbounds[id.0].take();
@@ -401,10 +477,13 @@ where
                 &mut worker_routes[id.0],
                 Outbound::Ticketed(Vec::new()),
             );
-            let in_flight = in_flight.clone();
+            let in_flight = in_flights[part_of[id.0]].clone();
             let out_tx = out_tx.clone();
             let cp_tx = cp_tx.clone();
             let msg_counts = msg_counts.clone();
+            let update_counts = update_counts.clone();
+            let join_counts = join_counts.clone();
+            let fork_counts = fork_counts.clone();
             scope.spawn(move || {
                 // If this thread unwinds (a panicking program handler),
                 // credits it accepted would never be retired and the
@@ -427,12 +506,17 @@ where
                         (None, None) => unreachable!("worker without an inbound port"),
                     }
                 };
+                // Thread-local effect tally (flushed once at exit).
+                let (mut msgs, mut updates, mut joins, mut forks) = (0u64, 0u64, 0u64, 0u64);
                 while let Some(msg) = recv() {
                     match msg {
                         ThreadMsg::Shutdown => break,
                         ThreadMsg::Protocol(wm) => {
-                            msg_counts[id.0].fetch_add(1, Ordering::Relaxed);
+                            msgs += 1;
                             let mut fx = core.handle(wm);
+                            updates += fx.updates;
+                            joins += fx.joins;
+                            forks += fx.forks;
                             // Route in destination runs: consecutive
                             // messages to one worker travel as one
                             // batched enqueue (one lock, one wakeup) in
@@ -462,13 +546,19 @@ where
                                     .send((o, ts, Instant::now()))
                                     .expect("output channel closed");
                             }
-                            for cp in fx.checkpoints {
-                                cp_tx.send(cp).expect("checkpoint channel closed");
+                            for (state, ts) in fx.checkpoints {
+                                cp_tx
+                                    .send((id, state, ts))
+                                    .expect("checkpoint channel closed");
                             }
                             in_flight.dec();
                         }
                     }
                 }
+                msg_counts[id.0].store(msgs, Ordering::Relaxed);
+                update_counts[id.0].store(updates, Ordering::Relaxed);
+                join_counts[id.0].store(joins, Ordering::Relaxed);
+                fork_counts[id.0].store(forks, Ordering::Relaxed);
             });
         }
 
@@ -480,7 +570,7 @@ where
             .zip(feeder_routes.drain(..))
             .zip(feeder_dsts.iter().copied())
             .map(|((stream, route), dst)| {
-                let in_flight = in_flight.clone();
+                let in_flight = in_flights[part_of[dst]].clone();
                 scope.spawn(move || {
                     const FEED_BATCH: usize = 64;
                     let mut batch: Vec<Msg<Prog>> = Vec::with_capacity(FEED_BATCH);
@@ -515,9 +605,13 @@ where
             f.join().expect("feeder panicked");
         }
 
-        // Quiescence: all sources done and nothing in flight. The final
-        // decrement signals the condvar; no polling.
-        in_flight.wait_zero();
+        // Quiescence: all sources done and nothing in flight in any
+        // partition. Each partition's final decrement signals its own
+        // condvar; the driver visits them in turn — no polling, and a
+        // partition that drained early never blocks the check of another.
+        for in_flight in &in_flights {
+            in_flight.wait_zero();
+        }
         // Teardown: a worker that already exited just leaves its shutdown
         // message undelivered — nothing to panic about.
         for w in 0..n {
@@ -545,11 +639,17 @@ where
                     .collect()
             })
             .unwrap_or_default(),
-        worker_msgs: msg_counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
     });
+    let drain = |cs: &Arc<Vec<AtomicU64>>| cs.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     ThreadRunResult {
         outputs: stamped.into_iter().map(|(o, ts, _)| (o, ts)).collect(),
         checkpoints: cp_rx.iter().collect(),
+        effects: RunEffects {
+            msgs: drain(&msg_counts),
+            updates: drain(&update_counts),
+            joins: drain(&join_counts),
+            forks: drain(&fork_counts),
+        },
         timing,
     }
 }
@@ -637,16 +737,16 @@ mod tests {
         }
     }
 
-    /// Both delivery planes implement the same contract: identical output
+    /// All delivery planes implement the same contract: identical output
     /// multisets, matching the sequential spec.
     #[test]
-    fn both_channel_modes_match_sequential_spec() {
+    fn all_channel_modes_match_sequential_spec() {
         let plan = counter_plan();
         let expect = {
             let merged = sort_o(&item_lists(&workload()));
             run_sequential(&KeyCounter, &merged).1
         };
-        for mode in [ChannelMode::PerEdge, ChannelMode::Ticketed] {
+        for mode in [ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed] {
             let result = run_threads(
                 Arc::new(KeyCounter),
                 &plan,
@@ -695,7 +795,7 @@ mod tests {
             }
         }
 
-        for mode in [ChannelMode::PerEdge, ChannelMode::Ticketed] {
+        for mode in [ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed] {
             let mut b = PlanBuilder::new();
             let root = b.add([ITag::new('v', StreamId(0))], Location(0));
             let plan = b.build(root);
@@ -754,13 +854,90 @@ mod tests {
             workload(),
             ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
         );
-        // One checkpoint per root join (8 read-resets).
+        // One checkpoint per root join (8 read-resets), all tagged with
+        // the single partition root.
         assert_eq!(result.checkpoints.len(), 8);
+        assert!(result.checkpoints.iter().all(|(root, _, _)| *root == plan.root()));
         // Checkpoints are ordered by trigger timestamp.
-        let ts: Vec<_> = result.checkpoints.iter().map(|(_, t)| *t).collect();
+        let ts: Vec<_> = result.checkpoints.iter().map(|(_, _, t)| *t).collect();
         let mut sorted = ts.clone();
         sorted.sort();
         assert_eq!(ts, sorted);
+    }
+
+    /// A two-partition forest: each tree seeds, runs, checkpoints, and
+    /// drains independently; outputs equal the sequential spec and the
+    /// effect counters show joins only at the partition synchronizers.
+    #[test]
+    fn forest_runs_partitions_independently() {
+        // Keys 1 and 2 as independent trees: root{r(k)} — {i(k)}, {i(k)}.
+        let mut b = PlanBuilder::new();
+        let r1 = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let l1 = b.add([it(KcTag::Inc(1), 1)], Location(0));
+        let l2 = b.add([it(KcTag::Inc(1), 2)], Location(0));
+        b.attach(r1, l1);
+        b.attach(r1, l2);
+        let r2 = b.add([it(KcTag::ReadReset(2), 3)], Location(0));
+        let l3 = b.add([it(KcTag::Inc(2), 4)], Location(0));
+        let l4 = b.add([it(KcTag::Inc(2), 5)], Location(0));
+        b.attach(r2, l3);
+        b.attach(r2, l4);
+        let plan = b.build_forest();
+        assert_eq!(plan.roots(), &[r1, r2]);
+        let streams = || {
+            vec![
+                ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 50, 50, 4, |_| ())
+                    .with_heartbeats(5)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 3, 60, |_| ())
+                    .with_heartbeats(7)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(1), 2), 2, 3, 60, |_| ())
+                    .with_heartbeats(7)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::ReadReset(2), 3), 70, 70, 3, |_| ())
+                    .with_heartbeats(5)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(2), 4), 1, 4, 50, |_| ())
+                    .with_heartbeats(9)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(2), 5), 2, 4, 50, |_| ())
+                    .with_heartbeats(9)
+                    .closed(u64::MAX),
+            ]
+        };
+        let expect = {
+            let merged = sort_o(&item_lists(&streams()));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        for mode in [ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed] {
+            let result = run_threads(
+                Arc::new(KeyCounter),
+                &plan,
+                streams(),
+                ThreadRunOptions {
+                    checkpoint_root: true,
+                    channel_mode: mode,
+                    ..Default::default()
+                },
+            );
+            let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+            let mut want = expect.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "mode {mode:?}");
+            // Checkpoints are per partition root: 4 for key 1, 3 for key 2.
+            let count = |root| {
+                result.checkpoints.iter().filter(|(r, _, _)| *r == root).count() as u64
+            };
+            assert_eq!((count(r1), count(r2)), (4, 3), "mode {mode:?}");
+            // Joins happen exactly at the partition synchronizers.
+            assert_eq!(result.effects.joins[r1.0], 4, "mode {mode:?}");
+            assert_eq!(result.effects.joins[r2.0], 3, "mode {mode:?}");
+            for leaf in [l1, l2, l3, l4] {
+                assert_eq!(result.effects.joins[leaf.0], 0, "mode {mode:?}");
+            }
+        }
     }
 
     #[test]
@@ -838,8 +1015,8 @@ mod tests {
         // Outputs ride on paced barrier events; latency is well under the
         // whole run but nonzero in aggregate.
         assert!(timing.output_latency_ns.iter().all(|&l| l < timing.wall.as_nanos() as u64));
-        assert_eq!(timing.worker_msgs.len(), plan.len());
-        assert!(timing.worker_msgs.iter().sum::<u64>() > 0);
+        assert_eq!(result.effects.msgs.len(), plan.len());
+        assert!(result.effects.msgs.iter().sum::<u64>() > 0);
     }
 
     #[test]
@@ -859,6 +1036,6 @@ mod tests {
         );
         let timing = result.timing.expect("timing requested");
         assert!(timing.output_latency_ns.is_empty());
-        assert_eq!(timing.worker_msgs.len(), plan.len());
+        assert_eq!(result.effects.msgs.len(), plan.len());
     }
 }

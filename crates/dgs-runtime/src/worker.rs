@@ -161,6 +161,39 @@ pub struct WorkerCore<Prog: DgsProgram> {
     pub checkpoint_on_join: bool,
 }
 
+/// Split an initial (or recovered) global state into one seed per
+/// partition root of a forest plan, by chain-forking along the partition
+/// predicates: root `i` receives `fork(rest, pred(root_i), pred(roots
+/// i+1..))`'s left half and the right half carries on. For a single-root
+/// plan the state passes through untouched. This is the driver-side dual
+/// of the synthetic coordinator's old seeding fork — the fork still
+/// happens (C2 requires it for correctness), but no worker, mailbox, or
+/// channel is spent on it.
+pub fn partition_seeds<Prog: DgsProgram>(
+    prog: &Prog,
+    plan: &Plan<Prog::Tag>,
+    initial: Prog::State,
+) -> Vec<Prog::State> {
+    let roots = plan.roots();
+    if roots.len() == 1 {
+        return vec![initial];
+    }
+    let mut seeds = Vec::with_capacity(roots.len());
+    let mut rest = initial;
+    for i in 0..roots.len() - 1 {
+        let mine = plan.subtree_predicate(roots[i]);
+        let mut rest_pred = TagPredicate::empty();
+        for &r in &roots[i + 1..] {
+            rest_pred = rest_pred.union(&plan.subtree_predicate(r));
+        }
+        let (m, r) = prog.fork(rest, &mine, &rest_pred);
+        seeds.push(m);
+        rest = r;
+    }
+    seeds.push(rest);
+    seeds
+}
+
 impl<Prog: DgsProgram> WorkerCore<Prog> {
     /// Build the core for worker `id` of `plan`.
     ///

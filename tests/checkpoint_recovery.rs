@@ -33,10 +33,12 @@ fn recovery_from_any_checkpoint_reproduces_the_spec() {
     let mut store = CheckpointStore::new();
     store.extend(full.checkpoints.clone());
     assert_eq!(store.len() as u64, w.barriers);
+    let root = w.plan().root();
+    assert_eq!(store.of_root(root).len() as u64, w.barriers);
 
     // Simulate a crash right after each checkpoint in turn: restart from
     // the snapshot on the input suffix and splice the outputs.
-    for (k, (snapshot, cut_ts)) in full.checkpoints.iter().enumerate() {
+    for (k, (_, snapshot, cut_ts)) in full.checkpoints.iter().enumerate() {
         let suffix = suffix_after(&streams, *cut_ts, barrier_stream);
         let resumed = run_threads(
             Arc::new(ValueBarrier),
@@ -71,7 +73,7 @@ fn snapshot_state_is_consistent_cut() {
         streams,
         ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
-    for (snapshot, cut_ts) in &full.checkpoints {
+    for (_, snapshot, cut_ts) in &full.checkpoints {
         let prefix: Vec<_> = merged
             .iter()
             .filter(|e| {

@@ -80,7 +80,7 @@ fn pair_split_checkpoint_state_is_the_reassembled_pair() {
     );
     assert_eq!(result.checkpoints.len(), 1);
     // The snapshot is the joined pair: 20 A's of 1 and 20 B's of 2.
-    assert_eq!(result.checkpoints[0].0, PsState::Both { a: 20, b: 40 });
+    assert_eq!(result.checkpoints[0].1, PsState::Both { a: 20, b: 40 });
     assert_eq!(result.outputs.len(), 1);
     assert_eq!(result.outputs[0].0, 60);
 }

@@ -41,7 +41,7 @@ fn switching_plans_mid_stream_preserves_semantics() {
         ThreadRunOptions { initial_state: None, checkpoint_root: true, ..Default::default() },
     );
     // Reconfigure at the third barrier.
-    let (snapshot, cut_ts) = phase1.checkpoints[2];
+    let (_, snapshot, cut_ts) = phase1.checkpoints[2];
 
     // Phase 2 candidates: a random plan, and even a sequential plan.
     let plans = [common::random_valid_plan(&w.itags(), &dep, 42),

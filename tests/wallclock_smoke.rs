@@ -10,7 +10,7 @@
 //! and validator, i.e. what CI captures is what the schema promises.
 
 use dgs_bench::report::{self, Json};
-use dgs_bench::wallclock::{self, SweepSpec};
+use dgs_bench::wallclock::{self, SweepSpec, SWEEP_WORKLOADS};
 use flumina::runtime::thread_driver::ChannelMode;
 
 #[test]
@@ -18,13 +18,17 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
     let spec = SweepSpec {
         workers: vec![1, 3],
         rates: vec![0, 500_000],
-        modes: vec![ChannelMode::PerEdge, ChannelMode::Ticketed],
+        modes: vec![ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed],
         per_window: 25,
         windows: 4,
         check_spec: true,
     };
     let points = wallclock::sweep(&spec);
-    assert_eq!(points.len(), 3 * 2 * 2 * 2, "modes × workloads × workers × rates");
+    assert_eq!(
+        points.len(),
+        SWEEP_WORKLOADS * 3 * 2 * 2,
+        "modes × workloads × workers × rates"
+    );
 
     for p in &points {
         // Theorem 3.5: output multiset == sequential spec, every run.

@@ -13,16 +13,20 @@
 //!
 //! Differences from the real crate, by design:
 //!
-//! * **Minimal shrinking.** A failing case is minimized by greedy
-//!   halving/decrement descent ([`strategy::Strategy::shrink`]): integer
-//!   ranges bisect toward their start, `Vec`s drop halves and trailing
-//!   elements then simplify elements, booleans prefer `false`, tuples
-//!   shrink component-wise, and `prop_filter` shrinks through its
-//!   predicate. Strategies whose outputs cannot be mapped back to
-//!   inputs (`prop_map`, `prop_flat_map`, `prop_shuffle`) report their
-//!   counterexample unshrunk — the real crate's `ValueTree` machinery
-//!   (which remembers pre-map inputs) is out of scope for a stand-in.
-//!   The minimal failing input is appended to the panic message.
+//! * **Tree-based shrinking.** Every strategy draws a
+//!   [`ValueTree`](strategy::ValueTree) (value + provenance), and a
+//!   failing case is minimized by greedy descent over candidate trees:
+//!   integer ranges bisect toward their start, `Vec`s drop halves and
+//!   trailing elements then simplify elements, booleans prefer `false`,
+//!   tuples shrink component-wise, `prop_filter` shrinks through its
+//!   predicate, and — because trees remember their pre-map inputs,
+//!   dependent-generation seeds, and permutation seeds — shrinking
+//!   threads through `prop_map`, `prop_flat_map`, and `prop_shuffle`
+//!   too (the divergence earlier versions of this stand-in documented is
+//!   closed). `BTreeMap`/`BTreeSet` collections still report their
+//!   counterexample unshrunk. The real crate's lazy
+//!   `simplify`/`complicate` walk is approximated by eager candidate
+//!   lists. The minimal failing input is appended to the panic message.
 //! * **Deterministic seeding.** Each test's RNG is seeded from a hash of
 //!   the test name xor `PROPTEST_RNG_SEED` (default 0), so failures
 //!   reproduce across runs and machines.
@@ -155,28 +159,29 @@ pub mod test_runner {
     const SHRINK_BUDGET: usize = 10_000;
 
     /// Like [`run_cases`], but the runner owns generation through a
-    /// [`Strategy`](crate::strategy::Strategy), so a failing case is
-    /// *shrunk* before being reported: candidates from
-    /// `Strategy::shrink` that still fail replace the counterexample,
-    /// repeatedly, until none does (greedy descent, budget-bounded). The
-    /// panic message then carries the minimal failing input. This closes
-    /// the stand-in's historical "no shrinking" divergence for the
-    /// integer, boolean, `Vec`, tuple, and filter strategies; mapped
-    /// strategies still report their first counterexample unshrunk (see
-    /// `Strategy::shrink`).
+    /// [`Strategy`](crate::strategy::Strategy) and its
+    /// [`ValueTree`](crate::strategy::ValueTree)s, so a failing case is
+    /// *shrunk* before being reported: candidate trees from
+    /// `ValueTree::shrink` whose values still fail replace the
+    /// counterexample, repeatedly, until none does (greedy descent,
+    /// budget-bounded). Because trees carry provenance, shrinking works
+    /// through `prop_map` / `prop_flat_map` / `prop_shuffle` stacks. The
+    /// panic message then carries the minimal failing input.
     pub fn run_cases_shrink<S, F>(name: &str, config: Config, strat: S, mut case: F)
     where
         S: crate::strategy::Strategy,
         S::Value: Clone + std::fmt::Debug,
         F: FnMut(&S::Value) -> Result<(), TestCaseError>,
     {
+        use crate::strategy::ValueTree as _;
         let cases = case_count_override().unwrap_or(config.cases);
         let mut rng = rng_for(name);
         let mut passed = 0u32;
         let mut rejected = 0u64;
         let reject_budget = cases as u64 * 64 + 1_024;
         while passed < cases {
-            let value = strat.generate(&mut rng);
+            let tree = strat.new_tree(&mut rng);
+            let value = tree.current();
             match case(&value) {
                 Ok(()) => passed += 1,
                 Err(TestCaseError::Reject(_)) => {
@@ -189,7 +194,7 @@ pub mod test_runner {
                     );
                 }
                 Err(TestCaseError::Fail(msg)) => {
-                    let (min, min_msg, steps) = shrink_failure(&strat, value, msg, &mut case);
+                    let (min, min_msg, steps) = shrink_failure(tree, msg, &mut case);
                     panic!(
                         "property `{name}` failed after {passed} passing cases: {min_msg}\n\
                          minimal failing input (after {steps} shrink steps): {min:?}"
@@ -199,30 +204,29 @@ pub mod test_runner {
         }
     }
 
-    /// Greedy shrink descent: take the first candidate that still fails,
-    /// restart from it, stop when no candidate fails (or the budget is
-    /// spent). Rejected candidates (`prop_assume!`) count as passing —
-    /// they are not valid counterexamples.
-    fn shrink_failure<S, F>(
-        strat: &S,
-        mut current: S::Value,
+    /// Greedy shrink descent over value trees: take the first candidate
+    /// whose value still fails, restart from it, stop when no candidate
+    /// fails (or the budget is spent). Rejected candidates
+    /// (`prop_assume!`) count as passing — they are not valid
+    /// counterexamples.
+    fn shrink_failure<V, F>(
+        mut current: V,
         mut message: String,
         case: &mut F,
-    ) -> (S::Value, String, usize)
+    ) -> (V::Value, String, usize)
     where
-        S: crate::strategy::Strategy,
-        S::Value: Clone,
-        F: FnMut(&S::Value) -> Result<(), TestCaseError>,
+        V: crate::strategy::ValueTree,
+        F: FnMut(&V::Value) -> Result<(), TestCaseError>,
     {
         let mut steps = 0usize;
         let mut budget = SHRINK_BUDGET;
         'descend: loop {
-            for candidate in strat.shrink(&current) {
+            for candidate in current.shrink() {
                 if budget == 0 {
                     break 'descend;
                 }
                 budget -= 1;
-                if let Err(TestCaseError::Fail(msg)) = case(&candidate) {
+                if let Err(TestCaseError::Fail(msg)) = case(&candidate.current()) {
                     current = candidate;
                     message = msg;
                     steps += 1;
@@ -231,13 +235,13 @@ pub mod test_runner {
             }
             break;
         }
-        (current, message, steps)
+        (current.current(), message, steps)
     }
 }
 
 /// Boolean strategies, mirroring `proptest::bool`.
 pub mod bool {
-    use crate::strategy::Strategy;
+    use crate::strategy::{Strategy, ValueTree};
     use crate::test_runner::TestRng;
     use rand::Rng;
 
@@ -248,16 +252,29 @@ pub mod bool {
     /// Uniformly random booleans, mirroring `proptest::bool::ANY`.
     pub const ANY: Any = Any;
 
-    impl Strategy for Any {
+    /// Tree of one boolean draw.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolTree(bool);
+
+    impl ValueTree for BoolTree {
         type Value = bool;
 
-        fn generate(&self, rng: &mut TestRng) -> bool {
-            rng.gen_bool(0.5)
+        fn current(&self) -> bool {
+            self.0
         }
 
-        fn shrink(&self, value: &bool) -> Vec<bool> {
+        fn shrink(&self) -> Vec<Self> {
             // `false` is the canonical simplest boolean.
-            if *value { vec![false] } else { Vec::new() }
+            if self.0 { vec![BoolTree(false)] } else { Vec::new() }
+        }
+    }
+
+    impl Strategy for Any {
+        type Value = bool;
+        type Tree = BoolTree;
+
+        fn new_tree(&self, rng: &mut TestRng) -> BoolTree {
+            BoolTree(rng.gen_bool(0.5))
         }
     }
 }
@@ -267,7 +284,7 @@ pub mod collection {
     use std::collections::{BTreeMap, BTreeSet};
     use std::ops::Range;
 
-    use crate::strategy::Strategy;
+    use crate::strategy::{JustTree, Strategy, ValueTree};
     use crate::test_runner::TestRng;
     use rand::Rng;
 
@@ -284,41 +301,66 @@ pub mod collection {
         VecStrategy { elem, size }
     }
 
-    impl<S> Strategy for VecStrategy<S>
-    where
-        S: Strategy,
-        S::Value: Clone,
-    {
-        type Value = Vec<S::Value>;
+    /// Tree of a generated `Vec`: one element tree per slot plus the
+    /// length floor the strategy promised.
+    #[derive(Debug, Clone)]
+    pub struct VecTree<T> {
+        elems: Vec<T>,
+        min_len: usize,
+    }
 
-        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let len = rng.gen_range(self.size.clone());
-            (0..len).map(|_| self.elem.generate(rng)).collect()
+    impl<T> ValueTree for VecTree<T>
+    where
+        T: ValueTree + Clone,
+    {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Vec<T::Value> {
+            self.elems.iter().map(ValueTree::current).collect()
         }
 
         /// Length halving/decrement passes (keep either half, drop the
         /// last element — never below the size range's minimum), then an
         /// element-wise pass substituting each element's own shrink
         /// candidates one at a time.
-        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        fn shrink(&self) -> Vec<Self> {
             let mut out = Vec::new();
-            let len = value.len();
-            let min = self.size.start;
+            let len = self.elems.len();
+            let min = self.min_len;
+            let keep = |elems: Vec<T>| VecTree { elems, min_len: min };
             if len / 2 >= min && len / 2 < len {
-                out.push(value[..len / 2].to_vec());
-                out.push(value[len - len / 2..].to_vec());
+                out.push(keep(self.elems[..len / 2].to_vec()));
+                out.push(keep(self.elems[len - len / 2..].to_vec()));
             }
             if len > min {
-                out.push(value[..len - 1].to_vec());
+                out.push(keep(self.elems[..len - 1].to_vec()));
             }
-            for (i, elem) in value.iter().enumerate() {
-                for simpler in self.elem.shrink(elem) {
-                    let mut next = value.clone();
+            for (i, elem) in self.elems.iter().enumerate() {
+                for simpler in elem.shrink() {
+                    let mut next = self.elems.clone();
                     next[i] = simpler;
-                    out.push(next);
+                    out.push(keep(next));
                 }
             }
             out
+        }
+    }
+
+    impl<S> Strategy for VecStrategy<S>
+    where
+        S: Strategy,
+        S::Tree: Clone,
+        S::Value: Clone,
+    {
+        type Value = Vec<S::Value>;
+        type Tree = VecTree<S::Tree>;
+
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+            let len = rng.gen_range(self.size.clone());
+            VecTree {
+                elems: (0..len).map(|_| self.elem.new_tree(rng)).collect(),
+                min_len: self.size.start,
+            }
         }
     }
 
@@ -346,14 +388,20 @@ pub mod collection {
     impl<K, V> Strategy for BTreeMapStrategy<K, V>
     where
         K: Strategy,
-        K::Value: Ord,
+        K::Value: Ord + Clone,
         V: Strategy,
+        V::Value: Clone,
     {
         type Value = BTreeMap<K::Value, V::Value>;
+        // Maps report their counterexample unshrunk (documented
+        // divergence: key collisions make slot-wise provenance ambiguous).
+        type Tree = JustTree<BTreeMap<K::Value, V::Value>>;
 
-        fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
             let len = rng.gen_range(self.size.clone());
-            (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect()
+            JustTree(
+                (0..len).map(|_| (self.key.generate(rng), self.value.generate(rng))).collect(),
+            )
         }
     }
 
@@ -378,20 +426,22 @@ pub mod collection {
     impl<S> Strategy for BTreeSetStrategy<S>
     where
         S: Strategy,
-        S::Value: Ord,
+        S::Value: Ord + Clone,
     {
         type Value = BTreeSet<S::Value>;
+        // Sets report their counterexample unshrunk (see maps above).
+        type Tree = JustTree<BTreeSet<S::Value>>;
 
-        fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
             let len = rng.gen_range(self.size.clone());
-            (0..len).map(|_| self.elem.generate(rng)).collect()
+            JustTree((0..len).map(|_| self.elem.generate(rng)).collect())
         }
     }
 }
 
 /// Everything a property test needs, mirroring `proptest::prelude`.
 pub mod prelude {
-    pub use crate::strategy::{Just, Strategy};
+    pub use crate::strategy::{Just, Strategy, ValueTree};
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 
@@ -720,13 +770,93 @@ mod tests {
 
         #[test]
         fn shrink_candidates_have_no_duplicates() {
+            use crate::strategy::RangeTree;
             for v in 1u32..50 {
-                let cands = (0u32..50).shrink(&v);
+                let tree = RangeTree { start: 0u32, value: v };
+                let cands: Vec<u32> = tree.shrink().iter().map(ValueTree::current).collect();
                 let mut sorted = cands.clone();
                 sorted.sort_unstable();
                 sorted.dedup();
                 assert_eq!(sorted.len(), cands.len(), "duplicate candidates for {v}: {cands:?}");
             }
+        }
+
+        /// The capability the real crate's `ValueTree` machinery
+        /// provides: shrinking *through* `prop_map`. Fails iff the
+        /// mapped value is at least 1400 (pre-map input at least 700) —
+        /// the minimal mapped counterexample is exactly 1400.
+        #[test]
+        fn shrinking_threads_through_prop_map() {
+            let strat = (0u32..10_000).prop_map(|v| v * 2);
+            let msg = failing_run(strat, |v| {
+                assert_eq!(v % 2, 0, "shrink escaped the map's image");
+                if *v >= 1400 {
+                    Err(TestCaseError::fail("too big"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(msg.ends_with(": 1400"), "expected the mapped boundary, got: {msg}");
+        }
+
+        /// Shrinking through `prop_flat_map`: both the dependent output
+        /// (elements toward 0) and the *input* (the length, regenerated
+        /// deterministically) simplify. Fails iff len >= 5: minimal is
+        /// five zeros.
+        #[test]
+        fn shrinking_threads_through_prop_flat_map() {
+            let strat =
+                (0usize..20).prop_flat_map(|n| crate::collection::vec(0u8..50, n..n + 1));
+            let msg = failing_run(strat, |v| {
+                if v.len() >= 5 {
+                    Err(TestCaseError::fail("too long"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(
+                msg.ends_with(": [0, 0, 0, 0, 0]"),
+                "expected five zeros, got: {msg}"
+            );
+        }
+
+        /// Shrinking through `prop_shuffle`: the unshuffled inner vector
+        /// simplifies; the recorded permutation seed keeps re-shuffles
+        /// deterministic. Fails iff any element >= 5: minimal is `[5]`.
+        #[test]
+        fn shrinking_threads_through_prop_shuffle() {
+            let strat = crate::collection::vec(0u8..50, 0..20).prop_shuffle();
+            let msg = failing_run(strat, |v| {
+                if v.iter().any(|&x| x >= 5) {
+                    Err(TestCaseError::fail("big element"))
+                } else {
+                    Ok(())
+                }
+            });
+            assert!(msg.ends_with(": [5]"), "expected [5], got: {msg}");
+        }
+
+        /// The mailbox-test shape: flat_map into a shuffled, mapped,
+        /// filtered composite — the whole stack must stay shrinkable and
+        /// every candidate must respect the filter.
+        #[test]
+        fn composite_stacks_shrink_end_to_end() {
+            let strat = (1usize..12).prop_flat_map(|n| {
+                crate::collection::vec(0u8..9, n..n + 1)
+                    .prop_shuffle()
+                    .prop_map(|v| v.into_iter().map(|x| x as u32).collect::<Vec<u32>>())
+                    .prop_filter("non-empty", |v| !v.is_empty())
+            });
+            let msg = failing_run(strat, |v| {
+                assert!(!v.is_empty(), "shrink escaped the filter");
+                if v.iter().sum::<u32>() >= 4 {
+                    Err(TestCaseError::fail("sum too big"))
+                } else {
+                    Ok(())
+                }
+            });
+            // Minimal: a sum-4 vector; the shortest reachable is [4].
+            assert!(msg.ends_with(": [4]"), "expected [4], got: {msg}");
         }
 
         #[test]

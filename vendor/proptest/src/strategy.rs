@@ -1,11 +1,18 @@
-//! The [`Strategy`] trait and combinators: the generation core of the
-//! offline proptest stand-in, with minimal shrinking ([`Strategy::shrink`]
-//! — halving/decrement passes on integers and `Vec`s; see the crate
-//! docs for what does and does not shrink).
+//! The [`Strategy`] and [`ValueTree`] traits and combinators: the
+//! generation *and shrinking* core of the offline proptest stand-in.
+//!
+//! Like the real crate, every strategy draws a [`ValueTree`] rather than
+//! a bare value: the tree remembers how the value was produced (the
+//! pre-map input of a `prop_map`, the input *and* regeneration seed of a
+//! `prop_flat_map`, the permutation seed of a `prop_shuffle`), so a
+//! failing case can be simplified through arbitrary combinator stacks.
+//! `tree.shrink()` returns strictly-simpler candidate trees, most
+//! aggressive first; the runner keeps any candidate whose value still
+//! fails and repeats until none does.
 
 use std::ops::Range;
 
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 use crate::test_runner::TestRng;
 
@@ -14,61 +21,86 @@ use crate::test_runner::TestRng;
 /// the mild filters this workspace uses.
 const FILTER_RETRIES: usize = 1_000;
 
+/// A generated value together with its provenance, mirroring
+/// `proptest::strategy::ValueTree` (with eager `shrink` candidates
+/// instead of the real crate's `simplify`/`complicate` walk).
+pub trait ValueTree {
+    /// The type of the value this tree produces.
+    type Value;
+
+    /// The value this tree currently represents.
+    fn current(&self) -> Self::Value;
+
+    /// Strictly-simpler candidate trees, most aggressive first. The
+    /// runner keeps any candidate whose `current()` still fails and
+    /// restarts from it, so candidates must be *strictly simpler*
+    /// (smaller integer distance to the range start, shorter or
+    /// element-wise simpler `Vec`, simpler pre-map input) or shrinking
+    /// may not terminate within its budget. An empty vector means the
+    /// tree is fully simplified.
+    fn shrink(&self) -> Vec<Self>
+    where
+        Self: Sized;
+}
+
 /// A generator of values for property tests, mirroring
 /// `proptest::strategy::Strategy`.
 pub trait Strategy {
     /// The type of generated values.
     type Value;
 
-    /// Draw one value.
-    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    /// The value-tree type this strategy draws. `Clone` because
+    /// composite trees (tuples, `Vec`s, flat-maps) hold copies of their
+    /// children across shrink candidates.
+    type Tree: ValueTree<Value = Self::Value> + Clone;
 
-    /// Candidate simplifications of a failing `value`, most aggressive
-    /// first. The runner keeps any candidate that still fails and
-    /// repeats until none does, so candidates must be *strictly simpler*
-    /// (smaller integer distance to the range start, shorter or
-    /// element-wise simpler `Vec`) or shrinking may not terminate within
-    /// its budget. The default is no candidates: strategies whose
-    /// outputs cannot be mapped back to inputs (`prop_map`,
-    /// `prop_flat_map`, `prop_shuffle`) do not shrink — a deliberate
-    /// divergence from real proptest's `ValueTree` machinery, which
-    /// remembers the pre-map inputs.
-    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
-        let _ = value;
-        Vec::new()
+    /// Draw one value tree (value + shrink provenance).
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree;
+
+    /// Draw one bare value (provenance discarded).
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        self.new_tree(rng).current()
     }
 
-    /// Transform generated values with `f`.
+    /// Transform generated values with `f`. The mapped strategy shrinks
+    /// through the transformation: its tree keeps the pre-map input tree
+    /// and re-applies `f` to every shrink candidate (hence `F: Clone`).
     fn prop_map<O, F>(self, f: F) -> Map<Self, F>
     where
         Self: Sized,
-        F: Fn(Self::Value) -> O,
+        F: Fn(Self::Value) -> O + Clone,
     {
         Map { inner: self, f }
     }
 
     /// Generate a value, then generate from the strategy `f` builds from
-    /// it (dependent generation).
+    /// it (dependent generation). Shrinks both sides: the dependent
+    /// output with the input held fixed, and the input itself — in which
+    /// case the output is regenerated deterministically from a seed the
+    /// tree remembers.
     fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
     where
         Self: Sized,
         S: Strategy,
-        F: Fn(Self::Value) -> S,
+        F: Fn(Self::Value) -> S + Clone,
     {
         FlatMap { inner: self, f }
     }
 
     /// Keep only values satisfying `pred`; panics (with `reason`) if the
-    /// predicate rejects 1000 consecutive draws.
+    /// predicate rejects 1000 consecutive draws. Shrinks through the
+    /// filter: only candidates that still satisfy `pred` survive.
     fn prop_filter<F>(self, reason: impl Into<String>, pred: F) -> Filter<Self, F>
     where
         Self: Sized,
-        F: Fn(&Self::Value) -> bool,
+        F: Fn(&Self::Value) -> bool + Clone,
     {
         Filter { inner: self, reason: reason.into(), pred }
     }
 
-    /// Randomly permute generated collections (Fisher–Yates).
+    /// Randomly permute generated collections (Fisher–Yates). Shrinks by
+    /// simplifying the unshuffled inner value and re-permuting it with
+    /// the same recorded seed.
     fn prop_shuffle(self) -> Shuffle<Self>
     where
         Self: Sized,
@@ -81,8 +113,30 @@ pub trait Strategy {
     fn boxed(self) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
+        Self::Tree: Clone + 'static,
     {
         BoxedStrategy { inner: Box::new(self) }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf trees.
+// ---------------------------------------------------------------------
+
+/// Tree of a value with no shrink provenance (constants, collections the
+/// stand-in does not simplify).
+#[derive(Debug, Clone)]
+pub struct JustTree<T: Clone>(pub T);
+
+impl<T: Clone> ValueTree for JustTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        Vec::new()
     }
 }
 
@@ -93,11 +147,80 @@ pub struct Just<T: Clone>(pub T);
 
 impl<T: Clone> Strategy for Just<T> {
     type Value = T;
+    type Tree = JustTree<T>;
 
-    fn generate(&self, _rng: &mut TestRng) -> T {
-        self.0.clone()
+    fn new_tree(&self, _rng: &mut TestRng) -> JustTree<T> {
+        JustTree(self.0.clone())
     }
 }
+
+/// Tree of an integer drawn from a range (remembers the range start so
+/// candidates stay in range).
+#[derive(Debug, Clone)]
+pub struct RangeTree<T> {
+    pub(crate) start: T,
+    pub(crate) value: T,
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl ValueTree for RangeTree<$t> {
+            type Value = $t;
+
+            fn current(&self) -> $t {
+                self.value
+            }
+
+            /// Halving/decrement toward the range start: the start
+            /// itself, the midpoint between start and value (and its
+            /// successor, so parity-constrained filters still have an
+            /// eligible bisection), and the one- and two-step
+            /// decrements.
+            fn shrink(&self) -> Vec<Self> {
+                let v = self.value;
+                if v <= self.start {
+                    return Vec::new();
+                }
+                // Overflow-free floor midpoint (`v - self.start` can
+                // exceed the type's range when a signed range spans more
+                // than half the domain, e.g. -100i8..100).
+                let mid = (self.start & v) + ((self.start ^ v) >> 1);
+                let mut out = vec![self.start, mid, mid + 1, v - 1];
+                if v - 1 > self.start {
+                    out.push(v - 2);
+                }
+                out.retain(|&c| c >= self.start && c < v);
+                // Order carries meaning (most aggressive first), so drop
+                // duplicates in place rather than sorting.
+                let mut seen: Vec<$t> = Vec::with_capacity(out.len());
+                out.retain(|&c| {
+                    if seen.contains(&c) {
+                        false
+                    } else {
+                        seen.push(c);
+                        true
+                    }
+                });
+                out.into_iter().map(|value| RangeTree { start: self.start, value }).collect()
+            }
+        }
+
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            type Tree = RangeTree<$t>;
+
+            fn new_tree(&self, rng: &mut TestRng) -> RangeTree<$t> {
+                RangeTree { start: self.start, value: rng.gen_range(self.clone()) }
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------
+// Combinator trees.
+// ---------------------------------------------------------------------
 
 /// See [`Strategy::prop_map`].
 #[derive(Debug, Clone)]
@@ -106,15 +229,45 @@ pub struct Map<S, F> {
     f: F,
 }
 
-impl<S, O, F> Strategy for Map<S, F>
+/// Tree of a mapped strategy: the pre-map input tree plus the mapping,
+/// re-applied to every shrink candidate — the "real `ValueTree` for
+/// mapped strategies" the stand-in historically lacked.
+#[derive(Debug, Clone)]
+pub struct MapTree<T, F> {
+    inner: T,
+    f: F,
+}
+
+impl<T, O, F> ValueTree for MapTree<T, F>
 where
-    S: Strategy,
-    F: Fn(S::Value) -> O,
+    T: ValueTree,
+    F: Fn(T::Value) -> O + Clone,
 {
     type Value = O;
 
-    fn generate(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.generate(rng))
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .map(|inner| MapTree { inner, f: self.f.clone() })
+            .collect()
+    }
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    type Tree = MapTree<S::Tree, F>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        MapTree { inner: self.inner.new_tree(rng), f: self.f.clone() }
     }
 }
 
@@ -125,16 +278,81 @@ pub struct FlatMap<S, F> {
     f: F,
 }
 
+/// Tree of a dependent generation: the input tree, the dependent output
+/// tree, and a seed to regenerate the output deterministically when the
+/// *input* shrinks (the real crate re-walks its recorded randomness; a
+/// remembered seed is the stand-in's equivalent).
+pub struct FlatMapTree<T, U, F> {
+    input: T,
+    output: U,
+    f: F,
+    seed: u64,
+}
+
+impl<T: Clone, U: Clone, F: Clone> Clone for FlatMapTree<T, U, F> {
+    fn clone(&self) -> Self {
+        FlatMapTree {
+            input: self.input.clone(),
+            output: self.output.clone(),
+            f: self.f.clone(),
+            seed: self.seed,
+        }
+    }
+}
+
+impl<T, S, F> ValueTree for FlatMapTree<T, S::Tree, F>
+where
+    T: ValueTree + Clone,
+    S: Strategy,
+    S::Tree: Clone,
+    F: Fn(T::Value) -> S + Clone,
+{
+    type Value = S::Value;
+
+    fn current(&self) -> S::Value {
+        self.output.current()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        let mut out = Vec::new();
+        // Most aggressive first: simplify the *input* and regenerate the
+        // dependent output with the remembered seed...
+        for input in self.input.shrink() {
+            let strat = (self.f)(input.current());
+            let mut rng = TestRng::seed_from_u64(self.seed);
+            let output = strat.new_tree(&mut rng);
+            out.push(FlatMapTree { input, output, f: self.f.clone(), seed: self.seed });
+        }
+        // ...then simplify the output with the input held fixed.
+        for output in self.output.shrink() {
+            out.push(FlatMapTree {
+                input: self.input.clone(),
+                output,
+                f: self.f.clone(),
+                seed: self.seed,
+            });
+        }
+        out
+    }
+}
+
 impl<S, T, F> Strategy for FlatMap<S, F>
 where
     S: Strategy,
+    S::Tree: Clone,
     T: Strategy,
-    F: Fn(S::Value) -> T,
+    T::Tree: Clone,
+    F: Fn(S::Value) -> T + Clone,
 {
     type Value = T::Value;
+    type Tree = FlatMapTree<S::Tree, T::Tree, F>;
 
-    fn generate(&self, rng: &mut TestRng) -> T::Value {
-        (self.f)(self.inner.generate(rng)).generate(rng)
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        let input = self.inner.new_tree(rng);
+        let seed = rng.gen_range(0..u64::MAX);
+        let mut out_rng = TestRng::seed_from_u64(seed);
+        let output = (self.f)(input.current()).new_tree(&mut out_rng);
+        FlatMapTree { input, output, f: self.f.clone(), seed }
     }
 }
 
@@ -146,18 +364,48 @@ pub struct Filter<S, F> {
     pred: F,
 }
 
+/// Tree of a filtered strategy: shrink candidates must still satisfy the
+/// predicate.
+#[derive(Debug, Clone)]
+pub struct FilterTree<T, F> {
+    inner: T,
+    pred: F,
+}
+
+impl<T, F> ValueTree for FilterTree<T, F>
+where
+    T: ValueTree,
+    F: Fn(&T::Value) -> bool + Clone,
+{
+    type Value = T::Value;
+
+    fn current(&self) -> T::Value {
+        self.inner.current()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .filter(|t| (self.pred)(&t.current()))
+            .map(|inner| FilterTree { inner, pred: self.pred.clone() })
+            .collect()
+    }
+}
+
 impl<S, F> Strategy for Filter<S, F>
 where
     S: Strategy,
-    F: Fn(&S::Value) -> bool,
+    F: Fn(&S::Value) -> bool + Clone,
 {
     type Value = S::Value;
+    type Tree = FilterTree<S::Tree, F>;
 
-    fn generate(&self, rng: &mut TestRng) -> S::Value {
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
         for _ in 0..FILTER_RETRIES {
-            let v = self.inner.generate(rng);
-            if (self.pred)(&v) {
-                return v;
+            let tree = self.inner.new_tree(rng);
+            if (self.pred)(&tree.current()) {
+                return FilterTree { inner: tree, pred: self.pred.clone() };
             }
         }
         panic!(
@@ -165,12 +413,6 @@ where
              the filter is too strict for its base strategy",
             self.reason
         );
-    }
-
-    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
-        // Shrink through the filter: inner candidates that still satisfy
-        // the predicate remain valid draws of this strategy.
-        self.inner.shrink(value).into_iter().filter(|v| (self.pred)(v)).collect()
     }
 }
 
@@ -195,49 +437,127 @@ pub struct Shuffle<S> {
     inner: S,
 }
 
+/// Tree of a shuffled strategy: the unshuffled inner tree plus the
+/// permutation seed, so shrinking the inner value keeps a deterministic
+/// (re-)permutation.
+#[derive(Debug, Clone)]
+pub struct ShuffleTree<T> {
+    inner: T,
+    seed: u64,
+}
+
+impl<T> ValueTree for ShuffleTree<T>
+where
+    T: ValueTree,
+    T::Value: Shuffleable,
+{
+    type Value = T::Value;
+
+    fn current(&self) -> T::Value {
+        let mut v = self.inner.current();
+        let mut rng = TestRng::seed_from_u64(self.seed);
+        v.shuffle(&mut rng);
+        v
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.inner
+            .shrink()
+            .into_iter()
+            .map(|inner| ShuffleTree { inner, seed: self.seed })
+            .collect()
+    }
+}
+
 impl<S> Strategy for Shuffle<S>
 where
     S: Strategy,
     S::Value: Shuffleable,
 {
     type Value = S::Value;
+    type Tree = ShuffleTree<S::Tree>;
 
-    fn generate(&self, rng: &mut TestRng) -> S::Value {
-        let mut v = self.inner.generate(rng);
-        v.shuffle(rng);
-        v
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        let inner = self.inner.new_tree(rng);
+        ShuffleTree { inner, seed: rng.gen_range(0..u64::MAX) }
     }
 }
+
+// ---------------------------------------------------------------------
+// Type erasure.
+// ---------------------------------------------------------------------
 
 /// See [`Strategy::boxed`].
 pub struct BoxedStrategy<T> {
     inner: Box<dyn DynStrategy<T>>,
 }
 
-trait DynStrategy<T> {
-    fn dyn_generate(&self, rng: &mut TestRng) -> T;
-    fn dyn_shrink(&self, value: &T) -> Vec<T>;
+/// Type-erased value tree backing [`BoxedStrategy`].
+pub struct BoxedTree<T> {
+    inner: Box<dyn DynValueTree<T>>,
 }
 
-impl<S: Strategy> DynStrategy<S::Value> for S {
-    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
-        self.generate(rng)
+trait DynValueTree<T> {
+    fn dyn_current(&self) -> T;
+    fn dyn_shrink(&self) -> Vec<BoxedTree<T>>;
+    fn dyn_clone(&self) -> Box<dyn DynValueTree<T>>;
+}
+
+impl<V> DynValueTree<V::Value> for V
+where
+    V: ValueTree + Clone + 'static,
+{
+    fn dyn_current(&self) -> V::Value {
+        self.current()
     }
 
-    fn dyn_shrink(&self, value: &S::Value) -> Vec<S::Value> {
-        self.shrink(value)
+    fn dyn_shrink(&self) -> Vec<BoxedTree<V::Value>> {
+        self.shrink().into_iter().map(|t| BoxedTree { inner: Box::new(t) }).collect()
+    }
+
+    fn dyn_clone(&self) -> Box<dyn DynValueTree<V::Value>> {
+        Box::new(self.clone())
+    }
+}
+
+impl<T> Clone for BoxedTree<T> {
+    fn clone(&self) -> Self {
+        BoxedTree { inner: self.inner.dyn_clone() }
+    }
+}
+
+impl<T> ValueTree for BoxedTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.inner.dyn_current()
+    }
+
+    fn shrink(&self) -> Vec<Self> {
+        self.inner.dyn_shrink()
+    }
+}
+
+trait DynStrategy<T> {
+    fn dyn_new_tree(&self, rng: &mut TestRng) -> BoxedTree<T>;
+}
+
+impl<S> DynStrategy<S::Value> for S
+where
+    S: Strategy,
+    S::Tree: Clone + 'static,
+{
+    fn dyn_new_tree(&self, rng: &mut TestRng) -> BoxedTree<S::Value> {
+        BoxedTree { inner: Box::new(self.new_tree(rng)) }
     }
 }
 
 impl<T> Strategy for BoxedStrategy<T> {
     type Value = T;
+    type Tree = BoxedTree<T>;
 
-    fn generate(&self, rng: &mut TestRng) -> T {
-        self.inner.dyn_generate(rng)
-    }
-
-    fn shrink(&self, value: &T) -> Vec<T> {
-        self.inner.dyn_shrink(value)
+    fn new_tree(&self, rng: &mut TestRng) -> BoxedTree<T> {
+        self.inner.dyn_new_tree(rng)
     }
 }
 
@@ -245,87 +565,53 @@ impl<T> Strategy for BoxedStrategy<T> {
 /// lets helpers hand out `&strategy` without cloning.
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;
+    type Tree = S::Tree;
 
-    fn generate(&self, rng: &mut TestRng) -> S::Value {
-        (**self).generate(rng)
-    }
-
-    fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
-        (**self).shrink(value)
+    fn new_tree(&self, rng: &mut TestRng) -> S::Tree {
+        (**self).new_tree(rng)
     }
 }
 
-macro_rules! impl_range_strategy {
-    ($($t:ty),*) => {$(
-        impl Strategy for Range<$t> {
-            type Value = $t;
-
-            fn generate(&self, rng: &mut TestRng) -> $t {
-                rng.gen_range(self.clone())
-            }
-
-            /// Halving/decrement toward the range start: the start
-            /// itself, the midpoint between start and value (and its
-            /// successor, so parity-constrained filters still have an
-            /// eligible bisection), and the one- and two-step
-            /// decrements.
-            fn shrink(&self, value: &$t) -> Vec<$t> {
-                let v = *value;
-                if v <= self.start {
-                    return Vec::new();
-                }
-                // Overflow-free floor midpoint (`v - self.start` can
-                // exceed the type's range when a signed range spans more
-                // than half the domain, e.g. -100i8..100).
-                let mid = (self.start & v) + ((self.start ^ v) >> 1);
-                let mut out = vec![self.start, mid, mid + 1, v - 1];
-                if v - 1 > self.start {
-                    out.push(v - 2);
-                }
-                out.retain(|&c| c >= self.start && c < v);
-                // Order carries meaning (most aggressive first), so drop
-                // duplicates in place rather than sorting.
-                let mut seen: Vec<$t> = Vec::with_capacity(out.len());
-                out.retain(|&c| {
-                    if seen.contains(&c) {
-                        false
-                    } else {
-                        seen.push(c);
-                        true
-                    }
-                });
-                out
-            }
-        }
-    )*};
-}
-
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+// ---------------------------------------------------------------------
+// Tuples.
+// ---------------------------------------------------------------------
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident . $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        impl<$($s: ValueTree),+> ValueTree for ($($s,)+)
         where
-            $($s::Value: Clone,)+
+            $($s: Clone,)+
         {
             type Value = ($($s::Value,)+);
 
-            fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.generate(rng),)+)
+            fn current(&self) -> Self::Value {
+                ($(self.$idx.current(),)+)
             }
 
             /// Component-wise: each candidate simplifies exactly one
             /// position, holding the others fixed.
-            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            fn shrink(&self) -> Vec<Self> {
                 let mut out = Vec::new();
                 $(
-                    for cand in self.$idx.shrink(&value.$idx) {
-                        let mut next = value.clone();
+                    for cand in self.$idx.shrink() {
+                        let mut next = self.clone();
                         next.$idx = cand;
                         out.push(next);
                     }
                 )+
                 out
+            }
+        }
+
+        impl<$($s: Strategy),+> Strategy for ($($s,)+)
+        where
+            $($s::Tree: Clone,)+
+        {
+            type Value = ($($s::Value,)+);
+            type Tree = ($($s::Tree,)+);
+
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+                ($(self.$idx.new_tree(rng),)+)
             }
         }
     )*};
