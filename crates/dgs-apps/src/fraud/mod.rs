@@ -142,9 +142,7 @@ impl FdWorkload {
             1.0,
             Location(self.txn_streams),
         ));
-        let dep =
-            dgs_core::depends::FnDependence::new(|a: &FdTag, b: &FdTag| FraudDetection.depends(a, b));
-        CommMinOptimizer.plan(&infos, &dep)
+        CommMinOptimizer.plan(&infos, &FraudDetection.dependence())
     }
 
     /// Deterministic transaction payload for event index `j` of stream `i`.
@@ -218,10 +216,7 @@ impl FdWorkload {
 mod tests {
     use super::*;
     use dgs_core::consistency::{check_c1, check_c2, check_c3};
-    use dgs_core::spec::{run_sequential, sort_o};
-    use dgs_runtime::source::item_lists;
-    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
-    use std::sync::Arc;
+    use dgs_core::spec::run_sequential;
 
     fn ev(tag: FdTag, stream: u32, ts: u64, v: i64) -> Event<FdTag, i64> {
         Event::new(tag, StreamId(stream), ts, v)
@@ -296,21 +291,14 @@ mod tests {
         dgs_plan::validity::check_valid_for_program(&plan, &FraudDetection, &universe).unwrap();
     }
 
+    /// End to end through the unified `Job` API: derived plan, thread
+    /// backend, spec verification in one call.
     #[test]
     fn threaded_run_matches_sequential_spec() {
+        use crate::sweep::SweepWorkload as _;
         let w = FdWorkload { txn_streams: 3, txns_per_rule: 40, rules: 4 };
-        let streams = w.scheduled_streams(8);
-        let expect = {
-            let merged = sort_o(&item_lists(&streams));
-            run_sequential(&FraudDetection, &merged).1
-        };
-        let result =
-            run_threads(Arc::new(FraudDetection), &w.plan(), streams, ThreadRunOptions::default());
-        let mut got: Vec<FdOut> = result.outputs.iter().map(|(o, _)| *o).collect();
-        let mut want = expect;
-        got.sort();
-        want.sort();
-        assert_eq!(got, want);
+        let verified = w.job(8).verify_against_spec().expect("Theorem 3.5");
+        let got: Vec<FdOut> = verified.run.outputs.iter().map(|(o, _)| *o).collect();
         // Sanity: total across window aggregates equals the raw sum of
         // all transactions.
         let total: i64 = got

@@ -19,13 +19,18 @@
 //! | [`outlier`] | App. A.1 Reloaded outlier detection | local models merged on demand |
 //! | [`smart_home`] | App. A.2 DEBS-2014 power prediction | per-house parallelism, hourly global slice |
 //!
-//! [`sweep`] gives the three §4.1 applications one parameterized shape
+//! [`sweep`] gives every application one parameterized shape
 //! (`workers × window geometry`) so the wall-clock harness in `dgs-bench`
-//! can drive rate sweeps over all of them generically.
+//! can drive rate sweeps over all of them generically, and a
+//! [`job`](sweep::SweepWorkload::job) view onto the unified
+//! `flumina::api` execution layer. [`registry`] is the single named
+//! table of these workloads that the `flumina` CLI and the `wallclock`
+//! binary both resolve against.
 
 pub mod fraud;
 pub mod outlier;
 pub mod page_view;
+pub mod registry;
 pub mod smart_home;
 pub mod sweep;
 pub mod value_barrier;

@@ -251,9 +251,7 @@ impl OdWorkload {
             1.0,
             Location(self.streams),
         ));
-        let dep =
-            dgs_core::depends::FnDependence::new(|a: &OdTag, b: &OdTag| OutlierDetection.depends(a, b));
-        CommMinOptimizer.plan(&infos, &dep)
+        CommMinOptimizer.plan(&infos, &OutlierDetection.dependence())
     }
 
     /// Scheduled streams for the thread driver.
@@ -325,8 +323,6 @@ mod tests {
     use dgs_core::consistency::{check_c1, check_c2};
     use dgs_core::spec::{run_sequential, sort_o};
     use dgs_runtime::source::item_lists;
-    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
-    use std::sync::Arc;
 
     fn workload() -> OdWorkload {
         OdWorkload { streams: 4, obs_per_query: 200, queries: 3, outlier_every: 50 }
@@ -392,22 +388,14 @@ mod tests {
         check_c1(&prog, &s1, &OdModel::default(), &q).unwrap();
     }
 
+    /// End to end through the unified `Job` API: derived plan, thread
+    /// backend, spec verification in one call.
     #[test]
     fn threaded_parallel_run_matches_spec() {
+        use crate::sweep::SweepWorkload as _;
         let w = OdWorkload { streams: 3, obs_per_query: 120, queries: 2, outlier_every: 40 };
-        let streams = w.scheduled_streams(15);
-        let expect = {
-            let merged = sort_o(&item_lists(&streams));
-            run_sequential(&OutlierDetection, &merged).1
-        };
-        let result =
-            run_threads(Arc::new(OutlierDetection), &w.plan(), streams, ThreadRunOptions::default());
-        let mut got: Vec<u64> = result.outputs.iter().map(|(o, _)| *o).collect();
-        let mut want = expect;
-        got.sort_unstable();
-        want.sort_unstable();
-        assert_eq!(got, want);
-        assert!(!got.is_empty());
+        let verified = w.job(15).verify_against_spec().expect("Theorem 3.5");
+        assert!(!verified.run.outputs.is_empty());
     }
 
     #[test]

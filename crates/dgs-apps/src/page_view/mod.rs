@@ -191,9 +191,7 @@ impl PvWorkload {
                 Location(self.update_stream_id(page).0),
             ));
         }
-        let dep =
-            dgs_core::depends::FnDependence::new(|a: &PvTag, b: &PvTag| PageViewJoin.depends(a, b));
-        CommMinOptimizer.plan(&infos, &dep)
+        CommMinOptimizer.plan(&infos, &PageViewJoin.dependence())
     }
 
     /// Scheduled streams for the thread driver.
@@ -267,10 +265,7 @@ impl PvWorkload {
 mod tests {
     use super::*;
     use dgs_core::consistency::{check_c1, check_c2, check_c3};
-    use dgs_core::spec::{run_sequential, sort_o};
-    use dgs_runtime::source::item_lists;
-    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
-    use std::sync::Arc;
+    use dgs_core::spec::run_sequential;
 
     fn ev(tag: PvTag, stream: u32, ts: u64, v: i64) -> Event<PvTag, i64> {
         Event::new(tag, StreamId(stream), ts, v)
@@ -375,21 +370,14 @@ mod tests {
         dgs_plan::validity::check_valid_for_program(&plan, &PageViewJoin, &universe).unwrap();
     }
 
+    /// End to end through the unified `Job` API: derived plan (a forest,
+    /// one tree per page), thread backend, spec verification in one call.
     #[test]
     fn threaded_run_matches_sequential_spec() {
+        use crate::sweep::SweepWorkload as _;
         let w = PvWorkload { pages: 2, view_streams_per_page: 2, views_per_update: 30, updates: 3 };
-        let streams = w.scheduled_streams(6);
-        let expect = {
-            let merged = sort_o(&item_lists(&streams));
-            run_sequential(&PageViewJoin, &merged).1
-        };
-        let result =
-            run_threads(Arc::new(PageViewJoin), &w.plan(), streams, ThreadRunOptions::default());
-        let mut got: Vec<PvOut> = result.outputs.iter().map(|(o, _)| *o).collect();
-        let mut want = expect;
-        got.sort();
-        want.sort();
-        assert_eq!(got, want);
-        assert_eq!(got.len() as u64, w.total_events());
+        let verified = w.job(6).verify_against_spec().expect("Theorem 3.5");
+        assert_eq!(verified.run.outputs.len() as u64, w.total_events());
+        assert_eq!(verified.run.plan.roots().len(), 2, "one tree per page");
     }
 }

@@ -287,8 +287,7 @@ impl ShWorkload {
             1.0,
             Location(self.houses),
         ));
-        let dep = dgs_core::depends::FnDependence::new(|a: &ShTag, b: &ShTag| SmartHome.depends(a, b));
-        CommMinOptimizer.plan(&infos, &dep)
+        CommMinOptimizer.plan(&infos, &SmartHome.dependence())
     }
 
     /// The measurement for global index `j` within a house's stream.
@@ -380,8 +379,6 @@ mod tests {
     use dgs_core::consistency::{check_c1, check_c2, check_c3};
     use dgs_core::spec::{run_sequential, sort_o};
     use dgs_runtime::source::item_lists;
-    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
-    use std::sync::Arc;
 
     fn workload() -> ShWorkload {
         ShWorkload { houses: 4, households: 2, plugs: 2, per_plug_per_slice: 5, slices: 3 }
@@ -442,21 +439,17 @@ mod tests {
         check_c3(&prog, &prog.join(s1, s2), &e, &e2).unwrap();
     }
 
+    /// End to end through the unified `Job` API: derived plan, thread
+    /// backend, spec verification in one call. (Predictions carry
+    /// floats, so the multiset comparison runs on canonical `Debug`
+    /// renderings — exact, since both sides compute means from the same
+    /// integral accumulators.)
     #[test]
     fn threaded_run_matches_spec() {
+        use crate::sweep::SweepWorkload as _;
         let w = workload();
-        let streams = w.scheduled_streams(10);
-        let expect = {
-            let merged = sort_o(&item_lists(&streams));
-            run_sequential(&SmartHome, &merged).1
-        };
-        let result = run_threads(Arc::new(SmartHome), &w.plan(), streams, ThreadRunOptions::default());
-        let mut got: Vec<Prediction> = result.outputs.iter().map(|(o, _)| *o).collect();
-        let mut want = expect;
-        let key = |p: &Prediction| (p.slice, p.target, (p.load_cw * 1000.0) as i64);
-        got.sort_by_key(key);
-        want.sort_by_key(key);
-        assert_eq!(got, want);
+        let verified = w.job(10).verify_against_spec().expect("Theorem 3.5");
+        assert!(!verified.run.outputs.is_empty());
     }
 
     #[test]

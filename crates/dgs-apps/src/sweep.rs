@@ -19,10 +19,13 @@
 use dgs_core::event::Timestamp;
 use dgs_core::program::DgsProgram;
 use dgs_plan::plan::Plan;
+use dgs_runtime::job::Job;
 use dgs_runtime::source::ScheduledStream;
 
 use crate::fraud::{FdWorkload, FraudDetection};
+use crate::outlier::{OdWorkload, OutlierDetection};
 use crate::page_view::{PageViewJoin, PvWorkload};
+use crate::smart_home::{ShWorkload, SmartHome};
 use crate::value_barrier::{ValueBarrier, VbWorkload};
 
 /// The scheduled input streams of a program's workload.
@@ -33,9 +36,11 @@ pub type ProgStreams<Pr> =
 /// count and window geometry, able to produce everything `run_threads`
 /// needs plus the exact event volume for throughput accounting.
 pub trait SweepWorkload: Sized {
-    /// The DGS program this workload drives. `Out: Ord` so harness smoke
-    /// checks can compare output multisets against the sequential spec.
-    type Prog: DgsProgram<Out: Ord> + Send + Sync + 'static;
+    /// The DGS program this workload drives. (Spec comparisons go
+    /// through `Job`'s canonical `Debug` multiset, so `Out` needs no
+    /// `Ord` bound — which is what lets smart-home, whose predictions
+    /// carry floats, join the sweep.)
+    type Prog: DgsProgram + Send + Sync + 'static;
 
     /// Stable name used in reports ("value-barrier", "page-view", …).
     const NAME: &'static str;
@@ -62,6 +67,15 @@ pub trait SweepWorkload: Sized {
     /// paced run must play out (used to convert a rate into an expected
     /// minimum duration).
     fn last_tick(&self) -> Timestamp;
+
+    /// The workload as a [`Job`]: program + streams, everything else
+    /// derived. `tests/api_equivalence.rs` pins the derived plan equal
+    /// to [`SweepWorkload::plan`] for every workload here, so harnesses
+    /// driving this job measure exactly the deployment the manual path
+    /// describes.
+    fn job(&self, hb_period: Timestamp) -> Job<Self::Prog> {
+        Job::new(self.program(), self.streams(hb_period))
+    }
 }
 
 impl SweepWorkload for VbWorkload {
@@ -215,6 +229,82 @@ impl SweepWorkload for FdWorkload {
     }
 }
 
+impl SweepWorkload for OdWorkload {
+    type Prog = OutlierDetection;
+
+    const NAME: &'static str = "outlier";
+
+    /// `workers` observation streams; one planted outlier every 50
+    /// records per stream (the case-study density).
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        OdWorkload { streams: workers, obs_per_query: per_window, queries: windows, outlier_every: 50 }
+    }
+
+    fn program(&self) -> OutlierDetection {
+        OutlierDetection
+    }
+
+    fn plan(&self) -> Plan<crate::outlier::OdTag> {
+        OdWorkload::plan(self)
+    }
+
+    fn streams(
+        &self,
+        hb_period: Timestamp,
+    ) -> Vec<ScheduledStream<crate::outlier::OdTag, crate::outlier::Connection>> {
+        self.scheduled_streams(hb_period)
+    }
+
+    fn event_count(&self) -> u64 {
+        self.streams as u64 * self.obs_per_query * self.queries + self.queries
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.obs_per_query * self.queries
+    }
+}
+
+impl SweepWorkload for ShWorkload {
+    type Prog = SmartHome;
+
+    const NAME: &'static str = "smart-home";
+
+    /// `workers` houses of 2 households × 2 plugs; `per_window`
+    /// measurements per plug per slice.
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        ShWorkload {
+            houses: workers,
+            households: 2,
+            plugs: 2,
+            per_plug_per_slice: per_window,
+            slices: windows,
+        }
+    }
+
+    fn program(&self) -> SmartHome {
+        SmartHome
+    }
+
+    fn plan(&self) -> Plan<crate::smart_home::ShTag> {
+        ShWorkload::plan(self)
+    }
+
+    fn streams(
+        &self,
+        hb_period: Timestamp,
+    ) -> Vec<ScheduledStream<crate::smart_home::ShTag, crate::smart_home::ShPayload>> {
+        self.scheduled_streams(hb_period)
+    }
+
+    fn event_count(&self) -> u64 {
+        self.total_events()
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.per_house_per_slice() * self.slices
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,7 +334,24 @@ mod tests {
             check::<PvWorkload>(workers);
             check::<FdWorkload>(workers);
             check::<PvForestWorkload>(workers);
+            check::<OdWorkload>(workers);
+            check::<ShWorkload>(workers);
         }
+    }
+
+    /// The `job()` view of a workload runs and verifies end to end (the
+    /// path the wallclock harness and CLI drive).
+    #[test]
+    fn sweep_jobs_verify_against_the_spec() {
+        fn verify<W: SweepWorkload>() {
+            let w = W::for_scale(2, 15, 2);
+            w.job(3).verify_against_spec().unwrap_or_else(|e| {
+                panic!("{}: job path diverged from spec: {e}", W::NAME)
+            });
+        }
+        verify::<VbWorkload>();
+        verify::<OdWorkload>();
+        verify::<ShWorkload>();
     }
 
     /// Every worker count on the sweep axis must be a distinct deployment
@@ -261,6 +368,8 @@ mod tests {
             assert_eq!(leaves::<PvWorkload>(workers), workers as usize, "pv at {workers}");
             // Forest cell: two view leaves per page, one page per worker.
             assert_eq!(leaves::<PvForestWorkload>(workers), 2 * workers as usize);
+            assert_eq!(leaves::<OdWorkload>(workers), workers as usize);
+            assert_eq!(leaves::<ShWorkload>(workers), workers as usize);
         }
     }
 

@@ -121,9 +121,7 @@ impl VbWorkload {
             1.0,
             Location(self.value_streams),
         ));
-        let dep =
-            dgs_core::depends::FnDependence::new(|a: &VbTag, b: &VbTag| ValueBarrier.depends(a, b));
-        CommMinOptimizer.plan(&infos, &dep)
+        CommMinOptimizer.plan(&infos, &ValueBarrier.dependence())
     }
 
     /// Scheduled streams for the thread driver: values at consecutive
@@ -214,10 +212,7 @@ impl VbWorkload {
 mod tests {
     use super::*;
     use dgs_core::consistency::{check_c1, check_c2, check_c3};
-    use dgs_core::spec::{run_sequential, sort_o};
-    use dgs_runtime::source::item_lists;
-    use dgs_runtime::thread_driver::{run_threads, ThreadRunOptions};
-    use std::sync::Arc;
+    use dgs_core::spec::run_sequential;
 
     fn ev(tag: VbTag, stream: u32, ts: u64, v: i64) -> Event<VbTag, i64> {
         Event::new(tag, StreamId(stream), ts, v)
@@ -276,22 +271,23 @@ mod tests {
         dgs_plan::validity::check_valid_for_program(&plan, &ValueBarrier, &universe).unwrap();
     }
 
+    /// End to end through the unified `Job` API: the derived plan runs
+    /// on threads and reproduces both the sequential spec (multiset, via
+    /// `verify_against_spec`) and the closed-form window sums.
     #[test]
     fn threaded_run_matches_spec_and_expected_sums() {
+        use crate::sweep::SweepWorkload as _;
         let w = VbWorkload { value_streams: 3, values_per_barrier: 50, barriers: 4 };
-        let streams = w.scheduled_streams(10);
-        let expect_spec = {
-            let merged = sort_o(&item_lists(&streams));
-            run_sequential(&ValueBarrier, &merged).1
-        };
-        let result = run_threads(Arc::new(ValueBarrier), &w.plan(), streams, ThreadRunOptions::default());
-        let mut got: Vec<i64> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let verified = w.job(10).verify_against_spec().expect("Theorem 3.5");
         // Outputs may interleave across workers but barriers are totally
-        // ordered, so sorting by trigger timestamp reconstructs them.
-        let mut with_ts = result.outputs.clone();
+        // ordered, so sorting by trigger timestamp reconstructs the
+        // sequential output *sequence*, not just the multiset.
+        let mut with_ts = verified.run.outputs.clone();
         with_ts.sort_by_key(|(_, ts)| *ts);
         let ordered: Vec<i64> = with_ts.iter().map(|(o, _)| *o).collect();
-        assert_eq!(ordered, expect_spec);
+        let spec_seq: Vec<i64> = verified.spec.outputs.iter().map(|(o, _)| *o).collect();
+        assert_eq!(ordered, spec_seq);
+        let mut got: Vec<i64> = with_ts.iter().map(|(o, _)| *o).collect();
         got.sort_unstable();
         let mut want = w.expected_outputs();
         want.sort_unstable();

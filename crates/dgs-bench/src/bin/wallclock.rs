@@ -1,30 +1,37 @@
 //! Wall-clock benchmark driver for the real-thread runtime.
 //!
 //! ```text
-//! wallclock [--smoke] [--workers 1,2,4,8] [--rates 0,200000]
-//!           [--modes per-edge-ring,per-edge,ticketed] [--per-window 500]
-//!           [--windows 20] [--check-spec] [--with-sim]
-//!           [--date YYYY-MM-DD] [--out PATH]
+//! wallclock [--smoke] [--workloads value-barrier,page-view,...]
+//!           [--workers 1,2,4,8] [--rates 0,200000]
+//!           [--modes auto,per-edge-ring,per-edge,ticketed]
+//!           [--per-window 500] [--windows 20] [--check-spec]
+//!           [--with-sim] [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
+//! wallclock --list
 //! ```
 //!
-//! Runs the three paper workloads (value-barrier, page-view, fraud
-//! detection) plus the §4.3 `page-view-forest` multi-root cell on
-//! `run_threads` across the channel-mode × worker × rate grid, prints a
+//! Runs registry workloads (default: the three paper workloads plus the
+//! §4.3 `page-view-forest` multi-root cell — the committed-trajectory
+//! quartet) through the unified `Job` API on the real-thread backend
+//! across the channel-mode × worker × rate grid, prints a
 //! human-readable table, and — with `--out` — writes the
 //! machine-readable trajectory JSON (schema in `dgs_bench::report`).
-//! `--modes` selects the delivery planes to A/B: `per-edge-ring`
-//! (lock-free SPSC rings per edge, the runtime default),
-//! `per-edge` (the same topology on mutex-protected deques — the
+//! `--workloads` selects by name from the same
+//! `dgs_apps::registry` table the `flumina` CLI uses (`--list` prints
+//! it), so the two front ends cannot drift. `--modes` selects the
+//! delivery planes to A/B: `per-edge-ring` (lock-free SPSC rings per
+//! edge), `per-edge` (the same topology on mutex-protected deques — the
 //! pre-ring storage, which keeps this artifact name so its cells stay
-//! comparable across captures), and/or `ticketed` (global send-order
-//! MPMC). Rate `0` means unpaced max-throughput; nonzero rates pace
-//! sources on the wall clock and yield p50/p95/p99 latency.
-//! `--with-sim` appends the virtual-time figure entries so one file
-//! carries both measurement axes. `--validate` parses and schema-checks
-//! an existing file (used by CI on the smoke artifact) and exits nonzero
-//! on any violation.
+//! comparable across captures), `ticketed` (global send-order MPMC),
+//! and/or `auto` (the runtime default: resolves per host, and each
+//! recorded point names the concrete plane it picked). Rate `0` means
+//! unpaced max-throughput; nonzero rates pace sources on the wall clock
+//! and yield p50/p95/p99 latency. `--with-sim` appends the virtual-time
+//! figure entries so one file carries both measurement axes.
+//! `--validate` parses and schema-checks an existing file (used by CI
+//! on the smoke artifact) and exits nonzero on any violation.
 
+use dgs_apps::registry;
 use dgs_bench::figures;
 use dgs_bench::measure::Scale;
 use dgs_bench::report::{self, Json};
@@ -66,6 +73,27 @@ fn main() {
         };
         match arg.as_str() {
             "--smoke" => {}
+            "--list" => {
+                print!("{}", registry::render_listing());
+                return;
+            }
+            "--workloads" => {
+                spec.workloads = value("--workloads")
+                    .split(',')
+                    .map(|name| {
+                        registry::WORKLOADS
+                            .iter()
+                            .map(|w| w.name)
+                            .find(|n| *n == registry::canonical(name.trim()))
+                            .unwrap_or_else(|| {
+                                fail(&format!(
+                                    "unknown workload `{}` (try --list)",
+                                    name.trim()
+                                ))
+                            })
+                    })
+                    .collect();
+            }
             "--workers" => {
                 spec.workers = parse_list(&value("--workers"), "--workers")
                     .into_iter()
@@ -80,12 +108,15 @@ fn main() {
                         // Artifact names (see `ChannelMode::name`):
                         // "per-edge" is the mutex plane (the storage all
                         // pre-ring captures measured under this name),
-                        // "per-edge-ring" the lock-free default.
+                        // "per-edge-ring" the lock-free plane, "auto"
+                        // the per-host resolution (recorded points name
+                        // the concrete plane it picked).
+                        "auto" => ChannelMode::Auto,
                         "per-edge-ring" => ChannelMode::PerEdge,
                         "per-edge" => ChannelMode::PerEdgeMutex,
                         "ticketed" => ChannelMode::Ticketed,
                         other => fail(&format!(
-                            "bad --modes entry `{other}` (per-edge-ring | per-edge | ticketed)"
+                            "bad --modes entry `{other}` (auto | per-edge-ring | per-edge | ticketed)"
                         )),
                     })
                     .collect();
@@ -118,9 +149,26 @@ fn main() {
         }
     }
 
-    if spec.workers.is_empty() || spec.rates.is_empty() || spec.modes.is_empty() {
-        fail("empty --workers, --rates, or --modes");
+    if spec.workers.is_empty() || spec.rates.is_empty() || spec.modes.is_empty() || spec.workloads.is_empty() {
+        fail("empty --workers, --rates, --modes, or --workloads");
     }
+
+    // Resolve `auto` up front and dedup: `--modes auto,per-edge-ring` on
+    // a host where auto picks the rings would measure every cell twice
+    // under one identity key, and bench-diff's cell index would silently
+    // keep an arbitrary one of the duplicates.
+    let mut resolved = Vec::new();
+    for mode in spec.modes.iter().map(|m| m.resolve()) {
+        if resolved.contains(&mode) {
+            eprintln!(
+                "wallclock: dropping duplicate mode {} (auto resolved onto an explicitly listed plane)",
+                mode.name()
+            );
+        } else {
+            resolved.push(mode);
+        }
+    }
+    spec.modes = resolved;
 
     // hw_threads up front: a single-core capture measures queueing, not
     // scaling, and the artifact should say so before anyone reads the
@@ -128,11 +176,11 @@ fn main() {
     let hw_threads =
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(0);
     eprintln!(
-        "wallclock sweep on {} hw thread(s){}: modes {:?} × {} workloads × workers {:?} × rates {:?} ({} events/stream/window × {} windows){}",
+        "wallclock sweep on {} hw thread(s){}: modes {:?} × workloads {:?} × workers {:?} × rates {:?} ({} events/stream/window × {} windows){}",
         hw_threads,
         if hw_threads <= 1 { " (single-core: paced points measure queueing, not scaling)" } else { "" },
         spec.modes.iter().map(|m| m.name()).collect::<Vec<_>>(),
-        dgs_bench::wallclock::SWEEP_WORKLOADS,
+        spec.workloads,
         spec.workers,
         spec.rates,
         spec.per_window,

@@ -2,12 +2,12 @@
 //!
 //! Everything else in `dgs-bench` measures *virtual* time on the
 //! deterministic simulator; this module opens the paper's other axis
-//! (Figures 8–11 run on real hardware): it drives
-//! `dgs_runtime::thread_driver::run_threads` on the three §4.1 workloads
-//! plus the §4.3 `page-view-forest` multi-root cell (one independent
-//! page-tree per worker slot — the forest-native plan refactor's
-//! flagship shape) across a grid of worker counts and offered input
-//! rates, and reports
+//! (Figures 8–11 run on real hardware): it drives the real-thread
+//! backend — through the unified `Job` front door, over workloads
+//! resolved by name from the shared [`dgs_apps::registry`] (default:
+//! the three §4.1 workloads plus the §4.3 `page-view-forest` multi-root
+//! cell, one independent page-tree per worker slot) — across a grid of
+//! worker counts and offered input rates, and reports
 //!
 //! * end-to-end **throughput** (input events per wall second),
 //! * **per-event latency percentiles** (p50/p95/p99) from a fixed-bucket
@@ -24,16 +24,11 @@
 //! [`crate::report`] into the shared `BENCH_<date>.json` trajectory
 //! schema.
 
-use std::sync::Arc;
-
-use dgs_apps::fraud::FdWorkload;
-use dgs_apps::page_view::PvWorkload;
-use dgs_apps::sweep::{PvForestWorkload, SweepWorkload};
+use dgs_apps::registry::{self, WorkloadVisitor};
+use dgs_apps::sweep::SweepWorkload;
 use dgs_apps::value_barrier::VbWorkload;
-use dgs_core::program::DgsProgram;
-use dgs_core::spec::{run_sequential, sort_o};
-use dgs_runtime::source::item_lists;
-use dgs_runtime::thread_driver::{run_threads, ChannelMode, ThreadRunOptions};
+use dgs_runtime::job::Backend;
+use dgs_runtime::thread_driver::{ChannelMode, ThreadRunOptions};
 
 use crate::report::Json;
 
@@ -168,10 +163,12 @@ pub struct WallclockPoint {
     /// Workload name ([`SweepWorkload::NAME`]).
     pub workload: &'static str,
     /// Delivery plane the run used ([`ChannelMode::name`]):
-    /// `"per-edge-ring"` (lock-free SPSC rings, the runtime default),
-    /// `"per-edge"` (the mutex storage all pre-ring captures measured
-    /// under this name), or `"ticketed"` (global send-order MPMC). The
-    /// A/B axes of the message-plane refactors.
+    /// `"per-edge-ring"` (lock-free SPSC rings), `"per-edge"` (the
+    /// mutex storage all pre-ring captures measured under this name), or
+    /// `"ticketed"` (global send-order MPMC). Always the **resolved**
+    /// plane (taken from `RunTiming::channel_mode`), so sweeping
+    /// [`ChannelMode::Auto`] still records which concrete plane this
+    /// host picked.
     pub channel_mode: &'static str,
     /// Parallel event streams (the sweep's worker axis).
     pub workers: u32,
@@ -240,6 +237,10 @@ impl WallclockPoint {
 /// Parameters of a wall-clock sweep.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
+    /// Workloads to measure, by registry name
+    /// ([`dgs_apps::registry`]) — defaults to the committed-trajectory
+    /// quartet so cell sets stay comparable across captures.
+    pub workloads: Vec<&'static str>,
     /// Worker counts to sweep.
     pub workers: Vec<u32>,
     /// Offered rates (events/sec per stream); 0 = unpaced max throughput.
@@ -262,6 +263,7 @@ impl SweepSpec {
     /// the two A/B axes of the message-plane refactors).
     pub fn full() -> Self {
         SweepSpec {
+            workloads: registry::default_sweep_names(),
             workers: vec![1, 2, 4, 8],
             rates: vec![0, 200_000],
             modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge, ChannelMode::PerEdgeMutex],
@@ -274,6 +276,7 @@ impl SweepSpec {
     /// Tiny CI tier: seconds of runtime, spec-checked, all modes.
     pub fn smoke() -> Self {
         SweepSpec {
+            workloads: registry::default_sweep_names(),
             workers: vec![2],
             rates: vec![0, 100_000],
             modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge, ChannelMode::PerEdgeMutex],
@@ -348,33 +351,22 @@ fn run_single<W: SweepWorkload>(
 ) -> WallclockPoint {
     let w = W::for_scale(workers, per_window, windows);
     let hb_period = (per_window / 10).max(1);
-    let streams = w.streams(hb_period);
-    let expect = check_spec.then(|| {
-        let merged = sort_o(&item_lists(&streams));
-        run_sequential(&w.program(), &merged).1
-    });
-    let result = run_threads(
-        Arc::new(w.program()),
-        &w.plan(),
-        streams,
-        ThreadRunOptions {
-            initial_state: None,
-            checkpoint_root: false,
-            pace_ns_per_tick: pace_of(rate_eps),
-            record_timing: true,
-            channel_mode: mode,
-            ..Default::default()
-        },
-    );
-    let timing = result.timing.expect("timing requested");
-    let spec_ok = expect.map(|want| {
-        let mut want = want;
-        let mut got: Vec<<W::Prog as DgsProgram>::Out> =
-            result.outputs.iter().map(|(o, _)| o.clone()).collect();
-        want.sort();
-        got.sort();
-        want == got
-    });
+    // The measured deployment goes through the unified Job front door —
+    // plan derivation included (pinned plan-identical to the manual
+    // `w.plan()` path by `tests/api_equivalence.rs`, so cells stay
+    // comparable across the refactor).
+    let job = w.job(hb_period);
+    let report = job.run(Backend::Threads(ThreadRunOptions {
+        initial_state: None,
+        checkpoint_root: false,
+        pace_ns_per_tick: pace_of(rate_eps),
+        record_timing: true,
+        channel_mode: mode,
+        ..Default::default()
+    }));
+    let timing = report.timing.as_ref().expect("timing requested");
+    let spec_ok =
+        check_spec.then(|| job.run(Backend::Spec).output_multiset() == report.output_multiset());
     let mut hist = LatencyHistogram::new();
     for &ns in &timing.output_latency_ns {
         hist.record(ns);
@@ -382,11 +374,12 @@ fn run_single<W: SweepWorkload>(
     let elapsed_ns = timing.wall.as_nanos() as u64;
     WallclockPoint {
         workload: W::NAME,
-        channel_mode: mode.name(),
+        // The *resolved* plane (an `Auto` request names what it picked).
+        channel_mode: timing.channel_mode.name(),
         workers,
         rate_eps,
         events: w.event_count(),
-        outputs: result.outputs.len() as u64,
+        outputs: report.outputs.len() as u64,
         elapsed_ns,
         throughput_eps: if elapsed_ns > 0 {
             w.event_count() as f64 * 1e9 / elapsed_ns as f64
@@ -394,22 +387,51 @@ fn run_single<W: SweepWorkload>(
             0.0
         },
         latency: hist.summary(),
-        worker_msgs: result.effects.msgs.clone(),
+        worker_msgs: report.effects.msgs.clone(),
         spec_ok,
     }
 }
 
-/// Number of workloads [`sweep`] measures per grid cell: the three paper
-/// workloads plus the §4.3 `page-view-forest` multi-root cell.
-pub const SWEEP_WORKLOADS: usize = 4;
+/// [`run_one`] behind a registry lookup: measure one `(workload-name,
+/// mode, workers, rate)` cell. Panics on names the registry does not
+/// know (CLIs validate first).
+pub struct RunCell {
+    /// Delivery plane.
+    pub mode: ChannelMode,
+    /// Worker-count axis value.
+    pub workers: u32,
+    /// Events per stream per window.
+    pub per_window: u64,
+    /// Window count.
+    pub windows: u64,
+    /// Offered rate (0 = unpaced).
+    pub rate_eps: u64,
+    /// Verify the output multiset against the sequential spec.
+    pub check_spec: bool,
+}
 
-/// Run the full grid: `spec.modes` × [`SWEEP_WORKLOADS`] workloads ×
-/// `spec.workers` × `spec.rates`, in a deterministic order (mode-major,
-/// then workers, then rate, then workload). A small discarded warm-up
-/// run precedes the grid: the first measured cells of a fresh process
-/// otherwise pay one-time costs (allocator growth, page faults, CPU
-/// frequency ramp) that showed up as phantom 2× "regressions" on the
-/// first grid cell.
+impl WorkloadVisitor for RunCell {
+    type Out = WallclockPoint;
+
+    fn visit<W: SweepWorkload>(&mut self) -> WallclockPoint {
+        run_one::<W>(
+            self.mode,
+            self.workers,
+            self.per_window,
+            self.windows,
+            self.rate_eps,
+            self.check_spec,
+        )
+    }
+}
+
+/// Run the full grid: `spec.modes` × `spec.workloads` × `spec.workers`
+/// × `spec.rates`, in a deterministic order (mode-major, then workers,
+/// then rate, then workload — workloads resolved through the shared
+/// [`dgs_apps::registry`]). A small discarded warm-up run precedes the
+/// grid: the first measured cells of a fresh process otherwise pay
+/// one-time costs (allocator growth, page faults, CPU frequency ramp)
+/// that showed up as phantom 2× "regressions" on the first grid cell.
 pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
     for &mode in &spec.modes {
         let _ = run_one::<VbWorkload>(mode, 2, 200, 5, 0, false);
@@ -418,38 +440,20 @@ pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
     for &mode in &spec.modes {
         for &workers in &spec.workers {
             for &rate in &spec.rates {
-                points.push(run_one::<VbWorkload>(
-                    mode,
-                    workers,
-                    spec.per_window,
-                    spec.windows,
-                    rate,
-                    spec.check_spec,
-                ));
-                points.push(run_one::<PvWorkload>(
-                    mode,
-                    workers,
-                    spec.per_window,
-                    spec.windows,
-                    rate,
-                    spec.check_spec,
-                ));
-                points.push(run_one::<FdWorkload>(
-                    mode,
-                    workers,
-                    spec.per_window,
-                    spec.windows,
-                    rate,
-                    spec.check_spec,
-                ));
-                points.push(run_one::<PvForestWorkload>(
-                    mode,
-                    workers,
-                    spec.per_window,
-                    spec.windows,
-                    rate,
-                    spec.check_spec,
-                ));
+                for name in &spec.workloads {
+                    let mut cell = RunCell {
+                        mode,
+                        workers,
+                        per_window: spec.per_window,
+                        windows: spec.windows,
+                        rate_eps: rate,
+                        check_spec: spec.check_spec,
+                    };
+                    points.push(
+                        registry::visit(name, &mut cell)
+                            .unwrap_or_else(|| panic!("unknown workload {name:?}")),
+                    );
+                }
             }
         }
     }
@@ -566,6 +570,7 @@ mod tests {
     #[test]
     fn sweep_covers_the_grid() {
         let spec = SweepSpec {
+            workloads: registry::default_sweep_names(),
             workers: vec![1, 2],
             rates: vec![0],
             modes: vec![ChannelMode::Ticketed, ChannelMode::PerEdge, ChannelMode::PerEdgeMutex],
@@ -573,11 +578,12 @@ mod tests {
             windows: 2,
             check_spec: true,
         };
+        let n_workloads = spec.workloads.len();
         let points = sweep(&spec);
         assert_eq!(
             points.len(),
-            3 * 2 * SWEEP_WORKLOADS,
-            "3 modes × 2 worker counts × 1 rate × {SWEEP_WORKLOADS} workloads"
+            3 * 2 * n_workloads,
+            "3 modes × 2 worker counts × 1 rate × {n_workloads} workloads"
         );
         assert!(points.iter().all(|p| p.spec_ok == Some(true)));
         let table = render_table(&points);
@@ -590,5 +596,33 @@ mod tests {
                 && table.contains(" per-edge |")
                 && table.contains("ticketed")
         );
+    }
+
+    /// A sweep can select any registry workload by name — including the
+    /// case studies outside the default quartet — and an `Auto` mode
+    /// request records the concrete plane this host resolved to.
+    #[test]
+    fn registry_names_and_auto_mode_resolve() {
+        let spec = SweepSpec {
+            workloads: vec!["outlier", "smart-home"],
+            workers: vec![2],
+            rates: vec![0],
+            modes: vec![ChannelMode::Auto],
+            per_window: 10,
+            windows: 2,
+            check_spec: true,
+        };
+        let points = sweep(&spec);
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().any(|p| p.workload == "outlier"));
+        assert!(points.iter().any(|p| p.workload == "smart-home"));
+        for p in &points {
+            assert!(
+                p.channel_mode == "per-edge-ring" || p.channel_mode == "per-edge",
+                "Auto must resolve to a concrete per-edge plane, got {}",
+                p.channel_mode
+            );
+            assert_eq!(p.spec_ok, Some(true));
+        }
     }
 }

@@ -49,6 +49,22 @@ impl<T: Tag, F: Fn(&T, &T) -> bool> Dependence<T> for FnDependence<F> {
     }
 }
 
+/// Blanket adapter exposing a program's own
+/// [`DgsProgram::depends`](crate::program::DgsProgram::depends) as a
+/// [`Dependence`] relation, so optimizers and validity checks consume the
+/// program directly — no hand-written
+/// `FnDependence::new(|a, b| prog.depends(a, b))` wrapper around a method
+/// the program already has. Obtain one with
+/// [`DgsProgram::dependence`](crate::program::DgsProgram::dependence).
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramDependence<'a, P>(pub &'a P);
+
+impl<P: crate::program::DgsProgram> Dependence<P::Tag> for ProgramDependence<'_, P> {
+    fn depends(&self, a: &P::Tag, b: &P::Tag) -> bool {
+        self.0.depends(a, b)
+    }
+}
+
 /// Dependence relation given extensionally as a set of unordered pairs.
 /// Useful for randomly generated relations in tests.
 #[derive(Clone, Debug, Default)]
@@ -221,6 +237,21 @@ mod tests {
         // Same tag on different streams is still dependent.
         assert!(dep.depends_itag(&it(3, 0), &it(3, 1)));
         assert!(!dep.depends_itag(&it(3, 0), &it(4, 0)));
+    }
+
+    #[test]
+    fn program_dependence_mirrors_the_program() {
+        use crate::examples::{KcTag, KeyCounter};
+        use crate::program::DgsProgram;
+        let dep = KeyCounter.dependence();
+        assert!(dep.depends(&KcTag::ReadReset(1), &KcTag::Inc(1)));
+        assert!(dep.indep(&KcTag::Inc(1), &KcTag::Inc(1)));
+        assert!(check_symmetric(&dep, &[KcTag::Inc(1), KcTag::ReadReset(1), KcTag::Inc(2)]).is_ok());
+        // Same-tag different-stream lifting works through the adapter too.
+        assert!(dep.depends_itag(
+            &ITag::new(KcTag::ReadReset(2), StreamId(0)),
+            &ITag::new(KcTag::Inc(2), StreamId(1))
+        ));
     }
 
     #[test]

@@ -65,6 +65,18 @@ pub trait DgsProgram {
     fn can_handle(&self, _state: &Self::State, _tag: &Self::Tag) -> bool {
         true
     }
+
+    /// This program's own dependence relation as a
+    /// [`Dependence`](crate::depends::Dependence) value, for APIs (plan
+    /// optimizers, validity checks) that take the relation as a separate
+    /// argument. Retires the `FnDependence::new(|a, b| prog.depends(a, b))`
+    /// boilerplate every call site used to repeat.
+    fn dependence(&self) -> crate::depends::ProgramDependence<'_, Self>
+    where
+        Self: Sized,
+    {
+        crate::depends::ProgramDependence(self)
+    }
 }
 
 /// Convenience: check pairwise independence of two predicates under a

@@ -33,7 +33,7 @@ pub struct Location(pub u32);
 
 /// One worker of a synchronization plan: a sequential thread of
 /// computation responsible for a set of implementation tags.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Worker<T: Tag> {
     /// Implementation tags this worker is responsible for. May be empty
     /// (pure coordinator nodes, like `w1` in the paper's Figure 3).
@@ -55,7 +55,12 @@ impl<T: Tag> Worker<T> {
 }
 
 /// A synchronization plan: a rooted forest of binary worker trees.
-#[derive(Clone, Debug)]
+///
+/// Equality is structural — same arena (worker ids, tag ownership,
+/// parent/child links, locations) and same root order — which is what
+/// "two derivation paths produced the *same* plan" means in the API
+/// equivalence tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Plan<T: Tag> {
     workers: Vec<Worker<T>>,
     roots: Vec<WorkerId>,

@@ -1,0 +1,838 @@
+//! One front door: a typed [`Job`] builder unifying plan derivation and
+//! every execution backend.
+//!
+//! The paper's pitch is that a DGS program is *just* `init`/`update`/
+//! `fork`/`join` plus a dependence relation — the system derives the
+//! synchronization plan and runs it. This module delivers that
+//! ergonomics: a [`Job`] takes the program and its input
+//! [`ScheduledStream`]s and derives everything else —
+//!
+//! * per-tag [`ITagInfo`] **rates** from the streams' own schedules
+//!   (event count over the shared schedule horizon) and **locations**
+//!   from their stream ids, overridable per tag with [`Job::rate`] /
+//!   [`Job::place`];
+//! * the **dependence relation** straight from
+//!   [`DgsProgram::depends`] via the
+//!   [`ProgramDependence`](dgs_core::depends::ProgramDependence) blanket
+//!   adapter — no hand-written `FnDependence` wrapper;
+//! * the **plan** from an optimizer selected by [`PlanStrategy`]
+//!   ([`CommMin`](PlanStrategy::CommMin) by default), or pinned
+//!   explicitly with [`Job::with_plan`].
+//!
+//! Execution goes through one [`Backend`] value — real threads, the
+//! deterministic cluster simulator (replaying the same streams in
+//! virtual time), or the sequential specification — and every backend
+//! returns the same [`RunReport`], so "the parallel run matches the
+//! spec" (Theorem 3.5) is a one-liner: [`Job::verify_against_spec`].
+//!
+//! ```
+//! use std::sync::Arc;
+//! use dgs_core::event::{StreamId, Timestamp};
+//! use dgs_core::examples::{KcTag, KeyCounter};
+//! use dgs_core::tag::ITag;
+//! use dgs_runtime::job::Job;
+//! use dgs_runtime::source::ScheduledStream;
+//!
+//! let itag = |tag, s| ITag::new(tag, StreamId(s));
+//! let streams = vec![
+//!     ScheduledStream::periodic(itag(KcTag::Inc(1), 0), 1, 2, 100, |_| ())
+//!         .with_heartbeats(25).closed(Timestamp::MAX),
+//!     ScheduledStream::periodic(itag(KcTag::Inc(1), 1), 2, 2, 100, |_| ())
+//!         .with_heartbeats(25).closed(Timestamp::MAX),
+//!     ScheduledStream::periodic(itag(KcTag::ReadReset(1), 2), 50, 50, 4, |_| ())
+//!         .with_heartbeats(25).closed(Timestamp::MAX),
+//! ];
+//! let job = Job::new(KeyCounter, streams);
+//! let verified = job.verify_against_spec().expect("parallel == sequential");
+//! assert_eq!(verified.run.outputs.len(), 4);
+//! ```
+//!
+//! The pre-existing layer — hand-built `ITagInfo`s, explicit optimizer
+//! calls, [`run_threads`], [`build_sim`](crate::sim_driver::build_sim) —
+//! remains public as the low-level API for callers that need
+//! driver-specific knobs; `Job` is a composition of exactly those
+//! pieces, proven plan- and output-identical to the manual path by
+//! `tests/api_equivalence.rs`.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use dgs_core::event::Timestamp;
+use dgs_core::program::DgsProgram;
+use dgs_core::spec::sort_o;
+use dgs_core::tag::ITag;
+use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer, SequentialOptimizer};
+use dgs_plan::plan::{Location, Plan, WorkerId};
+use dgs_sim::{LinkSpec, Topology};
+
+use crate::sim_driver::{build_sim_scheduled, ReplaySource, SimConfig};
+use crate::source::{item_lists, ScheduledStream};
+use crate::thread_driver::{run_threads, RunEffects, RunTiming, ThreadRunOptions};
+
+/// Which optimizer derives the synchronization plan (paper §3.3 /
+/// Appendix B).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum PlanStrategy {
+    /// The Appendix-B communication-minimizing greedy — the default, and
+    /// the optimizer the paper's evaluation runs.
+    #[default]
+    CommMin,
+    /// One sequential worker owning every tag (the baseline plan).
+    Sequential,
+}
+
+/// Where a [`Job`] executes. All three backends return the same
+/// [`RunReport`].
+pub enum Backend<S> {
+    /// Real OS threads via [`run_threads`] — the "production" backend.
+    /// The job's own `initial_state`/`checkpoint_roots` settings fill
+    /// any options the caller left at their defaults.
+    Threads(ThreadRunOptions<S>),
+    /// The deterministic cluster simulator, replaying the job's
+    /// scheduled streams in virtual time (see
+    /// [`build_sim_scheduled`]); deliveries honor the topology's link
+    /// latencies and, when configured, the adversarial scheduler.
+    Sim(SimConfig),
+    /// The sequential specification ([`run_sequential`-style], paper
+    /// Definition 2.2): events of all streams merged in timestamp order
+    /// and folded through `update` on a single pseudo-worker. This is
+    /// the reference the other two must reproduce (Theorem 3.5).
+    ///
+    /// [`run_sequential`-style]: dgs_core::spec::run_sequential
+    Spec,
+}
+
+impl<S> Backend<S> {
+    /// The thread backend with default options — what
+    /// [`Job::verify_against_spec`] runs.
+    pub fn threads() -> Self {
+        Backend::Threads(ThreadRunOptions::default())
+    }
+}
+
+impl<S> Default for Backend<S> {
+    fn default() -> Self {
+        Backend::threads()
+    }
+}
+
+/// Aggregate engine statistics of a simulator run (absent on the other
+/// backends).
+#[derive(Clone, Copy, Debug)]
+pub struct SimStats {
+    /// Virtual time at quiescence (nanoseconds).
+    pub virtual_ns: u64,
+    /// Total bytes that crossed simulated links.
+    pub net_bytes: u64,
+    /// Messages delivered by the engine.
+    pub messages: u64,
+}
+
+/// The unified result of one [`Job`] execution, identical in shape
+/// across backends.
+pub struct RunReport<P: DgsProgram> {
+    /// The plan the run executed (derived, or the [`Job::with_plan`]
+    /// override).
+    pub plan: Plan<P::Tag>,
+    /// Every output with the timestamp of the event that produced it.
+    pub outputs: Vec<(P::Out, Timestamp)>,
+    /// Root checkpoints (empty unless [`Job::checkpoint_roots`] or the
+    /// backend options enabled them), tagged with the partition root
+    /// that took each snapshot. The [`Backend::Spec`] backend reports a
+    /// single final-state snapshot tagged `WorkerId(0)`.
+    pub checkpoints: Vec<(WorkerId, P::State, Timestamp)>,
+    /// Per-worker protocol effect counters, indexed by plan worker id.
+    /// The [`Backend::Spec`] backend reports one sequential
+    /// pseudo-worker (vectors of length 1: every event is one handled
+    /// message and one `update`; no joins or forks).
+    pub effects: RunEffects,
+    /// Wall-clock measurements — [`Backend::Threads`] with
+    /// `record_timing` only.
+    pub timing: Option<RunTiming>,
+    /// Engine statistics — [`Backend::Sim`] only.
+    pub sim: Option<SimStats>,
+}
+
+impl<P: DgsProgram> std::fmt::Debug for RunReport<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunReport")
+            .field("plan", &self.plan)
+            .field("outputs", &self.outputs)
+            .field("checkpoints", &self.checkpoints)
+            .field("effects", &self.effects)
+            .field("timing", &self.timing)
+            .field("sim", &self.sim)
+            .finish()
+    }
+}
+
+impl<P: DgsProgram> RunReport<P> {
+    /// The output multiset in a canonical order (sorted `Debug`
+    /// renderings) — the form two runs are compared in. `Debug` rather
+    /// than `Ord` so every program output qualifies;
+    /// [`DgsProgram::Out`] already requires `Debug`.
+    pub fn output_multiset(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.outputs.iter().map(|(o, _)| format!("{o:?}")).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A successful [`Job::verify_on`]: both runs, for further inspection.
+#[derive(Debug)]
+pub struct Verified<P: DgsProgram> {
+    /// The run under test.
+    pub run: RunReport<P>,
+    /// The sequential-specification run it was compared against.
+    pub spec: RunReport<P>,
+}
+
+/// The output multiset diverged from the sequential specification —
+/// a Theorem 3.5 violation (or an invalid plan).
+#[derive(Clone, Debug)]
+pub struct SpecMismatch {
+    /// Outputs the sequential specification produced.
+    pub expected: usize,
+    /// Outputs the run under test produced.
+    pub got: usize,
+    /// First differing element between the two sorted multisets (debug
+    /// rendering), `run` side vs `spec` side.
+    pub first_diff: String,
+}
+
+impl std::fmt::Display for SpecMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "output multiset diverged from the sequential spec: {} outputs vs {} expected; first difference: {}",
+            self.got, self.expected, self.first_diff
+        )
+    }
+}
+
+impl std::error::Error for SpecMismatch {}
+
+/// A DGS program plus its workload, with everything else derived — see
+/// the [module docs](self) for the full tour.
+///
+/// A `Job` is reusable: [`Job::run`] borrows it, so the same job can
+/// execute on several backends (that is exactly what
+/// [`Job::verify_on`] does).
+pub struct Job<P: DgsProgram> {
+    program: Arc<P>,
+    streams: Vec<ScheduledStream<P::Tag, P::Payload>>,
+    strategy: PlanStrategy,
+    fixed_plan: Option<Plan<P::Tag>>,
+    rate_overrides: BTreeMap<ITag<P::Tag>, f64>,
+    place_overrides: BTreeMap<ITag<P::Tag>, Location>,
+    initial_state: Option<P::State>,
+    checkpoint_roots: bool,
+    sim_ns_per_tick: u64,
+    /// Derived-plan / derived-infos caches: the optimizer and the
+    /// per-stream schedule scans run once per builder configuration,
+    /// however many times `plan()`/`derived_infos()`/`run()`/
+    /// `verify_on()` consult them. Reset by every builder method that
+    /// changes what the derivation would see.
+    plan_cache: std::sync::OnceLock<Plan<P::Tag>>,
+    infos_cache: std::sync::OnceLock<Vec<ITagInfo<P::Tag>>>,
+}
+
+impl<P: DgsProgram> Job<P> {
+    /// A job over `program` and its input streams. Panics if two streams
+    /// share an implementation tag (each itag names exactly one input
+    /// stream, paper §3.1).
+    pub fn new(program: P, streams: Vec<ScheduledStream<P::Tag, P::Payload>>) -> Self {
+        Self::from_arc(Arc::new(program), streams)
+    }
+
+    /// Like [`Job::new`] for an already-shared program.
+    pub fn from_arc(program: Arc<P>, streams: Vec<ScheduledStream<P::Tag, P::Payload>>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in &streams {
+            assert!(
+                seen.insert(s.itag.clone()),
+                "duplicate stream for implementation tag {:?}",
+                s.itag
+            );
+        }
+        Job {
+            program,
+            streams,
+            strategy: PlanStrategy::default(),
+            fixed_plan: None,
+            rate_overrides: BTreeMap::new(),
+            place_overrides: BTreeMap::new(),
+            initial_state: None,
+            checkpoint_roots: false,
+            sim_ns_per_tick: 1_000,
+            plan_cache: std::sync::OnceLock::new(),
+            infos_cache: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// Override the derived location of one tag's stream (default: node
+    /// `itag.stream`, i.e. each input stream arrives at its own node).
+    pub fn place(mut self, itag: ITag<P::Tag>, location: Location) -> Self {
+        self.place_overrides.insert(itag, location);
+        self.plan_cache = std::sync::OnceLock::new();
+        self.infos_cache = std::sync::OnceLock::new();
+        self
+    }
+
+    /// Override the derived rate of one tag's stream (default: the
+    /// stream's event count over the shared schedule horizon — only
+    /// *relative* rates matter to the optimizer).
+    pub fn rate(mut self, itag: ITag<P::Tag>, rate: f64) -> Self {
+        self.rate_overrides.insert(itag, rate);
+        self.plan_cache = std::sync::OnceLock::new();
+        self.infos_cache = std::sync::OnceLock::new();
+        self
+    }
+
+    /// Select the plan optimizer (default [`PlanStrategy::CommMin`]).
+    pub fn optimizer(mut self, strategy: PlanStrategy) -> Self {
+        self.strategy = strategy;
+        self.plan_cache = std::sync::OnceLock::new();
+        self.infos_cache = std::sync::OnceLock::new();
+        self
+    }
+
+    /// Escape hatch: run exactly this plan instead of deriving one.
+    pub fn with_plan(mut self, plan: Plan<P::Tag>) -> Self {
+        self.fixed_plan = Some(plan);
+        self.plan_cache = std::sync::OnceLock::new();
+        self.infos_cache = std::sync::OnceLock::new();
+        self
+    }
+
+    /// Seed the run with this state instead of `program.init()` (used by
+    /// checkpoint recovery). Applies to every backend.
+    pub fn with_initial_state(mut self, state: P::State) -> Self {
+        self.initial_state = Some(state);
+        self
+    }
+
+    /// Snapshot each partition root's state at its joins (Appendix D.2),
+    /// on every backend.
+    pub fn checkpoint_roots(mut self, enable: bool) -> Self {
+        self.checkpoint_roots = enable;
+        self
+    }
+
+    /// Virtual nanoseconds one schedule tick maps to on the
+    /// [`Backend::Sim`] backend (default 1000 — one tick per virtual
+    /// microsecond).
+    pub fn sim_ns_per_tick(mut self, ns: u64) -> Self {
+        assert!(ns > 0, "ns_per_tick must be positive");
+        self.sim_ns_per_tick = ns;
+        self
+    }
+
+    /// The program driving this job.
+    pub fn program(&self) -> &Arc<P> {
+        &self.program
+    }
+
+    /// The input streams, in the order they were given.
+    pub fn streams(&self) -> &[ScheduledStream<P::Tag, P::Payload>] {
+        &self.streams
+    }
+
+    /// The workload description the optimizer sees, derived from the
+    /// streams themselves: one [`ITagInfo`] per stream (same order),
+    /// rate = event count over the shared schedule horizon (the largest
+    /// event timestamp across all streams), location = the stream id's
+    /// node — each subject to the [`Job::rate`] / [`Job::place`]
+    /// overrides.
+    pub fn derived_infos(&self) -> Vec<ITagInfo<P::Tag>> {
+        self.infos_cache
+            .get_or_init(|| {
+                let horizon = self
+                    .streams
+                    .iter()
+                    .filter_map(|s| s.events().map(|e| e.ts).max())
+                    .max()
+                    .unwrap_or(0)
+                    .max(1);
+                self.streams
+                    .iter()
+                    .map(|s| {
+                        let rate = self.rate_overrides.get(&s.itag).copied().unwrap_or_else(|| {
+                            s.events().count() as f64 / horizon as f64
+                        });
+                        let location = self
+                            .place_overrides
+                            .get(&s.itag)
+                            .copied()
+                            .unwrap_or(Location(s.itag.stream.0));
+                        ITagInfo::new(s.itag.clone(), rate, location)
+                    })
+                    .collect()
+            })
+            .clone()
+    }
+
+    /// The synchronization plan this job runs: the [`Job::with_plan`]
+    /// override if set, otherwise the selected optimizer over
+    /// [`Job::derived_infos`] with the program's own dependence
+    /// relation.
+    pub fn plan(&self) -> Plan<P::Tag> {
+        if let Some(plan) = &self.fixed_plan {
+            return plan.clone();
+        }
+        self.plan_cache
+            .get_or_init(|| {
+                let infos = self.derived_infos();
+                let dep = self.program.dependence();
+                match self.strategy {
+                    PlanStrategy::CommMin => CommMinOptimizer.plan(&infos, &dep),
+                    PlanStrategy::Sequential => SequentialOptimizer.plan(&infos, &dep),
+                }
+            })
+            .clone()
+    }
+
+    /// A [`SimConfig`] sized to this job: a uniform topology covering
+    /// every derived (or overridden) source location and every plan
+    /// worker location, with latency recording off (replayed events
+    /// carry schedule ticks, not virtual nanoseconds — see
+    /// [`build_sim_scheduled`]).
+    pub fn auto_sim_config(&self) -> SimConfig {
+        let info_max = self.derived_infos().iter().map(|i| i.location.0).max().unwrap_or(0);
+        let plan_max = self
+            .plan()
+            .iter()
+            .map(|(_, w)| w.location.0)
+            .max()
+            .unwrap_or(0);
+        let mut cfg = SimConfig::new(Topology::uniform(
+            info_max.max(plan_max) + 1,
+            LinkSpec::default(),
+        ));
+        cfg.record_latency = false;
+        cfg.checkpoint_root = self.checkpoint_roots;
+        cfg
+    }
+}
+
+impl<P> Job<P>
+where
+    P: DgsProgram + Send + Sync + 'static,
+{
+    /// Execute on the given backend and return the unified report.
+    pub fn run(&self, backend: Backend<P::State>) -> RunReport<P> {
+        let plan = self.plan();
+        match backend {
+            Backend::Threads(mut opts) => {
+                if opts.initial_state.is_none() {
+                    opts.initial_state = self.initial_state.clone();
+                }
+                opts.checkpoint_root |= self.checkpoint_roots;
+                let result = run_threads(self.program.clone(), &plan, self.streams.to_vec(), opts);
+                RunReport {
+                    plan,
+                    outputs: result.outputs,
+                    checkpoints: result.checkpoints,
+                    effects: result.effects,
+                    timing: result.timing,
+                    sim: None,
+                }
+            }
+            Backend::Sim(mut cfg) => {
+                cfg.checkpoint_root |= self.checkpoint_roots;
+                let sources: Vec<ReplaySource<P::Tag, P::Payload>> = self
+                    .streams
+                    .iter()
+                    .cloned()
+                    .zip(self.derived_infos())
+                    .map(|(stream, info)| ReplaySource { stream, location: info.location })
+                    .collect();
+                let (mut engine, handles) = build_sim_scheduled(
+                    self.program.clone(),
+                    &plan,
+                    sources,
+                    self.sim_ns_per_tick,
+                    self.initial_state.clone(),
+                    cfg,
+                );
+                engine.run(None, u64::MAX);
+                let stats = SimStats {
+                    virtual_ns: engine.now(),
+                    net_bytes: engine.metrics().net_bytes,
+                    messages: engine.metrics().messages_delivered,
+                };
+                let outputs = std::mem::take(&mut *handles.outputs.borrow_mut());
+                let checkpoints = std::mem::take(&mut *handles.checkpoints.borrow_mut());
+                let effects = handles.effects.borrow().clone();
+                RunReport { plan, outputs, checkpoints, effects, timing: None, sim: Some(stats) }
+            }
+            Backend::Spec => self.run_spec(self.initial_state.clone()),
+        }
+    }
+
+    /// The sequential-specification run, seeded with `initial` (falling
+    /// back to `program.init()`). Shared by [`Backend::Spec`] and by
+    /// [`Job::verify_on`], which must seed the reference identically to
+    /// the run under test.
+    fn run_spec(&self, initial: Option<P::State>) -> RunReport<P> {
+        let plan = self.plan();
+        let merged = sort_o(&item_lists(&self.streams));
+        let mut state = initial.unwrap_or_else(|| self.program.init());
+        let mut outputs: Vec<(P::Out, Timestamp)> = Vec::new();
+        let mut scratch = Vec::new();
+        for e in &merged {
+            self.program.update(&mut state, e, &mut scratch);
+            outputs.extend(scratch.drain(..).map(|o| (o, e.ts)));
+        }
+        let n = merged.len() as u64;
+        let last_ts = merged.last().map(|e| e.ts).unwrap_or(0);
+        let checkpoints = if self.checkpoint_roots {
+            vec![(WorkerId(0), state, last_ts)]
+        } else {
+            Vec::new()
+        };
+        RunReport {
+            plan,
+            outputs,
+            checkpoints,
+            effects: RunEffects {
+                msgs: vec![n],
+                updates: vec![n],
+                joins: vec![0],
+                forks: vec![0],
+            },
+            timing: None,
+            sim: None,
+        }
+    }
+
+    /// Run `backend` and the sequential specification, compare output
+    /// multisets (Theorem 3.5), and return both reports on success.
+    ///
+    /// The specification is seeded exactly like the run under test: an
+    /// `initial_state` supplied through the backend's own options (e.g.
+    /// `ThreadRunOptions::initial_state`, as recovery does) seeds the
+    /// reference too, so only genuine parallel-vs-sequential divergence
+    /// — never a seeding asymmetry — reports as a [`SpecMismatch`].
+    pub fn verify_on(&self, backend: Backend<P::State>) -> Result<Verified<P>, SpecMismatch> {
+        let seeded = match &backend {
+            Backend::Threads(opts) => opts.initial_state.clone(),
+            Backend::Sim(_) | Backend::Spec => None,
+        };
+        let run = self.run(backend);
+        let spec = self.run_spec(seeded.or_else(|| self.initial_state.clone()));
+        let got = run.output_multiset();
+        let want = spec.output_multiset();
+        if got == want {
+            return Ok(Verified { run, spec });
+        }
+        let first_diff = got
+            .iter()
+            .zip(&want)
+            .find(|(g, w)| g != w)
+            .map(|(g, w)| format!("{g} vs {w}"))
+            .unwrap_or_else(|| {
+                if got.len() > want.len() {
+                    format!("{} vs <absent>", got[want.len()])
+                } else {
+                    format!("<absent> vs {}", want[got.len()])
+                }
+            });
+        Err(SpecMismatch { expected: want.len(), got: got.len(), first_diff })
+    }
+
+    /// The one-liner the paper promises: execute on real threads
+    /// (default options — the delivery plane auto-resolves per host) and
+    /// prove the output multiset equals the sequential specification's.
+    pub fn verify_against_spec(&self) -> Result<Verified<P>, SpecMismatch> {
+        self.verify_on(Backend::threads())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_core::event::StreamId;
+    use dgs_core::examples::{KcTag, KeyCounter};
+    use dgs_core::tag::Tag;
+    use dgs_plan::plan::PlanBuilder;
+    use crate::thread_driver::ChannelMode;
+
+    fn it(tag: KcTag, s: u32) -> ITag<KcTag> {
+        ITag::new(tag, StreamId(s))
+    }
+
+    fn kc_streams() -> Vec<ScheduledStream<KcTag, ()>> {
+        vec![
+            ScheduledStream::periodic(it(KcTag::Inc(1), 0), 1, 2, 100, |_| ())
+                .with_heartbeats(25)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 1), 2, 2, 100, |_| ())
+                .with_heartbeats(25)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::ReadReset(1), 2), 50, 50, 4, |_| ())
+                .with_heartbeats(25)
+                .closed(u64::MAX),
+        ]
+    }
+
+    #[test]
+    fn derives_rates_and_locations_from_the_schedule() {
+        let job = Job::new(KeyCounter, kc_streams());
+        let infos = job.derived_infos();
+        assert_eq!(infos.len(), 3);
+        // Horizon = 200 (last read-reset); rates are events / horizon.
+        assert_eq!(infos[0].rate, 100.0 / 200.0);
+        assert_eq!(infos[2].rate, 4.0 / 200.0);
+        // Locations default to the stream id's node.
+        assert_eq!(infos[1].location, Location(1));
+        // High-rate tags outrank low-rate tags, as the optimizer needs.
+        assert!(infos[0].rate > infos[2].rate);
+    }
+
+    #[test]
+    fn overrides_replace_derived_values() {
+        let job = Job::new(KeyCounter, kc_streams())
+            .rate(it(KcTag::Inc(1), 0), 9.5)
+            .place(it(KcTag::ReadReset(1), 2), Location(7));
+        let infos = job.derived_infos();
+        assert_eq!(infos[0].rate, 9.5);
+        assert_eq!(infos[2].location, Location(7));
+        // Untouched entries keep their derivation.
+        assert_eq!(infos[1].location, Location(1));
+    }
+
+    #[test]
+    fn derived_plan_parallelizes_the_increments() {
+        let plan = Job::new(KeyCounter, kc_streams()).plan();
+        // Read-reset on the root, one leaf per increment stream.
+        assert_eq!(plan.leaf_count(), 2);
+        assert_eq!(plan.responsible_for(&it(KcTag::ReadReset(1), 2)), Some(plan.root()));
+    }
+
+    #[test]
+    fn sequential_strategy_and_fixed_plan_escape_hatch() {
+        let seq = Job::new(KeyCounter, kc_streams())
+            .optimizer(PlanStrategy::Sequential)
+            .plan();
+        assert_eq!(seq.len(), 1);
+        let mut b = PlanBuilder::new();
+        let root = b.add(
+            [it(KcTag::Inc(1), 0), it(KcTag::Inc(1), 1), it(KcTag::ReadReset(1), 2)],
+            Location(5),
+        );
+        let fixed = b.build(root);
+        let job = Job::new(KeyCounter, kc_streams()).with_plan(fixed.clone());
+        assert_eq!(job.plan(), fixed);
+    }
+
+    #[test]
+    fn all_backends_agree_on_the_output_multiset() {
+        let job = Job::new(KeyCounter, kc_streams());
+        let spec = job.run(Backend::Spec);
+        let threads = job.run(Backend::threads());
+        let sim = job.run(Backend::Sim(job.auto_sim_config()));
+        assert_eq!(threads.output_multiset(), spec.output_multiset());
+        assert_eq!(sim.output_multiset(), spec.output_multiset());
+        // Spec reports the single sequential pseudo-worker.
+        assert_eq!(spec.effects.msgs.len(), 1);
+        assert_eq!(spec.effects.updates[0], 204);
+        // Sim reports engine stats; threads do not.
+        assert!(sim.sim.is_some() && threads.sim.is_none());
+        assert!(sim.effects.msgs.iter().sum::<u64>() > 0);
+    }
+
+    #[test]
+    fn verify_against_spec_is_a_one_liner() {
+        let verified = Job::new(KeyCounter, kc_streams())
+            .verify_against_spec()
+            .expect("Theorem 3.5");
+        assert_eq!(verified.run.outputs.len(), verified.spec.outputs.len());
+        assert_eq!(verified.run.outputs.len(), 4);
+    }
+
+    #[test]
+    fn verify_on_reports_a_readable_mismatch() {
+        // A program whose parallel run diverges: join drops the right
+        // state, so window sums lose the second leaf's contribution.
+        #[derive(Clone, Copy, Debug)]
+        struct BadJoin;
+        impl DgsProgram for BadJoin {
+            type Tag = char;
+            type Payload = ();
+            type State = i64;
+            type Out = i64;
+            fn init(&self) -> i64 {
+                0
+            }
+            fn depends(&self, a: &char, b: &char) -> bool {
+                *a == 'b' || *b == 'b'
+            }
+            fn update(&self, s: &mut i64, e: &dgs_core::event::Event<char, ()>, out: &mut Vec<i64>) {
+                match e.tag {
+                    'b' => {
+                        out.push(*s);
+                        *s = 0;
+                    }
+                    _ => *s += 1,
+                }
+            }
+            fn fork(
+                &self,
+                s: i64,
+                _l: &dgs_core::predicate::TagPredicate<char>,
+                _r: &dgs_core::predicate::TagPredicate<char>,
+            ) -> (i64, i64) {
+                (s, 0)
+            }
+            fn join(&self, left: i64, _right: i64) -> i64 {
+                left // drops the right contribution: not C-consistent
+            }
+        }
+        let streams = vec![
+            ScheduledStream::periodic(ITag::new('v', StreamId(0)), 1, 1, 40, |_| ())
+                .with_heartbeats(5)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(ITag::new('w', StreamId(1)), 1, 1, 40, |_| ())
+                .with_heartbeats(5)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(ITag::new('b', StreamId(2)), 20, 20, 2, |_| ())
+                .with_heartbeats(5)
+                .closed(u64::MAX),
+        ];
+        let err = Job::new(BadJoin, streams)
+            .verify_against_spec()
+            .expect_err("a lossy join must fail verification");
+        assert_eq!(err.expected, 2);
+        let msg = err.to_string();
+        assert!(msg.contains("diverged"), "unhelpful message: {msg}");
+    }
+
+    #[test]
+    fn initial_state_and_checkpoints_flow_through_every_backend() {
+        // Two increment streams so the derived plan really forks (the
+        // root owning read-resets joins at every window — that is where
+        // checkpoints are taken).
+        let streams = vec![
+            ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 10, 10, 2, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 1, 5, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 2), 1, 1, 5, |_| ())
+                .with_heartbeats(3)
+                .closed(u64::MAX),
+        ];
+        let mut seed = std::collections::BTreeMap::new();
+        seed.insert(1u32, 100i64);
+        let job = Job::new(KeyCounter, streams)
+            .with_initial_state(seed)
+            .checkpoint_roots(true);
+        assert_eq!(job.plan().leaf_count(), 2, "plan must fork");
+        for (label, backend) in [
+            ("threads", Backend::threads()),
+            ("sim", Backend::Sim(job.auto_sim_config())),
+            ("spec", Backend::Spec),
+        ] {
+            let report = job.run(backend);
+            // The first read-reset sees the seeded 100 plus the 10 early
+            // increments; the second sees nothing new.
+            let total: i64 = report.outputs.iter().map(|((_, v), _)| *v).sum();
+            assert_eq!(total, 110, "{label}: seeded state must be visible");
+            assert!(!report.checkpoints.is_empty(), "{label}: checkpoints requested");
+        }
+    }
+
+    /// An initial state supplied through the backend's own options (the
+    /// recovery path) must seed the verification reference too — a
+    /// seeded run compared against an unseeded spec is a seeding
+    /// asymmetry, not a Theorem 3.5 violation.
+    #[test]
+    fn verify_seeds_the_spec_like_the_backend_run() {
+        let mut seed = std::collections::BTreeMap::new();
+        seed.insert(1u32, 100i64);
+        let verified = Job::new(KeyCounter, kc_streams())
+            .verify_on(Backend::Threads(ThreadRunOptions {
+                initial_state: Some(seed),
+                ..Default::default()
+            }))
+            .expect("backend-seeded verification must compare seeded spec");
+        // Both sides saw the seeded 100 in the first window.
+        let first = |r: &RunReport<KeyCounter>| {
+            r.outputs.iter().min_by_key(|(_, ts)| *ts).map(|((_, v), _)| *v).unwrap()
+        };
+        assert_eq!(first(&verified.run), first(&verified.spec));
+        assert!(first(&verified.spec) >= 100);
+    }
+
+    #[test]
+    fn thread_backend_records_resolved_channel_mode() {
+        let job = Job::new(KeyCounter, kc_streams());
+        let report = job.run(Backend::Threads(ThreadRunOptions {
+            record_timing: true,
+            ..Default::default()
+        }));
+        let mode = report.timing.expect("timing requested").channel_mode;
+        assert_ne!(mode, ChannelMode::Auto, "reports must name a concrete plane");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate stream")]
+    fn duplicate_itags_are_rejected() {
+        let dup = vec![
+            ScheduledStream::periodic(it(KcTag::Inc(1), 0), 1, 1, 3, |_| ()),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 0), 2, 2, 3, |_| ()),
+        ];
+        let _ = Job::new(KeyCounter, dup);
+    }
+
+    /// `Tag` is auto-implemented, so any user enum works end to end;
+    /// smoke the generic path with a non-`examples` tag type.
+    #[test]
+    fn works_for_arbitrary_tag_types() {
+        fn assert_tag<T: Tag>() {}
+        assert_tag::<KcTag>();
+        let streams = vec![
+            ScheduledStream::periodic(ITag::new(0u8, StreamId(0)), 1, 1, 10, |_| ())
+                .with_heartbeats(4)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(ITag::new(1u8, StreamId(1)), 5, 5, 2, |_| ())
+                .with_heartbeats(4)
+                .closed(u64::MAX),
+        ];
+        #[derive(Clone, Copy, Debug)]
+        struct Sum;
+        impl DgsProgram for Sum {
+            type Tag = u8;
+            type Payload = ();
+            type State = u64;
+            type Out = u64;
+            fn init(&self) -> u64 {
+                0
+            }
+            fn depends(&self, a: &u8, b: &u8) -> bool {
+                *a == 1 || *b == 1
+            }
+            fn update(&self, s: &mut u64, e: &dgs_core::event::Event<u8, ()>, out: &mut Vec<u64>) {
+                if e.tag == 1 {
+                    out.push(*s);
+                } else {
+                    *s += 1;
+                }
+            }
+            fn fork(
+                &self,
+                s: u64,
+                _l: &dgs_core::predicate::TagPredicate<u8>,
+                _r: &dgs_core::predicate::TagPredicate<u8>,
+            ) -> (u64, u64) {
+                (s, 0)
+            }
+            fn join(&self, l: u64, r: u64) -> u64 {
+                l + r
+            }
+        }
+        Job::new(Sum, streams).verify_against_spec().expect("spec holds");
+    }
+}

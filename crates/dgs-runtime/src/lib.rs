@@ -22,9 +22,14 @@
 //!   and correctness tests).
 //! * [`checkpoint`] — Appendix D.2 state snapshots taken when the root
 //!   joins its descendants' states.
+//! * [`job`] — the typed front door: a [`Job`] builder that derives
+//!   the workload description and plan from a program and its streams,
+//!   and executes on any backend (threads, simulator, sequential spec)
+//!   behind one [`RunReport`].
 
 pub mod checkpoint;
 pub mod cost;
+pub mod job;
 pub mod mailbox;
 pub mod recovery;
 pub mod sim_driver;
@@ -33,5 +38,6 @@ pub mod thread_driver;
 pub mod worker;
 
 pub use cost::CostModel;
+pub use job::{Backend, Job, PlanStrategy, RunReport};
 pub use mailbox::Mailbox;
 pub use worker::{StepEffects, WorkerCore, WorkerMsg};

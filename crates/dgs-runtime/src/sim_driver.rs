@@ -1,8 +1,7 @@
 //! Run a synchronization plan on the `dgs-sim` cluster simulator.
 //!
 //! Every plan worker becomes one actor placed on the node given by its
-//! plan [`Location`](dgs_plan::plan::Location) (locations map 1:1 to
-//! simulator nodes). Every
+//! plan [`Location`] (locations map 1:1 to simulator nodes). Every
 //! [`PacedSource`] becomes a source actor emitting events whose timestamps
 //! are their virtual emission times — the "well-synchronized clocks"
 //! assumption of §3.1 — so output latency is simply `now - event.ts`.
@@ -11,13 +10,14 @@ use std::cell::RefCell;
 use std::rc::Rc;
 use std::sync::Arc;
 
-use dgs_core::event::{Event, Heartbeat, Timestamp};
+use dgs_core::event::{Event, Heartbeat, StreamItem, Timestamp};
 use dgs_core::program::DgsProgram;
-use dgs_plan::plan::{Plan, WorkerId};
+use dgs_plan::plan::{Location, Plan, WorkerId};
 use dgs_sim::{Actor, ActorId, Ctx, Engine, NodeId, SimTime, Topology};
 
 use crate::cost::CostModel;
-use crate::source::PacedSource;
+use crate::source::{PacedSource, ScheduledStream};
+use crate::thread_driver::RunEffects;
 use crate::worker::{partition_seeds, WorkerCore, WorkerMsg};
 
 /// Message type of a simulated Flumina deployment.
@@ -44,6 +44,12 @@ pub struct SimHandles<S, Out> {
     /// Checkpoints taken at the partition roots (empty unless enabled),
     /// tagged with the root that took each snapshot.
     pub checkpoints: SharedRootLog<S>,
+    /// Per-worker protocol effect counters, indexed by plan worker id —
+    /// the simulator's counterpart of the thread driver's
+    /// [`RunEffects`], so both backends report worker-attributed work
+    /// through one type. (The engine's global metrics keep the aggregate
+    /// `updates`/`joins`/`forks` counters as before.)
+    pub effects: Rc<RefCell<RunEffects>>,
 }
 
 /// Configuration of a simulated deployment.
@@ -101,6 +107,7 @@ struct WorkerActor<Prog: DgsProgram> {
     keep_outputs: bool,
     outputs: SharedLog<Prog::Out>,
     checkpoints: SharedRootLog<Prog::State>,
+    effects: Rc<RefCell<RunEffects>>,
 }
 
 type Msg<Prog> =
@@ -122,6 +129,14 @@ impl<Prog: DgsProgram> Actor<Msg<Prog>> for WorkerActor<Prog> {
         ctx.metrics().add("updates", fx.updates);
         ctx.metrics().add("joins", fx.joins);
         ctx.metrics().add("forks", fx.forks);
+        {
+            let mut eff = self.effects.borrow_mut();
+            let i = self.core.id().0;
+            eff.msgs[i] += 1;
+            eff.updates[i] += fx.updates;
+            eff.joins[i] += fx.joins;
+            eff.forks[i] += fx.forks;
+        }
         let now = ctx.now();
         for (out, ts) in fx.outputs {
             ctx.metrics().bump("outputs");
@@ -232,25 +247,90 @@ impl<Prog: DgsProgram> Actor<Msg<Prog>> for SourceActor<Prog> {
     }
 }
 
+/// A scheduled stream replayed into the simulator — the thread driver's
+/// workload description running on the virtual-time backend. Each item
+/// is emitted at virtual time `ts * ns_per_tick` (the `ns_per_tick`
+/// scale is a parameter of [`build_sim_scheduled`]); items whose scaled
+/// time overflows — notably the closing `Timestamp::MAX` heartbeat —
+/// are emitted immediately after the last representable item.
+pub struct ReplaySource<T: dgs_core::tag::Tag, P> {
+    /// The materialized stream (same type the thread driver feeds).
+    pub stream: ScheduledStream<T, P>,
+    /// Node the replaying source runs on.
+    pub location: Location,
+}
+
+struct ReplayActor<Prog: DgsProgram> {
+    items: Vec<StreamItem<Prog::Tag, Prog::Payload>>,
+    next: usize,
+    dst: ActorId,
+    ns_per_tick: u64,
+    emit_cost: SimTime,
+}
+
+impl<Prog: DgsProgram> ReplayActor<Prog> {
+    fn vtime(&self, ts: Timestamp) -> Option<SimTime> {
+        ts.checked_mul(self.ns_per_tick)
+    }
+}
+
+impl<Prog: DgsProgram> Actor<Msg<Prog>> for ReplayActor<Prog> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg<Prog>>) {
+        if let Some(first) = self.items.first() {
+            // An unrepresentable first emission time (a stream holding
+            // only its closing heartbeat) fires right away.
+            ctx.send_self_after(self.vtime(first.ts()).unwrap_or(1), SimMsg::Tick);
+        }
+    }
+
+    fn on_message(&mut self, msg: Msg<Prog>, ctx: &mut Ctx<'_, Msg<Prog>>) {
+        if !matches!(msg, SimMsg::Tick) {
+            return;
+        }
+        let item = self.items[self.next].clone();
+        self.next += 1;
+        ctx.charge(self.emit_cost);
+        match item {
+            StreamItem::Event(e) => {
+                ctx.metrics().add("events_emitted", 1);
+                ctx.send(self.dst, SimMsg::Worker(WorkerMsg::Event(e)));
+            }
+            StreamItem::Heartbeat(h) => {
+                ctx.metrics().bump("heartbeats_emitted");
+                ctx.send(self.dst, SimMsg::Worker(WorkerMsg::Heartbeat(h)));
+            }
+        }
+        if let Some(next) = self.items.get(self.next) {
+            // Timestamps are strictly increasing per stream, so the next
+            // tick is strictly later — except when its scaled time
+            // overflows (the closing heartbeat), which follows one
+            // nanosecond behind.
+            let delay = self
+                .vtime(next.ts())
+                .map(|t| t.saturating_sub(ctx.now()).max(1))
+                .unwrap_or(1);
+            ctx.send_self_after(delay, SimMsg::Tick);
+        }
+    }
+}
+
 /// A built deployment: the engine plus its output/checkpoint handles.
 pub type BuiltSim<Prog> = (
     Engine<Msg<Prog>>,
     SimHandles<<Prog as DgsProgram>::State, <Prog as DgsProgram>::Out>,
 );
 
-/// Build a simulated deployment: workers 0..plan.len() become actors (in
-/// worker-id order) and each source an additional actor. Returns the
-/// engine and output handles. Forest plans are seeded per partition root
-/// (the initial state is chain-forked along the partition predicates);
-/// single-root plans receive `prog.init()` whole, as before.
-pub fn build_sim<Prog: DgsProgram + 'static>(
-    prog: Arc<Prog>,
+/// Shared wiring of both simulator builders: the engine over the
+/// topology, adversary + wire-size configuration, and one worker actor
+/// per plan worker (actor ids 0..plan.len() in worker-id order).
+fn sim_skeleton<Prog: DgsProgram + 'static>(
+    prog: &Arc<Prog>,
     plan: &Plan<Prog::Tag>,
-    sources: Vec<PacedSource<Prog::Tag, Prog::Payload>>,
-    cfg: SimConfig,
+    cfg: &SimConfig,
 ) -> BuiltSim<Prog> {
     let outputs = Rc::new(RefCell::new(Vec::new()));
     let checkpoints = Rc::new(RefCell::new(Vec::new()));
+    let effects = Rc::new(RefCell::new(RunEffects::zeroed(plan.len())));
     let mut engine: Engine<Msg<Prog>> = Engine::new(cfg.topology.clone());
     if let Some((seed, max_jitter_ns)) = cfg.adversary {
         engine.set_delivery_adversary(seed, max_jitter_ns);
@@ -284,10 +364,40 @@ pub fn build_sim<Prog: DgsProgram + 'static>(
             keep_outputs: cfg.keep_outputs,
             outputs: outputs.clone(),
             checkpoints: checkpoints.clone(),
+            effects: effects.clone(),
         };
         let aid = engine.add_actor(node, Box::new(actor));
         debug_assert_eq!(aid.0, id.0);
     }
+    (engine, SimHandles { outputs, checkpoints, effects })
+}
+
+/// Seed each partition root with its chain-forked share of the initial
+/// state (the whole state for single-root plans).
+fn seed_roots<Prog: DgsProgram>(
+    engine: &mut Engine<Msg<Prog>>,
+    prog: &Prog,
+    plan: &Plan<Prog::Tag>,
+    initial: Prog::State,
+) {
+    let seeds = partition_seeds(prog, plan, initial);
+    for (&root, seed) in plan.roots().iter().zip(seeds) {
+        engine.inject(0, ActorId(root.0), SimMsg::Worker(WorkerMsg::StateDown { state: seed }));
+    }
+}
+
+/// Build a simulated deployment: workers 0..plan.len() become actors (in
+/// worker-id order) and each source an additional actor. Returns the
+/// engine and output handles. Forest plans are seeded per partition root
+/// (the initial state is chain-forked along the partition predicates);
+/// single-root plans receive `prog.init()` whole, as before.
+pub fn build_sim<Prog: DgsProgram + 'static>(
+    prog: Arc<Prog>,
+    plan: &Plan<Prog::Tag>,
+    sources: Vec<PacedSource<Prog::Tag, Prog::Payload>>,
+    cfg: SimConfig,
+) -> BuiltSim<Prog> {
+    let (mut engine, handles) = sim_skeleton(&prog, plan, &cfg);
     for spec in sources {
         let Some(resp) = plan.responsible_for(&spec.itag) else {
             panic!("no worker responsible for source tag {:?}", spec.itag)
@@ -306,13 +416,54 @@ pub fn build_sim<Prog: DgsProgram + 'static>(
         };
         engine.add_actor(node, Box::new(actor));
     }
-    // Seed each partition root with its chain-forked share of the
-    // initial state (the whole state for single-root plans).
-    let seeds = partition_seeds(prog.as_ref(), plan, prog.init());
-    for (&root, seed) in plan.roots().iter().zip(seeds) {
-        engine.inject(0, ActorId(root.0), SimMsg::Worker(WorkerMsg::StateDown { state: seed }));
+    seed_roots(&mut engine, prog.as_ref(), plan, prog.init());
+    (engine, handles)
+}
+
+/// Build a simulated deployment that *replays* the thread driver's
+/// scheduled streams: each [`ReplaySource`] becomes an actor emitting
+/// its items at `ts * ns_per_tick` virtual nanoseconds (per-stream FIFO
+/// preserved; cross-stream interleaving follows the topology's link
+/// latencies and, when configured, the adversarial delivery scheduler).
+///
+/// This is what lets one workload description drive both execution
+/// backends — the unified `Job` API runs its `Sim` backend through
+/// here. `initial_state` overrides `prog.init()` (checkpoint recovery);
+/// the chain-forked per-root seeding is identical to [`build_sim`].
+///
+/// Note on latency metrics: replayed events keep their schedule *tick*
+/// timestamps while the engine clock runs in virtual nanoseconds, so
+/// `SimConfig::record_latency` only yields meaningful samples when
+/// `ns_per_tick == 1`; callers wanting correctness runs (the common use)
+/// should disable it.
+pub fn build_sim_scheduled<Prog: DgsProgram + 'static>(
+    prog: Arc<Prog>,
+    plan: &Plan<Prog::Tag>,
+    sources: Vec<ReplaySource<Prog::Tag, Prog::Payload>>,
+    ns_per_tick: u64,
+    initial_state: Option<Prog::State>,
+    cfg: SimConfig,
+) -> BuiltSim<Prog> {
+    assert!(ns_per_tick > 0, "ns_per_tick must be positive");
+    let (mut engine, handles) = sim_skeleton(&prog, plan, &cfg);
+    for src in sources {
+        let Some(resp) = plan.responsible_for(&src.stream.itag) else {
+            panic!("no worker responsible for source tag {:?}", src.stream.itag)
+        };
+        let node = NodeId(src.location.0);
+        assert!(cfg.topology.contains(node), "source on node {node} outside the topology");
+        let actor = ReplayActor::<Prog> {
+            items: src.stream.items,
+            next: 0,
+            dst: ActorId(resp.0),
+            ns_per_tick,
+            emit_cost: cfg.cost.source_emit_ns,
+        };
+        engine.add_actor(node, Box::new(actor));
     }
-    (engine, SimHandles { outputs, checkpoints })
+    let initial = initial_state.unwrap_or_else(|| prog.init());
+    seed_roots(&mut engine, prog.as_ref(), plan, initial);
+    (engine, handles)
 }
 
 #[cfg(test)]
@@ -413,6 +564,64 @@ mod tests {
         engine.run(None, 10_000_000);
         assert_eq!(handles.checkpoints.borrow().len(), 2);
         assert!(handles.checkpoints.borrow().iter().all(|(r, _, _)| *r == plan.root()));
+    }
+
+    /// Replaying the thread driver's scheduled streams on the simulator
+    /// reproduces the sequential specification and attributes per-worker
+    /// effects — the contract the unified Job API's `Sim` backend rests
+    /// on.
+    #[test]
+    fn replayed_schedule_matches_spec_and_tallies_worker_effects() {
+        use dgs_core::spec::{run_sequential, sort_o};
+        use crate::source::{item_lists, ScheduledStream};
+
+        let plan = counter_plan();
+        let streams = vec![
+            ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 50, 50, 4, |_| ())
+                .with_heartbeats(5)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 3, 60, |_| ())
+                .with_heartbeats(7)
+                .closed(u64::MAX),
+            ScheduledStream::periodic(it(KcTag::Inc(1), 2), 2, 3, 60, |_| ())
+                .with_heartbeats(7)
+                .closed(u64::MAX),
+        ];
+        let expect = {
+            let merged = sort_o(&item_lists(&streams));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        let sources: Vec<ReplaySource<KcTag, ()>> = streams
+            .into_iter()
+            .map(|s| {
+                let location = Location(s.itag.stream.0);
+                ReplaySource { stream: s, location }
+            })
+            .collect();
+        let topo = Topology::uniform(3, LinkSpec { latency: 5_000, bytes_per_ns: 1.0 });
+        let mut cfg = SimConfig::new(topo);
+        cfg.record_latency = false; // tick timestamps vs ns clock
+        let (mut engine, handles) =
+            build_sim_scheduled(Arc::new(KeyCounter), &plan, sources, 1_000, None, cfg);
+        let outcome = engine.run(None, u64::MAX);
+        assert_eq!(outcome, dgs_sim::engine::RunOutcome::QueueEmpty);
+        let mut got: Vec<_> = handles.outputs.borrow().iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "replayed run must match the sequential spec");
+        // Per-worker attribution: all joins at the root, none at leaves,
+        // and every worker handled at least one message.
+        let effects = handles.effects.borrow();
+        assert_eq!(effects.joins[plan.root().0], 4);
+        for (id, w) in plan.iter() {
+            if w.is_leaf() {
+                assert_eq!(effects.joins[id.0], 0, "leaf {id} must not join");
+            }
+            assert!(effects.msgs[id.0] > 0, "worker {id} saw no messages");
+        }
+        // The shared engine metrics still aggregate the same totals.
+        assert_eq!(engine.metrics().get("joins"), effects.joins.iter().sum::<u64>());
     }
 
     /// A two-partition forest on the simulator: both trees run to

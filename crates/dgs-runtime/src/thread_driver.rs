@@ -9,11 +9,16 @@
 //!
 //! # Delivery plane
 //!
-//! Two interchangeable [`ChannelMode`]s connect the threads:
+//! Interchangeable [`ChannelMode`]s connect the threads. The default,
+//! [`ChannelMode::Auto`], resolves per host — the lock-free per-edge
+//! rings when more than one hardware thread is available, the mutex
+//! per-edge deques on a single-core host — and records the resolution
+//! in [`RunTiming::channel_mode`]. The concrete planes:
 //!
-//! * [`ChannelMode::PerEdge`] (default) — every `(sender, receiver)`
-//!   pair (plan edges, feeder→worker, driver→worker) gets its own SPSC
-//!   FIFO queue into the receiving worker's single-consumer inbox
+//! * [`ChannelMode::PerEdge`] / [`ChannelMode::PerEdgeMutex`] — every
+//!   `(sender, receiver)` pair (plan edges, feeder→worker,
+//!   driver→worker) gets its own SPSC FIFO queue (lock-free ring vs
+//!   mutexed deque) into the receiving worker's single-consumer inbox
 //!   (`crossbeam::edge`). Delivery is lossless FIFO **per edge and
 //!   nothing more** — exactly assumption 4 of Theorem 3.5. Worker
 //!   outputs are batched per destination run (`send_many`), and ingress
@@ -83,12 +88,24 @@ type EdgeRoutes<T, P, S> = Vec<Option<EdgeSender<T, P, S>>>;
 /// Delivery discipline connecting worker threads.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ChannelMode {
+    /// Pick the plane that measures fastest on this host (the default):
+    /// the lock-free rings of [`ChannelMode::PerEdge`] when more than one
+    /// hardware thread is available, the mutex deques of
+    /// [`ChannelMode::PerEdgeMutex`] on a single-core host — where
+    /// lock-freedom has no cache-line contention to avoid and the ring's
+    /// park/notify slow path measured 20–30% behind the mutex plane on
+    /// unpaced throughput (the `per-edge-ring` vs `per-edge` cells of the
+    /// committed trajectories). Resolution happens once per
+    /// [`run_threads`] call via [`ChannelMode::resolve`]; the resolved
+    /// mode is recorded in [`RunTiming::channel_mode`] so benchmark
+    /// artifacts always name a concrete plane.
+    #[default]
+    Auto,
     /// One lock-free SPSC ring per `(sender, receiver)` edge
     /// (cache-padded head/tail indices; bounded rings with blocking
     /// backpressure on ingress, segmented unbounded rings on protocol
     /// edges); per-edge FIFO is the *only* ordering guarantee (Theorem
     /// 3.5's assumption 4). Batched sends.
-    #[default]
     PerEdge,
     /// The same per-edge topology on mutex-protected `VecDeque`s (the
     /// pre-ring plane, kept selectable for wallclock A/B via `--modes`).
@@ -106,11 +123,31 @@ impl ChannelMode {
     /// captured under the name `"per-edge"`, so it keeps that name and
     /// its cells stay comparable across captures; the ring plane gets
     /// the new name `"per-edge-ring"` (its cells start a fresh series).
+    /// `Auto` never reaches an artifact — drivers resolve it to a
+    /// concrete plane first ([`ChannelMode::resolve`]).
     pub fn name(self) -> &'static str {
         match self {
+            ChannelMode::Auto => "auto",
             ChannelMode::PerEdge => "per-edge-ring",
             ChannelMode::PerEdgeMutex => "per-edge",
             ChannelMode::Ticketed => "ticketed",
+        }
+    }
+
+    /// Resolve [`ChannelMode::Auto`] to a concrete delivery plane for
+    /// this host: the lock-free rings with parallelism to exploit, the
+    /// mutex deques without. Concrete modes return themselves.
+    pub fn resolve(self) -> ChannelMode {
+        match self {
+            ChannelMode::Auto => {
+                let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+                if hw > 1 {
+                    ChannelMode::PerEdge
+                } else {
+                    ChannelMode::PerEdgeMutex
+                }
+            }
+            concrete => concrete,
         }
     }
 }
@@ -265,10 +302,27 @@ pub struct RunEffects {
     pub forks: Vec<u64>,
 }
 
+impl RunEffects {
+    /// Zeroed counters for `n` workers.
+    pub fn zeroed(n: usize) -> Self {
+        RunEffects {
+            msgs: vec![0; n],
+            updates: vec![0; n],
+            joins: vec![0; n],
+            forks: vec![0; n],
+        }
+    }
+}
+
 /// Wall-clock measurements of one threaded run. Per-worker message
 /// counts live in [`RunEffects::msgs`] (always collected), not here.
 #[derive(Debug, Clone)]
 pub struct RunTiming {
+    /// The *resolved* delivery plane the run actually used — never
+    /// [`ChannelMode::Auto`]. Benchmark reports record this, so an
+    /// `Auto` request still produces an artifact naming a concrete
+    /// plane.
+    pub channel_mode: ChannelMode,
     /// Sources started → global quiescence.
     pub wall: Duration,
     /// Per-output latency in wall nanoseconds, one entry per output:
@@ -349,6 +403,8 @@ where
     >;
 
     let n = plan.len();
+    // `Auto` resolves once per run, against this host's parallelism.
+    let channel_mode = options.channel_mode.resolve();
     // One quiescence counter per plan partition: the protocol never sends
     // across trees, so each tree seeds, runs, and drains independently.
     let part_of: Vec<usize> = (0..n).map(|i| plan.partition_index(WorkerId(i))).collect();
@@ -385,7 +441,8 @@ where
                 .0
         })
         .collect();
-    match options.channel_mode {
+    match channel_mode {
+        ChannelMode::Auto => unreachable!("resolved above"),
         ChannelMode::Ticketed => {
             let mut senders = Vec::with_capacity(n);
             for _ in 0..n {
@@ -402,7 +459,7 @@ where
             driver_routes = Outbound::Ticketed(senders);
         }
         ChannelMode::PerEdge | ChannelMode::PerEdgeMutex => {
-            let ring = options.channel_mode == ChannelMode::PerEdge;
+            let ring = channel_mode == ChannelMode::PerEdge;
             // `None` capacity = unbounded (mutex deque, or segmented
             // ring); `Some(n)` = bounded with blocking backpressure.
             let new_edge = |h: &edge::InboxHandle<Msg<Prog>>, cap: Option<usize>| {
@@ -624,6 +681,7 @@ where
     drop(cp_tx);
     let stamped: Vec<(Prog::Out, Timestamp, Instant)> = out_rx.iter().collect();
     let timing = options.record_timing.then(|| RunTiming {
+        channel_mode,
         wall,
         output_latency_ns: pace
             .map(|ns| {
@@ -759,6 +817,30 @@ mod tests {
             want.sort();
             assert_eq!(got, want, "mode {mode:?} diverged from the spec");
         }
+    }
+
+    /// `Auto` (the default) resolves to the plane that measures fastest
+    /// on this host — rings with parallelism, mutex deques without — and
+    /// a timed run records the concrete resolution, never `Auto` itself.
+    #[test]
+    fn auto_mode_resolves_by_host_parallelism_and_is_recorded() {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let want = if hw > 1 { ChannelMode::PerEdge } else { ChannelMode::PerEdgeMutex };
+        assert_eq!(ChannelMode::default(), ChannelMode::Auto);
+        assert_eq!(ChannelMode::Auto.resolve(), want);
+        // Concrete modes resolve to themselves.
+        for m in [ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed] {
+            assert_eq!(m.resolve(), m);
+        }
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &counter_plan(),
+            workload(),
+            ThreadRunOptions { record_timing: true, ..Default::default() },
+        );
+        let recorded = result.timing.expect("timing requested").channel_mode;
+        assert_eq!(recorded, want);
+        assert_ne!(recorded, ChannelMode::Auto);
     }
 
     /// A panicking program handler must propagate as a panic out of

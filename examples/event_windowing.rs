@@ -7,27 +7,28 @@
 
 use std::sync::Arc;
 
+use flumina::apps::sweep::SweepWorkload as _;
 use flumina::apps::value_barrier::{ValueBarrier, VbWorkload};
 use flumina::runtime::sim_driver::{build_sim, SimConfig};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 use flumina::sim::{LinkSpec, Topology};
 
 fn main() {
-    // Correctness on threads: per-window sums equal the closed form.
+    // Correctness on threads through the unified Job API: spec-verified
+    // in one call, and the per-window sums equal the closed form.
     let w = VbWorkload { value_streams: 4, values_per_barrier: 500, barriers: 5 };
-    println!("plan for 4 value streams:\n{}", w.plan().render());
-    let result = run_threads(
-        Arc::new(ValueBarrier),
-        &w.plan(),
-        w.scheduled_streams(50),
-        ThreadRunOptions::default(),
-    );
-    let mut by_ts = result.outputs.clone();
+    let job = w.job(50);
+    println!("plan for 4 value streams:\n{}", job.plan().render());
+    let verified = job.verify_against_spec().expect("Theorem 3.5");
+    let mut by_ts = verified.run.outputs.clone();
     by_ts.sort_by_key(|(_, ts)| *ts);
     let got: Vec<i64> = by_ts.iter().map(|(o, _)| *o).collect();
     assert_eq!(got, w.expected_outputs());
-    println!("threads: {} window sums, all exact ✓\n", got.len());
+    println!("threads: {} window sums, all exact and spec-verified ✓\n", got.len());
 
+    // The system-level knobs below need simulator-specific control
+    // (heartbeat pacing, straggler topologies), so they drop to the
+    // low-level layer the Job API composes: `build_sim` + paced sources.
+    //
     // The heartbeat knob (paper Figure 10b): starved heartbeats leave
     // values buffered in mailboxes until the next barrier.
     println!("heartbeats/barrier → window-output p50 latency (5 workers, simulator):");

@@ -12,32 +12,31 @@ use flumina::apps::fraud::baselines::{
     build_fraud_flink_sequential, run_fraud, FdBaselineParams,
 };
 use flumina::apps::fraud::{FdOut, FdWorkload, FraudDetection};
+use flumina::apps::sweep::SweepWorkload as _;
 use flumina::runtime::sim_driver::{build_sim, SimConfig};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 use flumina::sim::{LinkSpec, Topology};
 
 fn main() {
     // ------------------------------------------------------------------
-    // Correctness on real threads: 4 transaction streams, rules every
-    // 1000 transactions; the output multiset equals the sequential spec.
+    // Correctness on real threads through the unified Job API: 4
+    // transaction streams, rules every 1000 transactions; the output
+    // multiset equals the sequential spec (verified in the same call).
     // ------------------------------------------------------------------
     let w = FdWorkload { txn_streams: 4, txns_per_rule: 1_000, rules: 5 };
     let plan = w.plan();
     println!("fraud-detection synchronization plan:\n{}", plan.render());
-    let result = run_threads(
-        Arc::new(FraudDetection),
-        &plan,
-        w.scheduled_streams(100),
-        ThreadRunOptions::default(),
-    );
-    let frauds = result.outputs.iter().filter(|(o, _)| matches!(o, FdOut::Fraud(_))).count();
-    let windows = result
+    let verified = w.job(100).verify_against_spec().expect("Theorem 3.5");
+    let frauds =
+        verified.run.outputs.iter().filter(|(o, _)| matches!(o, FdOut::Fraud(_))).count();
+    let windows = verified
+        .run
         .outputs
         .iter()
         .filter(|(o, _)| matches!(o, FdOut::WindowAggregate(_)))
         .count();
-    println!("threads: {windows} window aggregates, {frauds} flagged transactions");
+    println!("threads: {windows} window aggregates, {frauds} flagged transactions — spec ✓");
     assert_eq!(windows as u64, w.rules);
+    assert_eq!(verified.run.plan, plan, "Job derives the same plan as the manual path");
 
     // ------------------------------------------------------------------
     // Performance on the simulated cluster: Flumina vs the sequential

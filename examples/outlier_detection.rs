@@ -9,21 +9,16 @@
 use std::sync::Arc;
 
 use flumina::apps::outlier::{OdWorkload, OutlierDetection};
+use flumina::apps::sweep::SweepWorkload as _;
 use flumina::runtime::sim_driver::{build_sim, SimConfig};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 use flumina::sim::{LinkSpec, Topology};
 
 fn main() {
-    // Detection quality on threads: every planted outlier is found, and
-    // nothing else.
+    // Detection quality on threads through the unified Job API: the run
+    // is spec-verified, every planted outlier is found, and nothing else.
     let w = OdWorkload { streams: 4, obs_per_query: 2_000, queries: 3, outlier_every: 500 };
-    let result = run_threads(
-        Arc::new(OutlierDetection),
-        &w.plan(),
-        w.scheduled_streams(100),
-        ThreadRunOptions::default(),
-    );
-    let mut got: Vec<u64> = result.outputs.iter().map(|(id, _)| *id).collect();
+    let verified = w.job(100).verify_against_spec().expect("Theorem 3.5");
+    let mut got: Vec<u64> = verified.run.outputs.iter().map(|(id, _)| *id).collect();
     let mut planted = w.planted_ids();
     got.sort_unstable();
     planted.sort_unstable();

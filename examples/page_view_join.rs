@@ -10,8 +10,8 @@ use std::sync::Arc;
 
 use flumina::apps::page_view::baselines::{build_pv_keyed, run_pv, PvBaselineParams};
 use flumina::apps::page_view::{PageViewJoin, PvWorkload};
+use flumina::apps::sweep::SweepWorkload as _;
 use flumina::runtime::sim_driver::{build_sim, SimConfig};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 use flumina::sim::{LinkSpec, Topology};
 
 fn main() {
@@ -20,15 +20,15 @@ fn main() {
     let plan = w.plan();
     println!("page-view synchronization plan (a tree per page):\n{}", plan.render());
 
-    // Correctness on threads.
-    let result = run_threads(
-        Arc::new(PageViewJoin),
-        &plan,
-        w.scheduled_streams(50),
-        ThreadRunOptions::default(),
+    // Correctness on threads through the unified Job API — the derived
+    // plan is the same per-page forest, and the run is spec-verified.
+    let verified = w.job(50).verify_against_spec().expect("Theorem 3.5");
+    println!(
+        "threads: {} outputs (views joined + update acks) — spec ✓",
+        verified.run.outputs.len()
     );
-    println!("threads: {} outputs (views joined + update acks)", result.outputs.len());
-    assert_eq!(result.outputs.len() as u64, w.total_events());
+    assert_eq!(verified.run.outputs.len() as u64, w.total_events());
+    assert_eq!(verified.run.plan, plan, "Job derives the same plan as the manual path");
 
     // Throughput on the simulator: DGS vs keyed sharding at the same
     // parallelism (8 view shards, 2 hot pages).

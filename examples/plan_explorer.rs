@@ -5,7 +5,6 @@
 //! cargo run --example plan_explorer
 //! ```
 
-use flumina::core::depends::FnDependence;
 use flumina::core::event::StreamId;
 use flumina::core::examples::{KcTag, KeyCounter};
 use flumina::core::tag::ITag;
@@ -25,7 +24,8 @@ fn main() {
         ITagInfo::new(it(KcTag::Inc(2), 2), 200.0, Location(2)),
         ITagInfo::new(it(KcTag::Inc(2), 3), 300.0, Location(3)),
     ];
-    let dep = FnDependence::new(|a: &KcTag, b: &KcTag| KeyCounter.depends(a, b));
+    // The program *is* its own dependence relation — no wrapper needed.
+    let dep = KeyCounter.dependence();
 
     println!("== Appendix B communication-minimizing optimizer (Figure 3 / Figure 9) ==");
     let plan = CommMinOptimizer.plan(&infos, &dep);

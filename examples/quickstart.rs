@@ -1,32 +1,25 @@
-//! Quickstart: write a DGS program, generate a synchronization plan, and
-//! run it — first sequentially, then on real threads — for the paper's
-//! running example (a map from keys to counters, Figure 1).
+//! Quickstart: write a DGS program, hand its streams to `flumina::api::Job`,
+//! and let the system derive and run the synchronization plan — for the
+//! paper's running example (a map from keys to counters, Figure 1).
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 
-use std::sync::Arc;
-
-use flumina::core::event::{Event, StreamId, Timestamp};
+use flumina::api::{Backend, Job};
+use flumina::core::event::{StreamId, Timestamp};
 use flumina::core::examples::{KcTag, KeyCounter};
-use flumina::core::spec::{run_sequential, sort_o};
 use flumina::core::tag::ITag;
-use flumina::plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer};
-use flumina::plan::plan::Location;
-use flumina::runtime::source::{item_lists, ScheduledStream};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
+use flumina::runtime::source::ScheduledStream;
 
 fn main() {
     // ------------------------------------------------------------------
     // 1. The program: KeyCounter ships with dgs-core. Two event kinds —
     //    i(k) increments key k's counter, r(k) reads it out and resets.
-    //    The dependence relation says increments are mutually
+    //    Its dependence relation says increments are mutually
     //    independent; read-resets synchronize with everything of their
-    //    key.
-    // ------------------------------------------------------------------
-    let program = KeyCounter;
-
+    //    key. That relation — a method on the program — is ALL the
+    //    parallelization hint the system gets.
     // ------------------------------------------------------------------
     // 2. The workload: two increment streams for key 1 (parallelizable!),
     //    one increment stream for key 2, one read-reset stream per key.
@@ -51,39 +44,36 @@ fn main() {
     ];
 
     // ------------------------------------------------------------------
-    // 3. The sequential specification: what the parallel system must
-    //    reproduce (up to output reordering).
+    // 3. The Job derives everything else: per-tag rates and locations
+    //    from the schedules, the dependence relation from the program,
+    //    and a synchronization plan from the Appendix-B optimizer — it
+    //    discovers the per-key split (a forest, one tree per key!) and
+    //    parallelizes key 1's increments across two leaves.
     // ------------------------------------------------------------------
-    let merged: Vec<Event<KcTag, ()>> = sort_o(&item_lists(&streams));
-    let (_, spec_out) = run_sequential(&program, &merged);
-    println!("sequential spec produced {} outputs", spec_out.len());
+    let job = Job::new(KeyCounter, streams);
+    println!("derived synchronization plan:\n{}", job.plan().render());
 
     // ------------------------------------------------------------------
-    // 4. A synchronization plan from the Appendix-B optimizer: it
-    //    discovers the per-key split and parallelizes key 1's increments
-    //    across two leaves (compare the paper's Figure 3).
+    // 4. Execute on real threads and verify against the sequential
+    //    specification (Theorem 3.5) — one call.
     // ------------------------------------------------------------------
-    let infos = vec![
-        ITagInfo::new(itag(KcTag::Inc(1), 0), 250.0, Location(0)),
-        ITagInfo::new(itag(KcTag::Inc(1), 1), 250.0, Location(1)),
-        ITagInfo::new(itag(KcTag::Inc(2), 2), 100.0, Location(2)),
-        ITagInfo::new(itag(KcTag::ReadReset(1), 3), 5.0, Location(0)),
-        ITagInfo::new(itag(KcTag::ReadReset(2), 4), 2.0, Location(2)),
-    ];
-    let dep = flumina::core::depends::FnDependence::new(|a: &KcTag, b: &KcTag| {
-        flumina::core::DgsProgram::depends(&KeyCounter, a, b)
-    });
-    let plan = CommMinOptimizer.plan(&infos, &dep);
-    println!("\nsynchronization plan:\n{}", plan.render());
+    let verified = job.verify_against_spec().expect("parallel must match the spec");
+    println!(
+        "threads: {} outputs, same multiset as the sequential spec ✓",
+        verified.run.outputs.len()
+    );
 
     // ------------------------------------------------------------------
-    // 5. Execute on real threads (one per worker, crossbeam channels).
+    // 5. The same job runs unchanged on the deterministic cluster
+    //    simulator (one node per stream, link latencies simulated).
     // ------------------------------------------------------------------
-    let result = run_threads(Arc::new(program), &plan, streams, ThreadRunOptions::default());
-    let mut got: Vec<(u32, i64)> = result.outputs.iter().map(|(o, _)| *o).collect();
-    let mut want = spec_out;
-    got.sort();
-    want.sort();
-    assert_eq!(got, want, "parallel execution must match the sequential spec");
-    println!("parallel run produced the same output multiset ({} outputs) ✓", got.len());
+    let sim = job.run(Backend::Sim(job.auto_sim_config()));
+    assert_eq!(sim.output_multiset(), verified.spec.output_multiset());
+    let stats = sim.sim.expect("engine stats");
+    println!(
+        "simulator: same {} outputs in {:.2} virtual ms over {} messages ✓",
+        sim.outputs.len(),
+        stats.virtual_ns as f64 / 1e6,
+        stats.messages
+    );
 }

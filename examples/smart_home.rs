@@ -9,8 +9,8 @@
 use std::sync::Arc;
 
 use flumina::apps::smart_home::{PredTarget, ShWorkload, SmartHome};
+use flumina::apps::sweep::SweepWorkload as _;
 use flumina::runtime::sim_driver::{build_sim, SimConfig};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 use flumina::sim::{LinkSpec, Topology};
 
 fn main() {
@@ -23,10 +23,11 @@ fn main() {
         plan.height()
     );
 
-    // Correctness + prediction inspection on threads.
-    let result =
-        run_threads(Arc::new(SmartHome), &plan, w.scheduled_streams(200), ThreadRunOptions::default());
-    let house_preds: Vec<_> = result
+    // Correctness + prediction inspection on threads, through the
+    // unified Job API (spec-verified in the same call).
+    let verified = w.job(200).verify_against_spec().expect("Theorem 3.5");
+    let house_preds: Vec<_> = verified
+        .run
         .outputs
         .iter()
         .filter(|(p, _)| matches!(p.target, PredTarget::House(0)))

@@ -1,0 +1,61 @@
+//! The front door of the workspace: write a [`DgsProgram`], describe its
+//! input streams, and let [`Job`] derive and run everything else.
+//!
+//! This is the API the paper describes — a DGS program is *just*
+//! `init`/`update`/`fork`/`join` plus a dependence relation; the system
+//! derives the synchronization plan and executes it. The whole README
+//! quickstart:
+//!
+//! ```
+//! use flumina::api::Job;
+//! use flumina::core::event::{StreamId, Timestamp};
+//! use flumina::core::examples::{KcTag, KeyCounter};
+//! use flumina::core::tag::ITag;
+//! use flumina::runtime::source::ScheduledStream;
+//!
+//! let itag = |tag, s| ITag::new(tag, StreamId(s));
+//! let streams = vec![
+//!     ScheduledStream::periodic(itag(KcTag::Inc(1), 0), 1, 2, 500, |_| ())
+//!         .with_heartbeats(25).closed(Timestamp::MAX),
+//!     ScheduledStream::periodic(itag(KcTag::Inc(1), 1), 2, 2, 500, |_| ())
+//!         .with_heartbeats(25).closed(Timestamp::MAX),
+//!     ScheduledStream::periodic(itag(KcTag::ReadReset(1), 2), 100, 100, 10, |_| ())
+//!         .with_heartbeats(25).closed(Timestamp::MAX),
+//! ];
+//! let job = Job::new(KeyCounter, streams);
+//! let verified = job.verify_against_spec().expect("Theorem 3.5");
+//! println!("{} outputs match the sequential spec", verified.run.outputs.len());
+//! ```
+//!
+//! No hand-assembled `ITagInfo`s, no `FnDependence` wrapper, no explicit
+//! optimizer call, no driver-specific invocation: rates and locations
+//! come from the streams' own schedules (overridable with
+//! [`Job::rate`] / [`Job::place`]), the dependence relation comes from
+//! the program itself, the plan from the Appendix-B optimizer
+//! ([`PlanStrategy`] selects; [`Job::with_plan`] pins), and execution
+//! goes through one [`Backend`] — real threads, the deterministic
+//! simulator, or the sequential specification — all returning the same
+//! [`RunReport`].
+//!
+//! ## The low-level layer
+//!
+//! `Job` composes public pieces that remain the documented API for
+//! driver-specific control: hand-built
+//! [`ITagInfo`](crate::plan::optimizer::ITagInfo)s into an
+//! [`Optimizer`](crate::plan::optimizer::Optimizer),
+//! [`run_threads`](crate::runtime::thread_driver::run_threads) with full
+//! [`ThreadRunOptions`], and
+//! [`build_sim`](crate::runtime::sim_driver::build_sim) /
+//! [`build_sim_scheduled`](crate::runtime::sim_driver::build_sim_scheduled)
+//! with topologies, cost models, and the adversarial delivery scheduler.
+//! `tests/api_equivalence.rs` proves the two layers produce identical
+//! plans and output multisets.
+//!
+//! [`DgsProgram`]: crate::core::program::DgsProgram
+
+pub use dgs_runtime::job::{
+    Backend, Job, PlanStrategy, RunReport, SimStats, SpecMismatch, Verified,
+};
+pub use dgs_runtime::sim_driver::SimConfig;
+pub use dgs_runtime::source::ScheduledStream;
+pub use dgs_runtime::thread_driver::{ChannelMode, RunEffects, RunTiming, ThreadRunOptions};

@@ -1,39 +1,45 @@
 //! `flumina` — command-line front end for the DGS workspace.
 //!
 //! ```text
-//! flumina plan <app> [-n N] [--dot]     print the synchronization plan
-//! flumina run  <app> [-n N]             execute on real threads, verify vs spec
-//! flumina sim  <app> [-n N]             simulate a cluster, report tput/latency
+//! flumina plan <workload> [-n N] [--dot]   print the synchronization plan
+//! flumina run  <workload> [-n N]           execute on real threads, verify vs spec
+//! flumina sim  <workload> [-n N]           simulate a cluster, report outcome
+//! flumina list                             list available workloads
 //! ```
 //!
-//! Apps: `value-barrier`, `fraud`, `page-view`, `outlier`, `smart-home`.
+//! Workloads are resolved by name against the shared
+//! [`registry`](flumina::apps::registry) — the same table the
+//! `wallclock` benchmark binary uses, so the two front ends cannot
+//! drift. Every command goes through the unified [`flumina::api::Job`]
+//! front door: the plan is derived from the workload's streams, and
+//! `run` is a [`verify_against_spec`](flumina::api::Job::verify_against_spec)
+//! call (Theorem 3.5 as a CLI exit code).
 
-use std::sync::Arc;
-
-use flumina::apps::fraud::{FdWorkload, FraudDetection};
-use flumina::apps::outlier::{OdWorkload, OutlierDetection};
-use flumina::apps::page_view::{PageViewJoin, PvWorkload};
-use flumina::apps::smart_home::{ShWorkload, SmartHome};
-use flumina::apps::value_barrier::{ValueBarrier, VbWorkload};
-use flumina::core::spec::{run_sequential, sort_o};
-use flumina::core::DgsProgram;
-use flumina::plan::plan::Plan;
-use flumina::runtime::sim_driver::{build_sim, SimConfig};
-use flumina::runtime::source::{item_lists, PacedSource, ScheduledStream};
-use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
-use flumina::sim::{LinkSpec, Topology};
+use flumina::api::Backend;
+use flumina::apps::registry::{self, WorkloadVisitor};
+use flumina::apps::sweep::SweepWorkload;
 
 struct Args {
     cmd: String,
-    app: String,
+    workload: String,
     parallelism: u32,
     dot: bool,
 }
 
+fn usage() -> String {
+    format!(
+        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot]\n       flumina list\nworkloads: {}",
+        registry::names().join(" | ")
+    )
+}
+
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
-    let cmd = it.next().ok_or("missing command (plan | run | sim)")?;
-    let app = it.next().ok_or("missing app name")?;
+    let cmd = it.next().ok_or("missing command (plan | run | sim | list)")?;
+    if cmd == "list" {
+        return Ok(Args { cmd, workload: String::new(), parallelism: 0, dot: false });
+    }
+    let workload = it.next().ok_or("missing workload name")?;
     let mut parallelism = 4u32;
     let mut dot = false;
     while let Some(a) = it.next() {
@@ -49,178 +55,77 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args { cmd, app, parallelism, dot })
+    Ok(Args { cmd, workload, parallelism, dot })
 }
 
-/// Everything the CLI needs per app, type-erased through a closure table.
-struct AppEntry {
-    plan: Box<dyn Fn(u32) -> String>,
-    plan_dot: Box<dyn Fn(u32) -> String>,
-    run: Box<dyn Fn(u32) -> String>,
-    sim: Box<dyn Fn(u32) -> String>,
+/// `plan`: derive and render the synchronization plan.
+struct PlanCmd {
+    n: u32,
+    dot: bool,
 }
 
-fn run_app<P>(
-    prog: P,
-    plan: Plan<P::Tag>,
-    streams: Vec<ScheduledStream<P::Tag, P::Payload>>,
-) -> String
-where
-    P: DgsProgram + Send + Sync + 'static,
-    P::State: Send,
-    P::Out: Send,
-{
-    let expect = run_sequential(&prog, &sort_o(&item_lists(&streams))).1;
-    let result = run_threads(Arc::new(prog), &plan, streams, ThreadRunOptions::default());
-    // Outputs only need multiset comparison; ordering by debug rendering
-    // avoids an Ord bound on every output type.
-    let mut got: Vec<String> =
-        result.outputs.iter().map(|(o, _)| format!("{o:?}")).collect();
-    let mut want: Vec<String> = expect.iter().map(|o| format!("{o:?}")).collect();
-    got.sort();
-    want.sort();
-    let verdict = if got == want { "MATCHES the sequential spec ✓" } else { "DIVERGED ✗" };
-    format!(
-        "{} workers on real threads produced {} outputs — {}",
-        plan.len(),
-        got.len(),
-        verdict
-    )
-}
+impl WorkloadVisitor for PlanCmd {
+    type Out = String;
 
-fn sim_app<P>(
-    prog: P,
-    plan: Plan<P::Tag>,
-    sources: Vec<PacedSource<P::Tag, P::Payload>>,
-    nodes: u32,
-    total_events: u64,
-) -> String
-where
-    P: DgsProgram + 'static,
-{
-    let mut cfg = SimConfig::new(Topology::uniform(nodes, LinkSpec::default()));
-    cfg.keep_outputs = false;
-    let (mut eng, _h) = build_sim(Arc::new(prog), &plan, sources, cfg);
-    eng.run(None, u64::MAX);
-    let tput = flumina::sim::metrics::events_per_ms(total_events, eng.now());
-    let lat = eng
-        .metrics()
-        .latency_p10_p50_p90()
-        .map(|(a, b, c)| {
-            format!("{:.2}/{:.2}/{:.2} ms", a as f64 / 1e6, b as f64 / 1e6, c as f64 / 1e6)
-        })
-        .unwrap_or_else(|| "n/a".into());
-    format!(
-        "simulated {} workers on {} nodes: {:.1} events/ms, latency p10/p50/p90 {}, {} net bytes",
-        plan.len(),
-        nodes,
-        tput,
-        lat,
-        eng.metrics().net_bytes
-    )
-}
-
-fn entry(app: &str) -> Option<AppEntry> {
-    match app {
-        "value-barrier" => Some(AppEntry {
-            plan: Box::new(|n| {
-                VbWorkload { value_streams: n, values_per_barrier: 1_000, barriers: 4 }.plan().render()
-            }),
-            plan_dot: Box::new(|n| {
-                flumina::plan::dot::to_dot(
-                    &VbWorkload { value_streams: n, values_per_barrier: 1_000, barriers: 4 }.plan(),
-                )
-            }),
-            run: Box::new(|n| {
-                let w = VbWorkload { value_streams: n, values_per_barrier: 200, barriers: 4 };
-                run_app(ValueBarrier, w.plan(), w.scheduled_streams(20))
-            }),
-            sim: Box::new(|n| {
-                let w = VbWorkload { value_streams: n, values_per_barrier: 2_000, barriers: 4 };
-                sim_app(ValueBarrier, w.plan(), w.paced_sources(200, 100), n + 1, w.total_values() + w.barriers)
-            }),
-        }),
-        "fraud" => Some(AppEntry {
-            plan: Box::new(|n| {
-                FdWorkload { txn_streams: n, txns_per_rule: 1_000, rules: 4 }.plan().render()
-            }),
-            plan_dot: Box::new(|n| {
-                flumina::plan::dot::to_dot(
-                    &FdWorkload { txn_streams: n, txns_per_rule: 1_000, rules: 4 }.plan(),
-                )
-            }),
-            run: Box::new(|n| {
-                let w = FdWorkload { txn_streams: n, txns_per_rule: 200, rules: 4 };
-                run_app(FraudDetection, w.plan(), w.scheduled_streams(20))
-            }),
-            sim: Box::new(|n| {
-                let w = FdWorkload { txn_streams: n, txns_per_rule: 2_000, rules: 4 };
-                sim_app(FraudDetection, w.plan(), w.paced_sources(200, 100), n + 1, w.total_txns() + w.rules)
-            }),
-        }),
-        "page-view" => Some(AppEntry {
-            plan: Box::new(|n| pv_workload(n).plan().render()),
-            plan_dot: Box::new(|n| flumina::plan::dot::to_dot(&pv_workload(n).plan())),
-            run: Box::new(|n| {
-                let w = PvWorkload {
-                    pages: 2,
-                    view_streams_per_page: (n / 2).max(1),
-                    views_per_update: 100,
-                    updates: 3,
-                };
-                run_app(PageViewJoin, w.plan(), w.scheduled_streams(10))
-            }),
-            sim: Box::new(|n| {
-                let w = pv_workload(n);
-                let nodes = 2 * w.view_streams_per_page + 3;
-                sim_app(PageViewJoin, w.plan(), w.paced_sources(200, 100), nodes, w.total_events())
-            }),
-        }),
-        "outlier" => Some(AppEntry {
-            plan: Box::new(|n| od_workload(n).plan().render()),
-            plan_dot: Box::new(|n| flumina::plan::dot::to_dot(&od_workload(n).plan())),
-            run: Box::new(|n| {
-                let w = OdWorkload { streams: n, obs_per_query: 300, queries: 3, outlier_every: 50 };
-                run_app(OutlierDetection, w.plan(), w.scheduled_streams(25))
-            }),
-            sim: Box::new(|n| {
-                let w = od_workload(n);
-                let total = w.streams as u64 * w.obs_per_query * w.queries + w.queries;
-                sim_app(OutlierDetection, w.plan(), w.paced_sources(200, 100), n + 1, total)
-            }),
-        }),
-        "smart-home" => Some(AppEntry {
-            plan: Box::new(|n| sh_workload(n).plan().render()),
-            plan_dot: Box::new(|n| flumina::plan::dot::to_dot(&sh_workload(n).plan())),
-            run: Box::new(|n| {
-                let w = ShWorkload {
-                    houses: n,
-                    households: 2,
-                    plugs: 2,
-                    per_plug_per_slice: 10,
-                    slices: 3,
-                };
-                run_app(SmartHome, w.plan(), w.scheduled_streams(30))
-            }),
-            sim: Box::new(|n| {
-                let w = sh_workload(n);
-                sim_app(SmartHome, w.plan(), w.paced_sources(500, 50), n + 1, w.total_events())
-            }),
-        }),
-        _ => None,
+    fn visit<W: SweepWorkload>(&mut self) -> String {
+        let w = W::for_scale(self.n, 1_000, 4);
+        let plan = w.job(100).plan();
+        if self.dot {
+            flumina::plan::dot::to_dot(&plan)
+        } else {
+            plan.render()
+        }
     }
 }
 
-fn pv_workload(n: u32) -> PvWorkload {
-    PvWorkload { pages: 2, view_streams_per_page: (n / 2).max(1), views_per_update: 1_000, updates: 4 }
+/// `run`: execute on real threads and verify against the sequential
+/// specification. Returns the report line and whether the run matched.
+struct RunCmd {
+    n: u32,
 }
 
-fn od_workload(n: u32) -> OdWorkload {
-    OdWorkload { streams: n, obs_per_query: 2_000, queries: 3, outlier_every: 100 }
+impl WorkloadVisitor for RunCmd {
+    type Out = (String, bool);
+
+    fn visit<W: SweepWorkload>(&mut self) -> (String, bool) {
+        let w = W::for_scale(self.n, 200, 4);
+        match w.job(20).verify_against_spec() {
+            Ok(v) => (
+                format!(
+                    "{} workers on real threads produced {} outputs — MATCHES the sequential spec ✓",
+                    v.run.plan.len(),
+                    v.run.outputs.len()
+                ),
+                true,
+            ),
+            Err(e) => (format!("DIVERGED from the sequential spec ✗ — {e}"), false),
+        }
+    }
 }
 
-fn sh_workload(n: u32) -> ShWorkload {
-    ShWorkload { houses: n, households: 2, plugs: 4, per_plug_per_slice: 100, slices: 6 }
+/// `sim`: run the deterministic cluster simulator backend.
+struct SimCmd {
+    n: u32,
+}
+
+impl WorkloadVisitor for SimCmd {
+    type Out = String;
+
+    fn visit<W: SweepWorkload>(&mut self) -> String {
+        let w = W::for_scale(self.n, 500, 4);
+        let job = w.job(50);
+        let report = job.run(Backend::Sim(job.auto_sim_config()));
+        let stats = report.sim.expect("sim backend reports engine stats");
+        format!(
+            "simulated {} workers ({} partitions): {} outputs in {:.2} virtual ms, {} messages, {} net bytes",
+            report.plan.len(),
+            report.plan.roots().len(),
+            report.outputs.len(),
+            stats.virtual_ns as f64 / 1e6,
+            stats.messages,
+            stats.net_bytes,
+        )
+    }
 }
 
 fn main() {
@@ -228,26 +133,49 @@ fn main() {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
-            eprintln!("usage: flumina <plan|run|sim> <value-barrier|fraud|page-view|outlier|smart-home> [-n N] [--dot]");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
     };
-    let Some(app) = entry(&args.app) else {
-        eprintln!("unknown app {:?}; expected value-barrier | fraud | page-view | outlier | smart-home", args.app);
+    if args.cmd == "list" {
+        print!("{}", registry::render_listing());
+        return;
+    }
+    let unknown = || {
+        eprintln!("unknown workload {:?}", args.workload);
+        eprintln!("{}", usage());
         std::process::exit(2);
     };
     match args.cmd.as_str() {
         "plan" => {
-            if args.dot {
-                print!("{}", (app.plan_dot)(args.parallelism));
-            } else {
-                print!("{}", (app.plan)(args.parallelism));
+            let mut cmd = PlanCmd { n: args.parallelism, dot: args.dot };
+            match registry::visit(&args.workload, &mut cmd) {
+                Some(rendered) => print!("{rendered}"),
+                None => unknown(),
             }
         }
-        "run" => println!("{}", (app.run)(args.parallelism)),
-        "sim" => println!("{}", (app.sim)(args.parallelism)),
+        "run" => {
+            let mut cmd = RunCmd { n: args.parallelism };
+            match registry::visit(&args.workload, &mut cmd) {
+                Some((line, ok)) => {
+                    println!("{line}");
+                    if !ok {
+                        std::process::exit(1);
+                    }
+                }
+                None => unknown(),
+            }
+        }
+        "sim" => {
+            let mut cmd = SimCmd { n: args.parallelism };
+            match registry::visit(&args.workload, &mut cmd) {
+                Some(line) => println!("{line}"),
+                None => unknown(),
+            }
+        }
         other => {
-            eprintln!("unknown command {other:?}; expected plan | run | sim");
+            eprintln!("unknown command {other:?}; expected plan | run | sim | list");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
     }

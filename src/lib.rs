@@ -3,6 +3,9 @@
 //! Re-exports the full public API of the reproduction of *Stream
 //! Processing with Dependency-Guided Synchronization* (PPoPP 2022):
 //!
+//! * [`api`] — **start here**: the typed [`Job`](api::Job) front door
+//!   that derives the plan from a program + streams and runs it on any
+//!   backend (threads, simulator, sequential spec).
 //! * [`core`] — the DGS programming model (programs, dependence relations,
 //!   fork/join, semantics, consistency conditions).
 //! * [`plan`] — synchronization plans, validity, and optimizers.
@@ -12,6 +15,8 @@
 //! * [`apps`] — evaluation applications and case studies.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
+
+pub mod api;
 
 pub use dgs_apps as apps;
 pub use dgs_baseline as baseline;

@@ -1,0 +1,296 @@
+//! The unified `flumina::api::Job` front door is *exactly* the manual
+//! path, not a lookalike: for every application workload, the plan a
+//! `Job` derives from the streams alone is structurally identical to
+//! the plan the app builds by hand (`ITagInfo`s + `CommMinOptimizer`),
+//! and Job-driven runs produce the same output multiset as the manual
+//! `run_threads` invocation — on every channel mode, and on the
+//! simulator backend — all equal to the sequential specification.
+//!
+//! Plus a proptest pinning the rate derivation itself: the per-tag
+//! rates a `Job` computes from periodic schedules are proportional to
+//! the schedules' event counts (the only thing the optimizer consumes),
+//! and locations default to the stream id with overrides winning.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use flumina::api::{Backend, ChannelMode, Job, ThreadRunOptions};
+use flumina::apps::fraud::FdWorkload;
+use flumina::apps::outlier::OdWorkload;
+use flumina::apps::page_view::PvWorkload;
+use flumina::apps::smart_home::ShWorkload;
+use flumina::apps::sweep::{PvForestWorkload, SweepWorkload};
+use flumina::apps::value_barrier::VbWorkload;
+use flumina::core::event::{StreamId, Timestamp};
+use flumina::core::examples::{KcTag, KeyCounter};
+use flumina::core::tag::ITag;
+use flumina::plan::plan::Location;
+use flumina::runtime::source::ScheduledStream;
+use flumina::runtime::thread_driver::run_threads;
+
+/// Sorted-`Debug` multiset of a thread-driver result's outputs (the
+/// same canonical form `RunReport::output_multiset` uses).
+fn multiset<O: std::fmt::Debug, T>(outputs: &[(O, T)]) -> Vec<String> {
+    let mut v: Vec<String> = outputs.iter().map(|(o, _)| format!("{o:?}")).collect();
+    v.sort_unstable();
+    v
+}
+
+/// The acceptance property, per workload: identical plans, and
+/// Job-path == manual-path == spec output multisets across all channel
+/// modes plus the simulator backend.
+fn check_equivalence<W: SweepWorkload>(workers: u32, per_window: u64, windows: u64) {
+    let w = W::for_scale(workers, per_window, windows);
+    let hb = (per_window / 10).max(1);
+    let job = w.job(hb);
+
+    // 1. Plan equivalence: derived-from-streams == hand-built ITagInfos.
+    let manual_plan = w.plan();
+    assert_eq!(
+        job.plan(),
+        manual_plan,
+        "{}: Job must derive exactly the manual plan\nderived:\n{}\nmanual:\n{}",
+        W::NAME,
+        job.plan().render(),
+        manual_plan.render()
+    );
+
+    // 2. Output equivalence on threads, every delivery plane (Auto
+    //    resolves to one of them; included to pin the default path too).
+    let spec = job.run(Backend::Spec).output_multiset();
+    for mode in [
+        ChannelMode::Auto,
+        ChannelMode::PerEdge,
+        ChannelMode::PerEdgeMutex,
+        ChannelMode::Ticketed,
+    ] {
+        let manual = run_threads(
+            Arc::new(w.program()),
+            &manual_plan,
+            w.streams(hb),
+            ThreadRunOptions { channel_mode: mode, ..Default::default() },
+        );
+        assert_eq!(
+            multiset(&manual.outputs),
+            spec,
+            "{} [{mode:?}]: manual run_threads path diverged from spec",
+            W::NAME
+        );
+        let report = job.run(Backend::Threads(ThreadRunOptions {
+            channel_mode: mode,
+            ..Default::default()
+        }));
+        assert_eq!(
+            report.output_multiset(),
+            spec,
+            "{} [{mode:?}]: Job thread backend diverged from spec",
+            W::NAME
+        );
+    }
+
+    // 3. The simulator backend replays the same streams to the same
+    //    multiset.
+    let sim = job.run(Backend::Sim(job.auto_sim_config()));
+    assert_eq!(sim.output_multiset(), spec, "{}: Job sim backend diverged", W::NAME);
+}
+
+#[test]
+fn value_barrier_job_equals_manual_path() {
+    check_equivalence::<VbWorkload>(3, 30, 3);
+}
+
+#[test]
+fn page_view_job_equals_manual_path() {
+    check_equivalence::<PvWorkload>(4, 30, 3);
+}
+
+#[test]
+fn fraud_detection_job_equals_manual_path() {
+    check_equivalence::<FdWorkload>(3, 30, 3);
+}
+
+#[test]
+fn page_view_forest_job_equals_manual_path() {
+    check_equivalence::<PvForestWorkload>(3, 25, 3);
+}
+
+#[test]
+fn outlier_job_equals_manual_path() {
+    check_equivalence::<OdWorkload>(3, 40, 2);
+}
+
+#[test]
+fn smart_home_job_equals_manual_path() {
+    check_equivalence::<ShWorkload>(3, 6, 3);
+}
+
+/// The README quickstart's workload, as one more pinned case: the
+/// forest (one tree per key) the optimizer derives from hand-assembled
+/// infos is exactly what the Job derives from the streams.
+#[test]
+fn quickstart_workload_derives_the_per_key_forest() {
+    let itag = |tag, s| ITag::new(tag, StreamId(s));
+    let streams = vec![
+        ScheduledStream::periodic(itag(KcTag::Inc(1), 0), 1, 2, 500, |_| ())
+            .with_heartbeats(25)
+            .closed(Timestamp::MAX),
+        ScheduledStream::periodic(itag(KcTag::Inc(1), 1), 2, 2, 500, |_| ())
+            .with_heartbeats(25)
+            .closed(Timestamp::MAX),
+        ScheduledStream::periodic(itag(KcTag::Inc(2), 2), 1, 3, 300, |_| ())
+            .with_heartbeats(25)
+            .closed(Timestamp::MAX),
+        ScheduledStream::periodic(itag(KcTag::ReadReset(1), 3), 100, 100, 10, |_| ())
+            .with_heartbeats(25)
+            .closed(Timestamp::MAX),
+        ScheduledStream::periodic(itag(KcTag::ReadReset(2), 4), 150, 150, 6, |_| ())
+            .with_heartbeats(25)
+            .closed(Timestamp::MAX),
+    ];
+    let job = Job::new(KeyCounter, streams);
+    let plan = job.plan();
+    // One tree per key; key 1's increments parallelized across two
+    // leaves under the r(1) root; key 2 collapses to a single leaf.
+    assert_eq!(plan.roots().len(), 2, "per-key forest:\n{}", plan.render());
+    let r1 = plan.responsible_for(&itag(KcTag::ReadReset(1), 3)).unwrap();
+    assert!(plan.roots().contains(&r1));
+    assert_eq!(plan.worker(r1).children.len(), 2);
+    let k2 = plan.responsible_for(&itag(KcTag::ReadReset(2), 4)).unwrap();
+    assert!(plan.worker(k2).is_leaf() && plan.roots().contains(&k2));
+    // And it runs: threads == sim == spec.
+    let verified = job.verify_against_spec().expect("Theorem 3.5");
+    let sim = job.run(Backend::Sim(job.auto_sim_config()));
+    assert_eq!(sim.output_multiset(), verified.spec.output_multiset());
+}
+
+// ---------------------------------------------------------------------
+// Rate/location derivation properties.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Sched {
+    start: u64,
+    period: u64,
+    count: u64,
+}
+
+fn arb_streams() -> impl Strategy<Value = Vec<Sched>> {
+    prop::collection::vec(
+        (1u64..20, 1u64..10, 1u64..60).prop_map(|(start, period, count)| Sched {
+            start,
+            period,
+            count,
+        }),
+        2..6,
+    )
+}
+
+/// Tiny program over u32 tags so derived infos exist for any stream set
+/// (the dependence relation is irrelevant to rate derivation).
+#[derive(Clone, Copy, Debug)]
+struct AnyTags;
+impl flumina::core::DgsProgram for AnyTags {
+    type Tag = u32;
+    type Payload = ();
+    type State = ();
+    type Out = ();
+    fn init(&self) {}
+    fn depends(&self, _: &u32, _: &u32) -> bool {
+        true
+    }
+    fn update(
+        &self,
+        _: &mut (),
+        _: &flumina::core::event::Event<u32, ()>,
+        _: &mut Vec<()>,
+    ) {
+    }
+    fn fork(
+        &self,
+        _: (),
+        _: &flumina::core::predicate::TagPredicate<u32>,
+        _: &flumina::core::predicate::TagPredicate<u32>,
+    ) -> ((), ()) {
+        ((), ())
+    }
+    fn join(&self, _: (), _: ()) {}
+}
+
+proptest! {
+    /// Derived rates are the schedule-implied ones: proportional to each
+    /// stream's event count over the shared horizon, so the relative
+    /// order and ratios the optimizer consumes match the schedules.
+    #[test]
+    fn derived_rates_match_schedule_implied_rates(scheds in arb_streams()) {
+        let streams: Vec<ScheduledStream<u32, ()>> = scheds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ScheduledStream::periodic(
+                    ITag::new(i as u32, StreamId(i as u32)),
+                    s.start,
+                    s.period,
+                    s.count,
+                    |_| (),
+                )
+            })
+            .collect();
+        let horizon: u64 = streams
+            .iter()
+            .flat_map(|s| s.events().map(|e| e.ts))
+            .max()
+            .expect("counts are nonzero")
+            .max(1);
+        let infos = Job::new(AnyTags, streams).derived_infos();
+        for (i, (info, s)) in infos.iter().zip(&scheds).enumerate() {
+            // Exact schedule-implied value: events per horizon tick.
+            let implied = s.count as f64 / horizon as f64;
+            prop_assert!(
+                (info.rate - implied).abs() < 1e-12,
+                "stream {i}: derived {} vs implied {implied}",
+                info.rate
+            );
+            // Location defaults to the stream id's node.
+            prop_assert_eq!(info.location, Location(i as u32));
+        }
+        // Proportionality across streams: rate_i * count_j == rate_j * count_i.
+        for i in 0..infos.len() {
+            for j in 0..infos.len() {
+                let lhs = infos[i].rate * scheds[j].count as f64;
+                let rhs = infos[j].rate * scheds[i].count as f64;
+                prop_assert!((lhs - rhs).abs() < 1e-9, "ratios must match counts");
+            }
+        }
+    }
+
+    /// Overrides replace exactly the overridden entries.
+    #[test]
+    fn overrides_take_precedence(scheds in arb_streams(), rate_x in 1u32..500, loc in 0u32..30) {
+        let rate = rate_x as f64; // the vendored proptest has no f64 ranges
+        let streams: Vec<ScheduledStream<u32, ()>> = scheds
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                ScheduledStream::periodic(
+                    ITag::new(i as u32, StreamId(i as u32)),
+                    s.start,
+                    s.period,
+                    s.count,
+                    |_| (),
+                )
+            })
+            .collect();
+        let target = ITag::new(0u32, StreamId(0));
+        let job = Job::new(AnyTags, streams)
+            .rate(target, rate)
+            .place(target, Location(loc));
+        let infos = job.derived_infos();
+        prop_assert_eq!(infos[0].rate, rate);
+        prop_assert_eq!(infos[0].location, Location(loc));
+        // Others untouched.
+        for (i, info) in infos.iter().enumerate().skip(1) {
+            prop_assert_eq!(info.location, Location(i as u32));
+        }
+    }
+}

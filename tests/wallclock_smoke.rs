@@ -10,12 +10,14 @@
 //! and validator, i.e. what CI captures is what the schema promises.
 
 use dgs_bench::report::{self, Json};
-use dgs_bench::wallclock::{self, SweepSpec, SWEEP_WORKLOADS};
+use dgs_bench::wallclock::{self, SweepSpec};
+use flumina::apps::registry;
 use flumina::runtime::thread_driver::ChannelMode;
 
 #[test]
 fn miniature_wallclock_sweep_matches_sequential_spec() {
     let spec = SweepSpec {
+        workloads: registry::default_sweep_names(),
         workers: vec![1, 3],
         rates: vec![0, 500_000],
         modes: vec![ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed],
@@ -23,10 +25,11 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
         windows: 4,
         check_spec: true,
     };
+    let n_workloads = spec.workloads.len();
     let points = wallclock::sweep(&spec);
     assert_eq!(
         points.len(),
-        SWEEP_WORKLOADS * 3 * 2 * 2,
+        n_workloads * 3 * 2 * 2,
         "modes × workloads × workers × rates"
     );
 
