@@ -11,6 +11,7 @@
 
 pub mod baselines;
 
+use dgs_core::codec::{CodecError, Reader, StateCodec};
 use dgs_core::event::{Event, StreamId, Timestamp};
 use dgs_core::predicate::TagPredicate;
 use dgs_core::program::DgsProgram;
@@ -39,6 +40,16 @@ pub struct FdState {
     pub sum: i64,
     /// Fraud model from the previous window.
     pub model: i64,
+}
+
+impl StateCodec for FdState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sum.encode(buf);
+        self.model.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(FdState { sum: i64::decode(r)?, model: i64::decode(r)? })
+    }
 }
 
 /// Outputs of the program.

@@ -19,6 +19,7 @@
 
 use std::collections::BTreeMap;
 
+use dgs_core::codec::{CodecError, Reader, StateCodec};
 use dgs_core::event::{Event, StreamId, Timestamp};
 use dgs_core::predicate::TagPredicate;
 use dgs_core::program::DgsProgram;
@@ -76,6 +77,40 @@ pub struct OdModel {
     pub categories: BTreeMap<u8, u64>,
     /// Candidate outliers by id (kept until the next query).
     pub candidates: BTreeMap<u64, Connection>,
+}
+
+impl StateCodec for Connection {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.id.encode(buf);
+        self.features.encode(buf);
+        self.category.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Connection {
+            id: u64::decode(r)?,
+            features: <[f64; FEATURES]>::decode(r)?,
+            category: u8::decode(r)?,
+        })
+    }
+}
+
+impl StateCodec for OdModel {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.count.encode(buf);
+        self.sum.encode(buf);
+        self.sumsq.encode(buf);
+        self.categories.encode(buf);
+        self.candidates.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(OdModel {
+            count: u64::decode(r)?,
+            sum: <[i64; FEATURES]>::decode(r)?,
+            sumsq: <[i64; FEATURES]>::decode(r)?,
+            categories: BTreeMap::decode(r)?,
+            candidates: BTreeMap::decode(r)?,
+        })
+    }
 }
 
 impl OdModel {

@@ -21,6 +21,7 @@
 
 use std::collections::BTreeMap;
 
+use dgs_core::codec::{CodecError, Reader, StateCodec};
 use dgs_core::event::{Event, StreamId, Timestamp};
 use dgs_core::predicate::TagPredicate;
 use dgs_core::program::DgsProgram;
@@ -103,6 +104,57 @@ pub struct ShState {
     pub current: BTreeMap<PlugKey, Acc>,
     /// Historical accumulation per (plug, slice-of-day).
     pub history: BTreeMap<(PlugKey, u64), Acc>,
+}
+
+impl StateCodec for PlugKey {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.house.encode(buf);
+        (self.household as u32).encode(buf);
+        (self.plug as u32).encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let house = u32::decode(r)?;
+        let household = u32::decode(r)?;
+        let plug = u32::decode(r)?;
+        let narrow = |v: u32| {
+            u16::try_from(v).map_err(|_| CodecError::Invalid("PlugKey id exceeds u16"))
+        };
+        Ok(PlugKey { house, household: narrow(household)?, plug: narrow(plug)? })
+    }
+}
+
+impl StateCodec for Acc {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.sum.encode(buf);
+        self.count.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Acc { sum: i64::decode(r)?, count: u64::decode(r)? })
+    }
+}
+
+impl StateCodec for ShState {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.current.encode(buf);
+        self.history.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ShState { current: BTreeMap::decode(r)?, history: BTreeMap::decode(r)? })
+    }
+    /// History grows monotonically with every slice while each slice only
+    /// touches a handful of keys, so delta encoding both maps keeps
+    /// incremental checkpoints proportional to per-slice activity, not
+    /// fleet lifetime.
+    fn encode_delta(&self, base: &Self, buf: &mut Vec<u8>) {
+        self.current.encode_delta(&base.current, buf);
+        self.history.encode_delta(&base.history, buf);
+    }
+    fn apply_delta(base: &Self, r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(ShState {
+            current: BTreeMap::apply_delta(&base.current, r)?,
+            history: BTreeMap::apply_delta(&base.history, r)?,
+        })
+    }
 }
 
 /// A load prediction output.

@@ -16,7 +16,8 @@
 //! sweep, keeping the event volume — and the sequential specification —
 //! fixed while only the pacing changes.
 
-use dgs_core::event::Timestamp;
+use dgs_core::codec::StateCodec;
+use dgs_core::event::{StreamId, Timestamp};
 use dgs_core::program::DgsProgram;
 use dgs_plan::plan::Plan;
 use dgs_runtime::job::Job;
@@ -39,8 +40,10 @@ pub trait SweepWorkload: Sized {
     /// The DGS program this workload drives. (Spec comparisons go
     /// through `Job`'s canonical `Debug` multiset, so `Out` needs no
     /// `Ord` bound — which is what lets smart-home, whose predictions
-    /// carry floats, join the sweep.)
-    type Prog: DgsProgram + Send + Sync + 'static;
+    /// carry floats, join the sweep. `State: StateCodec` lets any sweep
+    /// workload checkpoint into a `DurableStore`, which the recovery
+    /// bench dimension and the chaos tests rely on.)
+    type Prog: DgsProgram<State: StateCodec> + Send + Sync + 'static;
 
     /// Stable name used in reports ("value-barrier", "page-view", …).
     const NAME: &'static str;
@@ -67,6 +70,13 @@ pub trait SweepWorkload: Sized {
     /// paced run must play out (used to convert a rate into an expected
     /// minimum duration).
     fn last_tick(&self) -> Timestamp;
+
+    /// A synchronizing stream — one whose events land at a partition
+    /// root (barriers, rule updates, queries, the first page's updates
+    /// in a forest, …). The recovery harness crashes the partition
+    /// responsible for this stream, because that is the one taking
+    /// root-join checkpoints of interest.
+    fn sync_stream(&self) -> StreamId;
 
     /// The workload as a [`Job`]: program + streams, everything else
     /// derived. `tests/api_equivalence.rs` pins the derived plan equal
@@ -109,6 +119,10 @@ impl SweepWorkload for VbWorkload {
     fn last_tick(&self) -> Timestamp {
         self.values_per_barrier * self.barriers
     }
+
+    fn sync_stream(&self) -> StreamId {
+        StreamId(self.value_streams)
+    }
 }
 
 impl SweepWorkload for PvWorkload {
@@ -149,6 +163,12 @@ impl SweepWorkload for PvWorkload {
 
     fn last_tick(&self) -> Timestamp {
         self.views_per_update * self.updates
+    }
+
+    fn sync_stream(&self) -> StreamId {
+        // Page 0's update stream; view streams occupy ids
+        // `0..pages * view_streams_per_page`.
+        StreamId(self.pages * self.view_streams_per_page)
     }
 }
 
@@ -197,6 +217,10 @@ impl SweepWorkload for PvForestWorkload {
     fn last_tick(&self) -> Timestamp {
         self.0.views_per_update * self.0.updates
     }
+
+    fn sync_stream(&self) -> StreamId {
+        self.0.sync_stream()
+    }
 }
 
 impl SweepWorkload for FdWorkload {
@@ -226,6 +250,10 @@ impl SweepWorkload for FdWorkload {
 
     fn last_tick(&self) -> Timestamp {
         self.txns_per_rule * self.rules
+    }
+
+    fn sync_stream(&self) -> StreamId {
+        StreamId(self.txn_streams)
     }
 }
 
@@ -261,6 +289,10 @@ impl SweepWorkload for OdWorkload {
 
     fn last_tick(&self) -> Timestamp {
         self.obs_per_query * self.queries
+    }
+
+    fn sync_stream(&self) -> StreamId {
+        StreamId(self.streams)
     }
 }
 
@@ -302,6 +334,10 @@ impl SweepWorkload for ShWorkload {
 
     fn last_tick(&self) -> Timestamp {
         self.per_house_per_slice() * self.slices
+    }
+
+    fn sync_stream(&self) -> StreamId {
+        StreamId(self.houses)
     }
 }
 

@@ -5,7 +5,7 @@
 //!           [--workers 1,2,4,8] [--rates 0,200000]
 //!           [--modes auto,per-edge-ring,per-edge,ticketed]
 //!           [--per-window 500] [--windows 20] [--check-spec]
-//!           [--with-sim] [--date YYYY-MM-DD] [--out PATH]
+//!           [--with-sim] [--recovery] [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
 //! wallclock --list
 //! ```
@@ -28,12 +28,18 @@
 //! unpaced max-throughput; nonzero rates pace sources on the wall clock
 //! and yield p50/p95/p99 latency. `--with-sim` appends the virtual-time
 //! figure entries so one file carries both measurement axes.
+//! `--recovery` appends the durability axis: for every fault variant it
+//! kills the partition owning the synchronizing stream mid-run,
+//! recovers it from the on-disk checkpoint segments, and records replay
+//! time and `events_lost` as `kind: "recovery"` entries — exiting
+//! nonzero if any cell loses events or diverges from the spec.
 //! `--validate` parses and schema-checks an existing file (used by CI
 //! on the smoke artifact) and exits nonzero on any violation.
 
 use dgs_apps::registry;
 use dgs_bench::figures;
 use dgs_bench::measure::Scale;
+use dgs_bench::recovery::{self, RecoverySpec};
 use dgs_bench::report::{self, Json};
 use dgs_bench::wallclock::{self, SweepSpec};
 use dgs_runtime::thread_driver::ChannelMode;
@@ -62,6 +68,7 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let mut spec = if smoke { SweepSpec::smoke() } else { SweepSpec::full() };
     let mut with_sim = false;
+    let mut with_recovery = false;
     let mut out: Option<String> = None;
     let mut validate: Option<String> = None;
     let mut date: Option<String> = None;
@@ -129,6 +136,7 @@ fn main() {
             }
             "--check-spec" => spec.check_spec = true,
             "--with-sim" => with_sim = true,
+            "--recovery" => with_recovery = true,
             "--out" => out = Some(value("--out")),
             "--validate" => validate = Some(value("--validate")),
             "--date" => date = Some(value("--date")),
@@ -203,6 +211,56 @@ fn main() {
         ));
     }
 
+    let recovery_points = if with_recovery {
+        // The recovery grid follows the sweep's scale knobs but runs on
+        // the paced-free durable path (its own axis: faults, not rates).
+        let rspec = RecoverySpec {
+            workloads: spec.workloads.clone(),
+            workers: spec.workers.clone(),
+            per_window: spec.per_window,
+            windows: spec.windows,
+            ..RecoverySpec::smoke()
+        };
+        eprintln!(
+            "recovery sweep: {:?} faults × workers {:?} × workloads {:?} (kill after {} checkpoints)",
+            rspec.faults.iter().map(|&f| recovery::fault_name(f)).collect::<Vec<_>>(),
+            rspec.workers,
+            rspec.workloads,
+            rspec.kill_after_checkpoints,
+        );
+        let points = recovery::recovery_sweep(&rspec);
+        if out.is_some() {
+            print!("{}", recovery::render_table(&points));
+        } else {
+            eprint!("{}", recovery::render_table(&points));
+        }
+        if let Some(p) = points.iter().find(|p| !p.spec_ok || p.events_lost > 0) {
+            fail(&format!(
+                "recovery lost output: {} fault={} workers={} events_lost={} spec_ok={}",
+                p.workload, p.fault, p.workers, p.events_lost, p.spec_ok
+            ));
+        }
+        // A cell whose armed crash never fired is legitimate for a
+        // workload whose partitions never checkpoint at this scale
+        // (a single-worker partition has no root join), but if a fault
+        // variant fired on *no* workload at all, the dimension measured
+        // nothing — e.g. durable checkpointing silently stopped
+        // appending — and must not pass as green.
+        for &f in &rspec.faults {
+            let name = recovery::fault_name(f);
+            if !points.iter().any(|p| p.fault == name && p.recovered) {
+                fail(&format!(
+                    "recovery crash never fired on any workload under fault={name}: \
+                     no partition reached {} checkpoint appends",
+                    rspec.kill_after_checkpoints
+                ));
+            }
+        }
+        points
+    } else {
+        Vec::new()
+    };
+
     let sim = if with_sim {
         eprintln!("capturing simulator figure entries (virtual time)...");
         let (axis, scale): (&[u32], Scale) = if smoke {
@@ -216,7 +274,7 @@ fn main() {
     };
 
     let captured_at = date.unwrap_or_else(report::utc_date_string);
-    let doc = report::trajectory(&captured_at, &points, &sim);
+    let doc = report::trajectory(&captured_at, &points, &sim, &recovery_points);
     // Self-check: never write (or print) a document the validator rejects.
     if let Err(e) = report::validate_trajectory(&doc) {
         fail(&format!("internal error: emitted JSON violates own schema: {e}"));
@@ -225,9 +283,14 @@ fn main() {
         std::fs::write(&path, doc.render() + "\n")
             .unwrap_or_else(|e| fail(&format!("cannot write {path}: {e}")));
         eprintln!(
-            "wrote {path}: {} wallclock points{}",
+            "wrote {path}: {} wallclock points{}{}",
             points.len(),
             if sim.is_empty() { String::new() } else { format!(" + {} simulator entries", sim.len()) },
+            if recovery_points.is_empty() {
+                String::new()
+            } else {
+                format!(" + {} recovery points", recovery_points.len())
+            },
         );
     } else {
         println!("{}", doc.render());

@@ -19,6 +19,12 @@
 //! and shrink between captures (a CI smoke sweep gates against the
 //! committed full baseline through their intersection).
 //!
+//! Correctness failures are different: a new-side entry with
+//! `events_lost > 0` (recovery cells) or `spec_ok: false` gates
+//! unconditionally — with or without a matching baseline cell, and
+//! regardless of saturation — because there is no tolerable amount of
+//! lost or wrong output.
+//!
 //! Wallclock entries without a `channel_mode` (pre-A/B captures) default
 //! to `"ticketed"` — that is the plane those numbers were measured on.
 //!
@@ -85,7 +91,8 @@ pub struct CellDiff {
 /// Outcome of comparing two trajectory documents.
 #[derive(Debug, Clone)]
 pub struct DiffReport {
-    /// All matched cells, in key order.
+    /// All matched cells in key order, plus any new-only cells that
+    /// fail the correctness gate (lost events, spec divergence).
     pub cells: Vec<CellDiff>,
     /// Keys only present in the old file.
     pub only_old: Vec<String>,
@@ -184,8 +191,23 @@ fn cell_key(entry: &Json) -> Option<String> {
             let figure = entry.get("figure")?.as_str()?;
             Some(format!("simulator/{figure}/{workload}/{system}/w{workers}"))
         }
+        "recovery" => {
+            let fault = entry.get("fault")?.as_str()?;
+            let kill = entry.get("kill_after_checkpoints")?.as_f64()?;
+            let events = entry.get("events")?.as_f64()?;
+            Some(format!("recovery/{workload}/{system}/{fault}/w{workers}/k{kill}/n{events}"))
+        }
         _ => None,
     }
+}
+
+/// Correctness regression on the *new* side of a cell, independent of
+/// any threshold: a recovery entry that lost events, or any entry whose
+/// run diverged from the sequential spec. These gate unconditionally —
+/// there is no tolerable amount of lost or wrong output.
+fn correctness_regression(entry: &Json) -> bool {
+    entry.get("events_lost").and_then(Json::as_f64).is_some_and(|lost| lost > 0.0)
+        || matches!(entry.get("spec_ok"), Some(Json::Bool(false)))
 }
 
 fn p95_of(entry: &Json) -> Option<f64> {
@@ -244,13 +266,14 @@ pub fn diff(old: &Json, new: &Json, thresholds: DiffThresholds) -> DiffReport {
             (Some(iv), Some((a, b))) => a.max(b) > SATURATION_INTERVALS * iv,
             _ => false,
         };
-        let regressed = !saturated
-            && (tput_delta_pct < -thresholds.max_tput_drop_pct
-                || p95
-                    .zip(p95_delta_pct)
-                    .is_some_and(|((a, b), d)| {
-                        d > thresholds.max_p95_rise_pct && b - a > thresholds.p95_floor_ns
-                    }));
+        let regressed = correctness_regression(n)
+            || (!saturated
+                && (tput_delta_pct < -thresholds.max_tput_drop_pct
+                    || p95
+                        .zip(p95_delta_pct)
+                        .is_some_and(|((a, b), d)| {
+                            d > thresholds.max_p95_rise_pct && b - a > thresholds.p95_floor_ns
+                        })));
         cells.push(CellDiff {
             key: key.clone(),
             tput: (old_tput, new_tput),
@@ -261,8 +284,29 @@ pub fn diff(old: &Json, new: &Json, thresholds: DiffThresholds) -> DiffReport {
             regressed,
         });
     }
-    let only_new =
-        new_idx.keys().filter(|k| !old_idx.contains_key(*k)).cloned().collect();
+    let mut only_new = Vec::new();
+    for (key, n) in &new_idx {
+        if old_idx.contains_key(key) {
+            continue;
+        }
+        // Unmatched cells are informational — except a correctness
+        // failure (lost events, spec divergence), which gates even
+        // without a baseline to compare against.
+        if correctness_regression(n) {
+            let tput = n.get("throughput_eps").and_then(Json::as_f64).unwrap_or(0.0);
+            cells.push(CellDiff {
+                key: key.clone(),
+                tput: (tput, tput),
+                tput_delta_pct: 0.0,
+                p95: None,
+                p95_delta_pct: None,
+                saturated: false,
+                regressed: true,
+            });
+        } else {
+            only_new.push(key.clone());
+        }
+    }
     DiffReport {
         cells,
         only_old,
@@ -415,6 +459,62 @@ mod tests {
         assert!(r.cells.is_empty());
         assert!(!r.has_regressions());
         assert_eq!((r.only_old.len(), r.only_new.len()), (1, 1));
+    }
+
+    fn recovery_entry(fault: &str, lost: i64, replay_eps: f64) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("recovery".into())),
+            ("time_base".into(), Json::Str("wall".into())),
+            ("workload".into(), Json::Str("value-barrier".into())),
+            ("system".into(), Json::Str("dgs-threads".into())),
+            ("workers".into(), Json::Int(2)),
+            ("kill_after_checkpoints".into(), Json::Int(2)),
+            ("fault".into(), Json::Str(fault.into())),
+            ("events".into(), Json::Int(250)),
+            ("events_replayed".into(), Json::Int(60)),
+            ("events_lost".into(), Json::Int(lost)),
+            ("open_ns".into(), Json::Int(40_000)),
+            ("replay_ns".into(), Json::Int(900_000)),
+            ("throughput_eps".into(), Json::Num(replay_eps)),
+            ("latency_ns".into(), Json::Null),
+            ("recovered".into(), Json::Bool(true)),
+            ("spec_ok".into(), Json::Bool(lost == 0)),
+        ])
+    }
+
+    /// Recovery cells match on `(workload, fault, workers, kill point,
+    /// events)` and gate like any other throughput cell.
+    #[test]
+    fn recovery_cells_compare_replay_throughput() {
+        let old = doc(vec![recovery_entry("clean-crash", 0, 1e5)], 8);
+        let ok = doc(vec![recovery_entry("clean-crash", 0, 0.9e5)], 8);
+        let bad = doc(vec![recovery_entry("clean-crash", 0, 0.5e5)], 8);
+        assert!(!diff(&old, &ok, DiffThresholds::default()).has_regressions());
+        let r = diff(&old, &bad, DiffThresholds::default());
+        assert!(r.has_regressions());
+        assert!(r.cells[0].key.starts_with("recovery/value-barrier/"));
+        // Different faults are different cells.
+        let torn = doc(vec![recovery_entry("torn-tail", 0, 1e5)], 8);
+        let r = diff(&old, &torn, DiffThresholds::default());
+        assert!(r.cells.is_empty() && r.only_old.len() == 1 && r.only_new.len() == 1);
+    }
+
+    /// Lost events gate unconditionally: with a matching baseline, and
+    /// even as a new-only cell with nothing to compare against.
+    #[test]
+    fn lost_events_always_gate() {
+        let old = doc(vec![recovery_entry("clean-crash", 0, 1e5)], 8);
+        let lossy = doc(vec![recovery_entry("clean-crash", 1, 1e5)], 8);
+        assert!(diff(&old, &lossy, DiffThresholds::default()).has_regressions());
+        let empty = doc(vec![], 8);
+        let r = diff(&empty, &lossy, DiffThresholds::default());
+        assert!(r.has_regressions(), "new-only lossy cell must still gate");
+        assert!(r.only_new.is_empty());
+        // A clean new-only cell stays informational.
+        let clean = doc(vec![recovery_entry("clean-crash", 0, 1e5)], 8);
+        let r = diff(&empty, &clean, DiffThresholds::default());
+        assert!(!r.has_regressions());
+        assert_eq!(r.only_new.len(), 1);
     }
 
     #[test]

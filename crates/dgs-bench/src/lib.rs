@@ -16,12 +16,21 @@
 //! emit, with its parser and schema validator. [`diff`] compares two
 //! trajectory files and flags throughput/p95 regressions; the
 //! `bench-diff` binary is the CI gate built on it.
+//!
+//! [`recovery`] is the durability axis: it kills the partition owning a
+//! workload's synchronizing stream mid-run (under every
+//! [`dgs_runtime::durable::Fault`] variant), recovers it from the
+//! on-disk checkpoint segments through a fresh store, and records
+//! replay time and `events_lost` (must be 0) as `kind: "recovery"`
+//! trajectory entries.
 
 pub mod diff;
 pub mod figures;
 pub mod measure;
+pub mod recovery;
 pub mod report;
 pub mod wallclock;
 
 pub use measure::MeasuredPoint;
+pub use recovery::{RecoveryPoint, RecoverySpec};
 pub use wallclock::{LatencyHistogram, SweepSpec, WallclockPoint};

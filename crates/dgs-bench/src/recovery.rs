@@ -1,0 +1,368 @@
+//! The recovery bench dimension: kill a partition mid-run, recover it
+//! from its on-disk checkpoint segments, and record the measured SLO.
+//!
+//! Each point arms a [`FaultPlan`] against the partition owning a
+//! workload's synchronizing stream, drives
+//! [`run_durable_with_recovery`] (the crash is process-visible: the
+//! writer's appends fail, the directory is reopened through a fresh
+//! store object, and the partition replays its input suffix seeded with
+//! the restored snapshot), and reports
+//!
+//! * **events_lost** — size of the multiset difference between the
+//!   sequential specification's outputs and the recovered run's
+//!   (Theorem 3.5 across the crash demands 0),
+//! * **events_replayed** — the input suffix recovery had to re-run,
+//! * **open_ns / replay_ns** — the two recovery phases on the wall
+//!   clock: segment scan + torn-tail repair, then suffix replay.
+//!
+//! Points serialize into the shared trajectory schema as
+//! `kind: "recovery"` entries (`throughput_eps` is the replay rate —
+//! the SLO's "how fast does lost ground come back" number), so
+//! `bench-diff` tracks recovery speed like any other cell and gates
+//! `events_lost > 0` as a correctness regression.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dgs_apps::registry::{self, WorkloadVisitor};
+use dgs_apps::sweep::SweepWorkload;
+use dgs_runtime::durable::{Fault, FaultPlan};
+use dgs_runtime::job::Backend;
+use dgs_runtime::recovery::run_durable_with_recovery;
+
+use crate::report::Json;
+
+/// Artifact name of a [`Fault`] variant (what trajectory entries and
+/// cell keys record).
+pub fn fault_name(fault: Fault) -> &'static str {
+    match fault {
+        Fault::CleanCrash => "clean-crash",
+        Fault::TornTail => "torn-tail",
+        Fault::TruncatedManifest => "truncated-manifest",
+        Fault::StaleManifest => "stale-manifest",
+    }
+}
+
+/// All injectable faults, in artifact-name order.
+pub const ALL_FAULTS: [Fault; 4] =
+    [Fault::CleanCrash, Fault::TornTail, Fault::TruncatedManifest, Fault::StaleManifest];
+
+/// One measured recovery point.
+#[derive(Debug, Clone)]
+pub struct RecoveryPoint {
+    /// Workload name ([`SweepWorkload::NAME`]).
+    pub workload: &'static str,
+    /// Parallel event streams (the sweep's worker axis).
+    pub workers: u32,
+    /// The armed crash point: the partition dies after this many
+    /// durable checkpoint appends (the N-th append itself survives).
+    pub kill_after_checkpoints: u64,
+    /// On-disk damage left behind ([`fault_name`]).
+    pub fault: &'static str,
+    /// Fault-plan seed (torn-tail cut, manifest lag, …).
+    pub seed: u64,
+    /// Total input events of the workload (heartbeats excluded).
+    pub events: u64,
+    /// Outputs of the spliced (recovered) run.
+    pub outputs: u64,
+    /// Input events replayed from the suffix during recovery.
+    pub events_replayed: u64,
+    /// Multiset difference |spec − recovered|: outputs the recovered
+    /// run failed to produce. The acceptance bar is 0.
+    pub events_lost: u64,
+    /// Wall time to reopen the store from disk (scan + repair).
+    pub open_ns: u64,
+    /// Wall time to replay the suffix on the restored snapshot.
+    pub replay_ns: u64,
+    /// Whether the crash actually fired and a disk recovery happened.
+    pub recovered: bool,
+    /// Recovered output multiset == sequential spec's.
+    pub spec_ok: bool,
+}
+
+impl RecoveryPoint {
+    /// Replay throughput in events per wall second — the "how fast does
+    /// lost ground come back" half of the SLO.
+    pub fn replay_eps(&self) -> f64 {
+        if self.replay_ns > 0 {
+            self.events_replayed as f64 * 1e9 / self.replay_ns as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serialize into the shared trajectory schema (see [`crate::report`]).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("recovery".into())),
+            ("time_base".into(), Json::Str("wall".into())),
+            ("workload".into(), Json::Str(self.workload.into())),
+            ("system".into(), Json::Str("dgs-threads".into())),
+            ("workers".into(), Json::Int(self.workers as i64)),
+            ("kill_after_checkpoints".into(), Json::Int(self.kill_after_checkpoints as i64)),
+            ("fault".into(), Json::Str(self.fault.into())),
+            ("seed".into(), Json::Int(self.seed as i64)),
+            ("events".into(), Json::Int(self.events as i64)),
+            ("outputs".into(), Json::Int(self.outputs as i64)),
+            ("events_replayed".into(), Json::Int(self.events_replayed as i64)),
+            ("events_lost".into(), Json::Int(self.events_lost as i64)),
+            ("open_ns".into(), Json::Int(self.open_ns as i64)),
+            ("replay_ns".into(), Json::Int(self.replay_ns as i64)),
+            ("throughput_eps".into(), Json::Num(self.replay_eps())),
+            ("latency_ns".into(), Json::Null),
+            ("recovered".into(), Json::Bool(self.recovered)),
+            ("spec_ok".into(), Json::Bool(self.spec_ok)),
+        ])
+    }
+}
+
+/// A scratch checkpoint directory unique to this process and call.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "flumina-bench-recovery-{}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed),
+        name
+    ))
+}
+
+/// Count the entries of sorted `want` that have no match in sorted
+/// `got` (multiset difference size).
+fn multiset_missing(want: &[String], got: &[String]) -> u64 {
+    let mut missing = 0u64;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < want.len() {
+        match got.get(j) {
+            Some(g) if g < &want[i] => j += 1,
+            Some(g) if g == &want[i] => {
+                i += 1;
+                j += 1;
+            }
+            _ => {
+                missing += 1;
+                i += 1;
+            }
+        }
+    }
+    missing
+}
+
+/// Measure one `(workload, workers, kill point, fault)` recovery cell:
+/// run the workload with durable checkpoints, kill the synchronizing
+/// partition after `kill_after_checkpoints` appends, recover from the
+/// segment files alone, and compare the spliced outputs against the
+/// sequential specification.
+pub fn run_recovery_one<W: SweepWorkload>(
+    workers: u32,
+    per_window: u64,
+    windows: u64,
+    kill_after_checkpoints: u64,
+    fault: Fault,
+    seed: u64,
+) -> RecoveryPoint {
+    let w = W::for_scale(workers, per_window, windows);
+    let hb_period = (per_window / 10).max(1);
+    let dir = scratch_dir(W::NAME);
+    let plan = w.plan();
+    let result = run_durable_with_recovery(
+        Arc::new(w.program()),
+        &plan,
+        w.streams(hb_period),
+        w.sync_stream(),
+        &dir,
+        Some(FaultPlan { crash_after_appends: kill_after_checkpoints, fault, seed }),
+    )
+    .unwrap_or_else(|e| panic!("{}: durable recovery failed: {e}", W::NAME));
+    let _ = std::fs::remove_dir_all(&dir);
+    let want = w.job(hb_period).run(Backend::Spec).output_multiset();
+    let mut got: Vec<String> =
+        result.outputs.iter().map(|(o, _)| format!("{o:?}")).collect();
+    got.sort_unstable();
+    let events_lost = multiset_missing(&want, &got);
+    RecoveryPoint {
+        workload: W::NAME,
+        workers,
+        kill_after_checkpoints,
+        fault: fault_name(fault),
+        seed,
+        events: w.event_count(),
+        outputs: got.len() as u64,
+        events_replayed: result.events_replayed,
+        events_lost,
+        open_ns: result.open_ns,
+        replay_ns: result.replay_ns,
+        recovered: result.recovered,
+        spec_ok: got == want,
+    }
+}
+
+/// Parameters of a recovery sweep.
+#[derive(Debug, Clone)]
+pub struct RecoverySpec {
+    /// Workloads to kill and recover, by registry name.
+    pub workloads: Vec<&'static str>,
+    /// Worker counts to sweep.
+    pub workers: Vec<u32>,
+    /// Faults to inject per cell.
+    pub faults: Vec<Fault>,
+    /// Events per stream per synchronization window.
+    pub per_window: u64,
+    /// Synchronization windows (also the checkpoint count per root).
+    pub windows: u64,
+    /// Kill after this many durable checkpoint appends.
+    pub kill_after_checkpoints: u64,
+    /// Fault-plan seed.
+    pub seed: u64,
+}
+
+impl RecoverySpec {
+    /// CI tier: seconds of runtime, every fault variant, one
+    /// single-root and one forest workload.
+    pub fn smoke() -> Self {
+        RecoverySpec {
+            workloads: vec!["value-barrier", "page-view-forest"],
+            workers: vec![2],
+            faults: ALL_FAULTS.to_vec(),
+            per_window: 40,
+            windows: 5,
+            kill_after_checkpoints: 2,
+            seed: 0xF10F,
+        }
+    }
+}
+
+/// [`run_recovery_one`] behind a registry lookup.
+pub struct RecoveryCell {
+    /// Worker-count axis value.
+    pub workers: u32,
+    /// Events per stream per window.
+    pub per_window: u64,
+    /// Window count.
+    pub windows: u64,
+    /// Crash after this many checkpoint appends.
+    pub kill_after_checkpoints: u64,
+    /// The fault to inject.
+    pub fault: Fault,
+    /// Fault-plan seed.
+    pub seed: u64,
+}
+
+impl WorkloadVisitor for RecoveryCell {
+    type Out = RecoveryPoint;
+
+    fn visit<W: SweepWorkload>(&mut self) -> RecoveryPoint {
+        run_recovery_one::<W>(
+            self.workers,
+            self.per_window,
+            self.windows,
+            self.kill_after_checkpoints,
+            self.fault,
+            self.seed,
+        )
+    }
+}
+
+/// Run the grid: `spec.faults` × `spec.workers` × `spec.workloads`.
+pub fn recovery_sweep(spec: &RecoverySpec) -> Vec<RecoveryPoint> {
+    let mut points = Vec::new();
+    for &fault in &spec.faults {
+        for &workers in &spec.workers {
+            for name in &spec.workloads {
+                let mut cell = RecoveryCell {
+                    workers,
+                    per_window: spec.per_window,
+                    windows: spec.windows,
+                    kill_after_checkpoints: spec.kill_after_checkpoints,
+                    fault,
+                    seed: spec.seed,
+                };
+                points.push(
+                    registry::visit(name, &mut cell)
+                        .unwrap_or_else(|| panic!("unknown workload {name:?}")),
+                );
+            }
+        }
+    }
+    points
+}
+
+/// Render a human-readable table of recovery results.
+pub fn render_table(points: &[RecoveryPoint]) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>16} | {:>18} | {:>7} | {:>6} | {:>8} | {:>8} | {:>9} | {:>10} | {:>5}",
+        "workload", "fault", "workers", "kill@", "events", "replayed", "open (µs)", "replay (µs)", "lost"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>16} | {:>18} | {:>7} | {:>6} | {:>8} | {:>8} | {:>9.1} | {:>10.1} | {:>5}",
+            p.workload,
+            p.fault,
+            p.workers,
+            p.kill_after_checkpoints,
+            p.events,
+            p.events_replayed,
+            p.open_ns as f64 / 1e3,
+            p.replay_ns as f64 / 1e3,
+            if !p.recovered {
+                // The armed crash never fired (the partition finished
+                // before `kill@` appends — e.g. a single-worker
+                // partition that never joins, hence never checkpoints).
+                "n/a".into()
+            } else if p.spec_ok {
+                p.events_lost.to_string()
+            } else {
+                format!("{}!", p.events_lost)
+            },
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dgs_apps::value_barrier::VbWorkload;
+
+    #[test]
+    fn multiset_missing_counts_the_difference() {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert_eq!(multiset_missing(&s(&["a", "b", "b"]), &s(&["a", "b", "b"])), 0);
+        assert_eq!(multiset_missing(&s(&["a", "b", "b"]), &s(&["a", "b"])), 1);
+        assert_eq!(multiset_missing(&s(&["a", "b"]), &s(&["a", "b", "c"])), 0);
+        assert_eq!(multiset_missing(&s(&["a", "c"]), &s(&["b"])), 2);
+        assert_eq!(multiset_missing(&[], &s(&["x"])), 0);
+    }
+
+    /// The acceptance-criterion cell: a seeded fault kills a partition
+    /// mid-run, recovery comes from the on-disk segments through a
+    /// fresh store object, and the spliced run loses nothing.
+    #[test]
+    fn killed_partition_recovers_with_zero_events_lost() {
+        for fault in ALL_FAULTS {
+            let p = run_recovery_one::<VbWorkload>(2, 30, 4, 2, fault, 7);
+            assert!(p.recovered, "{}: crash must fire", p.fault);
+            assert!(p.spec_ok, "{}: spliced run must equal the spec", p.fault);
+            assert_eq!(p.events_lost, 0, "{}: SLO demands zero lost events", p.fault);
+            assert!(p.events_replayed > 0, "{}: suffix must be non-trivial", p.fault);
+        }
+    }
+
+    #[test]
+    fn recovery_points_serialize_into_a_valid_trajectory() {
+        let p = run_recovery_one::<VbWorkload>(2, 20, 3, 1, Fault::CleanCrash, 3);
+        let doc = crate::report::trajectory("2026-08-08", &[], &[], std::slice::from_ref(&p));
+        assert_eq!(crate::report::validate_trajectory(&doc), Ok(1));
+        let reparsed = crate::report::Json::parse(&doc.render()).unwrap();
+        let entry = &reparsed.get("results").unwrap().as_arr().unwrap()[0];
+        assert_eq!(entry.get("kind").unwrap().as_str(), Some("recovery"));
+        assert_eq!(entry.get("events_lost").unwrap().as_f64(), Some(0.0));
+        assert_eq!(entry.get("fault").unwrap().as_str(), Some("clean-crash"));
+        let table = render_table(&[p]);
+        assert!(table.contains("value-barrier") && table.contains("clean-crash"));
+    }
+}

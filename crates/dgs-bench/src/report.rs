@@ -442,15 +442,17 @@ impl SimEntry {
     }
 }
 
-/// Assemble the full trajectory document from wall-clock points and
-/// simulator entries.
+/// Assemble the full trajectory document from wall-clock points,
+/// simulator entries, and recovery points.
 pub fn trajectory(
     captured_at: &str,
     wall: &[crate::wallclock::WallclockPoint],
     sim: &[SimEntry],
+    recovery: &[crate::recovery::RecoveryPoint],
 ) -> Json {
     let mut results: Vec<Json> = wall.iter().map(|p| p.to_json()).collect();
     results.extend(sim.iter().map(|e| e.to_json()));
+    results.extend(recovery.iter().map(|p| p.to_json()));
     Json::Obj(vec![
         ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
         ("captured_at".into(), Json::Str(captured_at.to_string())),
@@ -538,6 +540,30 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
             ("simulator", "virtual") => {
                 require_string(entry, "figure", i)?;
                 require_number(entry, "net_bytes", i)?;
+            }
+            ("recovery", "wall") => {
+                let fault = require_string(entry, "fault", i)?;
+                if !matches!(
+                    fault.as_str(),
+                    "clean-crash" | "torn-tail" | "truncated-manifest" | "stale-manifest"
+                ) {
+                    return Err(format!("results[{i}]: unknown fault `{fault}`"));
+                }
+                for key in [
+                    "kill_after_checkpoints",
+                    "events",
+                    "events_replayed",
+                    "events_lost",
+                    "open_ns",
+                    "replay_ns",
+                ] {
+                    require_number(entry, key, i)?;
+                }
+                for key in ["recovered", "spec_ok"] {
+                    if !matches!(entry.get(key), Some(Json::Bool(_))) {
+                        return Err(format!("results[{i}]: missing boolean `{key}`"));
+                    }
+                }
             }
             (k, t) => return Err(format!("results[{i}]: invalid kind/time_base `{k}`/`{t}`")),
         }
@@ -641,7 +667,7 @@ mod tests {
             latency_p10_p50_p90: Some((1, 2, 3)),
             net_bytes: 99,
         };
-        let doc = trajectory("2026-07-26", &[], &[entry]);
+        let doc = trajectory("2026-07-26", &[], &[entry], &[]);
         assert_eq!(validate_trajectory(&doc), Ok(1));
         // Break it: drop `workers` from the entry.
         let text = doc.render().replace("\"workers\"", "\"warkers\"");

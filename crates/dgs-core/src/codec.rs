@@ -1,0 +1,523 @@
+//! Byte-level state serialization for durable checkpoints.
+//!
+//! The runtime's durable checkpoint store (`dgs-runtime::durable`)
+//! persists program states as length-prefixed, CRC-checksummed records,
+//! which needs every checkpointable state to round-trip through bytes.
+//! No serde is vendored, so this module carries a small, explicit codec:
+//! a [`StateCodec`] trait with little-endian primitive encodings and
+//! compositional impls for the container shapes DGS states actually use
+//! (tuples, arrays, `Option`, `Vec`, `BTreeMap`).
+//!
+//! Two properties matter more than compactness:
+//!
+//! 1. **Exact round-trips.** `decode(encode(s)) == s` for every state,
+//!    including floats (encoded as IEEE-754 bits, so `NaN` payloads and
+//!    signed zeros survive).
+//! 2. **Self-delimiting values.** Every encoding knows its own length,
+//!    so records can be concatenated into segments and decoded without
+//!    any out-of-band framing beyond the record header.
+//!
+//! On top of the full encoding, the trait carries an optional **delta**
+//! channel: [`StateCodec::encode_delta`] writes a state as a difference
+//! against a base snapshot and [`StateCodec::apply_delta`] replays it.
+//! The provided defaults fall back to the full encoding (a delta no
+//! smaller than the state), and `BTreeMap` — the shape of per-key states,
+//! where the paper's large-deployment states live — overrides it with a
+//! changed/removed key diff, which is what makes incremental snapshots
+//! (every K-th checkpoint full, the rest deltas) worthwhile.
+
+use std::collections::BTreeMap;
+
+/// A decoding failure. Decoders are total: any byte sequence either
+/// decodes or reports one of these — they never panic on hostile input
+/// (the durable store feeds them bytes that survived a crash).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value did.
+    Eof {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes that were left.
+        left: usize,
+    },
+    /// The bytes decoded to something structurally impossible.
+    Invalid(&'static str),
+    /// Trailing bytes after a complete value (only from
+    /// [`StateCodec::from_bytes`], which demands full consumption).
+    Trailing(usize),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Eof { needed, left } => {
+                write!(f, "input ended mid-value: needed {needed} bytes, {left} left")
+            }
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+            CodecError::Trailing(n) => write!(f, "{n} trailing byte(s) after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A cursor over the bytes being decoded.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over `bytes`, positioned at the start.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Reader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Consume exactly `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::Eof { needed: n, left: self.remaining() });
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Consume one little-endian `u8`.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Consume one little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    /// Consume one little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Consume one length prefix (u64 on the wire, bounds-checked
+    /// against the remaining input so a corrupt length cannot trigger a
+    /// huge allocation).
+    pub fn len_prefix(&mut self) -> Result<usize, CodecError> {
+        let n = self.u64()?;
+        if n > self.remaining() as u64 {
+            return Err(CodecError::Eof { needed: n as usize, left: self.remaining() });
+        }
+        Ok(n as usize)
+    }
+}
+
+/// Encode/decode a checkpointable state to/from bytes. See the
+/// [module docs](self) for the contract.
+pub trait StateCodec: Sized {
+    /// Append this value's encoding to `buf`.
+    fn encode(&self, buf: &mut Vec<u8>);
+
+    /// Decode one value from the reader, consuming exactly the bytes
+    /// [`StateCodec::encode`] wrote.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError>;
+
+    /// Append a *delta* encoding of `self` against `base`. The default
+    /// is the full encoding (correct for every type; no smaller).
+    /// Containers with cheap diffs override it — the invariant is only
+    /// `apply_delta(base, encode_delta(self, base)) == self`.
+    fn encode_delta(&self, _base: &Self, buf: &mut Vec<u8>) {
+        self.encode(buf);
+    }
+
+    /// Replay a delta produced by [`StateCodec::encode_delta`] on top of
+    /// `base`.
+    fn apply_delta(_base: &Self, r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Self::decode(r)
+    }
+
+    /// The value as a fresh byte vector.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.encode(&mut buf);
+        buf
+    }
+
+    /// Decode a value that must span the *entire* input (trailing bytes
+    /// are an error — a record either is one value or is corrupt).
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(CodecError::Trailing(r.remaining()));
+        }
+        Ok(v)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl StateCodec for $t {
+            fn encode(&self, buf: &mut Vec<u8>) {
+                buf.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+                Ok(<$t>::from_le_bytes(
+                    r.take(std::mem::size_of::<$t>())?.try_into().expect("sized"),
+                ))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl StateCodec for usize {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (*self as u64).encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let v = r.u64()?;
+        usize::try_from(v).map_err(|_| CodecError::Invalid("usize overflow"))
+    }
+}
+
+impl StateCodec for bool {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        buf.push(*self as u8);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(CodecError::Invalid("bool must be 0 or 1")),
+        }
+    }
+}
+
+impl StateCodec for f64 {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.to_bits().encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(f64::from_bits(r.u64()?))
+    }
+}
+
+impl StateCodec for () {
+    fn encode(&self, _buf: &mut Vec<u8>) {}
+    fn decode(_r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(())
+    }
+}
+
+impl StateCodec for String {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        buf.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.len_prefix()?;
+        let bytes = r.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::Invalid("non-utf8 string"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Composites.
+// ---------------------------------------------------------------------
+
+impl<T: StateCodec> StateCodec for Option<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            None => buf.push(0),
+            Some(v) => {
+                buf.push(1);
+                v.encode(buf);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        match r.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(CodecError::Invalid("Option discriminant")),
+        }
+    }
+}
+
+impl<T: StateCodec> StateCodec for Vec<T> {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.len_prefix()?;
+        let mut out = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: StateCodec, const N: usize> StateCodec for [T; N] {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        for v in self {
+            v.encode(buf);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut out = Vec::with_capacity(N);
+        for _ in 0..N {
+            out.push(T::decode(r)?);
+        }
+        out.try_into().map_err(|_| CodecError::Invalid("array length"))
+    }
+}
+
+impl<A: StateCodec, B: StateCodec> StateCodec for (A, B) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl<A: StateCodec, B: StateCodec, C: StateCodec> StateCodec for (A, B, C) {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+/// `BTreeMap` carries the real delta encoding: a full map encodes as
+/// sorted `(key, value)` pairs; a delta encodes only the entries that
+/// changed (or appeared) plus the keys that disappeared relative to the
+/// base snapshot — the shape of per-key states between two checkpoints,
+/// where a million-key map typically moves a handful of keys per window.
+impl<K, V> StateCodec for BTreeMap<K, V>
+where
+    K: StateCodec + Ord + Clone,
+    V: StateCodec + Clone + PartialEq,
+{
+    fn encode(&self, buf: &mut Vec<u8>) {
+        (self.len() as u64).encode(buf);
+        for (k, v) in self {
+            k.encode(buf);
+            v.encode(buf);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let n = r.len_prefix()?;
+        let mut out = BTreeMap::new();
+        let mut prev: Option<K> = None;
+        for _ in 0..n {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            // Strictly ascending keys: rejects both duplicates and any
+            // re-ordering a corrupted length could smuggle in.
+            if prev.as_ref().is_some_and(|p| *p >= k) {
+                return Err(CodecError::Invalid("map keys not strictly ascending"));
+            }
+            prev = Some(k.clone());
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+
+    fn encode_delta(&self, base: &Self, buf: &mut Vec<u8>) {
+        let changed: Vec<(&K, &V)> =
+            self.iter().filter(|(k, v)| base.get(k) != Some(v)).collect();
+        let removed: Vec<&K> = base.keys().filter(|k| !self.contains_key(k)).collect();
+        (changed.len() as u64).encode(buf);
+        for (k, v) in changed {
+            k.encode(buf);
+            v.encode(buf);
+        }
+        (removed.len() as u64).encode(buf);
+        for k in removed {
+            k.encode(buf);
+        }
+    }
+
+    fn apply_delta(base: &Self, r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut out = base.clone();
+        let changed = r.len_prefix()?;
+        for _ in 0..changed {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        let removed = r.len_prefix()?;
+        for _ in 0..removed {
+            let k = K::decode(r)?;
+            if out.remove(&k).is_none() {
+                return Err(CodecError::Invalid("delta removes a key the base lacks"));
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: StateCodec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).as_ref(), Ok(&v), "bytes: {bytes:?}");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u8);
+        roundtrip(u64::MAX);
+        roundtrip(-42i64);
+        roundtrip(i64::MIN);
+        roundtrip(true);
+        roundtrip(());
+        roundtrip(3.5f64);
+        roundtrip(-0.0f64);
+        roundtrip(String::from("héllo"));
+        roundtrip(usize::MAX);
+    }
+
+    #[test]
+    fn nan_payload_survives() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let back = f64::from_bytes(&weird.to_bytes()).unwrap();
+        assert_eq!(back.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn composites_roundtrip() {
+        roundtrip(Some(7i64));
+        roundtrip(Option::<i64>::None);
+        roundtrip(vec![1u32, 2, 3]);
+        roundtrip([1i64, -2, 3, 4]);
+        roundtrip((1u32, -2i64));
+        roundtrip((1u32, String::from("x"), vec![9u64]));
+        roundtrip(BTreeMap::from([(1u32, -5i64), (9, 9)]));
+        roundtrip(BTreeMap::<u32, i64>::new());
+    }
+
+    #[test]
+    fn truncated_input_reports_eof_not_panic() {
+        let bytes = vec![1u32, 2, 3].to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Vec::<u32>::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, CodecError::Eof { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7i64.to_bytes();
+        bytes.push(0);
+        assert_eq!(i64::from_bytes(&bytes), Err(CodecError::Trailing(1)));
+    }
+
+    #[test]
+    fn huge_length_prefix_is_bounded_by_input() {
+        // A corrupt length claiming 2^60 elements must error, not allocate.
+        let mut bytes = Vec::new();
+        (1u64 << 60).encode(&mut bytes);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(CodecError::Eof { .. })
+        ));
+    }
+
+    #[test]
+    fn map_rejects_unsorted_and_duplicate_keys() {
+        // Hand-build an encoding with descending keys.
+        let mut bytes = Vec::new();
+        2u64.encode(&mut bytes);
+        9u32.encode(&mut bytes);
+        1i64.encode(&mut bytes);
+        3u32.encode(&mut bytes);
+        2i64.encode(&mut bytes);
+        assert_eq!(
+            BTreeMap::<u32, i64>::from_bytes(&bytes),
+            Err(CodecError::Invalid("map keys not strictly ascending"))
+        );
+    }
+
+    #[test]
+    fn map_delta_is_a_keyed_diff() {
+        let base = BTreeMap::from([(1u32, 10i64), (2, 20), (3, 30)]);
+        let next = BTreeMap::from([(1u32, 10i64), (2, 21), (4, 40)]);
+        let mut delta = Vec::new();
+        next.encode_delta(&base, &mut delta);
+        // Changed: (2,21),(4,40); removed: 3 — far smaller than the full map
+        // once maps grow.
+        let back = BTreeMap::apply_delta(&base, &mut Reader::new(&delta)).unwrap();
+        assert_eq!(back, next);
+        // Identity delta is near-empty (two zero length prefixes).
+        let mut id = Vec::new();
+        base.encode_delta(&base, &mut id);
+        assert_eq!(id.len(), 16);
+        assert_eq!(BTreeMap::apply_delta(&base, &mut Reader::new(&id)).unwrap(), base);
+    }
+
+    #[test]
+    fn delta_against_wrong_base_is_detected_when_removing() {
+        let base = BTreeMap::from([(1u32, 10i64), (3, 30)]);
+        let next = BTreeMap::from([(1u32, 10i64)]);
+        let mut delta = Vec::new();
+        next.encode_delta(&base, &mut delta);
+        let wrong = BTreeMap::from([(1u32, 10i64)]);
+        assert_eq!(
+            BTreeMap::apply_delta(&wrong, &mut Reader::new(&delta)),
+            Err(CodecError::Invalid("delta removes a key the base lacks"))
+        );
+    }
+
+    #[test]
+    fn default_delta_falls_back_to_full_encoding() {
+        let mut delta = Vec::new();
+        42i64.encode_delta(&7, &mut delta);
+        assert_eq!(delta, 42i64.to_bytes());
+        assert_eq!(i64::apply_delta(&7, &mut Reader::new(&delta)), Ok(42));
+    }
+
+    /// Delta growth stays proportional to the change set, not the map —
+    /// the property that makes incremental snapshots worth taking.
+    #[test]
+    fn delta_size_tracks_changes_not_map_size() {
+        let base: BTreeMap<u64, i64> = (0..10_000).map(|k| (k, k as i64)).collect();
+        let mut next = base.clone();
+        next.insert(3, -1);
+        next.insert(10_000, 1);
+        next.remove(&7);
+        let mut delta = Vec::new();
+        next.encode_delta(&base, &mut delta);
+        let full = next.to_bytes();
+        assert!(
+            delta.len() * 100 < full.len(),
+            "delta {} vs full {}",
+            delta.len(),
+            full.len()
+        );
+    }
+}

@@ -38,6 +38,7 @@
 //! assert_eq!(out, vec![(1, 1)]); // key 1 had count 1
 //! ```
 
+pub mod codec;
 pub mod consistency;
 pub mod depends;
 pub mod event;
@@ -50,6 +51,7 @@ pub mod spec;
 pub mod tag;
 pub mod testing;
 
+pub use codec::{CodecError, Reader, StateCodec};
 pub use depends::Dependence;
 pub use event::{Event, Heartbeat, StreamId, StreamItem, Timestamp};
 pub use predicate::TagPredicate;

@@ -8,6 +8,14 @@
 //! global cut). The runtime exposes this through `checkpoint_on_join`;
 //! this module keys the snapshots by partition root and rebuilds the
 //! input suffix needed to resume a partition after a crash.
+//!
+//! Storage is behind the [`CheckpointStore`] trait with two backends:
+//! [`MemoryStore`] here (snapshots die with the process — the original
+//! PR 4 behaviour, still what the simulator and most tests want) and
+//! [`crate::durable::DurableStore`] (append-only segment files + a
+//! manifest, surviving real crashes). The trait's `record` is fallible
+//! because the durable backend can hit the disk — or a deterministically
+//! injected fault ([`crate::durable::FaultPlan`]) — at any append.
 
 use std::collections::BTreeMap;
 
@@ -15,25 +23,74 @@ use dgs_core::event::{OrderKey, StreamId, Timestamp};
 use dgs_core::tag::Tag;
 use dgs_plan::plan::WorkerId;
 
+use crate::durable::StoreError;
 use crate::source::ScheduledStream;
 
-/// An in-memory checkpoint store, keyed by the partition root that took
-/// each snapshot (latest-wins recovery per partition).
+/// A checkpoint store: per-partition-root snapshot sequences with
+/// latest-wins recovery. Implementations differ only in durability;
+/// the read side is identical so recovery code is backend-agnostic.
+pub trait CheckpointStore<S> {
+    /// Record a snapshot taken by partition root `root` at the given
+    /// trigger timestamp. Per-root trigger timestamps are monotone;
+    /// cross-root interleaving is arbitrary (partitions are
+    /// independent). Durable backends may fail here.
+    fn record(&mut self, root: WorkerId, state: S, ts: Timestamp) -> Result<(), StoreError>;
+
+    /// Latest snapshot of partition `root`, if any.
+    fn latest(&self, root: WorkerId) -> Option<&(S, Timestamp)>;
+
+    /// The k-th (0-based) snapshot of partition `root`, if taken.
+    fn nth(&self, root: WorkerId, k: usize) -> Option<&(S, Timestamp)>;
+
+    /// Snapshots of one partition, in trigger order.
+    fn of_root(&self, root: WorkerId) -> &[(S, Timestamp)];
+
+    /// Partition roots with at least one snapshot.
+    fn roots(&self) -> Vec<WorkerId>;
+
+    /// Total number of snapshots across all partitions.
+    fn len(&self) -> usize;
+
+    /// True if no snapshot was taken anywhere.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Absorb the (root-tagged) checkpoints of a finished run, stopping
+    /// at the first failure.
+    fn extend(
+        &mut self,
+        cps: impl IntoIterator<Item = (WorkerId, S, Timestamp)>,
+    ) -> Result<(), StoreError>
+    where
+        Self: Sized,
+    {
+        for (root, s, t) in cps {
+            self.record(root, s, t)?;
+        }
+        Ok(())
+    }
+}
+
+/// The in-memory checkpoint store backend, keyed by the partition root
+/// that took each snapshot. Infallible: the inherent methods mirror the
+/// [`CheckpointStore`] trait without the `Result` wrapper, and in-process
+/// recovery paths call those directly.
 #[derive(Clone, Debug)]
-pub struct CheckpointStore<S> {
+pub struct MemoryStore<S> {
     snaps: BTreeMap<WorkerId, Vec<(S, Timestamp)>>,
 }
 
-impl<S> Default for CheckpointStore<S> {
+impl<S> Default for MemoryStore<S> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S> CheckpointStore<S> {
+impl<S> MemoryStore<S> {
     /// Empty store.
     pub fn new() -> Self {
-        CheckpointStore { snaps: BTreeMap::new() }
+        MemoryStore { snaps: BTreeMap::new() }
     }
 
     /// Record a snapshot taken by partition root `root` at the given
@@ -83,6 +140,28 @@ impl<S> CheckpointStore<S> {
     }
 }
 
+impl<S> CheckpointStore<S> for MemoryStore<S> {
+    fn record(&mut self, root: WorkerId, state: S, ts: Timestamp) -> Result<(), StoreError> {
+        MemoryStore::record(self, root, state, ts);
+        Ok(())
+    }
+    fn latest(&self, root: WorkerId) -> Option<&(S, Timestamp)> {
+        MemoryStore::latest(self, root)
+    }
+    fn nth(&self, root: WorkerId, k: usize) -> Option<&(S, Timestamp)> {
+        MemoryStore::nth(self, root, k)
+    }
+    fn of_root(&self, root: WorkerId) -> &[(S, Timestamp)] {
+        MemoryStore::of_root(self, root)
+    }
+    fn roots(&self) -> Vec<WorkerId> {
+        MemoryStore::roots(self).collect()
+    }
+    fn len(&self) -> usize {
+        MemoryStore::len(self)
+    }
+}
+
 /// The input suffix strictly after a snapshot cut: a snapshot triggered by
 /// a partition root's event at `(ts, stream)` covers every *dependent*
 /// event up to that point in the order `O`, so recovery replays items with
@@ -118,7 +197,7 @@ mod tests {
 
     #[test]
     fn store_orders_and_returns_latest_per_root() {
-        let mut store = CheckpointStore::new();
+        let mut store = MemoryStore::new();
         assert!(store.is_empty());
         store.record(R0, 10i64, 5);
         store.record(R0, 20i64, 9);
@@ -138,7 +217,7 @@ mod tests {
 
     #[test]
     fn extend_appends_in_order() {
-        let mut store = CheckpointStore::new();
+        let mut store = MemoryStore::new();
         store.extend([(R0, 1i64, 1u64), (R0, 2, 2), (R3, 5, 1)]);
         assert_eq!(store.latest(R0), Some(&(2, 2)));
         assert_eq!(store.latest(R3), Some(&(5, 1)));

@@ -55,8 +55,10 @@
 //! `tests/api_equivalence.rs`.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use dgs_core::codec::StateCodec;
 use dgs_core::event::Timestamp;
 use dgs_core::program::DgsProgram;
 use dgs_core::spec::sort_o;
@@ -65,6 +67,8 @@ use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer, SequentialOptim
 use dgs_plan::plan::{Location, Plan, WorkerId};
 use dgs_sim::{LinkSpec, Topology};
 
+use crate::checkpoint::CheckpointStore;
+use crate::durable::{DurableStore, StoreError};
 use crate::sim_driver::{build_sim_scheduled, ReplaySource, SimConfig};
 use crate::source::{item_lists, ScheduledStream};
 use crate::thread_driver::{run_threads, RunEffects, RunTiming, ThreadRunOptions};
@@ -212,6 +216,11 @@ impl std::fmt::Display for SpecMismatch {
 
 impl std::error::Error for SpecMismatch {}
 
+/// A monomorphized checkpoint-persistence hook: writes a run's
+/// checkpoints under a directory and reports how many records landed.
+type PersistFn<P> =
+    fn(&Path, &[(WorkerId, <P as DgsProgram>::State, Timestamp)]) -> Result<u64, StoreError>;
+
 /// A DGS program plus its workload, with everything else derived — see
 /// the [module docs](self) for the full tour.
 ///
@@ -227,6 +236,11 @@ pub struct Job<P: DgsProgram> {
     place_overrides: BTreeMap<ITag<P::Tag>, Location>,
     initial_state: Option<P::State>,
     checkpoint_roots: bool,
+    checkpoint_dir: Option<PathBuf>,
+    /// Monomorphized at the [`Job::with_checkpoint_dir`] call site (the
+    /// only place a `StateCodec` bound exists), so `run()` can persist
+    /// without imposing the bound on every job.
+    persist: Option<PersistFn<P>>,
     sim_ns_per_tick: u64,
     /// Derived-plan / derived-infos caches: the optimizer and the
     /// per-stream schedule scans run once per builder configuration,
@@ -264,6 +278,8 @@ impl<P: DgsProgram> Job<P> {
             place_overrides: BTreeMap::new(),
             initial_state: None,
             checkpoint_roots: false,
+            checkpoint_dir: None,
+            persist: None,
             sim_ns_per_tick: 1_000,
             plan_cache: std::sync::OnceLock::new(),
             infos_cache: std::sync::OnceLock::new(),
@@ -317,6 +333,45 @@ impl<P: DgsProgram> Job<P> {
     pub fn checkpoint_roots(mut self, enable: bool) -> Self {
         self.checkpoint_roots = enable;
         self
+    }
+
+    /// Persist every checkpoint this job takes into a [`DurableStore`]
+    /// rooted at `dir` (created if absent; appends accumulate across
+    /// runs). Implies [`Job::checkpoint_roots`]`(true)`. After a crash,
+    /// [`Job::recover_checkpoints`] reads them back from disk alone.
+    ///
+    /// Persistence happens after the backend completes; a storage
+    /// failure there panics — the front door has no fallible `run`, and
+    /// a half-persisted checkpoint directory must not pass silently.
+    pub fn with_checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self
+    where
+        P::State: StateCodec,
+    {
+        self.checkpoint_dir = Some(dir.into());
+        self.persist = Some(persist_checkpoints::<P::State>);
+        self.checkpoint_roots = true;
+        self
+    }
+
+    /// The durable checkpoint directory, if configured.
+    pub fn checkpoint_dir(&self) -> Option<&Path> {
+        self.checkpoint_dir.as_deref()
+    }
+
+    /// Reopen this job's checkpoint directory from disk — everything
+    /// previous runs persisted, via a fresh [`DurableStore`] (segments
+    /// are scanned and verified; torn tails repaired).
+    ///
+    /// Panics if [`Job::with_checkpoint_dir`] was never called.
+    pub fn recover_checkpoints(&self) -> Result<DurableStore<P::State>, StoreError>
+    where
+        P::State: StateCodec,
+    {
+        let dir = self
+            .checkpoint_dir
+            .as_ref()
+            .expect("recover_checkpoints requires with_checkpoint_dir");
+        DurableStore::open(dir)
     }
 
     /// Virtual nanoseconds one schedule tick maps to on the
@@ -422,7 +477,7 @@ where
     /// Execute on the given backend and return the unified report.
     pub fn run(&self, backend: Backend<P::State>) -> RunReport<P> {
         let plan = self.plan();
-        match backend {
+        let report = match backend {
             Backend::Threads(mut opts) => {
                 if opts.initial_state.is_none() {
                     opts.initial_state = self.initial_state.clone();
@@ -467,7 +522,13 @@ where
                 RunReport { plan, outputs, checkpoints, effects, timing: None, sim: Some(stats) }
             }
             Backend::Spec => self.run_spec(self.initial_state.clone()),
+        };
+        if let (Some(dir), Some(persist)) = (&self.checkpoint_dir, self.persist) {
+            persist(dir, &report.checkpoints).unwrap_or_else(|e| {
+                panic!("persisting checkpoints to {}: {e}", dir.display())
+            });
         }
+        report
     }
 
     /// The sequential-specification run, seeded with `initial` (falling
@@ -547,6 +608,19 @@ where
     pub fn verify_against_spec(&self) -> Result<Verified<P>, SpecMismatch> {
         self.verify_on(Backend::threads())
     }
+}
+
+/// Append a finished run's checkpoints to the durable store at `dir`
+/// (the [`Job::with_checkpoint_dir`] persistence hook).
+fn persist_checkpoints<S: StateCodec + Clone>(
+    dir: &Path,
+    cps: &[(WorkerId, S, Timestamp)],
+) -> Result<u64, StoreError> {
+    let mut store = DurableStore::open(dir)?;
+    for (root, state, ts) in cps {
+        store.record(*root, state.clone(), *ts)?;
+    }
+    Ok(cps.len() as u64)
 }
 
 #[cfg(test)]
@@ -764,6 +838,54 @@ mod tests {
         };
         assert_eq!(first(&verified.run), first(&verified.spec));
         assert!(first(&verified.spec) >= 100);
+    }
+
+    /// `with_checkpoint_dir` persists every root-join snapshot; a fresh
+    /// job over the same directory reads them back from disk alone, and
+    /// the latest one seeds a verified recovery run.
+    #[test]
+    fn checkpoint_dir_round_trips_through_a_fresh_store() {
+        let dir = std::env::temp_dir()
+            .join(format!("flumina-job-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let streams = || {
+            vec![
+                ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 10, 10, 3, |_| ())
+                    .with_heartbeats(3)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 1, 15, |_| ())
+                    .with_heartbeats(3)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(1), 2), 1, 1, 15, |_| ())
+                    .with_heartbeats(3)
+                    .closed(u64::MAX),
+            ]
+        };
+        let job = Job::new(KeyCounter, streams()).with_checkpoint_dir(&dir);
+        let report = job.run(Backend::threads());
+        assert_eq!(report.checkpoints.len(), 3, "one snapshot per read-reset");
+        drop(job);
+        // A brand-new job over the same dir sees them without running.
+        let job2 = Job::new(KeyCounter, streams()).with_checkpoint_dir(&dir);
+        let store = job2.recover_checkpoints().expect("reopen from disk");
+        assert_eq!(CheckpointStore::len(&store), 3);
+        let root = report.plan.root_of(
+            report
+                .plan
+                .responsible_for(&it(KcTag::ReadReset(1), 0))
+                .expect("owned"),
+        );
+        let (snap, cut_ts) = store.latest(root).expect("snapshots on the root");
+        // Seed a resumed run with the recovered snapshot and verify it
+        // against the identically-seeded spec (the PR 5 seeded path).
+        let suffix = crate::checkpoint::suffix_after(&streams(), *cut_ts, StreamId(0));
+        Job::new(KeyCounter, suffix)
+            .verify_on(Backend::Threads(ThreadRunOptions {
+                initial_state: Some(snap.clone()),
+                ..Default::default()
+            }))
+            .expect("recovery-seeded run passes spec verification");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

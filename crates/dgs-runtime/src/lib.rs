@@ -21,7 +21,10 @@
 //!   with crossbeam channels (the "production" execution used by examples
 //!   and correctness tests).
 //! * [`checkpoint`] — Appendix D.2 state snapshots taken when the root
-//!   joins its descendants' states.
+//!   joins its descendants' states, behind a storage trait.
+//! * [`durable`] — the crash-surviving checkpoint backend: append-only
+//!   CRC-checksummed segment files per partition plus a tmp+rename
+//!   manifest, with deterministic fault injection below the trait.
 //! * [`job`] — the typed front door: a [`Job`] builder that derives
 //!   the workload description and plan from a program and its streams,
 //!   and executes on any backend (threads, simulator, sequential spec)
@@ -29,6 +32,7 @@
 
 pub mod checkpoint;
 pub mod cost;
+pub mod durable;
 pub mod job;
 pub mod mailbox;
 pub mod recovery;
@@ -37,7 +41,9 @@ pub mod source;
 pub mod thread_driver;
 pub mod worker;
 
+pub use checkpoint::{CheckpointStore, MemoryStore};
 pub use cost::CostModel;
+pub use durable::{DurableOptions, DurableStore, Fault, FaultPlan, StoreError};
 pub use job::{Backend, Job, PlanStrategy, RunReport};
 pub use mailbox::Mailbox;
 pub use worker::{StepEffects, WorkerCore, WorkerMsg};

@@ -15,13 +15,17 @@
 //! run exactly. A single-root plan degenerates to the paper's original
 //! whole-deployment recovery.
 
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Instant;
 
+use dgs_core::codec::StateCodec;
 use dgs_core::event::{StreamId, Timestamp};
 use dgs_core::program::DgsProgram;
-use dgs_plan::plan::Plan;
+use dgs_plan::plan::{Plan, WorkerId};
 
-use crate::checkpoint::{suffix_after, CheckpointStore};
+use crate::checkpoint::{suffix_after, CheckpointStore, MemoryStore};
+use crate::durable::{DurableStore, FaultPlan, StoreError};
 use crate::source::ScheduledStream;
 use crate::thread_driver::{run_threads, ThreadRunOptions};
 
@@ -45,7 +49,7 @@ pub struct RecoveredRun<S, Out> {
     pub outputs: Vec<(Out, Timestamp)>,
     /// Checkpoints taken across all partitions and phases, keyed by
     /// partition root (original plan ids).
-    pub store: CheckpointStore<S>,
+    pub store: MemoryStore<S>,
     /// Whether a recovery actually happened.
     pub recovered: bool,
 }
@@ -70,7 +74,7 @@ where
     Prog::Out: Send,
 {
     let mut outputs: Vec<(Prog::Out, Timestamp)> = Vec::new();
-    let mut store = CheckpointStore::new();
+    let mut store = MemoryStore::new();
     let mut recovered = false;
     // Every stream must belong to some partition — fail loudly up front
     // (as `run_threads`' feeder mapping would) instead of silently
@@ -148,6 +152,186 @@ where
         store.extend(rekey(resumed.checkpoints));
     }
     RecoveredRun { outputs, store, recovered }
+}
+
+/// A crashed partition's in-flight context, held back for splicing:
+/// its pre-crash outputs, its sub-plan, its input streams, and its
+/// chain-forked seed (the fallback when nothing durable survived).
+type CrashSite<Prog> = (
+    Vec<(<Prog as DgsProgram>::Out, Timestamp)>,
+    Plan<<Prog as DgsProgram>::Tag>,
+    Vec<ScheduledStream<<Prog as DgsProgram>::Tag, <Prog as DgsProgram>::Payload>>,
+    <Prog as DgsProgram>::State,
+);
+
+/// Result of a durable run: outputs spliced across the crash, the
+/// reopened store, and the measured recovery SLO ingredients.
+#[derive(Debug)]
+pub struct DurableRecovery<S, Out> {
+    /// The spliced output stream (crashed partition: durable prefix +
+    /// replayed suffix; other partitions: their full runs).
+    pub outputs: Vec<(Out, Timestamp)>,
+    /// Whether a crash fired and a disk recovery actually happened.
+    pub recovered: bool,
+    /// The partition root that crashed, if any.
+    pub crashed_root: Option<WorkerId>,
+    /// Events replayed from the input suffix during recovery.
+    pub events_replayed: u64,
+    /// Wall time to reopen the store from disk (segment scan + repair).
+    pub open_ns: u64,
+    /// Wall time to replay the input suffix on the restored snapshot.
+    pub replay_ns: u64,
+    /// The store holding every durable checkpoint: the original writer
+    /// when nothing crashed, or the *fresh* post-crash reopen (plus the
+    /// replay phase's checkpoints) when something did.
+    pub store: DurableStore<S>,
+}
+
+/// Run `plan` over `streams` with checkpoints persisted to `dir`,
+/// optionally arming a [`FaultPlan`] against the partition owning
+/// `sync_stream`.
+///
+/// Unlike [`run_with_recovery`]'s in-memory rehearsal, a crash here is
+/// *process-visible*: the armed writer's appends start failing at the
+/// injected point (possibly leaving torn bytes or a damaged manifest
+/// behind), everything the dead partition produced after its last
+/// durable checkpoint is discarded, and recovery reopens the directory
+/// through a **fresh store object** — the snapshot must come back from
+/// the segment files alone. The replayed suffix is seeded with that
+/// snapshot, and the spliced outputs equal the sequential specification
+/// (Theorem 3.5 across the crash).
+pub fn run_durable_with_recovery<Prog>(
+    prog: Arc<Prog>,
+    plan: &Plan<Prog::Tag>,
+    streams: Vec<ScheduledStream<Prog::Tag, Prog::Payload>>,
+    sync_stream: StreamId,
+    dir: impl AsRef<Path>,
+    faults: Option<FaultPlan>,
+) -> Result<DurableRecovery<Prog::State, Prog::Out>, StoreError>
+where
+    Prog: DgsProgram + Send + Sync + 'static,
+    Prog::State: StateCodec + Send,
+    Prog::Out: Send,
+{
+    let dir = dir.as_ref();
+    for s in &streams {
+        assert!(
+            plan.responsible_for(&s.itag).is_some(),
+            "no worker responsible for {:?}",
+            s.itag
+        );
+    }
+    // The partition whose writer the fault plan (if any) is scoped to.
+    let sync_root = {
+        let s = streams
+            .iter()
+            .find(|s| s.itag.stream == sync_stream)
+            .expect("sync_stream must be one of the input streams");
+        plan.root_of(plan.responsible_for(&s.itag).expect("owned"))
+    };
+    let mut writer = DurableStore::open(dir)?;
+    if let Some(f) = faults {
+        writer = writer.with_faults(f, sync_root);
+    }
+    let seeds = crate::worker::partition_seeds(prog.as_ref(), plan, prog.init());
+    let mut outputs: Vec<(Prog::Out, Timestamp)> = Vec::new();
+    // The crashed partition's in-flight results, held back for splicing.
+    let mut crash_site: Option<CrashSite<Prog>> = None;
+    for (&root, seed) in plan.roots().iter().zip(seeds) {
+        let (sub_plan, _mapping) = plan.partition_plan(root);
+        let part_streams: Vec<ScheduledStream<Prog::Tag, Prog::Payload>> = streams
+            .iter()
+            .filter(|s| {
+                plan.responsible_for(&s.itag)
+                    .is_some_and(|w| plan.root_of(w) == root)
+            })
+            .cloned()
+            .collect();
+        let full = run_threads(
+            prog.clone(),
+            &sub_plan,
+            part_streams.clone(),
+            ThreadRunOptions {
+                initial_state: Some(seed.clone()),
+                checkpoint_root: true,
+                ..Default::default()
+            },
+        );
+        // Persist each root-join snapshot as it is taken; the armed
+        // writer dies mid-sequence, exactly like the real process.
+        let mut died = false;
+        for (_, s, t) in full.checkpoints {
+            match writer.record(root, s, t) {
+                Ok(()) => {}
+                Err(StoreError::Crashed { .. }) => {
+                    died = true;
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // The crash can also fire on the partition's *last* append, in
+        // which case no later append surfaces the error.
+        died = died || (root == sync_root && writer.has_crashed());
+        if died {
+            crash_site = Some((full.outputs, sub_plan, part_streams, seed));
+        } else {
+            outputs.extend(full.outputs);
+        }
+    }
+    let Some((crash_outputs, sub_plan, part_streams, seed)) = crash_site else {
+        return Ok(DurableRecovery {
+            outputs,
+            recovered: false,
+            crashed_root: None,
+            events_replayed: 0,
+            open_ns: 0,
+            replay_ns: 0,
+            store: writer,
+        });
+    };
+    // The writer object dies with its process: its in-memory image must
+    // not survive into recovery. Only the directory does.
+    drop(writer);
+    let t_open = Instant::now();
+    let mut store = DurableStore::<Prog::State>::open(dir)?;
+    let open_ns = t_open.elapsed().as_nanos() as u64;
+    let cut = store.latest(sync_root).map(|(s, t)| (s.clone(), *t));
+    let (snapshot, suffix) = match &cut {
+        Some((snap, cut_ts)) => {
+            // Outputs after the last durable cut died with the process.
+            outputs.extend(crash_outputs.into_iter().filter(|(_, ts)| *ts <= *cut_ts));
+            (snap.clone(), suffix_after(&part_streams, *cut_ts, sync_stream))
+        }
+        // Nothing durable survived: replay the partition from its seed.
+        None => (seed, part_streams.clone()),
+    };
+    let events_replayed: u64 = suffix.iter().map(|s| s.events().count() as u64).sum();
+    let t_replay = Instant::now();
+    let resumed = run_threads(
+        prog.clone(),
+        &sub_plan,
+        suffix,
+        ThreadRunOptions {
+            initial_state: Some(snapshot),
+            checkpoint_root: true,
+            ..Default::default()
+        },
+    );
+    let replay_ns = t_replay.elapsed().as_nanos() as u64;
+    outputs.extend(resumed.outputs);
+    for (_, s, t) in resumed.checkpoints {
+        store.record(sync_root, s, t)?;
+    }
+    Ok(DurableRecovery {
+        outputs,
+        recovered: true,
+        crashed_root: Some(sync_root),
+        events_replayed,
+        open_ns,
+        replay_ns,
+        store,
+    })
 }
 
 #[cfg(test)]

@@ -37,6 +37,15 @@
 //! simulator, or the sequential specification — all returning the same
 //! [`RunReport`].
 //!
+//! Checkpoints become crash-durable with one more builder call:
+//! [`Job::with_checkpoint_dir`] persists every root-join snapshot into a
+//! [`DurableStore`] (append-only, CRC-checksummed segment files plus a
+//! write-tmp-then-rename manifest), and [`Job::recover_checkpoints`]
+//! reads them back through a fresh store after a crash —
+//! [`run_durable_with_recovery`] orchestrates the whole
+//! kill/reopen/replay cycle, with [`FaultPlan`] injecting deterministic
+//! crash wreckage underneath for tests and benchmarks.
+//!
 //! ## The low-level layer
 //!
 //! `Job` composes public pieces that remain the documented API for
@@ -53,8 +62,16 @@
 //!
 //! [`DgsProgram`]: crate::core::program::DgsProgram
 
+pub use dgs_core::codec::{CodecError, StateCodec};
+pub use dgs_runtime::checkpoint::{CheckpointStore, MemoryStore};
+pub use dgs_runtime::durable::{
+    DurableOptions, DurableStore, Fault, FaultPlan, OpenReport, StoreError,
+};
 pub use dgs_runtime::job::{
     Backend, Job, PlanStrategy, RunReport, SimStats, SpecMismatch, Verified,
+};
+pub use dgs_runtime::recovery::{
+    run_durable_with_recovery, run_with_recovery, CrashPoint, DurableRecovery, RecoveredRun,
 };
 pub use dgs_runtime::sim_driver::SimConfig;
 pub use dgs_runtime::source::ScheduledStream;

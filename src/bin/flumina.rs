@@ -1,11 +1,16 @@
 //! `flumina` — command-line front end for the DGS workspace.
 //!
 //! ```text
-//! flumina plan <workload> [-n N] [--dot]   print the synchronization plan
-//! flumina run  <workload> [-n N]           execute on real threads, verify vs spec
-//! flumina sim  <workload> [-n N]           simulate a cluster, report outcome
-//! flumina list                             list available workloads
+//! flumina plan <workload> [-n N] [--dot]             print the synchronization plan
+//! flumina run  <workload> [-n N] [--checkpoint-dir D] execute on real threads, verify vs spec
+//! flumina sim  <workload> [-n N]                     simulate a cluster, report outcome
+//! flumina list                                       list available workloads
 //! ```
+//!
+//! `run --checkpoint-dir D` persists every root-join checkpoint into a
+//! crash-durable [`DurableStore`](flumina::api::DurableStore) under `D`
+//! (append-only CRC-checksummed segments + manifest) and reports how
+//! many snapshots a fresh reopen of the directory can see.
 //!
 //! Workloads are resolved by name against the shared
 //! [`registry`](flumina::apps::registry) — the same table the
@@ -15,7 +20,7 @@
 //! `run` is a [`verify_against_spec`](flumina::api::Job::verify_against_spec)
 //! call (Theorem 3.5 as a CLI exit code).
 
-use flumina::api::Backend;
+use flumina::api::{Backend, CheckpointStore as _};
 use flumina::apps::registry::{self, WorkloadVisitor};
 use flumina::apps::sweep::SweepWorkload;
 
@@ -24,11 +29,12 @@ struct Args {
     workload: String,
     parallelism: u32,
     dot: bool,
+    checkpoint_dir: Option<String>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot]\n       flumina list\nworkloads: {}",
+        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n       flumina list\nworkloads: {}",
         registry::names().join(" | ")
     )
 }
@@ -37,11 +43,18 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     let cmd = it.next().ok_or("missing command (plan | run | sim | list)")?;
     if cmd == "list" {
-        return Ok(Args { cmd, workload: String::new(), parallelism: 0, dot: false });
+        return Ok(Args {
+            cmd,
+            workload: String::new(),
+            parallelism: 0,
+            dot: false,
+            checkpoint_dir: None,
+        });
     }
     let workload = it.next().ok_or("missing workload name")?;
     let mut parallelism = 4u32;
     let mut dot = false;
+    let mut checkpoint_dir = None;
     while let Some(a) = it.next() {
         match a.as_str() {
             "-n" | "--parallelism" => {
@@ -52,10 +65,13 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("bad parallelism: {e}"))?;
             }
             "--dot" => dot = true,
+            "--checkpoint-dir" => {
+                checkpoint_dir = Some(it.next().ok_or("missing value after --checkpoint-dir")?);
+            }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args { cmd, workload, parallelism, dot })
+    Ok(Args { cmd, workload, parallelism, dot, checkpoint_dir })
 }
 
 /// `plan`: derive and render the synchronization plan.
@@ -82,6 +98,7 @@ impl WorkloadVisitor for PlanCmd {
 /// specification. Returns the report line and whether the run matched.
 struct RunCmd {
     n: u32,
+    checkpoint_dir: Option<String>,
 }
 
 impl WorkloadVisitor for RunCmd {
@@ -89,15 +106,47 @@ impl WorkloadVisitor for RunCmd {
 
     fn visit<W: SweepWorkload>(&mut self) -> (String, bool) {
         let w = W::for_scale(self.n, 200, 4);
-        match w.job(20).verify_against_spec() {
-            Ok(v) => (
-                format!(
+        let mut job = w.job(20);
+        if let Some(dir) = &self.checkpoint_dir {
+            job = job.with_checkpoint_dir(dir);
+            // Appending a fresh run behind an earlier one would
+            // interleave two histories (the store refuses mid-run);
+            // surface the conflict up front instead.
+            if let Ok(store) = job.recover_checkpoints() {
+                if !store.is_empty() {
+                    return (
+                        format!(
+                            "checkpoint dir {dir} already holds {} record(s) from an \
+                             earlier run ✗ — use a fresh directory per run",
+                            store.len()
+                        ),
+                        false,
+                    );
+                }
+            }
+        }
+        match job.verify_against_spec() {
+            Ok(v) => {
+                let mut line = format!(
                     "{} workers on real threads produced {} outputs — MATCHES the sequential spec ✓",
                     v.run.plan.len(),
                     v.run.outputs.len()
-                ),
-                true,
-            ),
+                );
+                if let Some(dir) = &self.checkpoint_dir {
+                    // Reopen through a fresh store: report what actually
+                    // survives on disk, not what the writer remembers.
+                    match job.recover_checkpoints() {
+                        Ok(store) => {
+                            line.push_str(&format!(
+                                "; {} checkpoint(s) durable in {dir}",
+                                store.len()
+                            ));
+                        }
+                        Err(e) => return (format!("checkpoint reopen failed ✗ — {e}"), false),
+                    }
+                }
+                (line, true)
+            }
             Err(e) => (format!("DIVERGED from the sequential spec ✗ — {e}"), false),
         }
     }
@@ -155,7 +204,7 @@ fn main() {
             }
         }
         "run" => {
-            let mut cmd = RunCmd { n: args.parallelism };
+            let mut cmd = RunCmd { n: args.parallelism, checkpoint_dir: args.checkpoint_dir };
             match registry::visit(&args.workload, &mut cmd) {
                 Some((line, ok)) => {
                     println!("{line}");

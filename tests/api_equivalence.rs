@@ -3,8 +3,10 @@
 //! `Job` derives from the streams alone is structurally identical to
 //! the plan the app builds by hand (`ITagInfo`s + `CommMinOptimizer`),
 //! and Job-driven runs produce the same output multiset as the manual
-//! `run_threads` invocation — on every channel mode, and on the
-//! simulator backend — all equal to the sequential specification.
+//! `run_threads` invocation — on every channel mode, on the simulator
+//! backend, and on the durable-checkpoint column (threads +
+//! `with_checkpoint_dir`, reopened through a fresh store) — all equal
+//! to the sequential specification.
 //!
 //! Plus a proptest pinning the rate derivation itself: the per-tag
 //! rates a `Job` computes from periodic schedules are proportional to
@@ -15,7 +17,7 @@ use std::sync::Arc;
 
 use proptest::prelude::*;
 
-use flumina::api::{Backend, ChannelMode, Job, ThreadRunOptions};
+use flumina::api::{Backend, ChannelMode, CheckpointStore as _, Job, ThreadRunOptions};
 use flumina::apps::fraud::FdWorkload;
 use flumina::apps::outlier::OdWorkload;
 use flumina::apps::page_view::PvWorkload;
@@ -93,6 +95,49 @@ fn check_equivalence<W: SweepWorkload>(workers: u32, per_window: u64, windows: u
     //    multiset.
     let sim = job.run(Backend::Sim(job.auto_sim_config()));
     assert_eq!(sim.output_multiset(), spec, "{}: Job sim backend diverged", W::NAME);
+
+    // 4. The durable column: the same job persisting every checkpoint
+    //    into a DurableStore is still multiset-equal to the spec, and a
+    //    fresh reopen of the directory sees exactly the checkpoints the
+    //    run took — in particular, the spec leg of `verify_on` must not
+    //    leak its final-state snapshot into the store.
+    let dir = scratch_dir(W::NAME);
+    let durable_job = w.job(hb).with_checkpoint_dir(&dir);
+    let v = durable_job
+        .verify_on(Backend::threads())
+        .unwrap_or_else(|e| panic!("{} [durable]: diverged from spec: {e}", W::NAME));
+    assert_eq!(v.run.output_multiset(), spec, "{} [durable]: wrong multiset", W::NAME);
+    assert!(
+        !v.run.checkpoints.is_empty(),
+        "{}: a durable job must take root-join checkpoints",
+        W::NAME
+    );
+    let store = durable_job.recover_checkpoints().unwrap_or_else(|e| {
+        panic!("{} [durable]: fresh reopen failed: {e}", W::NAME)
+    });
+    assert_eq!(
+        store.len(),
+        v.run.checkpoints.len(),
+        "{}: disk must hold the run's checkpoints, no more (spec pollution) and no less",
+        W::NAME
+    );
+    assert!(!store.open_report().manifest_fallback, "{}: manifest must seal", W::NAME);
+    assert_eq!(store.open_report().repaired_bytes, 0, "{}: clean run, clean tail", W::NAME);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Fresh scratch checkpoint directory (no tempfile crate in the image).
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "flumina-api-eq-{}-{}-{}",
+        name,
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 #[test]

@@ -3,18 +3,29 @@
 //! system can stop at any synchronization point, switch to a *different*
 //! P-valid plan, seed its root with the snapshot, and continue on the
 //! input suffix — outputs remain exactly the sequential specification.
+//!
+//! Under the forest contract this holds *per partition*: trees share no
+//! dependence, so one partition can be replanned mid-stream (onto a
+//! random valid plan, or collapsed to a sequential worker) while its
+//! siblings keep running their original plans untouched — and no
+//! checkpoint taken under either plan may ever contain another
+//! partition's state.
 
 mod common;
 
+use std::collections::BTreeSet;
 use std::sync::Arc;
 
+use flumina::api::Backend;
+use flumina::apps::page_view::{PageViewJoin, PvTag};
+use flumina::apps::sweep::{PvForestWorkload, SweepWorkload};
 use flumina::apps::value_barrier::{ValueBarrier, VbWorkload};
 use flumina::core::depends::FnDependence;
 use flumina::core::event::StreamId;
 use flumina::core::spec::{run_sequential, sort_o};
 use flumina::core::DgsProgram;
 use flumina::plan::plan::{sequential_plan, Location};
-use flumina::runtime::checkpoint::suffix_after;
+use flumina::runtime::checkpoint::{suffix_after, MemoryStore};
 use flumina::runtime::source::item_lists;
 use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 
@@ -65,5 +76,106 @@ fn switching_plans_mid_stream_preserves_semantics() {
         combined.sort_by_key(|(_, ts)| *ts);
         let got: Vec<i64> = combined.iter().map(|(o, _)| *o).collect();
         assert_eq!(got, spec, "replan onto candidate #{i}:\n{}", plan2.render());
+    }
+}
+
+/// Forest-contract replanning: on a multi-root plan each tree is its
+/// own deployment, so the partition owning the synchronizing stream is
+/// stopped at a checkpoint and restarted *on a different plan* (random
+/// valid, or collapsed sequential) while every sibling partition runs
+/// its original plan to completion. The output union must equal the
+/// sequential spec, and the checkpoints of both phases must stay
+/// partition-pure — no snapshot may carry another tree's page.
+#[test]
+fn forest_replans_one_partition_without_touching_siblings() {
+    let w = PvForestWorkload::for_scale(3, 20, 4);
+    let hb = 3;
+    let plan = w.plan();
+    assert_eq!(plan.roots().len(), 3, "one tree per page");
+    let streams = w.streams(hb);
+    let spec = w.job(hb).run(Backend::Spec).output_multiset();
+    let sync = w.sync_stream();
+    let target = {
+        let s = streams.iter().find(|s| s.itag.stream == sync).expect("sync stream exists");
+        plan.root_of(plan.responsible_for(&s.itag).expect("owned"))
+    };
+    let dep = FnDependence::new(|a: &PvTag, b: &PvTag| PageViewJoin.depends(a, b));
+
+    // Two replan candidates for the target partition: a random valid
+    // plan over its tags, and the degenerate single-worker plan.
+    for candidate in 0..2usize {
+        let mut outputs: Vec<(_, u64)> = Vec::new();
+        let mut store = MemoryStore::new();
+        for &root in plan.roots() {
+            let (sub_plan, _) = plan.partition_plan(root);
+            let part: Vec<_> = streams
+                .iter()
+                .filter(|s| {
+                    plan.responsible_for(&s.itag).is_some_and(|w2| plan.root_of(w2) == root)
+                })
+                .cloned()
+                .collect();
+            let full = run_threads(
+                Arc::new(PageViewJoin),
+                &sub_plan,
+                part.clone(),
+                ThreadRunOptions { checkpoint_root: true, ..Default::default() },
+            );
+            if root != target {
+                // Sibling partitions never notice the reconfiguration.
+                store.extend(full.checkpoints.into_iter().map(|(_, s, t)| (root, s, t)));
+                outputs.extend(full.outputs);
+                continue;
+            }
+            // Stop the target at its second checkpoint and switch plans.
+            let (_, snapshot, cut_ts) = full.checkpoints[1].clone();
+            store.extend(
+                full.checkpoints.iter().take(2).map(|(_, s, t)| (root, s.clone(), *t)),
+            );
+            outputs.extend(full.outputs.into_iter().filter(|(_, ts)| *ts <= cut_ts));
+            let itags: Vec<_> = part.iter().map(|s| s.itag).collect();
+            let plan2 = if candidate == 0 {
+                common::random_valid_plan(&itags, &dep, 7)
+            } else {
+                sequential_plan(itags, Location(0))
+            };
+            let resumed = run_threads(
+                Arc::new(PageViewJoin),
+                &plan2,
+                suffix_after(&part, cut_ts, sync),
+                ThreadRunOptions {
+                    initial_state: Some(snapshot),
+                    checkpoint_root: true,
+                    ..Default::default()
+                },
+            );
+            store.extend(resumed.checkpoints.into_iter().map(|(_, s, t)| (root, s, t)));
+            outputs.extend(resumed.outputs);
+        }
+        let mut got: Vec<String> = outputs.iter().map(|(o, _)| format!("{o:?}")).collect();
+        got.sort_unstable();
+        assert_eq!(got, spec, "candidate #{candidate}: replanned forest diverged");
+
+        // Checkpoint purity across phases and plans: each partition's
+        // snapshots hold only its own page.
+        for &root in plan.roots() {
+            let own: BTreeSet<u32> = plan
+                .worker(root)
+                .itags
+                .iter()
+                .map(|it| match it.tag {
+                    PvTag::Update(p) | PvTag::View(p) | PvTag::Get(p) => p,
+                })
+                .collect();
+            assert!(!store.of_root(root).is_empty(), "partition {root:?} checkpointed");
+            for (snap, ts) in store.of_root(root) {
+                for page in snap.keys() {
+                    assert!(
+                        own.contains(page),
+                        "candidate #{candidate}: partition {root:?} leaked page {page} at ts {ts}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -9,6 +9,7 @@
 //! sweep's JSON serialization round-trips through the trajectory parser
 //! and validator, i.e. what CI captures is what the schema promises.
 
+use dgs_bench::recovery::{self, RecoverySpec};
 use dgs_bench::report::{self, Json};
 use dgs_bench::wallclock::{self, SweepSpec};
 use flumina::apps::registry;
@@ -59,8 +60,49 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
     }
 
     // The sweep serializes into a valid, round-trippable trajectory.
-    let doc = report::trajectory("2026-07-26", &points, &[]);
+    let doc = report::trajectory("2026-07-26", &points, &[], &[]);
     assert_eq!(report::validate_trajectory(&doc), Ok(points.len()));
     let reparsed = Json::parse(&doc.render()).expect("emitted JSON must parse");
     assert_eq!(report::validate_trajectory(&reparsed), Ok(points.len()));
+}
+
+/// The recovery axis, end to end through the bench facade: a miniature
+/// fault × workload grid kills the synchronizing partition mid-run,
+/// recovers it from the on-disk segments, loses zero events, and lands
+/// in the same trajectory document as the wall-clock points — which
+/// must still validate with both kinds of entry present.
+#[test]
+fn miniature_recovery_sweep_loses_nothing_and_serializes() {
+    let rspec = RecoverySpec {
+        workloads: vec!["value-barrier", "page-view-forest"],
+        workers: vec![2],
+        per_window: 20,
+        windows: 4,
+        ..RecoverySpec::smoke()
+    };
+    let rec = recovery::recovery_sweep(&rspec);
+    assert_eq!(rec.len(), rspec.faults.len() * 2, "faults × workloads");
+    for p in &rec {
+        assert!(p.recovered, "{} under {} must actually crash + recover", p.workload, p.fault);
+        assert!(p.spec_ok, "{} under {} diverged from the spec", p.workload, p.fault);
+        assert_eq!(p.events_lost, 0, "{} under {} lost outputs", p.workload, p.fault);
+        assert!(p.events_replayed > 0, "recovery must replay a real suffix");
+    }
+
+    // One document, both axes: a tiny wallclock point next to the
+    // recovery cells must pass the schema the CI gate enforces.
+    let wspec = SweepSpec {
+        workloads: vec!["value-barrier"],
+        workers: vec![1],
+        rates: vec![0],
+        modes: vec![ChannelMode::PerEdge],
+        per_window: 20,
+        windows: 2,
+        check_spec: true,
+    };
+    let points = wallclock::sweep(&wspec);
+    let doc = report::trajectory("2026-07-26", &points, &[], &rec);
+    assert_eq!(report::validate_trajectory(&doc), Ok(points.len() + rec.len()));
+    let reparsed = Json::parse(&doc.render()).expect("emitted JSON must parse");
+    assert_eq!(report::validate_trajectory(&reparsed), Ok(points.len() + rec.len()));
 }
