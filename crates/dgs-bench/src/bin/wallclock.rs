@@ -5,7 +5,8 @@
 //!           [--workers 1,2,4,8] [--rates 0,200000]
 //!           [--modes auto,per-edge-ring,per-edge,ticketed]
 //!           [--per-window 500] [--windows 20] [--check-spec]
-//!           [--with-sim] [--recovery] [--date YYYY-MM-DD] [--out PATH]
+//!           [--no-metrics] [--with-sim] [--recovery]
+//!           [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
 //! wallclock --list
 //! ```
@@ -33,6 +34,10 @@
 //! recovers it from the on-disk checkpoint segments, and records replay
 //! time and `events_lost` as `kind: "recovery"` entries — exiting
 //! nonzero if any cell loses events or diverges from the spec.
+//! The metrics plane is on by default and stamps each wallclock entry
+//! with the optional `max_queue_depth`/`stalls` gauges; `--no-metrics`
+//! disables it (the A/B axis for measuring its overhead — such entries
+//! omit the gauge fields, exactly like legacy artifacts).
 //! `--validate` parses and schema-checks an existing file (used by CI
 //! on the smoke artifact) and exits nonzero on any violation.
 
@@ -135,6 +140,7 @@ fn main() {
                 spec.windows = value("--windows").parse().unwrap_or_else(|_| fail("bad --windows"));
             }
             "--check-spec" => spec.check_spec = true,
+            "--no-metrics" => spec.metrics = false,
             "--with-sim" => with_sim = true,
             "--recovery" => with_recovery = true,
             "--out" => out = Some(value("--out")),

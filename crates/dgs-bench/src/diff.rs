@@ -86,6 +86,13 @@ pub struct CellDiff {
     pub saturated: bool,
     /// Whether this cell trips a threshold.
     pub regressed: bool,
+    /// Old and new `max_queue_depth` metrics-plane gauge, when both
+    /// artifacts carry it. Informational only — queue depth depends on
+    /// scheduling and is never gated.
+    pub max_queue_depth: Option<(f64, f64)>,
+    /// Old and new `stalls` gauge, when both artifacts carry it.
+    /// Informational only.
+    pub stalls: Option<(f64, f64)>,
 }
 
 /// Outcome of comparing two trajectory documents.
@@ -153,6 +160,17 @@ impl DiffReport {
                 p95,
                 if c.saturated { "  (saturated: informational, not gated)" } else { "" },
             );
+            // Metrics-plane gauge deltas: emitted only when both
+            // artifacts carry the new optional fields; informational.
+            if c.max_queue_depth.is_some() || c.stalls.is_some() {
+                let part = |name: &str, v: Option<(f64, f64)>| {
+                    v.map(|(o, n)| format!("{name} {o:.0} -> {n:.0}")).unwrap_or_default()
+                };
+                let depth = part("max_queue_depth", c.max_queue_depth);
+                let stalls = part("stalls", c.stalls);
+                let sep = if depth.is_empty() || stalls.is_empty() { "" } else { " | " };
+                let _ = writeln!(out, "     gauges: {depth}{sep}{stalls}");
+            }
         }
         if !self.only_old.is_empty() {
             let _ = writeln!(out, "{} cell(s) only in the old file (not compared)", self.only_old.len());
@@ -212,6 +230,12 @@ fn correctness_regression(entry: &Json) -> bool {
 
 fn p95_of(entry: &Json) -> Option<f64> {
     entry.get("latency_ns")?.get("p95")?.as_f64()
+}
+
+/// A numeric field present on *both* sides (the only case a delta makes
+/// sense for the optional metrics-plane gauges).
+fn gauge_pair(o: &Json, n: &Json, key: &str) -> Option<(f64, f64)> {
+    Some((o.get(key)?.as_f64()?, n.get(key)?.as_f64()?))
 }
 
 fn index(doc: &Json) -> BTreeMap<String, &Json> {
@@ -282,6 +306,8 @@ pub fn diff(old: &Json, new: &Json, thresholds: DiffThresholds) -> DiffReport {
             p95_delta_pct,
             saturated,
             regressed,
+            max_queue_depth: gauge_pair(o, n, "max_queue_depth"),
+            stalls: gauge_pair(o, n, "stalls"),
         });
     }
     let mut only_new = Vec::new();
@@ -302,6 +328,8 @@ pub fn diff(old: &Json, new: &Json, thresholds: DiffThresholds) -> DiffReport {
                 p95_delta_pct: None,
                 saturated: false,
                 regressed: true,
+                max_queue_depth: None,
+                stalls: None,
             });
         } else {
             only_new.push(key.clone());
@@ -515,6 +543,35 @@ mod tests {
         let r = diff(&empty, &clean, DiffThresholds::default());
         assert!(!r.has_regressions());
         assert_eq!(r.only_new.len(), 1);
+    }
+
+    /// Metrics-plane gauges produce an informational delta line when
+    /// both artifacts carry them; a wild swing never gates, and a
+    /// legacy side (no gauges) suppresses the line entirely.
+    #[test]
+    fn gauge_deltas_are_informational_and_need_both_sides() {
+        let with_gauges = |tput: f64, depth: i64, stalls: i64| {
+            let Json::Obj(mut fields) = wallclock_entry(Some("per-edge"), 4, 0, tput, None)
+            else {
+                unreachable!()
+            };
+            fields.push(("max_queue_depth".into(), Json::Int(depth)));
+            fields.push(("stalls".into(), Json::Int(stalls)));
+            Json::Obj(fields)
+        };
+        let old = doc(vec![with_gauges(1e6, 3, 0)], 8);
+        let new = doc(vec![with_gauges(1e6, 900, 4_000)], 8);
+        let r = diff(&old, &new, DiffThresholds::default());
+        assert!(!r.has_regressions(), "gauge swings are informational");
+        assert_eq!(r.cells[0].max_queue_depth, Some((3.0, 900.0)));
+        assert_eq!(r.cells[0].stalls, Some((0.0, 4000.0)));
+        let text = r.render();
+        assert!(text.contains("gauges: max_queue_depth 3 -> 900 | stalls 0 -> 4000"), "{text}");
+        // Legacy baseline without the fields: no gauge line at all.
+        let legacy = doc(vec![wallclock_entry(Some("per-edge"), 4, 0, 1e6, None)], 8);
+        let r = diff(&legacy, &new, DiffThresholds::default());
+        assert!(r.cells[0].max_queue_depth.is_none() && r.cells[0].stalls.is_none());
+        assert!(!r.render().contains("gauges:"));
     }
 
     #[test]

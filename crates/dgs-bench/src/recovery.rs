@@ -74,6 +74,9 @@ pub struct RecoveryPoint {
     pub open_ns: u64,
     /// Wall time to replay the suffix on the restored snapshot.
     pub replay_ns: u64,
+    /// p95 `sync_data` latency across every durable append of the run
+    /// (writer phase + replay phase), nanoseconds; 0 if nothing synced.
+    pub fsync_p95_ns: u64,
     /// Whether the crash actually fired and a disk recovery happened.
     pub recovered: bool,
     /// Recovered output multiset == sequential spec's.
@@ -108,6 +111,7 @@ impl RecoveryPoint {
             ("events_lost".into(), Json::Int(self.events_lost as i64)),
             ("open_ns".into(), Json::Int(self.open_ns as i64)),
             ("replay_ns".into(), Json::Int(self.replay_ns as i64)),
+            ("fsync_p95_ns".into(), Json::Int(self.fsync_p95_ns as i64)),
             ("throughput_eps".into(), Json::Num(self.replay_eps())),
             ("latency_ns".into(), Json::Null),
             ("recovered".into(), Json::Bool(self.recovered)),
@@ -192,6 +196,7 @@ pub fn run_recovery_one<W: SweepWorkload>(
         events_lost,
         open_ns: result.open_ns,
         replay_ns: result.replay_ns,
+        fsync_p95_ns: result.store_stats.fsync.quantile(0.95).unwrap_or(0),
         recovered: result.recovered,
         spec_ok: got == want,
     }
@@ -355,11 +360,13 @@ mod tests {
     #[test]
     fn recovery_points_serialize_into_a_valid_trajectory() {
         let p = run_recovery_one::<VbWorkload>(2, 20, 3, 1, Fault::CleanCrash, 3);
+        assert!(p.fsync_p95_ns > 0, "durable appends must have synced");
         let doc = crate::report::trajectory("2026-08-08", &[], &[], std::slice::from_ref(&p));
         assert_eq!(crate::report::validate_trajectory(&doc), Ok(1));
         let reparsed = crate::report::Json::parse(&doc.render()).unwrap();
         let entry = &reparsed.get("results").unwrap().as_arr().unwrap()[0];
         assert_eq!(entry.get("kind").unwrap().as_str(), Some("recovery"));
+        assert!(entry.get("fsync_p95_ns").unwrap().as_f64().unwrap() > 0.0);
         assert_eq!(entry.get("events_lost").unwrap().as_f64(), Some(0.0));
         assert_eq!(entry.get("fault").unwrap().as_str(), Some("clean-crash"));
         let table = render_table(&[p]);

@@ -481,6 +481,18 @@ fn require_number(entry: &Json, key: &str, i: usize) -> Result<(), String> {
         .ok_or_else(|| format!("results[{i}]: missing numeric `{key}`"))
 }
 
+/// Optional numeric field: absent is fine (a pre-metrics artifact), but
+/// a present value must be a number.
+fn optional_number(entry: &Json, key: &str, i: usize) -> Result<(), String> {
+    match entry.get(key) {
+        None => Ok(()),
+        Some(v) if v.as_f64().is_some() => Ok(()),
+        Some(other) => {
+            Err(format!("results[{i}]: `{key}` must be numeric when present, got {}", other.render()))
+        }
+    }
+}
+
 fn require_string(entry: &Json, key: &str, i: usize) -> Result<String, String> {
     entry
         .get(key)
@@ -536,6 +548,10 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
                 if msgs.iter().any(|m| m.as_f64().is_none()) {
                     return Err(format!("results[{i}]: non-numeric worker_msgs entry"));
                 }
+                // Metrics-plane gauges: optional (absent in legacy and
+                // `--no-metrics` captures — absence is not a failure).
+                optional_number(entry, "max_queue_depth", i)?;
+                optional_number(entry, "stalls", i)?;
             }
             ("simulator", "virtual") => {
                 require_string(entry, "figure", i)?;
@@ -559,6 +575,8 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
                 ] {
                     require_number(entry, key, i)?;
                 }
+                // Metrics-plane field: optional for legacy artifacts.
+                optional_number(entry, "fsync_p95_ns", i)?;
                 for key in ["recovered", "spec_ok"] {
                     if !matches!(entry.get(key), Some(Json::Bool(_))) {
                         return Err(format!("results[{i}]: missing boolean `{key}`"));
@@ -676,5 +694,33 @@ mod tests {
         // Wrong schema version.
         let text = doc.render().replace("\"schema_version\": 1", "\"schema_version\": 2");
         assert!(validate_trajectory(&Json::parse(&text).unwrap()).is_err());
+    }
+
+    /// The metrics-plane trajectory fields are optional — absent means a
+    /// legacy (or `--no-metrics`) artifact and still validates — but a
+    /// present value must be numeric.
+    #[test]
+    fn metrics_fields_are_optional_but_type_checked() {
+        let legacy = r#"{
+            "schema_version": 1, "captured_at": "2026-08-08",
+            "host": {"os": "linux", "arch": "x86_64", "hw_threads": 1},
+            "results": [{
+                "kind": "wallclock", "time_base": "wall",
+                "workload": "value-barrier", "system": "dgs-threads",
+                "workers": 2, "rate_eps": 0, "events": 10, "outputs": 1,
+                "elapsed_ns": 5, "throughput_eps": 2.0,
+                "latency_ns": null, "worker_msgs": [5, 5], "spec_ok": null
+            }]
+        }"#;
+        let doc = Json::parse(legacy).unwrap();
+        assert_eq!(validate_trajectory(&doc), Ok(1), "absence is not a failure");
+        let with = legacy.replace(
+            "\"spec_ok\": null",
+            "\"spec_ok\": null, \"max_queue_depth\": 7, \"stalls\": 0",
+        );
+        assert_eq!(validate_trajectory(&Json::parse(&with).unwrap()), Ok(1));
+        let bad = legacy.replace("\"spec_ok\": null", "\"spec_ok\": null, \"stalls\": \"lots\"");
+        let err = validate_trajectory(&Json::parse(&bad).unwrap()).unwrap_err();
+        assert!(err.contains("stalls"), "{err}");
     }
 }

@@ -189,12 +189,22 @@ pub struct WallclockPoint {
     /// When spec checking was requested: does the output multiset equal
     /// the sequential specification's (Theorem 3.5)?
     pub spec_ok: Option<bool>,
+    /// Largest inbound queue depth sampled on any worker (metrics plane
+    /// gauge; `None` when the run had metrics disabled).
+    pub max_queue_depth: Option<u64>,
+    /// Feeder backpressure stalls summed across streams (`None` when the
+    /// run had metrics disabled).
+    pub stalls: Option<u64>,
 }
 
 impl WallclockPoint {
     /// Serialize into the shared trajectory schema (see [`crate::report`]).
+    /// The metrics-plane gauges (`max_queue_depth`, `stalls`) are
+    /// *optional* fields: omitted entirely when the run had metrics off,
+    /// so pre-metrics artifacts and `--no-metrics` captures stay
+    /// schema-identical to legacy trajectories.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("kind".into(), Json::Str("wallclock".into())),
             ("time_base".into(), Json::Str("wall".into())),
             ("workload".into(), Json::Str(self.workload.into())),
@@ -230,7 +240,14 @@ impl WallclockPoint {
                     Some(ok) => Json::Bool(ok),
                 },
             ),
-        ])
+        ];
+        if let Some(d) = self.max_queue_depth {
+            fields.push(("max_queue_depth".into(), Json::Int(d as i64)));
+        }
+        if let Some(s) = self.stalls {
+            fields.push(("stalls".into(), Json::Int(s as i64)));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -253,6 +270,9 @@ pub struct SweepSpec {
     pub windows: u64,
     /// Verify every run's output multiset against the sequential spec.
     pub check_spec: bool,
+    /// Run with the always-on metrics plane enabled (the default; the
+    /// `--no-metrics` axis exists to A/B its overhead).
+    pub metrics: bool,
 }
 
 impl SweepSpec {
@@ -270,6 +290,7 @@ impl SweepSpec {
             per_window: 500,
             windows: 20,
             check_spec: false,
+            metrics: true,
         }
     }
 
@@ -283,6 +304,7 @@ impl SweepSpec {
             per_window: 40,
             windows: 5,
             check_spec: true,
+            metrics: true,
         }
     }
 }
@@ -321,11 +343,12 @@ pub fn run_one<W: SweepWorkload>(
     windows: u64,
     rate_eps: u64,
     check_spec: bool,
+    metrics: bool,
 ) -> WallclockPoint {
     let paced = rate_eps > 0;
     let repeats = if paced { PACED_REPEATS } else { UNPACED_REPEATS };
     let mut runs: Vec<WallclockPoint> = (0..repeats)
-        .map(|_| run_single::<W>(mode, workers, per_window, windows, rate_eps, check_spec))
+        .map(|_| run_single::<W>(mode, workers, per_window, windows, rate_eps, check_spec, metrics))
         .collect();
     let all_ok = runs.iter().all(|p| p.spec_ok != Some(false));
     let mut point = if paced {
@@ -348,6 +371,7 @@ fn run_single<W: SweepWorkload>(
     windows: u64,
     rate_eps: u64,
     check_spec: bool,
+    metrics: bool,
 ) -> WallclockPoint {
     let w = W::for_scale(workers, per_window, windows);
     let hb_period = (per_window / 10).max(1);
@@ -362,6 +386,7 @@ fn run_single<W: SweepWorkload>(
         pace_ns_per_tick: pace_of(rate_eps),
         record_timing: true,
         channel_mode: mode,
+        metrics,
         ..Default::default()
     }));
     let timing = report.timing.as_ref().expect("timing requested");
@@ -389,6 +414,8 @@ fn run_single<W: SweepWorkload>(
         latency: hist.summary(),
         worker_msgs: report.effects.msgs.clone(),
         spec_ok,
+        max_queue_depth: report.metrics.as_ref().map(|m| m.max_queue_depth()),
+        stalls: report.metrics.as_ref().map(|m| m.total_stalls()),
     }
 }
 
@@ -408,6 +435,8 @@ pub struct RunCell {
     pub rate_eps: u64,
     /// Verify the output multiset against the sequential spec.
     pub check_spec: bool,
+    /// Run with the metrics plane enabled.
+    pub metrics: bool,
 }
 
 impl WorkloadVisitor for RunCell {
@@ -421,6 +450,7 @@ impl WorkloadVisitor for RunCell {
             self.windows,
             self.rate_eps,
             self.check_spec,
+            self.metrics,
         )
     }
 }
@@ -434,7 +464,7 @@ impl WorkloadVisitor for RunCell {
 /// that showed up as phantom 2× "regressions" on the first grid cell.
 pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
     for &mode in &spec.modes {
-        let _ = run_one::<VbWorkload>(mode, 2, 200, 5, 0, false);
+        let _ = run_one::<VbWorkload>(mode, 2, 200, 5, 0, false, spec.metrics);
     }
     let mut points = Vec::new();
     for &mode in &spec.modes {
@@ -448,6 +478,7 @@ pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
                         windows: spec.windows,
                         rate_eps: rate,
                         check_spec: spec.check_spec,
+                        metrics: spec.metrics,
                     };
                     points.push(
                         registry::visit(name, &mut cell)
@@ -547,19 +578,28 @@ mod tests {
 
     #[test]
     fn unpaced_point_has_throughput_but_no_latency() {
-        let p = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, true);
+        let p = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, true, true);
         assert_eq!(p.spec_ok, Some(true));
         assert!(p.throughput_eps > 0.0);
         assert!(p.latency.is_none());
         assert_eq!(p.events, 2 * 30 * 3 + 3);
         assert!(p.worker_msgs.iter().sum::<u64>() > 0);
         assert_eq!(p.channel_mode, "per-edge-ring");
+        // Metrics-plane gauges ride along and serialize as new fields…
+        assert!(p.max_queue_depth.is_some() && p.stalls.is_some());
+        let json = p.to_json().render();
+        assert!(json.contains("\"max_queue_depth\"") && json.contains("\"stalls\""));
+        // …and a metrics-off run omits them, staying legacy-shaped.
+        let off = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, false, false);
+        assert!(off.max_queue_depth.is_none() && off.stalls.is_none());
+        let off_json = off.to_json().render();
+        assert!(!off_json.contains("max_queue_depth") && !off_json.contains("\"stalls\""));
     }
 
     #[test]
     fn paced_point_has_latency_percentiles() {
         // 90 ticks at 1M events/sec/stream: fast but paced.
-        let p = run_one::<VbWorkload>(ChannelMode::Ticketed, 2, 30, 3, 1_000_000, true);
+        let p = run_one::<VbWorkload>(ChannelMode::Ticketed, 2, 30, 3, 1_000_000, true, true);
         assert_eq!(p.spec_ok, Some(true));
         assert_eq!(p.channel_mode, "ticketed");
         let lat = p.latency.expect("paced run must sample latency");
@@ -577,6 +617,7 @@ mod tests {
             per_window: 20,
             windows: 2,
             check_spec: true,
+            metrics: true,
         };
         let n_workloads = spec.workloads.len();
         let points = sweep(&spec);
@@ -611,6 +652,7 @@ mod tests {
             per_window: 10,
             windows: 2,
             check_spec: true,
+            metrics: true,
         };
         let points = sweep(&spec);
         assert_eq!(points.len(), 2);

@@ -1,0 +1,386 @@
+//! Prometheus text-exposition rendering helpers and a validating
+//! parser.
+//!
+//! The render side is a tiny writer ([`Exposition`]) that enforces the
+//! format invariants at the call site — `# HELP`/`# TYPE` before the
+//! first sample of a family, label values escaped, deterministic output
+//! order (callers emit in sorted order; nothing here reorders). The
+//! parse side ([`validate_exposition`]) is what CI's smoke step and the
+//! golden tests run against scraped output: it checks line syntax,
+//! metric-name validity, label quoting/escaping, numeric sample values,
+//! that every sample belongs to a declared family, and that histogram
+//! families carry cumulative `le` buckets ending in `+Inf` plus their
+//! `_sum`/`_count` series.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Valid metric/family name: `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Metric type declared by a `# TYPE` line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricType {
+    /// Monotone counter (`_total` suffix by convention).
+    Counter,
+    /// Instantaneous value.
+    Gauge,
+    /// Log-bucketed distribution (`_bucket`/`_sum`/`_count` series).
+    Histogram,
+}
+
+impl MetricType {
+    fn name(self) -> &'static str {
+        match self {
+            MetricType::Counter => "counter",
+            MetricType::Gauge => "gauge",
+            MetricType::Histogram => "histogram",
+        }
+    }
+}
+
+/// Incremental writer producing exposition text.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    /// Start a new family: `# HELP` + `# TYPE` lines. Panics on an
+    /// invalid family name (a programming error, not input).
+    pub fn family(&mut self, name: &str, help: &str, ty: MetricType) {
+        assert!(valid_metric_name(name), "invalid metric family name {name:?}");
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {}", ty.name());
+    }
+
+    /// One sample line. `labels` render in the order given (callers pass
+    /// them pre-sorted for deterministic output); values are escaped
+    /// here. `value` must be finite.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, String)], value: f64) {
+        assert!(value.is_finite(), "sample value must be finite");
+        let _ = write!(self.out, "{name}");
+        if !labels.is_empty() {
+            let _ = write!(self.out, "{{");
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    let _ = write!(self.out, ",");
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label_value(v));
+            }
+            let _ = write!(self.out, "}}");
+        }
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// The finished document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+fn split_label_pairs(body: &str) -> Result<Vec<(String, String)>, String> {
+    // Parse `k1="v1",k2="v2"` honoring escapes inside quoted values.
+    let mut pairs = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=': {rest:?}"))?;
+        let key = &rest[..eq];
+        if key.is_empty() || !valid_metric_name(key) {
+            return Err(format!("invalid label name {key:?}"));
+        }
+        rest = &rest[eq + 1..];
+        if !rest.starts_with('"') {
+            return Err(format!("label value for {key} not quoted"));
+        }
+        let mut value = String::new();
+        let mut chars = rest[1..].char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    other => return Err(format!("bad escape {other:?} in label {key}")),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value for {key}"))?;
+        pairs.push((key.to_string(), value));
+        rest = &rest[1 + end + 1..];
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped;
+            if rest.is_empty() {
+                return Err("trailing comma in label set".into());
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("junk after label value: {rest:?}"));
+        }
+    }
+    Ok(pairs)
+}
+
+/// The family a sample series belongs to: histogram series `x_bucket`,
+/// `x_sum`, `x_count` all belong to `x` when `x` was declared a
+/// histogram.
+fn family_of<'a>(series: &'a str, declared: &BTreeMap<&str, MetricType>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = series.strip_suffix(suffix) {
+            if declared.get(base) == Some(&MetricType::Histogram) {
+                return base;
+            }
+        }
+    }
+    series
+}
+
+/// Validate exposition text; returns the declared family names on
+/// success (so callers can additionally require specific families).
+///
+/// Checks: line-level syntax, name validity, `# TYPE` before samples of
+/// each family, parseable finite sample values, label quoting/escaping,
+/// and — per histogram family — at least one `le` bucket, cumulative
+/// bucket counts per label set, a `+Inf` bucket matching `_count`, and
+/// the presence of `_sum`/`_count`.
+pub fn validate_exposition(text: &str) -> Result<Vec<String>, String> {
+    let mut declared: BTreeMap<&str, MetricType> = BTreeMap::new();
+    // Histogram bookkeeping keyed by (family, non-le labels).
+    #[derive(Default)]
+    struct HistSeen {
+        buckets: Vec<(f64, f64)>, // (le, count) in document order
+        inf: Option<f64>,
+        sum: bool,
+        count: Option<f64>,
+    }
+    let mut hists: BTreeMap<(String, String), HistSeen> = BTreeMap::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let n = lineno + 1;
+        let err = |msg: String| format!("line {n}: {msg}");
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some("HELP"), Some(name), Some(_)) => {
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("invalid family name {name:?} in HELP")));
+                    }
+                }
+                (Some("TYPE"), Some(name), Some(ty)) => {
+                    if !valid_metric_name(name) {
+                        return Err(err(format!("invalid family name {name:?} in TYPE")));
+                    }
+                    let ty = match ty {
+                        "counter" => MetricType::Counter,
+                        "gauge" => MetricType::Gauge,
+                        "histogram" => MetricType::Histogram,
+                        other => return Err(err(format!("unknown metric type {other:?}"))),
+                    };
+                    if declared.insert(name, ty).is_some() {
+                        return Err(err(format!("family {name} declared twice")));
+                    }
+                }
+                _ => return Err(err(format!("malformed comment line {line:?}"))),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // plain comment
+        }
+        // Sample: name[{labels}] value
+        let (series, labels, value_str) = if let Some(brace) = line.find('{') {
+            let close = line.rfind('}').ok_or_else(|| err("unterminated label set".into()))?;
+            if close < brace {
+                return Err(err("mismatched braces".into()));
+            }
+            (
+                &line[..brace],
+                split_label_pairs(&line[brace + 1..close]).map_err(&err)?,
+                line[close + 1..].trim(),
+            )
+        } else {
+            let sp = line.find(' ').ok_or_else(|| err("sample without value".into()))?;
+            (&line[..sp], Vec::new(), line[sp + 1..].trim())
+        };
+        if !valid_metric_name(series) {
+            return Err(err(format!("invalid metric name {series:?}")));
+        }
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse().map_err(|_| err(format!("unparseable value {v:?}")))?,
+        };
+        let family = family_of(series, &declared);
+        let Some(&ty) = declared.get(family) else {
+            return Err(err(format!("sample for undeclared family {family:?}")));
+        };
+        if ty == MetricType::Histogram {
+            let mut key_labels: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            key_labels.sort();
+            let entry = hists
+                .entry((family.to_string(), key_labels.join(",")))
+                .or_default();
+            if series.ends_with("_bucket") {
+                let le = labels
+                    .iter()
+                    .find(|(k, _)| k == "le")
+                    .ok_or_else(|| err("histogram bucket without le label".into()))?;
+                if le.1 == "+Inf" {
+                    entry.inf = Some(value);
+                } else {
+                    let bound: f64 = le
+                        .1
+                        .parse()
+                        .map_err(|_| err(format!("unparseable le bound {:?}", le.1)))?;
+                    entry.buckets.push((bound, value));
+                }
+            } else if series.ends_with("_sum") {
+                entry.sum = true;
+            } else if series.ends_with("_count") {
+                entry.count = Some(value);
+            } else {
+                return Err(err(format!(
+                    "histogram family {family} has non-histogram series {series}"
+                )));
+            }
+        }
+    }
+
+    for ((family, labels), h) in &hists {
+        let ctx = if labels.is_empty() {
+            family.clone()
+        } else {
+            format!("{family}{{{labels}}}")
+        };
+        if h.buckets.is_empty() {
+            return Err(format!("histogram {ctx} has no finite le buckets"));
+        }
+        for w in h.buckets.windows(2) {
+            if w[1].0 <= w[0].0 {
+                return Err(format!("histogram {ctx}: le bounds not increasing"));
+            }
+            if w[1].1 < w[0].1 {
+                return Err(format!("histogram {ctx}: bucket counts not cumulative"));
+            }
+        }
+        let inf = h.inf.ok_or_else(|| format!("histogram {ctx} missing +Inf bucket"))?;
+        let count = h.count.ok_or_else(|| format!("histogram {ctx} missing _count"))?;
+        if inf != count {
+            return Err(format!("histogram {ctx}: +Inf bucket {inf} != _count {count}"));
+        }
+        if !h.sum {
+            return Err(format!("histogram {ctx} missing _sum"));
+        }
+    }
+
+    Ok(declared.keys().map(|s| s.to_string()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_through_the_parser() {
+        let mut e = Exposition::default();
+        e.family("weird", "labels with \"everything\"", MetricType::Gauge);
+        e.sample(
+            "weird",
+            &[("name", "a\\b \"quoted\"\nnewline".to_string())],
+            1.0,
+        );
+        let text = e.finish();
+        assert!(text.contains(r#"name="a\\b \"quoted\"\nnewline""#), "{text}");
+        validate_exposition(&text).expect("escaped output must validate");
+    }
+
+    #[test]
+    fn undeclared_family_is_rejected() {
+        let err = validate_exposition("orphan_total 3\n").unwrap_err();
+        assert!(err.contains("undeclared"), "{err}");
+    }
+
+    #[test]
+    fn histogram_invariants_are_enforced() {
+        let ok = "\
+# HELP h x
+# TYPE h histogram
+h_bucket{le=\"1\"} 2
+h_bucket{le=\"3\"} 5
+h_bucket{le=\"+Inf\"} 6
+h_sum 40
+h_count 6
+";
+        validate_exposition(ok).expect("well-formed histogram");
+        // Non-cumulative buckets.
+        let bad = ok.replace("h_bucket{le=\"3\"} 5", "h_bucket{le=\"3\"} 1");
+        assert!(validate_exposition(&bad).unwrap_err().contains("cumulative"));
+        // +Inf disagreeing with _count.
+        let bad = ok.replace("h_count 6", "h_count 7");
+        assert!(validate_exposition(&bad).unwrap_err().contains("+Inf"));
+        // Missing _sum.
+        let bad = ok.replace("h_sum 40\n", "");
+        assert!(validate_exposition(&bad).unwrap_err().contains("_sum"));
+    }
+
+    #[test]
+    fn reported_families_cover_declarations() {
+        let text = "\
+# HELP a_total x
+# TYPE a_total counter
+a_total 1
+# HELP b y
+# TYPE b gauge
+b 2
+";
+        let fams = validate_exposition(text).expect("valid");
+        assert_eq!(fams, vec!["a_total".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_line_numbers() {
+        assert!(validate_exposition("# TYPE bad sort\n").unwrap_err().contains("line 1"));
+        assert!(validate_exposition("# HELP x h\n# TYPE x gauge\nx{k=unquoted} 1\n")
+            .unwrap_err()
+            .contains("not quoted"));
+        assert!(validate_exposition("# HELP x h\n# TYPE x gauge\nx notanumber\n")
+            .unwrap_err()
+            .contains("unparseable"));
+        assert!(validate_exposition("1bad 2\n").unwrap_err().contains("invalid metric name"));
+    }
+}

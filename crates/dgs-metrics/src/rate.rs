@@ -1,0 +1,170 @@
+//! Sliding-window per-tag rate estimation — the sensor the elastic
+//! replan controller consumes (pelikan's `hotkey` window counters are
+//! the reference shape).
+//!
+//! The estimator divides time into fixed slots and keeps the last `N`
+//! of them in a circular buffer of atomics. Writers stamp each slot
+//! with its epoch and bump its count (relaxed operations; one writer
+//! per estimator — a feeder thread — with any number of concurrent
+//! readers). The rate is computed over the window *ending at the last
+//! recorded slot*, not at wall-now: a quiesced run therefore reports a
+//! frozen, reproducible rate instead of one that decays while you look
+//! at it, and a live run's last slot is the current one anyway.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Default slot width: 100 ms — 10 slots cover a 1 s window.
+pub const DEFAULT_SLOT_NS: u64 = 100_000_000;
+
+/// Default window: 10 slots.
+pub const DEFAULT_SLOTS: usize = 10;
+
+struct Slot {
+    /// Slot index (`now_ns / slot_ns`) this entry currently represents.
+    epoch: AtomicU64,
+    count: AtomicU64,
+}
+
+/// Sliding-window event-rate estimator over wall-clock nanoseconds
+/// (relative to any fixed origin — callers use the run's start).
+pub struct RateEstimator {
+    slot_ns: u64,
+    slots: Vec<Slot>,
+    /// Highest slot index ever recorded into (the window's right edge).
+    last_epoch: AtomicU64,
+}
+
+impl std::fmt::Debug for RateEstimator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RateEstimator({} slots x {} ns)", self.slots.len(), self.slot_ns)
+    }
+}
+
+impl Default for RateEstimator {
+    fn default() -> Self {
+        RateEstimator::new(DEFAULT_SLOT_NS, DEFAULT_SLOTS)
+    }
+}
+
+impl RateEstimator {
+    /// An estimator with `slots` slots of `slot_ns` nanoseconds each.
+    pub fn new(slot_ns: u64, slots: usize) -> Self {
+        assert!(slot_ns > 0 && slots >= 2, "need at least two nonempty slots");
+        RateEstimator {
+            slot_ns,
+            slots: (0..slots)
+                .map(|_| Slot { epoch: AtomicU64::new(u64::MAX), count: AtomicU64::new(0) })
+                .collect(),
+            last_epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Record `k` events at time `now_ns` (single writer; readers may
+    /// race and observe a partially reset slot — a transient
+    /// under-count, acceptable for a gauge).
+    pub fn record(&self, now_ns: u64, k: u64) {
+        let epoch = now_ns / self.slot_ns;
+        let slot = &self.slots[(epoch as usize) % self.slots.len()];
+        if slot.epoch.load(Ordering::Relaxed) != epoch {
+            slot.count.store(0, Ordering::Relaxed);
+            slot.epoch.store(epoch, Ordering::Relaxed);
+        }
+        slot.count.fetch_add(k, Ordering::Relaxed);
+        self.last_epoch.fetch_max(epoch, Ordering::Relaxed);
+    }
+
+    /// Events per second over the window ending at the last recorded
+    /// slot (0.0 before anything is recorded). Counts every slot whose
+    /// epoch lies within the window, including the (possibly partial)
+    /// last slot; the divisor is the full window span, so a fresh
+    /// estimator under-reports rather than spiking.
+    pub fn rate_eps(&self) -> f64 {
+        let last = self.last_epoch.load(Ordering::Relaxed);
+        let n = self.slots.len() as u64;
+        let oldest = last.saturating_sub(n - 1);
+        let mut events = 0u64;
+        for slot in &self.slots {
+            let e = slot.epoch.load(Ordering::Relaxed);
+            if e != u64::MAX && (oldest..=last).contains(&e) {
+                events += slot.count.load(Ordering::Relaxed);
+            }
+        }
+        let window_s = (n * self.slot_ns) as f64 / 1e9;
+        events as f64 / window_s
+    }
+
+    /// Total events in the window (the numerator of [`rate_eps`]).
+    ///
+    /// [`rate_eps`]: RateEstimator::rate_eps
+    pub fn window_events(&self) -> u64 {
+        let last = self.last_epoch.load(Ordering::Relaxed);
+        let n = self.slots.len() as u64;
+        let oldest = last.saturating_sub(n - 1);
+        self.slots
+            .iter()
+            .filter(|s| {
+                let e = s.epoch.load(Ordering::Relaxed);
+                e != u64::MAX && (oldest..=last).contains(&e)
+            })
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_estimator_reports_zero() {
+        let r = RateEstimator::default();
+        assert_eq!(r.rate_eps(), 0.0);
+        assert_eq!(r.window_events(), 0);
+    }
+
+    #[test]
+    fn steady_rate_is_recovered() {
+        // 1000 events/s into a 10 x 100 ms window: 100 per slot.
+        let r = RateEstimator::new(100_000_000, 10);
+        for ms in 0..1000u64 {
+            r.record(ms * 1_000_000, 1);
+        }
+        assert_eq!(r.window_events(), 1000);
+        assert!((r.rate_eps() - 1000.0).abs() < 1e-9, "rate {}", r.rate_eps());
+    }
+
+    #[test]
+    fn old_slots_age_out() {
+        let r = RateEstimator::new(100_000_000, 10);
+        // A burst in the first slot, then silence until far beyond the
+        // window: recording in the distant slot advances the right edge,
+        // and the burst no longer counts.
+        r.record(0, 500);
+        assert_eq!(r.window_events(), 500);
+        r.record(5_000_000_000, 1); // slot 50, window now [41, 50]
+        assert_eq!(r.window_events(), 1);
+        assert!(r.rate_eps() < 2.0);
+    }
+
+    #[test]
+    fn rate_is_frozen_at_the_last_recorded_slot() {
+        // No decay between reads: the window is anchored at the last
+        // record, so two reads of a quiesced estimator agree exactly.
+        let r = RateEstimator::new(100_000_000, 10);
+        for ms in 0..300u64 {
+            r.record(ms * 1_000_000, 2);
+        }
+        let a = r.rate_eps();
+        let b = r.rate_eps();
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn slot_reuse_resets_stale_counts() {
+        let r = RateEstimator::new(1_000, 4);
+        r.record(0, 7); // slot 0
+        r.record(4_000, 3); // slot 4 reuses index 0 and must reset
+        assert_eq!(r.window_events(), 3);
+    }
+}

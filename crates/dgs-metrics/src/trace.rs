@@ -1,0 +1,175 @@
+//! Bounded per-worker structured event-trace rings.
+//!
+//! Fork, join, checkpoint, crash, and recovery are *rare* relative to
+//! message handling — a few per synchronization window — so the ring is
+//! a mutex-protected `VecDeque` rather than a lock-free structure: the
+//! lock is touched only when one of those protocol events actually
+//! fires, never per message. Each ring is bounded; when full, the
+//! oldest span is dropped and a drop counter keeps the loss visible.
+//!
+//! Dumps are hand-rolled JSON (the workspace has no serde), shaped as
+//! documented in `docs/BENCHMARKS.md` § Observability.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A `fork` call split this worker's state.
+    Fork,
+    /// A `join` call merged child states at this worker.
+    Join,
+    /// A root checkpoint was taken at this worker.
+    Checkpoint,
+    /// An injected or real crash was observed.
+    Crash,
+    /// A recovery (reopen + replay) started from a checkpoint.
+    Recovery,
+}
+
+impl TraceKind {
+    /// Stable lower-case name used in JSON dumps and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceKind::Fork => "fork",
+            TraceKind::Join => "join",
+            TraceKind::Checkpoint => "checkpoint",
+            TraceKind::Crash => "crash",
+            TraceKind::Recovery => "recovery",
+        }
+    }
+}
+
+/// One span event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event kind.
+    pub kind: TraceKind,
+    /// Virtual timestamp of the triggering protocol step (0 when the
+    /// step carries no timestamp).
+    pub ts: u64,
+    /// Wall-clock nanoseconds since the run's metrics epoch.
+    pub at_ns: u64,
+}
+
+struct RingState {
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+/// A bounded ring of [`TraceEvent`]s for one worker.
+pub struct TraceRing {
+    capacity: usize,
+    state: Mutex<RingState>,
+}
+
+impl std::fmt::Debug for TraceRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TraceRing(cap {})", self.capacity)
+    }
+}
+
+impl TraceRing {
+    /// A ring keeping the most recent `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity >= 1");
+        TraceRing {
+            capacity,
+            state: Mutex::new(RingState { events: VecDeque::new(), dropped: 0 }),
+        }
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn push(&self, event: TraceEvent) {
+        let mut s = self.state.lock().expect("trace ring poisoned");
+        if s.events.len() == self.capacity {
+            s.events.pop_front();
+            s.dropped += 1;
+        }
+        s.events.push_back(event);
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A copy of the retained events (oldest first) and how many were
+    /// evicted to make room.
+    pub fn snapshot(&self) -> (Vec<TraceEvent>, u64) {
+        let s = self.state.lock().expect("trace ring poisoned");
+        (s.events.iter().copied().collect(), s.dropped)
+    }
+}
+
+/// Render one worker's trace snapshot as a JSON object:
+/// `{"worker":w,"capacity":c,"dropped":d,"events":[{"kind":"join","ts":t,"at_ns":n},...]}`.
+pub fn trace_to_json(worker: usize, capacity: usize, events: &[TraceEvent], dropped: u64) -> String {
+    let mut out = format!("{{\"worker\":{worker},\"capacity\":{capacity},\"dropped\":{dropped},\"events\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"kind\":\"{}\",\"ts\":{},\"at_ns\":{}}}",
+            e.kind.name(),
+            e.ts,
+            e.at_ns
+        ));
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: TraceKind, ts: u64) -> TraceEvent {
+        TraceEvent { kind, ts, at_ns: ts * 10 }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_tracks_drops() {
+        let ring = TraceRing::new(3);
+        for ts in 0..5 {
+            ring.push(ev(TraceKind::Join, ts));
+        }
+        let (events, dropped) = ring.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(dropped, 2);
+        // Oldest evicted: the retained window is the most recent 3.
+        assert_eq!(events.iter().map(|e| e.ts).collect::<Vec<_>>(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn json_dump_is_well_formed() {
+        let ring = TraceRing::new(8);
+        ring.push(ev(TraceKind::Fork, 1));
+        ring.push(ev(TraceKind::Checkpoint, 50));
+        let (events, dropped) = ring.snapshot();
+        let json = trace_to_json(2, ring.capacity(), &events, dropped);
+        assert_eq!(
+            json,
+            "{\"worker\":2,\"capacity\":8,\"dropped\":0,\"events\":[\
+             {\"kind\":\"fork\",\"ts\":1,\"at_ns\":10},\
+             {\"kind\":\"checkpoint\",\"ts\":50,\"at_ns\":500}]}"
+        );
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        let names: Vec<_> = [
+            TraceKind::Fork,
+            TraceKind::Join,
+            TraceKind::Checkpoint,
+            TraceKind::Crash,
+            TraceKind::Recovery,
+        ]
+        .iter()
+        .map(|k| k.name())
+        .collect();
+        assert_eq!(names, vec!["fork", "join", "checkpoint", "crash", "recovery"]);
+    }
+}

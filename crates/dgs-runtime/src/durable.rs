@@ -26,9 +26,12 @@ use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
 
 use dgs_core::codec::{CodecError, Reader, StateCodec};
 use dgs_core::event::Timestamp;
+use dgs_metrics::StoreMetrics;
 use dgs_plan::plan::WorkerId;
 
 use crate::checkpoint::{CheckpointStore, MemoryStore};
@@ -221,6 +224,8 @@ pub struct DurableStore<S> {
     faults: Option<ScopedFaults>,
     crashed: bool,
     report: OpenReport,
+    /// Observability sink (see [`DurableStore::with_metrics`]).
+    metrics: Option<Arc<StoreMetrics>>,
 }
 
 impl<S: StateCodec + Clone> DurableStore<S> {
@@ -313,7 +318,24 @@ impl<S: StateCodec + Clone> DurableStore<S> {
             faults: None,
             crashed: false,
             report,
+            metrics: None,
         })
+    }
+
+    /// Attach a metrics sink: future appends record their count and
+    /// `sync_data` latency into it, and what [`DurableStore::open`]
+    /// already found is folded in immediately — repaired bytes always,
+    /// and a manifest fallback only when the store actually held data
+    /// (a fresh empty directory legitimately has no manifest yet).
+    pub fn with_metrics(mut self, metrics: Arc<StoreMetrics>) -> Self {
+        metrics.repaired_bytes.add(self.report.repaired_bytes);
+        if self.report.manifest_fallback
+            && (self.report.records > 0 || self.report.repaired_bytes > 0)
+        {
+            metrics.manifest_fallbacks.inc();
+        }
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Arm a deterministic crash plan against the writer of partition
@@ -408,9 +430,14 @@ impl<S: StateCodec + Clone> DurableStore<S> {
         part.file
             .write_all(&frame)
             .map_err(|e| io_err(&part.path, "append", e))?;
+        let fsync_start = self.metrics.as_ref().map(|_| Instant::now());
         part.file
             .sync_data()
             .map_err(|e| io_err(&part.path, "fsync", e))?;
+        if let (Some(m), Some(t0)) = (&self.metrics, fsync_start) {
+            m.appends.inc();
+            m.fsync.record(t0.elapsed().as_nanos() as u64);
+        }
         part.bytes += frame.len() as u64;
         part.records += 1;
         if kind == KIND_FULL {
@@ -759,6 +786,37 @@ mod tests {
             delta_len * 20 < full_len,
             "delta {delta_len} vs full {full_len}"
         );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// The metrics sink sees every append with its fsync latency, and
+    /// reopening a manifest-less but non-empty store counts as a
+    /// fallback (while a fresh empty dir does not).
+    #[test]
+    fn metrics_sink_counts_appends_and_fallbacks() {
+        let dir = scratch("metrics");
+        let fresh = Arc::new(StoreMetrics::default());
+        {
+            let mut store =
+                DurableStore::<i64>::open(&dir).unwrap().with_metrics(fresh.clone());
+            // A fresh empty dir has no manifest; that is not a fallback.
+            assert_eq!(fresh.manifest_fallbacks.get(), 0);
+            store.record(R0, 10, 1).unwrap();
+            store.record(R0, 20, 2).unwrap();
+            store.record(R1, -5, 1).unwrap();
+        }
+        assert_eq!(fresh.appends.get(), 3);
+        let fsync = fresh.fsync.snapshot();
+        assert_eq!(fsync.count, 3);
+        assert!(fsync.sum > 0, "fsync latencies must be recorded");
+        // Delete the manifest: reopening recovers from segments alone,
+        // which the sink must surface as a fallback.
+        fs::remove_file(dir.join(MANIFEST)).unwrap();
+        let reopened = Arc::new(StoreMetrics::default());
+        let store = DurableStore::<i64>::open(&dir).unwrap().with_metrics(reopened.clone());
+        assert!(store.open_report().manifest_fallback);
+        assert_eq!(reopened.manifest_fallbacks.get(), 1);
+        assert_eq!(reopened.appends.get(), 0);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -63,6 +63,7 @@ use dgs_core::event::Timestamp;
 use dgs_core::program::DgsProgram;
 use dgs_core::spec::sort_o;
 use dgs_core::tag::ITag;
+use dgs_metrics::{MetricsSnapshot, StoreMetrics};
 use dgs_plan::optimizer::{CommMinOptimizer, ITagInfo, Optimizer, SequentialOptimizer};
 use dgs_plan::plan::{Location, Plan, WorkerId};
 use dgs_sim::{LinkSpec, Topology};
@@ -155,6 +156,12 @@ pub struct RunReport<P: DgsProgram> {
     pub timing: Option<RunTiming>,
     /// Engine statistics — [`Backend::Sim`] only.
     pub sim: Option<SimStats>,
+    /// Full metrics snapshot — [`Backend::Threads`] unless
+    /// `ThreadRunOptions::metrics` was disabled. Taken *after* checkpoint
+    /// persistence, so the store's append/fsync counters are included.
+    /// The `workload` label starts empty (the driver does not know it);
+    /// callers that do may fill it in before rendering.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl<P: DgsProgram> std::fmt::Debug for RunReport<P> {
@@ -166,6 +173,7 @@ impl<P: DgsProgram> std::fmt::Debug for RunReport<P> {
             .field("effects", &self.effects)
             .field("timing", &self.timing)
             .field("sim", &self.sim)
+            .field("metrics", &self.metrics.is_some())
             .finish()
     }
 }
@@ -217,9 +225,13 @@ impl std::fmt::Display for SpecMismatch {
 impl std::error::Error for SpecMismatch {}
 
 /// A monomorphized checkpoint-persistence hook: writes a run's
-/// checkpoints under a directory and reports how many records landed.
-type PersistFn<P> =
-    fn(&Path, &[(WorkerId, <P as DgsProgram>::State, Timestamp)]) -> Result<u64, StoreError>;
+/// checkpoints under a directory (recording append/fsync work into the
+/// metrics sink, when one exists) and reports how many records landed.
+type PersistFn<P> = fn(
+    &Path,
+    &[(WorkerId, <P as DgsProgram>::State, Timestamp)],
+    Option<Arc<StoreMetrics>>,
+) -> Result<u64, StoreError>;
 
 /// A DGS program plus its workload, with everything else derived — see
 /// the [module docs](self) for the full tour.
@@ -477,13 +489,18 @@ where
     /// Execute on the given backend and return the unified report.
     pub fn run(&self, backend: Backend<P::State>) -> RunReport<P> {
         let plan = self.plan();
-        let report = match backend {
+        // The live registry outlives the run until persistence has
+        // finished, so its snapshot (taken last) includes the durable
+        // store's append/fsync work.
+        let mut live_metrics = None;
+        let mut report = match backend {
             Backend::Threads(mut opts) => {
                 if opts.initial_state.is_none() {
                     opts.initial_state = self.initial_state.clone();
                 }
                 opts.checkpoint_root |= self.checkpoint_roots;
                 let result = run_threads(self.program.clone(), &plan, self.streams.to_vec(), opts);
+                live_metrics = result.metrics;
                 RunReport {
                     plan,
                     outputs: result.outputs,
@@ -491,6 +508,7 @@ where
                     effects: result.effects,
                     timing: result.timing,
                     sim: None,
+                    metrics: None,
                 }
             }
             Backend::Sim(mut cfg) => {
@@ -519,15 +537,25 @@ where
                 let outputs = std::mem::take(&mut *handles.outputs.borrow_mut());
                 let checkpoints = std::mem::take(&mut *handles.checkpoints.borrow_mut());
                 let effects = handles.effects.borrow().clone();
-                RunReport { plan, outputs, checkpoints, effects, timing: None, sim: Some(stats) }
+                RunReport {
+                    plan,
+                    outputs,
+                    checkpoints,
+                    effects,
+                    timing: None,
+                    sim: Some(stats),
+                    metrics: None,
+                }
             }
             Backend::Spec => self.run_spec(self.initial_state.clone()),
         };
         if let (Some(dir), Some(persist)) = (&self.checkpoint_dir, self.persist) {
-            persist(dir, &report.checkpoints).unwrap_or_else(|e| {
+            let sink = live_metrics.as_ref().map(|m| m.store.clone());
+            persist(dir, &report.checkpoints, sink).unwrap_or_else(|e| {
                 panic!("persisting checkpoints to {}: {e}", dir.display())
             });
         }
+        report.metrics = live_metrics.map(|m| m.snapshot());
         report
     }
 
@@ -564,6 +592,7 @@ where
             },
             timing: None,
             sim: None,
+            metrics: None,
         }
     }
 
@@ -615,8 +644,12 @@ where
 fn persist_checkpoints<S: StateCodec + Clone>(
     dir: &Path,
     cps: &[(WorkerId, S, Timestamp)],
+    metrics: Option<Arc<StoreMetrics>>,
 ) -> Result<u64, StoreError> {
     let mut store = DurableStore::open(dir)?;
+    if let Some(m) = metrics {
+        store = store.with_metrics(m);
+    }
     for (root, state, ts) in cps {
         store.record(*root, state.clone(), *ts)?;
     }
@@ -886,6 +919,30 @@ mod tests {
             }))
             .expect("recovery-seeded run passes spec verification");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// `RunReport.metrics` is snapshotted *after* persistence, so a
+    /// checkpointed threaded run reports the store's fsync/append tallies;
+    /// spec runs carry no metrics at all.
+    #[test]
+    fn run_report_metrics_include_post_persist_store_counts() {
+        let dir = std::env::temp_dir()
+            .join(format!("flumina-job-metrics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let job = Job::new(KeyCounter, kc_streams()).with_checkpoint_dir(&dir);
+        let report = job.run(Backend::threads());
+        let m = report.metrics.as_ref().expect("threaded runs carry metrics");
+        assert_eq!(
+            m.store.appends,
+            report.checkpoints.len() as u64,
+            "one durable append per persisted checkpoint"
+        );
+        assert_eq!(m.store.fsync.count, m.store.appends, "each append fsyncs once");
+        assert!(m.total_msgs() > 0, "worker counters flushed into the snapshot");
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let spec = Job::new(KeyCounter, kc_streams()).run(Backend::Spec);
+        assert!(spec.metrics.is_none(), "spec runs have no metrics plane");
     }
 
     #[test]

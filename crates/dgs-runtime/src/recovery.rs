@@ -21,6 +21,7 @@ use std::time::Instant;
 
 use dgs_core::codec::StateCodec;
 use dgs_core::event::{StreamId, Timestamp};
+use dgs_metrics::{StoreMetrics, StoreSnapshot};
 use dgs_core::program::DgsProgram;
 use dgs_plan::plan::{Plan, WorkerId};
 
@@ -181,6 +182,10 @@ pub struct DurableRecovery<S, Out> {
     pub open_ns: u64,
     /// Wall time to replay the input suffix on the restored snapshot.
     pub replay_ns: u64,
+    /// Durable-store tallies across both phases: the original writer's
+    /// appends/fsyncs plus — after a crash — the reopen's repair stats
+    /// and the replay phase's appends, all folded into one sink.
+    pub store_stats: StoreSnapshot,
     /// The store holding every durable checkpoint: the original writer
     /// when nothing crashed, or the *fresh* post-crash reopen (plus the
     /// replay phase's checkpoints) when something did.
@@ -229,7 +234,8 @@ where
             .expect("sync_stream must be one of the input streams");
         plan.root_of(plan.responsible_for(&s.itag).expect("owned"))
     };
-    let mut writer = DurableStore::open(dir)?;
+    let sink = Arc::new(StoreMetrics::default());
+    let mut writer = DurableStore::open(dir)?.with_metrics(sink.clone());
     if let Some(f) = faults {
         writer = writer.with_faults(f, sync_root);
     }
@@ -287,6 +293,7 @@ where
             events_replayed: 0,
             open_ns: 0,
             replay_ns: 0,
+            store_stats: sink.snapshot(),
             store: writer,
         });
     };
@@ -294,7 +301,7 @@ where
     // not survive into recovery. Only the directory does.
     drop(writer);
     let t_open = Instant::now();
-    let mut store = DurableStore::<Prog::State>::open(dir)?;
+    let mut store = DurableStore::<Prog::State>::open(dir)?.with_metrics(sink.clone());
     let open_ns = t_open.elapsed().as_nanos() as u64;
     let cut = store.latest(sync_root).map(|(s, t)| (s.clone(), *t));
     let (snapshot, suffix) = match &cut {
@@ -330,6 +337,7 @@ where
         events_replayed,
         open_ns,
         replay_ns,
+        store_stats: sink.snapshot(),
         store,
     })
 }

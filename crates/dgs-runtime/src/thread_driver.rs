@@ -61,7 +61,7 @@
 //! root that took it.
 
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -69,6 +69,7 @@ use crossbeam::edge;
 
 use dgs_core::event::{StreamItem, Timestamp};
 use dgs_core::program::DgsProgram;
+use dgs_metrics::{RunInfo, RunMetrics, TraceKind};
 use dgs_plan::plan::{Plan, WorkerId};
 
 use crate::source::ScheduledStream;
@@ -84,6 +85,33 @@ type MsgReceiver<T, P, S> = Receiver<ThreadMsg<T, P, S>>;
 type EdgeSender<T, P, S> = edge::EdgeSender<ThreadMsg<T, P, S>>;
 type MsgReceivers<T, P, S> = Vec<Option<MsgReceiver<T, P, S>>>;
 type EdgeRoutes<T, P, S> = Vec<Option<EdgeSender<T, P, S>>>;
+
+/// A worker's inbound port: whichever channel plane the run uses, plus a
+/// depth probe so the metrics flush can sample queue depth at the same
+/// point the worker drains it.
+enum InboundPort<T, P, S> {
+    /// Ticket-ordered MPMC receiver.
+    Ticketed(MsgReceiver<T, P, S>),
+    /// Per-edge single-consumer inbox.
+    Edge(edge::Inbox<ThreadMsg<T, P, S>>),
+}
+
+impl<T, P, S> InboundPort<T, P, S> {
+    fn recv(&mut self) -> Option<ThreadMsg<T, P, S>> {
+        match self {
+            InboundPort::Ticketed(rx) => rx.recv().ok(),
+            InboundPort::Edge(inbox) => inbox.recv().ok(),
+        }
+    }
+
+    /// Messages currently queued (approximate under concurrent sends).
+    fn depth(&self) -> usize {
+        match self {
+            InboundPort::Ticketed(rx) => rx.len(),
+            InboundPort::Edge(inbox) => inbox.len(),
+        }
+    }
+}
 
 /// Delivery discipline connecting worker threads.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -192,6 +220,15 @@ impl<T, P, S> Outbound<T, P, S> {
             }
         }
     }
+
+    /// Cumulative backpressure stalls on the route to `dst` (ticketed
+    /// queues are unbounded and never stall).
+    fn stalls(&self, dst: usize) -> u64 {
+        match self {
+            Outbound::Ticketed(_) => 0,
+            Outbound::PerEdge(edges) => edges[dst].as_ref().map_or(0, |tx| tx.stalls()),
+        }
+    }
 }
 
 /// In-flight message counter with a condvar signalled at zero.
@@ -283,6 +320,11 @@ pub struct ThreadRunResult<S, Out> {
     /// Wall-clock measurements (populated when
     /// [`ThreadRunOptions::record_timing`] is set).
     pub timing: Option<RunTiming>,
+    /// The live metrics registry (present unless
+    /// [`ThreadRunOptions::metrics`] was disabled). Callers snapshot it —
+    /// possibly after folding in post-run work like checkpoint
+    /// persistence — via [`RunMetrics::snapshot`].
+    pub metrics: Option<Arc<RunMetrics>>,
 }
 
 /// Per-worker protocol work performed during one run, indexed by plan
@@ -357,6 +399,19 @@ pub struct ThreadRunOptions<S> {
     /// (backpressure) instead of growing an unbounded queue. Ignored in
     /// ticketed mode.
     pub ingress_capacity: usize,
+    /// Collect live metrics into a [`RunMetrics`] registry (the default;
+    /// the cost is thread-local tallies plus a few relaxed stores every
+    /// [`ThreadRunOptions::metrics_flush_every`] messages). Disable for
+    /// A/B overhead measurement.
+    pub metrics: bool,
+    /// Worker tallies (and queue-depth samples) flush into the registry
+    /// every this many handled messages. Small values make mid-run
+    /// snapshots fresher at more store traffic; clamped to at least 1.
+    pub metrics_flush_every: u64,
+    /// When set, the live registry is published here as soon as the run's
+    /// shape is known, so another thread can take mid-run snapshots while
+    /// [`run_threads`] blocks (the CLI's `--metrics-interval` sampler).
+    pub metrics_slot: Option<Arc<OnceLock<Arc<RunMetrics>>>>,
 }
 
 impl<S> Default for ThreadRunOptions<S> {
@@ -368,6 +423,9 @@ impl<S> Default for ThreadRunOptions<S> {
             record_timing: false,
             channel_mode: ChannelMode::default(),
             ingress_capacity: 1024,
+            metrics: true,
+            metrics_flush_every: 256,
+            metrics_slot: None,
         }
     }
 }
@@ -412,6 +470,26 @@ where
         (0..plan.partition_count()).map(|_| Arc::new(InFlight::new())).collect();
     let (out_tx, out_rx) = unbounded::<(Prog::Out, Timestamp, Instant)>();
     let (cp_tx, cp_rx) = unbounded::<(WorkerId, Prog::State, Timestamp)>();
+    // Live metrics registry: shared with every worker and feeder, and
+    // published to the caller's slot (if any) so a sampler thread can
+    // snapshot mid-run. The workload label stays empty here — the driver
+    // does not know it; callers that do set it on the snapshot.
+    let metrics: Option<Arc<RunMetrics>> = options.metrics.then(|| {
+        Arc::new(RunMetrics::for_shape(
+            RunInfo {
+                workload: String::new(),
+                channel_mode: channel_mode.name().to_string(),
+                workers: n,
+                partitions: plan.partition_count(),
+            },
+            &part_of,
+            streams.len(),
+        ))
+    });
+    if let (Some(m), Some(slot)) = (&metrics, &options.metrics_slot) {
+        let _ = slot.set(m.clone());
+    }
+    let flush_every = options.metrics_flush_every.max(1);
     // Effect counters are accumulated *thread-locally* in each worker
     // loop and stored here once at thread exit — per-message atomic RMWs
     // on adjacent slots would put false sharing on the exact hot path
@@ -528,8 +606,11 @@ where
             if options.checkpoint_root && plan.roots().contains(&id) {
                 core.checkpoint_on_join = true;
             }
-            let ticketed_rx = inbounds[id.0].take();
-            let mut edge_rx = edge_inboxes[id.0].take();
+            let mut port = match (inbounds[id.0].take(), edge_inboxes[id.0].take()) {
+                (Some(rx), _) => InboundPort::Ticketed(rx),
+                (None, Some(inbox)) => InboundPort::Edge(inbox),
+                (None, None) => unreachable!("worker without an inbound port"),
+            };
             let routes = std::mem::replace(
                 &mut worker_routes[id.0],
                 Outbound::Ticketed(Vec::new()),
@@ -541,6 +622,7 @@ where
             let update_counts = update_counts.clone();
             let join_counts = join_counts.clone();
             let fork_counts = fork_counts.clone();
+            let metrics = metrics.clone();
             scope.spawn(move || {
                 // If this thread unwinds (a panicking program handler),
                 // credits it accepted would never be retired and the
@@ -556,24 +638,53 @@ where
                     }
                 }
                 let _guard = PanicGuard(in_flight.clone());
-                let mut recv = move || -> Option<Msg<Prog>> {
-                    match (&ticketed_rx, &mut edge_rx) {
-                        (Some(rx), _) => rx.recv().ok(),
-                        (None, Some(inbox)) => inbox.recv().ok(),
-                        (None, None) => unreachable!("worker without an inbound port"),
-                    }
-                };
-                // Thread-local effect tally (flushed once at exit).
+                // Thread-local effect tally, flushed into the registry
+                // every `flush_every` messages (so mid-run snapshots see
+                // live values) and once more at exit.
                 let (mut msgs, mut updates, mut joins, mut forks) = (0u64, 0u64, 0u64, 0u64);
-                while let Some(msg) = recv() {
+                while let Some(msg) = port.recv() {
                     match msg {
                         ThreadMsg::Shutdown => break,
                         ThreadMsg::Protocol(wm) => {
                             msgs += 1;
+                            // Virtual timestamp of the triggering step,
+                            // for trace spans (0 when it carries none).
+                            let mts = if metrics.is_some() {
+                                match &wm {
+                                    WorkerMsg::Event(e) => e.ts,
+                                    WorkerMsg::EventBatch(b) => {
+                                        b.last().map_or(0, |e| e.ts)
+                                    }
+                                    WorkerMsg::Heartbeat(h) => h.ts,
+                                    WorkerMsg::JoinRequest { ts, .. } => *ts,
+                                    WorkerMsg::StateUp { .. }
+                                    | WorkerMsg::StateDown { .. } => 0,
+                                }
+                            } else {
+                                0
+                            };
                             let mut fx = core.handle(wm);
                             updates += fx.updates;
                             joins += fx.joins;
                             forks += fx.forks;
+                            if let Some(m) = &metrics {
+                                if fx.forks > 0 {
+                                    m.trace(id.0, TraceKind::Fork, mts);
+                                }
+                                if fx.joins > 0 {
+                                    m.trace(id.0, TraceKind::Join, mts);
+                                }
+                                if msgs % flush_every == 0 {
+                                    let wm = &m.workers[id.0];
+                                    wm.msgs.set(msgs);
+                                    wm.updates.set(updates);
+                                    wm.joins.set(joins);
+                                    wm.forks.set(forks);
+                                    let depth = port.depth() as u64;
+                                    wm.queue_depth.set(depth);
+                                    wm.queue_depth_max.ratchet(depth);
+                                }
+                            }
                             // Route in destination runs: consecutive
                             // messages to one worker travel as one
                             // batched enqueue (one lock, one wakeup) in
@@ -599,11 +710,29 @@ where
                                 in_flight.sub(lost as u64);
                             }
                             for (o, ts) in fx.outputs {
+                                let at = Instant::now();
+                                if let Some(m) = &metrics {
+                                    m.outputs.inc();
+                                    if let Some(ns) = pace {
+                                        let scheduled = ns
+                                            .checked_mul(ts)
+                                            .map(Duration::from_nanos)
+                                            .unwrap_or(Duration::ZERO);
+                                        m.output_latency.record(
+                                            at.saturating_duration_since(start + scheduled)
+                                                .as_nanos()
+                                                as u64,
+                                        );
+                                    }
+                                }
                                 out_tx
-                                    .send((o, ts, Instant::now()))
+                                    .send((o, ts, at))
                                     .expect("output channel closed");
                             }
                             for (state, ts) in fx.checkpoints {
+                                if let Some(m) = &metrics {
+                                    m.trace(id.0, TraceKind::Checkpoint, ts);
+                                }
                                 cp_tx
                                     .send((id, state, ts))
                                     .expect("checkpoint channel closed");
@@ -611,6 +740,16 @@ where
                             in_flight.dec();
                         }
                     }
+                }
+                if let Some(m) = &metrics {
+                    let wm = &m.workers[id.0];
+                    wm.msgs.set(msgs);
+                    wm.updates.set(updates);
+                    wm.joins.set(joins);
+                    wm.forks.set(forks);
+                    let depth = port.depth() as u64;
+                    wm.queue_depth.set(depth);
+                    wm.queue_depth_max.ratchet(depth);
                 }
                 msg_counts[id.0].store(msgs, Ordering::Relaxed);
                 update_counts[id.0].store(updates, Ordering::Relaxed);
@@ -626,11 +765,25 @@ where
             .into_iter()
             .zip(feeder_routes.drain(..))
             .zip(feeder_dsts.iter().copied())
-            .map(|((stream, route), dst)| {
+            .enumerate()
+            .map(|(si, ((stream, route), dst))| {
                 let in_flight = in_flights[part_of[dst]].clone();
+                let metrics = metrics.clone();
                 scope.spawn(move || {
                     const FEED_BATCH: usize = 64;
                     let mut batch: Vec<Msg<Prog>> = Vec::with_capacity(FEED_BATCH);
+                    // Fold this batch into the stream's metrics: fed-item
+                    // count and arrival rate, plus the edge's cumulative
+                    // stall total (the edge owns the counter; this just
+                    // republishes it so snapshots see it live).
+                    let flush = |sent: usize| {
+                        if let Some(m) = &metrics {
+                            let sm = &m.streams[si];
+                            sm.events.add(sent as u64);
+                            sm.rate.record(m.elapsed_ns(), sent as u64);
+                            sm.stalls.set(route.stalls(dst));
+                        }
+                    };
                     for item in stream.items {
                         if let Some(ns) = pace {
                             pace_until(start, item.ts(), ns);
@@ -641,9 +794,11 @@ where
                         };
                         batch.push(ThreadMsg::Protocol(msg));
                         if pace.is_some() || batch.len() >= FEED_BATCH {
-                            in_flight.add(batch.len() as u64);
+                            let sent = batch.len();
+                            in_flight.add(sent as u64);
                             let lost = route.send_run(dst, batch.drain(..));
                             in_flight.sub(lost as u64);
+                            flush(sent - lost);
                             if lost > 0 {
                                 // The worker is gone; the stream cannot
                                 // be delivered. Surrender quietly — the
@@ -652,9 +807,11 @@ where
                             }
                         }
                     }
-                    in_flight.add(batch.len() as u64);
+                    let sent = batch.len();
+                    in_flight.add(sent as u64);
                     let lost = route.send_run(dst, batch.drain(..));
                     in_flight.sub(lost as u64);
+                    flush(sent - lost);
                 })
             })
             .collect();
@@ -709,6 +866,7 @@ where
             forks: drain(&fork_counts),
         },
         timing,
+        metrics,
     }
 }
 
@@ -925,6 +1083,88 @@ mod tests {
         got.sort();
         want.sort();
         assert_eq!(got, want);
+        // Squeezing hundreds of items through capacity-2 edges must have
+        // blocked the feeders, and the registry must have seen it.
+        let m = result.metrics.expect("metrics on").snapshot();
+        assert!(m.total_stalls() > 0, "tiny ingress edges must record stalls");
+    }
+
+    /// The always-on registry agrees with the end-of-run effect counters
+    /// (same thread-local tallies, flushed instead of stored once), and
+    /// opting out yields no registry at all.
+    #[test]
+    fn metrics_registry_matches_effects_and_can_be_disabled() {
+        let plan = counter_plan();
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            workload(),
+            ThreadRunOptions::default(),
+        );
+        let m = result.metrics.as_ref().expect("metrics are on by default").snapshot();
+        for (w, ws) in m.workers.iter().enumerate() {
+            assert_eq!(ws.msgs, result.effects.msgs[w], "worker {w} msgs");
+            assert_eq!(ws.updates, result.effects.updates[w], "worker {w} updates");
+            assert_eq!(ws.joins, result.effects.joins[w], "worker {w} joins");
+            assert_eq!(ws.forks, result.effects.forks[w], "worker {w} forks");
+        }
+        assert_eq!(m.outputs, result.outputs.len() as u64);
+        // Every stream item (events + heartbeats) was fed and counted.
+        let fed: u64 = m.streams.iter().map(|s| s.events).sum();
+        let items: u64 = workload().iter().map(|s| s.items.len() as u64).sum();
+        assert_eq!(fed, items);
+        // The root's joins show up as trace spans.
+        assert!(m.traces[plan.root().0]
+            .events
+            .iter()
+            .any(|e| e.kind == dgs_metrics::TraceKind::Join));
+        let off = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            workload(),
+            ThreadRunOptions { metrics: false, ..Default::default() },
+        );
+        assert!(off.metrics.is_none());
+    }
+
+    /// A sampler holding the published registry sees *live* counters
+    /// while the run is still going — the whole point of the flush-every
+    /// design over the old store-once-at-exit tallies.
+    #[test]
+    fn mid_run_snapshot_sees_live_counters() {
+        let slot: Arc<OnceLock<Arc<RunMetrics>>> = Arc::new(OnceLock::new());
+        let opts = ThreadRunOptions {
+            pace_ns_per_tick: Some(500_000), // 400 ticks -> ≥ 200 ms wall
+            metrics_flush_every: 1,
+            metrics_slot: Some(slot.clone()),
+            ..Default::default()
+        };
+        let run = std::thread::spawn(move || {
+            run_threads(Arc::new(KeyCounter), &counter_plan(), workload(), opts)
+        });
+        // The registry is published as soon as the run's shape is known.
+        let registry = loop {
+            if let Some(m) = slot.get() {
+                break m.clone();
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        // Catch the counters while they are moving.
+        let mid = loop {
+            let s = registry.snapshot();
+            if s.total_msgs() > 0 {
+                break s;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        };
+        let result = run.join().expect("run panicked");
+        let final_msgs: u64 = result.effects.msgs.iter().sum();
+        assert!(mid.total_msgs() > 0, "mid-run snapshot must be non-zero");
+        assert!(
+            mid.total_msgs() < final_msgs,
+            "snapshot was not live: mid {} vs final {final_msgs}",
+            mid.total_msgs()
+        );
     }
 
     #[test]

@@ -63,6 +63,7 @@
 //! [`DgsProgram`]: crate::core::program::DgsProgram
 
 pub use dgs_core::codec::{CodecError, StateCodec};
+pub use dgs_metrics::{MetricsSnapshot, RunMetrics, TraceKind, REQUIRED_FAMILIES};
 pub use dgs_runtime::checkpoint::{CheckpointStore, MemoryStore};
 pub use dgs_runtime::durable::{
     DurableOptions, DurableStore, Fault, FaultPlan, OpenReport, StoreError,

@@ -3,14 +3,32 @@
 //! ```text
 //! flumina plan <workload> [-n N] [--dot]             print the synchronization plan
 //! flumina run  <workload> [-n N] [--checkpoint-dir D] execute on real threads, verify vs spec
+//!              [--metrics] [--metrics-out FILE] [--metrics-interval MS]
+//!              [--trace-out FILE] [--pace NS]
 //! flumina sim  <workload> [-n N]                     simulate a cluster, report outcome
+//! flumina metrics-lint <FILE>                        validate Prometheus text exposition
 //! flumina list                                       list available workloads
 //! ```
 //!
 //! `run --checkpoint-dir D` persists every root-join checkpoint into a
 //! crash-durable [`DurableStore`](flumina::api::DurableStore) under `D`
 //! (append-only CRC-checksummed segments + manifest) and reports how
-//! many snapshots a fresh reopen of the directory can see.
+//! many snapshots a fresh reopen of the directory can see. If the reopen
+//! had to repair torn bytes or reconstruct state without a manifest, a
+//! visible `warning:` line says so on stderr.
+//!
+//! The metrics plane is always on; `--metrics` *prints* it — the final
+//! quiesced snapshot as Prometheus text exposition on stdout (the human
+//! verdict moves to stderr so `flumina run w --metrics > w.prom` stays
+//! parseable). `--metrics-out FILE` writes the exposition to a file
+//! instead. `--metrics-interval MS` samples the live registry mid-run
+//! every `MS` milliseconds and prints one-line snapshots to stderr
+//! (counters are visible while workers still run — pair with `--pace`
+//! to stretch the run). `--trace-out FILE` dumps the per-worker trace
+//! rings (fork/join/checkpoint spans) as JSON. `metrics-lint` re-parses
+//! an exposition file and fails on syntax errors, histogram-invariant
+//! violations, or missing required `flumina_*` families — CI runs it on
+//! the smoke artifact.
 //!
 //! Workloads are resolved by name against the shared
 //! [`registry`](flumina::apps::registry) — the same table the
@@ -20,9 +38,13 @@
 //! `run` is a [`verify_against_spec`](flumina::api::Job::verify_against_spec)
 //! call (Theorem 3.5 as a CLI exit code).
 
-use flumina::api::{Backend, CheckpointStore as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use flumina::api::{Backend, CheckpointStore as _, RunMetrics, ThreadRunOptions};
 use flumina::apps::registry::{self, WorkloadVisitor};
 use flumina::apps::sweep::SweepWorkload;
+use flumina::metrics::{validate_exposition, REQUIRED_FAMILIES};
 
 struct Args {
     cmd: String,
@@ -30,48 +52,70 @@ struct Args {
     parallelism: u32,
     dot: bool,
     checkpoint_dir: Option<String>,
+    metrics: bool,
+    metrics_out: Option<String>,
+    metrics_interval_ms: Option<u64>,
+    trace_out: Option<String>,
+    pace_ns: Option<u64>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n       flumina list\nworkloads: {}",
+        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n                [--metrics] [--metrics-out FILE] [--metrics-interval MS]\n                [--trace-out FILE] [--pace NS]\n       flumina metrics-lint <FILE>\n       flumina list\nworkloads: {}",
         registry::names().join(" | ")
     )
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
-    let cmd = it.next().ok_or("missing command (plan | run | sim | list)")?;
-    if cmd == "list" {
-        return Ok(Args {
-            cmd,
-            workload: String::new(),
-            parallelism: 0,
-            dot: false,
-            checkpoint_dir: None,
-        });
+    let cmd = it.next().ok_or("missing command (plan | run | sim | metrics-lint | list)")?;
+    let mut args = Args {
+        cmd,
+        workload: String::new(),
+        parallelism: 4,
+        dot: false,
+        checkpoint_dir: None,
+        metrics: false,
+        metrics_out: None,
+        metrics_interval_ms: None,
+        trace_out: None,
+        pace_ns: None,
+    };
+    if args.cmd == "list" {
+        return Ok(args);
     }
-    let workload = it.next().ok_or("missing workload name")?;
-    let mut parallelism = 4u32;
-    let mut dot = false;
-    let mut checkpoint_dir = None;
+    args.workload = it.next().ok_or(if args.cmd == "metrics-lint" {
+        "missing exposition file path"
+    } else {
+        "missing workload name"
+    })?;
     while let Some(a) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or(format!("missing value after {flag}"));
         match a.as_str() {
             "-n" | "--parallelism" => {
-                parallelism = it
-                    .next()
-                    .ok_or("missing value after -n")?
-                    .parse()
-                    .map_err(|e| format!("bad parallelism: {e}"))?;
+                args.parallelism =
+                    value("-n")?.parse().map_err(|e| format!("bad parallelism: {e}"))?;
             }
-            "--dot" => dot = true,
-            "--checkpoint-dir" => {
-                checkpoint_dir = Some(it.next().ok_or("missing value after --checkpoint-dir")?);
+            "--dot" => args.dot = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?),
+            "--metrics" => args.metrics = true,
+            "--metrics-out" => args.metrics_out = Some(value("--metrics-out")?),
+            "--metrics-interval" => {
+                args.metrics_interval_ms = Some(
+                    value("--metrics-interval")?
+                        .parse()
+                        .map_err(|e| format!("bad --metrics-interval: {e}"))?,
+                );
+            }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?),
+            "--pace" => {
+                args.pace_ns =
+                    Some(value("--pace")?.parse().map_err(|e| format!("bad --pace: {e}"))?);
             }
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    Ok(Args { cmd, workload, parallelism, dot, checkpoint_dir })
+    Ok(args)
 }
 
 /// `plan`: derive and render the synchronization plan.
@@ -94,17 +138,42 @@ impl WorkloadVisitor for PlanCmd {
     }
 }
 
+/// What one `run` invocation produced, for `main` to route: the human
+/// verdict, the exit status, and the optional metrics artifacts.
+struct RunOutcome {
+    line: String,
+    ok: bool,
+    /// Prometheus text exposition of the final quiesced snapshot.
+    exposition: Option<String>,
+    /// Per-worker trace rings as JSON.
+    traces: Option<String>,
+    /// Durable-store repair warnings (stderr, always visible).
+    warnings: Vec<String>,
+}
+
 /// `run`: execute on real threads and verify against the sequential
-/// specification. Returns the report line and whether the run matched.
+/// specification.
 struct RunCmd {
     n: u32,
     checkpoint_dir: Option<String>,
+    /// Render the final snapshot (`--metrics` / `--metrics-out` /
+    /// `--trace-out` all need it).
+    want_metrics: bool,
+    metrics_interval_ms: Option<u64>,
+    pace_ns: Option<u64>,
 }
 
 impl WorkloadVisitor for RunCmd {
-    type Out = (String, bool);
+    type Out = RunOutcome;
 
-    fn visit<W: SweepWorkload>(&mut self) -> (String, bool) {
+    fn visit<W: SweepWorkload>(&mut self) -> RunOutcome {
+        let fail = |line: String| RunOutcome {
+            line,
+            ok: false,
+            exposition: None,
+            traces: None,
+            warnings: Vec::new(),
+        };
         let w = W::for_scale(self.n, 200, 4);
         let mut job = w.job(20);
         if let Some(dir) = &self.checkpoint_dir {
@@ -114,24 +183,55 @@ impl WorkloadVisitor for RunCmd {
             // surface the conflict up front instead.
             if let Ok(store) = job.recover_checkpoints() {
                 if !store.is_empty() {
-                    return (
-                        format!(
-                            "checkpoint dir {dir} already holds {} record(s) from an \
-                             earlier run ✗ — use a fresh directory per run",
-                            store.len()
-                        ),
-                        false,
-                    );
+                    return fail(format!(
+                        "checkpoint dir {dir} already holds {} record(s) from an \
+                         earlier run ✗ — use a fresh directory per run",
+                        store.len()
+                    ));
                 }
             }
         }
-        match job.verify_against_spec() {
+        // Metrics are always on; the publish slot lets the interval
+        // sampler see the live registry while the run is in flight.
+        let slot: Arc<OnceLock<Arc<RunMetrics>>> = Arc::new(OnceLock::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let sampler = self.metrics_interval_ms.map(|ms| {
+            let (slot, stop) = (slot.clone(), stop.clone());
+            std::thread::spawn(move || loop {
+                std::thread::sleep(std::time::Duration::from_millis(ms.max(1)));
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                if let Some(m) = slot.get() {
+                    let s = m.snapshot();
+                    eprintln!(
+                        "[metrics t+{:.3}s] msgs={} outputs={} max_queue_depth={} stalls={}",
+                        m.elapsed_ns() as f64 / 1e9,
+                        s.total_msgs(),
+                        s.outputs,
+                        s.max_queue_depth(),
+                        s.total_stalls(),
+                    );
+                }
+            })
+        });
+        let verified = job.verify_on(Backend::Threads(ThreadRunOptions {
+            pace_ns_per_tick: self.pace_ns,
+            metrics_slot: Some(slot),
+            ..Default::default()
+        }));
+        stop.store(true, Ordering::Relaxed);
+        if let Some(h) = sampler {
+            let _ = h.join();
+        }
+        match verified {
             Ok(v) => {
                 let mut line = format!(
                     "{} workers on real threads produced {} outputs — MATCHES the sequential spec ✓",
                     v.run.plan.len(),
                     v.run.outputs.len()
                 );
+                let mut warnings = Vec::new();
                 if let Some(dir) = &self.checkpoint_dir {
                     // Reopen through a fresh store: report what actually
                     // survives on disk, not what the writer remembers.
@@ -141,15 +241,53 @@ impl WorkloadVisitor for RunCmd {
                                 "; {} checkpoint(s) durable in {dir}",
                                 store.len()
                             ));
+                            let r = store.open_report();
+                            if r.repaired_bytes > 0 {
+                                warnings.push(format!(
+                                    "warning: reopen of {dir} repaired {} torn byte(s) off a segment tail",
+                                    r.repaired_bytes
+                                ));
+                            }
+                            if r.manifest_fallback && (r.records > 0 || r.repaired_bytes > 0) {
+                                warnings.push(format!(
+                                    "warning: manifest in {dir} missing or unreadable — {} record(s) recovered by segment scan",
+                                    r.records
+                                ));
+                            }
                         }
-                        Err(e) => return (format!("checkpoint reopen failed ✗ — {e}"), false),
+                        Err(e) => return fail(format!("checkpoint reopen failed ✗ — {e}")),
                     }
                 }
-                (line, true)
+                let (exposition, traces) = match (self.want_metrics, v.run.metrics) {
+                    (true, Some(mut snap)) => {
+                        // The driver cannot know the registry's workload
+                        // name; the front end stamps it before rendering.
+                        snap.info.workload = W::NAME.to_string();
+                        (Some(snap.render_prometheus()), Some(snap.trace_json()))
+                    }
+                    _ => (None, None),
+                };
+                RunOutcome { line, ok: true, exposition, traces, warnings }
             }
-            Err(e) => (format!("DIVERGED from the sequential spec ✗ — {e}"), false),
+            Err(e) => fail(format!("DIVERGED from the sequential spec ✗ — {e}")),
         }
     }
+}
+
+/// `metrics-lint`: parse a Prometheus text-exposition file, enforce the
+/// syntax + histogram invariants, and require the core `flumina_*`
+/// families. Exit code is the verdict (CI runs this on the smoke
+/// artifact).
+fn metrics_lint(path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let families = validate_exposition(&text).map_err(|e| format!("{path}: {e}"))?;
+    for required in REQUIRED_FAMILIES {
+        if !families.iter().any(|f| f == required) {
+            return Err(format!("{path}: missing required family `{required}`"));
+        }
+    }
+    Ok(format!("{path}: valid exposition, {} famil(ies)", families.len()))
 }
 
 /// `sim`: run the deterministic cluster simulator backend.
@@ -204,17 +342,63 @@ fn main() {
             }
         }
         "run" => {
-            let mut cmd = RunCmd { n: args.parallelism, checkpoint_dir: args.checkpoint_dir };
+            let mut cmd = RunCmd {
+                n: args.parallelism,
+                checkpoint_dir: args.checkpoint_dir,
+                want_metrics: args.metrics
+                    || args.metrics_out.is_some()
+                    || args.trace_out.is_some(),
+                metrics_interval_ms: args.metrics_interval_ms,
+                pace_ns: args.pace_ns,
+            };
             match registry::visit(&args.workload, &mut cmd) {
-                Some((line, ok)) => {
-                    println!("{line}");
-                    if !ok {
+                Some(outcome) => {
+                    for w in &outcome.warnings {
+                        eprintln!("{w}");
+                    }
+                    // With `--metrics` (and no file) the exposition owns
+                    // stdout so `flumina run w --metrics > w.prom` stays
+                    // parseable; the human verdict moves to stderr.
+                    let verdict_to_stderr = args.metrics && args.metrics_out.is_none();
+                    if verdict_to_stderr {
+                        eprintln!("{}", outcome.line);
+                    } else {
+                        println!("{}", outcome.line);
+                    }
+                    if let Some(expo) = &outcome.exposition {
+                        match &args.metrics_out {
+                            Some(path) => {
+                                if let Err(e) = std::fs::write(path, expo) {
+                                    eprintln!("error: cannot write {path}: {e}");
+                                    std::process::exit(1);
+                                }
+                                eprintln!("wrote metrics exposition to {path}");
+                            }
+                            None if args.metrics => print!("{expo}"),
+                            None => {}
+                        }
+                    }
+                    if let (Some(path), Some(traces)) = (&args.trace_out, &outcome.traces) {
+                        if let Err(e) = std::fs::write(path, traces) {
+                            eprintln!("error: cannot write {path}: {e}");
+                            std::process::exit(1);
+                        }
+                        eprintln!("wrote trace rings to {path}");
+                    }
+                    if !outcome.ok {
                         std::process::exit(1);
                     }
                 }
                 None => unknown(),
             }
         }
+        "metrics-lint" => match metrics_lint(&args.workload) {
+            Ok(line) => println!("{line}"),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
         "sim" => {
             let mut cmd = SimCmd { n: args.parallelism };
             match registry::visit(&args.workload, &mut cmd) {

@@ -11,6 +11,8 @@
 //! * [`plan`] — synchronization plans, validity, and optimizers.
 //! * [`sim`] — the discrete-event cluster simulator substrate.
 //! * [`runtime`] — the Flumina runtime (mailboxes, workers, drivers).
+//! * [`metrics`] — the always-on metrics plane (per-worker/partition
+//!   counters and gauges, trace rings, Prometheus text exposition).
 //! * [`baseline`] — mini Flink-style / Timely-style dataflow baselines.
 //! * [`apps`] — evaluation applications and case studies.
 //!
@@ -21,6 +23,7 @@ pub mod api;
 pub use dgs_apps as apps;
 pub use dgs_baseline as baseline;
 pub use dgs_core as core;
+pub use dgs_metrics as metrics;
 pub use dgs_plan as plan;
 pub use dgs_runtime as runtime;
 pub use dgs_sim as sim;

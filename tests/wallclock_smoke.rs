@@ -25,6 +25,7 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
         per_window: 25,
         windows: 4,
         check_spec: true,
+        metrics: true,
     };
     let n_workloads = spec.workloads.len();
     let points = wallclock::sweep(&spec);
@@ -57,6 +58,8 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
         } else {
             assert!(p.latency.is_none());
         }
+        // The always-on metrics plane rides along on every cell.
+        assert!(p.max_queue_depth.is_some() && p.stalls.is_some());
     }
 
     // The sweep serializes into a valid, round-trippable trajectory.
@@ -99,6 +102,7 @@ fn miniature_recovery_sweep_loses_nothing_and_serializes() {
         per_window: 20,
         windows: 2,
         check_spec: true,
+        metrics: true,
     };
     let points = wallclock::sweep(&wspec);
     let doc = report::trajectory("2026-07-26", &points, &[], &rec);

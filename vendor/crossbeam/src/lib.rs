@@ -233,6 +233,17 @@ pub mod channel {
     }
 
     impl<T> Receiver<T> {
+        /// Messages currently enqueued and unclaimed (approximate under
+        /// concurrent sends/claims). Observability only.
+        pub fn len(&self) -> usize {
+            self.shared.credits.load(Ordering::SeqCst).max(0) as usize
+        }
+
+        /// True when no unclaimed message is queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         /// Claim one message credit, or report why none can be claimed.
         /// `Ok(())` guarantees at least one message is queued for us.
         fn claim_credit(&self) -> Result<(), RecvError> {
@@ -638,7 +649,7 @@ pub mod edge {
 
     use std::collections::VecDeque;
     use std::fmt;
-    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
     use std::sync::{Arc, Condvar, Mutex};
 
     use super::spsc::{BoundedRing, SegRing};
@@ -670,6 +681,10 @@ pub mod edge {
         capacity: usize,
         /// The sender half was dropped (the edge can still be drained).
         sender_gone: AtomicBool,
+        /// Times a producer blocked because the edge was full (each
+        /// condvar wait counts once). Observability only — never read on
+        /// the message path.
+        stalls: AtomicU64,
     }
 
     struct Shared<T> {
@@ -739,6 +754,7 @@ pub mod edge {
                 park_waiters: AtomicUsize::new(0),
                 capacity,
                 sender_gone: AtomicBool::new(false),
+                stalls: AtomicU64::new(0),
             });
             self.shared.edges.lock().expect("inbox poisoned").push(edge.clone());
             self.shared.version.fetch_add(1, Ordering::SeqCst);
@@ -854,6 +870,7 @@ pub mod edge {
                                 break;
                             }
                             publish(&mut pending);
+                            self.edge.stalls.fetch_add(1, Ordering::Relaxed);
                             queue = self.edge.not_full.wait(queue).expect("edge poisoned");
                         }
                         if !self.shared.receiver_alive.load(Ordering::SeqCst) {
@@ -924,6 +941,7 @@ pub mod edge {
                                             .receiver_alive
                                             .load(Ordering::SeqCst)
                                     {
+                                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
                                         self.edge
                                             .not_full
                                             .wait_timeout(
@@ -947,6 +965,12 @@ pub mod edge {
                     outcome
                 }
             }
+        }
+
+        /// Cumulative backpressure stalls on this edge: how many times a
+        /// send blocked (one per condvar wait) because the edge was full.
+        pub fn stalls(&self) -> u64 {
+            self.edge.stalls.load(Ordering::Relaxed)
         }
     }
 
@@ -1447,6 +1471,25 @@ mod edge_tests {
         let got: Vec<u32> = rx.iter().collect();
         assert_eq!(got, (0..500).collect::<Vec<_>>());
         producer.join().unwrap();
+    }
+
+    #[test]
+    fn stalls_count_blocking_sends() {
+        // A batch pushed through a tiny bounded edge must park at least
+        // once per refill, and the stall counter must see it; an
+        // uncontended send records none.
+        let mut rx = inbox::<u32>();
+        let tx = rx.handle().edge(Some(2));
+        tx.send(1).unwrap();
+        assert_eq!(tx.stalls(), 0);
+        assert_eq!(rx.recv(), Ok(1));
+        let producer = std::thread::spawn(move || {
+            tx.send_many(0..100).unwrap();
+            tx.stalls()
+        });
+        let got: Vec<u32> = rx.iter().take(100).collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+        assert!(producer.join().unwrap() > 0, "full edge must record stalls");
     }
 
     #[test]
