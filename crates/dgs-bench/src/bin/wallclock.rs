@@ -5,6 +5,7 @@
 //!           [--workers 1,2,4,8] [--rates 0,200000]
 //!           [--modes auto,per-edge-ring,per-edge,ticketed]
 //!           [--per-window 500] [--windows 20] [--check-spec]
+//!           [--executor-threads N]
 //!           [--no-metrics] [--with-sim] [--recovery]
 //!           [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
@@ -38,6 +39,11 @@
 //! with the optional `max_queue_depth`/`stalls` gauges; `--no-metrics`
 //! disables it (the A/B axis for measuring its overhead — such entries
 //! omit the gauge fields, exactly like legacy artifacts).
+//! `--executor-threads N` pins the sharded executor's event-loop
+//! thread count for every cell (the default is host parallelism) and
+//! stamps each wallclock entry with an `executor_threads` field; cells
+//! captured without the flag omit the field so their identity keys stay
+//! comparable with pre-executor artifacts.
 //! `--validate` parses and schema-checks an existing file (used by CI
 //! on the smoke artifact) and exits nonzero on any violation.
 
@@ -140,6 +146,15 @@ fn main() {
                 spec.windows = value("--windows").parse().unwrap_or_else(|_| fail("bad --windows"));
             }
             "--check-spec" => spec.check_spec = true,
+            "--executor-threads" => {
+                let n: usize = value("--executor-threads")
+                    .parse()
+                    .unwrap_or_else(|_| fail("bad --executor-threads"));
+                if n == 0 {
+                    fail("--executor-threads must be >= 1");
+                }
+                spec.executor_threads = Some(n);
+            }
             "--no-metrics" => spec.metrics = false,
             "--with-sim" => with_sim = true,
             "--recovery" => with_recovery = true,
@@ -170,9 +185,14 @@ fn main() {
     // Resolve `auto` up front and dedup: `--modes auto,per-edge-ring` on
     // a host where auto picks the rings would measure every cell twice
     // under one identity key, and bench-diff's cell index would silently
-    // keep an arbitrary one of the duplicates.
+    // keep an arbitrary one of the duplicates. `Auto` resolves from the
+    // executor shard count the runs will actually use — the pinned
+    // `--executor-threads` value, or host parallelism by default.
+    let default_shards =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let shards = spec.executor_threads.unwrap_or(default_shards);
     let mut resolved = Vec::new();
-    for mode in spec.modes.iter().map(|m| m.resolve()) {
+    for mode in spec.modes.iter().map(|m| m.resolve(shards)) {
         if resolved.contains(&mode) {
             eprintln!(
                 "wallclock: dropping duplicate mode {} (auto resolved onto an explicitly listed plane)",

@@ -2,7 +2,8 @@
 //! performance regressions.
 //!
 //! Result entries are matched by identity key — `(kind, workload,
-//! system, workers, rate_eps, events | figure, channel_mode)` — and
+//! system, workers, rate_eps, events | figure, channel_mode,
+//! executor_threads when pinned)` — and
 //! compared on
 //! throughput (events/sec, higher is better) and, where both sides carry
 //! latency percentiles, p95 (lower is better). A cell regresses when
@@ -27,6 +28,10 @@
 //!
 //! Wallclock entries without a `channel_mode` (pre-A/B captures) default
 //! to `"ticketed"` — that is the plane those numbers were measured on.
+//! Entries without `executor_threads` (default-executor and
+//! pre-executor captures) share an identity namespace, so the committed
+//! trajectory keeps gating fresh default-run captures; pinned cells form
+//! their own `…/xN` series.
 //!
 //! Hardware context travels with the verdict: both files' `hw_threads`
 //! are surfaced (and a mismatch warned about) so a single-core capture
@@ -203,7 +208,17 @@ fn cell_key(entry: &Json) -> Option<String> {
                 .and_then(Json::as_str)
                 // Pre-A/B captures were measured on the ticketed plane.
                 .unwrap_or("ticketed");
-            Some(format!("wallclock/{workload}/{system}/{mode}/w{workers}/r{rate}/n{events}"))
+            // A pinned executor-thread axis is part of the identity; the
+            // field is absent on default-executor cells, which keeps
+            // their keys byte-identical to pre-executor captures.
+            let exec = entry
+                .get("executor_threads")
+                .and_then(Json::as_f64)
+                .map(|x| format!("/x{x}"))
+                .unwrap_or_default();
+            Some(format!(
+                "wallclock/{workload}/{system}/{mode}/w{workers}/r{rate}/n{events}{exec}"
+            ))
         }
         "simulator" => {
             let figure = entry.get("figure")?.as_str()?;

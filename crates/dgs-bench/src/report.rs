@@ -55,6 +55,12 @@
 //! trajectory files captured before the message-plane A/B existed keep
 //! validating; absence means the original ticketed plane (comparison
 //! tools like `bench-diff` default it accordingly).
+//!
+//! `executor_threads` (wallclock entries) records the sharded
+//! executor's pinned event-loop thread count. It is present only when
+//! the capture pinned the axis (`--executor-threads`); default-executor
+//! cells omit it so their identity keys stay byte-comparable with
+//! artifacts captured before the executor existed.
 
 use std::fmt::Write as _;
 
@@ -552,6 +558,10 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
                 // `--no-metrics` captures — absence is not a failure).
                 optional_number(entry, "max_queue_depth", i)?;
                 optional_number(entry, "stalls", i)?;
+                // Sharded-executor axis: present only when the capture
+                // pinned `--executor-threads`; default cells omit it so
+                // their identity keys match pre-executor artifacts.
+                optional_number(entry, "executor_threads", i)?;
             }
             ("simulator", "virtual") => {
                 require_string(entry, "figure", i)?;

@@ -195,6 +195,12 @@ pub struct WallclockPoint {
     /// Feeder backpressure stalls summed across streams (`None` when the
     /// run had metrics disabled).
     pub stalls: Option<u64>,
+    /// Executor shard threads the run used, recorded only when the sweep
+    /// pinned the axis explicitly (`SweepSpec::executor_threads`).
+    /// Default-executor cells omit the field, so their identity keys —
+    /// and hence bench-diff comparability against pre-executor
+    /// trajectories — are unchanged.
+    pub executor_threads: Option<u64>,
 }
 
 impl WallclockPoint {
@@ -247,6 +253,9 @@ impl WallclockPoint {
         if let Some(s) = self.stalls {
             fields.push(("stalls".into(), Json::Int(s as i64)));
         }
+        if let Some(t) = self.executor_threads {
+            fields.push(("executor_threads".into(), Json::Int(t as i64)));
+        }
         Json::Obj(fields)
     }
 }
@@ -273,6 +282,12 @@ pub struct SweepSpec {
     /// Run with the always-on metrics plane enabled (the default; the
     /// `--no-metrics` axis exists to A/B its overhead).
     pub metrics: bool,
+    /// Pin the executor shard-thread count (`--executor-threads`).
+    /// `None` (the default) lets the runtime use host parallelism *and*
+    /// keeps the field out of the recorded points, preserving legacy
+    /// cell identity; `Some(n)` stamps every point with the effective
+    /// count, putting the executor axis into the artifact.
+    pub executor_threads: Option<usize>,
 }
 
 impl SweepSpec {
@@ -291,6 +306,7 @@ impl SweepSpec {
             windows: 20,
             check_spec: false,
             metrics: true,
+            executor_threads: None,
         }
     }
 
@@ -305,6 +321,7 @@ impl SweepSpec {
             windows: 5,
             check_spec: true,
             metrics: true,
+            executor_threads: None,
         }
     }
 }
@@ -336,6 +353,7 @@ pub const UNPACED_REPEATS: usize = 5;
 /// unpaced points are repeated [`UNPACED_REPEATS`] times and the
 /// best-throughput run reported (`spec_ok` is the conjunction over all
 /// repeats — a divergence in any run fails the point).
+#[allow(clippy::too_many_arguments)]
 pub fn run_one<W: SweepWorkload>(
     mode: ChannelMode,
     workers: u32,
@@ -344,11 +362,23 @@ pub fn run_one<W: SweepWorkload>(
     rate_eps: u64,
     check_spec: bool,
     metrics: bool,
+    executor_threads: Option<usize>,
 ) -> WallclockPoint {
     let paced = rate_eps > 0;
     let repeats = if paced { PACED_REPEATS } else { UNPACED_REPEATS };
     let mut runs: Vec<WallclockPoint> = (0..repeats)
-        .map(|_| run_single::<W>(mode, workers, per_window, windows, rate_eps, check_spec, metrics))
+        .map(|_| {
+            run_single::<W>(
+                mode,
+                workers,
+                per_window,
+                windows,
+                rate_eps,
+                check_spec,
+                metrics,
+                executor_threads,
+            )
+        })
         .collect();
     let all_ok = runs.iter().all(|p| p.spec_ok != Some(false));
     let mut point = if paced {
@@ -364,6 +394,7 @@ pub fn run_one<W: SweepWorkload>(
     point
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_single<W: SweepWorkload>(
     mode: ChannelMode,
     workers: u32,
@@ -372,6 +403,7 @@ fn run_single<W: SweepWorkload>(
     rate_eps: u64,
     check_spec: bool,
     metrics: bool,
+    executor_threads: Option<usize>,
 ) -> WallclockPoint {
     let w = W::for_scale(workers, per_window, windows);
     let hb_period = (per_window / 10).max(1);
@@ -386,6 +418,7 @@ fn run_single<W: SweepWorkload>(
         pace_ns_per_tick: pace_of(rate_eps),
         record_timing: true,
         channel_mode: mode,
+        executor_threads,
         metrics,
         ..Default::default()
     }));
@@ -416,6 +449,9 @@ fn run_single<W: SweepWorkload>(
         spec_ok,
         max_queue_depth: report.metrics.as_ref().map(|m| m.max_queue_depth()),
         stalls: report.metrics.as_ref().map(|m| m.total_stalls()),
+        // Stamp the *effective* shard count, but only when the axis was
+        // pinned — default-executor cells stay legacy-shaped.
+        executor_threads: executor_threads.map(|_| timing.executor_threads as u64),
     }
 }
 
@@ -437,6 +473,8 @@ pub struct RunCell {
     pub check_spec: bool,
     /// Run with the metrics plane enabled.
     pub metrics: bool,
+    /// Pin the executor shard count (see [`SweepSpec::executor_threads`]).
+    pub executor_threads: Option<usize>,
 }
 
 impl WorkloadVisitor for RunCell {
@@ -451,6 +489,7 @@ impl WorkloadVisitor for RunCell {
             self.rate_eps,
             self.check_spec,
             self.metrics,
+            self.executor_threads,
         )
     }
 }
@@ -464,7 +503,7 @@ impl WorkloadVisitor for RunCell {
 /// that showed up as phantom 2× "regressions" on the first grid cell.
 pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
     for &mode in &spec.modes {
-        let _ = run_one::<VbWorkload>(mode, 2, 200, 5, 0, false, spec.metrics);
+        let _ = run_one::<VbWorkload>(mode, 2, 200, 5, 0, false, spec.metrics, spec.executor_threads);
     }
     let mut points = Vec::new();
     for &mode in &spec.modes {
@@ -479,6 +518,7 @@ pub fn sweep(spec: &SweepSpec) -> Vec<WallclockPoint> {
                         rate_eps: rate,
                         check_spec: spec.check_spec,
                         metrics: spec.metrics,
+                        executor_threads: spec.executor_threads,
                     };
                     points.push(
                         registry::visit(name, &mut cell)
@@ -578,7 +618,7 @@ mod tests {
 
     #[test]
     fn unpaced_point_has_throughput_but_no_latency() {
-        let p = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, true, true);
+        let p = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, true, true, None);
         assert_eq!(p.spec_ok, Some(true));
         assert!(p.throughput_eps > 0.0);
         assert!(p.latency.is_none());
@@ -590,7 +630,7 @@ mod tests {
         let json = p.to_json().render();
         assert!(json.contains("\"max_queue_depth\"") && json.contains("\"stalls\""));
         // …and a metrics-off run omits them, staying legacy-shaped.
-        let off = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, false, false);
+        let off = run_one::<VbWorkload>(ChannelMode::PerEdge, 2, 30, 3, 0, false, false, None);
         assert!(off.max_queue_depth.is_none() && off.stalls.is_none());
         let off_json = off.to_json().render();
         assert!(!off_json.contains("max_queue_depth") && !off_json.contains("\"stalls\""));
@@ -599,7 +639,7 @@ mod tests {
     #[test]
     fn paced_point_has_latency_percentiles() {
         // 90 ticks at 1M events/sec/stream: fast but paced.
-        let p = run_one::<VbWorkload>(ChannelMode::Ticketed, 2, 30, 3, 1_000_000, true, true);
+        let p = run_one::<VbWorkload>(ChannelMode::Ticketed, 2, 30, 3, 1_000_000, true, true, None);
         assert_eq!(p.spec_ok, Some(true));
         assert_eq!(p.channel_mode, "ticketed");
         let lat = p.latency.expect("paced run must sample latency");
@@ -618,6 +658,7 @@ mod tests {
             windows: 2,
             check_spec: true,
             metrics: true,
+            executor_threads: None,
         };
         let n_workloads = spec.workloads.len();
         let points = sweep(&spec);
@@ -653,6 +694,7 @@ mod tests {
             windows: 2,
             check_spec: true,
             metrics: true,
+            executor_threads: None,
         };
         let points = sweep(&spec);
         assert_eq!(points.len(), 2);

@@ -46,6 +46,8 @@ pub const REQUIRED_FAMILIES: &[&str] = &[
     "flumina_worker_msgs_total",
     "flumina_queue_depth",
     "flumina_partition_queue_depth",
+    "flumina_shard_polls_total",
+    "flumina_shard_steals_total",
     "flumina_feeder_stalls_total",
     "flumina_outputs_total",
     "flumina_output_latency_ns",
@@ -151,6 +153,24 @@ pub struct StreamMetrics {
     pub rate: RateEstimator,
 }
 
+/// Per-executor-shard scheduler counters: one event-loop thread drives a
+/// shard of workers, and these tallies make its scheduling visible
+/// (poll cadence, steal traffic, batch sizes, run-queue pressure).
+#[derive(Debug, Default)]
+pub struct ShardMetrics {
+    /// Worker polls performed by this shard's event loop.
+    pub polls: Counter,
+    /// Workers stolen *by* this shard from other shards' run queues.
+    pub steals: Counter,
+    /// Protocol messages processed across all polls (divide by `polls`
+    /// for the mean poll batch size).
+    pub batch_msgs: Counter,
+    /// Run-queue depth at the last flush point.
+    pub run_queue_depth: Gauge,
+    /// Largest run-queue depth ever sampled.
+    pub run_queue_depth_max: Gauge,
+}
+
 /// Durable-store counters (fsync latency, append counts, repair work).
 #[derive(Debug, Default)]
 pub struct StoreMetrics {
@@ -163,6 +183,9 @@ pub struct StoreMetrics {
     /// Opens that fell back to a log scan because the manifest was
     /// missing or unreadable.
     pub manifest_fallbacks: Counter,
+    /// Bytes reclaimed by segment GC (superseded records rewritten away
+    /// after a full snapshot).
+    pub reclaimed_bytes: Counter,
 }
 
 impl StoreMetrics {
@@ -173,6 +196,7 @@ impl StoreMetrics {
             fsync: self.fsync.snapshot(),
             repaired_bytes: self.repaired_bytes.get(),
             manifest_fallbacks: self.manifest_fallbacks.get(),
+            reclaimed_bytes: self.reclaimed_bytes.get(),
         }
     }
 }
@@ -190,6 +214,8 @@ pub struct RunMetrics {
     pub workers: Vec<WorkerMetrics>,
     /// One entry per input stream, indexed by feeder position.
     pub streams: Vec<StreamMetrics>,
+    /// One entry per executor shard (event-loop thread).
+    pub shards: Vec<ShardMetrics>,
     /// Outputs emitted (all workers).
     pub outputs: Counter,
     /// Per-output latency vs schedule, nanoseconds (paced runs only).
@@ -204,8 +230,14 @@ pub struct RunMetrics {
 
 impl RunMetrics {
     /// A registry shaped for a run: `partition_of[w]` gives worker `w`'s
-    /// partition, `n_streams` the input stream count.
-    pub fn for_shape(info: RunInfo, partition_of: &[usize], n_streams: usize) -> Self {
+    /// partition, `n_streams` the input stream count, `n_shards` the
+    /// executor shard (event-loop thread) count.
+    pub fn for_shape(
+        info: RunInfo,
+        partition_of: &[usize],
+        n_streams: usize,
+        n_shards: usize,
+    ) -> Self {
         RunMetrics {
             info,
             epoch: Instant::now(),
@@ -228,6 +260,7 @@ impl RunMetrics {
                     rate: RateEstimator::default(),
                 })
                 .collect(),
+            shards: (0..n_shards).map(|_| ShardMetrics::default()).collect(),
             outputs: Counter::default(),
             output_latency: Histogram::default(),
             store: Arc::new(StoreMetrics::default()),
@@ -277,6 +310,17 @@ impl RunMetrics {
                     rate_eps: s.rate.rate_eps(),
                 })
                 .collect(),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardSnapshot {
+                    polls: s.polls.get(),
+                    steals: s.steals.get(),
+                    batch_msgs: s.batch_msgs.get(),
+                    run_queue_depth: s.run_queue_depth.get(),
+                    run_queue_depth_max: s.run_queue_depth_max.get(),
+                })
+                .collect(),
             outputs: self.outputs.get(),
             output_latency: self.output_latency.snapshot(),
             store: self.store.snapshot(),
@@ -323,6 +367,21 @@ pub struct StreamSnapshot {
     pub rate_eps: f64,
 }
 
+/// Plain-data copy of one executor shard's scheduler counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSnapshot {
+    /// Worker polls performed.
+    pub polls: u64,
+    /// Workers stolen from other shards.
+    pub steals: u64,
+    /// Messages processed across all polls.
+    pub batch_msgs: u64,
+    /// Run-queue depth at last flush.
+    pub run_queue_depth: u64,
+    /// Maximum sampled run-queue depth.
+    pub run_queue_depth_max: u64,
+}
+
 /// Plain-data copy of the durable-store metrics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StoreSnapshot {
@@ -334,6 +393,8 @@ pub struct StoreSnapshot {
     pub repaired_bytes: u64,
     /// Manifest-fallback opens.
     pub manifest_fallbacks: u64,
+    /// Bytes reclaimed by segment GC.
+    pub reclaimed_bytes: u64,
 }
 
 /// Plain-data copy of one worker's trace ring.
@@ -361,6 +422,8 @@ pub struct MetricsSnapshot {
     pub workers: Vec<WorkerSnapshot>,
     /// Per-stream counters, indexed by feeder position.
     pub streams: Vec<StreamSnapshot>,
+    /// Per-shard scheduler counters, indexed by shard.
+    pub shards: Vec<ShardSnapshot>,
     /// Outputs emitted.
     pub outputs: u64,
     /// Per-output latency histogram, nanoseconds.
@@ -465,6 +528,22 @@ impl MetricsSnapshot {
             e.sample("flumina_partition_queue_depth_max", &[("partition", p.to_string())], max as f64);
         }
 
+        let per_shard = |e: &mut Exposition,
+                         name: &str,
+                         help: &str,
+                         ty: MetricType,
+                         pick: &dyn Fn(&ShardSnapshot) -> u64| {
+            e.family(name, help, ty);
+            for (s, ss) in self.shards.iter().enumerate() {
+                e.sample(name, &[("shard", s.to_string())], pick(ss) as f64);
+            }
+        };
+        per_shard(&mut e, "flumina_shard_polls_total", "Worker polls performed per executor shard.", MetricType::Counter, &|s| s.polls);
+        per_shard(&mut e, "flumina_shard_steals_total", "Workers stolen from other shards' run queues, per thief shard.", MetricType::Counter, &|s| s.steals);
+        per_shard(&mut e, "flumina_shard_batch_messages_total", "Messages processed across all polls per executor shard.", MetricType::Counter, &|s| s.batch_msgs);
+        per_shard(&mut e, "flumina_shard_run_queue_depth", "Run-queue depth per executor shard at the last flush point.", MetricType::Gauge, &|s| s.run_queue_depth);
+        per_shard(&mut e, "flumina_shard_run_queue_depth_max", "Largest run-queue depth sampled per executor shard.", MetricType::Gauge, &|s| s.run_queue_depth_max);
+
         e.family("flumina_stream_events_total", "Events fed per input stream.", MetricType::Counter);
         for (i, s) in self.streams.iter().enumerate() {
             e.sample("flumina_stream_events_total", &[("stream", i.to_string())], s.events as f64);
@@ -490,6 +569,8 @@ impl MetricsSnapshot {
         e.sample("flumina_store_repaired_bytes_total", &[], self.store.repaired_bytes as f64);
         e.family("flumina_store_manifest_fallbacks_total", "Store opens that fell back to a full log scan.", MetricType::Counter);
         e.sample("flumina_store_manifest_fallbacks_total", &[], self.store.manifest_fallbacks as f64);
+        e.family("flumina_store_reclaimed_bytes_total", "Bytes reclaimed by segment GC after full snapshots.", MetricType::Counter);
+        e.sample("flumina_store_reclaimed_bytes_total", &[], self.store.reclaimed_bytes as f64);
 
         e.family("flumina_trace_events_total", "Protocol span events retained in trace rings, by kind.", MetricType::Counter);
         for kind in [TraceKind::Fork, TraceKind::Join, TraceKind::Checkpoint, TraceKind::Crash, TraceKind::Recovery] {
@@ -552,7 +633,7 @@ mod tests {
             workers: 3,
             partitions: 2,
         };
-        RunMetrics::for_shape(info, &[0, 0, 1], 2)
+        RunMetrics::for_shape(info, &[0, 0, 1], 2, 2)
     }
 
     #[test]
@@ -600,7 +681,7 @@ mod tests {
             workers: 1,
             partitions: 1,
         };
-        let m = RunMetrics::for_shape(info, &[0], 1);
+        let m = RunMetrics::for_shape(info, &[0], 1, 1);
         m.workers[0].msgs.set(5);
         m.workers[0].queue_depth.set(2);
         m.workers[0].queue_depth_max.ratchet(3);

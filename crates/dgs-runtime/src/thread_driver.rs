@@ -1,7 +1,26 @@
-//! Run a synchronization plan on real OS threads.
+//! Run a synchronization plan on a sharded thread-per-core executor.
 //!
-//! One thread per worker; one thread per input stream feeds events and
-//! heartbeats — at full speed by default, or paced against the wall
+//! A fixed pool of N event-loop threads (N = available parallelism by
+//! default, [`ThreadRunOptions::executor_threads`] to override) drives
+//! every plan worker as a poll-able state machine: each worker is a
+//! `WorkerTask` whose `poll` drains a bounded batch of messages and
+//! reports whether more are queued. Each executor shard owns a run
+//! queue of ready workers, parks on a condvar when idle, and steals
+//! from busier shards so one hot root cannot starve its shard-mates.
+//! Workers are placed shard-aware at startup (`place_workers`'s
+//! logic): each dependence component's subtree is co-located — its
+//! edges are the chatty ones — and only oversized components are split.
+//! Readiness is edge-driven: every publish into a worker's inbox fires
+//! a waker that re-enqueues the worker on its current shard, so idle
+//! shards genuinely block instead of spinning.
+//!
+//! Feeder threads are likewise capped at the shard count (streams are
+//! merged per feeder, preserving per-stream order — the only order the
+//! protocol needs), so total OS threads are O(executor_threads),
+//! independent of plan width. That is what lets a thousand-root forest
+//! plan run on a host that would collapse under a thread per worker.
+//!
+//! Feeding happens at full speed by default, or paced against the wall
 //! clock when [`ThreadRunOptions::pace_ns_per_tick`] is set — so arrival
 //! interleavings across workers are genuinely nondeterministic; the
 //! output multiset must nevertheless equal the sequential specification,
@@ -9,10 +28,10 @@
 //!
 //! # Delivery plane
 //!
-//! Interchangeable [`ChannelMode`]s connect the threads. The default,
-//! [`ChannelMode::Auto`], resolves per host — the lock-free per-edge
-//! rings when more than one hardware thread is available, the mutex
-//! per-edge deques on a single-core host — and records the resolution
+//! Interchangeable [`ChannelMode`]s connect the shards. The default,
+//! [`ChannelMode::Auto`], resolves per run — the lock-free per-edge
+//! rings when the executor runs more than one shard, the mutex
+//! per-edge deques on a single shard — and records the resolution
 //! in [`RunTiming::channel_mode`]. The concrete planes:
 //!
 //! * [`ChannelMode::PerEdge`] / [`ChannelMode::PerEdgeMutex`] — every
@@ -46,11 +65,12 @@
 //! driver thread blocks on each partition's condvar in turn — partitions
 //! drain independently, there is no polling loop anywhere on the
 //! termination path, and a surrendered message (see below) re-credits
-//! only its own partition. Sends to a worker whose thread has already
-//! died (it panicked, or teardown is in progress) are *surrendered*
-//! rather than `expect`ed: the partition counter is re-credited for every
-//! undeliverable message so quiescence is still reached, and the worker's
-//! panic (if any) propagates when the thread scope joins.
+//! only its own partition. Sends to a worker whose task has already
+//! been torn down (it panicked, or teardown is in progress) are
+//! *surrendered* rather than `expect`ed: the partition counter is
+//! re-credited for every undeliverable message so quiescence is still
+//! reached, and the worker's panic (if any) is contained by the shard
+//! that observed it and re-raised by the driver after teardown.
 //!
 //! Forest plans are seeded per root: the initial (or recovered) state is
 //! chain-forked along the partition predicates
@@ -60,11 +80,15 @@
 //! *every* partition root's joins; each checkpoint is tagged with the
 //! root that took it.
 
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, Sender, Waker};
 use crossbeam::edge;
 
 use dgs_core::event::{StreamItem, Timestamp};
@@ -97,10 +121,44 @@ enum InboundPort<T, P, S> {
 }
 
 impl<T, P, S> InboundPort<T, P, S> {
-    fn recv(&mut self) -> Option<ThreadMsg<T, P, S>> {
+    /// Batched non-blocking receive: append up to `max` messages to
+    /// `out`, returning how many arrived (`0` = empty-for-now) or
+    /// `Err(())` once every sender is gone and the port is drained. On
+    /// the per-edge plane this claims the whole batch with one atomic
+    /// operation and drains each edge under a single lock — the
+    /// difference between a polling executor matching or trailing the
+    /// old dedicated-thread receive loop.
+    fn try_recv_batch(
+        &mut self,
+        out: &mut VecDeque<ThreadMsg<T, P, S>>,
+        max: usize,
+    ) -> Result<usize, ()> {
         match self {
-            InboundPort::Ticketed(rx) => rx.recv().ok(),
-            InboundPort::Edge(inbox) => inbox.recv().ok(),
+            InboundPort::Ticketed(rx) => {
+                let mut n = 0;
+                while n < max {
+                    match rx.try_recv() {
+                        Ok(Some(m)) => {
+                            out.push_back(m);
+                            n += 1;
+                        }
+                        Ok(None) => break,
+                        Err(_) if n == 0 => return Err(()),
+                        Err(_) => break,
+                    }
+                }
+                Ok(n)
+            }
+            InboundPort::Edge(inbox) => inbox.try_recv_batch(out, max).map_err(|_| ()),
+        }
+    }
+
+    /// Install the readiness hook: fired on every publish into this
+    /// port and on the disconnect of its last sender.
+    fn set_waker(&self, waker: Waker) {
+        match self {
+            InboundPort::Ticketed(rx) => rx.set_waker(waker),
+            InboundPort::Edge(inbox) => inbox.set_waker(waker),
         }
     }
 
@@ -116,17 +174,20 @@ impl<T, P, S> InboundPort<T, P, S> {
 /// Delivery discipline connecting worker threads.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum ChannelMode {
-    /// Pick the plane that measures fastest on this host (the default):
-    /// the lock-free rings of [`ChannelMode::PerEdge`] when more than one
-    /// hardware thread is available, the mutex deques of
-    /// [`ChannelMode::PerEdgeMutex`] on a single-core host — where
+    /// Pick the plane that measures fastest for this run (the default):
+    /// the lock-free rings of [`ChannelMode::PerEdge`] when the executor
+    /// runs more than one shard, the mutex deques of
+    /// [`ChannelMode::PerEdgeMutex`] on a single shard — where
     /// lock-freedom has no cache-line contention to avoid and the ring's
-    /// park/notify slow path measured 20–30% behind the mutex plane on
+    /// park/notify slow path measured 5–20% behind the mutex plane on
     /// unpaced throughput (the `per-edge-ring` vs `per-edge` cells of the
-    /// committed trajectories). Resolution happens once per
-    /// [`run_threads`] call via [`ChannelMode::resolve`]; the resolved
-    /// mode is recorded in [`RunTiming::channel_mode`] so benchmark
-    /// artifacts always name a concrete plane.
+    /// committed trajectories). The shard count, not the raw hardware
+    /// thread count, is the honest signal: `--executor-threads 1` on a
+    /// many-core host has exactly one consumer loop, so the single-shard
+    /// arm applies. Resolution happens once per [`run_threads`] call via
+    /// [`ChannelMode::resolve`]; the resolved mode is recorded in
+    /// [`RunTiming::channel_mode`] so benchmark artifacts always name a
+    /// concrete plane.
     #[default]
     Auto,
     /// One lock-free SPSC ring per `(sender, receiver)` edge
@@ -162,14 +223,14 @@ impl ChannelMode {
         }
     }
 
-    /// Resolve [`ChannelMode::Auto`] to a concrete delivery plane for
-    /// this host: the lock-free rings with parallelism to exploit, the
-    /// mutex deques without. Concrete modes return themselves.
-    pub fn resolve(self) -> ChannelMode {
+    /// Resolve [`ChannelMode::Auto`] to a concrete delivery plane for a
+    /// run with `executor_threads` shards: the lock-free rings with
+    /// parallelism to exploit, the mutex deques without. Concrete modes
+    /// return themselves.
+    pub fn resolve(self, executor_threads: usize) -> ChannelMode {
         match self {
             ChannelMode::Auto => {
-                let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-                if hw > 1 {
+                if executor_threads > 1 {
                     ChannelMode::PerEdge
                 } else {
                     ChannelMode::PerEdgeMutex
@@ -216,6 +277,53 @@ impl<T, P, S> Outbound<T, P, S> {
                 match tx.send_many(run) {
                     Ok(()) => 0,
                     Err(edge::SendError(rest)) => rest.len(),
+                }
+            }
+        }
+    }
+
+    /// Non-blocking variant of [`send_run`](Self::send_run) for
+    /// multiplexing producers: push from the front of `queue` while the
+    /// route has room, never parking. Returns `(pushed, dead)` — `dead`
+    /// means the destination inbox is gone and the stream cannot be
+    /// delivered (the ticketed plane is unbounded, so it either drains
+    /// the queue or reports dead; a bounded edge may also stop early
+    /// with the unsent suffix left in `queue`).
+    fn try_send_run(
+        &self,
+        dst: usize,
+        queue: &mut VecDeque<ThreadMsg<T, P, S>>,
+    ) -> (usize, bool) {
+        match self {
+            Outbound::Ticketed(senders) => {
+                let mut pushed = 0;
+                while let Some(msg) = queue.pop_front() {
+                    if senders[dst].send(msg).is_err() {
+                        return (pushed, true);
+                    }
+                    pushed += 1;
+                }
+                (pushed, false)
+            }
+            Outbound::PerEdge(edges) => {
+                let Some(tx) = edges[dst].as_ref() else {
+                    panic!("no edge to worker {dst}: plan routing bug");
+                };
+                tx.try_send_many(queue)
+            }
+        }
+    }
+
+    /// Park until the route to `dst` has room again, with a bounded
+    /// timeout (no-op on the unbounded ticketed plane). Companion to
+    /// [`try_send_run`](Self::try_send_run): called only when every
+    /// stream a feeder owns is blocked.
+    fn wait_not_full(&self, dst: usize, timeout: Duration) {
+        match self {
+            Outbound::Ticketed(_) => {}
+            Outbound::PerEdge(edges) => {
+                if let Some(tx) = edges[dst].as_ref() {
+                    tx.wait_not_full(timeout);
                 }
             }
         }
@@ -302,6 +410,557 @@ impl InFlight {
 }
 // ---- end quiescence protocol (scanned by `no_sleep_polling_in_quiescence`).
 
+/// Messages a worker drains per scheduling turn before yielding the
+/// shard to its run-queue-mates.
+const POLL_BUDGET: usize = 128;
+/// How long an idle shard parks before re-scanning for stealable work
+/// queued on other shards while it was blocked.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+/// Shard-metric flush cadence, in polls.
+const SHARD_FLUSH_EVERY: u64 = 64;
+/// Messages per unpaced feeder batch (paced feeders send item by item:
+/// each item has its own release time).
+const FEED_BATCH: usize = 64;
+/// How long a feeder parks when *every* stream it multiplexes is
+/// blocked on a full ingress edge; bounded so whichever edge drains
+/// first resumes the rotation.
+const INGRESS_PARK: Duration = Duration::from_micros(200);
+
+/// One shard's run queue: worker ids ready to be polled, plus the
+/// condvar an idle shard parks on.
+struct ShardQueue {
+    queue: Mutex<VecDeque<usize>>,
+    ready: Condvar,
+}
+
+/// The executor's shared scheduling state. Wakers capture an
+/// `Arc<Scheduler>`; everything else borrows it through the scope.
+struct Scheduler {
+    shards: Vec<ShardQueue>,
+    /// Which shard currently owns each worker (stealing reassigns).
+    shard_of: Vec<AtomicUsize>,
+    /// Scheduled-or-queued flag per worker: a waker enqueues only on
+    /// the false→true edge, so a worker sits in at most one run queue.
+    /// The polling shard clears it *before* draining, so a publish that
+    /// races the drain either gets drained or re-enqueues the worker —
+    /// never a lost wakeup.
+    scheduled: Vec<AtomicBool>,
+    /// Workers still running; shards exit when this reaches zero.
+    live: AtomicUsize,
+    /// A worker panicked: shards tear down instead of draining.
+    failed: AtomicBool,
+}
+
+impl Scheduler {
+    fn new(placement: &[usize], shards: usize) -> Scheduler {
+        Scheduler {
+            shards: (0..shards)
+                .map(|_| ShardQueue { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() })
+                .collect(),
+            shard_of: placement.iter().map(|&s| AtomicUsize::new(s)).collect(),
+            scheduled: placement.iter().map(|_| AtomicBool::new(false)).collect(),
+            live: AtomicUsize::new(placement.len()),
+            failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Mark worker `w` ready: enqueue it on its current shard unless it
+    /// is already scheduled or queued.
+    fn wake(&self, w: usize) {
+        if !self.scheduled[w].swap(true, Ordering::SeqCst) {
+            let sq = &self.shards[self.shard_of[w].load(Ordering::SeqCst)];
+            sq.queue.lock().expect("shard run queue poisoned").push_back(w);
+            sq.ready.notify_one();
+        }
+    }
+
+    /// A worker finished; the last one out wakes every parked shard so
+    /// they can observe `live == 0` and exit.
+    fn retire(&self) {
+        if self.live.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.wake_all();
+        }
+    }
+
+    /// Flip the run to failed and wake every shard for teardown.
+    fn fail(&self) {
+        self.failed.store(true, Ordering::SeqCst);
+        self.wake_all();
+    }
+
+    fn wake_all(&self) {
+        for sq in &self.shards {
+            drop(sq.queue.lock().expect("shard run queue poisoned"));
+            sq.ready.notify_all();
+        }
+    }
+}
+
+/// Assign each worker to a shard. Dependence components (plan
+/// partitions) are kept together — their edges carry the fork/join
+/// chatter, so co-locating them keeps notifications shard-local — and
+/// only components larger than an even share are split. Chunks are then
+/// bin-packed longest-first onto the least-loaded shard. Deterministic.
+fn place_workers(part_of: &[usize], partitions: usize, shards: usize) -> Vec<usize> {
+    let n = part_of.len();
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); partitions];
+    for (w, &p) in part_of.iter().enumerate() {
+        groups[p].push(w);
+    }
+    let target = n.div_ceil(shards.max(1)).max(1);
+    let mut chunks: Vec<Vec<usize>> = Vec::new();
+    for g in &groups {
+        for c in g.chunks(target) {
+            chunks.push(c.to_vec());
+        }
+    }
+    chunks.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    let mut load = vec![0usize; shards.max(1)];
+    let mut placement = vec![0usize; n];
+    for c in chunks {
+        let s = (0..load.len()).min_by_key(|&s| load[s]).expect("at least one shard");
+        load[s] += c.len();
+        for w in c {
+            placement[w] = s;
+        }
+    }
+    placement
+}
+
+/// What one scheduling turn of a worker observed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum TaskPoll {
+    /// Inbox empty; the waker will re-enqueue the worker on the next
+    /// publish.
+    Pending,
+    /// Budget exhausted with messages still queued; re-enqueue now.
+    HasMore,
+    /// Shutdown received (or every sender is gone): the worker is done.
+    Done,
+}
+
+/// A plan worker as a resumable state machine: the per-message body of
+/// the old worker thread loop, minus the blocking receive. A shard
+/// polls it for a bounded batch; all protocol invariants (watermarked
+/// forwarding inside [`WorkerCore`], surrender-not-panic on dead
+/// destinations, per-partition in-flight accounting) are inherited
+/// unchanged from the loop this was extracted from.
+struct WorkerTask<Prog>
+where
+    Prog: DgsProgram,
+{
+    id: WorkerId,
+    core: WorkerCore<Prog>,
+    port: InboundPort<Prog::Tag, Prog::Payload, Prog::State>,
+    // Reusable scratch for batched receives: filled by
+    // `InboundPort::try_recv_batch`, fully drained within the same
+    // `poll` call (never carries messages across polls).
+    buf: VecDeque<ThreadMsg<Prog::Tag, Prog::Payload, Prog::State>>,
+    routes: Outbound<Prog::Tag, Prog::Payload, Prog::State>,
+    in_flight: Arc<InFlight>,
+    out_tx: Sender<(Prog::Out, Timestamp, Instant)>,
+    cp_tx: Sender<(WorkerId, Prog::State, Timestamp)>,
+    metrics: Option<Arc<RunMetrics>>,
+    pace: Option<u64>,
+    start: Instant,
+    flush_every: u64,
+    // Task-local effect tallies, flushed into the registry every
+    // `flush_every` messages and read back by the shard at `Done`.
+    msgs: u64,
+    updates: u64,
+    joins: u64,
+    forks: u64,
+}
+
+impl<Prog> WorkerTask<Prog>
+where
+    Prog: DgsProgram + Send + Sync + 'static,
+    Prog::State: Send,
+    Prog::Out: Send,
+{
+    /// Drain up to `budget` messages from the inbox, claiming them in
+    /// batches so the per-message channel overhead (claim-counter
+    /// atomics, lock round-trips) is paid once per batch.
+    fn poll(&mut self, budget: usize) -> TaskPoll {
+        let mut left = budget;
+        while left > 0 {
+            let n = match self.port.try_recv_batch(&mut self.buf, left) {
+                // Every sender is gone: teardown is already underway
+                // and nothing more can arrive.
+                Err(()) => return TaskPoll::Done,
+                Ok(0) => return TaskPoll::Pending,
+                Ok(n) => n,
+            };
+            left -= n;
+            while let Some(msg) = self.buf.pop_front() {
+                match msg {
+                    ThreadMsg::Shutdown => {
+                        // Shutdown follows quiescence, so the batch
+                        // should never hold trailing protocol messages
+                        // — but if it does, surrender their in-flight
+                        // credits so quiescence stays reachable.
+                        let trailing = self
+                            .buf
+                            .iter()
+                            .filter(|m| matches!(m, ThreadMsg::Protocol(_)))
+                            .count();
+                        self.in_flight.sub(trailing as u64);
+                        self.buf.clear();
+                        return TaskPoll::Done;
+                    }
+                    ThreadMsg::Protocol(wm) => self.step(wm),
+                }
+            }
+        }
+        TaskPoll::HasMore
+    }
+
+    /// Handle one protocol message: the old worker-loop body, verbatim.
+    fn step(&mut self, wm: WorkerMsg<Prog::Tag, Prog::Payload, Prog::State>) {
+        self.msgs += 1;
+        // Virtual timestamp of the triggering step, for trace spans (0
+        // when it carries none).
+        let mts = if self.metrics.is_some() {
+            match &wm {
+                WorkerMsg::Event(e) => e.ts,
+                WorkerMsg::EventBatch(b) => b.last().map_or(0, |e| e.ts),
+                WorkerMsg::Heartbeat(h) => h.ts,
+                WorkerMsg::JoinRequest { ts, .. } => *ts,
+                WorkerMsg::StateUp { .. } | WorkerMsg::StateDown { .. } => 0,
+            }
+        } else {
+            0
+        };
+        let mut fx = self.core.handle(wm);
+        self.updates += fx.updates;
+        self.joins += fx.joins;
+        self.forks += fx.forks;
+        if let Some(m) = &self.metrics {
+            if fx.forks > 0 {
+                m.trace(self.id.0, TraceKind::Fork, mts);
+            }
+            if fx.joins > 0 {
+                m.trace(self.id.0, TraceKind::Join, mts);
+            }
+            if self.msgs.is_multiple_of(self.flush_every) {
+                let wm = &m.workers[self.id.0];
+                wm.msgs.set(self.msgs);
+                wm.updates.set(self.updates);
+                wm.joins.set(self.joins);
+                wm.forks.set(self.forks);
+                let depth = self.port.depth() as u64;
+                wm.queue_depth.set(depth);
+                wm.queue_depth_max.ratchet(depth);
+            }
+        }
+        // Route in destination runs: consecutive messages to one worker
+        // travel as one batched enqueue (one lock, one wakeup) in
+        // per-edge mode. Order per edge is preserved; that is the only
+        // order the protocol needs.
+        let outgoing = std::mem::take(&mut fx.msgs);
+        let mut iter = outgoing.into_iter().peekable();
+        while let Some((dst, m)) = iter.next() {
+            let mut run = vec![ThreadMsg::Protocol(m)];
+            while let Some((d2, _)) = iter.peek() {
+                if *d2 != dst {
+                    break;
+                }
+                let (_, m2) = iter.next().expect("peeked");
+                run.push(ThreadMsg::Protocol(m2));
+            }
+            self.in_flight.add(run.len() as u64);
+            // A dead destination surrenders the run: re-credit so
+            // quiescence is still reached; the panic (if any) is
+            // re-raised by the driver after teardown.
+            let lost = self.routes.send_run(dst.0, run);
+            self.in_flight.sub(lost as u64);
+        }
+        for (o, ts) in fx.outputs {
+            let at = Instant::now();
+            if let Some(m) = &self.metrics {
+                m.outputs.inc();
+                if let Some(ns) = self.pace {
+                    let scheduled =
+                        ns.checked_mul(ts).map(Duration::from_nanos).unwrap_or(Duration::ZERO);
+                    m.output_latency.record(
+                        at.saturating_duration_since(self.start + scheduled).as_nanos() as u64,
+                    );
+                }
+            }
+            self.out_tx.send((o, ts, at)).expect("output channel closed");
+        }
+        for (state, ts) in fx.checkpoints {
+            if let Some(m) = &self.metrics {
+                m.trace(self.id.0, TraceKind::Checkpoint, ts);
+            }
+            self.cp_tx.send((self.id, state, ts)).expect("checkpoint channel closed");
+        }
+        self.in_flight.dec();
+    }
+
+    /// Final registry flush, mirroring the old at-thread-exit flush.
+    fn finish(&mut self) {
+        if let Some(m) = &self.metrics {
+            let wm = &m.workers[self.id.0];
+            wm.msgs.set(self.msgs);
+            wm.updates.set(self.updates);
+            wm.joins.set(self.joins);
+            wm.forks.set(self.forks);
+            let depth = self.port.depth() as u64;
+            wm.queue_depth.set(depth);
+            wm.queue_depth_max.ratchet(depth);
+        }
+    }
+}
+
+/// The task slab: one slot per worker, locked while a shard polls it.
+/// The mutex is what preserves the single-consumer inbox contract
+/// across work stealing — a worker migrates between shards, but at most
+/// one shard ever drains it at a time. `None` after the task finishes
+/// (the drop releases its inbox, so lingering senders fail fast).
+type TaskSlab<Prog> = Vec<Mutex<Option<WorkerTask<Prog>>>>;
+
+/// Panic payloads captured from worker tasks, re-raised by the driver.
+type PanicList = Mutex<Vec<Box<dyn Any + Send>>>;
+
+/// Per-worker effect counters, written once when each task finishes and
+/// drained by the driver after the scope joins.
+struct EffectStores {
+    msgs: Vec<AtomicU64>,
+    updates: Vec<AtomicU64>,
+    joins: Vec<AtomicU64>,
+    forks: Vec<AtomicU64>,
+}
+
+impl EffectStores {
+    fn zeroed(n: usize) -> EffectStores {
+        let col = |n: usize| (0..n).map(|_| AtomicU64::new(0)).collect();
+        EffectStores { msgs: col(n), updates: col(n), joins: col(n), forks: col(n) }
+    }
+
+    fn store<Prog: DgsProgram>(&self, t: &WorkerTask<Prog>) {
+        self.msgs[t.id.0].store(t.msgs, Ordering::Relaxed);
+        self.updates[t.id.0].store(t.updates, Ordering::Relaxed);
+        self.joins[t.id.0].store(t.joins, Ordering::Relaxed);
+        self.forks[t.id.0].store(t.forks, Ordering::Relaxed);
+    }
+
+    fn drain(&self) -> RunEffects {
+        let col = |cs: &Vec<AtomicU64>| cs.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        RunEffects {
+            msgs: col(&self.msgs),
+            updates: col(&self.updates),
+            joins: col(&self.joins),
+            forks: col(&self.forks),
+        }
+    }
+}
+
+/// One feeder thread's fixed set of streams (capped at one feeder
+/// per shard).
+type FeedSet<Prog> = Vec<
+    Feed<
+        <Prog as DgsProgram>::Tag,
+        <Prog as DgsProgram>::Payload,
+        <Prog as DgsProgram>::State,
+    >,
+>;
+
+/// One input stream as owned by a (capped) feeder thread: its remaining
+/// items, its ingress route, and its destination worker. Feeder threads
+/// are capped at the shard count; each owns a fixed set of streams and
+/// interleaves them — round-robin batches unpaced, a release-time merge
+/// paced — so per-stream send order (the only order assumption 4 of
+/// Theorem 3.5 needs) is preserved exactly.
+struct Feed<T, P, S> {
+    si: usize,
+    dst: usize,
+    route: Outbound<T, P, S>,
+    items: std::vec::IntoIter<StreamItem<T, P>>,
+}
+
+/// Drop every task a slot lock can be had for. Dropping a task drops
+/// its inbox, so senders blocked on it (bounded ingress edges) observe
+/// the disconnect and surrender instead of deadlocking teardown.
+fn drop_all_tasks<Prog: DgsProgram>(tasks: &TaskSlab<Prog>) {
+    for slot in tasks {
+        match slot.try_lock() {
+            Ok(mut g) => drop(g.take()),
+            Err(TryLockError::Poisoned(p)) => drop(p.into_inner().take()),
+            // Held by a shard that is still polling it; that shard
+            // drops the task in its own teardown sweep.
+            Err(TryLockError::WouldBlock) => {}
+        }
+    }
+}
+
+/// One executor shard: pop ready workers off the local run queue, poll
+/// each for a bounded batch, steal from busier shards when idle, park
+/// when there is nothing to steal. Exits when every worker has finished
+/// or the run has failed.
+fn run_shard<Prog>(
+    s: usize,
+    sched: &Scheduler,
+    tasks: &TaskSlab<Prog>,
+    in_flights: &[Arc<InFlight>],
+    metrics: Option<&RunMetrics>,
+    panics: &PanicList,
+    effects: &EffectStores,
+) where
+    Prog: DgsProgram + Send + Sync + 'static,
+    Prog::State: Send,
+    Prog::Out: Send,
+{
+    // If the shard itself unwinds (an executor bug, not a program
+    // panic — those are caught per poll below), fail the run and tear
+    // down so the driver and feeders cannot hang; the panic then
+    // propagates at scope join.
+    struct ShardGuard<'a, Prog: DgsProgram> {
+        sched: &'a Scheduler,
+        tasks: &'a TaskSlab<Prog>,
+        in_flights: &'a [Arc<InFlight>],
+    }
+    impl<Prog: DgsProgram> Drop for ShardGuard<'_, Prog> {
+        fn drop(&mut self) {
+            if std::thread::panicking() {
+                for f in self.in_flights {
+                    f.fail();
+                }
+                self.sched.fail();
+                drop_all_tasks(self.tasks);
+            }
+        }
+    }
+    let _guard = ShardGuard { sched, tasks, in_flights };
+    let (mut polls, mut steals, mut batch_msgs) = (0u64, 0u64, 0u64);
+    let flush = |polls: u64, steals: u64, batch_msgs: u64| {
+        if let Some(m) = metrics {
+            let sm = &m.shards[s];
+            sm.polls.set(polls);
+            sm.steals.set(steals);
+            sm.batch_msgs.set(batch_msgs);
+            let depth =
+                sched.shards[s].queue.lock().map(|q| q.len()).unwrap_or(0) as u64;
+            sm.run_queue_depth.set(depth);
+            sm.run_queue_depth_max.ratchet(depth);
+        }
+    };
+    loop {
+        if sched.failed.load(Ordering::SeqCst) {
+            break;
+        }
+        let local = sched.shards[s].queue.lock().expect("shard run queue poisoned").pop_front();
+        let w = match local {
+            Some(w) => w,
+            None => {
+                // Steal from the back of the busiest-looking neighbour
+                // and take ownership: subsequent wakeups for the stolen
+                // worker land here, which is the "rebalance" half of
+                // stealing — a hot root migrates away from a backlogged
+                // shard rather than bouncing per poll.
+                let mut stolen = None;
+                for off in 1..sched.shards.len() {
+                    let v = (s + off) % sched.shards.len();
+                    if let Some(w) = sched.shards[v]
+                        .queue
+                        .lock()
+                        .expect("shard run queue poisoned")
+                        .pop_back()
+                    {
+                        stolen = Some(w);
+                        break;
+                    }
+                }
+                match stolen {
+                    Some(w) => {
+                        steals += 1;
+                        sched.shard_of[w].store(s, Ordering::SeqCst);
+                        w
+                    }
+                    None => {
+                        if sched.live.load(Ordering::SeqCst) == 0 {
+                            break;
+                        }
+                        let q = sched.shards[s].queue.lock().expect("shard run queue poisoned");
+                        if q.is_empty()
+                            && sched.live.load(Ordering::SeqCst) != 0
+                            && !sched.failed.load(Ordering::SeqCst)
+                        {
+                            // Timed park: a wakeup lands on the condvar,
+                            // but stealable work queued elsewhere does
+                            // not, so re-scan periodically.
+                            let _ = sched.shards[s]
+                                .ready
+                                .wait_timeout(q, IDLE_PARK)
+                                .expect("shard run queue poisoned");
+                        }
+                        continue;
+                    }
+                }
+            }
+        };
+        // Clear the scheduled flag *before* draining: a publish racing
+        // the drain either lands in the batch or re-enqueues `w`.
+        sched.scheduled[w].store(false, Ordering::SeqCst);
+        let mut slot = match tasks[w].try_lock() {
+            Ok(g) => g,
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(TryLockError::WouldBlock) => {
+                // Another shard holds this task (a stealing race); leave
+                // it queued rather than blocking the whole shard.
+                sched.wake(w);
+                continue;
+            }
+        };
+        let Some(task) = slot.as_mut() else { continue };
+        polls += 1;
+        let before = task.msgs;
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| task.poll(POLL_BUDGET)));
+        match outcome {
+            Ok(state) => {
+                batch_msgs += task.msgs - before;
+                match state {
+                    TaskPoll::Pending => {}
+                    TaskPoll::HasMore => {
+                        drop(slot);
+                        sched.wake(w);
+                    }
+                    TaskPoll::Done => {
+                        let mut done = slot.take().expect("task checked above");
+                        done.finish();
+                        effects.store(&done);
+                        // Dropping the task drops its inbox: senders to
+                        // a finished worker fail fast and surrender.
+                        drop(done);
+                        drop(slot);
+                        sched.retire();
+                    }
+                }
+            }
+            Err(payload) => {
+                // The program panicked inside this worker. Contain it:
+                // capture the payload for the driver to re-raise, fail
+                // every partition so quiescence stops waiting, and tear
+                // down so blocked senders surrender.
+                drop(slot.take());
+                drop(slot);
+                panics.lock().expect("panic list poisoned").push(payload);
+                for f in in_flights {
+                    f.fail();
+                }
+                sched.fail();
+            }
+        }
+        if polls % SHARD_FLUSH_EVERY == 0 {
+            flush(polls, steals, batch_msgs);
+        }
+    }
+    flush(polls, steals, batch_msgs);
+    if sched.failed.load(Ordering::SeqCst) {
+        drop_all_tasks(tasks);
+    }
+}
+
 /// Result of a threaded run.
 #[derive(Debug)]
 pub struct ThreadRunResult<S, Out> {
@@ -365,6 +1024,13 @@ pub struct RunTiming {
     /// `Auto` request still produces an artifact naming a concrete
     /// plane.
     pub channel_mode: ChannelMode,
+    /// The number of executor shards the run actually used: the
+    /// requested [`ThreadRunOptions::executor_threads`] (or the host
+    /// parallelism) clamped to the worker count. Recorded so artifacts
+    /// carry the axis the throughput was measured on, and so the
+    /// [`ChannelMode::Auto`] resolution above can be audited against
+    /// the shard count that drove it.
+    pub executor_threads: usize,
     /// Sources started → global quiescence.
     pub wall: Duration,
     /// Per-output latency in wall nanoseconds, one entry per output:
@@ -394,6 +1060,13 @@ pub struct ThreadRunOptions<S> {
     pub record_timing: bool,
     /// Delivery discipline (see [`ChannelMode`]).
     pub channel_mode: ChannelMode,
+    /// Number of executor shard threads driving the plan's workers.
+    /// `None` (the default) uses the host's available parallelism; the
+    /// effective count is clamped to `[1, worker count]` and recorded
+    /// in [`RunTiming::executor_threads`]. Feeder threads are capped at
+    /// the same count, so total OS threads for a run are
+    /// O(executor_threads) regardless of plan width.
+    pub executor_threads: Option<usize>,
     /// Capacity of each feeder→worker ingress edge in
     /// [`ChannelMode::PerEdge`] mode: a full edge blocks the feeder
     /// (backpressure) instead of growing an unbounded queue. Ignored in
@@ -422,6 +1095,7 @@ impl<S> Default for ThreadRunOptions<S> {
             pace_ns_per_tick: None,
             record_timing: false,
             channel_mode: ChannelMode::default(),
+            executor_threads: None,
             ingress_capacity: 1024,
             metrics: true,
             metrics_flush_every: 256,
@@ -461,13 +1135,20 @@ where
     >;
 
     let n = plan.len();
-    // `Auto` resolves once per run, against this host's parallelism.
-    let channel_mode = options.channel_mode.resolve();
+    // Shard count: requested (or host parallelism), clamped to the
+    // worker count — more shards than workers would only park.
+    let default_par = std::thread::available_parallelism().map(|v| v.get()).unwrap_or(1);
+    let shards_n = options.executor_threads.unwrap_or(default_par).max(1).min(n.max(1));
+    // `Auto` resolves once per run, against the shard count actually
+    // consuming the channels.
+    let channel_mode = options.channel_mode.resolve(shards_n);
     // One quiescence counter per plan partition: the protocol never sends
     // across trees, so each tree seeds, runs, and drains independently.
     let part_of: Vec<usize> = (0..n).map(|i| plan.partition_index(WorkerId(i))).collect();
     let in_flights: Vec<Arc<InFlight>> =
         (0..plan.partition_count()).map(|_| Arc::new(InFlight::new())).collect();
+    let placement = place_workers(&part_of, plan.partition_count(), shards_n);
+    let sched = Arc::new(Scheduler::new(&placement, shards_n));
     let (out_tx, out_rx) = unbounded::<(Prog::Out, Timestamp, Instant)>();
     let (cp_tx, cp_rx) = unbounded::<(WorkerId, Prog::State, Timestamp)>();
     // Live metrics registry: shared with every worker and feeder, and
@@ -484,24 +1165,20 @@ where
             },
             &part_of,
             streams.len(),
+            shards_n,
         ))
     });
     if let (Some(m), Some(slot)) = (&metrics, &options.metrics_slot) {
         let _ = slot.set(m.clone());
     }
     let flush_every = options.metrics_flush_every.max(1);
-    // Effect counters are accumulated *thread-locally* in each worker
-    // loop and stored here once at thread exit — per-message atomic RMWs
-    // on adjacent slots would put false sharing on the exact hot path
-    // the wallclock benchmarks measure. The driver reads them only after
+    // Effect counters are accumulated *task-locally* and stored here
+    // once when each task finishes — per-message atomic RMWs on
+    // adjacent slots would put false sharing on the exact hot path the
+    // wallclock benchmarks measure. The driver reads them only after
     // the scope joins.
-    let counters = |n: usize| -> Arc<Vec<AtomicU64>> {
-        Arc::new((0..n).map(|_| AtomicU64::new(0)).collect())
-    };
-    let msg_counts = counters(n);
-    let update_counts = counters(n);
-    let join_counts = counters(n);
-    let fork_counts = counters(n);
+    let effects = EffectStores::zeroed(n);
+    let panics: PanicList = Mutex::new(Vec::new());
 
     // Wire the message plane. Per worker: an inbound port, an outgoing
     // route table, plus driver-held routes (seed + shutdown) and one
@@ -582,6 +1259,51 @@ where
         }
     }
 
+    let pace = options.pace_ns_per_tick;
+    let start = Instant::now();
+    // Build the task slab: every worker becomes a poll-able state
+    // machine with its readiness waker installed *before* anything is
+    // sent, so even the seed sends below enqueue their targets.
+    let tasks: TaskSlab<Prog> = plan
+        .iter()
+        .map(|(id, _)| {
+            let mut core = WorkerCore::from_plan(prog.clone(), plan, id);
+            if options.checkpoint_root && plan.roots().contains(&id) {
+                core.checkpoint_on_join = true;
+            }
+            let port = match (inbounds[id.0].take(), edge_inboxes[id.0].take()) {
+                (Some(rx), _) => InboundPort::Ticketed(rx),
+                (None, Some(inbox)) => InboundPort::Edge(inbox),
+                (None, None) => unreachable!("worker without an inbound port"),
+            };
+            let sched_for_waker = sched.clone();
+            let w = id.0;
+            port.set_waker(Arc::new(move || sched_for_waker.wake(w)));
+            let routes = std::mem::replace(
+                &mut worker_routes[id.0],
+                Outbound::Ticketed(Vec::new()),
+            );
+            Mutex::new(Some(WorkerTask {
+                id,
+                core,
+                port,
+                buf: VecDeque::new(),
+                routes,
+                in_flight: in_flights[part_of[id.0]].clone(),
+                out_tx: out_tx.clone(),
+                cp_tx: cp_tx.clone(),
+                metrics: metrics.clone(),
+                pace,
+                start,
+                flush_every,
+                msgs: 0,
+                updates: 0,
+                joins: 0,
+                forks: 0,
+            }))
+        })
+        .collect();
+
     // Seed each partition root with its share of the initial state
     // (chain-forked along the partition predicates; a single-root plan
     // receives the state whole).
@@ -597,221 +1319,168 @@ where
         in_flight.sub(lost as u64);
     }
 
-    let pace = options.pace_ns_per_tick;
-    let start = Instant::now();
+    // Group streams onto capped feeder threads: at most one feeder per
+    // shard, each owning a fixed set of streams — plan width no longer
+    // dictates the feeder count any more than the worker count.
+    let n_feeders = if streams.is_empty() { 0 } else { streams.len().min(shards_n) };
+    let mut feeds: Vec<FeedSet<Prog>> = (0..n_feeders).map(|_| Vec::new()).collect();
+    for (si, (stream, (route, dst))) in streams
+        .into_iter()
+        .zip(feeder_routes.drain(..).zip(feeder_dsts.iter().copied()))
+        .enumerate()
+    {
+        feeds[si % n_feeders].push(Feed { si, dst, route, items: stream.items.into_iter() });
+    }
+
     std::thread::scope(|scope| {
-        // Workers.
-        for (id, _) in plan.iter() {
-            let mut core = WorkerCore::from_plan(prog.clone(), plan, id);
-            if options.checkpoint_root && plan.roots().contains(&id) {
-                core.checkpoint_on_join = true;
-            }
-            let mut port = match (inbounds[id.0].take(), edge_inboxes[id.0].take()) {
-                (Some(rx), _) => InboundPort::Ticketed(rx),
-                (None, Some(inbox)) => InboundPort::Edge(inbox),
-                (None, None) => unreachable!("worker without an inbound port"),
-            };
-            let routes = std::mem::replace(
-                &mut worker_routes[id.0],
-                Outbound::Ticketed(Vec::new()),
-            );
-            let in_flight = in_flights[part_of[id.0]].clone();
-            let out_tx = out_tx.clone();
-            let cp_tx = cp_tx.clone();
-            let msg_counts = msg_counts.clone();
-            let update_counts = update_counts.clone();
-            let join_counts = join_counts.clone();
-            let fork_counts = fork_counts.clone();
-            let metrics = metrics.clone();
+        let tasks = &tasks;
+        let in_flights_ref = &in_flights[..];
+        let part_of = &part_of;
+        let panics = &panics;
+        let effects = &effects;
+        let metrics_ref = metrics.as_deref();
+        // Executor shards.
+        for s in 0..shards_n {
+            let sched = sched.clone();
             scope.spawn(move || {
-                // If this thread unwinds (a panicking program handler),
-                // credits it accepted would never be retired and the
-                // driver would hang in `wait_zero` instead of reaching
-                // the scope join that re-raises the panic. The guard
-                // flips the run to failed on the way out.
-                struct PanicGuard(Arc<InFlight>);
-                impl Drop for PanicGuard {
-                    fn drop(&mut self) {
-                        if std::thread::panicking() {
-                            self.0.fail();
-                        }
-                    }
-                }
-                let _guard = PanicGuard(in_flight.clone());
-                // Thread-local effect tally, flushed into the registry
-                // every `flush_every` messages (so mid-run snapshots see
-                // live values) and once more at exit.
-                let (mut msgs, mut updates, mut joins, mut forks) = (0u64, 0u64, 0u64, 0u64);
-                while let Some(msg) = port.recv() {
-                    match msg {
-                        ThreadMsg::Shutdown => break,
-                        ThreadMsg::Protocol(wm) => {
-                            msgs += 1;
-                            // Virtual timestamp of the triggering step,
-                            // for trace spans (0 when it carries none).
-                            let mts = if metrics.is_some() {
-                                match &wm {
-                                    WorkerMsg::Event(e) => e.ts,
-                                    WorkerMsg::EventBatch(b) => {
-                                        b.last().map_or(0, |e| e.ts)
-                                    }
-                                    WorkerMsg::Heartbeat(h) => h.ts,
-                                    WorkerMsg::JoinRequest { ts, .. } => *ts,
-                                    WorkerMsg::StateUp { .. }
-                                    | WorkerMsg::StateDown { .. } => 0,
-                                }
-                            } else {
-                                0
-                            };
-                            let mut fx = core.handle(wm);
-                            updates += fx.updates;
-                            joins += fx.joins;
-                            forks += fx.forks;
-                            if let Some(m) = &metrics {
-                                if fx.forks > 0 {
-                                    m.trace(id.0, TraceKind::Fork, mts);
-                                }
-                                if fx.joins > 0 {
-                                    m.trace(id.0, TraceKind::Join, mts);
-                                }
-                                if msgs % flush_every == 0 {
-                                    let wm = &m.workers[id.0];
-                                    wm.msgs.set(msgs);
-                                    wm.updates.set(updates);
-                                    wm.joins.set(joins);
-                                    wm.forks.set(forks);
-                                    let depth = port.depth() as u64;
-                                    wm.queue_depth.set(depth);
-                                    wm.queue_depth_max.ratchet(depth);
-                                }
-                            }
-                            // Route in destination runs: consecutive
-                            // messages to one worker travel as one
-                            // batched enqueue (one lock, one wakeup) in
-                            // per-edge mode. Order per edge is preserved;
-                            // that is the only order the protocol needs.
-                            let msgs = std::mem::take(&mut fx.msgs);
-                            let mut iter = msgs.into_iter().peekable();
-                            while let Some((dst, m)) = iter.next() {
-                                let mut run = vec![ThreadMsg::Protocol(m)];
-                                while let Some((d2, _)) = iter.peek() {
-                                    if *d2 != dst {
-                                        break;
-                                    }
-                                    let (_, m2) = iter.next().expect("peeked");
-                                    run.push(ThreadMsg::Protocol(m2));
-                                }
-                                in_flight.add(run.len() as u64);
-                                // A dead destination surrenders the run:
-                                // re-credit so quiescence is still
-                                // reached; the panic (if any) surfaces at
-                                // scope join.
-                                let lost = routes.send_run(dst.0, run);
-                                in_flight.sub(lost as u64);
-                            }
-                            for (o, ts) in fx.outputs {
-                                let at = Instant::now();
-                                if let Some(m) = &metrics {
-                                    m.outputs.inc();
-                                    if let Some(ns) = pace {
-                                        let scheduled = ns
-                                            .checked_mul(ts)
-                                            .map(Duration::from_nanos)
-                                            .unwrap_or(Duration::ZERO);
-                                        m.output_latency.record(
-                                            at.saturating_duration_since(start + scheduled)
-                                                .as_nanos()
-                                                as u64,
-                                        );
-                                    }
-                                }
-                                out_tx
-                                    .send((o, ts, at))
-                                    .expect("output channel closed");
-                            }
-                            for (state, ts) in fx.checkpoints {
-                                if let Some(m) = &metrics {
-                                    m.trace(id.0, TraceKind::Checkpoint, ts);
-                                }
-                                cp_tx
-                                    .send((id, state, ts))
-                                    .expect("checkpoint channel closed");
-                            }
-                            in_flight.dec();
-                        }
-                    }
-                }
-                if let Some(m) = &metrics {
-                    let wm = &m.workers[id.0];
-                    wm.msgs.set(msgs);
-                    wm.updates.set(updates);
-                    wm.joins.set(joins);
-                    wm.forks.set(forks);
-                    let depth = port.depth() as u64;
-                    wm.queue_depth.set(depth);
-                    wm.queue_depth_max.ratchet(depth);
-                }
-                msg_counts[id.0].store(msgs, Ordering::Relaxed);
-                update_counts[id.0].store(updates, Ordering::Relaxed);
-                join_counts[id.0].store(joins, Ordering::Relaxed);
-                fork_counts[id.0].store(forks, Ordering::Relaxed);
+                run_shard(s, &sched, tasks, in_flights_ref, metrics_ref, panics, effects)
             });
         }
 
-        // Sources: one feeder thread per stream, full speed unless
-        // paced. Unpaced feeders batch their sends; paced feeders send
-        // item by item (each item has its own release time).
-        let feeders: Vec<_> = streams
+        // Sources: feeder threads capped at the shard count, full speed
+        // unless paced. Unpaced feeders round-robin batched sends across
+        // their streams; paced feeders merge their streams by release
+        // time and send item by item.
+        let feeders: Vec<_> = feeds
             .into_iter()
-            .zip(feeder_routes.drain(..))
-            .zip(feeder_dsts.iter().copied())
-            .enumerate()
-            .map(|(si, ((stream, route), dst))| {
-                let in_flight = in_flights[part_of[dst]].clone();
+            .map(|mut group| {
                 let metrics = metrics.clone();
                 scope.spawn(move || {
-                    const FEED_BATCH: usize = 64;
-                    let mut batch: Vec<Msg<Prog>> = Vec::with_capacity(FEED_BATCH);
-                    // Fold this batch into the stream's metrics: fed-item
+                    // Fold a send into a stream's metrics: fed-item
                     // count and arrival rate, plus the edge's cumulative
                     // stall total (the edge owns the counter; this just
                     // republishes it so snapshots see it live).
-                    let flush = |sent: usize| {
+                    let flush = |f: &Feed<_, _, _>, sent: usize| {
                         if let Some(m) = &metrics {
-                            let sm = &m.streams[si];
+                            let sm = &m.streams[f.si];
                             sm.events.add(sent as u64);
                             sm.rate.record(m.elapsed_ns(), sent as u64);
-                            sm.stalls.set(route.stalls(dst));
+                            sm.stalls.set(f.route.stalls(f.dst));
                         }
                     };
-                    for item in stream.items {
-                        if let Some(ns) = pace {
-                            pace_until(start, item.ts(), ns);
+                    if let Some(ns) = pace {
+                        // Paced: merge the owned streams by release time
+                        // (ties broken by slot, deterministically) so one
+                        // thread paces many sources without reordering
+                        // any single stream.
+                        let mut pending: Vec<Option<StreamItem<_, _>>> = Vec::new();
+                        let mut heap = BinaryHeap::new();
+                        for (i, f) in group.iter_mut().enumerate() {
+                            let nxt = f.items.next();
+                            if let Some(item) = &nxt {
+                                heap.push(Reverse((item.ts(), i)));
+                            }
+                            pending.push(nxt);
                         }
-                        let msg = match item {
-                            StreamItem::Event(e) => WorkerMsg::Event(e),
-                            StreamItem::Heartbeat(h) => WorkerMsg::Heartbeat(h),
-                        };
-                        batch.push(ThreadMsg::Protocol(msg));
-                        if pace.is_some() || batch.len() >= FEED_BATCH {
-                            let sent = batch.len();
-                            in_flight.add(sent as u64);
-                            let lost = route.send_run(dst, batch.drain(..));
+                        while let Some(Reverse((ts, i))) = heap.pop() {
+                            let item = pending[i].take().expect("heap entry has an item");
+                            pace_until(start, ts, ns);
+                            let f = &mut group[i];
+                            let msg = match item {
+                                StreamItem::Event(e) => WorkerMsg::Event(e),
+                                StreamItem::Heartbeat(h) => WorkerMsg::Heartbeat(h),
+                            };
+                            let in_flight = &in_flights_ref[part_of[f.dst]];
+                            in_flight.inc();
+                            let lost = f
+                                .route
+                                .send_run(f.dst, std::iter::once(ThreadMsg::Protocol(msg)));
                             in_flight.sub(lost as u64);
-                            flush(sent - lost);
+                            flush(f, 1 - lost);
                             if lost > 0 {
-                                // The worker is gone; the stream cannot
-                                // be delivered. Surrender quietly — the
-                                // run's failure shows up at scope join.
-                                return;
+                                // The worker is gone; this stream cannot
+                                // be delivered. Surrender it quietly —
+                                // the run's failure surfaces after
+                                // teardown.
+                                continue;
+                            }
+                            if let Some(nxt) = f.items.next() {
+                                heap.push(Reverse((nxt.ts(), i)));
+                                pending[i] = Some(nxt);
+                            }
+                        }
+                    } else {
+                        // Unpaced: rotate *non-blocking* batches across
+                        // the owned streams. A bounded ingress edge that
+                        // fills must not stall the feeder's other
+                        // streams — with feeders capped at the shard
+                        // count, a blocking send would serialize every
+                        // stream in the group behind the slowest
+                        // consumer (measured 20–40% of unpaced
+                        // throughput on the bounded planes) — so a full
+                        // edge keeps its batch pending, the rotation
+                        // moves on, and the feeder parks only when
+                        // every owned stream is blocked, with a bounded
+                        // timeout so whichever edge drains first
+                        // resumes it.
+                        let mut streams: Vec<(Feed<_, _, _>, VecDeque<Msg<Prog>>, bool)> =
+                            group
+                                .into_iter()
+                                .map(|f| (f, VecDeque::with_capacity(FEED_BATCH), false))
+                                .collect();
+                        while !streams.is_empty() {
+                            let mut progress = false;
+                            let mut i = 0;
+                            while i < streams.len() {
+                                let (f, pending, done) = &mut streams[i];
+                                while pending.len() < FEED_BATCH && !*done {
+                                    match f.items.next() {
+                                        Some(StreamItem::Event(e)) => pending.push_back(
+                                            ThreadMsg::Protocol(WorkerMsg::Event(e)),
+                                        ),
+                                        Some(StreamItem::Heartbeat(h)) => pending.push_back(
+                                            ThreadMsg::Protocol(WorkerMsg::Heartbeat(h)),
+                                        ),
+                                        None => *done = true,
+                                    }
+                                }
+                                if pending.is_empty() {
+                                    // Exhausted and fully delivered:
+                                    // retire the stream.
+                                    streams.remove(i);
+                                    progress = true;
+                                    continue;
+                                }
+                                let attempted = pending.len();
+                                let in_flight = &in_flights_ref[part_of[f.dst]];
+                                in_flight.add(attempted as u64);
+                                let (pushed, dead) = f.route.try_send_run(f.dst, pending);
+                                // The unsent suffix stays pending for the
+                                // next rotation; re-credit it (it is
+                                // re-added before the retry).
+                                in_flight.sub((attempted - pushed) as u64);
+                                if pushed > 0 {
+                                    progress = true;
+                                    flush(f, pushed);
+                                }
+                                if dead {
+                                    // The worker is gone; this stream
+                                    // cannot be delivered. Surrender it
+                                    // quietly — the run's failure
+                                    // surfaces after teardown.
+                                    streams.remove(i);
+                                    progress = true;
+                                    continue;
+                                }
+                                i += 1;
+                            }
+                            if !progress {
+                                if let Some((f, _, _)) = streams.first() {
+                                    f.route.wait_not_full(f.dst, INGRESS_PARK);
+                                }
                             }
                         }
                     }
-                    let sent = batch.len();
-                    in_flight.add(sent as u64);
-                    let lost = route.send_run(dst, batch.drain(..));
-                    in_flight.sub(lost as u64);
-                    flush(sent - lost);
                 })
             })
             .collect();
@@ -826,19 +1495,28 @@ where
         for in_flight in &in_flights {
             in_flight.wait_zero();
         }
-        // Teardown: a worker that already exited just leaves its shutdown
-        // message undelivered — nothing to panic about.
+        // Teardown: each worker's task polls the shutdown message and
+        // reports `Done`; a task already torn down just leaves it
+        // undelivered — nothing to panic about.
         for w in 0..n {
             let _ = driver_routes.send_run(w, std::iter::once(ThreadMsg::Shutdown));
         }
     });
     let wall = start.elapsed();
 
+    // A program panic was contained by the shard that observed it so
+    // teardown could finish without deadlock; re-raise it now, exactly
+    // as the old per-worker-thread scope join did.
+    if let Some(payload) = panics.into_inner().expect("panic list poisoned").pop() {
+        std::panic::resume_unwind(payload);
+    }
+
     drop(out_tx);
     drop(cp_tx);
     let stamped: Vec<(Prog::Out, Timestamp, Instant)> = out_rx.iter().collect();
     let timing = options.record_timing.then(|| RunTiming {
         channel_mode,
+        executor_threads: shards_n,
         wall,
         output_latency_ns: pace
             .map(|ns| {
@@ -855,16 +1533,10 @@ where
             })
             .unwrap_or_default(),
     });
-    let drain = |cs: &Arc<Vec<AtomicU64>>| cs.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     ThreadRunResult {
         outputs: stamped.into_iter().map(|(o, ts, _)| (o, ts)).collect(),
         checkpoints: cp_rx.iter().collect(),
-        effects: RunEffects {
-            msgs: drain(&msg_counts),
-            updates: drain(&update_counts),
-            joins: drain(&join_counts),
-            forks: drain(&fork_counts),
-        },
+        effects: effects.drain(),
         timing,
         metrics,
     }
@@ -977,28 +1649,98 @@ mod tests {
         }
     }
 
-    /// `Auto` (the default) resolves to the plane that measures fastest
-    /// on this host — rings with parallelism, mutex deques without — and
-    /// a timed run records the concrete resolution, never `Auto` itself.
+    /// `Auto` (the default) resolves from the executor shard count —
+    /// rings with more than one consuming shard, mutex deques on a
+    /// single shard — and a timed run records the concrete resolution
+    /// plus the shard count, never `Auto` itself. The shard count is
+    /// the honest signal: `executor_threads = 1` on a many-core host
+    /// still has exactly one consumer loop.
     #[test]
-    fn auto_mode_resolves_by_host_parallelism_and_is_recorded() {
-        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        let want = if hw > 1 { ChannelMode::PerEdge } else { ChannelMode::PerEdgeMutex };
+    fn auto_mode_resolves_by_shard_count_and_is_recorded() {
         assert_eq!(ChannelMode::default(), ChannelMode::Auto);
-        assert_eq!(ChannelMode::Auto.resolve(), want);
-        // Concrete modes resolve to themselves.
+        assert_eq!(ChannelMode::Auto.resolve(1), ChannelMode::PerEdgeMutex);
+        assert_eq!(ChannelMode::Auto.resolve(2), ChannelMode::PerEdge);
+        // Concrete modes resolve to themselves at any shard count.
         for m in [ChannelMode::PerEdge, ChannelMode::PerEdgeMutex, ChannelMode::Ticketed] {
-            assert_eq!(m.resolve(), m);
+            assert_eq!(m.resolve(1), m);
+            assert_eq!(m.resolve(8), m);
         }
-        let result = run_threads(
-            Arc::new(KeyCounter),
-            &counter_plan(),
-            workload(),
-            ThreadRunOptions { record_timing: true, ..Default::default() },
+        for (threads, want) in
+            [(1, ChannelMode::PerEdgeMutex), (2, ChannelMode::PerEdge)]
+        {
+            let result = run_threads(
+                Arc::new(KeyCounter),
+                &counter_plan(),
+                workload(),
+                ThreadRunOptions {
+                    record_timing: true,
+                    executor_threads: Some(threads),
+                    ..Default::default()
+                },
+            );
+            let timing = result.timing.expect("timing requested");
+            assert_eq!(timing.channel_mode, want);
+            assert_eq!(timing.executor_threads, threads);
+            assert_ne!(timing.channel_mode, ChannelMode::Auto);
+        }
+    }
+
+    /// The same spec multiset must come out of the executor regardless
+    /// of how many shards drive the plan (including more shards than
+    /// workers, which clamps).
+    #[test]
+    fn sharded_runs_match_spec_across_executor_threads() {
+        let plan = counter_plan();
+        let expect = {
+            let merged = sort_o(&item_lists(&workload()));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        for threads in [1usize, 2, 8] {
+            let result = run_threads(
+                Arc::new(KeyCounter),
+                &plan,
+                workload(),
+                ThreadRunOptions {
+                    executor_threads: Some(threads),
+                    record_timing: true,
+                    ..Default::default()
+                },
+            );
+            let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+            let mut want = expect.clone();
+            got.sort();
+            want.sort();
+            assert_eq!(got, want, "{threads} executor threads diverged from the spec");
+            // Effective shard count is clamped to the worker count (3).
+            let timing = result.timing.expect("timing requested");
+            assert_eq!(timing.executor_threads, threads.min(plan.len()));
+        }
+    }
+
+    /// Placement keeps each dependence component on one shard (its
+    /// edges carry the fork/join chatter) and splits only components
+    /// larger than an even share, bin-packing the rest.
+    #[test]
+    fn placement_colocates_partitions_and_splits_oversized() {
+        // Two right-sized components stay intact, on distinct shards.
+        let p = place_workers(&[0, 0, 1, 1], 2, 2);
+        assert_eq!(p[0], p[1]);
+        assert_eq!(p[2], p[3]);
+        assert_ne!(p[0], p[2]);
+        // One oversized component splits into even chunks.
+        let p = place_workers(&[0, 0, 0, 0], 1, 2);
+        assert_eq!(p.len(), 4);
+        assert!(p.contains(&0) && p.contains(&1));
+        // A single shard takes everything.
+        assert_eq!(place_workers(&[0, 1, 0], 2, 1), vec![0, 0, 0]);
+        // More shards than workers leaves shards idle but placement valid.
+        let p = place_workers(&[0], 1, 4);
+        assert_eq!(p, vec![0]);
+        // Deterministic: same inputs, same placement.
+        assert_eq!(
+            place_workers(&[0, 1, 1, 2, 2, 2], 3, 2),
+            place_workers(&[0, 1, 1, 2, 2, 2], 3, 2)
         );
-        let recorded = result.timing.expect("timing requested").channel_mode;
-        assert_eq!(recorded, want);
-        assert_ne!(recorded, ChannelMode::Auto);
     }
 
     /// A panicking program handler must propagate as a panic out of

@@ -4,7 +4,7 @@
 //! flumina plan <workload> [-n N] [--dot]             print the synchronization plan
 //! flumina run  <workload> [-n N] [--checkpoint-dir D] execute on real threads, verify vs spec
 //!              [--metrics] [--metrics-out FILE] [--metrics-interval MS]
-//!              [--trace-out FILE] [--pace NS]
+//!              [--trace-out FILE] [--pace NS] [--executor-threads N]
 //! flumina sim  <workload> [-n N]                     simulate a cluster, report outcome
 //! flumina metrics-lint <FILE>                        validate Prometheus text exposition
 //! flumina list                                       list available workloads
@@ -25,7 +25,10 @@
 //! every `MS` milliseconds and prints one-line snapshots to stderr
 //! (counters are visible while workers still run — pair with `--pace`
 //! to stretch the run). `--trace-out FILE` dumps the per-worker trace
-//! rings (fork/join/checkpoint spans) as JSON. `metrics-lint` re-parses
+//! rings (fork/join/checkpoint spans) as JSON. `--executor-threads N`
+//! pins the sharded executor's event-loop thread count (default: host
+//! parallelism) — every plan worker is multiplexed onto those N threads
+//! regardless of `-n`. `metrics-lint` re-parses
 //! an exposition file and fails on syntax errors, histogram-invariant
 //! violations, or missing required `flumina_*` families — CI runs it on
 //! the smoke artifact.
@@ -57,11 +60,12 @@ struct Args {
     metrics_interval_ms: Option<u64>,
     trace_out: Option<String>,
     pace_ns: Option<u64>,
+    executor_threads: Option<usize>,
 }
 
 fn usage() -> String {
     format!(
-        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n                [--metrics] [--metrics-out FILE] [--metrics-interval MS]\n                [--trace-out FILE] [--pace NS]\n       flumina metrics-lint <FILE>\n       flumina list\nworkloads: {}",
+        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n                [--metrics] [--metrics-out FILE] [--metrics-interval MS]\n                [--trace-out FILE] [--pace NS] [--executor-threads N]\n       flumina metrics-lint <FILE>\n       flumina list\nworkloads: {}",
         registry::names().join(" | ")
     )
 }
@@ -80,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
         metrics_interval_ms: None,
         trace_out: None,
         pace_ns: None,
+        executor_threads: None,
     };
     if args.cmd == "list" {
         return Ok(args);
@@ -111,6 +116,15 @@ fn parse_args() -> Result<Args, String> {
             "--pace" => {
                 args.pace_ns =
                     Some(value("--pace")?.parse().map_err(|e| format!("bad --pace: {e}"))?);
+            }
+            "--executor-threads" => {
+                let n: usize = value("--executor-threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --executor-threads: {e}"))?;
+                if n == 0 {
+                    return Err("--executor-threads must be >= 1".into());
+                }
+                args.executor_threads = Some(n);
             }
             other => return Err(format!("unknown flag {other}")),
         }
@@ -161,6 +175,7 @@ struct RunCmd {
     want_metrics: bool,
     metrics_interval_ms: Option<u64>,
     pace_ns: Option<u64>,
+    executor_threads: Option<usize>,
 }
 
 impl WorkloadVisitor for RunCmd {
@@ -218,6 +233,7 @@ impl WorkloadVisitor for RunCmd {
         let verified = job.verify_on(Backend::Threads(ThreadRunOptions {
             pace_ns_per_tick: self.pace_ns,
             metrics_slot: Some(slot),
+            executor_threads: self.executor_threads,
             ..Default::default()
         }));
         stop.store(true, Ordering::Relaxed);
@@ -350,6 +366,7 @@ fn main() {
                     || args.trace_out.is_some(),
                 metrics_interval_ms: args.metrics_interval_ms,
                 pace_ns: args.pace_ns,
+                executor_threads: args.executor_threads,
             };
             match registry::visit(&args.workload, &mut cmd) {
                 Some(outcome) => {

@@ -67,7 +67,7 @@ proptest! {
         full_every in 1u64..6,
     ) {
         let dir = scratch("roundtrip");
-        let opts = DurableOptions { full_every };
+        let opts = DurableOptions { full_every, ..Default::default() };
         {
             let mut store = DurableStore::<Map>::open_with(&dir, opts).unwrap();
             for (i, s) in states.iter().enumerate() {

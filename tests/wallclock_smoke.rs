@@ -26,6 +26,7 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
         windows: 4,
         check_spec: true,
         metrics: true,
+        executor_threads: None,
     };
     let n_workloads = spec.workloads.len();
     let points = wallclock::sweep(&spec);
@@ -103,6 +104,7 @@ fn miniature_recovery_sweep_loses_nothing_and_serializes() {
         windows: 2,
         check_spec: true,
         metrics: true,
+        executor_threads: None,
     };
     let points = wallclock::sweep(&wspec);
     let doc = report::trajectory("2026-07-26", &points, &[], &rec);

@@ -56,7 +56,13 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+    /// Readiness callback a consumer can register on a channel or inbox:
+    /// invoked after every message publish and on sender disconnect, so a
+    /// polling executor can schedule the receiving task without the
+    /// receiver ever parking on the channel's own condvar.
+    pub type Waker = Arc<dyn Fn() + Send + Sync>;
 
     /// One producer-private segment of the channel. `front_ticket`
     /// mirrors the ticket of the queue's front element (`u64::MAX` when
@@ -100,6 +106,11 @@ pub mod channel {
         /// Park lock/condvar for the empty-channel slow path only.
         gate: Mutex<()>,
         ready: Condvar,
+        /// Optional readiness hook (set once per channel); fired on every
+        /// wake *regardless* of `waiters` — a polling consumer never
+        /// parks on `ready`, so the `waiters > 0` fast-out must not
+        /// swallow its notification.
+        waker: OnceLock<super::channel::Waker>,
     }
 
     impl<T> Shared<T> {
@@ -107,6 +118,9 @@ pub mod channel {
         /// the race with a receiver that re-checked its condition and is
         /// between "decided to park" and "parked".
         fn wake(&self, all: bool) {
+            if let Some(w) = self.waker.get() {
+                w();
+            }
             if self.waiters.load(Ordering::SeqCst) > 0 {
                 drop(self.gate.lock().expect("channel poisoned"));
                 if all {
@@ -178,6 +192,7 @@ pub mod channel {
             waiters: AtomicUsize::new(0),
             gate: Mutex::new(()),
             ready: Condvar::new(),
+            waker: OnceLock::new(),
         });
         (
             Sender { shared: shared.clone(), shard: first },
@@ -244,21 +259,55 @@ pub mod channel {
             self.len() == 0
         }
 
+        /// Register a readiness hook, fired on every subsequent message
+        /// publish and on sender disconnect. One hook per channel (first
+        /// write wins); used by polling executors instead of `recv`.
+        pub fn set_waker(&self, waker: Waker) {
+            let _ = self.shared.waker.set(waker);
+        }
+
+        /// Try to claim one message credit without blocking.
+        fn try_claim_credit(&self) -> bool {
+            let mut c = self.shared.credits.load(Ordering::SeqCst);
+            while c > 0 {
+                match self.shared.credits.compare_exchange_weak(
+                    c,
+                    c - 1,
+                    Ordering::SeqCst,
+                    Ordering::SeqCst,
+                ) {
+                    Ok(_) => return true,
+                    Err(actual) => c = actual,
+                }
+            }
+            false
+        }
+
+        /// Non-blocking receive: `Ok(Some(msg))` when a message was
+        /// claimed, `Ok(None)` when the channel is currently empty, and
+        /// `Err(RecvError)` once it is empty *and* every sender is gone.
+        pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+            if self.try_claim_credit() {
+                return Ok(Some(self.pop_claimed()));
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                // A sender may have published between the claim attempt
+                // and the disconnect check — re-check before reporting
+                // disconnected so no message is stranded.
+                if self.try_claim_credit() {
+                    return Ok(Some(self.pop_claimed()));
+                }
+                return Err(RecvError);
+            }
+            Ok(None)
+        }
+
         /// Claim one message credit, or report why none can be claimed.
         /// `Ok(())` guarantees at least one message is queued for us.
         fn claim_credit(&self) -> Result<(), RecvError> {
             loop {
-                let mut c = self.shared.credits.load(Ordering::SeqCst);
-                while c > 0 {
-                    match self.shared.credits.compare_exchange_weak(
-                        c,
-                        c - 1,
-                        Ordering::SeqCst,
-                        Ordering::SeqCst,
-                    ) {
-                        Ok(_) => return Ok(()),
-                        Err(actual) => c = actual,
-                    }
+                if self.try_claim_credit() {
+                    return Ok(());
                 }
                 // Empty: park. `waiters` is raised *before* re-checking
                 // the credits under the gate, and `send` publishes its
@@ -650,11 +699,11 @@ pub mod edge {
     use std::collections::VecDeque;
     use std::fmt;
     use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex};
+    use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
     use super::spsc::{BoundedRing, SegRing};
 
-    pub use super::channel::{RecvError, SendError};
+    pub use super::channel::{RecvError, SendError, Waker};
 
     /// Message storage of one edge.
     enum Buf<T> {
@@ -702,12 +751,20 @@ pub mod edge {
         waiters: AtomicUsize,
         gate: Mutex<()>,
         ready: Condvar,
+        /// Optional readiness hook (set once per inbox); fired on every
+        /// wake *regardless* of `waiters` — a polling executor never
+        /// parks the inbox on `ready`, so the `waiters > 0` fast-out
+        /// must not swallow its notification.
+        waker: OnceLock<Waker>,
     }
 
     impl<T> Shared<T> {
         /// Wake the parked inbox; takes `gate` first to close the race
         /// with a receiver between "decided to park" and "parked".
         fn wake(&self) {
+            if let Some(w) = self.waker.get() {
+                w();
+            }
             if self.waiters.load(Ordering::SeqCst) > 0 {
                 drop(self.gate.lock().expect("inbox poisoned"));
                 self.ready.notify_all();
@@ -818,6 +875,7 @@ pub mod edge {
                 waiters: AtomicUsize::new(0),
                 gate: Mutex::new(()),
                 ready: Condvar::new(),
+                waker: OnceLock::new(),
             }),
             cache: Vec::new(),
             cache_version: 0,
@@ -967,6 +1025,120 @@ pub mod edge {
             }
         }
 
+        /// Non-blocking batch enqueue: pop messages off the front of
+        /// `msgs` and push them while the edge has room, preserving
+        /// order, without ever parking. Returns `(pushed,
+        /// disconnected)`: `pushed` messages were delivered (and
+        /// published under one wakeup), and `disconnected` reports a
+        /// dropped inbox — the unsent suffix stays in `msgs` either
+        /// way. Lets a multiplexing producer rotate across many edges
+        /// without one full edge stalling the rest.
+        pub fn try_send_many(&self, msgs: &mut VecDeque<T>) -> (usize, bool) {
+            let mut pending = 0i64;
+            let publish = |pending: &mut i64| {
+                if *pending > 0 {
+                    self.shared.msgs.fetch_add(*pending, Ordering::SeqCst);
+                    *pending = 0;
+                    self.shared.wake();
+                }
+            };
+            let mut pushed = 0;
+            let disconnected = match &self.edge.buf {
+                Buf::Locked(q) => {
+                    let mut queue = q.lock().expect("edge poisoned");
+                    let dead = loop {
+                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                            break true;
+                        }
+                        if queue.len() >= self.edge.capacity {
+                            break false;
+                        }
+                        let Some(msg) = msgs.pop_front() else { break false };
+                        queue.push_back(msg);
+                        pending += 1;
+                        pushed += 1;
+                    };
+                    drop(queue);
+                    dead
+                }
+                Buf::Seg(ring) => {
+                    // Unbounded: everything fits unless the inbox died.
+                    loop {
+                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                            break true;
+                        }
+                        let Some(msg) = msgs.pop_front() else { break false };
+                        ring.push(msg);
+                        pending += 1;
+                        pushed += 1;
+                    }
+                }
+                Buf::Ring(ring) => loop {
+                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                        break true;
+                    }
+                    let Some(msg) = msgs.pop_front() else { break false };
+                    match ring.try_push(msg) {
+                        Ok(()) => {
+                            pending += 1;
+                            pushed += 1;
+                        }
+                        Err(back) => {
+                            msgs.push_front(back);
+                            break false;
+                        }
+                    }
+                },
+            };
+            publish(&mut pending);
+            (pushed, disconnected)
+        }
+
+        /// Park until this edge has room (or `timeout` / inbox death),
+        /// counting one backpressure stall. The bounded-timeout
+        /// companion to [`EdgeSender::try_send_many`]: a producer multiplexing many
+        /// edges parks here only when *every* edge is full, and the
+        /// timeout keeps it live to a different edge draining first.
+        pub fn wait_not_full(&self, timeout: std::time::Duration) {
+            match &self.edge.buf {
+                Buf::Locked(q) => {
+                    let queue = q.lock().expect("edge poisoned");
+                    if queue.len() >= self.edge.capacity
+                        && self.shared.receiver_alive.load(Ordering::SeqCst)
+                    {
+                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
+                        let _ = self
+                            .edge
+                            .not_full
+                            .wait_timeout(queue, timeout)
+                            .expect("edge poisoned");
+                    }
+                }
+                Buf::Seg(_) => {}
+                Buf::Ring(ring) => {
+                    // Same park protocol as the blocking send slow path:
+                    // register under the park lock, re-check fullness,
+                    // bounded wait (see `send_many` for the ordering
+                    // argument that makes the timeout the recovery).
+                    let guard = self.edge.park.lock().expect("edge poisoned");
+                    self.edge.park_waiters.fetch_add(1, Ordering::SeqCst);
+                    let _guard = if ring.is_full()
+                        && self.shared.receiver_alive.load(Ordering::SeqCst)
+                    {
+                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
+                        self.edge
+                            .not_full
+                            .wait_timeout(guard, timeout)
+                            .expect("edge poisoned")
+                            .0
+                    } else {
+                        guard
+                    };
+                    self.edge.park_waiters.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+
         /// Cumulative backpressure stalls on this edge: how many times a
         /// send blocked (one per condvar wait) because the edge was full.
         pub fn stalls(&self) -> u64 {
@@ -1056,6 +1228,162 @@ pub mod edge {
                 // is between push and publish — yield and rescan.
                 std::thread::yield_now();
             }
+        }
+
+        /// Pop up to `n` already-claimed messages, draining each edge
+        /// under a single lock acquisition instead of lock-per-message.
+        /// Per-edge FIFO is preserved (messages leave an edge in push
+        /// order); cross-edge interleaving remains round-robin at edge
+        /// granularity, which is the only order the protocol needs.
+        fn pop_claimed_batch(&mut self, out: &mut VecDeque<T>, mut n: usize) {
+            while n > 0 {
+                self.refresh_cache();
+                let edges = self.cache.len();
+                let mut progressed = false;
+                for _ in 0..edges {
+                    let idx = self.cursor % edges;
+                    let edge = &self.cache[idx];
+                    let before = out.len();
+                    match &edge.buf {
+                        Buf::Locked(q) => {
+                            let mut queue = q.lock().expect("edge poisoned");
+                            let was_at_cap = queue.len() >= edge.capacity;
+                            while n > 0 {
+                                match queue.pop_front() {
+                                    Some(m) => {
+                                        out.push_back(m);
+                                        n -= 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            let drained = out.len() > before;
+                            drop(queue);
+                            // Draining freed one slot per message: wake
+                            // every producer parked on the full edge.
+                            if was_at_cap && drained {
+                                edge.not_full.notify_all();
+                            }
+                        }
+                        Buf::Seg(ring) => {
+                            while n > 0 {
+                                match ring.try_pop() {
+                                    Some(m) => {
+                                        out.push_back(m);
+                                        n -= 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                        }
+                        Buf::Ring(ring) => {
+                            while n > 0 {
+                                match ring.try_pop() {
+                                    Some(m) => {
+                                        out.push_back(m);
+                                        n -= 1;
+                                    }
+                                    None => break,
+                                }
+                            }
+                            // Wake producers parked on the full ring;
+                            // taking `park` first closes the race with
+                            // one that probed fullness but has not
+                            // parked yet.
+                            if out.len() > before
+                                && edge.park_waiters.load(Ordering::SeqCst) > 0
+                            {
+                                drop(edge.park.lock().expect("edge poisoned"));
+                                edge.not_full.notify_all();
+                            }
+                        }
+                    }
+                    if out.len() > before {
+                        progressed = true;
+                    }
+                    self.cursor = (idx + 1) % edges;
+                    if n == 0 {
+                        break;
+                    }
+                }
+                if !progressed {
+                    // Claimed credit but no visible message yet: a
+                    // producer is between push and publish — yield and
+                    // rescan.
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        /// Batched non-blocking receive: claim up to `max` messages with
+        /// one atomic operation, then drain them edge-by-edge under one
+        /// lock each. Returns how many messages were appended to `out`
+        /// (`0` = empty-for-now), or `Err(RecvError)` once the inbox is
+        /// drained *and* every sender is gone. The per-message cost of
+        /// [`Inbox::try_recv`] — two `SeqCst` operations on the shared
+        /// claim counter plus a lock round-trip per probe — is paid once
+        /// per batch here, which is what lets a polling executor match
+        /// the dedicated-thread receive loop on throughput.
+        pub fn try_recv_batch(
+            &mut self,
+            out: &mut VecDeque<T>,
+            max: usize,
+        ) -> Result<usize, RecvError> {
+            // Single consumer: a positive count is ours to claim, and
+            // only producers add — so `avail` can only have grown by the
+            // time we subtract.
+            let claim = |shared: &Shared<T>| -> usize {
+                let avail = shared.msgs.load(Ordering::SeqCst);
+                if avail <= 0 {
+                    return 0;
+                }
+                let n = (avail as usize).min(max);
+                shared.msgs.fetch_sub(n as i64, Ordering::SeqCst);
+                n
+            };
+            let mut n = claim(&self.shared);
+            if n == 0 {
+                if self.shared.senders.load(Ordering::SeqCst) != 0 {
+                    return Ok(0);
+                }
+                // A sender may have published then disconnected between
+                // the two checks — re-check before reporting drained.
+                n = claim(&self.shared);
+                if n == 0 {
+                    return Err(RecvError);
+                }
+            }
+            self.pop_claimed_batch(out, n);
+            Ok(n)
+        }
+
+        /// Register a readiness hook, fired on every subsequent message
+        /// publish and on sender disconnect. One hook per inbox (first
+        /// write wins); used by polling executors instead of `recv`.
+        pub fn set_waker(&self, waker: Waker) {
+            let _ = self.shared.waker.set(waker);
+        }
+
+        /// Non-blocking receive: `Ok(Some(msg))` when a message was
+        /// claimed, `Ok(None)` when every edge is currently empty, and
+        /// `Err(RecvError)` once the inbox is drained *and* every sender
+        /// is gone.
+        pub fn try_recv(&mut self) -> Result<Option<T>, RecvError> {
+            // Single consumer: a positive count is ours to claim.
+            if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
+                return Ok(Some(self.pop_claimed()));
+            }
+            if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                // A sender may have published then disconnected between
+                // the two checks — re-check before reporting drained.
+                if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                    self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
+                    return Ok(Some(self.pop_claimed()));
+                }
+                return Err(RecvError);
+            }
+            Ok(None)
         }
 
         /// Block until a message arrives on any edge; `Err(RecvError)`
@@ -1730,5 +2058,68 @@ mod tests {
         }
         let got: Vec<u64> = rx.iter().collect();
         assert_eq!(got.len(), 400);
+    }
+}
+
+#[cfg(test)]
+mod polling_tests {
+    //! The non-blocking consumer surface a sharded executor drives:
+    //! `try_recv` + registered wakers, on both delivery planes.
+
+    use super::channel::unbounded;
+    use super::edge::{inbox, RecvError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn inbox_try_recv_drains_then_reports_empty_then_disconnect() {
+        let mut rx = inbox::<u32>();
+        let tx = rx.handle().ring_edge(None);
+        assert_eq!(rx.try_recv(), Ok(None), "empty with live sender");
+        tx.send_many(0..3).unwrap();
+        for i in 0..3 {
+            assert_eq!(rx.try_recv(), Ok(Some(i)));
+        }
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(99).unwrap();
+        drop(tx);
+        // Published-then-disconnected: the message must not be stranded.
+        assert_eq!(rx.try_recv(), Ok(Some(99)));
+        assert_eq!(rx.try_recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn inbox_waker_fires_on_every_publish_and_disconnect() {
+        let rx = inbox::<u32>();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        rx.set_waker(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        let tx = rx.handle().ring_edge(None);
+        tx.send(1).unwrap();
+        tx.send_many(2..4).unwrap(); // one publish for the batch
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        drop(tx); // last-sender disconnect also wakes
+        assert_eq!(fired.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn channel_try_recv_and_waker_mirror_the_inbox_contract() {
+        let (tx, rx) = unbounded::<u32>();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = fired.clone();
+        rx.set_waker(Arc::new(move || {
+            f.fetch_add(1, Ordering::SeqCst);
+        }));
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(7).unwrap();
+        assert!(fired.load(Ordering::SeqCst) >= 1);
+        assert_eq!(rx.try_recv(), Ok(Some(7)));
+        assert_eq!(rx.try_recv(), Ok(None));
+        tx.send(8).unwrap();
+        drop(tx);
+        assert_eq!(rx.try_recv(), Ok(Some(8)));
+        assert_eq!(rx.try_recv(), Err(super::channel::RecvError));
     }
 }
