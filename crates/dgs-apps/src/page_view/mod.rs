@@ -145,11 +145,14 @@ pub struct PvWorkload {
 }
 
 impl PvWorkload {
-    fn view_stream_id(&self, page: u32, slot: u32) -> StreamId {
+    /// Stream id of view stream `slot` of `page` (views occupy the low
+    /// stream-id range, one contiguous block per page).
+    pub fn view_stream_id(&self, page: u32, slot: u32) -> StreamId {
         StreamId(page * self.view_streams_per_page + slot)
     }
 
-    fn update_stream_id(&self, page: u32) -> StreamId {
+    /// Stream id of `page`'s update stream (updates follow all views).
+    pub fn update_stream_id(&self, page: u32) -> StreamId {
         StreamId(self.pages * self.view_streams_per_page + page)
     }
 

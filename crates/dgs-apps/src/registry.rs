@@ -32,7 +32,7 @@ use crate::fraud::FdWorkload;
 use crate::outlier::OdWorkload;
 use crate::page_view::PvWorkload;
 use crate::smart_home::ShWorkload;
-use crate::sweep::{PvForestWorkload, SweepWorkload};
+use crate::sweep::{PvForestWorkload, PvZipfWorkload, SweepWorkload};
 use crate::value_barrier::VbWorkload;
 
 /// One row of the registry.
@@ -74,6 +74,11 @@ pub const WORKLOADS: &[WorkloadEntry] = &[
         in_default_sweep: true,
     },
     WorkloadEntry {
+        name: "page-view-zipf",
+        about: "zipf-skewed bursty page-view on an over-provisioned forest — the elasticity cell",
+        in_default_sweep: false,
+    },
+    WorkloadEntry {
         name: "outlier",
         about: "network outlier detection case study (Appendix A)",
         in_default_sweep: false,
@@ -111,6 +116,7 @@ pub fn visit<V: WorkloadVisitor>(name: &str, v: &mut V) -> Option<V::Out> {
         "page-view" => Some(v.visit::<PvWorkload>()),
         "fraud-detection" => Some(v.visit::<FdWorkload>()),
         "page-view-forest" => Some(v.visit::<PvForestWorkload>()),
+        "page-view-zipf" => Some(v.visit::<PvZipfWorkload>()),
         "outlier" => Some(v.visit::<OdWorkload>()),
         "smart-home" => Some(v.visit::<ShWorkload>()),
         _ => None,

@@ -223,6 +223,194 @@ impl SweepWorkload for PvForestWorkload {
     }
 }
 
+/// Normalized zipf(s) popularity weights over `n` keys: key `k` gets
+/// weight proportional to `(k + 1)^-s`. `s = 0` is uniform; the paper's
+/// skewed page-view workload uses `s ≈ 1.5`, which puts roughly half of
+/// all traffic on the first key of eight.
+pub fn zipf_weights(n: u32, s: f64) -> Vec<f64> {
+    assert!(n > 0, "zipf needs at least one key");
+    let raw: Vec<f64> = (1..=n as u64).map(|k| (k as f64).powf(-s)).collect();
+    let sum: f64 = raw.iter().sum();
+    raw.into_iter().map(|w| w / sum).collect()
+}
+
+/// A tiny deterministic splitmix-style generator for workload synthesis:
+/// no RNG dependency, stable across platforms and runs.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// ON/OFF bursty modulation of a per-window base count: each window is
+/// independently ON (`2 × base`) or OFF (`base / 2`, floored at one
+/// event so the stream never falls silent), decided by a deterministic
+/// hash of `(key, window)`. Two workloads with the same key see the
+/// same telegraph signal.
+pub fn bursty_counts(base: u64, windows: u64, key: u64) -> Vec<u64> {
+    (0..windows)
+        .map(|w| {
+            if mix(key ^ w.wrapping_mul(0x5851_F42D_4C95_7F2D)) & 1 == 1 {
+                base * 2
+            } else {
+                (base / 2).max(1)
+            }
+        })
+        .collect()
+}
+
+/// The elasticity cell: page-view join over `pages` keys with
+/// **zipf-skewed** popularity and **ON/OFF bursty** per-stream arrivals,
+/// run on a deliberately *over-provisioned* static plan (every page
+/// pre-forked into an update root plus two view leaves). Most pages are
+/// cold most of the time, so the static plan pays fork/join protocol
+/// traffic for parallelism it never uses — exactly the workload the
+/// elastic controller exists for: it joins the cold page partitions at
+/// run time (and re-forks any that heat up), which is the
+/// `controller-on` vs `controller-off` comparison `wallclock --skew`
+/// records.
+#[derive(Clone, Copy, Debug)]
+pub struct PvZipfWorkload {
+    /// Number of pages (keys); popularity is zipf over them.
+    pub pages: u32,
+    /// Mean views per page per window at uniform popularity — the same
+    /// volume knob the uniform page-view cells use, redistributed by the
+    /// zipf weights.
+    pub per_window: u64,
+    /// Update windows per page.
+    pub windows: u64,
+    /// Zipf skew exponent (`1.5` for the paper-style skew).
+    pub zipf_s: f64,
+    /// Seed for the deterministic ON/OFF burst signal.
+    pub seed: u64,
+}
+
+impl PvZipfWorkload {
+    /// Window length in ticks. Sized so even the hottest page's ON-burst
+    /// view count fits at integer inter-arrival steps.
+    pub fn window_ticks(&self) -> u64 {
+        self.per_window * self.pages as u64
+    }
+
+    /// The uniform-layout twin whose stream-id geometry and
+    /// (over-provisioned) plan this workload borrows: same view/update
+    /// stream ids, every page forked into a three-worker tree.
+    fn layout(&self) -> PvWorkload {
+        PvWorkload {
+            pages: self.pages,
+            view_streams_per_page: 2,
+            views_per_update: self.per_window,
+            updates: self.windows,
+        }
+    }
+
+    /// Views stream `(page, slot)` carries in window `w` — zipf share of
+    /// the global per-window volume, split across the page's two
+    /// streams, then ON/OFF modulated. Deterministic: `streams()` and
+    /// [`SweepWorkload::event_count`] both fold over it.
+    pub fn views_in(&self, page: u32, slot: u32, window: u64) -> u64 {
+        let weights = zipf_weights(self.pages, self.zipf_s);
+        let volume = self.per_window * self.pages as u64;
+        let page_views = ((volume as f64 * weights[page as usize]).round() as u64).max(1);
+        let base = (page_views / 2).max(1);
+        let key = self.seed ^ ((page as u64) << 40) ^ ((slot as u64) << 32);
+        bursty_counts(base, window + 1, key)[window as usize].min(self.window_ticks())
+    }
+}
+
+impl SweepWorkload for PvZipfWorkload {
+    type Prog = PageViewJoin;
+
+    const NAME: &'static str = "page-view-zipf";
+
+    /// `workers` pages (at least two, so the zipf skew is visible),
+    /// zipf `s = 1.5`, a fixed burst seed — the whole point of the cell
+    /// is a *reproducible* skew.
+    fn for_scale(workers: u32, per_window: u64, windows: u64) -> Self {
+        PvZipfWorkload {
+            pages: workers.max(2),
+            per_window,
+            windows,
+            zipf_s: 1.5,
+            seed: 42,
+        }
+    }
+
+    fn program(&self) -> PageViewJoin {
+        PageViewJoin
+    }
+
+    /// The over-provisioned static plan: one three-worker tree per page
+    /// regardless of that page's actual traffic.
+    fn plan(&self) -> Plan<crate::page_view::PvTag> {
+        self.layout().plan()
+    }
+
+    fn streams(&self, hb_period: Timestamp) -> Vec<ScheduledStream<crate::page_view::PvTag, i64>> {
+        use crate::page_view::PvTag;
+        use dgs_core::tag::ITag;
+        let layout = self.layout();
+        let ticks = self.window_ticks();
+        let mut streams = Vec::new();
+        for page in 0..self.pages {
+            for slot in 0..2u32 {
+                let mut times = Vec::new();
+                for w in 0..self.windows {
+                    let v = self.views_in(page, slot, w);
+                    let step = (ticks / v).max(1);
+                    times.extend((0..v).map(|i| w * ticks + 1 + i * step));
+                }
+                streams.push(
+                    ScheduledStream::at_times(
+                        ITag::new(PvTag::View(page), layout.view_stream_id(page, slot)),
+                        times,
+                        |_| 0,
+                    )
+                    .with_heartbeats(hb_period)
+                    .closed(Timestamp::MAX),
+                );
+            }
+            streams.push(
+                ScheduledStream::periodic(
+                    ITag::new(PvTag::Update(page), layout.update_stream_id(page)),
+                    ticks,
+                    ticks,
+                    self.windows,
+                    move |j| (page as i64 + 1) * 100 + j as i64,
+                )
+                .with_heartbeats(hb_period)
+                .closed(Timestamp::MAX),
+            );
+        }
+        streams
+    }
+
+    fn event_count(&self) -> u64 {
+        let views: u64 = (0..self.pages)
+            .flat_map(|p| (0..2u32).map(move |s| (p, s)))
+            .flat_map(|(p, s)| (0..self.windows).map(move |w| self.views_in(p, s, w)))
+            .sum();
+        views + self.pages as u64 * self.windows
+    }
+
+    fn last_tick(&self) -> Timestamp {
+        self.window_ticks() * self.windows
+    }
+
+    fn sync_stream(&self) -> StreamId {
+        // Page 0's update stream (the hottest page's synchronizer).
+        StreamId(self.pages * 2)
+    }
+
+    /// Pin the over-provisioned plan: the derived CommMin plan would
+    /// right-size cold pages statically, which is precisely the help
+    /// this cell must *not* get — the controller has to earn it online.
+    fn job(&self, hb_period: Timestamp) -> Job<PageViewJoin> {
+        Job::new(self.program(), self.streams(hb_period)).with_plan(self.plan())
+    }
+}
+
 impl SweepWorkload for FdWorkload {
     type Prog = FraudDetection;
 
@@ -370,6 +558,7 @@ mod tests {
             check::<PvWorkload>(workers);
             check::<FdWorkload>(workers);
             check::<PvForestWorkload>(workers);
+            check::<PvZipfWorkload>(workers);
             check::<OdWorkload>(workers);
             check::<ShWorkload>(workers);
         }
@@ -404,6 +593,8 @@ mod tests {
             assert_eq!(leaves::<PvWorkload>(workers), workers as usize, "pv at {workers}");
             // Forest cell: two view leaves per page, one page per worker.
             assert_eq!(leaves::<PvForestWorkload>(workers), 2 * workers as usize);
+            // Zipf cell: over-provisioned — every page forked, ≥ 2 pages.
+            assert_eq!(leaves::<PvZipfWorkload>(workers), 2 * workers.max(2) as usize);
             assert_eq!(leaves::<OdWorkload>(workers), workers as usize);
             assert_eq!(leaves::<ShWorkload>(workers), workers as usize);
         }

@@ -162,7 +162,7 @@ fn main() {
             figures::series_entries("fig4_flink", "flink", flink4.as_deref().unwrap());
         entries.extend(figures::series_entries("fig4_timely", "timely", timely4.as_deref().unwrap()));
         entries.extend(figures::series_entries("fig8_flumina", "flumina", flumina8.as_deref().unwrap()));
-        let doc = report::trajectory(&report::utc_date_string(), &[], &entries, &[]);
+        let doc = report::trajectory(&report::utc_date_string(), &[], &entries, &[], &[]);
         if let Err(e) = report::validate_trajectory(&doc) {
             eprintln!("figures: emitted JSON violates own schema: {e}");
             std::process::exit(1);

@@ -6,7 +6,7 @@
 //!           [--modes auto,per-edge-ring,per-edge,ticketed]
 //!           [--per-window 500] [--windows 20] [--check-spec]
 //!           [--executor-threads N]
-//!           [--no-metrics] [--with-sim] [--recovery]
+//!           [--no-metrics] [--with-sim] [--recovery] [--skew]
 //!           [--date YYYY-MM-DD] [--out PATH]
 //! wallclock --validate PATH
 //! wallclock --list
@@ -35,6 +35,11 @@
 //! recovers it from the on-disk checkpoint segments, and records replay
 //! time and `events_lost` as `kind: "recovery"` entries — exiting
 //! nonzero if any cell loses events or diverges from the spec.
+//! `--skew` appends the elasticity axis: the zipf-skewed page-view cell
+//! run controller-off then controller-on, recorded as `kind: "replan"`
+//! entries keyed by arm — exiting nonzero if any arm diverges from the
+//! spec *or* if a controller-on arm performed zero replans (a silently
+//! inert controller must not pass as green).
 //! The metrics plane is on by default and stamps each wallclock entry
 //! with the optional `max_queue_depth`/`stalls` gauges; `--no-metrics`
 //! disables it (the A/B axis for measuring its overhead — such entries
@@ -48,6 +53,7 @@
 //! on the smoke artifact) and exits nonzero on any violation.
 
 use dgs_apps::registry;
+use dgs_bench::elasticity::{self, SkewSpec};
 use dgs_bench::figures;
 use dgs_bench::measure::Scale;
 use dgs_bench::recovery::{self, RecoverySpec};
@@ -80,6 +86,7 @@ fn main() {
     let mut spec = if smoke { SweepSpec::smoke() } else { SweepSpec::full() };
     let mut with_sim = false;
     let mut with_recovery = false;
+    let mut with_skew = false;
     let mut out: Option<String> = None;
     let mut validate: Option<String> = None;
     let mut date: Option<String> = None;
@@ -158,6 +165,7 @@ fn main() {
             "--no-metrics" => spec.metrics = false,
             "--with-sim" => with_sim = true,
             "--recovery" => with_recovery = true,
+            "--skew" => with_skew = true,
             "--out" => out = Some(value("--out")),
             "--validate" => validate = Some(value("--validate")),
             "--date" => date = Some(value("--date")),
@@ -287,6 +295,38 @@ fn main() {
         Vec::new()
     };
 
+    let replan_points = if with_skew {
+        let sspec = if smoke { SkewSpec::smoke() } else { SkewSpec::full() };
+        eprintln!(
+            "elasticity sweep: page-view-zipf × pages {:?} ({} views/page/window × {} windows, {} repeat(s), controller off/on)",
+            sspec.workers, sspec.per_window, sspec.windows, sspec.repeats,
+        );
+        let points = elasticity::skew_sweep(&sspec);
+        if out.is_some() {
+            print!("{}", elasticity::render_table(&points));
+        } else {
+            eprint!("{}", elasticity::render_table(&points));
+        }
+        if let Some(p) = points.iter().find(|p| p.spec_ok == Some(false)) {
+            fail(&format!(
+                "elasticity arm diverged from the sequential spec: {} pages={} elastic={}",
+                p.workload, p.workers, p.elastic
+            ));
+        }
+        // No silent green: a controller-on arm that never replanned
+        // measured the static plan twice, not elasticity.
+        if let Some(p) = points.iter().find(|p| p.elastic && p.replans == 0) {
+            fail(&format!(
+                "elasticity controller performed zero replans at {} pages: \
+                 the controller-on arm measured nothing",
+                p.workers
+            ));
+        }
+        points
+    } else {
+        Vec::new()
+    };
+
     let sim = if with_sim {
         eprintln!("capturing simulator figure entries (virtual time)...");
         let (axis, scale): (&[u32], Scale) = if smoke {
@@ -300,7 +340,7 @@ fn main() {
     };
 
     let captured_at = date.unwrap_or_else(report::utc_date_string);
-    let doc = report::trajectory(&captured_at, &points, &sim, &recovery_points);
+    let doc = report::trajectory(&captured_at, &points, &sim, &recovery_points, &replan_points);
     // Self-check: never write (or print) a document the validator rejects.
     if let Err(e) = report::validate_trajectory(&doc) {
         fail(&format!("internal error: emitted JSON violates own schema: {e}"));
@@ -318,6 +358,9 @@ fn main() {
                 format!(" + {} recovery points", recovery_points.len())
             },
         );
+        if !replan_points.is_empty() {
+            eprintln!("  + {} replan (elasticity) points", replan_points.len());
+        }
     } else {
         println!("{}", doc.render());
     }

@@ -230,6 +230,18 @@ fn cell_key(entry: &Json) -> Option<String> {
             let events = entry.get("events")?.as_f64()?;
             Some(format!("recovery/{workload}/{system}/{fault}/w{workers}/k{kill}/n{events}"))
         }
+        "replan" => {
+            // The controller arm is the identity: an elastic cell's
+            // throughput is only comparable to its own history, never to
+            // the static baseline it beat within the capture.
+            let arm = match entry.get("elastic")? {
+                Json::Bool(true) => "elastic",
+                Json::Bool(false) => "static",
+                _ => return None,
+            };
+            let events = entry.get("events")?.as_f64()?;
+            Some(format!("replan/{workload}/{system}/{arm}/w{workers}/n{events}"))
+        }
         _ => None,
     }
 }
@@ -558,6 +570,45 @@ mod tests {
         let r = diff(&empty, &clean, DiffThresholds::default());
         assert!(!r.has_regressions());
         assert_eq!(r.only_new.len(), 1);
+    }
+
+    fn replan_entry(elastic: bool, tput: f64, spec_ok: bool) -> Json {
+        Json::Obj(vec![
+            ("kind".into(), Json::Str("replan".into())),
+            ("time_base".into(), Json::Str("wall".into())),
+            ("workload".into(), Json::Str("page-view-zipf".into())),
+            ("system".into(), Json::Str("dgs-threads".into())),
+            ("workers".into(), Json::Int(8)),
+            ("elastic".into(), Json::Bool(elastic)),
+            ("events".into(), Json::Int(48_000)),
+            ("elapsed_ns".into(), Json::Int(24_000_000)),
+            ("replans".into(), Json::Int(if elastic { 16 } else { 0 })),
+            ("throughput_eps".into(), Json::Num(tput)),
+            ("latency_ns".into(), Json::Null),
+            ("spec_ok".into(), Json::Bool(spec_ok)),
+        ])
+    }
+
+    /// Replan cells key on the controller arm: elastic compares only to
+    /// elastic, static only to static — the within-capture win between
+    /// them is never mistaken for a cross-capture regression — and spec
+    /// divergence gates like everywhere else.
+    #[test]
+    fn replan_cells_key_on_the_controller_arm() {
+        let old = doc(vec![replan_entry(false, 1e6, true), replan_entry(true, 2e6, true)], 1);
+        let same = doc(vec![replan_entry(false, 1e6, true), replan_entry(true, 2e6, true)], 1);
+        let r = diff(&old, &same, DiffThresholds::default());
+        assert_eq!(r.cells.len(), 2);
+        assert!(!r.has_regressions());
+        assert!(r.cells.iter().any(|c| c.key == "replan/page-view-zipf/dgs-threads/elastic/w8/n48000"));
+        assert!(r.cells.iter().any(|c| c.key == "replan/page-view-zipf/dgs-threads/static/w8/n48000"));
+        // The elastic arm regressing to the static arm's throughput is a
+        // real regression even though a static cell at that speed exists.
+        let slow = doc(vec![replan_entry(false, 1e6, true), replan_entry(true, 1e6, true)], 1);
+        assert!(diff(&old, &slow, DiffThresholds::default()).has_regressions());
+        // Spec divergence gates unconditionally, even new-only.
+        let broken = doc(vec![replan_entry(true, 2e6, false)], 1);
+        assert!(diff(&doc(vec![], 1), &broken, DiffThresholds::default()).has_regressions());
     }
 
     /// Metrics-plane gauges produce an informational delta line when

@@ -378,7 +378,7 @@ mod tests {
         assert_eq!(entries.len(), 2);
         assert_eq!(entries[1].workers, 12);
         assert_eq!(entries[1].throughput_eps, 800_000.0);
-        let doc = crate::report::trajectory("2026-01-01", &[], &entries, &[]);
+        let doc = crate::report::trajectory("2026-01-01", &[], &entries, &[], &[]);
         assert_eq!(crate::report::validate_trajectory(&doc), Ok(2));
     }
 

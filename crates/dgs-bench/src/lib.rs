@@ -23,14 +23,21 @@
 //! on-disk checkpoint segments through a fresh store, and records
 //! replay time and `events_lost` (must be 0) as `kind: "recovery"`
 //! trajectory entries.
+//!
+//! [`elasticity`] is the elasticity axis (`wallclock --skew`): it runs
+//! the zipf-skewed page-view cell with the elastic replan controller on
+//! and off, recording throughput, replan tallies, and pause percentiles
+//! as `kind: "replan"` trajectory entries keyed by arm.
 
 pub mod diff;
+pub mod elasticity;
 pub mod figures;
 pub mod measure;
 pub mod recovery;
 pub mod report;
 pub mod wallclock;
 
+pub use elasticity::{ReplanPoint, SkewSpec};
 pub use measure::MeasuredPoint;
 pub use recovery::{RecoveryPoint, RecoverySpec};
 pub use wallclock::{LatencyHistogram, SweepSpec, WallclockPoint};

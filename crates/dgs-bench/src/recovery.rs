@@ -361,7 +361,7 @@ mod tests {
     fn recovery_points_serialize_into_a_valid_trajectory() {
         let p = run_recovery_one::<VbWorkload>(2, 20, 3, 1, Fault::CleanCrash, 3);
         assert!(p.fsync_p95_ns > 0, "durable appends must have synced");
-        let doc = crate::report::trajectory("2026-08-08", &[], &[], std::slice::from_ref(&p));
+        let doc = crate::report::trajectory("2026-08-08", &[], &[], std::slice::from_ref(&p), &[]);
         assert_eq!(crate::report::validate_trajectory(&doc), Ok(1));
         let reparsed = crate::report::Json::parse(&doc.render()).unwrap();
         let entry = &reparsed.get("results").unwrap().as_arr().unwrap()[0];

@@ -61,6 +61,21 @@
 //! the capture pinned the axis (`--executor-threads`); default-executor
 //! cells omit it so their identity keys stay byte-comparable with
 //! artifacts captured before the executor existed.
+//!
+//! `kind: "replan"` entries (the elasticity axis, `wallclock --skew`,
+//! [`crate::elasticity`]) measure the elastic replan controller on the
+//! zipf-skewed page-view cell. Their identity is the *arm*: `workload` ×
+//! `workers` (pages) × the required boolean `elastic` (controller on or
+//! off), so bench-diff gates each arm against its own history rather
+//! than pitting the controller against the static baseline — that
+//! within-capture ratio is the elasticity win the tables report. They
+//! require `events`, `elapsed_ns`, and `replans`; carry optional
+//! `plan_workers`/`outputs`/`forks`/`joins` counters; and carry
+//! `pause_p50_ns`/`pause_p95_ns`/`pause_max_ns` (affected-partition
+//! stop-the-partition pause percentiles) only when the arm actually
+//! replanned. `spec_ok` is boolean when the arm was spec-checked, null
+//! otherwise; `latency_ns` is null (unpaced capacity runs have no
+//! per-event reference time).
 
 use std::fmt::Write as _;
 
@@ -449,16 +464,18 @@ impl SimEntry {
 }
 
 /// Assemble the full trajectory document from wall-clock points,
-/// simulator entries, and recovery points.
+/// simulator entries, recovery points, and elasticity (replan) points.
 pub fn trajectory(
     captured_at: &str,
     wall: &[crate::wallclock::WallclockPoint],
     sim: &[SimEntry],
     recovery: &[crate::recovery::RecoveryPoint],
+    replan: &[crate::elasticity::ReplanPoint],
 ) -> Json {
     let mut results: Vec<Json> = wall.iter().map(|p| p.to_json()).collect();
     results.extend(sim.iter().map(|e| e.to_json()));
     results.extend(recovery.iter().map(|p| p.to_json()));
+    results.extend(replan.iter().map(|p| p.to_json()));
     Json::Obj(vec![
         ("schema_version".into(), Json::Int(SCHEMA_VERSION)),
         ("captured_at".into(), Json::Str(captured_at.to_string())),
@@ -566,6 +583,38 @@ pub fn validate_trajectory(doc: &Json) -> Result<usize, String> {
             ("simulator", "virtual") => {
                 require_string(entry, "figure", i)?;
                 require_number(entry, "net_bytes", i)?;
+            }
+            ("replan", "wall") => {
+                // The arm identity: a cell is (workload, workers,
+                // controller on/off), so `elastic` must be a real bool.
+                if !matches!(entry.get("elastic"), Some(Json::Bool(_))) {
+                    return Err(format!("results[{i}]: missing boolean `elastic`"));
+                }
+                for key in ["events", "elapsed_ns", "replans"] {
+                    require_number(entry, key, i)?;
+                }
+                for key in [
+                    "plan_workers",
+                    "outputs",
+                    "forks",
+                    "joins",
+                    "pause_p50_ns",
+                    "pause_p95_ns",
+                    "pause_max_ns",
+                ] {
+                    optional_number(entry, key, i)?;
+                }
+                // Like wallclock's check-spec cells: bool when checked,
+                // null when the arm ran unchecked.
+                match entry.get("spec_ok") {
+                    None | Some(Json::Null) | Some(Json::Bool(_)) => {}
+                    Some(other) => {
+                        return Err(format!(
+                            "results[{i}]: spec_ok must be boolean or null, got {}",
+                            other.render()
+                        ))
+                    }
+                }
             }
             ("recovery", "wall") => {
                 let fault = require_string(entry, "fault", i)?;
@@ -695,7 +744,7 @@ mod tests {
             latency_p10_p50_p90: Some((1, 2, 3)),
             net_bytes: 99,
         };
-        let doc = trajectory("2026-07-26", &[], &[entry], &[]);
+        let doc = trajectory("2026-07-26", &[], &[entry], &[], &[]);
         assert_eq!(validate_trajectory(&doc), Ok(1));
         // Break it: drop `workers` from the entry.
         let text = doc.render().replace("\"workers\"", "\"warkers\"");

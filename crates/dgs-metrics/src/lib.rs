@@ -34,7 +34,7 @@ pub use histogram::{bucket_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use rate::RateEstimator;
 pub use trace::{trace_to_json, TraceEvent, TraceKind, TraceRing};
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -52,7 +52,13 @@ pub const REQUIRED_FAMILIES: &[&str] = &[
     "flumina_outputs_total",
     "flumina_output_latency_ns",
     "flumina_store_fsync_ns",
+    "flumina_replans_total",
+    "flumina_replan_pause_ns",
 ];
+
+/// Sentinel partition for a reserve worker slot that no elastic replan
+/// has activated yet; such slots are omitted from snapshots.
+pub const INACTIVE_PARTITION: usize = usize::MAX;
 
 /// Per-worker trace-ring capacity.
 pub const TRACE_RING_CAPACITY: usize = 256;
@@ -126,8 +132,11 @@ pub struct RunInfo {
 /// Live per-worker counters and queue-depth gauges.
 #[derive(Debug)]
 pub struct WorkerMetrics {
-    /// Which partition this worker's node belongs to.
-    pub partition: usize,
+    /// Which partition this worker's node belongs to. Atomic because an
+    /// elastic replan can activate a reserve slot (or re-home a reused
+    /// one) mid-run; [`INACTIVE_PARTITION`] marks a never-activated
+    /// reserve slot.
+    partition: AtomicUsize,
     /// Messages handled (updates + joins + forks + heartbeats routed).
     pub msgs: Counter,
     /// Update calls applied.
@@ -140,6 +149,19 @@ pub struct WorkerMetrics {
     pub queue_depth: Gauge,
     /// Largest queue depth ever sampled.
     pub queue_depth_max: Gauge,
+}
+
+impl WorkerMetrics {
+    /// The partition this slot currently belongs to
+    /// ([`INACTIVE_PARTITION`] for an unactivated reserve slot).
+    pub fn partition(&self) -> usize {
+        self.partition.load(Ordering::Relaxed)
+    }
+
+    /// Whether this slot has ever been activated.
+    pub fn is_active(&self) -> bool {
+        self.partition() != INACTIVE_PARTITION
+    }
 }
 
 /// Live per-input-stream (feeder) counters.
@@ -220,6 +242,11 @@ pub struct RunMetrics {
     pub outputs: Counter,
     /// Per-output latency vs schedule, nanoseconds (paced runs only).
     pub output_latency: Histogram,
+    /// Elastic replans completed (fork + join directions).
+    pub replans: Counter,
+    /// Affected-partition pause per replan, nanoseconds (hold request to
+    /// resume; untouched partitions keep flowing for the whole span).
+    pub replan_pause_ns: Histogram,
     /// Durable-store counters — shared as an `Arc` so the store itself
     /// (`DurableStore::with_metrics`) can hold the same sink the
     /// registry snapshots.
@@ -244,7 +271,7 @@ impl RunMetrics {
             workers: partition_of
                 .iter()
                 .map(|&partition| WorkerMetrics {
-                    partition,
+                    partition: AtomicUsize::new(partition),
                     msgs: Counter::default(),
                     updates: Counter::default(),
                     joins: Counter::default(),
@@ -263,6 +290,8 @@ impl RunMetrics {
             shards: (0..n_shards).map(|_| ShardMetrics::default()).collect(),
             outputs: Counter::default(),
             output_latency: Histogram::default(),
+            replans: Counter::default(),
+            replan_pause_ns: Histogram::default(),
             store: Arc::new(StoreMetrics::default()),
             traces: partition_of.iter().map(|_| TraceRing::new(TRACE_RING_CAPACITY)).collect(),
         }
@@ -282,6 +311,16 @@ impl RunMetrics {
         }
     }
 
+    /// Assign `worker` (a slab slot) to `partition`, activating it if it
+    /// was an unused reserve slot. Once active a slot stays in snapshots
+    /// for the rest of the run even if its task later retires — its
+    /// counters record work that really happened.
+    pub fn activate_worker(&self, worker: usize, partition: usize) {
+        if let Some(w) = self.workers.get(worker) {
+            w.partition.store(partition, Ordering::Relaxed);
+        }
+    }
+
     /// A plain-data copy of every metric at this instant. Racing writers
     /// may be mid-flush (values a flush interval stale); exact once the
     /// run has quiesced.
@@ -291,8 +330,11 @@ impl RunMetrics {
             workers: self
                 .workers
                 .iter()
-                .map(|w| WorkerSnapshot {
-                    partition: w.partition,
+                .enumerate()
+                .filter(|(_, w)| w.is_active())
+                .map(|(worker, w)| WorkerSnapshot {
+                    worker,
+                    partition: w.partition(),
                     msgs: w.msgs.get(),
                     updates: w.updates.get(),
                     joins: w.joins.get(),
@@ -323,11 +365,14 @@ impl RunMetrics {
                 .collect(),
             outputs: self.outputs.get(),
             output_latency: self.output_latency.snapshot(),
+            replans: self.replans.get(),
+            replan_pause_ns: self.replan_pause_ns.snapshot(),
             store: self.store.snapshot(),
             traces: self
                 .traces
                 .iter()
                 .enumerate()
+                .filter(|&(worker, _)| self.workers.get(worker).is_none_or(|w| w.is_active()))
                 .map(|(worker, ring)| {
                     let (events, dropped) = ring.snapshot();
                     TraceSnapshot { worker, capacity: ring.capacity(), events, dropped }
@@ -340,6 +385,9 @@ impl RunMetrics {
 /// Plain-data copy of one worker's metrics.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerSnapshot {
+    /// Worker slot id (slab index). Equal to the vector position unless
+    /// elastic reserve slots left inactive holes in the registry.
+    pub worker: usize,
     /// Partition the worker belongs to.
     pub partition: usize,
     /// Messages handled.
@@ -428,6 +476,10 @@ pub struct MetricsSnapshot {
     pub outputs: u64,
     /// Per-output latency histogram, nanoseconds.
     pub output_latency: HistogramSnapshot,
+    /// Elastic replans completed.
+    pub replans: u64,
+    /// Affected-partition pause per replan, nanoseconds.
+    pub replan_pause_ns: HistogramSnapshot,
     /// Durable-store counters.
     pub store: StoreSnapshot,
     /// Per-worker trace rings.
@@ -476,10 +528,10 @@ impl MetricsSnapshot {
 
         let per_worker_counter = |e: &mut Exposition, name: &str, help: &str, pick: &dyn Fn(&WorkerSnapshot) -> u64| {
             e.family(name, help, MetricType::Counter);
-            for (w, ws) in self.workers.iter().enumerate() {
+            for ws in &self.workers {
                 e.sample(
                     name,
-                    &[("partition", ws.partition.to_string()), ("worker", w.to_string())],
+                    &[("partition", ws.partition.to_string()), ("worker", ws.worker.to_string())],
                     pick(ws) as f64,
                 );
             }
@@ -490,18 +542,18 @@ impl MetricsSnapshot {
         per_worker_counter(&mut e, "flumina_worker_forks_total", "Fork protocol steps completed per worker.", &|w| w.forks);
 
         e.family("flumina_queue_depth", "Inbound queue depth per worker at the last flush point.", MetricType::Gauge);
-        for (w, ws) in self.workers.iter().enumerate() {
+        for ws in &self.workers {
             e.sample(
                 "flumina_queue_depth",
-                &[("partition", ws.partition.to_string()), ("worker", w.to_string())],
+                &[("partition", ws.partition.to_string()), ("worker", ws.worker.to_string())],
                 ws.queue_depth as f64,
             );
         }
         e.family("flumina_queue_depth_max", "Largest inbound queue depth sampled per worker.", MetricType::Gauge);
-        for (w, ws) in self.workers.iter().enumerate() {
+        for ws in &self.workers {
             e.sample(
                 "flumina_queue_depth_max",
-                &[("partition", ws.partition.to_string()), ("worker", w.to_string())],
+                &[("partition", ws.partition.to_string()), ("worker", ws.worker.to_string())],
                 ws.queue_depth_max as f64,
             );
         }
@@ -562,6 +614,10 @@ impl MetricsSnapshot {
 
         render_histogram(&mut e, "flumina_output_latency_ns", "Per-output latency versus schedule in nanoseconds (paced runs).", &self.output_latency);
 
+        e.family("flumina_replans_total", "Elastic replans completed (fork + join directions).", MetricType::Counter);
+        e.sample("flumina_replans_total", &[], self.replans as f64);
+        render_histogram(&mut e, "flumina_replan_pause_ns", "Affected-partition pause per replan (hold request to resume), nanoseconds.", &self.replan_pause_ns);
+
         e.family("flumina_store_appends_total", "Record frames appended to the durable store.", MetricType::Counter);
         e.sample("flumina_store_appends_total", &[], self.store.appends as f64);
         render_histogram(&mut e, "flumina_store_fsync_ns", "Durable-store sync_data latency per append, nanoseconds.", &self.store.fsync);
@@ -573,7 +629,17 @@ impl MetricsSnapshot {
         e.sample("flumina_store_reclaimed_bytes_total", &[], self.store.reclaimed_bytes as f64);
 
         e.family("flumina_trace_events_total", "Protocol span events retained in trace rings, by kind.", MetricType::Counter);
-        for kind in [TraceKind::Fork, TraceKind::Join, TraceKind::Checkpoint, TraceKind::Crash, TraceKind::Recovery] {
+        for kind in [
+            TraceKind::Fork,
+            TraceKind::Join,
+            TraceKind::Checkpoint,
+            TraceKind::Crash,
+            TraceKind::Recovery,
+            TraceKind::ReplanTrigger,
+            TraceKind::ReplanQuiesce,
+            TraceKind::ReplanMigrate,
+            TraceKind::ReplanResume,
+        ] {
             let n = self
                 .traces
                 .iter()
@@ -721,6 +787,42 @@ flumina_worker_msgs_total{partition=\"0\",worker=\"0\"} 5
         assert_eq!(s.fsync_p95_ns(), Some(1023));
         let empty = small_registry().snapshot();
         assert_eq!(empty.fsync_p95_ns(), None);
+    }
+
+    #[test]
+    fn reserve_slots_hide_until_activated_and_replans_render() {
+        let info = RunInfo {
+            workload: "page-view-zipf".into(),
+            channel_mode: "per-edge".into(),
+            workers: 2,
+            partitions: 2,
+        };
+        // Two live workers plus two inactive reserve slots.
+        let m = RunMetrics::for_shape(info, &[0, 1, INACTIVE_PARTITION, INACTIVE_PARTITION], 1, 1);
+        let s = m.snapshot();
+        assert_eq!(s.workers.len(), 2);
+        assert_eq!(s.traces.len(), 2);
+        assert_eq!(s.workers.iter().map(|w| w.worker).collect::<Vec<_>>(), vec![0, 1]);
+
+        // A replan activates slot 3 into partition 1; slot 2 stays dark.
+        m.activate_worker(3, 1);
+        m.workers[3].msgs.set(17);
+        m.replans.inc();
+        m.replan_pause_ns.record(40_000);
+        m.trace(3, TraceKind::ReplanResume, 9);
+        let s = m.snapshot();
+        assert_eq!(s.workers.len(), 3);
+        assert_eq!(s.workers[2].worker, 3);
+        assert_eq!(s.workers[2].partition, 1);
+        assert_eq!(s.replans, 1);
+
+        let text = s.render_prometheus();
+        validate_exposition(&text).expect("exposition with reserve slots must validate");
+        assert!(text.contains("flumina_worker_msgs_total{partition=\"1\",worker=\"3\"} 17\n"));
+        assert!(!text.contains("worker=\"2\""));
+        assert!(text.contains("flumina_replans_total 1\n"));
+        assert!(text.contains("flumina_replan_pause_ns_count 1\n"));
+        assert!(text.contains("flumina_trace_events_total{kind=\"replan-resume\"} 1\n"));
     }
 
     #[test]

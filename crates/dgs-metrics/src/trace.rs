@@ -26,6 +26,16 @@ pub enum TraceKind {
     Crash,
     /// A recovery (reopen + replay) started from a checkpoint.
     Recovery,
+    /// The elastic controller decided to replan this worker's partition
+    /// (hysteresis satisfied; hold requested at the partition root).
+    ReplanTrigger,
+    /// The partition reached quiescence for a replan: root held, feeders
+    /// paused, in-flight count zero.
+    ReplanQuiesce,
+    /// State and residual events were migrated onto the new sub-plan.
+    ReplanMigrate,
+    /// The partition resumed on the new sub-plan (feeders unpaused).
+    ReplanResume,
 }
 
 impl TraceKind {
@@ -37,6 +47,10 @@ impl TraceKind {
             TraceKind::Checkpoint => "checkpoint",
             TraceKind::Crash => "crash",
             TraceKind::Recovery => "recovery",
+            TraceKind::ReplanTrigger => "replan-trigger",
+            TraceKind::ReplanQuiesce => "replan-quiesce",
+            TraceKind::ReplanMigrate => "replan-migrate",
+            TraceKind::ReplanResume => "replan-resume",
         }
     }
 }
@@ -166,10 +180,27 @@ mod tests {
             TraceKind::Checkpoint,
             TraceKind::Crash,
             TraceKind::Recovery,
+            TraceKind::ReplanTrigger,
+            TraceKind::ReplanQuiesce,
+            TraceKind::ReplanMigrate,
+            TraceKind::ReplanResume,
         ]
         .iter()
         .map(|k| k.name())
         .collect();
-        assert_eq!(names, vec!["fork", "join", "checkpoint", "crash", "recovery"]);
+        assert_eq!(
+            names,
+            vec![
+                "fork",
+                "join",
+                "checkpoint",
+                "crash",
+                "recovery",
+                "replan-trigger",
+                "replan-quiesce",
+                "replan-migrate",
+                "replan-resume",
+            ]
+        );
     }
 }

@@ -70,6 +70,7 @@ use dgs_sim::{LinkSpec, Topology};
 
 use crate::checkpoint::CheckpointStore;
 use crate::durable::{DurableStore, StoreError};
+use crate::elastic::ReplanEvent;
 use crate::sim_driver::{build_sim_scheduled, ReplaySource, SimConfig};
 use crate::source::{item_lists, ScheduledStream};
 use crate::thread_driver::{run_threads, RunEffects, RunTiming, ThreadRunOptions};
@@ -154,6 +155,10 @@ pub struct RunReport<P: DgsProgram> {
     /// Wall-clock measurements — [`Backend::Threads`] with
     /// `record_timing` only.
     pub timing: Option<RunTiming>,
+    /// Every elastic replan the run performed, in completion order —
+    /// [`Backend::Threads`] with `ThreadRunOptions::elastic` only
+    /// (always empty on the other backends).
+    pub replans: Vec<ReplanEvent>,
     /// Engine statistics — [`Backend::Sim`] only.
     pub sim: Option<SimStats>,
     /// Full metrics snapshot — [`Backend::Threads`] unless
@@ -172,6 +177,7 @@ impl<P: DgsProgram> std::fmt::Debug for RunReport<P> {
             .field("checkpoints", &self.checkpoints)
             .field("effects", &self.effects)
             .field("timing", &self.timing)
+            .field("replans", &self.replans)
             .field("sim", &self.sim)
             .field("metrics", &self.metrics.is_some())
             .finish()
@@ -507,6 +513,7 @@ where
                     checkpoints: result.checkpoints,
                     effects: result.effects,
                     timing: result.timing,
+                    replans: result.replans,
                     sim: None,
                     metrics: None,
                 }
@@ -543,6 +550,7 @@ where
                     checkpoints,
                     effects,
                     timing: None,
+                    replans: Vec::new(),
                     sim: Some(stats),
                     metrics: None,
                 }
@@ -591,6 +599,7 @@ where
                 forks: vec![0],
             },
             timing: None,
+            replans: Vec::new(),
             sim: None,
             metrics: None,
         }

@@ -33,6 +33,7 @@
 pub mod checkpoint;
 pub mod cost;
 pub mod durable;
+pub mod elastic;
 pub mod job;
 pub mod mailbox;
 pub mod recovery;
@@ -44,6 +45,7 @@ pub mod worker;
 pub use checkpoint::{CheckpointStore, MemoryStore};
 pub use cost::CostModel;
 pub use durable::{DurableOptions, DurableStore, Fault, FaultPlan, StoreError};
+pub use elastic::{ElasticConfig, ReplanEvent, ReplanKind};
 pub use job::{Backend, Job, PlanStrategy, RunReport};
 pub use mailbox::Mailbox;
 pub use worker::{StepEffects, WorkerCore, WorkerMsg};

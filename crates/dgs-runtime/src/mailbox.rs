@@ -146,6 +146,29 @@ impl<T: Tag, P: Clone> Mailbox<T, P> {
         self.buffers.get(itag)?.front().map(Entry::order_key)
     }
 
+    /// Current timer watermark per tag: the latest `O` position observed
+    /// (events, join requests, and heartbeats all advance it). Zero-ts
+    /// timers (never advanced) are skipped. Used by elastic migration to
+    /// replay watermarks onto a successor mailbox as heartbeats.
+    pub fn timers(&self) -> Vec<(ITag<T>, Timestamp)> {
+        self.timers
+            .iter()
+            .filter(|(_, k)| k.ts > 0)
+            .map(|(t, k)| (t.clone(), k.ts))
+            .collect()
+    }
+
+    /// Drain every buffered (blocked) entry, per tag in `O` order, and
+    /// reset the buffers. Timers are left untouched. Used by elastic
+    /// migration to carry unprocessed entries to a successor mailbox.
+    pub fn take_buffered(&mut self) -> Vec<Entry<T, P>> {
+        let mut out = Vec::new();
+        for buf in self.buffers.values_mut() {
+            out.extend(buf.drain(..));
+        }
+        out
+    }
+
     /// Insert an entry; returns every entry that becomes releasable, in
     /// release order.
     pub fn insert(&mut self, entry: Entry<T, P>) -> Vec<Entry<T, P>> {

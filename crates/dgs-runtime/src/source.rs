@@ -41,6 +41,29 @@ impl<T: Tag, P: Clone> ScheduledStream<T, P> {
         ScheduledStream { itag, items }
     }
 
+    /// Events at the given (strictly increasing) timestamps, payloads
+    /// from `payload(i)` — the generator for non-uniform schedules
+    /// (zipf-skewed, bursty) that `periodic` cannot express.
+    pub fn at_times(
+        itag: ITag<T>,
+        times: impl IntoIterator<Item = Timestamp>,
+        mut payload: impl FnMut(u64) -> P,
+    ) -> Self {
+        let mut last: Option<Timestamp> = None;
+        let items = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, ts)| {
+                if let Some(prev) = last {
+                    assert!(ts > prev, "timestamps must be strictly increasing");
+                }
+                last = Some(ts);
+                StreamItem::Event(Event::new(itag.tag.clone(), itag.stream, ts, payload(i as u64)))
+            })
+            .collect();
+        ScheduledStream { itag, items }
+    }
+
     /// Interleave heartbeats every `period` timestamps, up to the last
     /// event (exclusive gaps only — a heartbeat never duplicates an event
     /// timestamp).

@@ -82,7 +82,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
@@ -91,13 +91,18 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{unbounded, Receiver, Sender, Waker};
 use crossbeam::edge;
 
-use dgs_core::event::{StreamItem, Timestamp};
+use dgs_core::event::{Heartbeat, StreamItem, Timestamp};
 use dgs_core::program::DgsProgram;
-use dgs_metrics::{RunInfo, RunMetrics, TraceKind};
-use dgs_plan::plan::{Plan, WorkerId};
+use dgs_core::tag::{ITag, Tag};
+use dgs_metrics::{RunInfo, RunMetrics, TraceKind, INACTIVE_PARTITION};
+use dgs_plan::plan::{Location, Plan, WorkerId};
 
+use crate::elastic::{
+    fork_partition_plan, join_partition_plan, Decision, Detector, ElasticConfig, ReplanEvent,
+    ReplanKind,
+};
 use crate::source::ScheduledStream;
-use crate::worker::{partition_seeds, WorkerCore, WorkerMsg};
+use crate::worker::{partition_seeds, StepEffects, WorkerCore, WorkerMsg};
 
 enum ThreadMsg<T, P, S> {
     Protocol(WorkerMsg<T, P, S>),
@@ -337,6 +342,17 @@ impl<T, P, S> Outbound<T, P, S> {
             Outbound::PerEdge(edges) => edges[dst].as_ref().map_or(0, |tx| tx.stalls()),
         }
     }
+
+    /// Whether a route to `dst` exists at all (the ticketed plane routes
+    /// to every worker; per-edge tables only to adjacent ones). Used by
+    /// the shutdown broadcast, which must skip never-activated reserve
+    /// slots.
+    fn has_edge(&self, dst: usize) -> bool {
+        match self {
+            Outbound::Ticketed(senders) => dst < senders.len(),
+            Outbound::PerEdge(edges) => edges.get(dst).is_some_and(|e| e.is_some()),
+        }
+    }
 }
 
 /// In-flight message counter with a condvar signalled at zero.
@@ -407,8 +423,262 @@ impl InFlight {
             guard = self.zero.wait(guard).expect("quiescence gate poisoned");
         }
     }
+
+    /// Bounded wait for zero, parked on the same condvar: `true` once the
+    /// counter reads zero, `false` on timeout or a failed run. The
+    /// elastic controller uses this while quiescing one partition so a
+    /// liveness bug can only abort a replan, never hang the run.
+    fn wait_zero_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.gate.lock().expect("quiescence gate poisoned");
+        loop {
+            if self.count.load(Ordering::SeqCst) == 0 {
+                return true;
+            }
+            if self.failed.load(Ordering::SeqCst) {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .zero
+                .wait_timeout(guard, deadline - now)
+                .expect("quiescence gate poisoned");
+            guard = g;
+        }
+    }
 }
 // ---- end quiescence protocol (scanned by `no_sleep_polling_in_quiescence`).
+
+/// One-shot signal a partition root raises once an elastic-replan hold
+/// has engaged (its full state is captured in [`crate::worker::WorkerCore`]):
+/// the controller parks here instead of polling the slab.
+#[derive(Default)]
+struct HoldGate {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl HoldGate {
+    fn signal(&self) {
+        *self.done.lock().expect("hold gate poisoned") = true;
+        self.cv.notify_all();
+    }
+
+    /// `true` once signalled; `false` if `timeout` elapses first.
+    fn wait_for(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut done = self.done.lock().expect("hold gate poisoned");
+        while !*done {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) =
+                self.cv.wait_timeout(done, deadline - now).expect("hold gate poisoned");
+            done = g;
+        }
+        true
+    }
+}
+
+/// Stop flag the driver raises once every source has finished, waking
+/// the elastic controller out of its interval park so it exits before
+/// the shutdown broadcast (no replan may race teardown).
+#[derive(Default)]
+struct Stopper {
+    stop: AtomicBool,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Stopper {
+    /// Park for one controller interval; `true` when stop was requested.
+    fn wait(&self, d: Duration) -> bool {
+        let guard = self.gate.lock().expect("stopper poisoned");
+        if self.stop.load(Ordering::SeqCst) {
+            return true;
+        }
+        let _ = self.cv.wait_timeout(guard, d).expect("stopper poisoned");
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    fn signal(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        drop(self.gate.lock().expect("stopper poisoned"));
+        self.cv.notify_all();
+    }
+}
+
+/// A stream's pending ingress reroute: destination slot + fresh route,
+/// parked for the owning feeder to take at its next control sync.
+type RerouteSlot<T, P, S> = Mutex<Option<(usize, Outbound<T, P, S>)>>;
+
+/// The elastic controller's handle on the feeder threads: pause the
+/// streams of one partition during a migration, hand each its rebound
+/// ingress route, and resume. Feeders acknowledge control epochs at
+/// their loop tops — never mid-send — so an acknowledged pause means no
+/// send to the paused streams is in progress or will start.
+struct FeederControl<T, P, S> {
+    /// Per-stream pause flag; checked before every send.
+    paused: Vec<AtomicBool>,
+    /// Per-stream pending reroute: the destination slot and the fresh
+    /// ingress route to it, taken and applied by the owning feeder at
+    /// its next control sync.
+    reroutes: Vec<RerouteSlot<T, P, S>>,
+    /// Bumped on every pause/unpause; feeders ack the epoch they saw.
+    epoch: AtomicU64,
+    /// Per-feeder last-acknowledged epoch.
+    acks: Vec<AtomicU64>,
+    /// Per-feeder finished flag: an exited feeder acks implicitly.
+    finished: Vec<AtomicBool>,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl<T, P, S> FeederControl<T, P, S> {
+    fn new(streams: usize, feeders: usize) -> Self {
+        FeederControl {
+            paused: (0..streams).map(|_| AtomicBool::new(false)).collect(),
+            reroutes: (0..streams).map(|_| Mutex::new(None)).collect(),
+            epoch: AtomicU64::new(0),
+            acks: (0..feeders).map(|_| AtomicU64::new(0)).collect(),
+            finished: (0..feeders).map(|_| AtomicBool::new(false)).collect(),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn is_paused(&self, si: usize) -> bool {
+        self.paused[si].load(Ordering::SeqCst)
+    }
+
+    /// Whether the control epoch moved past what feeder `me` last acked
+    /// — the cheap probe pacing loops poll between sleep chunks.
+    fn epoch_moved(&self, last: u64) -> bool {
+        self.epoch.load(Ordering::SeqCst) != last
+    }
+
+    /// Feeder-side control sync, called at loop tops: observe a new
+    /// epoch, apply any pending reroutes for the owned feeds, and ack.
+    /// Returns `true` when the epoch moved (pause flags may have
+    /// changed; the caller re-checks them per stream).
+    fn sync<'a>(
+        &self,
+        me: usize,
+        last: &mut u64,
+        feeds: impl Iterator<Item = &'a mut Feed<T, P, S>>,
+    ) -> bool
+    where
+        T: 'a,
+        P: 'a,
+        S: 'a,
+    {
+        let e = self.epoch.load(Ordering::SeqCst);
+        if e == *last {
+            return false;
+        }
+        for f in feeds {
+            let pending =
+                self.reroutes[f.si].lock().expect("reroute slot poisoned").take();
+            if let Some((dst, route)) = pending {
+                f.dst = dst;
+                f.route = route;
+            }
+        }
+        *last = e;
+        self.acks[me].store(e, Ordering::SeqCst);
+        drop(self.gate.lock().expect("feeder control poisoned"));
+        self.cv.notify_all();
+        true
+    }
+
+    /// Mark feeder `me` exited (all its streams drained or surrendered).
+    fn finish(&self, me: usize) {
+        self.finished[me].store(true, Ordering::SeqCst);
+        drop(self.gate.lock().expect("feeder control poisoned"));
+        self.cv.notify_all();
+    }
+
+    /// Controller side: pause `streams`, then wait until every feeder
+    /// has acknowledged the new epoch (or exited). `false` on timeout —
+    /// the caller unpauses and abandons the replan.
+    fn pause_and_wait(&self, streams: &[usize], timeout: Duration) -> bool {
+        for &si in streams {
+            self.paused[si].store(true, Ordering::SeqCst);
+        }
+        let e = self.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        drop(self.gate.lock().expect("feeder control poisoned"));
+        self.cv.notify_all();
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.gate.lock().expect("feeder control poisoned");
+        loop {
+            let all = (0..self.acks.len()).all(|f| {
+                self.finished[f].load(Ordering::SeqCst)
+                    || self.acks[f].load(Ordering::SeqCst) >= e
+            });
+            if all {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = self
+                .cv
+                .wait_timeout(guard, deadline - now)
+                .expect("feeder control poisoned");
+            guard = g;
+        }
+    }
+
+    /// Stage a rebound ingress route for stream `si` (applied by its
+    /// feeder at the unpause sync).
+    fn set_reroute(&self, si: usize, dst: usize, route: Outbound<T, P, S>) {
+        *self.reroutes[si].lock().expect("reroute slot poisoned") = Some((dst, route));
+    }
+
+    /// Take any reroute staged for stream `si`. Feeders call this right
+    /// before a send: `unpause` clears the pause flags *before* bumping
+    /// the epoch, so a feeder can observe the cleared flag ahead of the
+    /// sync that normally delivers reroutes — sending to the retired
+    /// (dead) ingress edge and silently surrendering the stream's tail.
+    /// Reroutes are always staged before the unpause store, so a cleared
+    /// flag guarantees the staged route is visible here.
+    fn take_reroute(&self, si: usize) -> Option<(usize, Outbound<T, P, S>)> {
+        self.reroutes[si].lock().expect("reroute slot poisoned").take()
+    }
+
+    /// Clear the pause on `streams` and bump the epoch so parked feeders
+    /// wake, apply their reroutes, and resume.
+    fn unpause(&self, streams: &[usize]) {
+        for &si in streams {
+            self.paused[si].store(false, Ordering::SeqCst);
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(self.gate.lock().expect("feeder control poisoned"));
+        self.cv.notify_all();
+    }
+
+    /// Clear every pause (controller teardown — normal or panicked — so
+    /// no feeder stays parked forever).
+    fn resume_all(&self) {
+        for p in &self.paused {
+            p.store(false, Ordering::SeqCst);
+        }
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+        drop(self.gate.lock().expect("feeder control poisoned"));
+        self.cv.notify_all();
+    }
+
+    /// Park a fully-paused feeder until the next control change.
+    fn wait_change(&self, timeout: Duration) {
+        let guard = self.gate.lock().expect("feeder control poisoned");
+        let _ = self.cv.wait_timeout(guard, timeout).expect("feeder control poisoned");
+    }
+}
 
 /// Messages a worker drains per scheduling turn before yielding the
 /// shard to its run-queue-mates.
@@ -449,19 +719,47 @@ struct Scheduler {
     live: AtomicUsize,
     /// A worker panicked: shards tear down instead of draining.
     failed: AtomicBool,
+    /// Per-shard handled-message EWMA, refreshed at the flush cadence.
+    /// Steal victim selection reads these to raid the shard whose
+    /// workers are *producing* load fastest — rate-predictive, where the
+    /// previous ring-order scan was merely demand-driven (first
+    /// non-empty queue, however slow its workers).
+    rates: Vec<AtomicU64>,
 }
 
 impl Scheduler {
-    fn new(placement: &[usize], shards: usize) -> Scheduler {
+    /// `placement` covers every slab slot (including elastic reserve
+    /// slots); `live` counts only the slots that hold a task at start.
+    fn new(placement: &[usize], shards: usize, live: usize) -> Scheduler {
         Scheduler {
             shards: (0..shards)
                 .map(|_| ShardQueue { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() })
                 .collect(),
             shard_of: placement.iter().map(|&s| AtomicUsize::new(s)).collect(),
             scheduled: placement.iter().map(|_| AtomicBool::new(false)).collect(),
-            live: AtomicUsize::new(placement.len()),
+            live: AtomicUsize::new(live),
             failed: AtomicBool::new(false),
+            rates: (0..shards).map(|_| AtomicU64::new(0)).collect(),
         }
+    }
+
+    /// Fold `recent` handled messages into shard `s`'s rate EWMA
+    /// (new = 3/4 old + 1/4 recent). Called at every shard flush,
+    /// metrics on or off — the scheduler itself is the consumer.
+    fn note_rate(&self, s: usize, recent: u64) {
+        let old = self.rates[s].load(Ordering::Relaxed);
+        self.rates[s].store(old - old / 4 + recent / 4, Ordering::Relaxed);
+    }
+
+    /// Victim order for an idle shard `s`: every other shard, hottest
+    /// recent message rate first, ties broken by ring distance (which is
+    /// also the legacy demand-driven order, so cold starts behave as
+    /// before the rates have data).
+    fn steal_order(&self, s: usize) -> Vec<usize> {
+        let n = self.shards.len();
+        let mut order: Vec<usize> = (1..n).map(|off| (s + off) % n).collect();
+        order.sort_by_key(|&v| Reverse(self.rates[v].load(Ordering::Relaxed)));
+        order
     }
 
     /// Mark worker `w` ready: enqueue it on its current shard unless it
@@ -549,7 +847,16 @@ struct WorkerTask<Prog>
 where
     Prog: DgsProgram,
 {
-    id: WorkerId,
+    /// Global slab index this task occupies. Equal to the worker id for
+    /// the initial plan's workers; a task installed by an elastic replan
+    /// runs a *local* sub-plan id but lives in a freshly allocated slot
+    /// — metrics, traces, and effect counters key on the slot, so two
+    /// generations of a partition never conflate.
+    slot: usize,
+    /// The partition's original root id, stable across replans: every
+    /// checkpoint this task takes is tagged with it, so recovery keys
+    /// a partition's snapshot series by one id for the whole run.
+    cp_root: WorkerId,
     core: WorkerCore<Prog>,
     port: InboundPort<Prog::Tag, Prog::Payload, Prog::State>,
     // Reusable scratch for batched receives: filled by
@@ -570,6 +877,10 @@ where
     updates: u64,
     joins: u64,
     forks: u64,
+    /// Installed by the elastic controller while it waits for this
+    /// partition root's hold to engage; signalled (once) from `poll` at
+    /// the step that captures the full state.
+    hold_gate: Option<Arc<HoldGate>>,
 }
 
 impl<Prog> WorkerTask<Prog>
@@ -608,7 +919,18 @@ where
                         self.buf.clear();
                         return TaskPoll::Done;
                     }
-                    ThreadMsg::Protocol(wm) => self.step(wm),
+                    ThreadMsg::Protocol(wm) => {
+                        self.step(wm);
+                        if self.hold_gate.is_some() && self.core.is_held() {
+                            // The elastic hold engaged on this step: the
+                            // core holds the partition's full state and
+                            // buffers everything else. Wake the waiting
+                            // controller.
+                            if let Some(g) = self.hold_gate.take() {
+                                g.signal();
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -631,19 +953,19 @@ where
         } else {
             0
         };
-        let mut fx = self.core.handle(wm);
+        let fx = self.core.handle(wm);
         self.updates += fx.updates;
         self.joins += fx.joins;
         self.forks += fx.forks;
         if let Some(m) = &self.metrics {
             if fx.forks > 0 {
-                m.trace(self.id.0, TraceKind::Fork, mts);
+                m.trace(self.slot, TraceKind::Fork, mts);
             }
             if fx.joins > 0 {
-                m.trace(self.id.0, TraceKind::Join, mts);
+                m.trace(self.slot, TraceKind::Join, mts);
             }
             if self.msgs.is_multiple_of(self.flush_every) {
-                let wm = &m.workers[self.id.0];
+                let wm = &m.workers[self.slot];
                 wm.msgs.set(self.msgs);
                 wm.updates.set(self.updates);
                 wm.joins.set(self.joins);
@@ -653,6 +975,18 @@ where
                 wm.queue_depth_max.ratchet(depth);
             }
         }
+        self.route_effects(fx);
+        self.in_flight.dec();
+    }
+
+    /// Deliver a step's effects: protocol messages to peers, outputs and
+    /// checkpoints to the driver. Also used by the elastic controller
+    /// when it cancels a timed-out hold — the cancellation adopts the
+    /// buffered backlog and its effects must flow exactly like a step's.
+    fn route_effects(
+        &mut self,
+        mut fx: StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out>,
+    ) {
         // Route in destination runs: consecutive messages to one worker
         // travel as one batched enqueue (one lock, one wakeup) in
         // per-edge mode. Order per edge is preserved; that is the only
@@ -691,17 +1025,16 @@ where
         }
         for (state, ts) in fx.checkpoints {
             if let Some(m) = &self.metrics {
-                m.trace(self.id.0, TraceKind::Checkpoint, ts);
+                m.trace(self.slot, TraceKind::Checkpoint, ts);
             }
-            self.cp_tx.send((self.id, state, ts)).expect("checkpoint channel closed");
+            self.cp_tx.send((self.cp_root, state, ts)).expect("checkpoint channel closed");
         }
-        self.in_flight.dec();
     }
 
     /// Final registry flush, mirroring the old at-thread-exit flush.
     fn finish(&mut self) {
         if let Some(m) = &self.metrics {
-            let wm = &m.workers[self.id.0];
+            let wm = &m.workers[self.slot];
             wm.msgs.set(self.msgs);
             wm.updates.set(self.updates);
             wm.joins.set(self.joins);
@@ -739,10 +1072,10 @@ impl EffectStores {
     }
 
     fn store<Prog: DgsProgram>(&self, t: &WorkerTask<Prog>) {
-        self.msgs[t.id.0].store(t.msgs, Ordering::Relaxed);
-        self.updates[t.id.0].store(t.updates, Ordering::Relaxed);
-        self.joins[t.id.0].store(t.joins, Ordering::Relaxed);
-        self.forks[t.id.0].store(t.forks, Ordering::Relaxed);
+        self.msgs[t.slot].store(t.msgs, Ordering::Relaxed);
+        self.updates[t.slot].store(t.updates, Ordering::Relaxed);
+        self.joins[t.slot].store(t.joins, Ordering::Relaxed);
+        self.forks[t.slot].store(t.forks, Ordering::Relaxed);
     }
 
     fn drain(&self) -> RunEffects {
@@ -774,7 +1107,12 @@ type FeedSet<Prog> = Vec<
 /// Theorem 3.5 needs) is preserved exactly.
 struct Feed<T, P, S> {
     si: usize,
+    /// Destination worker *slot* (rebound by elastic reroutes).
     dst: usize,
+    /// The plan partition this stream feeds — fixed for the whole run
+    /// even as `dst` moves between slots, so in-flight credits always
+    /// land on the right quiescence counter.
+    part: usize,
     route: Outbound<T, P, S>,
     items: std::vec::IntoIter<StreamItem<T, P>>,
 }
@@ -833,6 +1171,8 @@ fn run_shard<Prog>(
     }
     let _guard = ShardGuard { sched, tasks, in_flights };
     let (mut polls, mut steals, mut batch_msgs) = (0u64, 0u64, 0u64);
+    // Messages already folded into the scheduler's rate EWMA.
+    let mut rated = 0u64;
     let flush = |polls: u64, steals: u64, batch_msgs: u64| {
         if let Some(m) = metrics {
             let sm = &m.shards[s];
@@ -857,10 +1197,13 @@ fn run_shard<Prog>(
                 // and take ownership: subsequent wakeups for the stolen
                 // worker land here, which is the "rebalance" half of
                 // stealing — a hot root migrates away from a backlogged
-                // shard rather than bouncing per poll.
+                // shard rather than bouncing per poll. Victims are
+                // visited hottest recent message rate first
+                // (`Scheduler::steal_order`), so an idle shard relieves
+                // the shard that is *generating* backlog fastest rather
+                // than whichever happens to sit next in the ring.
                 let mut stolen = None;
-                for off in 1..sched.shards.len() {
-                    let v = (s + off) % sched.shards.len();
+                for v in sched.steal_order(s) {
                     if let Some(w) = sched.shards[v]
                         .queue
                         .lock()
@@ -952,9 +1295,12 @@ fn run_shard<Prog>(
             }
         }
         if polls % SHARD_FLUSH_EVERY == 0 {
+            sched.note_rate(s, batch_msgs - rated);
+            rated = batch_msgs;
             flush(polls, steals, batch_msgs);
         }
     }
+    sched.note_rate(s, batch_msgs - rated);
     flush(polls, steals, batch_msgs);
     if sched.failed.load(Ordering::SeqCst) {
         drop_all_tasks(tasks);
@@ -980,10 +1326,13 @@ pub struct ThreadRunResult<S, Out> {
     /// [`ThreadRunOptions::record_timing`] is set).
     pub timing: Option<RunTiming>,
     /// The live metrics registry (present unless
-    /// [`ThreadRunOptions::metrics`] was disabled). Callers snapshot it —
-    /// possibly after folding in post-run work like checkpoint
-    /// persistence — via [`RunMetrics::snapshot`].
+    /// [`ThreadRunOptions::metrics`] was disabled — elastic runs force
+    /// it on). Callers snapshot it — possibly after folding in post-run
+    /// work like checkpoint persistence — via [`RunMetrics::snapshot`].
     pub metrics: Option<Arc<RunMetrics>>,
+    /// Every elastic replan the controller completed, in order (always
+    /// empty when [`ThreadRunOptions::elastic`] is unset).
+    pub replans: Vec<ReplanEvent>,
 }
 
 /// Per-worker protocol work performed during one run, indexed by plan
@@ -1085,7 +1434,24 @@ pub struct ThreadRunOptions<S> {
     /// shape is known, so another thread can take mid-run snapshots while
     /// [`run_threads`] blocks (the CLI's `--metrics-interval` sampler).
     pub metrics_slot: Option<Arc<OnceLock<Arc<RunMetrics>>>>,
+    /// Elastic hot-partition scale-out: when set, a controller thread
+    /// samples per-stream arrival rates and per-slot queue depths at
+    /// [`ElasticConfig::interval`], and forks a persistently hot
+    /// sequential partition (or joins a persistently cold forked one)
+    /// *mid-run*, migrating its live state while only that partition
+    /// pauses. Forces metrics on (the controller reads them). Ignored
+    /// in [`ChannelMode::Ticketed`] — migration rebinds individual
+    /// edges and retires inboxes, which the global-order A/B plane
+    /// cannot express.
+    pub elastic: Option<ElasticConfig>,
+    /// Called after every completed replan, from the controller thread
+    /// (the CLI streams decisions to stderr through this).
+    pub on_replan: Option<ReplanHook>,
 }
+
+/// Observer invoked after every completed replan (see
+/// [`ThreadRunOptions::on_replan`]).
+pub type ReplanHook = Box<dyn Fn(&ReplanEvent) + Send>;
 
 impl<S> Default for ThreadRunOptions<S> {
     fn default() -> Self {
@@ -1100,19 +1466,63 @@ impl<S> Default for ThreadRunOptions<S> {
             metrics: true,
             metrics_flush_every: 256,
             metrics_slot: None,
+            elastic: None,
+            on_replan: None,
         }
     }
 }
 
-/// Sleep until `start + ts * ns_per_tick` on the wall clock (no-op when
-/// the target is already past or the offset overflows).
-fn pace_until(start: Instant, ts: Timestamp, ns_per_tick: u64) {
-    let Some(offset_ns) = ns_per_tick.checked_mul(ts) else { return };
+/// Longest single sleep while pacing a source: between chunks the feeder
+/// polls its control channel, so an elastic pause engages within ~1 ms
+/// even when the next release time is far off.
+const PACE_CHUNK: Duration = Duration::from_millis(1);
+
+/// Sleep until `start + ts * ns_per_tick` on the wall clock (immediately
+/// satisfied when the target is already past or the offset overflows).
+/// Sleeps in [`PACE_CHUNK`] chunks, polling `interrupt` between chunks;
+/// returns `false` the moment it reports `true`, leaving the caller to
+/// re-sync and retry — items are delayed, never skipped.
+fn pace_until(
+    start: Instant,
+    ts: Timestamp,
+    ns_per_tick: u64,
+    interrupt: impl Fn() -> bool,
+) -> bool {
+    let Some(offset_ns) = ns_per_tick.checked_mul(ts) else { return true };
     let target = start + Duration::from_nanos(offset_ns);
-    let now = Instant::now();
-    if target > now {
-        std::thread::sleep(target - now);
+    loop {
+        let now = Instant::now();
+        if target <= now {
+            return true;
+        }
+        std::thread::sleep((target - now).min(PACE_CHUNK));
+        if interrupt() {
+            return false;
+        }
     }
+}
+
+/// The elastic controller's book-keeping for one plan partition: which
+/// slab slots currently host it, the (local-id) sub-plan they run, and
+/// the stream indices that feed it.
+struct PartState<T: Tag> {
+    /// The partition's original root id — stable across replans, tags
+    /// every checkpoint.
+    cp_root: WorkerId,
+    /// Current slab slot per local sub-plan worker id.
+    slots: Vec<usize>,
+    /// The sub-plan currently running (worker ids are local: 0..len).
+    plan: Plan<T>,
+    /// Indices (into the run's stream list) of the sources feeding this
+    /// partition — the streams a replan pauses and reroutes.
+    streams: Vec<usize>,
+    location: Location,
+    /// Whether a fork of this (sequential) partition is structurally
+    /// possible — probed once per shape change with uniform rates
+    /// (feasibility is rate-independent), so a hot-but-indivisible
+    /// partition never accumulates a fork streak and starves cold
+    /// joins.
+    forkable: bool,
 }
 
 /// Execute `plan` over the given input streams and return every output
@@ -1121,7 +1531,7 @@ pub fn run_threads<Prog>(
     prog: Arc<Prog>,
     plan: &Plan<Prog::Tag>,
     streams: Vec<ScheduledStream<Prog::Tag, Prog::Payload>>,
-    options: ThreadRunOptions<Prog::State>,
+    mut options: ThreadRunOptions<Prog::State>,
 ) -> ThreadRunResult<Prog::State, Prog::Out>
 where
     Prog: DgsProgram + Send + Sync + 'static,
@@ -1142,20 +1552,42 @@ where
     // `Auto` resolves once per run, against the shard count actually
     // consuming the channels.
     let channel_mode = options.channel_mode.resolve(shards_n);
+    // Elastic replanning requires a per-edge plane: migration rebinds
+    // individual edges and retires inboxes, which the ticketed plane's
+    // shared senders cannot express.
+    let elastic = match channel_mode {
+        ChannelMode::Ticketed => None,
+        _ => options.elastic.take(),
+    };
+    let on_replan = options.on_replan.take();
+    let checkpoint_root = options.checkpoint_root;
+    let ingress_capacity = options.ingress_capacity;
+    let ring = channel_mode == ChannelMode::PerEdge;
+    // The slab is sized for the initial plan plus the elastic reserve.
+    // Retired slots are never reused: every migrated sub-plan gets fresh
+    // slots, so per-slot metrics, traces, and effect counters each
+    // describe exactly one worker generation.
+    let reserve = elastic.as_ref().map_or(0, |c| c.reserve_slots);
+    let slot_cap = n + reserve;
     // One quiescence counter per plan partition: the protocol never sends
     // across trees, so each tree seeds, runs, and drains independently.
     let part_of: Vec<usize> = (0..n).map(|i| plan.partition_index(WorkerId(i))).collect();
+    // Slot-indexed partition map: reserve slots are inactive until a
+    // replan activates them.
+    let mut part_of_ext = part_of.clone();
+    part_of_ext.resize(slot_cap, INACTIVE_PARTITION);
     let in_flights: Vec<Arc<InFlight>> =
         (0..plan.partition_count()).map(|_| Arc::new(InFlight::new())).collect();
-    let placement = place_workers(&part_of, plan.partition_count(), shards_n);
-    let sched = Arc::new(Scheduler::new(&placement, shards_n));
+    let mut placement = place_workers(&part_of, plan.partition_count(), shards_n);
+    placement.extend((n..slot_cap).map(|w| w % shards_n));
+    let sched = Arc::new(Scheduler::new(&placement, shards_n, n));
     let (out_tx, out_rx) = unbounded::<(Prog::Out, Timestamp, Instant)>();
     let (cp_tx, cp_rx) = unbounded::<(WorkerId, Prog::State, Timestamp)>();
     // Live metrics registry: shared with every worker and feeder, and
     // published to the caller's slot (if any) so a sampler thread can
     // snapshot mid-run. The workload label stays empty here — the driver
     // does not know it; callers that do set it on the snapshot.
-    let metrics: Option<Arc<RunMetrics>> = options.metrics.then(|| {
+    let metrics: Option<Arc<RunMetrics>> = (options.metrics || elastic.is_some()).then(|| {
         Arc::new(RunMetrics::for_shape(
             RunInfo {
                 workload: String::new(),
@@ -1163,7 +1595,7 @@ where
                 workers: n,
                 partitions: plan.partition_count(),
             },
-            &part_of,
+            &part_of_ext,
             streams.len(),
             shards_n,
         ))
@@ -1177,7 +1609,7 @@ where
     // adjacent slots would put false sharing on the exact hot path the
     // wallclock benchmarks measure. The driver reads them only after
     // the scope joins.
-    let effects = EffectStores::zeroed(n);
+    let effects = EffectStores::zeroed(slot_cap);
     let panics: PanicList = Mutex::new(Vec::new());
 
     // Wire the message plane. Per worker: an inbound port, an outgoing
@@ -1196,6 +1628,10 @@ where
                 .0
         })
         .collect();
+    // Per-stream itag and partition, captured for the elastic controller
+    // (which reroutes streams by itag after a migration).
+    let stream_itags: Vec<ITag<Prog::Tag>> = streams.iter().map(|s| s.itag.clone()).collect();
+    let stream_part: Vec<usize> = feeder_dsts.iter().map(|&d| part_of[d]).collect();
     match channel_mode {
         ChannelMode::Auto => unreachable!("resolved above"),
         ChannelMode::Ticketed => {
@@ -1252,9 +1688,15 @@ where
                     Outbound::PerEdge(routes)
                 })
                 .collect();
-            // Driver edges: seed StateDown + Shutdown, unbounded.
+            // Driver edges: seed StateDown + Shutdown, unbounded. Sized
+            // for the whole slab — reserve slots get edges only once a
+            // replan activates them.
             driver_routes = Outbound::PerEdge(
-                handles.iter().map(|h| Some(new_edge(h, None))).collect(),
+                handles
+                    .iter()
+                    .map(|h| Some(new_edge(h, None)))
+                    .chain((n..slot_cap).map(|_| None))
+                    .collect(),
             );
         }
     }
@@ -1268,7 +1710,7 @@ where
         .iter()
         .map(|(id, _)| {
             let mut core = WorkerCore::from_plan(prog.clone(), plan, id);
-            if options.checkpoint_root && plan.roots().contains(&id) {
+            if checkpoint_root && plan.roots().contains(&id) {
                 core.checkpoint_on_join = true;
             }
             let port = match (inbounds[id.0].take(), edge_inboxes[id.0].take()) {
@@ -1284,7 +1726,8 @@ where
                 Outbound::Ticketed(Vec::new()),
             );
             Mutex::new(Some(WorkerTask {
-                id,
+                slot: id.0,
+                cp_root: plan.roots()[part_of[id.0]],
                 core,
                 port,
                 buf: VecDeque::new(),
@@ -1300,8 +1743,10 @@ where
                 updates: 0,
                 joins: 0,
                 forks: 0,
+                hold_gate: None,
             }))
         })
+        .chain((n..slot_cap).map(|_| Mutex::new(None)))
         .collect();
 
     // Seed each partition root with its share of the initial state
@@ -1319,6 +1764,12 @@ where
         in_flight.sub(lost as u64);
     }
 
+    // After seeding, the driver plane is shared with the elastic
+    // controller (which adds edges to freshly activated slots) behind a
+    // mutex; the driver itself takes it back only for the final
+    // shutdown broadcast.
+    let driver_plane = Mutex::new(driver_routes);
+
     // Group streams onto capped feeder threads: at most one feeder per
     // shard, each owning a fixed set of streams — plan width no longer
     // dictates the feeder count any more than the worker count.
@@ -1329,16 +1780,55 @@ where
         .zip(feeder_routes.drain(..).zip(feeder_dsts.iter().copied()))
         .enumerate()
     {
-        feeds[si % n_feeders].push(Feed { si, dst, route, items: stream.items.into_iter() });
+        feeds[si % n_feeders].push(Feed {
+            si,
+            dst,
+            part: part_of[dst],
+            route,
+            items: stream.items.into_iter(),
+        });
     }
+
+    // Elastic control state: feeder pause/reroute plane, the stop flag
+    // the driver raises before teardown, the completed-replan log, and
+    // the per-partition book-keeping the controller starts from.
+    let ctl: Arc<FeederControl<Prog::Tag, Prog::Payload, Prog::State>> =
+        Arc::new(FeederControl::new(stream_itags.len(), n_feeders));
+    let stopper = Stopper::default();
+    let replans_list: Mutex<Vec<ReplanEvent>> = Mutex::new(Vec::new());
+    let parts: Vec<PartState<Prog::Tag>> = if elastic.is_some() {
+        plan.roots()
+            .iter()
+            .enumerate()
+            .map(|(p, &root)| {
+                let (sub, mapping) = plan.partition_plan(root);
+                let location = plan.worker(root).location;
+                let forkable = sub.len() == 1
+                    && fork_partition_plan(prog.as_ref(), &sub.all_itags(), |_| 1.0, location)
+                        .is_some();
+                PartState {
+                    cp_root: root,
+                    slots: mapping.iter().map(|w| w.0).collect(),
+                    plan: sub,
+                    streams: (0..stream_part.len()).filter(|&si| stream_part[si] == p).collect(),
+                    location,
+                    forkable,
+                }
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
 
     std::thread::scope(|scope| {
         let tasks = &tasks;
         let in_flights_ref = &in_flights[..];
-        let part_of = &part_of;
         let panics = &panics;
         let effects = &effects;
         let metrics_ref = metrics.as_deref();
+        let driver_plane_ref = &driver_plane;
+        let stopper_ref = &stopper;
+        let replans_ref = &replans_list;
         // Executor shards.
         for s in 0..shards_n {
             let sched = sched.clone();
@@ -1347,14 +1837,481 @@ where
             });
         }
 
+        // The elastic replan controller: one thread sampling rates at
+        // the configured interval, replanning at most one partition at a
+        // time. Single-threaded by construction, so replans never
+        // interleave; the driver stops it (stopper + join) before the
+        // shutdown broadcast, so no replan races teardown.
+        let controller = elastic.map(|cfg| {
+            let mut parts = parts;
+            let stream_itags = stream_itags;
+            let stream_part = stream_part;
+            let on_replan = on_replan;
+            let prog = prog.clone();
+            let metrics = metrics.clone().expect("elastic forces metrics on");
+            let sched = sched.clone();
+            let ctl = ctl.clone();
+            let out_tx = out_tx.clone();
+            let cp_tx = cp_tx.clone();
+            scope.spawn(move || {
+                let lock_slot = |g: usize| match tasks[g].lock() {
+                    Ok(guard) => guard,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let new_edge = |h: &edge::InboxHandle<Msg<Prog>>, cap: Option<usize>| {
+                        if ring {
+                            h.ring_edge(cap)
+                        } else {
+                            h.edge(cap)
+                        }
+                    };
+                    let mut detector = Detector::new(parts.len(), &cfg);
+                    let mut prev = vec![0u64; stream_itags.len()];
+                    let mut free: Vec<usize> = (n..slot_cap).collect();
+                    let mut done = 0usize;
+                    let interval_s = cfg.interval.as_secs_f64().max(1e-9);
+                    while !stopper_ref.wait(cfg.interval) {
+                        if sched.failed.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if done >= cfg.max_replans {
+                            break;
+                        }
+                        // --- sample: per-stream deltas since last tick,
+                        // folded per partition, plus live queue depths.
+                        let counts: Vec<u64> = (0..prev.len())
+                            .map(|si| metrics.streams[si].events.get())
+                            .collect();
+                        if counts.iter().sum::<u64>() < cfg.min_events {
+                            continue;
+                        }
+                        let deltas: Vec<u64> = counts
+                            .iter()
+                            .zip(&prev)
+                            .map(|(c, p)| c.saturating_sub(*p))
+                            .collect();
+                        prev = counts;
+                        let mut fresh = vec![0f64; parts.len()];
+                        for (si, &d) in deltas.iter().enumerate() {
+                            fresh[stream_part[si]] += d as f64;
+                        }
+                        // Queue backlog feeds only the detector's hot
+                        // side (see `Detector::observe`): arrivals alone
+                        // carry the cold signal.
+                        let mut backlog = vec![0f64; parts.len()];
+                        for (p, ps) in parts.iter().enumerate() {
+                            for &g in &ps.slots {
+                                backlog[p] += metrics.workers[g].queue_depth.get() as f64;
+                            }
+                        }
+                        let decision = {
+                            let parts = &parts;
+                            let free_len = free.len();
+                            detector.observe(
+                                &fresh,
+                                &backlog,
+                                |p| {
+                                    parts[p].forkable
+                                        && parts[p].plan.len() == 1
+                                        && free_len >= 3
+                                        && fresh[p] > 0.0
+                                },
+                                |p| {
+                                    parts[p].plan.len() > 1
+                                        && free_len >= 1
+                                        && fresh[p] > 0.0
+                                },
+                            )
+                        };
+                        let Some(decision) = decision else { continue };
+                        let (kind, p) = match decision {
+                            Decision::Fork(p) => (ReplanKind::Fork, p),
+                            Decision::Join(p) => (ReplanKind::Join, p),
+                        };
+                        // --- plan surgery first: a refusal costs nothing.
+                        let itags = parts[p].plan.all_itags();
+                        let sub_plan = match kind {
+                            ReplanKind::Fork => {
+                                let mut by_itag: BTreeMap<ITag<Prog::Tag>, f64> =
+                                    BTreeMap::new();
+                                for (si, &d) in deltas.iter().enumerate() {
+                                    if stream_part[si] == p {
+                                        *by_itag
+                                            .entry(stream_itags[si].clone())
+                                            .or_insert(0.0) += d as f64;
+                                    }
+                                }
+                                let rate_of = |t: &ITag<Prog::Tag>| {
+                                    by_itag.get(t).copied().unwrap_or(0.0)
+                                };
+                                match fork_partition_plan(
+                                    prog.as_ref(),
+                                    &itags,
+                                    rate_of,
+                                    parts[p].location,
+                                ) {
+                                    Some(plan) => plan,
+                                    None => continue,
+                                }
+                            }
+                            ReplanKind::Join => {
+                                join_partition_plan(itags.iter().cloned(), parts[p].location)
+                            }
+                        };
+                        let k_old = parts[p].plan.len();
+                        let k_new = sub_plan.len();
+                        let root_lid = parts[p].plan.root().0;
+                        let old_root_slot = parts[p].slots[root_lid];
+                        let cp_root = parts[p].cp_root;
+                        let t0 = Instant::now();
+                        metrics.trace(old_root_slot, TraceKind::ReplanTrigger, done as u64);
+                        // --- engage the hold on the partition root: it
+                        // captures the partition's full state at its next
+                        // safe point and buffers everything after it.
+                        let gate = Arc::new(HoldGate::default());
+                        let immediate = {
+                            let mut slot = lock_slot(old_root_slot);
+                            let Some(task) = slot.as_mut() else { continue };
+                            let now = task.core.request_hold();
+                            if !now {
+                                task.hold_gate = Some(gate.clone());
+                            }
+                            now
+                        };
+                        let engaged = immediate || {
+                            sched.wake(old_root_slot);
+                            gate.wait_for(cfg.hold_timeout)
+                        };
+                        if !engaged {
+                            // Timed out: cancel, route whatever the
+                            // cancellation emitted, and try again later.
+                            let mut slot = lock_slot(old_root_slot);
+                            if let Some(task) = slot.as_mut() {
+                                task.hold_gate = None;
+                                let fx = task.core.cancel_hold();
+                                task.route_effects(fx);
+                            }
+                            drop(slot);
+                            sched.wake(old_root_slot);
+                            continue;
+                        }
+                        // --- pause this partition's sources, then drain
+                        // its in-flight messages. Other partitions flow
+                        // throughout.
+                        if !ctl.pause_and_wait(&parts[p].streams, cfg.hold_timeout)
+                            || !in_flights_ref[p].wait_zero_for(cfg.hold_timeout)
+                        {
+                            ctl.unpause(&parts[p].streams);
+                            let mut slot = lock_slot(old_root_slot);
+                            if let Some(task) = slot.as_mut() {
+                                task.hold_gate = None;
+                                let fx = task.core.cancel_hold();
+                                task.route_effects(fx);
+                            }
+                            drop(slot);
+                            sched.wake(old_root_slot);
+                            continue;
+                        }
+                        metrics.trace(old_root_slot, TraceKind::ReplanQuiesce, done as u64);
+                        // --- extract: take the partition's tasks out of
+                        // the slab (their inboxes retire with them; stale
+                        // senders surrender), pull the held state, the
+                        // residual events, and the per-itag watermarks.
+                        let mut old_tasks: Vec<WorkerTask<Prog>> = Vec::with_capacity(k_old);
+                        for lid in 0..k_old {
+                            match lock_slot(parts[p].slots[lid]).take() {
+                                Some(t) => old_tasks.push(t),
+                                None => break,
+                            }
+                        }
+                        if old_tasks.len() != k_old {
+                            // The run is tearing down (panic path);
+                            // abandon — the partition is dead anyway.
+                            ctl.unpause(&parts[p].streams);
+                            continue;
+                        }
+                        let state = old_tasks[root_lid].core.take_held_state();
+                        let mut residuals = old_tasks[root_lid].core.drain_residual_events();
+                        for (lid, t) in old_tasks.iter_mut().enumerate() {
+                            if lid != root_lid {
+                                residuals.extend(t.core.drain_residual_events());
+                            }
+                        }
+                        let mut timers: BTreeMap<ITag<Prog::Tag>, Timestamp> = BTreeMap::new();
+                        for t in &old_tasks {
+                            for (itag, ts) in t.core.export_timers() {
+                                let e = timers.entry(itag).or_insert(0);
+                                *e = (*e).max(ts);
+                            }
+                        }
+                        for t in &mut old_tasks {
+                            t.finish();
+                            effects.store(t);
+                        }
+                        drop(old_tasks);
+                        // --- rebuild: fresh cores for the new sub-plan,
+                        // seeded by a *local* pump — StateDown first,
+                        // then every residual event (per-stream order is
+                        // per-worker, and events only ever route to the
+                        // one worker owning their itag), then the
+                        // watermark replay, conservatively, last. The
+                        // pump runs the fork/join protocol synchronously
+                        // to quiescence before any new input can arrive,
+                        // so live traffic never interleaves with the
+                        // migration backlog.
+                        let mut cores: Vec<WorkerCore<Prog>> = sub_plan
+                            .iter()
+                            .map(|(lid, _)| {
+                                let mut c = WorkerCore::from_plan(prog.clone(), &sub_plan, lid);
+                                if checkpoint_root && lid == sub_plan.root() {
+                                    c.checkpoint_on_join = true;
+                                }
+                                c
+                            })
+                            .collect();
+                        let new_slots: Vec<usize> =
+                            (0..k_new).map(|_| free.remove(0)).collect();
+                        type PumpMsg<Prog> = (
+                            WorkerId,
+                            WorkerMsg<
+                                <Prog as DgsProgram>::Tag,
+                                <Prog as DgsProgram>::Payload,
+                                <Prog as DgsProgram>::State,
+                            >,
+                        );
+                        let mut q: VecDeque<PumpMsg<Prog>> = VecDeque::new();
+                        q.push_back((sub_plan.root(), WorkerMsg::StateDown { state }));
+                        for e in residuals {
+                            let itag = e.itag();
+                            let w = sub_plan.responsible_for(&itag).unwrap_or_else(|| {
+                                panic!("migrated event {itag:?} has no owner in the new sub-plan")
+                            });
+                            q.push_back((w, WorkerMsg::Event(e)));
+                        }
+                        for (itag, ts) in &timers {
+                            if let Some(w) = sub_plan.responsible_for(itag) {
+                                q.push_back((
+                                    w,
+                                    WorkerMsg::Heartbeat(Heartbeat::new(
+                                        itag.tag.clone(),
+                                        itag.stream,
+                                        *ts,
+                                    )),
+                                ));
+                            }
+                        }
+                        let mut tallies = vec![[0u64; 4]; k_new];
+                        while let Some((lid, wm)) = q.pop_front() {
+                            let mts = match &wm {
+                                WorkerMsg::Event(e) => e.ts,
+                                WorkerMsg::EventBatch(b) => b.last().map_or(0, |e| e.ts),
+                                WorkerMsg::Heartbeat(h) => h.ts,
+                                WorkerMsg::JoinRequest { ts, .. } => *ts,
+                                WorkerMsg::StateUp { .. } | WorkerMsg::StateDown { .. } => 0,
+                            };
+                            let fx = cores[lid.0].handle(wm);
+                            let tl = &mut tallies[lid.0];
+                            tl[0] += 1;
+                            tl[1] += fx.updates;
+                            tl[2] += fx.joins;
+                            tl[3] += fx.forks;
+                            if fx.forks > 0 {
+                                metrics.trace(new_slots[lid.0], TraceKind::Fork, mts);
+                            }
+                            if fx.joins > 0 {
+                                metrics.trace(new_slots[lid.0], TraceKind::Join, mts);
+                            }
+                            for m in fx.msgs {
+                                q.push_back(m);
+                            }
+                            for (o, ts) in fx.outputs {
+                                let at = Instant::now();
+                                metrics.outputs.inc();
+                                if let Some(ns) = pace {
+                                    let scheduled = ns
+                                        .checked_mul(ts)
+                                        .map(Duration::from_nanos)
+                                        .unwrap_or(Duration::ZERO);
+                                    metrics.output_latency.record(
+                                        at.saturating_duration_since(start + scheduled)
+                                            .as_nanos()
+                                            as u64,
+                                    );
+                                }
+                                out_tx.send((o, ts, at)).expect("output channel closed");
+                            }
+                            for (st, ts) in fx.checkpoints {
+                                metrics.trace(new_slots[lid.0], TraceKind::Checkpoint, ts);
+                                cp_tx
+                                    .send((cp_root, st, ts))
+                                    .expect("checkpoint channel closed");
+                            }
+                        }
+                        // --- rebind: fresh inboxes with wakers, peer
+                        // edges (local-id route tables into global
+                        // inboxes), and a driver edge per new slot — the
+                        // driver edge must exist *before* the task is
+                        // installed, so an inbox is never observed with
+                        // zero senders (which reads as teardown).
+                        let mut new_handles: Vec<edge::InboxHandle<Msg<Prog>>> =
+                            Vec::with_capacity(k_new);
+                        let mut new_ports: Vec<
+                            InboundPort<Prog::Tag, Prog::Payload, Prog::State>,
+                        > = Vec::with_capacity(k_new);
+                        for &g in &new_slots {
+                            let inbox = edge::inbox();
+                            new_handles.push(inbox.handle());
+                            let port = InboundPort::Edge(inbox);
+                            let sched_for_waker = sched.clone();
+                            port.set_waker(Arc::new(move || sched_for_waker.wake(g)));
+                            new_ports.push(port);
+                        }
+                        let mut new_routes: Vec<
+                            Outbound<Prog::Tag, Prog::Payload, Prog::State>,
+                        > = Vec::with_capacity(k_new);
+                        for (_, w) in sub_plan.iter() {
+                            let mut routes: EdgeRoutes<
+                                Prog::Tag,
+                                Prog::Payload,
+                                Prog::State,
+                            > = (0..k_new).map(|_| None).collect();
+                            for peer in w.children.iter().copied().chain(w.parent) {
+                                routes[peer.0] = Some(new_edge(&new_handles[peer.0], None));
+                            }
+                            new_routes.push(Outbound::PerEdge(routes));
+                        }
+                        {
+                            let mut dp =
+                                driver_plane_ref.lock().expect("driver plane poisoned");
+                            if let Outbound::PerEdge(edges) = &mut *dp {
+                                for (lid, &g) in new_slots.iter().enumerate() {
+                                    edges[g] = Some(new_edge(&new_handles[lid], None));
+                                }
+                            }
+                        }
+                        for (lid, ((core, port), routes)) in
+                            cores.into_iter().zip(new_ports).zip(new_routes).enumerate()
+                        {
+                            let g = new_slots[lid];
+                            metrics.activate_worker(g, p);
+                            let tl = tallies[lid];
+                            *lock_slot(g) = Some(WorkerTask {
+                                slot: g,
+                                cp_root,
+                                core,
+                                port,
+                                buf: VecDeque::new(),
+                                routes,
+                                in_flight: in_flights_ref[p].clone(),
+                                out_tx: out_tx.clone(),
+                                cp_tx: cp_tx.clone(),
+                                metrics: Some(metrics.clone()),
+                                pace,
+                                start,
+                                flush_every,
+                                msgs: tl[0],
+                                updates: tl[1],
+                                joins: tl[2],
+                                forks: tl[3],
+                                hold_gate: None,
+                            });
+                        }
+                        // Grow live *before* retiring the old tasks so
+                        // the count never transits zero mid-run.
+                        sched.live.fetch_add(k_new, Ordering::SeqCst);
+                        for _ in 0..k_old {
+                            sched.retire();
+                        }
+                        for &g in &new_slots {
+                            sched.wake(g);
+                        }
+                        metrics.trace(
+                            new_slots[sub_plan.root().0],
+                            TraceKind::ReplanMigrate,
+                            done as u64,
+                        );
+                        // --- resume: rebind each paused stream's ingress
+                        // edge to its new owner and release the pause.
+                        for &si in &parts[p].streams {
+                            let Some(lid) = sub_plan.responsible_for(&stream_itags[si])
+                            else {
+                                continue;
+                            };
+                            let g = new_slots[lid.0];
+                            let mut routes: EdgeRoutes<
+                                Prog::Tag,
+                                Prog::Payload,
+                                Prog::State,
+                            > = (0..slot_cap).map(|_| None).collect();
+                            routes[g] = Some(new_edge(
+                                &new_handles[lid.0],
+                                Some(ingress_capacity),
+                            ));
+                            ctl.set_reroute(si, g, Outbound::PerEdge(routes));
+                        }
+                        ctl.unpause(&parts[p].streams);
+                        metrics.trace(
+                            new_slots[sub_plan.root().0],
+                            TraceKind::ReplanResume,
+                            done as u64,
+                        );
+                        let pause_ns = t0.elapsed().as_nanos() as u64;
+                        metrics.replans.inc();
+                        metrics.replan_pause_ns.record(pause_ns);
+                        let ev = ReplanEvent {
+                            kind,
+                            partition: p,
+                            root: cp_root,
+                            at_ns: metrics.elapsed_ns(),
+                            pause_ns,
+                            workers_before: k_old,
+                            workers_after: k_new,
+                            trigger_rate_eps: fresh[p] / interval_s,
+                        };
+                        if let Some(cb) = &on_replan {
+                            cb(&ev);
+                        }
+                        replans_ref.lock().expect("replan list poisoned").push(ev);
+                        let forkable = k_new == 1
+                            && fork_partition_plan(
+                                prog.as_ref(),
+                                &sub_plan.all_itags(),
+                                |_| 1.0,
+                                parts[p].location,
+                            )
+                            .is_some();
+                        parts[p].slots = new_slots;
+                        parts[p].plan = sub_plan;
+                        parts[p].forkable = forkable;
+                        done += 1;
+                    }
+                }));
+                if let Err(payload) = outcome {
+                    // Contain a controller bug exactly like a worker
+                    // panic: capture, fail quiescence, tear down.
+                    panics.lock().expect("panic list poisoned").push(payload);
+                    for f in in_flights_ref {
+                        f.fail();
+                    }
+                    sched.fail();
+                    drop_all_tasks(tasks);
+                }
+                // Whatever happened, leave no stream paused behind us.
+                ctl.resume_all();
+            })
+        });
+
         // Sources: feeder threads capped at the shard count, full speed
         // unless paced. Unpaced feeders round-robin batched sends across
         // their streams; paced feeders merge their streams by release
         // time and send item by item.
         let feeders: Vec<_> = feeds
             .into_iter()
-            .map(|mut group| {
+            .enumerate()
+            .map(|(fi, mut group)| {
                 let metrics = metrics.clone();
+                let ctl = ctl.clone();
                 scope.spawn(move || {
                     // Fold a send into a stream's metrics: fed-item
                     // count and arrival rate, plus the edge's cumulative
@@ -1372,7 +2329,13 @@ where
                         // Paced: merge the owned streams by release time
                         // (ties broken by slot, deterministically) so one
                         // thread paces many sources without reordering
-                        // any single stream.
+                        // any single stream. The control protocol rides
+                        // the loop top: epochs are acked only between
+                        // sends, so an acknowledged pause guarantees no
+                        // send is mid-flight; a paused stream parks off
+                        // the heap and re-enters when released.
+                        let mut last_epoch = 0u64;
+                        let mut parked: Vec<bool> = vec![false; group.len()];
                         let mut pending: Vec<Option<StreamItem<_, _>>> = Vec::new();
                         let mut heap = BinaryHeap::new();
                         for (i, f) in group.iter_mut().enumerate() {
@@ -1382,15 +2345,48 @@ where
                             }
                             pending.push(nxt);
                         }
-                        while let Some(Reverse((ts, i))) = heap.pop() {
-                            let item = pending[i].take().expect("heap entry has an item");
-                            pace_until(start, ts, ns);
+                        loop {
+                            if ctl.sync(fi, &mut last_epoch, group.iter_mut()) {
+                                for (i, pk) in parked.iter_mut().enumerate() {
+                                    if *pk && !ctl.is_paused(group[i].si) {
+                                        *pk = false;
+                                        if let Some(item) = &pending[i] {
+                                            heap.push(Reverse((item.ts(), i)));
+                                        }
+                                    }
+                                }
+                            }
+                            let Some(Reverse((ts, i))) = heap.pop() else {
+                                if parked.iter().any(|&b| b) {
+                                    // Everything live is exhausted but a
+                                    // paused stream still holds items:
+                                    // wait for the release.
+                                    ctl.wait_change(INGRESS_PARK);
+                                    continue;
+                                }
+                                break;
+                            };
+                            if ctl.is_paused(group[i].si) {
+                                parked[i] = true;
+                                continue;
+                            }
+                            if !pace_until(start, ts, ns, || ctl.epoch_moved(last_epoch)) {
+                                // A control epoch landed mid-sleep; put
+                                // the item back and ack before sending.
+                                heap.push(Reverse((ts, i)));
+                                continue;
+                            }
                             let f = &mut group[i];
+                            if let Some((dst, route)) = ctl.take_reroute(f.si) {
+                                f.dst = dst;
+                                f.route = route;
+                            }
+                            let item = pending[i].take().expect("heap entry has an item");
                             let msg = match item {
                                 StreamItem::Event(e) => WorkerMsg::Event(e),
                                 StreamItem::Heartbeat(h) => WorkerMsg::Heartbeat(h),
                             };
-                            let in_flight = &in_flights_ref[part_of[f.dst]];
+                            let in_flight = &in_flights_ref[f.part];
                             in_flight.inc();
                             let lost = f
                                 .route
@@ -1409,6 +2405,7 @@ where
                                 pending[i] = Some(nxt);
                             }
                         }
+                        ctl.finish(fi);
                     } else {
                         // Unpaced: rotate *non-blocking* batches across
                         // the owned streams. A bounded ingress edge that
@@ -1428,11 +2425,27 @@ where
                                 .into_iter()
                                 .map(|f| (f, VecDeque::with_capacity(FEED_BATCH), false))
                                 .collect();
+                        let mut last_epoch = 0u64;
                         while !streams.is_empty() {
+                            // Ack control epochs only at the rotation
+                            // top — never mid-send — so an acknowledged
+                            // pause implies the feeder holds no
+                            // uncredited in-flight messages for the
+                            // paused streams (undelivered batches keep
+                            // their credits off the counter until retry).
+                            ctl.sync(fi, &mut last_epoch, streams.iter_mut().map(|(f, _, _)| f));
                             let mut progress = false;
                             let mut i = 0;
                             while i < streams.len() {
                                 let (f, pending, done) = &mut streams[i];
+                                if ctl.is_paused(f.si) {
+                                    i += 1;
+                                    continue;
+                                }
+                                if let Some((dst, route)) = ctl.take_reroute(f.si) {
+                                    f.dst = dst;
+                                    f.route = route;
+                                }
                                 while pending.len() < FEED_BATCH && !*done {
                                     match f.items.next() {
                                         Some(StreamItem::Event(e)) => pending.push_back(
@@ -1452,7 +2465,7 @@ where
                                     continue;
                                 }
                                 let attempted = pending.len();
-                                let in_flight = &in_flights_ref[part_of[f.dst]];
+                                let in_flight = &in_flights_ref[f.part];
                                 in_flight.add(attempted as u64);
                                 let (pushed, dead) = f.route.try_send_run(f.dst, pending);
                                 // The unsent suffix stays pending for the
@@ -1475,17 +2488,32 @@ where
                                 i += 1;
                             }
                             if !progress {
-                                if let Some((f, _, _)) = streams.first() {
-                                    f.route.wait_not_full(f.dst, INGRESS_PARK);
+                                match streams.iter().find(|(f, _, _)| !ctl.is_paused(f.si)) {
+                                    Some((f, _, _)) => {
+                                        f.route.wait_not_full(f.dst, INGRESS_PARK);
+                                    }
+                                    // Every owned stream is paused: wait
+                                    // on the control condvar instead of
+                                    // an edge that will not move.
+                                    None => ctl.wait_change(INGRESS_PARK),
                                 }
                             }
                         }
+                        ctl.finish(fi);
                     }
                 })
             })
             .collect();
         for f in feeders {
             f.join().expect("feeder panicked");
+        }
+
+        // Sources are done: stop the controller *before* waiting for
+        // quiescence so no replan can race teardown, then wait for it to
+        // finish any replan already in progress.
+        stopper.signal();
+        if let Some(c) = controller {
+            let _ = c.join();
         }
 
         // Quiescence: all sources done and nothing in flight in any
@@ -1497,9 +2525,13 @@ where
         }
         // Teardown: each worker's task polls the shutdown message and
         // reports `Done`; a task already torn down just leaves it
-        // undelivered — nothing to panic about.
-        for w in 0..n {
-            let _ = driver_routes.send_run(w, std::iter::once(ThreadMsg::Shutdown));
+        // undelivered — nothing to panic about. The driver plane covers
+        // every slab slot; retired and never-used slots have no edge.
+        let dp = driver_plane_ref.lock().expect("driver plane poisoned");
+        for w in 0..slot_cap {
+            if dp.has_edge(w) {
+                let _ = dp.send_run(w, std::iter::once(ThreadMsg::Shutdown));
+            }
         }
     });
     let wall = start.elapsed();
@@ -1539,6 +2571,7 @@ where
         effects: effects.drain(),
         timing,
         metrics,
+        replans: replans_list.into_inner().expect("replan list poisoned"),
     }
 }
 
@@ -1603,6 +2636,8 @@ mod tests {
         assert_eq!(got.len(), 8);
         let total: i64 = got.iter().map(|(_, v)| *v).sum();
         assert_eq!(total, 200);
+        // No elastic controller configured: no replans recorded.
+        assert!(result.replans.is_empty());
     }
 
     #[test]
@@ -2101,5 +3136,182 @@ mod tests {
         let timing = result.timing.expect("timing requested");
         assert!(timing.output_latency_ns.is_empty());
         assert_eq!(result.effects.msgs.len(), plan.len());
+    }
+
+    /// Rate-predictive victim selection: shards steal from the shard
+    /// with the highest recent message rate first, not merely the next
+    /// neighbor.
+    #[test]
+    fn steal_order_prefers_the_hottest_shard() {
+        let sched = Scheduler::new(&[0, 1, 2], 3, 3);
+        // EWMA starts at zero; one sample puts shard 1 well above 2.
+        sched.note_rate(1, 400);
+        sched.note_rate(2, 40);
+        assert_eq!(sched.steal_order(0), vec![1, 2]);
+        assert_eq!(sched.steal_order(1), vec![2, 0]);
+        // A burst on shard 0 reorders victims for everyone else.
+        sched.note_rate(0, 4000);
+        assert_eq!(sched.steal_order(1), vec![0, 2]);
+        assert_eq!(sched.steal_order(2), vec![0, 1]);
+    }
+
+    /// The elastic controller forks a persistently hot single-worker
+    /// partition mid-run: the sequential plan's one worker is replaced
+    /// by a root and two leaves, live state migrates, and the output
+    /// multiset still matches the sequential spec.
+    #[test]
+    fn elastic_fork_splits_hot_partition() {
+        use dgs_plan::plan::sequential_plan;
+        let itags =
+            [it(KcTag::ReadReset(1), 0), it(KcTag::Inc(1), 1), it(KcTag::Inc(1), 2)];
+        let plan = sequential_plan(itags, Location(0));
+        assert_eq!(plan.len(), 1, "starting plan is a single worker");
+        let streams = || {
+            vec![
+                ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 50, 50, 8, |_| ())
+                    .with_heartbeats(5)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 3, 100, |_| ())
+                    .with_heartbeats(7)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(1), 2), 2, 3, 100, |_| ())
+                    .with_heartbeats(7)
+                    .closed(u64::MAX),
+            ]
+        };
+        let expect = {
+            let merged = sort_o(&item_lists(&streams()));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        // ~400 ticks at 50 µs/tick ≈ 20 ms of wall clock; with one
+        // partition the rate always equals the mean, so `hot_ratio: 1.0`
+        // (the detector compares with >=) trips as soon as traffic flows.
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            streams(),
+            ThreadRunOptions {
+                checkpoint_root: true,
+                pace_ns_per_tick: Some(50_000),
+                elastic: Some(ElasticConfig {
+                    interval: Duration::from_millis(2),
+                    hot_ratio: 1.0,
+                    cold_ratio: 0.0,
+                    hold_ticks: 1,
+                    min_events: 16,
+                    max_replans: 1,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.replans.len(), 1, "the hot partition must fork");
+        let ev = &result.replans[0];
+        assert_eq!(ev.kind, ReplanKind::Fork);
+        assert_eq!(ev.partition, 0);
+        assert_eq!(ev.root, plan.root());
+        assert_eq!((ev.workers_before, ev.workers_after), (1, 3));
+        assert!(ev.pause_ns > 0);
+        assert!(ev.trigger_rate_eps > 0.0);
+        let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "fork migration changed the output multiset");
+        // Checkpoint partition purity: every snapshot is tagged with the
+        // original partition root, before and after the migration.
+        assert!(!result.checkpoints.is_empty());
+        assert!(result.checkpoints.iter().all(|(root, _, _)| *root == plan.root()));
+    }
+
+    /// The elastic controller joins a persistently cold forked partition
+    /// back into one worker while a hot (but indivisible) sibling
+    /// partition keeps flowing — the join eliminates the cold tree's
+    /// fork/join protocol traffic without touching the hot one.
+    #[test]
+    fn elastic_join_collapses_cold_partition() {
+        // Partition A (hot, not forkable): one worker owning a single
+        // inc stream and its read-reset — fork needs two independent
+        // tags, so the controller can never split it. Partition B
+        // (cold, forked): root{r(2)} — {i(2)}, {i(2)}.
+        let mut b = PlanBuilder::new();
+        let ra = b.add(
+            [it(KcTag::ReadReset(1), 0), it(KcTag::Inc(1), 1)],
+            Location(0),
+        );
+        let rb = b.add([it(KcTag::ReadReset(2), 2)], Location(0));
+        let bl = b.add([it(KcTag::Inc(2), 3)], Location(0));
+        let br = b.add([it(KcTag::Inc(2), 4)], Location(0));
+        b.attach(rb, bl);
+        b.attach(rb, br);
+        let plan = b.build_forest();
+        assert_eq!(plan.roots(), &[ra, rb]);
+        let streams = || {
+            vec![
+                ScheduledStream::periodic(it(KcTag::ReadReset(1), 0), 200, 200, 7, |_| ())
+                    .with_heartbeats(25)
+                    .closed(u64::MAX),
+                // The hot stream: one event per tick.
+                ScheduledStream::periodic(it(KcTag::Inc(1), 1), 1, 1, 1400, |_| ())
+                    .with_heartbeats(50)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::ReadReset(2), 2), 300, 300, 4, |_| ())
+                    .with_heartbeats(50)
+                    .closed(u64::MAX),
+                // The cold streams: sparse but never silent, so the
+                // partition stays joinable (a held root needs traffic
+                // to engage its hold).
+                ScheduledStream::periodic(it(KcTag::Inc(2), 3), 7, 40, 35, |_| ())
+                    .with_heartbeats(60)
+                    .closed(u64::MAX),
+                ScheduledStream::periodic(it(KcTag::Inc(2), 4), 11, 40, 35, |_| ())
+                    .with_heartbeats(60)
+                    .closed(u64::MAX),
+            ]
+        };
+        let expect = {
+            let merged = sort_o(&item_lists(&streams()));
+            run_sequential(&KeyCounter, &merged).1
+        };
+        // ~1400 ticks at 50 µs/tick ≈ 70 ms; partition B runs at a few
+        // percent of the mean rate, far below `cold_ratio: 0.5`.
+        let result = run_threads(
+            Arc::new(KeyCounter),
+            &plan,
+            streams(),
+            ThreadRunOptions {
+                checkpoint_root: true,
+                pace_ns_per_tick: Some(50_000),
+                elastic: Some(ElasticConfig {
+                    interval: Duration::from_millis(2),
+                    hot_ratio: 10.0,
+                    cold_ratio: 0.5,
+                    hold_ticks: 2,
+                    min_events: 16,
+                    max_replans: 1,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        );
+        assert_eq!(result.replans.len(), 1, "the cold partition must join");
+        let ev = &result.replans[0];
+        assert_eq!(ev.kind, ReplanKind::Join);
+        assert_eq!(ev.partition, 1);
+        assert_eq!(ev.root, rb);
+        assert_eq!((ev.workers_before, ev.workers_after), (3, 1));
+        let mut got: Vec<_> = result.outputs.iter().map(|(o, _)| *o).collect();
+        let mut want = expect;
+        got.sort();
+        want.sort();
+        assert_eq!(got, want, "join migration changed the output multiset");
+        // Checkpoint partition purity across the migration: partition
+        // B's snapshots stay tagged with its original root even after
+        // the join rebuilt it in fresh slots.
+        assert!(result.checkpoints.iter().all(|(root, _, _)| *root == ra || *root == rb));
+        assert!(
+            result.checkpoints.iter().any(|(root, _, _)| *root == rb),
+            "partition B must checkpoint under its stable root"
+        );
     }
 }

@@ -91,6 +91,11 @@ enum Mode<T, P, S> {
     },
     /// State sent to the parent; waiting for the forked share.
     AwaitingFork,
+    /// Elastic-replan hold: this partition root holds the *full*
+    /// partition state (captured at a join completion) and processes
+    /// nothing until the controller extracts it or resumes. Messages
+    /// still arrive and buffer; `drain` is gated off.
+    Held(S),
 }
 
 /// Side effects of handling one message.
@@ -159,6 +164,11 @@ pub struct WorkerCore<Prog: DgsProgram> {
     /// Take a checkpoint every time this worker (the root) completes a
     /// join for one of its own events.
     pub checkpoint_on_join: bool,
+    /// An elastic-replan hold was requested: capture the full partition
+    /// state into [`Mode::Held`] at the next moment this (root) worker
+    /// materializes it — immediately if it is a state-holding leaf,
+    /// otherwise when its next own-event join completes.
+    hold_requested: bool,
 }
 
 /// Split an initial (or recovered) global state into one seed per
@@ -233,6 +243,7 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
             right_pred,
             prog,
             checkpoint_on_join: false,
+            hold_requested: false,
         }
     }
 
@@ -250,6 +261,97 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
     /// is blocked on a join/fork round-trip).
     pub fn backlog(&self) -> usize {
         self.pending.len() + self.mailbox.buffered()
+    }
+
+    // ---- elastic-replan hold protocol -------------------------------
+    //
+    // The controller quiesces exactly one partition by parking its root
+    // at the one instant the full partition state exists in a single
+    // place: a completed own-event join (or, for a single-worker
+    // partition, any time — the leaf always holds everything). While
+    // held, messages keep arriving and buffering (`drain` ignores
+    // `Mode::Held`), so in-flight traffic can settle to zero without
+    // processing anything, and the controller can then extract state,
+    // residual entries, and timers for migration onto a new sub-plan.
+
+    /// Ask this partition root to park its full state. Engages
+    /// immediately for a state-holding leaf; otherwise at the next
+    /// own-event join completion. Returns `true` if the worker is held
+    /// on return.
+    pub fn request_hold(&mut self) -> bool {
+        self.hold_requested = true;
+        if let Mode::LeafHolding(_) = self.mode {
+            let Mode::LeafHolding(state) = std::mem::replace(&mut self.mode, Mode::Startup)
+            else {
+                unreachable!()
+            };
+            self.mode = Mode::Held(state);
+        }
+        self.is_held()
+    }
+
+    /// True once the hold has engaged.
+    pub fn is_held(&self) -> bool {
+        matches!(self.mode, Mode::Held(_))
+    }
+
+    /// Abandon a hold (timeout or aborted replan) and resume processing.
+    /// Safe to call whether or not the hold had engaged.
+    pub fn cancel_hold(
+        &mut self,
+    ) -> StepEffects<Prog::Tag, Prog::Payload, Prog::State, Prog::Out> {
+        self.hold_requested = false;
+        let mut fx = StepEffects::default();
+        if self.is_held() {
+            let Mode::Held(state) = std::mem::replace(&mut self.mode, Mode::Startup) else {
+                unreachable!()
+            };
+            self.adopt_state(state, &mut fx);
+            self.drain(&mut fx);
+            self.flush_heartbeats(&mut fx);
+        }
+        fx
+    }
+
+    /// Extract the held full-partition state, leaving the core defunct
+    /// (`Startup`). Panics unless [`WorkerCore::is_held`].
+    pub fn take_held_state(&mut self) -> Prog::State {
+        let Mode::Held(state) = std::mem::replace(&mut self.mode, Mode::Startup) else {
+            panic!("{}: take_held_state without an engaged hold", self.id)
+        };
+        state
+    }
+
+    /// Drain every unprocessed event from this core for migration:
+    /// released-but-unprocessed entries first (they are older), then the
+    /// mailbox's blocked buffers, preserving per-tag order throughout.
+    /// Only events remain at a migration point — the one in-flight join
+    /// of the held round has fully completed, so no `JoinRequest` can be
+    /// parked anywhere in the partition — and this panics if that
+    /// invariant is ever violated.
+    pub fn drain_residual_events(&mut self) -> Vec<Event<Prog::Tag, Prog::Payload>> {
+        let mut entries: Vec<Entry<Prog::Tag, Prog::Payload>> =
+            self.pending.drain(..).collect();
+        entries.extend(self.mailbox.take_buffered());
+        self.pending_ts.clear();
+        self.hb_pending.clear();
+        self.hb_forwarded.clear();
+        entries
+            .into_iter()
+            .map(|e| match e {
+                Entry::Event(e) => e,
+                Entry::JoinRequest { ts, .. } => {
+                    panic!("{}: residual join request at ts {ts} during migration", self.id)
+                }
+            })
+            .collect()
+    }
+
+    /// The mailbox's per-tag timer watermarks (highest position known
+    /// delivered per implementation tag), for heartbeat replay onto the
+    /// migrated sub-plan.
+    pub fn export_timers(&self) -> Vec<(ITag<Prog::Tag>, Timestamp)> {
+        self.mailbox.timers()
     }
 
     /// Handle one message, producing routing/output effects.
@@ -413,8 +515,16 @@ impl<Prog: DgsProgram> WorkerCore<Prog> {
                     if self.checkpoint_on_join {
                         fx.checkpoints.push((joined.clone(), e.ts));
                     }
-                    self.adopt_state(joined, fx);
-                    self.drain(fx);
+                    if self.hold_requested {
+                        // Elastic replan: this (root) worker now holds the
+                        // full partition state and every descendant is in
+                        // AwaitingFork. Park instead of forking back down;
+                        // the controller extracts or resumes.
+                        self.mode = Mode::Held(joined);
+                    } else {
+                        self.adopt_state(joined, fx);
+                        self.drain(fx);
+                    }
                 }
                 JoinPurpose::Forward => {
                     let parent = self.parent.expect("forward join needs a parent");
@@ -710,6 +820,101 @@ mod tests {
         assert_eq!(*ts, 3);
         // Snapshot is the post-update state: key 1 was reset.
         assert!(snap.get(&1).is_none());
+    }
+
+    #[test]
+    fn hold_engages_at_root_join_and_extraction_is_lossless() {
+        // root{r(1)} over two i(1) leaves: request a hold, drive one
+        // own-event join to completion, and check that the root parks the
+        // full state while later events buffer instead of processing.
+        let mut b = PlanBuilder::new();
+        let root = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let l = b.add([it(KcTag::Inc(1), 1)], Location(1));
+        let r = b.add([it(KcTag::Inc(1), 2)], Location(2));
+        b.attach(root, l);
+        b.attach(root, r);
+        let plan = b.build(root);
+        let mut h = Harness::new(&plan);
+
+        assert!(!h.workers[root.0].request_hold(), "internal root holds no state yet");
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(1), 1, ()));
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(0), 2, ()));
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 5);
+        hb(&plan, &mut h, KcTag::Inc(1), 2, 5);
+        // The r(1)@2 join completed and the root parked instead of
+        // re-forking; its output was still emitted.
+        assert!(h.workers[root.0].is_held());
+        assert_eq!(h.outputs, vec![((1, 1), 2)]);
+
+        // Traffic arriving while held buffers: nothing processes.
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(0), 7, ()));
+        assert_eq!(h.outputs.len(), 1);
+
+        // Extraction: full state, residual events, timers.
+        let state = h.workers[root.0].take_held_state();
+        assert!(!state.contains_key(&1), "r(1)@2 reset key 1 before the hold");
+        let residual = h.workers[root.0].drain_residual_events();
+        assert_eq!(residual.len(), 1, "the r(1)@7 event must be carried over");
+        assert_eq!(residual[0].ts, 7);
+        let timers = h.workers[root.0].export_timers();
+        assert!(timers.iter().any(|(t, ts)| *t == it(KcTag::ReadReset(1), 0) && *ts == 7));
+        // Leaves still advanced their own timers to the heartbeats.
+        let leaf_timers = h.workers[l.0].export_timers();
+        assert!(leaf_timers.iter().any(|(t, ts)| *t == it(KcTag::Inc(1), 1) && *ts == 5));
+    }
+
+    #[test]
+    fn cancel_hold_resumes_processing() {
+        let mut b = PlanBuilder::new();
+        let root = b.add([it(KcTag::ReadReset(1), 0)], Location(0));
+        let l = b.add([it(KcTag::Inc(1), 1)], Location(1));
+        let r = b.add([it(KcTag::Inc(1), 2)], Location(2));
+        b.attach(root, l);
+        b.attach(root, r);
+        let plan = b.build(root);
+        let mut h = Harness::new(&plan);
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(1), 1, ()));
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(0), 2, ()));
+        h.workers[root.0].request_hold();
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 5);
+        hb(&plan, &mut h, KcTag::Inc(1), 2, 5);
+        assert!(h.workers[root.0].is_held());
+        // A second r(1) buffers while held...
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(0), 7, ()));
+        assert_eq!(h.outputs.len(), 1);
+        // ...and processes normally after the hold is abandoned.
+        let fx = h.workers[root.0].cancel_hold();
+        h.queue.extend(fx.msgs);
+        h.outputs.extend(fx.outputs);
+        h.pump();
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 9);
+        hb(&plan, &mut h, KcTag::Inc(1), 2, 9);
+        assert_eq!(h.outputs, vec![((1, 1), 2), ((1, 0), 7)]);
+        assert!(!h.workers[root.0].is_held());
+    }
+
+    #[test]
+    fn leaf_root_holds_immediately() {
+        // Single-worker plan: the root is a leaf and always holds the
+        // full state, so the hold engages synchronously.
+        let mut b = PlanBuilder::new();
+        let w = b.add(
+            [it(KcTag::ReadReset(1), 0), it(KcTag::Inc(1), 1)],
+            Location(0),
+        );
+        let plan = b.build(w);
+        let mut h = Harness::new(&plan);
+        route(&plan, &mut h, Event::new(KcTag::Inc(1), StreamId(1), 1, ()));
+        hb(&plan, &mut h, KcTag::ReadReset(1), 0, 3);
+        assert!(h.workers[w.0].request_hold());
+        // Held: the reset buffers instead of processing.
+        route(&plan, &mut h, Event::new(KcTag::ReadReset(1), StreamId(0), 4, ()));
+        hb(&plan, &mut h, KcTag::Inc(1), 1, 6);
+        assert!(h.outputs.is_empty());
+        let state = h.workers[w.0].take_held_state();
+        assert_eq!(state.get(&1), Some(&1));
+        let residual = h.workers[w.0].drain_residual_events();
+        assert_eq!(residual.len(), 1);
     }
 
     #[test]

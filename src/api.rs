@@ -68,6 +68,7 @@ pub use dgs_runtime::checkpoint::{CheckpointStore, MemoryStore};
 pub use dgs_runtime::durable::{
     DurableOptions, DurableStore, Fault, FaultPlan, OpenReport, StoreError,
 };
+pub use dgs_runtime::elastic::{ElasticConfig, ReplanEvent, ReplanKind};
 pub use dgs_runtime::job::{
     Backend, Job, PlanStrategy, RunReport, SimStats, SpecMismatch, Verified,
 };

@@ -5,6 +5,7 @@
 //! flumina run  <workload> [-n N] [--checkpoint-dir D] execute on real threads, verify vs spec
 //!              [--metrics] [--metrics-out FILE] [--metrics-interval MS]
 //!              [--trace-out FILE] [--pace NS] [--executor-threads N]
+//!              [--elastic | --no-elastic]
 //! flumina sim  <workload> [-n N]                     simulate a cluster, report outcome
 //! flumina metrics-lint <FILE>                        validate Prometheus text exposition
 //! flumina list                                       list available workloads
@@ -33,6 +34,16 @@
 //! violations, or missing required `flumina_*` families — CI runs it on
 //! the smoke artifact.
 //!
+//! `run --elastic` turns on the elastic replan controller: the run is
+//! reshaped into many small windows under saturating paced load (like
+//! the `wallclock --skew` cells), every completed fork/join migration
+//! is streamed to stderr as an `[elastic t+…]` line, and the verdict
+//! gains a replan tally. A controller-on run that completes **zero**
+//! replans exits nonzero — on a skewed workload (`page-view-zipf`) the
+//! controller finding nothing to do means the elasticity plane is
+//! broken, and CI's replan smoke leans on that. `--no-elastic` (the
+//! default) keeps the static plan.
+//!
 //! Workloads are resolved by name against the shared
 //! [`registry`](flumina::apps::registry) — the same table the
 //! `wallclock` benchmark binary uses, so the two front ends cannot
@@ -44,7 +55,9 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
-use flumina::api::{Backend, CheckpointStore as _, RunMetrics, ThreadRunOptions};
+use flumina::api::{
+    Backend, CheckpointStore as _, ElasticConfig, ReplanKind, RunMetrics, ThreadRunOptions,
+};
 use flumina::apps::registry::{self, WorkloadVisitor};
 use flumina::apps::sweep::SweepWorkload;
 use flumina::metrics::{validate_exposition, REQUIRED_FAMILIES};
@@ -61,11 +74,12 @@ struct Args {
     trace_out: Option<String>,
     pace_ns: Option<u64>,
     executor_threads: Option<usize>,
+    elastic: bool,
 }
 
 fn usage() -> String {
     format!(
-        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n                [--metrics] [--metrics-out FILE] [--metrics-interval MS]\n                [--trace-out FILE] [--pace NS] [--executor-threads N]\n       flumina metrics-lint <FILE>\n       flumina list\nworkloads: {}",
+        "usage: flumina <plan|run|sim> <workload> [-n N] [--dot] [--checkpoint-dir D]\n                [--metrics] [--metrics-out FILE] [--metrics-interval MS]\n                [--trace-out FILE] [--pace NS] [--executor-threads N]\n                [--elastic | --no-elastic]\n       flumina metrics-lint <FILE>\n       flumina list\nworkloads: {}",
         registry::names().join(" | ")
     )
 }
@@ -85,6 +99,7 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         pace_ns: None,
         executor_threads: None,
+        elastic: false,
     };
     if args.cmd == "list" {
         return Ok(args);
@@ -126,6 +141,8 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.executor_threads = Some(n);
             }
+            "--elastic" => args.elastic = true,
+            "--no-elastic" => args.elastic = false,
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -176,6 +193,9 @@ struct RunCmd {
     metrics_interval_ms: Option<u64>,
     pace_ns: Option<u64>,
     executor_threads: Option<usize>,
+    /// Run the elastic replan controller and stream its decisions to
+    /// stderr; zero completed replans is then a failing run.
+    elastic: bool,
 }
 
 impl WorkloadVisitor for RunCmd {
@@ -189,8 +209,19 @@ impl WorkloadVisitor for RunCmd {
             traces: None,
             warnings: Vec::new(),
         };
-        let w = W::for_scale(self.n, 200, 4);
-        let mut job = w.job(20);
+        // `--elastic` reshapes the run the way the `wallclock --skew`
+        // cells do: many small windows (protocol-heavy, long enough for
+        // the millisecond-cadence controller to act) and a wide
+        // heartbeat period — the controller's rate samples count every
+        // sent item, so the default dense heartbeats would put a
+        // uniform floor under cold partitions and mask the skew it
+        // detects.
+        let (w, hb) = if self.elastic {
+            (W::for_scale(self.n, 5, 2000), 20 * self.n.max(2) as u64)
+        } else {
+            (W::for_scale(self.n, 200, 4), 20)
+        };
+        let mut job = w.job(hb);
         if let Some(dir) = &self.checkpoint_dir {
             job = job.with_checkpoint_dir(dir);
             // Appending a fresh run behind an earlier one would
@@ -230,12 +261,44 @@ impl WorkloadVisitor for RunCmd {
                 }
             })
         });
-        let verified = job.verify_on(Backend::Threads(ThreadRunOptions {
+        let mut opts = ThreadRunOptions {
             pace_ns_per_tick: self.pace_ns,
             metrics_slot: Some(slot),
             executor_threads: self.executor_threads,
             ..Default::default()
-        }));
+        };
+        if self.elastic {
+            // Saturating offered load makes the zipf skew visible as
+            // arrival-rate skew (an unpaced run equalizes rates through
+            // backpressure); shallow ingress edges bound what a
+            // migration pause must drain. `--pace` still overrides.
+            opts.pace_ns_per_tick = Some(self.pace_ns.unwrap_or(300));
+            opts.ingress_capacity = 128;
+            opts.elastic = Some(ElasticConfig {
+                interval: std::time::Duration::from_millis(1),
+                hot_ratio: 1.8,
+                cold_ratio: 0.9,
+                hold_ticks: 1,
+                min_events: 32,
+                max_replans: 32,
+                ..Default::default()
+            });
+            opts.on_replan = Some(Box::new(|ev| {
+                eprintln!(
+                    "[elastic t+{:.3}s] {} partition {} (root w{}): {} -> {} workers, \
+                     pause {:.2} ms, trigger {:.0} e/s",
+                    ev.at_ns as f64 / 1e9,
+                    ev.kind.name(),
+                    ev.partition,
+                    ev.root.0,
+                    ev.workers_before,
+                    ev.workers_after,
+                    ev.pause_ns as f64 / 1e6,
+                    ev.trigger_rate_eps,
+                );
+            }));
+        }
+        let verified = job.verify_on(Backend::Threads(opts));
         stop.store(true, Ordering::Relaxed);
         if let Some(h) = sampler {
             let _ = h.join();
@@ -247,6 +310,21 @@ impl WorkloadVisitor for RunCmd {
                     v.run.plan.len(),
                     v.run.outputs.len()
                 );
+                if self.elastic {
+                    let forks =
+                        v.run.replans.iter().filter(|ev| ev.kind == ReplanKind::Fork).count();
+                    let joins = v.run.replans.len() - forks;
+                    if v.run.replans.is_empty() {
+                        return fail(format!(
+                            "{line}; but --elastic completed 0 replans ✗ — the controller \
+                             never found a hot or cold partition (is the workload skewed?)"
+                        ));
+                    }
+                    line.push_str(&format!(
+                        "; elastic controller completed {} replan(s) ({forks} fork / {joins} join)",
+                        v.run.replans.len()
+                    ));
+                }
                 let mut warnings = Vec::new();
                 if let Some(dir) = &self.checkpoint_dir {
                     // Reopen through a fresh store: report what actually
@@ -367,6 +445,7 @@ fn main() {
                 metrics_interval_ms: args.metrics_interval_ms,
                 pace_ns: args.pace_ns,
                 executor_threads: args.executor_threads,
+                elastic: args.elastic,
             };
             match registry::visit(&args.workload, &mut cmd) {
                 Some(outcome) => {

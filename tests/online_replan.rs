@@ -29,6 +29,133 @@ use flumina::runtime::checkpoint::{suffix_after, MemoryStore};
 use flumina::runtime::source::item_lists;
 use flumina::runtime::thread_driver::{run_threads, ThreadRunOptions};
 
+/// The elastic chaos matrix: zipf-skewed, ON/OFF-bursty page-view runs
+/// across burst seeds and both replan directions, driven by the *live*
+/// controller (no phase stitching). For every cell:
+///
+/// * the output multiset equals the sequential specification — state
+///   migration under fire loses and duplicates nothing;
+/// * every checkpoint stays partition-pure across the migration: a
+///   snapshot tagged with a page tree's stable root holds only that
+///   page, before and after its workers were rebuilt in fresh slots;
+/// * every replan's stop-the-partition pause respects the bound implied
+///   by the controller's hold timeout — the replan window p95 target.
+#[test]
+fn elastic_chaos_matrix_preserves_spec_and_purity() {
+    use flumina::apps::sweep::PvZipfWorkload;
+    use flumina::plan::plan::PlanBuilder;
+    use flumina::runtime::{ElasticConfig, ReplanKind};
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    // A wide heartbeat period: the controller's rate samples count every
+    // sent item, so dense heartbeats would put a uniform floor under the
+    // cold partitions and mask the zipf skew it must detect.
+    let hb = 24;
+    // Generous wall-clock ceiling per replan pause: one hold engagement
+    // (bounded by the update period, ~2.4 ms here), quiesce, and the
+    // local migration pump. The controller's own timeout is 250 ms; a
+    // pause anywhere near it means the quiesce protocol regressed.
+    let pause_bound = Duration::from_millis(250).as_nanos() as u64;
+
+    for seed in [1u64, 7, 42] {
+        let w = PvZipfWorkload { pages: 4, per_window: 12, windows: 6, zipf_s: 1.5, seed };
+        let streams = w.streams(hb);
+        let spec = {
+            let merged = sort_o(&item_lists(&streams));
+            run_sequential(&PageViewJoin, &merged).1
+        };
+        let mut spec_sorted: Vec<String> = spec.iter().map(|o| format!("{o:?}")).collect();
+        spec_sorted.sort_unstable();
+
+        // Direction 1 (join): the over-provisioned forest — every page
+        // pre-forked — under a controller that collapses cold pages.
+        // Direction 2 (fork): every page starts as a single sequential
+        // worker and the hot page must split.
+        let forked_plan = w.plan();
+        let seq_forest = {
+            let mut b = PlanBuilder::new();
+            for page_streams in streams.chunks(3) {
+                b.add(page_streams.iter().map(|s| s.itag), Location(0));
+            }
+            b.build_forest()
+        };
+        for (dir, plan, want_kind) in [
+            ("join", &forked_plan, ReplanKind::Join),
+            ("fork", &seq_forest, ReplanKind::Fork),
+        ] {
+            let result = run_threads(
+                Arc::new(PageViewJoin),
+                plan,
+                streams.clone(),
+                ThreadRunOptions {
+                    checkpoint_root: true,
+                    pace_ns_per_tick: Some(50_000),
+                    elastic: Some(ElasticConfig {
+                        interval: Duration::from_millis(2),
+                        hot_ratio: 1.8,
+                        cold_ratio: 0.6,
+                        hold_ticks: 1,
+                        min_events: 24,
+                        max_replans: 8,
+                        ..Default::default()
+                    }),
+                    ..Default::default()
+                },
+            );
+            // Spec equivalence under live migration.
+            let mut got: Vec<String> =
+                result.outputs.iter().map(|(o, _)| format!("{o:?}")).collect();
+            got.sort_unstable();
+            assert_eq!(
+                got, spec_sorted,
+                "seed {seed} [{dir}]: elastic run diverged from the spec; replans: {:?}",
+                result.replans
+            );
+            // The controller must actually act, and only in the
+            // direction this cell's plan admits (pre-forked partitions
+            // cannot fork further; sequential ones cannot join).
+            assert!(
+                !result.replans.is_empty(),
+                "seed {seed} [{dir}]: the controller never replanned"
+            );
+            for ev in &result.replans {
+                assert_eq!(ev.kind, want_kind, "seed {seed} [{dir}]: wrong direction");
+                assert!(
+                    ev.pause_ns < pause_bound,
+                    "seed {seed} [{dir}]: replan paused {} ns (bound {pause_bound})",
+                    ev.pause_ns
+                );
+            }
+            // Checkpoint purity across the migration: group snapshots by
+            // their stable partition root; each may hold only the pages
+            // that root's original subtree owned.
+            let own_pages: BTreeMap<_, BTreeSet<u32>> = plan
+                .roots()
+                .iter()
+                .map(|&r| {
+                    let pages = plan
+                        .subtree_itags(r)
+                        .iter()
+                        .map(|it| it.tag.page())
+                        .collect();
+                    (r, pages)
+                })
+                .collect();
+            assert!(!result.checkpoints.is_empty(), "seed {seed} [{dir}]: no checkpoints");
+            for (root, snap, ts) in &result.checkpoints {
+                let own = &own_pages[root];
+                for page in snap.keys() {
+                    assert!(
+                        own.contains(page),
+                        "seed {seed} [{dir}]: root {root:?} leaked page {page} at ts {ts}"
+                    );
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn switching_plans_mid_stream_preserves_semantics() {
     let w = VbWorkload { value_streams: 4, values_per_barrier: 50, barriers: 6 };

@@ -64,7 +64,7 @@ fn miniature_wallclock_sweep_matches_sequential_spec() {
     }
 
     // The sweep serializes into a valid, round-trippable trajectory.
-    let doc = report::trajectory("2026-07-26", &points, &[], &[]);
+    let doc = report::trajectory("2026-07-26", &points, &[], &[], &[]);
     assert_eq!(report::validate_trajectory(&doc), Ok(points.len()));
     let reparsed = Json::parse(&doc.render()).expect("emitted JSON must parse");
     assert_eq!(report::validate_trajectory(&reparsed), Ok(points.len()));
@@ -107,7 +107,7 @@ fn miniature_recovery_sweep_loses_nothing_and_serializes() {
         executor_threads: None,
     };
     let points = wallclock::sweep(&wspec);
-    let doc = report::trajectory("2026-07-26", &points, &[], &rec);
+    let doc = report::trajectory("2026-07-26", &points, &[], &rec, &[]);
     assert_eq!(report::validate_trajectory(&doc), Ok(points.len() + rec.len()));
     let reparsed = Json::parse(&doc.render()).expect("emitted JSON must parse");
     assert_eq!(report::validate_trajectory(&reparsed), Ok(points.len() + rec.len()));
