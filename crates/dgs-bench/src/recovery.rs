@@ -21,7 +21,7 @@
 //! `bench-diff` tracks recovery speed like any other cell and gates
 //! `events_lost > 0` as a correctness regression.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgs_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dgs_apps::registry::{self, WorkloadVisitor};
@@ -126,6 +126,7 @@ fn scratch_dir(name: &str) -> std::path::PathBuf {
     std::env::temp_dir().join(format!(
         "flumina-bench-recovery-{}-{}-{}",
         std::process::id(),
+        // ORDERING: Relaxed — scratch-dir uniquifier only.
         COUNTER.fetch_add(1, Ordering::Relaxed),
         name
     ))

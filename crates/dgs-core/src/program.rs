@@ -102,21 +102,25 @@ pub struct CountingProgram<P> {
 #[derive(Debug, Default)]
 pub struct CallCounters {
     /// Number of `update` calls.
-    pub updates: std::sync::atomic::AtomicU64,
+    pub updates: dgs_sync::atomic::AtomicU64,
     /// Number of `fork` calls.
-    pub forks: std::sync::atomic::AtomicU64,
+    pub forks: dgs_sync::atomic::AtomicU64,
     /// Number of `join` calls.
-    pub joins: std::sync::atomic::AtomicU64,
+    pub joins: dgs_sync::atomic::AtomicU64,
 }
 
 impl CallCounters {
-    fn bump(counter: &std::sync::atomic::AtomicU64) {
-        counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    fn bump(counter: &dgs_sync::atomic::AtomicU64) {
+        // ORDERING: Relaxed — independent call counters; tests read
+        // them only after the run has joined every thread.
+        counter.fetch_add(1, dgs_sync::atomic::Ordering::Relaxed);
     }
 
     /// Snapshot (updates, forks, joins).
     pub fn snapshot(&self) -> (u64, u64, u64) {
-        use std::sync::atomic::Ordering::Relaxed;
+        use dgs_sync::atomic::Ordering::Relaxed;
+        // ORDERING: Relaxed — counters are exact once the run is
+        // quiescent; racing reads may be momentarily stale.
         (self.updates.load(Relaxed), self.forks.load(Relaxed), self.joins.load(Relaxed))
     }
 }

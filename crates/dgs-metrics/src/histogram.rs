@@ -8,7 +8,7 @@
 //! locks, no allocation — so the histogram can stay armed on every run
 //! without showing up in the wallclock A/B.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgs_sync::atomic::{AtomicU64, Ordering};
 
 /// Number of finite buckets. Bucket 38 tops out at `2^38 - 1` ns
 /// (~4.6 min) — far beyond any per-output latency or fsync this runtime
@@ -57,6 +57,8 @@ impl Histogram {
     /// Record one value. Three relaxed atomic adds; safe from any number
     /// of writer threads.
     pub fn record(&self, v: u64) {
+        // ORDERING: Relaxed — monotone stat counters with no cross-
+        // location invariant; snapshots tolerate torn in-flight adds.
         self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
         self.sum.fetch_add(v, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -66,6 +68,7 @@ impl Histogram {
     /// loads, so a snapshot racing writers may be off by in-flight
     /// records — exact once the writers are quiescent.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        // ORDERING: Relaxed — see `record`; exact at quiescence.
         HistogramSnapshot {
             buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             sum: self.sum.load(Ordering::Relaxed),

@@ -34,8 +34,8 @@ pub use histogram::{bucket_bound, Histogram, HistogramSnapshot, BUCKETS};
 pub use rate::RateEstimator;
 pub use trace::{trace_to_json, TraceEvent, TraceKind, TraceRing};
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use dgs_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use dgs_sync::Arc;
 use std::time::Instant;
 
 /// Metric families every `flumina_*` exposition must contain; the CLI's
@@ -72,6 +72,8 @@ pub struct Counter(AtomicU64);
 impl Counter {
     /// Add `k` (read-modify-write; safe with many writers).
     pub fn add(&self, k: u64) {
+        // ORDERING: Relaxed — metrics counters carry no cross-location
+        // invariant; scrapes tolerate staleness (exact at quiescence).
         self.0.fetch_add(k, Ordering::Relaxed);
     }
 
@@ -83,11 +85,13 @@ impl Counter {
     /// Publish an absolute value (plain store; single-writer pattern —
     /// this is what worker flushes use so the hot path never RMWs).
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — see `add`.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — see `add`.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -100,16 +104,20 @@ pub struct Gauge(AtomicU64);
 impl Gauge {
     /// Publish the current value.
     pub fn set(&self, v: u64) {
+        // ORDERING: Relaxed — gauges are observability-only values
+        // with no cross-location invariant; readers tolerate staleness.
         self.0.store(v, Ordering::Relaxed);
     }
 
     /// Ratchet up to `v` if larger (running-maximum gauges).
     pub fn ratchet(&self, v: u64) {
+        // ORDERING: Relaxed — see `set`.
         self.0.fetch_max(v, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
+        // ORDERING: Relaxed — see `set`.
         self.0.load(Ordering::Relaxed)
     }
 }
@@ -155,6 +163,8 @@ impl WorkerMetrics {
     /// The partition this slot currently belongs to
     /// ([`INACTIVE_PARTITION`] for an unactivated reserve slot).
     pub fn partition(&self) -> usize {
+        // ORDERING: Relaxed — slot ownership label for scrapes; the
+        // scheduler's own handoff synchronizes elsewhere.
         self.partition.load(Ordering::Relaxed)
     }
 
@@ -317,6 +327,7 @@ impl RunMetrics {
     /// counters record work that really happened.
     pub fn activate_worker(&self, worker: usize, partition: usize) {
         if let Some(w) = self.workers.get(worker) {
+            // ORDERING: Relaxed — see `WorkerMetrics::partition`.
             w.partition.store(partition, Ordering::Relaxed);
         }
     }

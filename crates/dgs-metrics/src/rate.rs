@@ -11,7 +11,7 @@
 //! frozen, reproducible rate instead of one that decays while you look
 //! at it, and a live run's last slot is the current one anyway.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgs_sync::atomic::{AtomicU64, Ordering};
 
 /// Default slot width: 100 ms — 10 slots cover a 1 s window.
 pub const DEFAULT_SLOT_NS: u64 = 100_000_000;
@@ -65,6 +65,9 @@ impl RateEstimator {
     pub fn record(&self, now_ns: u64, k: u64) {
         let epoch = now_ns / self.slot_ns;
         let slot = &self.slots[(epoch as usize) % self.slots.len()];
+        // ORDERING: Relaxed throughout — single writer; racing readers
+        // may see a partially reset slot (transient under-count, fine
+        // for a gauge). No read synchronizes on these values.
         if slot.epoch.load(Ordering::Relaxed) != epoch {
             slot.count.store(0, Ordering::Relaxed);
             slot.epoch.store(epoch, Ordering::Relaxed);
@@ -79,6 +82,8 @@ impl RateEstimator {
     /// last slot; the divisor is the full window span, so a fresh
     /// estimator under-reports rather than spiking.
     pub fn rate_eps(&self) -> f64 {
+        // ORDERING: Relaxed — gauge read; tolerates raciness with the
+        // single writer (see `record`).
         let last = self.last_epoch.load(Ordering::Relaxed);
         let n = self.slots.len() as u64;
         let oldest = last.saturating_sub(n - 1);
@@ -97,6 +102,7 @@ impl RateEstimator {
     ///
     /// [`rate_eps`]: RateEstimator::rate_eps
     pub fn window_events(&self) -> u64 {
+        // ORDERING: Relaxed — gauge read, as in `rate_eps`.
         let last = self.last_epoch.load(Ordering::Relaxed);
         let n = self.slots.len() as u64;
         let oldest = last.saturating_sub(n - 1);

@@ -798,7 +798,7 @@ fn scan_segment<S: StateCodec + Clone>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use dgs_sync::atomic::{AtomicU64, Ordering};
 
     const R0: WorkerId = WorkerId(0);
     const R1: WorkerId = WorkerId(1);
@@ -810,6 +810,7 @@ mod tests {
             "flumina-durable-{}-{}-{}",
             name,
             std::process::id(),
+            // ORDERING: Relaxed — scratch-dir uniquifier only.
             N.fetch_add(1, Ordering::Relaxed)
         ));
         let _ = fs::remove_dir_all(&dir);

@@ -84,8 +84,8 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
+use dgs_sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use dgs_sync::{Arc, Condvar, Mutex, OnceLock, TryLockError};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender, Waker};
@@ -370,7 +370,7 @@ struct InFlight {
     /// A worker thread died mid-panic: credits it accepted will never be
     /// retired, so quiescence must stop waiting on the counter and let
     /// teardown run (the panic itself propagates at scope join).
-    failed: std::sync::atomic::AtomicBool,
+    failed: AtomicBool,
     gate: Mutex<()>,
     zero: Condvar,
 }
@@ -379,7 +379,7 @@ impl InFlight {
     fn new() -> Self {
         InFlight {
             count: AtomicI64::new(0),
-            failed: std::sync::atomic::AtomicBool::new(false),
+            failed: AtomicBool::new(false),
             gate: Mutex::new(()),
             zero: Condvar::new(),
         }
@@ -747,6 +747,8 @@ impl Scheduler {
     /// (new = 3/4 old + 1/4 recent). Called at every shard flush,
     /// metrics on or off — the scheduler itself is the consumer.
     fn note_rate(&self, s: usize, recent: u64) {
+        // ORDERING: Relaxed — single writer per shard (its own event
+        // loop); stealers reading a stale EWMA only mis-rank victims.
         let old = self.rates[s].load(Ordering::Relaxed);
         self.rates[s].store(old - old / 4 + recent / 4, Ordering::Relaxed);
     }
@@ -758,6 +760,8 @@ impl Scheduler {
     fn steal_order(&self, s: usize) -> Vec<usize> {
         let n = self.shards.len();
         let mut order: Vec<usize> = (1..n).map(|off| (s + off) % n).collect();
+        // ORDERING: Relaxed — heuristic victim ranking; staleness
+        // only affects steal order, never correctness.
         order.sort_by_key(|&v| Reverse(self.rates[v].load(Ordering::Relaxed)));
         order
     }
@@ -1072,6 +1076,8 @@ impl EffectStores {
     }
 
     fn store<Prog: DgsProgram>(&self, t: &WorkerTask<Prog>) {
+        // ORDERING: Relaxed — per-slot effect counters written by the
+        // slot's own worker; drained only after executor join.
         self.msgs[t.slot].store(t.msgs, Ordering::Relaxed);
         self.updates[t.slot].store(t.updates, Ordering::Relaxed);
         self.joins[t.slot].store(t.joins, Ordering::Relaxed);
@@ -1079,6 +1085,7 @@ impl EffectStores {
     }
 
     fn drain(&self) -> RunEffects {
+        // ORDERING: Relaxed — called after every worker has joined.
         let col = |cs: &Vec<AtomicU64>| cs.iter().map(|c| c.load(Ordering::Relaxed)).collect();
         RunEffects {
             msgs: col(&self.msgs),

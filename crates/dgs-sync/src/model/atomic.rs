@@ -1,0 +1,287 @@
+//! Modeled atomic types: same names and signatures (for the subset the
+//! workspace uses) as `std::sync::atomic`, but every operation is a
+//! scheduling point and loads explore all coherence-legal values per
+//! the per-ordering visibility rules in the (private) engine module.
+//!
+//! Values live in the engine as `u64` modification-order histories;
+//! each wrapper does the bit-level conversion for its type. Locations
+//! register themselves lazily on first touch (and re-register when an
+//! object outlives one execution into the next, keyed by the engine's
+//! execution epoch), so `const fn new` works exactly like std's.
+
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64 as RealU64, Ordering};
+use std::sync::atomic::Ordering::Relaxed as RealRelaxed;
+
+use super::engine;
+
+/// Lazily-registered engine location, valid for one execution epoch.
+struct LazyLoc {
+    epoch: RealU64,
+    id: RealU64,
+    init: u64,
+}
+
+impl LazyLoc {
+    const fn new(init: u64) -> LazyLoc {
+        LazyLoc { epoch: RealU64::new(0), id: RealU64::new(0), init }
+    }
+
+    fn get(&self) -> usize {
+        let (ep, _shared) = engine::current_epoch_and_ctx();
+        // Only one virtual thread runs at a time, so plain relaxed
+        // read/write on the real atomics is race-free here.
+        if self.epoch.load(RealRelaxed) == ep {
+            return self.id.load(RealRelaxed) as usize;
+        }
+        let id = engine::register_loc(self.init);
+        self.id.store(id as u64, RealRelaxed);
+        self.epoch.store(ep, RealRelaxed);
+        id
+    }
+}
+
+/// Memory fence (see the engine docs: modeled as an SC fence).
+pub fn fence(ordering: Ordering) {
+    engine::fence(ordering);
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $int:ty) => {
+        pub struct $name {
+            loc: LazyLoc,
+        }
+
+        impl $name {
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            pub const fn new(v: $int) -> $name {
+                $name { loc: LazyLoc::new(v as u64) }
+            }
+
+            #[allow(clippy::cast_possible_wrap, clippy::cast_possible_truncation)]
+            fn from_repr(v: u64) -> $int {
+                v as $int
+            }
+
+            #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+            fn to_repr(v: $int) -> u64 {
+                v as u64
+            }
+
+            pub fn load(&self, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_load(self.loc.get(), ordering))
+            }
+
+            pub fn store(&self, v: $int, ordering: Ordering) {
+                engine::atomic_store(self.loc.get(), Self::to_repr(v), ordering);
+            }
+
+            pub fn swap(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |_| {
+                    Self::to_repr(v)
+                }))
+            }
+
+            pub fn fetch_add(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |old| {
+                    Self::to_repr(Self::from_repr(old).wrapping_add(v))
+                }))
+            }
+
+            pub fn fetch_sub(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |old| {
+                    Self::to_repr(Self::from_repr(old).wrapping_sub(v))
+                }))
+            }
+
+            pub fn fetch_max(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |old| {
+                    Self::to_repr(Self::from_repr(old).max(v))
+                }))
+            }
+
+            pub fn fetch_min(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |old| {
+                    Self::to_repr(Self::from_repr(old).min(v))
+                }))
+            }
+
+            pub fn fetch_and(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |old| {
+                    Self::to_repr(Self::from_repr(old) & v)
+                }))
+            }
+
+            pub fn fetch_or(&self, v: $int, ordering: Ordering) -> $int {
+                Self::from_repr(engine::atomic_rmw(self.loc.get(), ordering, |old| {
+                    Self::to_repr(Self::from_repr(old) | v)
+                }))
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                engine::atomic_cas(
+                    self.loc.get(),
+                    Self::to_repr(current),
+                    Self::to_repr(new),
+                    success,
+                    failure,
+                )
+                .map(Self::from_repr)
+                .map_err(Self::from_repr)
+            }
+
+            /// Modeled as the strong variant (spurious failure would
+            /// only add schedules the strong form already subsumes for
+            /// the retry loops this workspace writes).
+            pub fn compare_exchange_weak(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            pub fn into_inner(self) -> $int {
+                self.load(Ordering::SeqCst)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> $name {
+                $name::new(<$int>::default())
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name)).finish()
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicI64, i64);
+
+pub struct AtomicBool {
+    loc: LazyLoc,
+}
+
+impl AtomicBool {
+    pub const fn new(v: bool) -> AtomicBool {
+        AtomicBool { loc: LazyLoc::new(v as u64) }
+    }
+
+    pub fn load(&self, ordering: Ordering) -> bool {
+        engine::atomic_load(self.loc.get(), ordering) != 0
+    }
+
+    pub fn store(&self, v: bool, ordering: Ordering) {
+        engine::atomic_store(self.loc.get(), u64::from(v), ordering);
+    }
+
+    pub fn swap(&self, v: bool, ordering: Ordering) -> bool {
+        engine::atomic_rmw(self.loc.get(), ordering, |_| u64::from(v)) != 0
+    }
+
+    pub fn fetch_or(&self, v: bool, ordering: Ordering) -> bool {
+        engine::atomic_rmw(self.loc.get(), ordering, |old| old | u64::from(v)) != 0
+    }
+
+    pub fn fetch_and(&self, v: bool, ordering: Ordering) -> bool {
+        engine::atomic_rmw(self.loc.get(), ordering, |old| old & u64::from(v)) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        engine::atomic_cas(self.loc.get(), u64::from(current), u64::from(new), success, failure)
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+
+    pub fn compare_exchange_weak(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> AtomicBool {
+        AtomicBool::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicBool").finish()
+    }
+}
+
+pub struct AtomicPtr<T> {
+    loc: LazyLoc,
+    _marker: PhantomData<*mut T>,
+}
+
+// SAFETY: the modeled AtomicPtr only stores the address as an integer
+// in the engine; all synchronization is mediated by the single-runner
+// model scheduler, mirroring std::sync::atomic::AtomicPtr's auto traits.
+unsafe impl<T> Send for AtomicPtr<T> {}
+// SAFETY: as above — shared access is serialized by the model engine.
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    // Not `const` like std's: pointers cannot be cast to integers in
+    // const eval, and no AtomicPtr in this workspace lives in a const.
+    pub fn new(p: *mut T) -> AtomicPtr<T> {
+        AtomicPtr { loc: LazyLoc::new(p as u64), _marker: PhantomData }
+    }
+
+    pub fn load(&self, ordering: Ordering) -> *mut T {
+        engine::atomic_load(self.loc.get(), ordering) as *mut T
+    }
+
+    pub fn store(&self, p: *mut T, ordering: Ordering) {
+        engine::atomic_store(self.loc.get(), p as u64, ordering);
+    }
+
+    pub fn swap(&self, p: *mut T, ordering: Ordering) -> *mut T {
+        engine::atomic_rmw(self.loc.get(), ordering, |_| p as u64) as *mut T
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        engine::atomic_cas(self.loc.get(), current as u64, new as u64, success, failure)
+            .map(|v| v as *mut T)
+            .map_err(|v| v as *mut T)
+    }
+}
+
+impl<T> std::fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("AtomicPtr").finish()
+    }
+}

@@ -1,0 +1,1135 @@
+//! Execution engine: virtual threads, vector-clock memory model, and
+//! the schedule explorer's per-execution state.
+//!
+//! One *execution* runs the user's closure with every spawned model
+//! thread backed by a parked OS thread; exactly one virtual thread runs
+//! at a time, and control is handed off explicitly (a baton per
+//! thread), so the scheduler's choice sequence fully determines the
+//! execution. Every model-visible operation (atomic access, lock,
+//! condvar, park, spawn, yield) is a *scheduling point*; loads with
+//! several coherence-legal values are additionally *value choice
+//! points*. The recorded choice sequence is the schedule's identity —
+//! and its replayable counterexample trace.
+//!
+//! # Memory model (what the modeled atomics implement)
+//!
+//! A pragmatic approximation of C11, strong enough to catch
+//! Relaxed-where-Acquire-is-needed misuse and weak enough to terminate:
+//!
+//! * Every store is kept in per-location modification order, stamped
+//!   with the storing thread's vector clock (`store_clock`) and, for
+//!   `Release`/`SeqCst` stores, the clock as a publishable view
+//!   (`rel_view`).
+//! * A `Relaxed`/`Acquire` load may read *any* store not forbidden by
+//!   coherence: never older than one this thread already read, and
+//!   never older than the newest store whose `store_clock` the thread's
+//!   view covers (i.e. stores it provably observed). The checker
+//!   branches over the remaining candidates — that is what makes stale
+//!   reads explorable.
+//! * An `Acquire` (or stronger) load that reads a `Release` (or
+//!   stronger) store joins the store's `rel_view` into the thread's
+//!   view (synchronizes-with). Reading a `Relaxed` store acquires
+//!   nothing — misuse is therefore *visible* as a stale follow-on read.
+//! * RMWs read the newest store (C11 atomicity) and continue the
+//!   release sequence: their store's `rel_view` inherits the previous
+//!   store's, joined with the RMW's own view when it releases.
+//! * `SeqCst` *loads* are strengthened to read the newest store
+//!   (modeling the total SC order cheaply). This under-approximates:
+//!   SC-fence-free store/load (Dekker) patterns built from SC *ops*
+//!   pass, as on TSO hardware, while anything weaker still explores
+//!   stale values. `SeqCst` *fences* are cumulative: they join the
+//!   thread view with a global SC view in both directions, so
+//!   fence-paired protocols (e.g. the edge plane's pop-vs-park
+//!   handshake) get their cross-variable guarantee.
+//!
+//! # Timeouts
+//!
+//! `wait_timeout`/`park_timeout` model the timeout as a *last resort*:
+//! a timed waiter is only woken by the clock when no other thread is
+//! runnable (otherwise the state space would drown in spurious-wakeup
+//! branches). Every such wake increments `timeout_wakes`, so a suite
+//! can assert "the timeout-recovery path is never needed" — which is
+//! exactly the pop-vs-park soundness claim `vendor/crossbeam` makes.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering as RealOrdering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+use super::trace::{encode, Choice};
+
+/// Vector clock: one logical-time component per virtual thread.
+pub(crate) type VClock = Vec<u32>;
+
+fn vjoin(a: &mut VClock, b: &VClock) {
+    if a.len() < b.len() {
+        a.resize(b.len(), 0);
+    }
+    for (i, &v) in b.iter().enumerate() {
+        if a[i] < v {
+            a[i] = v;
+        }
+    }
+}
+
+/// `a <= b` pointwise (missing components are zero).
+fn vleq(a: &VClock, b: &VClock) -> bool {
+    a.iter().enumerate().all(|(i, &v)| v <= b.get(i).copied().unwrap_or(0))
+}
+
+/// Deterministic PRNG (SplitMix64) driving the random scheduler.
+pub(crate) struct Rng(u64);
+
+impl Rng {
+    pub(crate) fn new(seed: u64) -> Rng {
+        Rng(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// How unforced choices are made once the replay script is exhausted.
+pub(crate) enum ChoosePolicy {
+    /// Always the first option (DFS explores siblings by extending the
+    /// script).
+    First,
+    /// Seeded uniform choice.
+    Random(Rng),
+}
+
+/// Why a virtual thread is not runnable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Blocked {
+    /// Waiting to acquire a modeled mutex.
+    Mutex(usize),
+    /// Waiting on a condvar (`timed` = `wait_timeout`).
+    Cond { cv: usize, timed: bool },
+    /// Waiting in `JoinHandle::join` for a thread to finish.
+    Join(usize),
+    /// Parked (`timed` = `park_timeout`).
+    Park { timed: bool },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    Ready,
+    Blocked(Blocked),
+    Done,
+}
+
+/// The baton each virtual thread parks on between its turns.
+pub(crate) struct Baton {
+    m: StdMutex<BatonState>,
+    cv: StdCondvar,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BatonState {
+    Wait,
+    Go,
+    Abort,
+}
+
+impl Baton {
+    fn new() -> Arc<Baton> {
+        Arc::new(Baton { m: StdMutex::new(BatonState::Wait), cv: StdCondvar::new() })
+    }
+
+    fn signal(&self, s: BatonState) {
+        let mut g = self.m.lock().unwrap_or_else(|p| p.into_inner());
+        // Abort must never be downgraded by a racing Go.
+        if *g != BatonState::Abort {
+            *g = s;
+        }
+        self.cv.notify_one();
+    }
+
+    fn wait(&self) -> BatonState {
+        let mut g = self.m.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            match *g {
+                BatonState::Wait => g = self.cv.wait(g).unwrap_or_else(|p| p.into_inner()),
+                s => {
+                    *g = BatonState::Wait;
+                    return s;
+                }
+            }
+        }
+    }
+}
+
+struct ThreadMeta {
+    state: Run,
+    clock: VClock,
+    /// Newest modification-order index this thread has read, per
+    /// location (coherence floor).
+    last_read: Vec<usize>,
+    /// `unpark` before `park` is remembered.
+    park_token: bool,
+    /// Set when a condvar wake came from `notify_*` (vs timeout).
+    notified: bool,
+    baton: Arc<Baton>,
+}
+
+impl ThreadMeta {
+    fn new(threads: usize, tid: usize) -> ThreadMeta {
+        let mut clock = vec![0; threads.max(tid + 1)];
+        // Each thread starts with one event of its own so store clocks
+        // are never all-zero (the initial store alone owns that).
+        clock[tid] = 1;
+        ThreadMeta {
+            state: Run::Ready,
+            clock,
+            last_read: Vec::new(),
+            park_token: false,
+            notified: false,
+            baton: Baton::new(),
+        }
+    }
+}
+
+/// One store in a location's modification order.
+struct StoreRec {
+    val: u64,
+    /// Storing thread's clock at the store (after its event bump):
+    /// `store_clock <= view` means the reader provably observed this
+    /// store happening.
+    store_clock: VClock,
+    /// Present for Release/AcqRel/SeqCst stores (and propagated along
+    /// release sequences through RMWs): the view an acquiring reader
+    /// inherits.
+    rel_view: Option<VClock>,
+}
+
+struct Loc {
+    stores: Vec<StoreRec>,
+}
+
+struct MutexSt {
+    owner: Option<usize>,
+    /// Released view: joined into each next owner (lock = acquire,
+    /// unlock = release).
+    clock: VClock,
+}
+
+struct CondSt {
+    /// Wait order (notify_one wakes the head).
+    waiters: VecDeque<usize>,
+}
+
+/// A violation found in one execution.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Human-readable description (panic payload, deadlock report, …).
+    pub message: String,
+    /// Replayable counterexample trace (see [`super::replay`]).
+    pub trace: String,
+    /// Which execution (0-based) within the run found it.
+    pub schedule: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model violation in schedule {}: {}\n  replay trace: {}",
+            self.schedule, self.message, self.trace
+        )
+    }
+}
+
+pub(crate) struct Exec {
+    threads: Vec<ThreadMeta>,
+    locs: Vec<Loc>,
+    mutexes: Vec<MutexSt>,
+    condvars: Vec<CondSt>,
+    /// Global SC-fence view (cumulative across fences in SC order,
+    /// which in the model is their execution order).
+    sc_view: VClock,
+    /// Currently running virtual thread.
+    cur: usize,
+    steps: usize,
+    max_steps: usize,
+    /// Recorded choice sequence (only real branches: `options > 1`).
+    pub(crate) choices: Vec<Choice>,
+    /// Forced prefix (DFS sibling exploration or replay).
+    script: Vec<u32>,
+    script_pos: usize,
+    policy: ChoosePolicy,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+    pub(crate) timeout_wakes: u64,
+    failure: Option<String>,
+    aborting: bool,
+}
+
+impl Exec {
+    /// Resolve one choice among `options` alternatives. Only genuine
+    /// branches are recorded (and therefore DFS-explored / replayed).
+    fn choose(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1, "choose needs at least one option");
+        if options == 1 {
+            return 0;
+        }
+        let taken = if self.script_pos < self.script.len() {
+            let t = self.script[self.script_pos] as usize;
+            self.script_pos += 1;
+            t.min(options - 1)
+        } else {
+            match &mut self.policy {
+                ChoosePolicy::First => 0,
+                ChoosePolicy::Random(rng) => rng.below(options),
+            }
+        };
+        self.choices.push(Choice { taken: taken as u32, options: options as u32 });
+        taken
+    }
+
+    fn fail(&mut self, message: String) {
+        if self.failure.is_none() {
+            self.failure = Some(message);
+        }
+        self.aborting = true;
+        for (t, meta) in self.threads.iter().enumerate() {
+            if t != self.cur && meta.state != Run::Done {
+                meta.baton.signal(BatonState::Abort);
+            }
+        }
+    }
+
+    fn ready_threads(&self, except: Option<usize>) -> Vec<usize> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|&(t, m)| Some(t) != except && m.state == Run::Ready)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Pick the next thread to run when the current one cannot (or
+    /// will not) continue. Wakes a timed waiter if that is the only way
+    /// forward; declares deadlock otherwise. Returns the thread to
+    /// signal, or None when every thread is done (or the run aborted).
+    fn pick_next(&mut self) -> Option<usize> {
+        if self.aborting {
+            return None;
+        }
+        let ready = self.ready_threads(None);
+        if !ready.is_empty() {
+            let i = self.choose(ready.len());
+            return Some(ready[i]);
+        }
+        // Timeout as last resort: wake the lowest-tid timed waiter.
+        let timed: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                matches!(
+                    m.state,
+                    Run::Blocked(Blocked::Cond { timed: true, .. })
+                        | Run::Blocked(Blocked::Park { timed: true })
+                )
+            })
+            .map(|(t, _)| t)
+            .collect();
+        if let Some(&t) = timed.first() {
+            self.timeout_wakes += 1;
+            if let Run::Blocked(Blocked::Cond { cv, .. }) = self.threads[t].state {
+                self.condvars[cv].waiters.retain(|&w| w != t);
+            }
+            self.threads[t].notified = false;
+            self.threads[t].state = Run::Ready;
+            return Some(t);
+        }
+        let blocked: Vec<String> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(t, m)| match m.state {
+                Run::Blocked(b) => Some(format!("t{t}:{b:?}")),
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            self.fail(format!("deadlock: no runnable thread; blocked = [{}]", blocked.join(", ")));
+        }
+        None
+    }
+
+    fn all_done_except_root(&self) -> bool {
+        self.threads.iter().skip(1).all(|m| m.state == Run::Done)
+    }
+}
+
+pub(crate) struct ExecShared {
+    pub(crate) st: StdMutex<Exec>,
+    os_threads: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Monotone per-process execution counter, used by lazily
+    /// registered primitives to detect reuse across executions.
+    pub(crate) epoch: u64,
+}
+
+static EPOCH: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<ExecShared>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Zero-sized panic payload used to unwind virtual threads during an
+/// abort; swallowed by the per-thread catch.
+struct AbortError;
+
+fn ctx() -> (Arc<ExecShared>, usize) {
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|(s, t)| (s.clone(), *t))
+            .expect("modeled primitive used outside dgs_sync::model::check")
+    })
+}
+
+pub(crate) fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+pub(crate) fn current_epoch_and_ctx() -> (u64, Arc<ExecShared>) {
+    let (s, _) = ctx();
+    (s.epoch, s)
+}
+
+/// Hand the baton to `next` and wait for our own turn (or abort).
+fn handoff(shared: &Arc<ExecShared>, me: usize, next: usize) {
+    let (next_baton, my_baton) = {
+        let ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        (ex.threads[next].baton.clone(), ex.threads[me].baton.clone())
+    };
+    next_baton.signal(BatonState::Go);
+    if my_baton.wait() == BatonState::Abort {
+        std::panic::panic_any(AbortError);
+    }
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    if ex.aborting {
+        drop(ex);
+        std::panic::panic_any(AbortError);
+    }
+    ex.cur = me;
+}
+
+/// One scheduling point: maybe switch to another runnable thread.
+pub(crate) fn yield_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    let (shared, me) = ctx();
+    let next = {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        if ex.aborting {
+            drop(ex);
+            std::panic::panic_any(AbortError);
+        }
+        ex.steps += 1;
+        if ex.steps > ex.max_steps {
+            let budget = ex.max_steps;
+            ex.fail(format!(
+                "step budget exceeded ({budget} model operations): livelock or unbounded loop"
+            ));
+            drop(ex);
+            std::panic::panic_any(AbortError);
+        }
+        let others = ex.ready_threads(Some(me));
+        if others.is_empty() {
+            return;
+        }
+        if let Some(bound) = ex.preemption_bound {
+            if ex.preemptions >= bound {
+                return;
+            }
+        }
+        // Options: stay (index 0) or preempt to one of the others.
+        let pick = ex.choose(others.len() + 1);
+        if pick == 0 {
+            return;
+        }
+        ex.preemptions += 1;
+        others[pick - 1]
+    };
+    handoff(&shared, me, next);
+}
+
+/// A voluntary yield (`thread::yield_now` / spin-loop backoff): if any
+/// other thread is runnable, control *must* move to one of them — this
+/// is the fairness hint that keeps yielding rescan loops from being
+/// explored as livelocks.
+pub(crate) fn yield_now() {
+    if std::thread::panicking() {
+        return;
+    }
+    let (shared, me) = ctx();
+    let next = {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        if ex.aborting {
+            drop(ex);
+            std::panic::panic_any(AbortError);
+        }
+        ex.steps += 1;
+        if ex.steps > ex.max_steps {
+            let budget = ex.max_steps;
+            ex.fail(format!(
+                "step budget exceeded ({budget} model operations): livelock or unbounded loop"
+            ));
+            drop(ex);
+            std::panic::panic_any(AbortError);
+        }
+        let others = ex.ready_threads(Some(me));
+        if others.is_empty() {
+            return;
+        }
+        let pick = ex.choose(others.len());
+        others[pick]
+    };
+    handoff(&shared, me, next);
+}
+
+/// Block the current thread with `reason`, hand control onward, and
+/// return once this thread is made Ready and picked again.
+fn block_current(shared: &Arc<ExecShared>, me: usize, reason: Blocked) {
+    let next = {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        ex.threads[me].state = Run::Blocked(reason);
+        match ex.pick_next() {
+            Some(n) => n,
+            None => {
+                // Either everything else is done (undetectable deadlock
+                // already reported by pick_next) or we are aborting.
+                drop(ex);
+                std::panic::panic_any(AbortError);
+            }
+        }
+    };
+    handoff(shared, me, next);
+}
+
+// ---------------------------------------------------------------------
+// Atomic locations
+// ---------------------------------------------------------------------
+
+pub(crate) fn register_loc(init: u64) -> usize {
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    let _ = me;
+    ex.locs.push(Loc {
+        stores: vec![StoreRec { val: init, store_clock: Vec::new(), rel_view: None }],
+    });
+    ex.locs.len() - 1
+}
+
+fn is_acquire(o: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(o, Acquire | AcqRel | SeqCst)
+}
+
+fn is_release(o: std::sync::atomic::Ordering) -> bool {
+    use std::sync::atomic::Ordering::*;
+    matches!(o, Release | AcqRel | SeqCst)
+}
+
+/// Coherence floor for a load by `tid` on `loc`: the newest index the
+/// thread has already read, or the newest store it provably observed
+/// via happens-before — it may read that store or anything newer.
+fn load_floor(ex: &Exec, tid: usize, loc: usize) -> usize {
+    let stores = &ex.locs[loc].stores;
+    let mut floor = ex.threads[tid].last_read.get(loc).copied().unwrap_or(0);
+    let view = &ex.threads[tid].clock;
+    for i in (floor..stores.len()).rev() {
+        if vleq(&stores[i].store_clock, view) {
+            floor = floor.max(i);
+            break;
+        }
+    }
+    floor
+}
+
+fn note_read(ex: &mut Exec, tid: usize, loc: usize, idx: usize, acquire: bool) -> u64 {
+    if ex.threads[tid].last_read.len() <= loc {
+        ex.threads[tid].last_read.resize(loc + 1, 0);
+    }
+    ex.threads[tid].last_read[loc] = ex.threads[tid].last_read[loc].max(idx);
+    let (val, rel_view) = {
+        let s = &ex.locs[loc].stores[idx];
+        (s.val, if acquire { s.rel_view.clone() } else { None })
+    };
+    if let Some(rv) = rel_view {
+        let mut clock = std::mem::take(&mut ex.threads[tid].clock);
+        vjoin(&mut clock, &rv);
+        ex.threads[tid].clock = clock;
+    }
+    val
+}
+
+pub(crate) fn atomic_load(loc: usize, ordering: std::sync::atomic::Ordering) -> u64 {
+    if std::thread::panicking() {
+        let (shared, _) = ctx();
+        let ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        return ex.locs[loc].stores.last().expect("location has an initial store").val;
+    }
+    yield_point();
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    let n = ex.locs[loc].stores.len();
+    let floor = if ordering == std::sync::atomic::Ordering::SeqCst {
+        n - 1
+    } else {
+        load_floor(&ex, me, loc)
+    };
+    let idx = floor + ex.choose(n - floor);
+    note_read(&mut ex, me, loc, idx, is_acquire(ordering))
+}
+
+fn bump_clock(ex: &mut Exec, tid: usize) {
+    let c = &mut ex.threads[tid].clock;
+    if c.len() <= tid {
+        c.resize(tid + 1, 0);
+    }
+    c[tid] += 1;
+}
+
+pub(crate) fn atomic_store(loc: usize, val: u64, ordering: std::sync::atomic::Ordering) {
+    if std::thread::panicking() {
+        let (shared, _) = ctx();
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        ex.locs[loc].stores.push(StoreRec { val, store_clock: Vec::new(), rel_view: None });
+        return;
+    }
+    yield_point();
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    bump_clock(&mut ex, me);
+    let clock = ex.threads[me].clock.clone();
+    let rel_view = is_release(ordering).then(|| clock.clone());
+    let idx = ex.locs[loc].stores.len();
+    ex.locs[loc].stores.push(StoreRec { val, store_clock: clock, rel_view });
+    // A plain store breaks any release sequence; its own position is
+    // the thread's new coherence floor.
+    if ex.threads[me].last_read.len() <= loc {
+        ex.threads[me].last_read.resize(loc + 1, 0);
+    }
+    ex.threads[me].last_read[loc] = idx;
+}
+
+/// Read-modify-write: reads the newest store (C11 RMW atomicity),
+/// applies `f`, and appends the result, continuing the release
+/// sequence. Returns the previous value.
+pub(crate) fn atomic_rmw(
+    loc: usize,
+    ordering: std::sync::atomic::Ordering,
+    f: impl FnOnce(u64) -> u64,
+) -> u64 {
+    if std::thread::panicking() {
+        let (shared, _) = ctx();
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        let old = ex.locs[loc].stores.last().expect("initial store").val;
+        let new = f(old);
+        ex.locs[loc].stores.push(StoreRec { val: new, store_clock: Vec::new(), rel_view: None });
+        return old;
+    }
+    yield_point();
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    let idx = ex.locs[loc].stores.len() - 1;
+    let old = note_read(&mut ex, me, loc, idx, is_acquire(ordering));
+    bump_clock(&mut ex, me);
+    let clock = ex.threads[me].clock.clone();
+    // Release-sequence continuation: an RMW's store inherits the view
+    // of the store it replaces, plus its own when it releases.
+    let prev_rel = ex.locs[loc].stores[idx].rel_view.clone();
+    let rel_view = match (prev_rel, is_release(ordering)) {
+        (Some(mut rv), rel) => {
+            if rel {
+                vjoin(&mut rv, &clock);
+            }
+            Some(rv)
+        }
+        (None, true) => Some(clock.clone()),
+        (None, false) => None,
+    };
+    ex.locs[loc].stores.push(StoreRec { val: f(old), store_clock: clock, rel_view });
+    ex.threads[me].last_read[loc] = idx + 1;
+    old
+}
+
+/// Compare-exchange: RMW semantics on success; on failure a load with
+/// the failure ordering *of the newest value* (RMW reads are newest).
+pub(crate) fn atomic_cas(
+    loc: usize,
+    expect: u64,
+    new: u64,
+    success: std::sync::atomic::Ordering,
+    failure: std::sync::atomic::Ordering,
+) -> Result<u64, u64> {
+    if std::thread::panicking() {
+        let (shared, _) = ctx();
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        let old = ex.locs[loc].stores.last().expect("initial store").val;
+        if old == expect {
+            ex.locs[loc]
+                .stores
+                .push(StoreRec { val: new, store_clock: Vec::new(), rel_view: None });
+            return Ok(old);
+        }
+        return Err(old);
+    }
+    yield_point();
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    let idx = ex.locs[loc].stores.len() - 1;
+    let cur = ex.locs[loc].stores[idx].val;
+    if cur != expect {
+        let old = note_read(&mut ex, me, loc, idx, is_acquire(failure));
+        return Err(old);
+    }
+    let old = note_read(&mut ex, me, loc, idx, is_acquire(success));
+    bump_clock(&mut ex, me);
+    let clock = ex.threads[me].clock.clone();
+    let prev_rel = ex.locs[loc].stores[idx].rel_view.clone();
+    let rel_view = match (prev_rel, is_release(success)) {
+        (Some(mut rv), rel) => {
+            if rel {
+                vjoin(&mut rv, &clock);
+            }
+            Some(rv)
+        }
+        (None, true) => Some(clock.clone()),
+        (None, false) => None,
+    };
+    ex.locs[loc].stores.push(StoreRec { val: new, store_clock: clock, rel_view });
+    ex.threads[me].last_read[loc] = idx + 1;
+    Ok(old)
+}
+
+/// Memory fence. `SeqCst` (and, conservatively, every weaker fence) is
+/// modeled as cumulative: join the thread view into the global SC view
+/// and vice versa, which gives two fence-separated threads the
+/// cross-variable visibility guarantee of C11 SC fences.
+pub(crate) fn fence(_ordering: std::sync::atomic::Ordering) {
+    if std::thread::panicking() {
+        return;
+    }
+    yield_point();
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    let mut clock = std::mem::take(&mut ex.threads[me].clock);
+    vjoin(&mut clock, &ex.sc_view);
+    let mut sc = std::mem::take(&mut ex.sc_view);
+    vjoin(&mut sc, &clock);
+    ex.sc_view = sc;
+    ex.threads[me].clock = clock;
+}
+
+// ---------------------------------------------------------------------
+// Mutex / Condvar
+// ---------------------------------------------------------------------
+
+pub(crate) fn register_mutex() -> usize {
+    let (shared, _) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    ex.mutexes.push(MutexSt { owner: None, clock: Vec::new() });
+    ex.mutexes.len() - 1
+}
+
+pub(crate) fn register_condvar() -> usize {
+    let (shared, _) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    ex.condvars.push(CondSt { waiters: VecDeque::new() });
+    ex.condvars.len() - 1
+}
+
+pub(crate) fn mutex_lock(mid: usize) {
+    let (shared, me) = ctx();
+    if std::thread::panicking() {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        ex.mutexes[mid].owner = Some(me);
+        return;
+    }
+    loop {
+        yield_point();
+        {
+            let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+            if ex.mutexes[mid].owner.is_none() {
+                ex.mutexes[mid].owner = Some(me);
+                let rel = ex.mutexes[mid].clock.clone();
+                let mut clock = std::mem::take(&mut ex.threads[me].clock);
+                vjoin(&mut clock, &rel);
+                ex.threads[me].clock = clock;
+                return;
+            }
+            if ex.mutexes[mid].owner == Some(me) {
+                drop(ex);
+                panic!("model deadlock: thread re-locked a mutex it already holds");
+            }
+        }
+        block_current(&shared, me, Blocked::Mutex(mid));
+    }
+}
+
+pub(crate) fn mutex_try_lock(mid: usize) -> bool {
+    let (shared, me) = ctx();
+    if std::thread::panicking() {
+        return false;
+    }
+    yield_point();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    if ex.mutexes[mid].owner.is_none() {
+        ex.mutexes[mid].owner = Some(me);
+        let rel = ex.mutexes[mid].clock.clone();
+        let mut clock = std::mem::take(&mut ex.threads[me].clock);
+        vjoin(&mut clock, &rel);
+        ex.threads[me].clock = clock;
+        true
+    } else {
+        false
+    }
+}
+
+pub(crate) fn mutex_unlock(mid: usize) {
+    let (shared, me) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    ex.mutexes[mid].owner = None;
+    bump_clock(&mut ex, me);
+    let view = ex.threads[me].clock.clone();
+    let mut mclock = std::mem::take(&mut ex.mutexes[mid].clock);
+    vjoin(&mut mclock, &view);
+    ex.mutexes[mid].clock = mclock;
+    // Everyone blocked on this mutex re-contends.
+    for t in 0..ex.threads.len() {
+        if ex.threads[t].state == Run::Blocked(Blocked::Mutex(mid)) {
+            ex.threads[t].state = Run::Ready;
+        }
+    }
+}
+
+/// Condvar wait: atomically release the mutex and join the wait queue;
+/// on wake, re-acquire the mutex. Returns true when the wake came from
+/// the (last-resort) timeout rather than a notify.
+pub(crate) fn cond_wait(cvid: usize, mid: usize, timed: bool) -> bool {
+    let (shared, me) = ctx();
+    if std::thread::panicking() {
+        return true;
+    }
+    {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        debug_assert_eq!(ex.mutexes[mid].owner, Some(me), "wait on a mutex we don't hold");
+        // Release the mutex exactly as unlock does.
+        ex.mutexes[mid].owner = None;
+        bump_clock(&mut ex, me);
+        let view = ex.threads[me].clock.clone();
+        let mut mclock = std::mem::take(&mut ex.mutexes[mid].clock);
+        vjoin(&mut mclock, &view);
+        ex.mutexes[mid].clock = mclock;
+        for t in 0..ex.threads.len() {
+            if ex.threads[t].state == Run::Blocked(Blocked::Mutex(mid)) {
+                ex.threads[t].state = Run::Ready;
+            }
+        }
+        ex.threads[me].notified = false;
+        ex.condvars[cvid].waiters.push_back(me);
+    }
+    block_current(&shared, me, Blocked::Cond { cv: cvid, timed });
+    let timed_out = {
+        let ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        !ex.threads[me].notified
+    };
+    mutex_lock(mid);
+    timed_out
+}
+
+pub(crate) fn cond_notify(cvid: usize, all: bool) {
+    let (shared, _) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    while let Some(t) = ex.condvars[cvid].waiters.pop_front() {
+        ex.threads[t].notified = true;
+        ex.threads[t].state = Run::Ready;
+        if !all {
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Park / unpark
+// ---------------------------------------------------------------------
+
+pub(crate) fn park(timed: bool) {
+    let (shared, me) = ctx();
+    if std::thread::panicking() {
+        return;
+    }
+    {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        if ex.threads[me].park_token {
+            ex.threads[me].park_token = false;
+            return;
+        }
+    }
+    block_current(&shared, me, Blocked::Park { timed });
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    ex.threads[me].park_token = false;
+}
+
+pub(crate) fn unpark(tid: usize) {
+    let (shared, _) = ctx();
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    if matches!(ex.threads[tid].state, Run::Blocked(Blocked::Park { .. })) {
+        ex.threads[tid].notified = true;
+        ex.threads[tid].state = Run::Ready;
+    } else {
+        ex.threads[tid].park_token = true;
+    }
+}
+
+pub(crate) fn current_tid() -> usize {
+    ctx().1
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+pub(crate) fn spawn_vthread(body: Box<dyn FnOnce() + Send>) -> usize {
+    let (shared, me) = ctx();
+    let tid = {
+        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        let n = ex.threads.len();
+        let mut meta = ThreadMeta::new(n + 1, n);
+        // `thread::spawn` synchronizes-with the start of the child:
+        // everything the parent did before the spawn happens-before the
+        // child's first op, so the child inherits the parent's view.
+        vjoin(&mut meta.clock, &ex.threads[me].clock);
+        ex.threads.push(meta);
+        n
+    };
+    let os = {
+        let shared2 = shared.clone();
+        std::thread::Builder::new()
+            .name(format!("dgs-model-t{tid}"))
+            .spawn(move || vthread_main(shared2, tid, body))
+            .expect("spawn model OS thread")
+    };
+    shared.os_threads.lock().unwrap_or_else(|p| p.into_inner()).push(os);
+    // The spawn itself is a scheduling point: the child may run first.
+    yield_point();
+    tid
+}
+
+fn vthread_main(shared: Arc<ExecShared>, tid: usize, body: Box<dyn FnOnce() + Send>) {
+    CTX.with(|c| *c.borrow_mut() = Some((shared.clone(), tid)));
+    let baton = {
+        let ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+        ex.threads[tid].baton.clone()
+    };
+    let first = baton.wait();
+    if first == BatonState::Go {
+        {
+            let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+            ex.cur = tid;
+            let aborting = ex.aborting;
+            drop(ex);
+            if !aborting {
+                let result = catch_unwind(AssertUnwindSafe(body));
+                if let Err(payload) = result {
+                    if payload.downcast_ref::<AbortError>().is_none() {
+                        let msg = panic_message(&payload);
+                        let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+                        ex.cur = tid;
+                        ex.fail(format!("thread t{tid} panicked: {msg}"));
+                    }
+                }
+            }
+        }
+    }
+    finish_vthread(&shared, tid);
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn finish_vthread(shared: &Arc<ExecShared>, tid: usize) {
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    ex.threads[tid].state = Run::Done;
+    for t in 0..ex.threads.len() {
+        if ex.threads[t].state == Run::Blocked(Blocked::Join(tid)) {
+            ex.threads[t].state = Run::Ready;
+        }
+    }
+    if ex.aborting {
+        // During abort no scheduling happens; the last thread out wakes
+        // the root so check() can collect the failure.
+        if ex.all_done_except_root() {
+            ex.threads[0].baton.signal(BatonState::Go);
+        }
+        return;
+    }
+    match ex.pick_next() {
+        Some(n) => {
+            let b = ex.threads[n].baton.clone();
+            drop(ex);
+            b.signal(BatonState::Go);
+        }
+        None => {
+            // All other threads done (or deadlock just aborted the
+            // run): wake the root either way.
+            ex.threads[0].baton.signal(BatonState::Go);
+        }
+    }
+}
+
+pub(crate) fn join_thread(tid: usize) {
+    let (shared, me) = ctx();
+    if std::thread::panicking() {
+        return;
+    }
+    loop {
+        {
+            let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+            if ex.threads[tid].state == Run::Done {
+                // The completion of the joined thread synchronizes-with
+                // the return of `join`: the joiner inherits the child's
+                // final view (C11 thread-join happens-before).
+                let child = ex.threads[tid].clock.clone();
+                let mut clock = std::mem::take(&mut ex.threads[me].clock);
+                vjoin(&mut clock, &child);
+                ex.threads[me].clock = clock;
+                return;
+            }
+        }
+        block_current(&shared, me, Blocked::Join(tid));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution driver
+// ---------------------------------------------------------------------
+
+pub(crate) struct ExecOutcome {
+    pub(crate) choices: Vec<Choice>,
+    pub(crate) timeout_wakes: u64,
+    pub(crate) failure: Option<String>,
+}
+
+/// Run one execution of `f` with the given forced choice prefix.
+pub(crate) fn run_one(
+    script: Vec<u32>,
+    policy: ChoosePolicy,
+    max_steps: usize,
+    preemption_bound: Option<usize>,
+    f: &(impl Fn() + ?Sized),
+) -> ExecOutcome {
+    assert!(!in_model(), "model::check cannot be nested inside a model execution");
+    let epoch = EPOCH.fetch_add(1, RealOrdering::Relaxed);
+    let shared = Arc::new(ExecShared {
+        st: StdMutex::new(Exec {
+            threads: vec![ThreadMeta::new(1, 0)],
+            locs: Vec::new(),
+            mutexes: Vec::new(),
+            condvars: Vec::new(),
+            sc_view: Vec::new(),
+            cur: 0,
+            steps: 0,
+            max_steps,
+            choices: Vec::new(),
+            script,
+            script_pos: 0,
+            policy,
+            preemption_bound,
+            preemptions: 0,
+            timeout_wakes: 0,
+            failure: None,
+            aborting: false,
+        }),
+        os_threads: StdMutex::new(Vec::new()),
+        epoch,
+    });
+    CTX.with(|c| *c.borrow_mut() = Some((shared.clone(), 0)));
+
+    let result = catch_unwind(AssertUnwindSafe(f));
+    if let Err(payload) = result {
+        if payload.downcast_ref::<AbortError>().is_none() {
+            let msg = panic_message(&payload);
+            let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+            ex.cur = 0;
+            ex.fail(format!("root thread panicked: {msg}"));
+        }
+    }
+
+    // Root drain: keep the machine running until every spawned thread
+    // has finished (normally or by abort-unwind).
+    loop {
+        let action = {
+            let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+            ex.threads[0].state = Run::Done;
+            if ex.all_done_except_root() {
+                break;
+            }
+            if ex.aborting {
+                None
+            } else {
+                ex.cur = 0;
+                ex.pick_next()
+            }
+        };
+        if let Some(n) = action {
+            let b = {
+                let ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+                ex.threads[n].baton.clone()
+            };
+            b.signal(BatonState::Go);
+        }
+        // Wait for a finishing thread to wake us; re-check from the top.
+        let root_baton = {
+            let ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+            if ex.all_done_except_root() {
+                break;
+            }
+            ex.threads[0].baton.clone()
+        };
+        let _ = root_baton.wait();
+    }
+
+    CTX.with(|c| *c.borrow_mut() = None);
+    for h in shared.os_threads.lock().unwrap_or_else(|p| p.into_inner()).drain(..) {
+        let _ = h.join();
+    }
+    let mut ex = shared.st.lock().unwrap_or_else(|p| p.into_inner());
+    ExecOutcome {
+        choices: std::mem::take(&mut ex.choices),
+        timeout_wakes: ex.timeout_wakes,
+        failure: ex.failure.take(),
+    }
+}
+
+pub(crate) fn failure_from(outcome: &ExecOutcome, schedule: usize) -> Option<Failure> {
+    outcome.failure.as_ref().map(|m| Failure {
+        message: m.clone(),
+        trace: encode(&outcome.choices),
+        schedule,
+    })
+}

@@ -1,0 +1,258 @@
+//! Deterministic concurrency model checker (loom/shuttle-style, zero
+//! dependencies), always compiled so protocol suites run under a plain
+//! `cargo test`.
+//!
+//! ```
+//! use dgs_sync::model::{self, Config};
+//! use dgs_sync::model::atomic::AtomicUsize;
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = Config::dfs().named("counter").check(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = n.clone();
+//!     let t = model::thread::spawn(move || {
+//!         n2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2); // holds in EVERY schedule
+//! });
+//! assert!(report.exhausted);
+//! ```
+//!
+//! Two schedulers: bounded-exhaustive DFS over the choice tree
+//! (optionally preemption-bounded, CHESS-style) and a seeded random
+//! walker for large spaces. Both are fully deterministic; a failing
+//! schedule is reported as a `dgs1:` trace that [`replay`] re-executes
+//! byte-identically.
+
+pub mod atomic;
+mod engine;
+pub mod sync;
+pub mod thread;
+mod trace;
+
+use std::collections::HashSet;
+
+pub use engine::Failure;
+
+/// Schedule-exploration strategy.
+#[derive(Clone, Copy, Debug)]
+enum Strategy {
+    /// Depth-first over the choice tree; exhaustive when it terminates
+    /// within the schedule budget.
+    Dfs,
+    /// Seeded uniform-random choices, one independent execution per
+    /// schedule.
+    Random { seed: u64 },
+}
+
+/// What a completed (non-failing) exploration did.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Executions run.
+    pub schedules: usize,
+    /// Distinct choice sequences among them (== `schedules` for DFS).
+    pub distinct: usize,
+    /// Times the last-resort timeout woke a timed waiter (see
+    /// `wait_timeout`/`park_timeout` model semantics). A protocol whose
+    /// correctness must not lean on its timeout asserts this is zero.
+    pub timeout_wakes: u64,
+    /// True when DFS exhausted the entire (bounded) schedule space
+    /// before hitting the budget.
+    pub exhausted: bool,
+}
+
+/// Checker configuration; build with [`Config::dfs`] or
+/// [`Config::random`], then run with [`Config::check`].
+#[derive(Clone, Debug)]
+pub struct Config {
+    name: String,
+    strategy: Strategy,
+    max_schedules: usize,
+    max_steps: usize,
+    preemption_bound: Option<usize>,
+}
+
+impl Config {
+    /// Bounded-exhaustive DFS (default budget: 50k schedules).
+    pub fn dfs() -> Config {
+        Config {
+            name: String::new(),
+            strategy: Strategy::Dfs,
+            max_schedules: 50_000,
+            max_steps: 20_000,
+            preemption_bound: None,
+        }
+    }
+
+    /// Seeded random exploration (default: 1k schedules).
+    pub fn random(seed: u64) -> Config {
+        Config {
+            name: String::new(),
+            strategy: Strategy::Random { seed },
+            max_schedules: 1_000,
+            max_steps: 20_000,
+            preemption_bound: None,
+        }
+    }
+
+    /// Label used in failure messages.
+    pub fn named(mut self, name: &str) -> Config {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Cap the number of executions.
+    pub fn schedules(mut self, n: usize) -> Config {
+        self.max_schedules = n;
+        self
+    }
+
+    /// Cap model operations per execution (livelock guard).
+    pub fn max_steps(mut self, n: usize) -> Config {
+        self.max_steps = n;
+        self
+    }
+
+    /// CHESS-style preemption bound for DFS: at most `n` involuntary
+    /// context switches per execution (voluntary yields and blocking
+    /// are always free). Most real bugs need very few preemptions, so
+    /// small bounds make big protocols exhaustively checkable.
+    pub fn preemptions(mut self, n: usize) -> Config {
+        self.preemption_bound = Some(n);
+        self
+    }
+
+    /// Explore `f` and panic (with a replayable trace) on the first
+    /// violated schedule.
+    pub fn check<F: Fn()>(self, f: F) -> Report {
+        let name = self.name.clone();
+        match self.check_result(f) {
+            Ok(report) => report,
+            Err(failure) => panic!(
+                "[model{}{}] {failure}\n  (replay with dgs_sync::model::replay(trace, f))",
+                if name.is_empty() { "" } else { ":" },
+                name
+            ),
+        }
+    }
+
+    /// Explore `f`, returning the first violation instead of panicking.
+    pub fn check_result<F: Fn()>(self, f: F) -> Result<Report, Failure> {
+        match self.strategy {
+            Strategy::Dfs => self.run_dfs(&f),
+            Strategy::Random { seed } => self.run_random(seed, &f),
+        }
+    }
+
+    fn run_dfs<F: Fn()>(&self, f: &F) -> Result<Report, Failure> {
+        let mut script: Vec<u32> = Vec::new();
+        let mut schedules = 0;
+        let mut timeout_wakes = 0;
+        let mut exhausted = false;
+        loop {
+            if schedules >= self.max_schedules {
+                break;
+            }
+            let outcome = engine::run_one(
+                script.clone(),
+                engine::ChoosePolicy::First,
+                self.max_steps,
+                self.preemption_bound,
+                f,
+            );
+            timeout_wakes += outcome.timeout_wakes;
+            if let Some(failure) = engine::failure_from(&outcome, schedules) {
+                return Err(failure);
+            }
+            schedules += 1;
+            // Next sibling: bump the deepest incrementable choice.
+            let mut prefix = outcome.choices;
+            let next = loop {
+                match prefix.pop() {
+                    None => break None,
+                    Some(c) if c.taken + 1 < c.options => break Some(c.taken + 1),
+                    Some(_) => {}
+                }
+            };
+            match next {
+                Some(bumped) => {
+                    script = prefix.iter().map(|c| c.taken).collect();
+                    script.push(bumped);
+                }
+                None => {
+                    exhausted = true;
+                    break;
+                }
+            }
+        }
+        Ok(Report { schedules, distinct: schedules, timeout_wakes, exhausted })
+    }
+
+    fn run_random<F: Fn()>(&self, seed: u64, f: &F) -> Result<Report, Failure> {
+        let mut seen: HashSet<u64> = HashSet::new();
+        let mut timeout_wakes = 0;
+        for i in 0..self.max_schedules {
+            // Derive a per-execution seed deterministically from the
+            // run seed and the schedule index.
+            let exec_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let outcome = engine::run_one(
+                Vec::new(),
+                engine::ChoosePolicy::Random(engine::Rng::new(exec_seed)),
+                self.max_steps,
+                self.preemption_bound,
+                f,
+            );
+            timeout_wakes += outcome.timeout_wakes;
+            if let Some(failure) = engine::failure_from(&outcome, i) {
+                return Err(failure);
+            }
+            seen.insert(trace::hash(&outcome.choices));
+        }
+        Ok(Report {
+            schedules: self.max_schedules,
+            distinct: seen.len(),
+            timeout_wakes,
+            exhausted: false,
+        })
+    }
+}
+
+/// Re-execute a single schedule from a `dgs1:` counterexample trace.
+/// Deterministic: the same trace re-takes exactly the recorded choices
+/// (thread picks and load values), so the same violation reproduces
+/// with the same trace string.
+pub fn replay<F: Fn()>(trace_str: &str, f: F) -> Result<Report, Failure> {
+    let script = trace::decode(trace_str).map_err(|message| Failure {
+        message,
+        trace: trace_str.to_string(),
+        schedule: 0,
+    })?;
+    let outcome = engine::run_one(script, engine::ChoosePolicy::First, 100_000, None, &f);
+    if let Some(failure) = engine::failure_from(&outcome, 0) {
+        return Err(failure);
+    }
+    Ok(Report {
+        schedules: 1,
+        distinct: 1,
+        timeout_wakes: outcome.timeout_wakes,
+        exhausted: false,
+    })
+}
+
+/// Scale a suite's schedule budget by environment: an explicit
+/// `DGS_MODEL_SCHEDULES=<n>` wins; `DGS_MODEL_EXHAUSTIVE=1` multiplies
+/// the default by 20 (the CI deep leg); otherwise the tier-1 default.
+pub fn env_schedules(default_schedules: usize) -> usize {
+    if let Ok(s) = std::env::var("DGS_MODEL_SCHEDULES") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    if std::env::var("DGS_MODEL_EXHAUSTIVE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        return default_schedules.saturating_mul(20);
+    }
+    default_schedules
+}

@@ -1,0 +1,83 @@
+//! Virtual threads: `spawn`/`join`/`yield_now`/`park` with std-shaped
+//! signatures, scheduled by the model engine (one runnable at a time).
+
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+use super::engine;
+
+pub struct JoinHandle<T> {
+    tid: usize,
+    slot: Arc<StdMutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> std::thread::Result<T> {
+        engine::join_thread(self.tid);
+        match self.slot.lock().unwrap_or_else(|p| p.into_inner()).take() {
+            Some(v) => Ok(v),
+            // Only reachable when the execution is aborting (the thread
+            // unwound before producing a value); the joiner is itself
+            // about to be unwound.
+            None => Err(Box::new("model thread aborted before producing a value")),
+        }
+    }
+
+    pub fn thread_id(&self) -> usize {
+        self.tid
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let slot = Arc::new(StdMutex::new(None));
+    let out = slot.clone();
+    let tid = engine::spawn_vthread(Box::new(move || {
+        let v = f();
+        *out.lock().unwrap_or_else(|p| p.into_inner()) = Some(v);
+    }));
+    JoinHandle { tid, slot }
+}
+
+/// Voluntary yield: the scheduler *must* move to another runnable
+/// thread when one exists (the fairness hint that keeps yielding
+/// rescan loops explorable without livelock branches).
+pub fn yield_now() {
+    engine::yield_now();
+}
+
+pub fn park() {
+    engine::park(false);
+}
+
+/// The duration is ignored; the model wakes a timed parker only as a
+/// last resort (no other thread runnable) and counts it in
+/// `Report::timeout_wakes`.
+pub fn park_timeout(_dur: Duration) {
+    engine::park(true);
+}
+
+/// Modeled `sleep` is just a yield: wall-clock time does not exist in
+/// the model, but the scheduling point (and fairness hint) does.
+pub fn sleep(_dur: Duration) {
+    engine::yield_now();
+}
+
+/// Handle to a virtual thread (only `unpark` is supported).
+#[derive(Clone, Copy, Debug)]
+pub struct Thread {
+    tid: usize,
+}
+
+impl Thread {
+    pub fn unpark(&self) {
+        engine::unpark(self.tid);
+    }
+}
+
+pub fn current() -> Thread {
+    Thread { tid: engine::current_tid() }
+}

@@ -1,0 +1,52 @@
+//! Counterexample traces: a schedule's identity is its sequence of
+//! recorded choices (thread picks and load-value picks at points with
+//! more than one legal option). The printable form is versioned and
+//! round-trips byte-identically through [`encode`]/[`decode`], which is
+//! what makes `dgs_sync::model::replay` deterministic.
+
+/// One recorded branch: which of `options` alternatives was taken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub(crate) taken: u32,
+    pub(crate) options: u32,
+}
+
+pub(crate) const TRACE_PREFIX: &str = "dgs1:";
+
+/// Printable trace: `dgs1:` + dot-separated taken indices.
+pub(crate) fn encode(choices: &[Choice]) -> String {
+    let mut s = String::from(TRACE_PREFIX);
+    for (i, c) in choices.iter().enumerate() {
+        if i > 0 {
+            s.push('.');
+        }
+        s.push_str(&c.taken.to_string());
+    }
+    s
+}
+
+/// Parse a trace back into a forced-choice script.
+pub(crate) fn decode(trace: &str) -> Result<Vec<u32>, String> {
+    let body = trace
+        .strip_prefix(TRACE_PREFIX)
+        .ok_or_else(|| format!("trace must start with {TRACE_PREFIX:?}"))?;
+    if body.is_empty() {
+        return Ok(Vec::new());
+    }
+    body.split('.')
+        .map(|tok| tok.parse::<u32>().map_err(|e| format!("bad trace element {tok:?}: {e}")))
+        .collect()
+}
+
+/// FNV-1a over the taken indices: cheap identity for distinct-schedule
+/// counting under the random scheduler.
+pub(crate) fn hash(choices: &[Choice]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for c in choices {
+        for b in c.taken.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}

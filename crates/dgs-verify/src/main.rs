@@ -1,0 +1,5 @@
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    dgs_verify::cli_main()
+}

@@ -52,7 +52,7 @@
 //! `run` is a [`verify_against_spec`](flumina::api::Job::verify_against_spec)
 //! call (Theorem 3.5 as a CLI exit code).
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use dgs_sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock};
 
 use flumina::api::{
@@ -245,6 +245,8 @@ impl WorkloadVisitor for RunCmd {
             let (slot, stop) = (slot.clone(), stop.clone());
             std::thread::spawn(move || loop {
                 std::thread::sleep(std::time::Duration::from_millis(ms.max(1)));
+                // ORDERING: Relaxed — shutdown flag polled each
+                // tick; no data is published through it.
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
@@ -299,6 +301,7 @@ impl WorkloadVisitor for RunCmd {
             }));
         }
         let verified = job.verify_on(Backend::Threads(opts));
+        // ORDERING: Relaxed — see the sampler loop's load.
         stop.store(true, Ordering::Relaxed);
         if let Some(h) = sampler {
             let _ = h.join();

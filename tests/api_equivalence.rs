@@ -128,12 +128,13 @@ fn check_equivalence<W: SweepWorkload>(workers: u32, per_window: u64, windows: u
 
 /// Fresh scratch checkpoint directory (no tempfile crate in the image).
 fn scratch_dir(name: &str) -> std::path::PathBuf {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use dgs_sync::atomic::{AtomicU64, Ordering};
     static N: AtomicU64 = AtomicU64::new(0);
     let dir = std::env::temp_dir().join(format!(
         "flumina-api-eq-{}-{}-{}",
         name,
         std::process::id(),
+        // ORDERING: Relaxed — scratch-dir uniquifier only.
         N.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = std::fs::remove_dir_all(&dir);

@@ -14,7 +14,7 @@
 
 use std::collections::BTreeSet;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgs_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use flumina::api::{run_durable_with_recovery, Backend, CheckpointStore as _, Fault, FaultPlan};
@@ -116,6 +116,7 @@ fn scratch(name: &str) -> PathBuf {
         "flumina-chaos-{}-{}-{}",
         name,
         std::process::id(),
+        // ORDERING: Relaxed — scratch-dir uniquifier only.
         N.fetch_add(1, Ordering::Relaxed)
     ))
 }

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use dgs_sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use proptest::prelude::*;
@@ -38,6 +38,7 @@ fn scratch(name: &str) -> PathBuf {
         "flumina-durable-it-{}-{}-{}",
         name,
         std::process::id(),
+        // ORDERING: Relaxed — scratch-dir uniquifier only.
         N.fetch_add(1, Ordering::Relaxed)
     ));
     let _ = fs::remove_dir_all(&dir);

@@ -99,13 +99,15 @@ fn thousand_root_forest_runs_on_a_bounded_thread_budget() {
     assert_eq!(plan.len(), 3000, "root + two view leaves per page");
 
     let base = thread_count();
-    let peak = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
-    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let peak = std::sync::Arc::new(dgs_sync::atomic::AtomicUsize::new(0));
+    let stop = std::sync::Arc::new(dgs_sync::atomic::AtomicBool::new(false));
     let sampler = {
         let (peak, stop) = (peak.clone(), stop.clone());
         std::thread::spawn(move || {
-            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
-                peak.fetch_max(thread_count(), std::sync::atomic::Ordering::Relaxed);
+            // ORDERING: Relaxed — sampler flag + running max; no
+            // data published through either.
+            while !stop.load(dgs_sync::atomic::Ordering::Relaxed) {
+                peak.fetch_max(thread_count(), dgs_sync::atomic::Ordering::Relaxed);
                 std::thread::sleep(std::time::Duration::from_millis(1));
             }
         })
@@ -117,7 +119,8 @@ fn thousand_root_forest_runs_on_a_bounded_thread_budget() {
         record_timing: true,
         ..Default::default()
     }));
-    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    // ORDERING: Relaxed — see the sampler loop.
+    stop.store(true, dgs_sync::atomic::Ordering::Relaxed);
     sampler.join().expect("sampler joins");
 
     assert_eq!(
@@ -130,7 +133,8 @@ fn thousand_root_forest_runs_on_a_bounded_thread_budget() {
     // Thread budget: `executor_threads` shard threads + feeders capped
     // at the same count + the sampler itself, plus slack for harness
     // noise — nowhere near the 6000 threads thread-per-worker needed.
-    let peak = peak.load(std::sync::atomic::Ordering::Relaxed).max(base);
+    // ORDERING: Relaxed — read after the sampler thread joined.
+    let peak = peak.load(dgs_sync::atomic::Ordering::Relaxed).max(base);
     let budget = base + 2 * executor_threads + 12;
     assert!(
         peak <= budget,

@@ -1,0 +1,369 @@
+//! The ticketed MPMC channel: a drop-in `crossbeam::channel::{unbounded,
+//! Sender, Receiver}` subset restoring global send order via tickets (one
+//! contention-free shard per sender clone, atomic message credits,
+//! ticket-sorted delivery). See the crate docs for how this mode relates
+//! to the per-edge [`crate::edge`] plane.
+
+use std::collections::VecDeque;
+use std::fmt;
+use dgs_sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use dgs_sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Readiness callback a consumer can register on a channel or inbox:
+/// invoked after every message publish and on sender disconnect, so a
+/// polling executor can schedule the receiving task without the
+/// receiver ever parking on the channel's own condvar.
+pub type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// One producer-private segment of the channel. `front_ticket`
+/// mirrors the ticket of the queue's front element (`u64::MAX` when
+/// empty) so receivers can find the globally oldest message without
+/// locking every shard.
+struct Shard<T> {
+    queue: Mutex<VecDeque<(u64, T)>>,
+    front_ticket: AtomicU64,
+}
+
+impl<T> Shard<T> {
+    fn new() -> Arc<Self> {
+        Arc::new(Shard {
+            queue: Mutex::new(VecDeque::new()),
+            front_ticket: AtomicU64::new(u64::MAX),
+        })
+    }
+}
+
+struct Shared<T> {
+    /// All shards ever created (one per sender clone; never shrinks,
+    /// so receivers can cache a snapshot keyed by `shards_version`).
+    shards: Mutex<Vec<Arc<Shard<T>>>>,
+    /// Bumped whenever `shards` grows; lets receivers refresh their
+    /// cached snapshot without locking `shards` on every `recv`.
+    shards_version: AtomicUsize,
+    /// Global send order. Tickets are claimed *inside* the sending
+    /// shard's critical section, so per-shard queues are
+    /// ticket-sorted and receivers can deliver the globally oldest
+    /// message by comparing shard fronts.
+    tickets: AtomicU64,
+    /// Enqueued-but-unclaimed message count. A receiver must win a
+    /// credit (CAS decrement while positive) before popping.
+    credits: AtomicI64,
+    /// Live sender handles; 0 means disconnected for receivers.
+    senders: AtomicUsize,
+    /// Live receiver handles; 0 means disconnected for senders.
+    receivers: AtomicUsize,
+    /// Receivers currently parked (or about to park) on `ready`.
+    waiters: AtomicUsize,
+    /// Park lock/condvar for the empty-channel slow path only.
+    gate: Mutex<()>,
+    ready: Condvar,
+    /// Optional readiness hook (set once per channel); fired on every
+    /// wake *regardless* of `waiters` — a polling consumer never
+    /// parks on `ready`, so the `waiters > 0` fast-out must not
+    /// swallow its notification.
+    waker: OnceLock<Waker>,
+}
+
+impl<T> Shared<T> {
+    /// Wake parked receivers. Taking `gate` before notifying closes
+    /// the race with a receiver that re-checked its condition and is
+    /// between "decided to park" and "parked".
+    fn wake(&self, all: bool) {
+        if let Some(w) = self.waker.get() {
+            w();
+        }
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.gate.lock().expect("channel poisoned"));
+            if all {
+                self.ready.notify_all();
+            } else {
+                self.ready.notify_one();
+            }
+        }
+    }
+}
+
+/// Error returned by [`Sender::send`] when every [`Receiver`] is gone.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+// Like the real crossbeam, `Debug` does not require `T: Debug` (the
+// payload is elided), so `.expect()` works on any message type.
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// every [`Sender`] is gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "receiving on an empty and disconnected channel")
+    }
+}
+
+/// The sending half of an unbounded channel. Cloneable; each clone
+/// owns a private shard, so clones never contend with each other. The
+/// channel disconnects for receivers once all clones are dropped.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+    shard: Arc<Shard<T>>,
+}
+
+/// The receiving half of an unbounded channel. Cloneable (MPMC): each
+/// message is delivered to exactly one receiver.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+    /// Cached shard snapshot + the `shards_version` it reflects, so
+    /// the steady-state `recv` path never locks the shard list.
+    cache: Mutex<(usize, Vec<Arc<Shard<T>>>)>,
+}
+
+/// Create an unbounded FIFO channel, mirroring
+/// `crossbeam::channel::unbounded`.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let first = Shard::new();
+    let shared = Arc::new(Shared {
+        shards: Mutex::new(vec![first.clone()]),
+        shards_version: AtomicUsize::new(1),
+        tickets: AtomicU64::new(0),
+        credits: AtomicI64::new(0),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        waiters: AtomicUsize::new(0),
+        gate: Mutex::new(()),
+        ready: Condvar::new(),
+        waker: OnceLock::new(),
+    });
+    (
+        Sender { shared: shared.clone(), shard: first },
+        Receiver { shared, cache: Mutex::new((0, Vec::new())) },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue `msg`. Never blocks (the channel is unbounded); errors
+    /// once every [`Receiver`] has been dropped, so a dead peer fails
+    /// fast instead of silently queueing forever.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+            return Err(SendError(msg));
+        }
+        {
+            let mut queue = self.shard.queue.lock().expect("channel poisoned");
+            // Ticket claimed under the shard lock: the shard's queue
+            // stays ticket-sorted even if this handle is shared.
+            let ticket = self.shared.tickets.fetch_add(1, Ordering::SeqCst);
+            if queue.is_empty() {
+                self.shard.front_ticket.store(ticket, Ordering::SeqCst);
+            }
+            queue.push_back((ticket, msg));
+        }
+        self.shared.credits.fetch_add(1, Ordering::SeqCst);
+        self.shared.wake(false);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        let shard = Shard::new();
+        {
+            let mut shards = self.shared.shards.lock().expect("channel poisoned");
+            shards.push(shard.clone());
+        }
+        self.shared.shards_version.fetch_add(1, Ordering::SeqCst);
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        Sender { shared: self.shared.clone(), shard }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake every parked receiver so it can
+            // observe the disconnect.
+            self.shared.wake(true);
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Messages currently enqueued and unclaimed (approximate under
+    /// concurrent sends/claims). Observability only.
+    pub fn len(&self) -> usize {
+        self.shared.credits.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// True when no unclaimed message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Register a readiness hook, fired on every subsequent message
+    /// publish and on sender disconnect. One hook per channel (first
+    /// write wins); used by polling executors instead of `recv`.
+    pub fn set_waker(&self, waker: Waker) {
+        let _ = self.shared.waker.set(waker);
+    }
+
+    /// Try to claim one message credit without blocking.
+    fn try_claim_credit(&self) -> bool {
+        let mut c = self.shared.credits.load(Ordering::SeqCst);
+        while c > 0 {
+            match self.shared.credits.compare_exchange_weak(
+                c,
+                c - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => return true,
+                Err(actual) => c = actual,
+            }
+        }
+        false
+    }
+
+    /// Non-blocking receive: `Ok(Some(msg))` when a message was
+    /// claimed, `Ok(None)` when the channel is currently empty, and
+    /// `Err(RecvError)` once it is empty *and* every sender is gone.
+    pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
+        if self.try_claim_credit() {
+            return Ok(Some(self.pop_claimed()));
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            // A sender may have published between the claim attempt
+            // and the disconnect check — re-check before reporting
+            // disconnected so no message is stranded.
+            if self.try_claim_credit() {
+                return Ok(Some(self.pop_claimed()));
+            }
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
+    /// Claim one message credit, or report why none can be claimed.
+    /// `Ok(())` guarantees at least one message is queued for us.
+    fn claim_credit(&self) -> Result<(), RecvError> {
+        loop {
+            if self.try_claim_credit() {
+                return Ok(());
+            }
+            // Empty: park. `waiters` is raised *before* re-checking
+            // the credits under the gate, and `send` publishes its
+            // credit *before* loading `waiters` (both SeqCst), so a
+            // racing send either hands us the credit in the re-check
+            // or sees `waiters > 0` and notifies under the gate.
+            let mut guard = self.shared.gate.lock().expect("channel poisoned");
+            self.shared.waiters.fetch_add(1, Ordering::SeqCst);
+            let outcome = loop {
+                if self.shared.credits.load(Ordering::SeqCst) > 0 {
+                    break Ok(());
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    break Err(RecvError);
+                }
+                guard = self.shared.ready.wait(guard).expect("channel poisoned");
+            };
+            self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+            outcome?; // disconnected and drained
+            // Credits reappeared — race to claim one.
+        }
+    }
+
+    /// Pop the message backing an already-claimed credit, choosing the
+    /// shard whose front carries the lowest ticket — i.e. deliver in
+    /// global send order, like the single-queue original. The credit
+    /// guarantees a message exists; a racing producer may make it
+    /// visible a beat after its credit, hence the yielding rescan.
+    fn pop_claimed(&self) -> T {
+        let mut cache = self.cache.lock().expect("channel poisoned");
+        loop {
+            let version = self.shared.shards_version.load(Ordering::SeqCst);
+            if cache.0 != version {
+                cache.1 = self.shared.shards.lock().expect("channel poisoned").clone();
+                cache.0 = version;
+            }
+            // Find the nonempty shard with the oldest front ticket
+            // (lock-free scan over the mirrored front tickets).
+            let mut best: Option<(u64, &Arc<Shard<T>>)> = None;
+            for shard in &cache.1 {
+                let t = shard.front_ticket.load(Ordering::SeqCst);
+                if t != u64::MAX && best.is_none_or(|(b, _)| t < b) {
+                    best = Some((t, shard));
+                }
+            }
+            if let Some((_, shard)) = best {
+                let mut queue = shard.queue.lock().expect("channel poisoned");
+                if let Some((_, msg)) = queue.pop_front() {
+                    shard.front_ticket.store(
+                        queue.front().map_or(u64::MAX, |&(t, _)| t),
+                        Ordering::SeqCst,
+                    );
+                    return msg;
+                }
+                // Another receiver drained it between scan and lock.
+            }
+            dgs_sync::thread::yield_now();
+        }
+    }
+
+    /// Block until a message arrives; `Err(RecvError)` once the channel
+    /// is empty and all senders are dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.claim_credit()?;
+        Ok(self.pop_claimed())
+    }
+
+    /// Blocking iterator over messages until disconnection.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver { shared: self.shared.clone(), cache: Mutex::new((0, Vec::new())) }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Iterator returned by [`Receiver::iter`].
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}

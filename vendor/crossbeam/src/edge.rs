@@ -1,0 +1,810 @@
+//! Per-edge FIFO message plane: one private SPSC queue per
+//! `(sender, receiver)` edge, drained by a single-consumer [`Inbox`].
+//!
+//! Guarantees:
+//!
+//! * **Lossless FIFO per edge** — a sender's messages arrive in send
+//!   order. Nothing is promised about ordering *across* edges; the
+//!   receiver scans edges round-robin from a rotating cursor, so
+//!   cross-edge interleavings are deliberately arbitrary (and fair:
+//!   no edge can be starved while it holds messages).
+//! * **Bounded capacity with blocking backpressure** (opt-in,
+//!   per edge): `send` on a full bounded edge parks the producer until
+//!   the consumer drains — ingress edges get real flow control instead
+//!   of unbounded queue growth. Protocol edges between workers should
+//!   stay unbounded: the fork/join protocol keeps at most one join in
+//!   flight per worker, so their queues are structurally bounded, and
+//!   blocking a worker's send could deadlock a cycle of full edges.
+//! * **Batched enqueue**: [`EdgeSender::send_many`] appends a run of
+//!   messages under one lock acquisition (mutex edges) or one credit
+//!   publish (ring edges) and one wakeup, amortizing synchronization
+//!   for bursty producers (a worker emitting several messages from one
+//!   `handle` call, an unpaced feeder).
+//!
+//! Two storage back-ends implement the same contract, selected per
+//! edge at attach time:
+//!
+//! * [`InboxHandle::ring_edge`] — **lock-free SPSC rings**
+//!   ([`spsc`](crate::spsc)): a cache-padded bounded ring when a
+//!   capacity is given (producers park only when full, on a slow-path
+//!   condvar), a segmented unbounded ring otherwise. No lock is taken
+//!   anywhere on the message path; this is the thread driver's
+//!   default plane.
+//! * [`InboxHandle::edge`] — **mutex-protected `VecDeque`s**: the
+//!   original implementation, kept selectable (wallclock `--modes
+//!   per-edge`) so the ring's win stays measurable.
+//!
+//! The receiving half is strictly single-consumer (`recv` takes `&mut
+//! self`) and [`EdgeSender`] is neither cloneable nor `Sync`, which is
+//! what makes the lock-free SPSC storage sound: at most one thread on
+//! each end of every edge.
+
+use std::collections::VecDeque;
+use std::fmt;
+use dgs_sync::atomic::{fence, AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use dgs_sync::{Arc, Condvar, Mutex, OnceLock};
+
+use crate::spsc::{BoundedRing, SegRing};
+
+pub use crate::channel::{RecvError, SendError, Waker};
+
+/// Message storage of one edge.
+enum Buf<T> {
+    /// Mutex-protected deque (bounded or unbounded).
+    Locked(Mutex<VecDeque<T>>),
+    /// Lock-free bounded SPSC ring.
+    Ring(BoundedRing<T>),
+    /// Lock-free unbounded segmented SPSC ring.
+    Seg(SegRing<T>),
+}
+
+struct EdgeQueue<T> {
+    buf: Buf<T>,
+    /// Producers park here when the edge is full (bounded edges
+    /// only). For `Locked` edges the wait is on the queue mutex; ring
+    /// producers park on `park`.
+    not_full: Condvar,
+    /// Slow-path lock for parked ring producers (never taken on the
+    /// message path).
+    park: Mutex<()>,
+    /// Ring producers parked (or about to park) on `not_full`.
+    park_waiters: AtomicUsize,
+    /// `usize::MAX` encodes an unbounded edge.
+    capacity: usize,
+    /// The sender half was dropped (the edge can still be drained).
+    sender_gone: AtomicBool,
+    /// Times a producer blocked because the edge was full (each
+    /// condvar wait counts once). Observability only — never read on
+    /// the message path.
+    stalls: AtomicU64,
+}
+
+struct Shared<T> {
+    /// All edges ever attached; never shrinks, so the inbox can cache
+    /// a snapshot keyed by `version`.
+    edges: Mutex<Vec<Arc<EdgeQueue<T>>>>,
+    version: AtomicUsize,
+    /// Enqueued, undelivered messages across all edges.
+    msgs: AtomicI64,
+    /// Live [`EdgeSender`]s; 0 = disconnected for the inbox.
+    senders: AtomicUsize,
+    /// The inbox is still alive; false fails senders fast.
+    receiver_alive: AtomicBool,
+    /// Inbox parked (or about to park) on `ready`.
+    waiters: AtomicUsize,
+    gate: Mutex<()>,
+    ready: Condvar,
+    /// Optional readiness hook (set once per inbox); fired on every
+    /// wake *regardless* of `waiters` — a polling executor never
+    /// parks the inbox on `ready`, so the `waiters > 0` fast-out
+    /// must not swallow its notification.
+    waker: OnceLock<Waker>,
+}
+
+impl<T> Shared<T> {
+    /// Wake the parked inbox; takes `gate` first to close the race
+    /// with a receiver between "decided to park" and "parked".
+    fn wake(&self) {
+        if let Some(w) = self.waker.get() {
+            w();
+        }
+        if self.waiters.load(Ordering::SeqCst) > 0 {
+            drop(self.gate.lock().expect("inbox poisoned"));
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// The producing half of one edge. Not cloneable, and deliberately
+/// `!Sync` (the `PhantomData<Cell<()>>` marker): an edge belongs to
+/// exactly one logical sender *thread* (clone-per-sender is the point
+/// of the plane — create more edges instead), which is what makes the
+/// lock-free ring storage sound.
+pub struct EdgeSender<T> {
+    shared: Arc<Shared<T>>,
+    edge: Arc<EdgeQueue<T>>,
+    _single_producer: std::marker::PhantomData<std::cell::Cell<()>>,
+}
+
+impl<T> fmt::Debug for EdgeSender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EdgeSender(cap {})", self.edge.capacity)
+    }
+}
+
+/// Handle for attaching new edges to an [`Inbox`] (e.g. from a thread
+/// that only holds the inbox's address, not the inbox itself). Does
+/// not keep the inbox "connected": only live [`EdgeSender`]s do.
+pub struct InboxHandle<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for InboxHandle<T> {
+    fn clone(&self) -> Self {
+        InboxHandle { shared: self.shared.clone() }
+    }
+}
+
+impl<T> InboxHandle<T> {
+    fn attach(&self, buf: Buf<T>, capacity: usize) -> EdgeSender<T> {
+        let edge = Arc::new(EdgeQueue {
+            buf,
+            not_full: Condvar::new(),
+            park: Mutex::new(()),
+            park_waiters: AtomicUsize::new(0),
+            capacity,
+            sender_gone: AtomicBool::new(false),
+            stalls: AtomicU64::new(0),
+        });
+        self.shared.edges.lock().expect("inbox poisoned").push(edge.clone());
+        self.shared.version.fetch_add(1, Ordering::SeqCst);
+        self.shared.senders.fetch_add(1, Ordering::SeqCst);
+        EdgeSender {
+            shared: self.shared.clone(),
+            edge,
+            _single_producer: std::marker::PhantomData,
+        }
+    }
+
+    /// Attach a new mutex-backed edge; `capacity: None` = unbounded,
+    /// `Some(n)` = bounded at `n` messages with blocking backpressure.
+    pub fn edge(&self, capacity: Option<usize>) -> EdgeSender<T> {
+        let cap = match capacity {
+            Some(n) => {
+                assert!(n > 0, "bounded edge needs capacity >= 1");
+                n
+            }
+            None => usize::MAX,
+        };
+        self.attach(Buf::Locked(Mutex::new(VecDeque::new())), cap)
+    }
+
+    /// Attach a new lock-free SPSC ring edge; `capacity: None` = a
+    /// segmented unbounded ring, `Some(n)` = a bounded ring (rounded
+    /// up to a power of two) with blocking backpressure.
+    pub fn ring_edge(&self, capacity: Option<usize>) -> EdgeSender<T> {
+        match capacity {
+            Some(n) => {
+                let ring = BoundedRing::new(n);
+                let cap = ring.capacity();
+                self.attach(Buf::Ring(ring), cap)
+            }
+            None => self.attach(Buf::Seg(SegRing::new()), usize::MAX),
+        }
+    }
+}
+
+/// The single-consumer receiving half: drains all attached edges,
+/// FIFO within each edge, round-robin across them.
+pub struct Inbox<T> {
+    shared: Arc<Shared<T>>,
+    /// Cached edge snapshot + the `version` it reflects.
+    cache: Vec<Arc<EdgeQueue<T>>>,
+    cache_version: usize,
+    /// Round-robin scan start, rotated on every delivery for fairness.
+    cursor: usize,
+}
+
+/// Create an empty inbox; attach producing edges via
+/// [`Inbox::handle`] + [`InboxHandle::edge`].
+pub fn inbox<T>() -> Inbox<T> {
+    Inbox {
+        shared: Arc::new(Shared {
+            edges: Mutex::new(Vec::new()),
+            version: AtomicUsize::new(0),
+            msgs: AtomicI64::new(0),
+            senders: AtomicUsize::new(0),
+            receiver_alive: AtomicBool::new(true),
+            waiters: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            ready: Condvar::new(),
+            waker: OnceLock::new(),
+        }),
+        cache: Vec::new(),
+        cache_version: 0,
+        cursor: 0,
+    }
+}
+
+impl<T> EdgeSender<T> {
+    /// Enqueue one message; blocks while a bounded edge is full.
+    /// Errors (returning the message) once the inbox is dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        self.send_many(std::iter::once(msg)).map_err(|mut e| SendError(e.0.pop().expect("one")))
+    }
+
+    /// Enqueue a run of messages in order under one lock acquisition
+    /// (mutex edges) or one credit publish (ring edges) and one
+    /// wakeup, blocking for space as needed on a bounded edge. On
+    /// disconnection mid-batch the unsent suffix is returned.
+    pub fn send_many(
+        &self,
+        msgs: impl IntoIterator<Item = T>,
+    ) -> Result<(), SendError<Vec<T>>> {
+        let mut it = msgs.into_iter();
+        // Pushed-but-unpublished credits; flushed before parking so
+        // the consumer can drain a batch wider than the capacity.
+        let mut pending = 0i64;
+        let publish = |pending: &mut i64| {
+            if *pending > 0 {
+                self.shared.msgs.fetch_add(*pending, Ordering::SeqCst);
+                *pending = 0;
+                self.shared.wake();
+            }
+        };
+        let suffix = |first: T, it: &mut dyn Iterator<Item = T>| {
+            let mut rest = vec![first];
+            rest.extend(it);
+            SendError(rest)
+        };
+        match &self.edge.buf {
+            Buf::Locked(q) => {
+                let mut queue = q.lock().expect("edge poisoned");
+                let outcome = loop {
+                    let Some(msg) = it.next() else { break Ok(()) };
+                    // Backpressure: wait for space (bounded edges
+                    // only). The consumer notifies `not_full` after
+                    // draining from a bounded edge; a dropped inbox
+                    // notifies to fail us fast.
+                    while queue.len() >= self.edge.capacity {
+                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        publish(&mut pending);
+                        // ORDERING: Relaxed — observability-only stall
+                        // counter; no reader synchronizes on it.
+                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
+                        queue = self.edge.not_full.wait(queue).expect("edge poisoned");
+                    }
+                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                        break Err(suffix(msg, &mut it));
+                    }
+                    queue.push_back(msg);
+                    pending += 1;
+                };
+                drop(queue);
+                publish(&mut pending);
+                outcome
+            }
+            Buf::Seg(ring) => {
+                // Unbounded: no backpressure, only the dead-inbox
+                // fast-fail.
+                let outcome = loop {
+                    let Some(msg) = it.next() else { break Ok(()) };
+                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                        break Err(suffix(msg, &mut it));
+                    }
+                    ring.push(msg);
+                    pending += 1;
+                };
+                publish(&mut pending);
+                outcome
+            }
+            Buf::Ring(ring) => {
+                let outcome = loop {
+                    let Some(mut msg) = it.next() else { break Ok(()) };
+                    loop {
+                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                            publish(&mut pending);
+                            return Err(suffix(msg, &mut it));
+                        }
+                        match ring.try_push(msg) {
+                            Ok(()) => break,
+                            Err(back) => {
+                                msg = back;
+                                // Full: publish what we queued so the
+                                // consumer can drain, then park on the
+                                // slow-path condvar until it does.
+                                publish(&mut pending);
+                                let guard =
+                                    self.edge.park.lock().expect("edge poisoned");
+                                self.edge
+                                    .park_waiters
+                                    .fetch_add(1, Ordering::SeqCst);
+                                // Dekker handshake with the consumer,
+                                // model-checked in `model_tests`: this
+                                // fence after the waiters increment and
+                                // the consumer's fence after its head
+                                // store (before loading waiters) order
+                                // the two flag/data pairs, so either
+                                // the fullness re-check below observes
+                                // the pop or the consumer observes
+                                // `park_waiters > 0` and notifies under
+                                // the park lock. Without the fences the
+                                // acquire head load could read a stale
+                                // head after the consumer already
+                                // skipped the notify — a missed wakeup.
+                                // The bounded timeout stays as belt and
+                                // suspenders only; the model suite
+                                // asserts it is never what makes
+                                // progress (`timeout_wakes == 0`).
+                                fence(Ordering::SeqCst);
+                                let _guard = if ring.is_full()
+                                    && self
+                                        .shared
+                                        .receiver_alive
+                                        .load(Ordering::SeqCst)
+                                {
+                                    // ORDERING: Relaxed — stats only.
+                                    self.edge.stalls.fetch_add(1, Ordering::Relaxed);
+                                    self.edge
+                                        .not_full
+                                        .wait_timeout(
+                                            guard,
+                                            std::time::Duration::from_millis(1),
+                                        )
+                                        .expect("edge poisoned")
+                                        .0
+                                } else {
+                                    guard
+                                };
+                                self.edge
+                                    .park_waiters
+                                    .fetch_sub(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    pending += 1;
+                };
+                publish(&mut pending);
+                outcome
+            }
+        }
+    }
+
+    /// Non-blocking batch enqueue: pop messages off the front of
+    /// `msgs` and push them while the edge has room, preserving
+    /// order, without ever parking. Returns `(pushed,
+    /// disconnected)`: `pushed` messages were delivered (and
+    /// published under one wakeup), and `disconnected` reports a
+    /// dropped inbox — the unsent suffix stays in `msgs` either
+    /// way. Lets a multiplexing producer rotate across many edges
+    /// without one full edge stalling the rest.
+    pub fn try_send_many(&self, msgs: &mut VecDeque<T>) -> (usize, bool) {
+        let mut pending = 0i64;
+        let publish = |pending: &mut i64| {
+            if *pending > 0 {
+                self.shared.msgs.fetch_add(*pending, Ordering::SeqCst);
+                *pending = 0;
+                self.shared.wake();
+            }
+        };
+        let mut pushed = 0;
+        let disconnected = match &self.edge.buf {
+            Buf::Locked(q) => {
+                let mut queue = q.lock().expect("edge poisoned");
+                let dead = loop {
+                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                        break true;
+                    }
+                    if queue.len() >= self.edge.capacity {
+                        break false;
+                    }
+                    let Some(msg) = msgs.pop_front() else { break false };
+                    queue.push_back(msg);
+                    pending += 1;
+                    pushed += 1;
+                };
+                drop(queue);
+                dead
+            }
+            Buf::Seg(ring) => {
+                // Unbounded: everything fits unless the inbox died.
+                loop {
+                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                        break true;
+                    }
+                    let Some(msg) = msgs.pop_front() else { break false };
+                    ring.push(msg);
+                    pending += 1;
+                    pushed += 1;
+                }
+            }
+            Buf::Ring(ring) => loop {
+                if !self.shared.receiver_alive.load(Ordering::SeqCst) {
+                    break true;
+                }
+                let Some(msg) = msgs.pop_front() else { break false };
+                match ring.try_push(msg) {
+                    Ok(()) => {
+                        pending += 1;
+                        pushed += 1;
+                    }
+                    Err(back) => {
+                        msgs.push_front(back);
+                        break false;
+                    }
+                }
+            },
+        };
+        publish(&mut pending);
+        (pushed, disconnected)
+    }
+
+    /// Park until this edge has room (or `timeout` / inbox death),
+    /// counting one backpressure stall. The bounded-timeout
+    /// companion to [`EdgeSender::try_send_many`]: a producer multiplexing many
+    /// edges parks here only when *every* edge is full, and the
+    /// timeout keeps it live to a different edge draining first.
+    pub fn wait_not_full(&self, timeout: std::time::Duration) {
+        match &self.edge.buf {
+            Buf::Locked(q) => {
+                let queue = q.lock().expect("edge poisoned");
+                if queue.len() >= self.edge.capacity
+                    && self.shared.receiver_alive.load(Ordering::SeqCst)
+                {
+                    // ORDERING: Relaxed — observability-only stall
+                    // counter; no reader synchronizes on it.
+                    self.edge.stalls.fetch_add(1, Ordering::Relaxed);
+                    let _ = self
+                        .edge
+                        .not_full
+                        .wait_timeout(queue, timeout)
+                        .expect("edge poisoned");
+                }
+            }
+            Buf::Seg(_) => {}
+            Buf::Ring(ring) => {
+                // Same park protocol as the blocking send slow path:
+                // register under the park lock, fence, re-check
+                // fullness, bounded wait (see `send_many` for the
+                // Dekker-handshake argument; here the timeout is also
+                // semantic — the caller multiplexes other edges).
+                let guard = self.edge.park.lock().expect("edge poisoned");
+                self.edge.park_waiters.fetch_add(1, Ordering::SeqCst);
+                fence(Ordering::SeqCst);
+                let _guard = if ring.is_full()
+                    && self.shared.receiver_alive.load(Ordering::SeqCst)
+                {
+                    // ORDERING: Relaxed — stats only.
+                    self.edge.stalls.fetch_add(1, Ordering::Relaxed);
+                    self.edge
+                        .not_full
+                        .wait_timeout(guard, timeout)
+                        .expect("edge poisoned")
+                        .0
+                } else {
+                    guard
+                };
+                self.edge.park_waiters.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    /// Cumulative backpressure stalls on this edge: how many times a
+    /// send blocked (one per condvar wait) because the edge was full.
+    pub fn stalls(&self) -> u64 {
+        // ORDERING: Relaxed — monotone counter; staleness is fine.
+        self.edge.stalls.load(Ordering::Relaxed)
+    }
+}
+
+impl<T> Drop for EdgeSender<T> {
+    fn drop(&mut self) {
+        self.edge.sender_gone.store(true, Ordering::SeqCst);
+        if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake a parked inbox so it observes the
+            // disconnect.
+            self.shared.wake();
+        }
+    }
+}
+
+impl<T> Inbox<T> {
+    /// A handle for attaching edges.
+    pub fn handle(&self) -> InboxHandle<T> {
+        InboxHandle { shared: self.shared.clone() }
+    }
+
+    /// Messages currently queued across all edges.
+    pub fn len(&self) -> usize {
+        self.shared.msgs.load(Ordering::SeqCst).max(0) as usize
+    }
+
+    /// True when no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn refresh_cache(&mut self) {
+        let version = self.shared.version.load(Ordering::SeqCst);
+        if self.cache_version != version {
+            self.cache = self.shared.edges.lock().expect("inbox poisoned").clone();
+            self.cache_version = version;
+        }
+    }
+
+    /// Pop one message, scanning edges round-robin from the rotating
+    /// cursor. Caller has already claimed a message via `msgs`.
+    fn pop_claimed(&mut self) -> T {
+        loop {
+            self.refresh_cache();
+            let n = self.cache.len();
+            for off in 0..n {
+                let idx = (self.cursor + off) % n;
+                let edge = &self.cache[idx];
+                let popped = match &edge.buf {
+                    Buf::Locked(q) => {
+                        let mut queue = q.lock().expect("edge poisoned");
+                        let msg = queue.pop_front();
+                        let was_full =
+                            msg.is_some() && queue.len() + 1 >= edge.capacity;
+                        drop(queue);
+                        if was_full {
+                            edge.not_full.notify_one();
+                        }
+                        msg
+                    }
+                    Buf::Seg(ring) => ring.try_pop(),
+                    Buf::Ring(ring) => {
+                        let msg = ring.try_pop();
+                        // Wake a producer parked on the full ring.
+                        // Taking `park` first closes the race with one
+                        // that probed fullness but has not parked yet,
+                        // and the fence between the pop's release head
+                        // store and the waiters load pairs with the
+                        // producer's fence after its waiters increment
+                        // (Dekker handshake; see `send_many`), so a
+                        // wakeup can never be missed.
+                        if msg.is_some() {
+                            fence(Ordering::SeqCst);
+                            if edge.park_waiters.load(Ordering::SeqCst) > 0 {
+                                drop(edge.park.lock().expect("edge poisoned"));
+                                edge.not_full.notify_one();
+                            }
+                        }
+                        msg
+                    }
+                };
+                if let Some(msg) = popped {
+                    // Rotate past this edge so a chatty producer
+                    // cannot starve the others.
+                    self.cursor = (idx + 1) % n;
+                    return msg;
+                }
+            }
+            // Claimed credit but no visible message yet: a producer
+            // is between push and publish — yield and rescan.
+            dgs_sync::thread::yield_now();
+        }
+    }
+
+    /// Pop up to `n` already-claimed messages, draining each edge
+    /// under a single lock acquisition instead of lock-per-message.
+    /// Per-edge FIFO is preserved (messages leave an edge in push
+    /// order); cross-edge interleaving remains round-robin at edge
+    /// granularity, which is the only order the protocol needs.
+    fn pop_claimed_batch(&mut self, out: &mut VecDeque<T>, mut n: usize) {
+        while n > 0 {
+            self.refresh_cache();
+            let edges = self.cache.len();
+            let mut progressed = false;
+            for _ in 0..edges {
+                let idx = self.cursor % edges;
+                let edge = &self.cache[idx];
+                let before = out.len();
+                match &edge.buf {
+                    Buf::Locked(q) => {
+                        let mut queue = q.lock().expect("edge poisoned");
+                        let was_at_cap = queue.len() >= edge.capacity;
+                        while n > 0 {
+                            match queue.pop_front() {
+                                Some(m) => {
+                                    out.push_back(m);
+                                    n -= 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        let drained = out.len() > before;
+                        drop(queue);
+                        // Draining freed one slot per message: wake
+                        // every producer parked on the full edge.
+                        if was_at_cap && drained {
+                            edge.not_full.notify_all();
+                        }
+                    }
+                    Buf::Seg(ring) => {
+                        while n > 0 {
+                            match ring.try_pop() {
+                                Some(m) => {
+                                    out.push_back(m);
+                                    n -= 1;
+                                }
+                                None => break,
+                            }
+                        }
+                    }
+                    Buf::Ring(ring) => {
+                        while n > 0 {
+                            match ring.try_pop() {
+                                Some(m) => {
+                                    out.push_back(m);
+                                    n -= 1;
+                                }
+                                None => break,
+                            }
+                        }
+                        // Wake producers parked on the full ring;
+                        // taking `park` first closes the race with
+                        // one that probed fullness but has not
+                        // parked yet; the fence pairs with the
+                        // producer's post-increment fence (Dekker
+                        // handshake; see `send_many`).
+                        if out.len() > before {
+                            fence(Ordering::SeqCst);
+                            if edge.park_waiters.load(Ordering::SeqCst) > 0 {
+                                drop(edge.park.lock().expect("edge poisoned"));
+                                edge.not_full.notify_all();
+                            }
+                        }
+                    }
+                }
+                if out.len() > before {
+                    progressed = true;
+                }
+                self.cursor = (idx + 1) % edges;
+                if n == 0 {
+                    break;
+                }
+            }
+            if !progressed {
+                // Claimed credit but no visible message yet: a
+                // producer is between push and publish — yield and
+                // rescan.
+                dgs_sync::thread::yield_now();
+            }
+        }
+    }
+
+    /// Batched non-blocking receive: claim up to `max` messages with
+    /// one atomic operation, then drain them edge-by-edge under one
+    /// lock each. Returns how many messages were appended to `out`
+    /// (`0` = empty-for-now), or `Err(RecvError)` once the inbox is
+    /// drained *and* every sender is gone. The per-message cost of
+    /// [`Inbox::try_recv`] — two `SeqCst` operations on the shared
+    /// claim counter plus a lock round-trip per probe — is paid once
+    /// per batch here, which is what lets a polling executor match
+    /// the dedicated-thread receive loop on throughput.
+    pub fn try_recv_batch(
+        &mut self,
+        out: &mut VecDeque<T>,
+        max: usize,
+    ) -> Result<usize, RecvError> {
+        // Single consumer: a positive count is ours to claim, and
+        // only producers add — so `avail` can only have grown by the
+        // time we subtract.
+        let claim = |shared: &Shared<T>| -> usize {
+            let avail = shared.msgs.load(Ordering::SeqCst);
+            if avail <= 0 {
+                return 0;
+            }
+            let n = (avail as usize).min(max);
+            shared.msgs.fetch_sub(n as i64, Ordering::SeqCst);
+            n
+        };
+        let mut n = claim(&self.shared);
+        if n == 0 {
+            if self.shared.senders.load(Ordering::SeqCst) != 0 {
+                return Ok(0);
+            }
+            // A sender may have published then disconnected between
+            // the two checks — re-check before reporting drained.
+            n = claim(&self.shared);
+            if n == 0 {
+                return Err(RecvError);
+            }
+        }
+        self.pop_claimed_batch(out, n);
+        Ok(n)
+    }
+
+    /// Register a readiness hook, fired on every subsequent message
+    /// publish and on sender disconnect. One hook per inbox (first
+    /// write wins); used by polling executors instead of `recv`.
+    pub fn set_waker(&self, waker: Waker) {
+        let _ = self.shared.waker.set(waker);
+    }
+
+    /// Non-blocking receive: `Ok(Some(msg))` when a message was
+    /// claimed, `Ok(None)` when every edge is currently empty, and
+    /// `Err(RecvError)` once the inbox is drained *and* every sender
+    /// is gone.
+    pub fn try_recv(&mut self) -> Result<Option<T>, RecvError> {
+        // Single consumer: a positive count is ours to claim.
+        if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+            self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
+            return Ok(Some(self.pop_claimed()));
+        }
+        if self.shared.senders.load(Ordering::SeqCst) == 0 {
+            // A sender may have published then disconnected between
+            // the two checks — re-check before reporting drained.
+            if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
+                return Ok(Some(self.pop_claimed()));
+            }
+            return Err(RecvError);
+        }
+        Ok(None)
+    }
+
+    /// Block until a message arrives on any edge; `Err(RecvError)`
+    /// once every sender is dropped and all edges are drained.
+    pub fn recv(&mut self) -> Result<T, RecvError> {
+        loop {
+            // Single consumer: a positive count is ours to claim.
+            if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
+                return Ok(self.pop_claimed());
+            }
+            let mut guard = self.shared.gate.lock().expect("inbox poisoned");
+            self.shared.waiters.fetch_add(1, Ordering::SeqCst);
+            let outcome = loop {
+                if self.shared.msgs.load(Ordering::SeqCst) > 0 {
+                    break Ok(());
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    break Err(RecvError);
+                }
+                guard = self.shared.ready.wait(guard).expect("inbox poisoned");
+            };
+            self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
+            drop(guard);
+            outcome?;
+        }
+    }
+
+    /// Blocking iterator until disconnection.
+    pub fn iter(&mut self) -> InboxIter<'_, T> {
+        InboxIter { inbox: self }
+    }
+}
+
+impl<T> Drop for Inbox<T> {
+    fn drop(&mut self) {
+        self.shared.receiver_alive.store(false, Ordering::SeqCst);
+        // Fail fast any producer parked on a full bounded edge.
+        for edge in self.shared.edges.lock().expect("inbox poisoned").iter() {
+            match &edge.buf {
+                Buf::Locked(q) => drop(q.lock().expect("edge poisoned")),
+                Buf::Ring(_) | Buf::Seg(_) => {
+                    drop(edge.park.lock().expect("edge poisoned"))
+                }
+            }
+            edge.not_full.notify_all();
+        }
+    }
+}
+
+/// Iterator returned by [`Inbox::iter`].
+pub struct InboxIter<'a, T> {
+    inbox: &'a mut Inbox<T>,
+}
+
+impl<T> Iterator for InboxIter<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        self.inbox.recv().ok()
+    }
+}

@@ -51,1404 +51,16 @@
 //! * `recv` on a contended channel may scan shards more than once while
 //!   a racing producer's push becomes visible; the scan yields between
 //!   passes, so it cannot spin hot.
+#![deny(unsafe_op_in_unsafe_fn)]
 
-pub mod channel {
-    use std::collections::VecDeque;
-    use std::fmt;
-    use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex, OnceLock};
+pub mod channel;
+pub mod edge;
+pub mod spsc;
 
-    /// Readiness callback a consumer can register on a channel or inbox:
-    /// invoked after every message publish and on sender disconnect, so a
-    /// polling executor can schedule the receiving task without the
-    /// receiver ever parking on the channel's own condvar.
-    pub type Waker = Arc<dyn Fn() + Send + Sync>;
+#[cfg(all(test, dgs_model))]
+mod model_tests;
 
-    /// One producer-private segment of the channel. `front_ticket`
-    /// mirrors the ticket of the queue's front element (`u64::MAX` when
-    /// empty) so receivers can find the globally oldest message without
-    /// locking every shard.
-    struct Shard<T> {
-        queue: Mutex<VecDeque<(u64, T)>>,
-        front_ticket: AtomicU64,
-    }
-
-    impl<T> Shard<T> {
-        fn new() -> Arc<Self> {
-            Arc::new(Shard {
-                queue: Mutex::new(VecDeque::new()),
-                front_ticket: AtomicU64::new(u64::MAX),
-            })
-        }
-    }
-
-    struct Shared<T> {
-        /// All shards ever created (one per sender clone; never shrinks,
-        /// so receivers can cache a snapshot keyed by `shards_version`).
-        shards: Mutex<Vec<Arc<Shard<T>>>>,
-        /// Bumped whenever `shards` grows; lets receivers refresh their
-        /// cached snapshot without locking `shards` on every `recv`.
-        shards_version: AtomicUsize,
-        /// Global send order. Tickets are claimed *inside* the sending
-        /// shard's critical section, so per-shard queues are
-        /// ticket-sorted and receivers can deliver the globally oldest
-        /// message by comparing shard fronts.
-        tickets: AtomicU64,
-        /// Enqueued-but-unclaimed message count. A receiver must win a
-        /// credit (CAS decrement while positive) before popping.
-        credits: AtomicI64,
-        /// Live sender handles; 0 means disconnected for receivers.
-        senders: AtomicUsize,
-        /// Live receiver handles; 0 means disconnected for senders.
-        receivers: AtomicUsize,
-        /// Receivers currently parked (or about to park) on `ready`.
-        waiters: AtomicUsize,
-        /// Park lock/condvar for the empty-channel slow path only.
-        gate: Mutex<()>,
-        ready: Condvar,
-        /// Optional readiness hook (set once per channel); fired on every
-        /// wake *regardless* of `waiters` — a polling consumer never
-        /// parks on `ready`, so the `waiters > 0` fast-out must not
-        /// swallow its notification.
-        waker: OnceLock<super::channel::Waker>,
-    }
-
-    impl<T> Shared<T> {
-        /// Wake parked receivers. Taking `gate` before notifying closes
-        /// the race with a receiver that re-checked its condition and is
-        /// between "decided to park" and "parked".
-        fn wake(&self, all: bool) {
-            if let Some(w) = self.waker.get() {
-                w();
-            }
-            if self.waiters.load(Ordering::SeqCst) > 0 {
-                drop(self.gate.lock().expect("channel poisoned"));
-                if all {
-                    self.ready.notify_all();
-                } else {
-                    self.ready.notify_one();
-                }
-            }
-        }
-    }
-
-    /// Error returned by [`Sender::send`] when every [`Receiver`] is gone.
-    #[derive(PartialEq, Eq)]
-    pub struct SendError<T>(pub T);
-
-    // Like the real crossbeam, `Debug` does not require `T: Debug` (the
-    // payload is elided), so `.expect()` works on any message type.
-    impl<T> fmt::Debug for SendError<T> {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "SendError(..)")
-        }
-    }
-
-    impl<T> fmt::Display for SendError<T> {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "sending on a disconnected channel")
-        }
-    }
-
-    /// Error returned by [`Receiver::recv`] when the channel is empty and
-    /// every [`Sender`] is gone.
-    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-    pub struct RecvError;
-
-    impl fmt::Display for RecvError {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "receiving on an empty and disconnected channel")
-        }
-    }
-
-    /// The sending half of an unbounded channel. Cloneable; each clone
-    /// owns a private shard, so clones never contend with each other. The
-    /// channel disconnects for receivers once all clones are dropped.
-    pub struct Sender<T> {
-        shared: Arc<Shared<T>>,
-        shard: Arc<Shard<T>>,
-    }
-
-    /// The receiving half of an unbounded channel. Cloneable (MPMC): each
-    /// message is delivered to exactly one receiver.
-    pub struct Receiver<T> {
-        shared: Arc<Shared<T>>,
-        /// Cached shard snapshot + the `shards_version` it reflects, so
-        /// the steady-state `recv` path never locks the shard list.
-        cache: Mutex<(usize, Vec<Arc<Shard<T>>>)>,
-    }
-
-    /// Create an unbounded FIFO channel, mirroring
-    /// `crossbeam::channel::unbounded`.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
-        let first = Shard::new();
-        let shared = Arc::new(Shared {
-            shards: Mutex::new(vec![first.clone()]),
-            shards_version: AtomicUsize::new(1),
-            tickets: AtomicU64::new(0),
-            credits: AtomicI64::new(0),
-            senders: AtomicUsize::new(1),
-            receivers: AtomicUsize::new(1),
-            waiters: AtomicUsize::new(0),
-            gate: Mutex::new(()),
-            ready: Condvar::new(),
-            waker: OnceLock::new(),
-        });
-        (
-            Sender { shared: shared.clone(), shard: first },
-            Receiver { shared, cache: Mutex::new((0, Vec::new())) },
-        )
-    }
-
-    impl<T> Sender<T> {
-        /// Enqueue `msg`. Never blocks (the channel is unbounded); errors
-        /// once every [`Receiver`] has been dropped, so a dead peer fails
-        /// fast instead of silently queueing forever.
-        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
-                return Err(SendError(msg));
-            }
-            {
-                let mut queue = self.shard.queue.lock().expect("channel poisoned");
-                // Ticket claimed under the shard lock: the shard's queue
-                // stays ticket-sorted even if this handle is shared.
-                let ticket = self.shared.tickets.fetch_add(1, Ordering::SeqCst);
-                if queue.is_empty() {
-                    self.shard.front_ticket.store(ticket, Ordering::SeqCst);
-                }
-                queue.push_back((ticket, msg));
-            }
-            self.shared.credits.fetch_add(1, Ordering::SeqCst);
-            self.shared.wake(false);
-            Ok(())
-        }
-    }
-
-    impl<T> Clone for Sender<T> {
-        fn clone(&self) -> Self {
-            let shard = Shard::new();
-            {
-                let mut shards = self.shared.shards.lock().expect("channel poisoned");
-                shards.push(shard.clone());
-            }
-            self.shared.shards_version.fetch_add(1, Ordering::SeqCst);
-            self.shared.senders.fetch_add(1, Ordering::SeqCst);
-            Sender { shared: self.shared.clone(), shard }
-        }
-    }
-
-    impl<T> Drop for Sender<T> {
-        fn drop(&mut self) {
-            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Last sender: wake every parked receiver so it can
-                // observe the disconnect.
-                self.shared.wake(true);
-            }
-        }
-    }
-
-    impl<T> Receiver<T> {
-        /// Messages currently enqueued and unclaimed (approximate under
-        /// concurrent sends/claims). Observability only.
-        pub fn len(&self) -> usize {
-            self.shared.credits.load(Ordering::SeqCst).max(0) as usize
-        }
-
-        /// True when no unclaimed message is queued.
-        pub fn is_empty(&self) -> bool {
-            self.len() == 0
-        }
-
-        /// Register a readiness hook, fired on every subsequent message
-        /// publish and on sender disconnect. One hook per channel (first
-        /// write wins); used by polling executors instead of `recv`.
-        pub fn set_waker(&self, waker: Waker) {
-            let _ = self.shared.waker.set(waker);
-        }
-
-        /// Try to claim one message credit without blocking.
-        fn try_claim_credit(&self) -> bool {
-            let mut c = self.shared.credits.load(Ordering::SeqCst);
-            while c > 0 {
-                match self.shared.credits.compare_exchange_weak(
-                    c,
-                    c - 1,
-                    Ordering::SeqCst,
-                    Ordering::SeqCst,
-                ) {
-                    Ok(_) => return true,
-                    Err(actual) => c = actual,
-                }
-            }
-            false
-        }
-
-        /// Non-blocking receive: `Ok(Some(msg))` when a message was
-        /// claimed, `Ok(None)` when the channel is currently empty, and
-        /// `Err(RecvError)` once it is empty *and* every sender is gone.
-        pub fn try_recv(&self) -> Result<Option<T>, RecvError> {
-            if self.try_claim_credit() {
-                return Ok(Some(self.pop_claimed()));
-            }
-            if self.shared.senders.load(Ordering::SeqCst) == 0 {
-                // A sender may have published between the claim attempt
-                // and the disconnect check — re-check before reporting
-                // disconnected so no message is stranded.
-                if self.try_claim_credit() {
-                    return Ok(Some(self.pop_claimed()));
-                }
-                return Err(RecvError);
-            }
-            Ok(None)
-        }
-
-        /// Claim one message credit, or report why none can be claimed.
-        /// `Ok(())` guarantees at least one message is queued for us.
-        fn claim_credit(&self) -> Result<(), RecvError> {
-            loop {
-                if self.try_claim_credit() {
-                    return Ok(());
-                }
-                // Empty: park. `waiters` is raised *before* re-checking
-                // the credits under the gate, and `send` publishes its
-                // credit *before* loading `waiters` (both SeqCst), so a
-                // racing send either hands us the credit in the re-check
-                // or sees `waiters > 0` and notifies under the gate.
-                let mut guard = self.shared.gate.lock().expect("channel poisoned");
-                self.shared.waiters.fetch_add(1, Ordering::SeqCst);
-                let outcome = loop {
-                    if self.shared.credits.load(Ordering::SeqCst) > 0 {
-                        break Ok(());
-                    }
-                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
-                        break Err(RecvError);
-                    }
-                    guard = self.shared.ready.wait(guard).expect("channel poisoned");
-                };
-                self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
-                drop(guard);
-                outcome?; // disconnected and drained
-                // Credits reappeared — race to claim one.
-            }
-        }
-
-        /// Pop the message backing an already-claimed credit, choosing the
-        /// shard whose front carries the lowest ticket — i.e. deliver in
-        /// global send order, like the single-queue original. The credit
-        /// guarantees a message exists; a racing producer may make it
-        /// visible a beat after its credit, hence the yielding rescan.
-        fn pop_claimed(&self) -> T {
-            let mut cache = self.cache.lock().expect("channel poisoned");
-            loop {
-                let version = self.shared.shards_version.load(Ordering::SeqCst);
-                if cache.0 != version {
-                    cache.1 = self.shared.shards.lock().expect("channel poisoned").clone();
-                    cache.0 = version;
-                }
-                // Find the nonempty shard with the oldest front ticket
-                // (lock-free scan over the mirrored front tickets).
-                let mut best: Option<(u64, &Arc<Shard<T>>)> = None;
-                for shard in &cache.1 {
-                    let t = shard.front_ticket.load(Ordering::SeqCst);
-                    if t != u64::MAX && best.is_none_or(|(b, _)| t < b) {
-                        best = Some((t, shard));
-                    }
-                }
-                if let Some((_, shard)) = best {
-                    let mut queue = shard.queue.lock().expect("channel poisoned");
-                    if let Some((_, msg)) = queue.pop_front() {
-                        shard.front_ticket.store(
-                            queue.front().map_or(u64::MAX, |&(t, _)| t),
-                            Ordering::SeqCst,
-                        );
-                        return msg;
-                    }
-                    // Another receiver drained it between scan and lock.
-                }
-                std::thread::yield_now();
-            }
-        }
-
-        /// Block until a message arrives; `Err(RecvError)` once the channel
-        /// is empty and all senders are dropped.
-        pub fn recv(&self) -> Result<T, RecvError> {
-            self.claim_credit()?;
-            Ok(self.pop_claimed())
-        }
-
-        /// Blocking iterator over messages until disconnection.
-        pub fn iter(&self) -> Iter<'_, T> {
-            Iter { receiver: self }
-        }
-    }
-
-    impl<T> Clone for Receiver<T> {
-        fn clone(&self) -> Self {
-            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-            Receiver { shared: self.shared.clone(), cache: Mutex::new((0, Vec::new())) }
-        }
-    }
-
-    impl<T> Drop for Receiver<T> {
-        fn drop(&mut self) {
-            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-
-    /// Iterator returned by [`Receiver::iter`].
-    pub struct Iter<'a, T> {
-        receiver: &'a Receiver<T>,
-    }
-
-    impl<T> Iterator for Iter<'_, T> {
-        type Item = T;
-
-        fn next(&mut self) -> Option<T> {
-            self.receiver.recv().ok()
-        }
-    }
-
-    impl<'a, T> IntoIterator for &'a Receiver<T> {
-        type Item = T;
-        type IntoIter = Iter<'a, T>;
-
-        fn into_iter(self) -> Iter<'a, T> {
-            self.iter()
-        }
-    }
-}
-
-pub mod spsc {
-    //! Lock-free single-producer single-consumer queues: the storage
-    //! behind the [`edge`](super::edge) plane's ring mode.
-    //!
-    //! Two shapes share one contract (exactly one producer thread calls
-    //! `push`/`try_push`, exactly one consumer thread calls `try_pop` —
-    //! the `edge` wrappers enforce this at the type level):
-    //!
-    //! * [`BoundedRing`] — a fixed power-of-two ring buffer with
-    //!   cache-padded head/tail indices. `try_push` fails when full (the
-    //!   caller decides whether to park); push and pop are one relaxed
-    //!   load, one acquire load, one slot write/read, and one release
-    //!   store — no locks, no CAS.
-    //! * [`SegRing`] — an unbounded segmented ring: the producer fills
-    //!   fixed-size segments (per-slot release-published ready flags) and
-    //!   links a fresh segment when one fills; the consumer frees each
-    //!   segment as it crosses into the next. Push never blocks and never
-    //!   fails; allocation is amortized over [`SEG_LEN`] messages.
-
-    use std::cell::UnsafeCell;
-    use std::mem::MaybeUninit;
-    use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
-
-    /// Pads (and aligns) a value to a cache line so the producer's and
-    /// consumer's hot indices never share one (false sharing turns SPSC
-    /// progress into cross-core traffic).
-    #[repr(align(128))]
-    #[derive(Default)]
-    pub struct CachePadded<T>(pub T);
-
-    /// Slots per [`SegRing`] segment.
-    pub const SEG_LEN: usize = 64;
-
-    /// Fixed-capacity lock-free SPSC ring buffer.
-    pub struct BoundedRing<T> {
-        buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
-        mask: usize,
-        /// Consumer position (monotonic; slot = head & mask).
-        head: CachePadded<AtomicUsize>,
-        /// Producer position.
-        tail: CachePadded<AtomicUsize>,
-    }
-
-    // SAFETY: the single-producer/single-consumer contract (enforced by
-    // the edge wrappers: `EdgeSender` is !Sync + !Clone, `Inbox::recv`
-    // takes &mut self) means each slot is touched by at most one thread
-    // at a time, with the head/tail release/acquire pair ordering the
-    // hand-off.
-    unsafe impl<T: Send> Send for BoundedRing<T> {}
-    unsafe impl<T: Send> Sync for BoundedRing<T> {}
-
-    impl<T> BoundedRing<T> {
-        /// Ring with capacity `>= requested`, rounded up to a power of
-        /// two.
-        pub fn new(requested: usize) -> Self {
-            assert!(requested > 0, "bounded ring needs capacity >= 1");
-            let cap = requested.next_power_of_two();
-            let buf = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
-            BoundedRing {
-                buf,
-                mask: cap - 1,
-                head: CachePadded(AtomicUsize::new(0)),
-                tail: CachePadded(AtomicUsize::new(0)),
-            }
-        }
-
-        /// Usable capacity.
-        pub fn capacity(&self) -> usize {
-            self.mask + 1
-        }
-
-        /// Producer-side push; returns the message when the ring is full.
-        pub fn try_push(&self, msg: T) -> Result<(), T> {
-            let tail = self.tail.0.load(Ordering::Relaxed);
-            let head = self.head.0.load(Ordering::Acquire);
-            if tail.wrapping_sub(head) > self.mask {
-                return Err(msg);
-            }
-            // SAFETY: slot `tail & mask` is vacant (not yet consumable:
-            // tail unpublished) and only this producer writes slots.
-            unsafe { (*self.buf[tail & self.mask].get()).write(msg) };
-            self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
-            Ok(())
-        }
-
-        /// Producer-side fullness probe (used to decide whether to park).
-        pub fn is_full(&self) -> bool {
-            let tail = self.tail.0.load(Ordering::Relaxed);
-            let head = self.head.0.load(Ordering::Acquire);
-            tail.wrapping_sub(head) > self.mask
-        }
-
-        /// Consumer-side pop; `None` when empty.
-        pub fn try_pop(&self) -> Option<T> {
-            let head = self.head.0.load(Ordering::Relaxed);
-            let tail = self.tail.0.load(Ordering::Acquire);
-            if head == tail {
-                return None;
-            }
-            // SAFETY: the acquire on `tail` makes the producer's slot
-            // write visible; only this consumer reads slots.
-            let msg = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
-            self.head.0.store(head.wrapping_add(1), Ordering::Release);
-            Some(msg)
-        }
-    }
-
-    impl<T> Drop for BoundedRing<T> {
-        fn drop(&mut self) {
-            while self.try_pop().is_some() {}
-        }
-    }
-
-    struct Slot<T> {
-        ready: AtomicBool,
-        value: UnsafeCell<MaybeUninit<T>>,
-    }
-
-    struct Segment<T> {
-        slots: Box<[Slot<T>]>,
-        next: AtomicPtr<Segment<T>>,
-    }
-
-    impl<T> Segment<T> {
-        fn alloc() -> *mut Segment<T> {
-            let slots = (0..SEG_LEN)
-                .map(|_| Slot {
-                    ready: AtomicBool::new(false),
-                    value: UnsafeCell::new(MaybeUninit::uninit()),
-                })
-                .collect();
-            Box::into_raw(Box::new(Segment { slots, next: AtomicPtr::new(std::ptr::null_mut()) }))
-        }
-    }
-
-    struct Cursor<T> {
-        seg: *mut Segment<T>,
-        idx: usize,
-    }
-
-    /// Unbounded segmented lock-free SPSC queue.
-    pub struct SegRing<T> {
-        prod: CachePadded<UnsafeCell<Cursor<T>>>,
-        cons: CachePadded<UnsafeCell<Cursor<T>>>,
-    }
-
-    // SAFETY: see `BoundedRing` — same single-producer/single-consumer
-    // contract; cross-thread hand-off happens through the per-slot
-    // `ready` release/acquire pairs and the `next` segment link.
-    unsafe impl<T: Send> Send for SegRing<T> {}
-    unsafe impl<T: Send> Sync for SegRing<T> {}
-
-    impl<T> Default for SegRing<T> {
-        fn default() -> Self {
-            Self::new()
-        }
-    }
-
-    impl<T> SegRing<T> {
-        /// Empty queue (one segment pre-allocated).
-        pub fn new() -> Self {
-            let first = Segment::alloc();
-            SegRing {
-                prod: CachePadded(UnsafeCell::new(Cursor { seg: first, idx: 0 })),
-                cons: CachePadded(UnsafeCell::new(Cursor { seg: first, idx: 0 })),
-            }
-        }
-
-        /// Producer-side push; never blocks, never fails.
-        pub fn push(&self, msg: T) {
-            // SAFETY: single producer — this cursor is ours alone.
-            let cur = unsafe { &mut *self.prod.0.get() };
-            if cur.idx == SEG_LEN {
-                let next = Segment::alloc();
-                // Link before moving: the consumer follows `next` only
-                // after consuming every slot of the current segment.
-                unsafe { &*cur.seg }.next.store(next, Ordering::Release);
-                cur.seg = next;
-                cur.idx = 0;
-            }
-            let seg = unsafe { &*cur.seg };
-            // SAFETY: slot `idx` is unpublished (ready = false) and only
-            // the producer writes slots.
-            unsafe { (*seg.slots[cur.idx].value.get()).write(msg) };
-            seg.slots[cur.idx].ready.store(true, Ordering::Release);
-            cur.idx += 1;
-        }
-
-        /// Consumer-side pop; `None` when nothing published.
-        pub fn try_pop(&self) -> Option<T> {
-            // SAFETY: single consumer — this cursor is ours alone.
-            let cur = unsafe { &mut *self.cons.0.get() };
-            loop {
-                if cur.idx == SEG_LEN {
-                    let next = unsafe { &*cur.seg }.next.load(Ordering::Acquire);
-                    if next.is_null() {
-                        return None;
-                    }
-                    // The producer has moved on; this segment is ours to
-                    // free.
-                    // SAFETY: consumer is past every slot; producer
-                    // stopped touching the segment when it linked `next`.
-                    drop(unsafe { Box::from_raw(cur.seg) });
-                    cur.seg = next;
-                    cur.idx = 0;
-                    continue;
-                }
-                let seg = unsafe { &*cur.seg };
-                let slot = &seg.slots[cur.idx];
-                if !slot.ready.load(Ordering::Acquire) {
-                    return None;
-                }
-                // SAFETY: `ready` (acquire) publishes the value write.
-                let msg = unsafe { (*slot.value.get()).assume_init_read() };
-                cur.idx += 1;
-                return Some(msg);
-            }
-        }
-    }
-
-    impl<T> Drop for SegRing<T> {
-        fn drop(&mut self) {
-            // Drain published messages (runs their destructors), then free
-            // the remaining segment chain.
-            while self.try_pop().is_some() {}
-            let cur = self.cons.0.get_mut();
-            let mut seg = cur.seg;
-            while !seg.is_null() {
-                let next = unsafe { &*seg }.next.load(Ordering::Relaxed);
-                drop(unsafe { Box::from_raw(seg) });
-                seg = next;
-            }
-        }
-    }
-}
-
-pub mod edge {
-    //! Per-edge FIFO message plane: one private SPSC queue per
-    //! `(sender, receiver)` edge, drained by a single-consumer [`Inbox`].
-    //!
-    //! Guarantees:
-    //!
-    //! * **Lossless FIFO per edge** — a sender's messages arrive in send
-    //!   order. Nothing is promised about ordering *across* edges; the
-    //!   receiver scans edges round-robin from a rotating cursor, so
-    //!   cross-edge interleavings are deliberately arbitrary (and fair:
-    //!   no edge can be starved while it holds messages).
-    //! * **Bounded capacity with blocking backpressure** (opt-in,
-    //!   per edge): `send` on a full bounded edge parks the producer until
-    //!   the consumer drains — ingress edges get real flow control instead
-    //!   of unbounded queue growth. Protocol edges between workers should
-    //!   stay unbounded: the fork/join protocol keeps at most one join in
-    //!   flight per worker, so their queues are structurally bounded, and
-    //!   blocking a worker's send could deadlock a cycle of full edges.
-    //! * **Batched enqueue**: [`EdgeSender::send_many`] appends a run of
-    //!   messages under one lock acquisition (mutex edges) or one credit
-    //!   publish (ring edges) and one wakeup, amortizing synchronization
-    //!   for bursty producers (a worker emitting several messages from one
-    //!   `handle` call, an unpaced feeder).
-    //!
-    //! Two storage back-ends implement the same contract, selected per
-    //! edge at attach time:
-    //!
-    //! * [`InboxHandle::ring_edge`] — **lock-free SPSC rings**
-    //!   ([`spsc`](super::spsc)): a cache-padded bounded ring when a
-    //!   capacity is given (producers park only when full, on a slow-path
-    //!   condvar), a segmented unbounded ring otherwise. No lock is taken
-    //!   anywhere on the message path; this is the thread driver's
-    //!   default plane.
-    //! * [`InboxHandle::edge`] — **mutex-protected `VecDeque`s**: the
-    //!   original implementation, kept selectable (wallclock `--modes
-    //!   per-edge`) so the ring's win stays measurable.
-    //!
-    //! The receiving half is strictly single-consumer (`recv` takes `&mut
-    //! self`) and [`EdgeSender`] is neither cloneable nor `Sync`, which is
-    //! what makes the lock-free SPSC storage sound: at most one thread on
-    //! each end of every edge.
-
-    use std::collections::VecDeque;
-    use std::fmt;
-    use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-    use std::sync::{Arc, Condvar, Mutex, OnceLock};
-
-    use super::spsc::{BoundedRing, SegRing};
-
-    pub use super::channel::{RecvError, SendError, Waker};
-
-    /// Message storage of one edge.
-    enum Buf<T> {
-        /// Mutex-protected deque (bounded or unbounded).
-        Locked(Mutex<VecDeque<T>>),
-        /// Lock-free bounded SPSC ring.
-        Ring(BoundedRing<T>),
-        /// Lock-free unbounded segmented SPSC ring.
-        Seg(SegRing<T>),
-    }
-
-    struct EdgeQueue<T> {
-        buf: Buf<T>,
-        /// Producers park here when the edge is full (bounded edges
-        /// only). For `Locked` edges the wait is on the queue mutex; ring
-        /// producers park on `park`.
-        not_full: Condvar,
-        /// Slow-path lock for parked ring producers (never taken on the
-        /// message path).
-        park: Mutex<()>,
-        /// Ring producers parked (or about to park) on `not_full`.
-        park_waiters: AtomicUsize,
-        /// `usize::MAX` encodes an unbounded edge.
-        capacity: usize,
-        /// The sender half was dropped (the edge can still be drained).
-        sender_gone: AtomicBool,
-        /// Times a producer blocked because the edge was full (each
-        /// condvar wait counts once). Observability only — never read on
-        /// the message path.
-        stalls: AtomicU64,
-    }
-
-    struct Shared<T> {
-        /// All edges ever attached; never shrinks, so the inbox can cache
-        /// a snapshot keyed by `version`.
-        edges: Mutex<Vec<Arc<EdgeQueue<T>>>>,
-        version: AtomicUsize,
-        /// Enqueued, undelivered messages across all edges.
-        msgs: AtomicI64,
-        /// Live [`EdgeSender`]s; 0 = disconnected for the inbox.
-        senders: AtomicUsize,
-        /// The inbox is still alive; false fails senders fast.
-        receiver_alive: AtomicBool,
-        /// Inbox parked (or about to park) on `ready`.
-        waiters: AtomicUsize,
-        gate: Mutex<()>,
-        ready: Condvar,
-        /// Optional readiness hook (set once per inbox); fired on every
-        /// wake *regardless* of `waiters` — a polling executor never
-        /// parks the inbox on `ready`, so the `waiters > 0` fast-out
-        /// must not swallow its notification.
-        waker: OnceLock<Waker>,
-    }
-
-    impl<T> Shared<T> {
-        /// Wake the parked inbox; takes `gate` first to close the race
-        /// with a receiver between "decided to park" and "parked".
-        fn wake(&self) {
-            if let Some(w) = self.waker.get() {
-                w();
-            }
-            if self.waiters.load(Ordering::SeqCst) > 0 {
-                drop(self.gate.lock().expect("inbox poisoned"));
-                self.ready.notify_all();
-            }
-        }
-    }
-
-    /// The producing half of one edge. Not cloneable, and deliberately
-    /// `!Sync` (the `PhantomData<Cell<()>>` marker): an edge belongs to
-    /// exactly one logical sender *thread* (clone-per-sender is the point
-    /// of the plane — create more edges instead), which is what makes the
-    /// lock-free ring storage sound.
-    pub struct EdgeSender<T> {
-        shared: Arc<Shared<T>>,
-        edge: Arc<EdgeQueue<T>>,
-        _single_producer: std::marker::PhantomData<std::cell::Cell<()>>,
-    }
-
-    impl<T> fmt::Debug for EdgeSender<T> {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "EdgeSender(cap {})", self.edge.capacity)
-        }
-    }
-
-    /// Handle for attaching new edges to an [`Inbox`] (e.g. from a thread
-    /// that only holds the inbox's address, not the inbox itself). Does
-    /// not keep the inbox "connected": only live [`EdgeSender`]s do.
-    pub struct InboxHandle<T> {
-        shared: Arc<Shared<T>>,
-    }
-
-    impl<T> Clone for InboxHandle<T> {
-        fn clone(&self) -> Self {
-            InboxHandle { shared: self.shared.clone() }
-        }
-    }
-
-    impl<T> InboxHandle<T> {
-        fn attach(&self, buf: Buf<T>, capacity: usize) -> EdgeSender<T> {
-            let edge = Arc::new(EdgeQueue {
-                buf,
-                not_full: Condvar::new(),
-                park: Mutex::new(()),
-                park_waiters: AtomicUsize::new(0),
-                capacity,
-                sender_gone: AtomicBool::new(false),
-                stalls: AtomicU64::new(0),
-            });
-            self.shared.edges.lock().expect("inbox poisoned").push(edge.clone());
-            self.shared.version.fetch_add(1, Ordering::SeqCst);
-            self.shared.senders.fetch_add(1, Ordering::SeqCst);
-            EdgeSender {
-                shared: self.shared.clone(),
-                edge,
-                _single_producer: std::marker::PhantomData,
-            }
-        }
-
-        /// Attach a new mutex-backed edge; `capacity: None` = unbounded,
-        /// `Some(n)` = bounded at `n` messages with blocking backpressure.
-        pub fn edge(&self, capacity: Option<usize>) -> EdgeSender<T> {
-            let cap = match capacity {
-                Some(n) => {
-                    assert!(n > 0, "bounded edge needs capacity >= 1");
-                    n
-                }
-                None => usize::MAX,
-            };
-            self.attach(Buf::Locked(Mutex::new(VecDeque::new())), cap)
-        }
-
-        /// Attach a new lock-free SPSC ring edge; `capacity: None` = a
-        /// segmented unbounded ring, `Some(n)` = a bounded ring (rounded
-        /// up to a power of two) with blocking backpressure.
-        pub fn ring_edge(&self, capacity: Option<usize>) -> EdgeSender<T> {
-            match capacity {
-                Some(n) => {
-                    let ring = BoundedRing::new(n);
-                    let cap = ring.capacity();
-                    self.attach(Buf::Ring(ring), cap)
-                }
-                None => self.attach(Buf::Seg(SegRing::new()), usize::MAX),
-            }
-        }
-    }
-
-    /// The single-consumer receiving half: drains all attached edges,
-    /// FIFO within each edge, round-robin across them.
-    pub struct Inbox<T> {
-        shared: Arc<Shared<T>>,
-        /// Cached edge snapshot + the `version` it reflects.
-        cache: Vec<Arc<EdgeQueue<T>>>,
-        cache_version: usize,
-        /// Round-robin scan start, rotated on every delivery for fairness.
-        cursor: usize,
-    }
-
-    /// Create an empty inbox; attach producing edges via
-    /// [`Inbox::handle`] + [`InboxHandle::edge`].
-    pub fn inbox<T>() -> Inbox<T> {
-        Inbox {
-            shared: Arc::new(Shared {
-                edges: Mutex::new(Vec::new()),
-                version: AtomicUsize::new(0),
-                msgs: AtomicI64::new(0),
-                senders: AtomicUsize::new(0),
-                receiver_alive: AtomicBool::new(true),
-                waiters: AtomicUsize::new(0),
-                gate: Mutex::new(()),
-                ready: Condvar::new(),
-                waker: OnceLock::new(),
-            }),
-            cache: Vec::new(),
-            cache_version: 0,
-            cursor: 0,
-        }
-    }
-
-    impl<T> EdgeSender<T> {
-        /// Enqueue one message; blocks while a bounded edge is full.
-        /// Errors (returning the message) once the inbox is dropped.
-        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.send_many(std::iter::once(msg)).map_err(|mut e| SendError(e.0.pop().expect("one")))
-        }
-
-        /// Enqueue a run of messages in order under one lock acquisition
-        /// (mutex edges) or one credit publish (ring edges) and one
-        /// wakeup, blocking for space as needed on a bounded edge. On
-        /// disconnection mid-batch the unsent suffix is returned.
-        pub fn send_many(
-            &self,
-            msgs: impl IntoIterator<Item = T>,
-        ) -> Result<(), SendError<Vec<T>>> {
-            let mut it = msgs.into_iter();
-            // Pushed-but-unpublished credits; flushed before parking so
-            // the consumer can drain a batch wider than the capacity.
-            let mut pending = 0i64;
-            let publish = |pending: &mut i64| {
-                if *pending > 0 {
-                    self.shared.msgs.fetch_add(*pending, Ordering::SeqCst);
-                    *pending = 0;
-                    self.shared.wake();
-                }
-            };
-            let suffix = |first: T, it: &mut dyn Iterator<Item = T>| {
-                let mut rest = vec![first];
-                rest.extend(it);
-                SendError(rest)
-            };
-            match &self.edge.buf {
-                Buf::Locked(q) => {
-                    let mut queue = q.lock().expect("edge poisoned");
-                    let outcome = loop {
-                        let Some(msg) = it.next() else { break Ok(()) };
-                        // Backpressure: wait for space (bounded edges
-                        // only). The consumer notifies `not_full` after
-                        // draining from a bounded edge; a dropped inbox
-                        // notifies to fail us fast.
-                        while queue.len() >= self.edge.capacity {
-                            if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            publish(&mut pending);
-                            self.edge.stalls.fetch_add(1, Ordering::Relaxed);
-                            queue = self.edge.not_full.wait(queue).expect("edge poisoned");
-                        }
-                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                            break Err(suffix(msg, &mut it));
-                        }
-                        queue.push_back(msg);
-                        pending += 1;
-                    };
-                    drop(queue);
-                    publish(&mut pending);
-                    outcome
-                }
-                Buf::Seg(ring) => {
-                    // Unbounded: no backpressure, only the dead-inbox
-                    // fast-fail.
-                    let outcome = loop {
-                        let Some(msg) = it.next() else { break Ok(()) };
-                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                            break Err(suffix(msg, &mut it));
-                        }
-                        ring.push(msg);
-                        pending += 1;
-                    };
-                    publish(&mut pending);
-                    outcome
-                }
-                Buf::Ring(ring) => {
-                    let outcome = loop {
-                        let Some(mut msg) = it.next() else { break Ok(()) };
-                        loop {
-                            if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                                publish(&mut pending);
-                                return Err(suffix(msg, &mut it));
-                            }
-                            match ring.try_push(msg) {
-                                Ok(()) => break,
-                                Err(back) => {
-                                    msg = back;
-                                    // Full: publish what we queued so the
-                                    // consumer can drain, then park on the
-                                    // slow-path condvar until it does.
-                                    publish(&mut pending);
-                                    let guard =
-                                        self.edge.park.lock().expect("edge poisoned");
-                                    self.edge
-                                        .park_waiters
-                                        .fetch_add(1, Ordering::SeqCst);
-                                    // Re-check under the park lock (the
-                                    // consumer takes it before notifying,
-                                    // closing the pop-vs-park race), and
-                                    // park with a bounded timeout: the
-                                    // consumer's pop uses a release head
-                                    // store followed by a SeqCst waiters
-                                    // load, while this side's fullness
-                                    // re-check is an acquire head load
-                                    // after a SeqCst waiters increment —
-                                    // there is no seq-cst edge between
-                                    // the head store and the waiters
-                                    // load, so a wakeup can theoretically
-                                    // be missed. The timeout makes the
-                                    // park self-recovering (a rare 1 ms
-                                    // stall on an already-blocking slow
-                                    // path) without putting a fence on
-                                    // the consumer's per-pop hot path.
-                                    let _guard = if ring.is_full()
-                                        && self
-                                            .shared
-                                            .receiver_alive
-                                            .load(Ordering::SeqCst)
-                                    {
-                                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
-                                        self.edge
-                                            .not_full
-                                            .wait_timeout(
-                                                guard,
-                                                std::time::Duration::from_millis(1),
-                                            )
-                                            .expect("edge poisoned")
-                                            .0
-                                    } else {
-                                        guard
-                                    };
-                                    self.edge
-                                        .park_waiters
-                                        .fetch_sub(1, Ordering::SeqCst);
-                                }
-                            }
-                        }
-                        pending += 1;
-                    };
-                    publish(&mut pending);
-                    outcome
-                }
-            }
-        }
-
-        /// Non-blocking batch enqueue: pop messages off the front of
-        /// `msgs` and push them while the edge has room, preserving
-        /// order, without ever parking. Returns `(pushed,
-        /// disconnected)`: `pushed` messages were delivered (and
-        /// published under one wakeup), and `disconnected` reports a
-        /// dropped inbox — the unsent suffix stays in `msgs` either
-        /// way. Lets a multiplexing producer rotate across many edges
-        /// without one full edge stalling the rest.
-        pub fn try_send_many(&self, msgs: &mut VecDeque<T>) -> (usize, bool) {
-            let mut pending = 0i64;
-            let publish = |pending: &mut i64| {
-                if *pending > 0 {
-                    self.shared.msgs.fetch_add(*pending, Ordering::SeqCst);
-                    *pending = 0;
-                    self.shared.wake();
-                }
-            };
-            let mut pushed = 0;
-            let disconnected = match &self.edge.buf {
-                Buf::Locked(q) => {
-                    let mut queue = q.lock().expect("edge poisoned");
-                    let dead = loop {
-                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                            break true;
-                        }
-                        if queue.len() >= self.edge.capacity {
-                            break false;
-                        }
-                        let Some(msg) = msgs.pop_front() else { break false };
-                        queue.push_back(msg);
-                        pending += 1;
-                        pushed += 1;
-                    };
-                    drop(queue);
-                    dead
-                }
-                Buf::Seg(ring) => {
-                    // Unbounded: everything fits unless the inbox died.
-                    loop {
-                        if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                            break true;
-                        }
-                        let Some(msg) = msgs.pop_front() else { break false };
-                        ring.push(msg);
-                        pending += 1;
-                        pushed += 1;
-                    }
-                }
-                Buf::Ring(ring) => loop {
-                    if !self.shared.receiver_alive.load(Ordering::SeqCst) {
-                        break true;
-                    }
-                    let Some(msg) = msgs.pop_front() else { break false };
-                    match ring.try_push(msg) {
-                        Ok(()) => {
-                            pending += 1;
-                            pushed += 1;
-                        }
-                        Err(back) => {
-                            msgs.push_front(back);
-                            break false;
-                        }
-                    }
-                },
-            };
-            publish(&mut pending);
-            (pushed, disconnected)
-        }
-
-        /// Park until this edge has room (or `timeout` / inbox death),
-        /// counting one backpressure stall. The bounded-timeout
-        /// companion to [`EdgeSender::try_send_many`]: a producer multiplexing many
-        /// edges parks here only when *every* edge is full, and the
-        /// timeout keeps it live to a different edge draining first.
-        pub fn wait_not_full(&self, timeout: std::time::Duration) {
-            match &self.edge.buf {
-                Buf::Locked(q) => {
-                    let queue = q.lock().expect("edge poisoned");
-                    if queue.len() >= self.edge.capacity
-                        && self.shared.receiver_alive.load(Ordering::SeqCst)
-                    {
-                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
-                        let _ = self
-                            .edge
-                            .not_full
-                            .wait_timeout(queue, timeout)
-                            .expect("edge poisoned");
-                    }
-                }
-                Buf::Seg(_) => {}
-                Buf::Ring(ring) => {
-                    // Same park protocol as the blocking send slow path:
-                    // register under the park lock, re-check fullness,
-                    // bounded wait (see `send_many` for the ordering
-                    // argument that makes the timeout the recovery).
-                    let guard = self.edge.park.lock().expect("edge poisoned");
-                    self.edge.park_waiters.fetch_add(1, Ordering::SeqCst);
-                    let _guard = if ring.is_full()
-                        && self.shared.receiver_alive.load(Ordering::SeqCst)
-                    {
-                        self.edge.stalls.fetch_add(1, Ordering::Relaxed);
-                        self.edge
-                            .not_full
-                            .wait_timeout(guard, timeout)
-                            .expect("edge poisoned")
-                            .0
-                    } else {
-                        guard
-                    };
-                    self.edge.park_waiters.fetch_sub(1, Ordering::SeqCst);
-                }
-            }
-        }
-
-        /// Cumulative backpressure stalls on this edge: how many times a
-        /// send blocked (one per condvar wait) because the edge was full.
-        pub fn stalls(&self) -> u64 {
-            self.edge.stalls.load(Ordering::Relaxed)
-        }
-    }
-
-    impl<T> Drop for EdgeSender<T> {
-        fn drop(&mut self) {
-            self.edge.sender_gone.store(true, Ordering::SeqCst);
-            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
-                // Last sender: wake a parked inbox so it observes the
-                // disconnect.
-                self.shared.wake();
-            }
-        }
-    }
-
-    impl<T> Inbox<T> {
-        /// A handle for attaching edges.
-        pub fn handle(&self) -> InboxHandle<T> {
-            InboxHandle { shared: self.shared.clone() }
-        }
-
-        /// Messages currently queued across all edges.
-        pub fn len(&self) -> usize {
-            self.shared.msgs.load(Ordering::SeqCst).max(0) as usize
-        }
-
-        /// True when no message is queued.
-        pub fn is_empty(&self) -> bool {
-            self.len() == 0
-        }
-
-        fn refresh_cache(&mut self) {
-            let version = self.shared.version.load(Ordering::SeqCst);
-            if self.cache_version != version {
-                self.cache = self.shared.edges.lock().expect("inbox poisoned").clone();
-                self.cache_version = version;
-            }
-        }
-
-        /// Pop one message, scanning edges round-robin from the rotating
-        /// cursor. Caller has already claimed a message via `msgs`.
-        fn pop_claimed(&mut self) -> T {
-            loop {
-                self.refresh_cache();
-                let n = self.cache.len();
-                for off in 0..n {
-                    let idx = (self.cursor + off) % n;
-                    let edge = &self.cache[idx];
-                    let popped = match &edge.buf {
-                        Buf::Locked(q) => {
-                            let mut queue = q.lock().expect("edge poisoned");
-                            let msg = queue.pop_front();
-                            let was_full =
-                                msg.is_some() && queue.len() + 1 >= edge.capacity;
-                            drop(queue);
-                            if was_full {
-                                edge.not_full.notify_one();
-                            }
-                            msg
-                        }
-                        Buf::Seg(ring) => ring.try_pop(),
-                        Buf::Ring(ring) => {
-                            let msg = ring.try_pop();
-                            // Wake a producer parked on the full ring.
-                            // Taking `park` first closes the race with one
-                            // that probed fullness but has not parked yet.
-                            if msg.is_some()
-                                && edge.park_waiters.load(Ordering::SeqCst) > 0
-                            {
-                                drop(edge.park.lock().expect("edge poisoned"));
-                                edge.not_full.notify_one();
-                            }
-                            msg
-                        }
-                    };
-                    if let Some(msg) = popped {
-                        // Rotate past this edge so a chatty producer
-                        // cannot starve the others.
-                        self.cursor = (idx + 1) % n;
-                        return msg;
-                    }
-                }
-                // Claimed credit but no visible message yet: a producer
-                // is between push and publish — yield and rescan.
-                std::thread::yield_now();
-            }
-        }
-
-        /// Pop up to `n` already-claimed messages, draining each edge
-        /// under a single lock acquisition instead of lock-per-message.
-        /// Per-edge FIFO is preserved (messages leave an edge in push
-        /// order); cross-edge interleaving remains round-robin at edge
-        /// granularity, which is the only order the protocol needs.
-        fn pop_claimed_batch(&mut self, out: &mut VecDeque<T>, mut n: usize) {
-            while n > 0 {
-                self.refresh_cache();
-                let edges = self.cache.len();
-                let mut progressed = false;
-                for _ in 0..edges {
-                    let idx = self.cursor % edges;
-                    let edge = &self.cache[idx];
-                    let before = out.len();
-                    match &edge.buf {
-                        Buf::Locked(q) => {
-                            let mut queue = q.lock().expect("edge poisoned");
-                            let was_at_cap = queue.len() >= edge.capacity;
-                            while n > 0 {
-                                match queue.pop_front() {
-                                    Some(m) => {
-                                        out.push_back(m);
-                                        n -= 1;
-                                    }
-                                    None => break,
-                                }
-                            }
-                            let drained = out.len() > before;
-                            drop(queue);
-                            // Draining freed one slot per message: wake
-                            // every producer parked on the full edge.
-                            if was_at_cap && drained {
-                                edge.not_full.notify_all();
-                            }
-                        }
-                        Buf::Seg(ring) => {
-                            while n > 0 {
-                                match ring.try_pop() {
-                                    Some(m) => {
-                                        out.push_back(m);
-                                        n -= 1;
-                                    }
-                                    None => break,
-                                }
-                            }
-                        }
-                        Buf::Ring(ring) => {
-                            while n > 0 {
-                                match ring.try_pop() {
-                                    Some(m) => {
-                                        out.push_back(m);
-                                        n -= 1;
-                                    }
-                                    None => break,
-                                }
-                            }
-                            // Wake producers parked on the full ring;
-                            // taking `park` first closes the race with
-                            // one that probed fullness but has not
-                            // parked yet.
-                            if out.len() > before
-                                && edge.park_waiters.load(Ordering::SeqCst) > 0
-                            {
-                                drop(edge.park.lock().expect("edge poisoned"));
-                                edge.not_full.notify_all();
-                            }
-                        }
-                    }
-                    if out.len() > before {
-                        progressed = true;
-                    }
-                    self.cursor = (idx + 1) % edges;
-                    if n == 0 {
-                        break;
-                    }
-                }
-                if !progressed {
-                    // Claimed credit but no visible message yet: a
-                    // producer is between push and publish — yield and
-                    // rescan.
-                    std::thread::yield_now();
-                }
-            }
-        }
-
-        /// Batched non-blocking receive: claim up to `max` messages with
-        /// one atomic operation, then drain them edge-by-edge under one
-        /// lock each. Returns how many messages were appended to `out`
-        /// (`0` = empty-for-now), or `Err(RecvError)` once the inbox is
-        /// drained *and* every sender is gone. The per-message cost of
-        /// [`Inbox::try_recv`] — two `SeqCst` operations on the shared
-        /// claim counter plus a lock round-trip per probe — is paid once
-        /// per batch here, which is what lets a polling executor match
-        /// the dedicated-thread receive loop on throughput.
-        pub fn try_recv_batch(
-            &mut self,
-            out: &mut VecDeque<T>,
-            max: usize,
-        ) -> Result<usize, RecvError> {
-            // Single consumer: a positive count is ours to claim, and
-            // only producers add — so `avail` can only have grown by the
-            // time we subtract.
-            let claim = |shared: &Shared<T>| -> usize {
-                let avail = shared.msgs.load(Ordering::SeqCst);
-                if avail <= 0 {
-                    return 0;
-                }
-                let n = (avail as usize).min(max);
-                shared.msgs.fetch_sub(n as i64, Ordering::SeqCst);
-                n
-            };
-            let mut n = claim(&self.shared);
-            if n == 0 {
-                if self.shared.senders.load(Ordering::SeqCst) != 0 {
-                    return Ok(0);
-                }
-                // A sender may have published then disconnected between
-                // the two checks — re-check before reporting drained.
-                n = claim(&self.shared);
-                if n == 0 {
-                    return Err(RecvError);
-                }
-            }
-            self.pop_claimed_batch(out, n);
-            Ok(n)
-        }
-
-        /// Register a readiness hook, fired on every subsequent message
-        /// publish and on sender disconnect. One hook per inbox (first
-        /// write wins); used by polling executors instead of `recv`.
-        pub fn set_waker(&self, waker: Waker) {
-            let _ = self.shared.waker.set(waker);
-        }
-
-        /// Non-blocking receive: `Ok(Some(msg))` when a message was
-        /// claimed, `Ok(None)` when every edge is currently empty, and
-        /// `Err(RecvError)` once the inbox is drained *and* every sender
-        /// is gone.
-        pub fn try_recv(&mut self) -> Result<Option<T>, RecvError> {
-            // Single consumer: a positive count is ours to claim.
-            if self.shared.msgs.load(Ordering::SeqCst) > 0 {
-                self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
-                return Ok(Some(self.pop_claimed()));
-            }
-            if self.shared.senders.load(Ordering::SeqCst) == 0 {
-                // A sender may have published then disconnected between
-                // the two checks — re-check before reporting drained.
-                if self.shared.msgs.load(Ordering::SeqCst) > 0 {
-                    self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
-                    return Ok(Some(self.pop_claimed()));
-                }
-                return Err(RecvError);
-            }
-            Ok(None)
-        }
-
-        /// Block until a message arrives on any edge; `Err(RecvError)`
-        /// once every sender is dropped and all edges are drained.
-        pub fn recv(&mut self) -> Result<T, RecvError> {
-            loop {
-                // Single consumer: a positive count is ours to claim.
-                if self.shared.msgs.load(Ordering::SeqCst) > 0 {
-                    self.shared.msgs.fetch_sub(1, Ordering::SeqCst);
-                    return Ok(self.pop_claimed());
-                }
-                let mut guard = self.shared.gate.lock().expect("inbox poisoned");
-                self.shared.waiters.fetch_add(1, Ordering::SeqCst);
-                let outcome = loop {
-                    if self.shared.msgs.load(Ordering::SeqCst) > 0 {
-                        break Ok(());
-                    }
-                    if self.shared.senders.load(Ordering::SeqCst) == 0 {
-                        break Err(RecvError);
-                    }
-                    guard = self.shared.ready.wait(guard).expect("inbox poisoned");
-                };
-                self.shared.waiters.fetch_sub(1, Ordering::SeqCst);
-                drop(guard);
-                outcome?;
-            }
-        }
-
-        /// Blocking iterator until disconnection.
-        pub fn iter(&mut self) -> InboxIter<'_, T> {
-            InboxIter { inbox: self }
-        }
-    }
-
-    impl<T> Drop for Inbox<T> {
-        fn drop(&mut self) {
-            self.shared.receiver_alive.store(false, Ordering::SeqCst);
-            // Fail fast any producer parked on a full bounded edge.
-            for edge in self.shared.edges.lock().expect("inbox poisoned").iter() {
-                match &edge.buf {
-                    Buf::Locked(q) => drop(q.lock().expect("edge poisoned")),
-                    Buf::Ring(_) | Buf::Seg(_) => {
-                        drop(edge.park.lock().expect("edge poisoned"))
-                    }
-                }
-                edge.not_full.notify_all();
-            }
-        }
-    }
-
-    /// Iterator returned by [`Inbox::iter`].
-    pub struct InboxIter<'a, T> {
-        inbox: &'a mut Inbox<T>,
-    }
-
-    impl<T> Iterator for InboxIter<'_, T> {
-        type Item = T;
-
-        fn next(&mut self) -> Option<T> {
-            self.inbox.recv().ok()
-        }
-    }
-}
-
-#[cfg(test)]
+#[cfg(all(test, not(dgs_model)))]
 mod spsc_tests {
     use super::spsc::{BoundedRing, SegRing, SEG_LEN};
     use std::sync::Arc;
@@ -1577,7 +189,7 @@ mod spsc_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(dgs_model)))]
 mod ring_edge_tests {
     //! The ring-backed edge plane must satisfy the exact contract of the
     //! mutex-backed one (see `edge_tests`): lossless per-edge FIFO,
@@ -1585,7 +197,7 @@ mod ring_edge_tests {
 
     use super::edge::{inbox, RecvError};
     use std::collections::BTreeMap;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use dgs_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -1720,11 +332,11 @@ mod ring_edge_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(dgs_model)))]
 mod edge_tests {
     use super::edge::{inbox, RecvError};
     use std::collections::BTreeMap;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use dgs_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
     use std::time::Duration;
 
@@ -1878,7 +490,7 @@ mod edge_tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(dgs_model)))]
 mod tests {
     use super::channel::{unbounded, RecvError};
     use std::collections::BTreeMap;
@@ -2061,14 +673,14 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(dgs_model)))]
 mod polling_tests {
     //! The non-blocking consumer surface a sharded executor drives:
     //! `try_recv` + registered wakers, on both delivery planes.
 
     use super::channel::unbounded;
     use super::edge::{inbox, RecvError};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use dgs_sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
     #[test]

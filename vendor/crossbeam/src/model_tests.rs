@@ -1,0 +1,208 @@
+//! Real-code model suites: this crate's own SPSC rings and `Inbox`
+//! edge protocols executed on virtual threads under the dgs-sync model
+//! checker. Compiled only for the model personality —
+//! `RUSTFLAGS="--cfg dgs_model" cargo test -p crossbeam --lib` — where
+//! the `dgs_sync` facade resolves every atomic, lock, and yield in the
+//! production code to its modeled twin, so the checker explores thread
+//! interleavings *and*, for non-SeqCst loads, every coherence-legal
+//! (possibly stale) value.
+//!
+//! Liveness caveat baked into these tests: the model does not encode
+//! C11's eventual-visibility guarantee, so a raw acquire-load spin can
+//! legally read a stale value forever. Raw-ring tests therefore bound
+//! their retries and assert FIFO-prefix properties; full-delivery
+//! tests go through the `Inbox` claim protocol, whose `SeqCst` credit
+//! counter gives every rescan a fresh coherence floor (which is also
+//! why the real consumer's rescan loops are live on weak hardware).
+
+use std::collections::VecDeque;
+
+use dgs_sync::atomic::{AtomicUsize, Ordering};
+use dgs_sync::model::{self, Config};
+use dgs_sync::Arc;
+
+use crate::edge;
+use crate::spsc::{BoundedRing, SegRing};
+
+/// SPSC bounded ring: cursor handoff preserves FIFO with no loss,
+/// duplication, or reordering in every schedule. Retries are bounded
+/// (see module docs), so the invariant is over whatever prefix the
+/// consumer managed to observe.
+fn bounded_ring_body() {
+    let ring = Arc::new(BoundedRing::<u32>::new(2));
+    let r2 = ring.clone();
+    let producer = dgs_sync::thread::spawn(move || {
+        let mut next = 1u32;
+        for _ in 0..6 {
+            if next > 3 {
+                break;
+            }
+            match r2.try_push(next) {
+                Ok(()) => next += 1,
+                Err(_full) => dgs_sync::thread::yield_now(),
+            }
+        }
+        next - 1
+    });
+    let mut got = Vec::new();
+    for _ in 0..6 {
+        if got.len() == 3 {
+            break;
+        }
+        match ring.try_pop() {
+            Some(v) => got.push(v),
+            None => dgs_sync::thread::yield_now(),
+        }
+    }
+    let pushed = producer.join().expect("producer");
+    assert!(got.len() as u32 <= pushed, "popped more than was pushed");
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v, i as u32 + 1, "ring lost, duplicated, or reordered a message");
+    }
+}
+
+#[test]
+fn model_bounded_ring_fifo() {
+    let report = Config::dfs().preemptions(2).named("ring-fifo").check(bounded_ring_body);
+    assert!(report.exhausted, "suite must be fully explored, ran {}", report.schedules);
+    let report = Config::random(0x51C5)
+        .schedules(model::env_schedules(200))
+        .named("ring-fifo-seeded")
+        .check(bounded_ring_body);
+    assert_eq!(report.timeout_wakes, 0);
+}
+
+/// Segmented unbounded ring: same FIFO-prefix contract across the
+/// segment-link publish (`next` pointer + per-slot ready flags).
+fn seg_ring_body() {
+    let ring = Arc::new(SegRing::<u32>::new());
+    let r2 = ring.clone();
+    let producer = dgs_sync::thread::spawn(move || {
+        for v in 1..=3u32 {
+            r2.push(v);
+        }
+    });
+    let mut got = Vec::new();
+    for _ in 0..10 {
+        if got.len() == 3 {
+            break;
+        }
+        match ring.try_pop() {
+            Some(v) => got.push(v),
+            None => dgs_sync::thread::yield_now(),
+        }
+    }
+    producer.join().expect("producer");
+    for (i, &v) in got.iter().enumerate() {
+        assert_eq!(v, i as u32 + 1, "seg ring lost, duplicated, or reordered a message");
+    }
+}
+
+#[test]
+fn model_seg_ring_fifo() {
+    let report = Config::dfs().preemptions(2).named("seg-fifo").check(seg_ring_body);
+    assert!(report.exhausted, "suite must be fully explored, ran {}", report.schedules);
+}
+
+/// `Inbox::try_recv_batch` claim counter vs a concurrent publish: the
+/// claim (SeqCst credit decrement) can race the publish mid-batch; the
+/// claimed messages must all be delivered exactly once, in order, and
+/// the drained-and-disconnected state must be reported exactly once.
+fn claim_batch_body() {
+    let mut rx = edge::inbox::<u32>();
+    let tx = rx.handle().ring_edge(None);
+    let producer = dgs_sync::thread::spawn(move || {
+        tx.send_many([1u32, 2, 3]).expect("receiver alive");
+    });
+    let mut out = VecDeque::new();
+    loop {
+        match rx.try_recv_batch(&mut out, 2) {
+            Ok(0) => dgs_sync::thread::yield_now(),
+            Ok(_) => {}
+            Err(_disconnected) => break,
+        }
+    }
+    assert_eq!(out.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    producer.join().expect("producer");
+}
+
+#[test]
+fn model_inbox_claim_batch_vs_publish() {
+    let report = Config::dfs().preemptions(2).named("claim-batch").check(claim_batch_body);
+    assert!(report.exhausted, "suite must be fully explored, ran {}", report.schedules);
+    assert_eq!(report.timeout_wakes, 0);
+}
+
+/// The pop-vs-park window on a capacity-1 bounded ring edge: the
+/// producer blocks in `send_many`, registers as a park waiter, and
+/// re-checks fullness behind an SC fence; the consumer pops, fences,
+/// and notifies iff it sees a waiter. In *every* schedule all three
+/// messages arrive in order, the disconnect is observed, and — the
+/// satellite's soundness claim — the 1ms park timeout is never what
+/// makes progress: `timeout_wakes == 0`.
+fn pop_vs_park_body() {
+    let mut rx = edge::inbox::<u32>();
+    let tx = rx.handle().ring_edge(Some(1));
+    let producer = dgs_sync::thread::spawn(move || {
+        tx.send_many([1u32, 2, 3]).expect("receiver alive");
+    });
+    for want in 1..=3u32 {
+        assert_eq!(rx.recv().expect("sender alive"), want);
+    }
+    assert!(rx.recv().is_err(), "drained and disconnected");
+    producer.join().expect("producer");
+}
+
+#[test]
+fn model_pop_vs_park_timeout_never_needed() {
+    let report = Config::dfs().preemptions(2).named("pop-vs-park").check(pop_vs_park_body);
+    assert!(report.exhausted, "suite must be fully explored, ran {}", report.schedules);
+    assert_eq!(
+        report.timeout_wakes, 0,
+        "the park timeout must be belt-and-suspenders, never the progress mechanism"
+    );
+    let report = Config::random(0xDE5C)
+        .schedules(model::env_schedules(200))
+        .named("pop-vs-park-seeded")
+        .check(pop_vs_park_body);
+    assert_eq!(report.timeout_wakes, 0);
+}
+
+/// Waker publish vs an idle polling consumer: every publish fires the
+/// readiness hook (regardless of parked waiters), and a poller driven
+/// only by `try_recv` sees every message and the final disconnect.
+fn waker_poll_body() {
+    let wakes = Arc::new(AtomicUsize::new(0));
+    let mut rx = edge::inbox::<u32>();
+    let w2 = wakes.clone();
+    rx.set_waker(Arc::new(move || {
+        w2.fetch_add(1, Ordering::SeqCst);
+    }));
+    let tx = rx.handle().ring_edge(None);
+    let producer = dgs_sync::thread::spawn(move || {
+        tx.send(7).expect("receiver alive");
+        tx.send(8).expect("receiver alive");
+    });
+    let mut got = Vec::new();
+    loop {
+        match rx.try_recv() {
+            Ok(Some(v)) => got.push(v),
+            Ok(None) => dgs_sync::thread::yield_now(),
+            Err(_disconnected) => break,
+        }
+    }
+    assert_eq!(got, vec![7, 8]);
+    assert!(
+        wakes.load(Ordering::SeqCst) >= 2,
+        "every publish must fire the waker (got {})",
+        wakes.load(Ordering::SeqCst)
+    );
+    producer.join().expect("producer");
+}
+
+#[test]
+fn model_waker_publish_vs_idle_poll() {
+    let report = Config::dfs().preemptions(2).named("waker-poll").check(waker_poll_body);
+    assert!(report.exhausted, "suite must be fully explored, ran {}", report.schedules);
+    assert_eq!(report.timeout_wakes, 0);
+}

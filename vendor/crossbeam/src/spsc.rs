@@ -1,0 +1,267 @@
+//! Lock-free single-producer single-consumer queues: the storage
+//! behind the [`edge`](crate::edge) plane's ring mode.
+//!
+//! Two shapes share one contract (exactly one producer thread calls
+//! `push`/`try_push`, exactly one consumer thread calls `try_pop` —
+//! the `edge` wrappers enforce this at the type level):
+//!
+//! * [`BoundedRing`] — a fixed power-of-two ring buffer with
+//!   cache-padded head/tail indices. `try_push` fails when full (the
+//!   caller decides whether to park); push and pop are one relaxed
+//!   load, one acquire load, one slot write/read, and one release
+//!   store — no locks, no CAS.
+//! * [`SegRing`] — an unbounded segmented ring: the producer fills
+//!   fixed-size segments (per-slot release-published ready flags) and
+//!   links a fresh segment when one fills; the consumer frees each
+//!   segment as it crosses into the next. Push never blocks and never
+//!   fails; allocation is amortized over [`SEG_LEN`] messages.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use dgs_sync::atomic::{AtomicBool, AtomicPtr, AtomicUsize, Ordering};
+
+/// Pads (and aligns) a value to a cache line so the producer's and
+/// consumer's hot indices never share one (false sharing turns SPSC
+/// progress into cross-core traffic).
+#[repr(align(128))]
+#[derive(Default)]
+pub struct CachePadded<T>(pub T);
+
+/// Slots per [`SegRing`] segment.
+pub const SEG_LEN: usize = 64;
+
+/// Fixed-capacity lock-free SPSC ring buffer.
+pub struct BoundedRing<T> {
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Consumer position (monotonic; slot = head & mask).
+    head: CachePadded<AtomicUsize>,
+    /// Producer position.
+    tail: CachePadded<AtomicUsize>,
+}
+
+// SAFETY: the single-producer/single-consumer contract (enforced by
+// the edge wrappers: `EdgeSender` is !Sync + !Clone, `Inbox::recv`
+// takes &mut self) means each slot is touched by at most one thread
+// at a time, with the head/tail release/acquire pair ordering the
+// hand-off.
+unsafe impl<T: Send> Send for BoundedRing<T> {}
+unsafe impl<T: Send> Sync for BoundedRing<T> {}
+
+impl<T> BoundedRing<T> {
+    /// Ring with capacity `>= requested`, rounded up to a power of
+    /// two.
+    pub fn new(requested: usize) -> Self {
+        assert!(requested > 0, "bounded ring needs capacity >= 1");
+        let cap = requested.next_power_of_two();
+        let buf = (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect();
+        BoundedRing {
+            buf,
+            mask: cap - 1,
+            head: CachePadded(AtomicUsize::new(0)),
+            tail: CachePadded(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Usable capacity.
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    /// Producer-side push; returns the message when the ring is full.
+    pub fn try_push(&self, msg: T) -> Result<(), T> {
+        // ORDERING: Relaxed tail load — only this producer writes
+        // `tail`, so it reads its own last store. Acquire head load —
+        // pairs with the consumer's release head store so the slot the
+        // consumer vacated is really empty before we overwrite it.
+        // Release tail store below publishes the slot write.
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) > self.mask {
+            return Err(msg);
+        }
+        // SAFETY: slot `tail & mask` is vacant (not yet consumable:
+        // tail unpublished) and only this producer writes slots.
+        unsafe { (*self.buf[tail & self.mask].get()).write(msg) };
+        // ORDERING: Release — publishes the slot write above to the
+        // consumer's acquire tail load.
+        self.tail.0.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Producer-side fullness probe (used to decide whether to park).
+    pub fn is_full(&self) -> bool {
+        // ORDERING: same pair as `try_push` (producer-side probe);
+        // callers needing a fresh head (the park slow path) insert a
+        // SeqCst fence first — see `edge::EdgeSender::send_many`.
+        let tail = self.tail.0.load(Ordering::Relaxed);
+        let head = self.head.0.load(Ordering::Acquire);
+        tail.wrapping_sub(head) > self.mask
+    }
+
+    /// Consumer-side pop; `None` when empty.
+    pub fn try_pop(&self) -> Option<T> {
+        // ORDERING: Relaxed head load — only this consumer writes
+        // `head`. Acquire tail load — pairs with the producer's
+        // release tail store, making the slot write visible. Release
+        // head store below publishes the slot as vacated.
+        let head = self.head.0.load(Ordering::Relaxed);
+        let tail = self.tail.0.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: the acquire on `tail` makes the producer's slot
+        // write visible; only this consumer reads slots.
+        let msg = unsafe { (*self.buf[head & self.mask].get()).assume_init_read() };
+        // ORDERING: Release — publishes the slot read (vacating it) to
+        // the producer's acquire head load.
+        self.head.0.store(head.wrapping_add(1), Ordering::Release);
+        Some(msg)
+    }
+}
+
+impl<T> Drop for BoundedRing<T> {
+    fn drop(&mut self) {
+        while self.try_pop().is_some() {}
+    }
+}
+
+struct Slot<T> {
+    ready: AtomicBool,
+    value: UnsafeCell<MaybeUninit<T>>,
+}
+
+struct Segment<T> {
+    slots: Box<[Slot<T>]>,
+    next: AtomicPtr<Segment<T>>,
+}
+
+impl<T> Segment<T> {
+    fn alloc() -> *mut Segment<T> {
+        let slots = (0..SEG_LEN)
+            .map(|_| Slot {
+                ready: AtomicBool::new(false),
+                value: UnsafeCell::new(MaybeUninit::uninit()),
+            })
+            .collect();
+        Box::into_raw(Box::new(Segment { slots, next: AtomicPtr::new(std::ptr::null_mut()) }))
+    }
+}
+
+struct Cursor<T> {
+    seg: *mut Segment<T>,
+    idx: usize,
+}
+
+/// Unbounded segmented lock-free SPSC queue.
+pub struct SegRing<T> {
+    prod: CachePadded<UnsafeCell<Cursor<T>>>,
+    cons: CachePadded<UnsafeCell<Cursor<T>>>,
+}
+
+// SAFETY: see `BoundedRing` — same single-producer/single-consumer
+// contract; cross-thread hand-off happens through the per-slot
+// `ready` release/acquire pairs and the `next` segment link.
+unsafe impl<T: Send> Send for SegRing<T> {}
+unsafe impl<T: Send> Sync for SegRing<T> {}
+
+impl<T> Default for SegRing<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SegRing<T> {
+    /// Empty queue (one segment pre-allocated).
+    pub fn new() -> Self {
+        let first = Segment::alloc();
+        SegRing {
+            prod: CachePadded(UnsafeCell::new(Cursor { seg: first, idx: 0 })),
+            cons: CachePadded(UnsafeCell::new(Cursor { seg: first, idx: 0 })),
+        }
+    }
+
+    /// Producer-side push; never blocks, never fails.
+    pub fn push(&self, msg: T) {
+        // SAFETY: single producer — this cursor is ours alone.
+        let cur = unsafe { &mut *self.prod.0.get() };
+        if cur.idx == SEG_LEN {
+            let next = Segment::alloc();
+            // Link before moving: the consumer follows `next` only
+            // after consuming every slot of the current segment.
+            // ORDERING: Release — publishes the fresh segment's
+            // initialized slots to the consumer's acquire `next` load.
+            // SAFETY: `cur.seg` is a live segment only this producer
+            // links from.
+            unsafe { &*cur.seg }.next.store(next, Ordering::Release);
+            cur.seg = next;
+            cur.idx = 0;
+        }
+        let seg = unsafe { &*cur.seg };
+        // SAFETY: slot `idx` is unpublished (ready = false) and only
+        // the producer writes slots.
+        unsafe { (*seg.slots[cur.idx].value.get()).write(msg) };
+        // ORDERING: Release — publishes the value write above to the
+        // consumer's acquire `ready` load.
+        seg.slots[cur.idx].ready.store(true, Ordering::Release);
+        cur.idx += 1;
+    }
+
+    /// Consumer-side pop; `None` when nothing published.
+    pub fn try_pop(&self) -> Option<T> {
+        // SAFETY: single consumer — this cursor is ours alone.
+        let cur = unsafe { &mut *self.cons.0.get() };
+        loop {
+            if cur.idx == SEG_LEN {
+                // ORDERING: Acquire — pairs with the producer's release
+                // `next` store; the new segment's slots are visible.
+                // SAFETY: `cur.seg` stays valid until this consumer
+                // frees it below.
+                let next = unsafe { &*cur.seg }.next.load(Ordering::Acquire);
+                if next.is_null() {
+                    return None;
+                }
+                // The producer has moved on; this segment is ours to
+                // free.
+                // SAFETY: consumer is past every slot; producer
+                // stopped touching the segment when it linked `next`.
+                drop(unsafe { Box::from_raw(cur.seg) });
+                cur.seg = next;
+                cur.idx = 0;
+                continue;
+            }
+            // SAFETY: the segment is freed only by this consumer, and
+            // only after moving past it.
+            let seg = unsafe { &*cur.seg };
+            let slot = &seg.slots[cur.idx];
+            // ORDERING: Acquire — pairs with the producer's release
+            // `ready` store, making the slot value visible.
+            if !slot.ready.load(Ordering::Acquire) {
+                return None;
+            }
+            // SAFETY: `ready` (acquire) publishes the value write.
+            let msg = unsafe { (*slot.value.get()).assume_init_read() };
+            cur.idx += 1;
+            return Some(msg);
+        }
+    }
+}
+
+impl<T> Drop for SegRing<T> {
+    fn drop(&mut self) {
+        // Drain published messages (runs their destructors), then free
+        // the remaining segment chain.
+        while self.try_pop().is_some() {}
+        let cur = self.cons.0.get_mut();
+        let mut seg = cur.seg;
+        while !seg.is_null() {
+            // ORDERING: Relaxed — `&mut self` in Drop means no other
+            // thread can touch the chain concurrently.
+            // SAFETY: every segment in the chain is live until freed
+            // here, and freed exactly once.
+            let next = unsafe { &*seg }.next.load(Ordering::Relaxed);
+            drop(unsafe { Box::from_raw(seg) });
+            seg = next;
+        }
+    }
+}
